@@ -1,0 +1,73 @@
+//! `runapp` — the single base image that dynamically loads applications
+//! (paper §7).
+//!
+//! ```text
+//! runapp <app> [args…]            # ez, messages, help, typescript, console, preview
+//! runapp --list
+//! runapp --loader-stats <app>     # also print the dynamic loader's accounting
+//! ```
+//!
+//! The window system is chosen by `ATK_WINDOW_SYSTEM` (x11sim | awmsim),
+//! exactly as §8 describes.
+
+use atk_apps::{standard_apps, standard_world};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = argv.as_slice();
+    let mut show_stats = false;
+    if args.first().map(String::as_str) == Some("--loader-stats") {
+        show_stats = true;
+        args = &args[1..];
+    }
+
+    let registry = standard_apps();
+    let Some(app_name) = args.first() else {
+        eprintln!("usage: runapp <app> [args…] | runapp --list");
+        std::process::exit(2);
+    };
+    if app_name == "--list" {
+        for name in registry.names() {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let mut world = standard_world();
+    let mut ws = match atk_wm::open_window_system(None) {
+        Ok(ws) => ws,
+        Err(name) => {
+            eprintln!("runapp: unknown window system `{name}` (try x11sim or awmsim)");
+            std::process::exit(2);
+        }
+    };
+
+    match registry.launch(app_name, &mut world, ws.as_mut(), &args[1..]) {
+        Ok(outcome) => {
+            for line in &outcome.report {
+                println!("{line}");
+            }
+            println!("events handled: {}", outcome.events_handled);
+            if show_stats {
+                let stats = world.catalog.loader.stats();
+                println!(
+                    "loader: {} modules resident, {} bytes, {} load events, {:.1} ms simulated",
+                    stats.resident_modules,
+                    stats.resident_bytes,
+                    stats.events.len(),
+                    stats.total_simulated_ns as f64 / 1e6
+                );
+                for ev in &stats.events {
+                    println!(
+                        "  loaded {} ({} bytes) for {}",
+                        ev.module, ev.code_bytes, ev.requested_by
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("runapp: {e}");
+            std::process::exit(1);
+        }
+    }
+}

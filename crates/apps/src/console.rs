@@ -1,0 +1,349 @@
+//! The console: a system monitor "that displays status information such
+//! as the time, date, CPU load and file system information" (paper §1).
+//!
+//! Stat collection is behind the [`StatSource`] trait so the application
+//! is testable and deterministic: [`SyntheticStatSource`] produces a
+//! fixed waveform from the virtual clock; [`ProcStatSource`] reads the
+//! real `/proc` where available (Linux), best-effort.
+
+use std::any::Any;
+
+use atk_core::{
+    AppOutcome, Application, InteractionManager, MenuItem, Update, View, ViewBase, ViewId, World,
+};
+use atk_graphics::{Color, FontDesc, Point, Rect, Size};
+use atk_wm::{Graphic, WindowSystem};
+
+use crate::AppArgs;
+
+/// One sample of system status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Formatted time string.
+    pub time: String,
+    /// Formatted date string.
+    pub date: String,
+    /// CPU load in `0.0..=1.0`.
+    pub cpu_load: f64,
+    /// Filesystem usage in `0.0..=1.0`.
+    pub disk_used: f64,
+    /// Memory usage in `0.0..=1.0`.
+    pub mem_used: f64,
+}
+
+/// A source of [`Stats`] samples.
+pub trait StatSource {
+    /// Samples the system at virtual time `now_ms`.
+    fn sample(&mut self, now_ms: u64) -> Stats;
+    /// Source name for the report.
+    fn name(&self) -> &'static str;
+}
+
+/// Deterministic synthetic source: load is a triangle wave of the
+/// virtual clock, so scripted runs always see the same picture.
+#[derive(Debug, Default)]
+pub struct SyntheticStatSource;
+
+impl StatSource for SyntheticStatSource {
+    fn sample(&mut self, now_ms: u64) -> Stats {
+        let secs = now_ms / 1000;
+        let phase = (now_ms % 20_000) as f64 / 20_000.0;
+        let tri = if phase < 0.5 {
+            phase * 2.0
+        } else {
+            2.0 - phase * 2.0
+        };
+        Stats {
+            time: format!(
+                "{:02}:{:02}:{:02}",
+                9 + (secs / 3600) % 12,
+                (secs / 60) % 60,
+                secs % 60
+            ),
+            date: "Thu 11 Feb 1988".to_string(),
+            cpu_load: 0.15 + 0.7 * tri,
+            disk_used: 0.62,
+            mem_used: 0.38 + 0.2 * tri,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "synthetic"
+    }
+}
+
+/// Best-effort `/proc` source (falls back to synthetic values where a
+/// file is unreadable).
+#[derive(Debug, Default)]
+pub struct ProcStatSource {
+    fallback: SyntheticStatSource,
+}
+
+impl StatSource for ProcStatSource {
+    fn sample(&mut self, now_ms: u64) -> Stats {
+        let mut s = self.fallback.sample(now_ms);
+        if let Ok(loadavg) = std::fs::read_to_string("/proc/loadavg") {
+            if let Some(first) = loadavg.split_whitespace().next() {
+                if let Ok(v) = first.parse::<f64>() {
+                    s.cpu_load = (v / 4.0).clamp(0.0, 1.0);
+                }
+            }
+        }
+        if let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") {
+            let get = |key: &str| -> Option<f64> {
+                meminfo
+                    .lines()
+                    .find(|l| l.starts_with(key))?
+                    .split_whitespace()
+                    .nth(1)?
+                    .parse()
+                    .ok()
+            };
+            if let (Some(total), Some(avail)) = (get("MemTotal:"), get("MemAvailable:")) {
+                if total > 0.0 {
+                    s.mem_used = (1.0 - avail / total).clamp(0.0, 1.0);
+                }
+            }
+        }
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        "proc"
+    }
+}
+
+/// Refresh timer token.
+const REFRESH: u32 = 7;
+/// Refresh period, ms.
+const PERIOD_MS: u64 = 1000;
+
+/// The console view: clock plus meter bars, refreshed by the virtual
+/// timer.
+pub struct ConsoleView {
+    base: ViewBase,
+    source: Box<dyn StatSource>,
+    latest: Option<Stats>,
+    /// Samples taken (instrumentation).
+    pub samples: u64,
+}
+
+impl ConsoleView {
+    /// A console over the given source.
+    pub fn new(source: Box<dyn StatSource>) -> ConsoleView {
+        ConsoleView {
+            base: ViewBase::new(),
+            source,
+            latest: None,
+            samples: 0,
+        }
+    }
+
+    /// Starts the refresh timer and takes the first sample.
+    pub fn start(&mut self, world: &mut World) {
+        self.resample(world);
+        world.schedule_timer(self.base.id, PERIOD_MS, REFRESH);
+    }
+
+    fn resample(&mut self, world: &mut World) {
+        self.latest = Some(self.source.sample(world.now_ms()));
+        self.samples += 1;
+        world.post_damage_full(self.base.id);
+    }
+
+    /// The latest sample.
+    pub fn latest(&self) -> Option<&Stats> {
+        self.latest.as_ref()
+    }
+}
+
+impl View for ConsoleView {
+    fn class_name(&self) -> &'static str {
+        "consolev"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+
+    fn desired_size(&mut self, _world: &mut World, _budget: i32) -> Size {
+        Size::new(220, 120)
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, _update: Update) {
+        let size = world.view_bounds(self.base.id).size();
+        let Some(stats) = self.latest.clone() else {
+            return;
+        };
+        g.set_foreground(Color::BLACK);
+        g.set_font(FontDesc::new("andy", Default::default(), 20));
+        g.draw_string(Point::new(8, 4), &stats.time);
+        g.set_font(FontDesc::default_body());
+        g.draw_string(Point::new(8, 28), &stats.date);
+
+        let meter = |g: &mut dyn Graphic, y: i32, label: &str, frac: f64| {
+            g.set_font(FontDesc::new("andy", Default::default(), 10));
+            g.set_foreground(Color::BLACK);
+            g.draw_string(Point::new(8, y), label);
+            let bar = Rect::new(58, y, (size.width - 70).max(20), 9);
+            g.draw_rect(bar);
+            let fill = Rect::new(
+                bar.x + 1,
+                bar.y + 1,
+                (((bar.width - 2) as f64) * frac.clamp(0.0, 1.0)) as i32,
+                bar.height - 2,
+            );
+            g.set_foreground(Color::GRAY);
+            g.fill_rect(fill);
+        };
+        meter(g, 48, "CPU", stats.cpu_load);
+        meter(g, 64, "disk", stats.disk_used);
+        meter(g, 80, "mem", stats.mem_used);
+    }
+
+    fn timer(&mut self, world: &mut World, token: u32) {
+        if token == REFRESH {
+            self.resample(world);
+            world.schedule_timer(self.base.id, PERIOD_MS, REFRESH);
+        }
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        vec![MenuItem::new("Console", "Refresh", "console-refresh")]
+    }
+
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        if command == "console-refresh" {
+            self.resample(world);
+            return true;
+        }
+        false
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The console application.
+pub struct ConsoleApp;
+
+impl ConsoleApp {
+    /// A fresh console app.
+    pub fn new() -> ConsoleApp {
+        ConsoleApp
+    }
+}
+
+impl Default for ConsoleApp {
+    fn default() -> Self {
+        ConsoleApp::new()
+    }
+}
+
+impl Application for ConsoleApp {
+    fn name(&self) -> &'static str {
+        "console"
+    }
+
+    fn run(
+        &mut self,
+        world: &mut World,
+        ws: &mut dyn WindowSystem,
+        args: &[String],
+    ) -> Result<AppOutcome, String> {
+        let args = AppArgs::parse(args);
+        crate::register_components(&mut world.catalog);
+
+        let source: Box<dyn StatSource> = match args.doc.as_deref() {
+            Some("proc") => Box::new(ProcStatSource::default()),
+            _ => Box::new(SyntheticStatSource),
+        };
+        let source_name = source.name();
+        let console = world.insert_view(Box::new(ConsoleView::new(source)));
+        let window = ws.open_window("console", Size::new(220, 120));
+        let mut im = InteractionManager::new(world, window, console);
+        world.with_view(console, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<ConsoleView>()
+                .expect("console view")
+                .start(w);
+        });
+        im.pump(world);
+
+        if let Some(script) = args.load_script()? {
+            script.run(&mut im, world);
+        }
+
+        let mut report = Vec::new();
+        if let Some(path) = &args.snapshot {
+            let saved = crate::save_snapshot(&im, path)?;
+            report.push(format!("snapshot {path}: {saved}"));
+        }
+        let cv = world.view_as::<ConsoleView>(console).expect("console");
+        report.push(format!("source: {source_name}"));
+        report.push(format!("samples: {}", cv.samples));
+        if let Some(s) = cv.latest() {
+            report.push(format!("time: {}", s.time));
+        }
+        Ok(AppOutcome {
+            report,
+            events_handled: im.stats().events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+
+    #[test]
+    fn synthetic_source_is_deterministic() {
+        let mut a = SyntheticStatSource;
+        let mut b = SyntheticStatSource;
+        assert_eq!(a.sample(5000), b.sample(5000));
+        assert_ne!(a.sample(1000).time, a.sample(2000).time);
+        let s = a.sample(12_345);
+        assert!((0.0..=1.0).contains(&s.cpu_load));
+    }
+
+    #[test]
+    fn console_refreshes_on_virtual_ticks() {
+        let mut world = standard_world();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let script = "tick 3000\n";
+        let out = ConsoleApp::new()
+            .run(
+                &mut world,
+                &mut ws,
+                &["--script-text".to_string(), script.to_string()],
+            )
+            .unwrap();
+        let joined = out.report.join("\n");
+        // 1 initial + at least one tick-driven sample. Virtual ticks fire
+        // due timers once per pump, so 3000ms in one event yields one
+        // timer batch; run more ticks for more samples.
+        assert!(joined.contains("samples:"), "{joined}");
+        let samples: u64 = joined
+            .lines()
+            .find(|l| l.starts_with("samples:"))
+            .and_then(|l| l.split(": ").nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(samples >= 2, "{joined}");
+    }
+
+    #[test]
+    fn proc_source_survives_missing_proc() {
+        let mut src = ProcStatSource::default();
+        let s = src.sample(1000);
+        assert!((0.0..=1.0).contains(&s.cpu_load));
+        assert!((0.0..=1.0).contains(&s.mem_used));
+    }
+}

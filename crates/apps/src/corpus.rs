@@ -1,0 +1,277 @@
+//! Synthetic documents and workloads.
+//!
+//! The paper's evaluation substrate was 3000 campus users (§9); ours is
+//! deterministic generators. Benchmarks and integration tests build
+//! documents with the paper's component mix (text ⊃ tables, drawings,
+//! equations, rasters, animations), nested-embedding stress documents,
+//! and scripted editing sessions, all seeded so every run sees identical
+//! input.
+
+use atk_core::{DataId, EventScript, World};
+use atk_graphics::{Point, Rect};
+use atk_table::{CellInput, TableData};
+use atk_text::{Style, TextData};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lorem-style word pool (ASCII, per the datastream transport rules).
+const WORDS: &[&str] = &[
+    "the",
+    "toolkit",
+    "provides",
+    "a",
+    "general",
+    "framework",
+    "for",
+    "building",
+    "and",
+    "combining",
+    "components",
+    "views",
+    "data",
+    "objects",
+    "are",
+    "closely",
+    "related",
+    "basic",
+    "types",
+    "within",
+    "system",
+    "parent",
+    "child",
+    "events",
+    "menus",
+    "cursor",
+    "update",
+    "window",
+    "document",
+    "editor",
+    "campus",
+    "users",
+    "dynamic",
+    "loading",
+    "embedding",
+];
+
+/// Deterministic word soup of `words` words with paragraph breaks.
+pub fn lorem(seed: u64, words: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            if i % 60 == 0 {
+                out.push_str("\n\n");
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// A plain text document of roughly `chars` characters.
+pub fn plain_text_doc(world: &mut World, seed: u64, chars: usize) -> DataId {
+    let text = lorem(seed, chars / 5 + 1);
+    world.insert_data(Box::new(TextData::from_str(&text)))
+}
+
+/// Which component kinds a compound document embeds.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Tables per document.
+    pub tables: usize,
+    /// Drawings per document.
+    pub drawings: usize,
+    /// Equations per document.
+    pub equations: usize,
+    /// Rasters per document.
+    pub rasters: usize,
+}
+
+impl Mix {
+    /// The paper's intro mix: "papers that contain tables, equations,
+    /// drawings, rasters and animations".
+    pub fn paper_intro() -> Mix {
+        Mix {
+            tables: 1,
+            drawings: 1,
+            equations: 2,
+            rasters: 1,
+        }
+    }
+
+    /// Total embedded objects.
+    pub fn total(&self) -> usize {
+        self.tables + self.drawings + self.equations + self.rasters
+    }
+}
+
+/// A compound document: styled text with embedded components, the
+/// standard benchmark input.
+pub fn compound_document(world: &mut World, seed: u64, words: usize, mix: Mix) -> DataId {
+    use atk_media::{DrawingData, EqData, RasterData, Shape};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let mut text = TextData::from_str(&lorem(seed, words));
+    // Some style variety.
+    let len = text.len();
+    if len > 40 {
+        text.apply_style(0, 12.min(len), Style::body().bolded().sized(20));
+        text.apply_style(len / 2, (len / 2 + 30).min(len), Style::body().italicized());
+    }
+
+    let mut embed_positions: Vec<usize> = (0..mix.total())
+        .map(|_| rng.gen_range(0..text.len().max(1)))
+        .collect();
+    embed_positions.sort_unstable();
+    embed_positions.reverse(); // Insert from the back so positions hold.
+
+    let mut kinds: Vec<&str> = Vec::new();
+    kinds.extend(std::iter::repeat("table").take(mix.tables));
+    kinds.extend(std::iter::repeat("drawing").take(mix.drawings));
+    kinds.extend(std::iter::repeat("eq").take(mix.equations));
+    kinds.extend(std::iter::repeat("raster").take(mix.rasters));
+
+    for (pos, kind) in embed_positions.into_iter().zip(kinds) {
+        match kind {
+            "table" => {
+                let mut t = TableData::new(4, 3);
+                for r in 0..4 {
+                    for c in 0..3 {
+                        t.set_cell(r, c, CellInput::Raw(format!("{}", rng.gen_range(1..100))));
+                    }
+                }
+                t.set_cell(0, 2, CellInput::Raw("=SUM(A1:B4)".to_string()));
+                let id = world.insert_data(Box::new(t));
+                text.add_embedded(pos, id, "tablev");
+            }
+            "drawing" => {
+                let mut d = DrawingData::new(160, 80);
+                for _ in 0..6 {
+                    let x = rng.gen_range(0..120);
+                    let y = rng.gen_range(0..60);
+                    d.add_shape(Shape::Line {
+                        a: Point::new(x, y),
+                        b: Point::new(x + rng.gen_range(5..40), y + rng.gen_range(0..20)),
+                        width: 1,
+                    });
+                }
+                d.add_shape(Shape::Rect {
+                    rect: Rect::new(4, 4, 150, 70),
+                    filled: false,
+                });
+                let id = world.insert_data(Box::new(d));
+                text.add_embedded(pos, id, "drawingv");
+            }
+            "eq" => {
+                let id = world.insert_data(Box::new(EqData::from_src(
+                    "v sub {i,j} = v sub {i-1,j} + v sub {i,j-1}",
+                )));
+                text.add_embedded(pos, id, "eqv");
+            }
+            "raster" => {
+                let m = rng.gen_range(2..6);
+                let id = world.insert_data(Box::new(RasterData::from_fn(24, 16, move |x, y| {
+                    (x / m + y / m) % 2 == 0
+                })));
+                text.add_embedded(pos, id, "rasterview");
+            }
+            _ => unreachable!(),
+        }
+    }
+    world.insert_data(Box::new(text))
+}
+
+/// A pathological nesting document: text in text in text…, `depth` deep,
+/// for the datastream benchmarks.
+pub fn nested_document(world: &mut World, depth: usize) -> DataId {
+    let mut inner = world.insert_data(Box::new(TextData::from_str("innermost")));
+    for level in 0..depth {
+        let mut t = TextData::from_str(&format!("level {level} wraps: "));
+        let pos = t.len();
+        t.add_embedded(pos, inner, "textview");
+        inner = world.insert_data(Box::new(t));
+    }
+    inner
+}
+
+/// A deterministic editing session: `keystrokes` random insertions,
+/// deletions, and caret motions, as an event script.
+pub fn editing_script(seed: u64, keystrokes: usize) -> EventScript {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let mut text = String::new();
+    for _ in 0..keystrokes {
+        match rng.gen_range(0..10) {
+            0 => text.push_str("key BS\n"),
+            1 => text.push_str("key C-a\n"),
+            2 => text.push_str("key C-e\n"),
+            3 => text.push_str("key LEFT\n"),
+            4 => text.push_str("key RIGHT\n"),
+            5 => text.push_str("key RET\n"),
+            _ => {
+                let w = WORDS[rng.gen_range(0..WORDS.len())];
+                text.push_str(&format!("type {w} \n"));
+            }
+        }
+    }
+    EventScript::parse(&text).expect("generated script is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+
+    #[test]
+    fn lorem_is_deterministic_and_sized() {
+        assert_eq!(lorem(1, 100), lorem(1, 100));
+        assert_ne!(lorem(1, 100), lorem(2, 100));
+        let text = lorem(3, 500);
+        assert!(text.split_whitespace().count() >= 490);
+    }
+
+    #[test]
+    fn compound_document_embeds_the_mix() {
+        let mut world = standard_world();
+        let doc = compound_document(&mut world, 7, 200, Mix::paper_intro());
+        let text = world.data::<TextData>(doc).unwrap();
+        assert_eq!(text.anchors().len(), Mix::paper_intro().total());
+        // Same seed, same document.
+        let mut world2 = standard_world();
+        let doc2 = compound_document(&mut world2, 7, 200, Mix::paper_intro());
+        assert_eq!(
+            atk_core::document_to_string(&world, doc),
+            atk_core::document_to_string(&world2, doc2)
+        );
+    }
+
+    #[test]
+    fn compound_document_round_trips() {
+        let mut world = standard_world();
+        let doc = compound_document(&mut world, 11, 300, Mix::paper_intro());
+        let stream = atk_core::document_to_string(&world, doc);
+        assert!(atk_core::audit_stream(&stream).is_empty());
+        let mut world2 = standard_world();
+        let doc2 = atk_core::read_document(&mut world2, &stream).unwrap();
+        let stream2 = atk_core::document_to_string(&world2, doc2);
+        assert_eq!(stream, stream2);
+    }
+
+    #[test]
+    fn nested_document_nests() {
+        let mut world = standard_world();
+        let doc = nested_document(&mut world, 8);
+        let stream = atk_core::document_to_string(&world, doc);
+        assert_eq!(stream.matches("\\begindata{text,").count(), 9);
+        let mut world2 = standard_world();
+        assert!(atk_core::read_document(&mut world2, &stream).is_ok());
+    }
+
+    #[test]
+    fn editing_script_is_deterministic() {
+        let a = editing_script(5, 50);
+        let b = editing_script(5, 50);
+        assert_eq!(a, b);
+        assert!(a.steps.len() >= 50);
+    }
+}

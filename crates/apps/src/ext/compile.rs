@@ -1,0 +1,202 @@
+//! The compile package (paper §1's extension packages).
+//!
+//! The historical package ran `make`, captured compiler diagnostics, and
+//! let the user jump from an error to the offending source line. Our
+//! "compiler" is the toolkit's own language frontends: the C lexer (for
+//! structural diagnostics) and the spreadsheet formula parser — enough to
+//! reproduce the workflow: compile a document, get a diagnostics list
+//! with positions, jump a text view's caret to each.
+
+use atk_core::{ViewId, World};
+use atk_table::TableData;
+use atk_text::{TextData, TextView};
+
+use super::ctext::{lex_c, SyntaxKind};
+
+/// One diagnostic: position plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Character position in the source.
+    pub pos: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+fn line_of(src: &str, pos: usize) -> usize {
+    src.chars().take(pos).filter(|c| *c == '\n').count() + 1
+}
+
+/// "Compiles" C source: structural diagnostics from the lexer plus brace
+/// balance checking.
+pub fn compile_c(src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Unterminated comments / strings: the last span reaches EOF without
+    // its closer.
+    for (start, len, kind) in lex_c(src) {
+        let span: String = src.chars().skip(start).take(len).collect();
+        match kind {
+            SyntaxKind::Comment if !span.ends_with("*/") => diags.push(Diagnostic {
+                pos: start,
+                line: line_of(src, start),
+                message: "unterminated comment".to_string(),
+            }),
+            SyntaxKind::Str if span.len() < 2 || !span.ends_with('"') => diags.push(Diagnostic {
+                pos: start,
+                line: line_of(src, start),
+                message: "unterminated string literal".to_string(),
+            }),
+            _ => {}
+        }
+    }
+    // Brace balance (outside comments/strings).
+    let mut depth = 0i32;
+    let mut code_mask = vec![true; src.chars().count()];
+    for (start, len, kind) in lex_c(src) {
+        if kind != SyntaxKind::Code && kind != SyntaxKind::Keyword {
+            for slot in code_mask.iter_mut().skip(start).take(len) {
+                *slot = false;
+            }
+        }
+    }
+    for (i, ch) in src.chars().enumerate() {
+        if !code_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth < 0 {
+                    diags.push(Diagnostic {
+                        pos: i,
+                        line: line_of(src, i),
+                        message: "unmatched `}`".to_string(),
+                    });
+                    depth = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth > 0 {
+        diags.push(Diagnostic {
+            pos: src.chars().count().saturating_sub(1),
+            line: line_of(src, src.chars().count().saturating_sub(1)),
+            message: format!("{depth} unclosed `{{`"),
+        });
+    }
+    diags.sort_by_key(|d| d.pos);
+    diags
+}
+
+/// "Compiles" a spreadsheet: every formula cell that failed to parse or
+/// evaluate becomes a diagnostic (`line` is the 1-based row).
+pub fn compile_table(table: &TableData) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for r in 0..table.rows() {
+        for c in 0..table.cols() {
+            if let atk_table::Cell::Formula {
+                src, value: Err(e), ..
+            } = table.cell(r, c)
+            {
+                diags.push(Diagnostic {
+                    pos: c,
+                    line: r + 1,
+                    message: format!("{}: ={src}: {e}", atk_table::coord_to_a1((r, c))),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Jumps a text view's caret to a diagnostic — the package's
+/// "next-error" command.
+pub fn goto_diagnostic(world: &mut World, view: ViewId, diag: &Diagnostic) -> bool {
+    world
+        .with_view(view, |v, w| {
+            if let Some(tv) = v.as_any_mut().downcast_mut::<TextView>() {
+                tv.set_caret(w, diag.pos);
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false)
+}
+
+/// Convenience: compile the C source shown by a text view and return the
+/// diagnostics.
+pub fn compile_view(world: &World, view: ViewId) -> Vec<Diagnostic> {
+    let Some(data) = world.view_dyn(view).and_then(|v| v.data_object()) else {
+        return Vec::new();
+    };
+    let Some(text) = world.data::<TextData>(data) else {
+        return Vec::new();
+    };
+    compile_c(&text.text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+    use atk_core::CatalogError;
+    use atk_graphics::Rect;
+    use atk_table::CellInput;
+
+    #[test]
+    fn clean_source_compiles_clean() {
+        let src = "int main(void) { return 0; }\n";
+        assert!(compile_c(src).is_empty());
+    }
+
+    #[test]
+    fn unterminated_constructs_are_reported_with_lines() {
+        let src = "int x;\n/* oops\n";
+        let diags = compile_c(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("unterminated comment"));
+    }
+
+    #[test]
+    fn brace_balance_is_checked_outside_strings() {
+        let diags = compile_c("int f() { if (x) { } \n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unclosed"));
+        // Braces inside strings don't count.
+        assert!(compile_c("char *s = \"{{{\";\n").is_empty());
+        // Unmatched closer.
+        let diags = compile_c("}\n");
+        assert!(diags[0].message.contains("unmatched"));
+    }
+
+    #[test]
+    fn table_compilation_reports_bad_formulas() {
+        let mut t = TableData::new(2, 2);
+        t.set_cell(0, 0, CellInput::Raw("=1+".to_string()));
+        t.set_cell(1, 1, CellInput::Raw("=A1".to_string()));
+        let diags = compile_table(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.starts_with("A1:"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn next_error_moves_the_caret() {
+        let mut world = standard_world();
+        let src = "int f() {\n/* bad\n";
+        let data = world.insert_data(Box::new(super::super::ctext::make_ctext(src)));
+        let view = world.new_view("textview").unwrap();
+        world.with_view(view, |v, w| v.set_data_object(w, data));
+        world.set_view_bounds(view, Rect::new(0, 0, 300, 120));
+        let diags = compile_view(&world, view);
+        assert!(!diags.is_empty());
+        assert!(goto_diagnostic(&mut world, view, &diags[0]));
+        let caret = world.view_as::<TextView>(view).unwrap().caret();
+        assert_eq!(caret, diags[0].pos);
+        let _: Option<CatalogError> = None;
+    }
+}

@@ -1,0 +1,192 @@
+//! The C-language programming component (paper §1's extension packages;
+//! §9: "programmers at the ITC used emacs to edit programs. Since the
+//! release of EZ, use of emacs has dramatically decreased").
+//!
+//! A `ctext` document is an ordinary [`TextData`] whose styles carry the
+//! syntax: fixed-pitch base, bold keywords, italic comments, underlined
+//! string literals — so the standard text view edits C source with
+//! highlighting and *every* toolkit application inherits it.
+
+use atk_text::{Style, TextData};
+
+/// C keywords recognized by the styler (K&R-era set).
+pub const KEYWORDS: &[&str] = &[
+    "auto", "break", "case", "char", "continue", "default", "do", "double", "else", "enum",
+    "extern", "float", "for", "goto", "if", "int", "long", "register", "return", "short", "signed",
+    "sizeof", "static", "struct", "switch", "typedef", "union", "unsigned", "void", "while",
+];
+
+/// A syntax span, for tests and tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntaxKind {
+    /// Ordinary code.
+    Code,
+    /// A keyword.
+    Keyword,
+    /// A `/* … */` comment.
+    Comment,
+    /// A string literal.
+    Str,
+}
+
+/// Lexes C source into `(start, len, kind)` spans covering it exactly.
+pub fn lex_c(src: &str) -> Vec<(usize, usize, SyntaxKind)> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    let mut code_start = 0;
+    let flush_code = |spans: &mut Vec<(usize, usize, SyntaxKind)>, from: usize, to: usize| {
+        if to > from {
+            spans.push((from, to - from, SyntaxKind::Code));
+        }
+    };
+    while i < chars.len() {
+        // Comment.
+        if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+            flush_code(&mut spans, code_start, i);
+            let start = i;
+            i += 2;
+            while i < chars.len() && !(chars[i] == '*' && chars.get(i + 1) == Some(&'/')) {
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+            spans.push((start, i - start, SyntaxKind::Comment));
+            code_start = i;
+            continue;
+        }
+        // String literal.
+        if chars[i] == '"' {
+            flush_code(&mut spans, code_start, i);
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(chars.len());
+            spans.push((start, i - start, SyntaxKind::Str));
+            code_start = i;
+            continue;
+        }
+        // Identifier / keyword.
+        if chars[i].is_ascii_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            if KEYWORDS.contains(&word.as_str()) {
+                flush_code(&mut spans, code_start, start);
+                spans.push((start, i - start, SyntaxKind::Keyword));
+                code_start = i;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    flush_code(&mut spans, code_start, chars.len());
+    spans
+}
+
+/// Builds a styled C-source text data object.
+pub fn make_ctext(src: &str) -> TextData {
+    let mut text = TextData::from_str(src);
+    restyle_c(&mut text);
+    text
+}
+
+/// (Re)applies C syntax styling over the whole document.
+pub fn restyle_c(text: &mut TextData) {
+    let src = text.text();
+    let len = text.len();
+    text.apply_style(0, len, Style::fixed());
+    for (start, span_len, kind) in lex_c(&src) {
+        let style = match kind {
+            SyntaxKind::Code => continue,
+            SyntaxKind::Keyword => Style::fixed().bolded(),
+            SyntaxKind::Comment => Style::fixed().italicized(),
+            SyntaxKind::Str => Style {
+                underline: true,
+                ..Style::fixed()
+            },
+        };
+        text.apply_style(start, start + span_len, style);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "/* greet */\nint main(void) {\n    char *s = \"hi\";\n    return 0;\n}\n";
+
+    #[test]
+    fn lexer_covers_input_exactly() {
+        let spans = lex_c(SRC);
+        let total: usize = spans.iter().map(|(_, l, _)| l).sum();
+        assert_eq!(total, SRC.chars().count());
+        // Spans are contiguous and ordered.
+        let mut pos = 0;
+        for (start, len, _) in &spans {
+            assert_eq!(*start, pos);
+            pos += len;
+        }
+    }
+
+    #[test]
+    fn lexer_classifies_constructs() {
+        let spans = lex_c(SRC);
+        let kind_at = |p: usize| {
+            spans
+                .iter()
+                .find(|(s, l, _)| p >= *s && p < s + l)
+                .map(|(_, _, k)| *k)
+                .unwrap()
+        };
+        assert_eq!(kind_at(0), SyntaxKind::Comment); // /* greet */
+        assert_eq!(kind_at(12), SyntaxKind::Keyword); // int
+        assert_eq!(kind_at(16), SyntaxKind::Code); // main
+        assert_eq!(kind_at(SRC.find('"').unwrap()), SyntaxKind::Str);
+        assert_eq!(kind_at(SRC.find("return").unwrap()), SyntaxKind::Keyword);
+    }
+
+    #[test]
+    fn keywords_are_not_matched_inside_identifiers() {
+        let spans = lex_c("printf intx xint");
+        assert!(spans.iter().all(|(_, _, k)| *k == SyntaxKind::Code));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        lex_c("/* never closed");
+        lex_c("\"never closed");
+        lex_c("");
+    }
+
+    #[test]
+    fn styles_land_on_the_document() {
+        let text = make_ctext(SRC);
+        // Comment is italic fixed.
+        let s = text.style_value_at(2);
+        assert!(s.italic && s.family == "andytype");
+        // `int` is bold.
+        assert!(text.style_value_at(12).bold);
+        // `main` is plain fixed.
+        let s = text.style_value_at(16);
+        assert!(!s.bold && !s.italic && s.family == "andytype");
+        // The string literal is underlined.
+        assert!(text.style_value_at(SRC.find('"').unwrap() + 1).underline);
+    }
+
+    #[test]
+    fn restyle_tracks_edits() {
+        let mut text = make_ctext("int x;\n");
+        let rec = text.insert(0, "/* c */ ");
+        let _ = rec;
+        restyle_c(&mut text);
+        assert!(text.style_value_at(1).italic);
+        assert!(text.style_value_at(8).bold); // `int` shifted right.
+    }
+}

@@ -1,0 +1,28 @@
+//! Extension packages (paper §1):
+//!
+//! > "We have also developed a number of extension packages. These
+//! > include a C-language programming component, a compile package, a
+//! > tags package, a spelling checker, a style editor and a filter
+//! > mechanism."
+//!
+//! This module reproduces the three with observable behavior:
+//!
+//! * [`filters`] — the footnote-1 filter mechanism: "the ability to use
+//!   standard tools on regions of text contained in a file being edited";
+//! * [`ctext`] — the C-language programming component: syntax-aware
+//!   styling over an ordinary [`atk_text::TextData`];
+//! * [`spell`] — the spelling checker, flagging unknown words with the
+//!   underline style;
+//! * [`compile`] — the compile package: diagnostics with positions and a
+//!   next-error jump;
+//! * [`tags`] — the tags package: a cross-document definition index with
+//!   goto-tag;
+//! * [`styled`] — the style editor: a panel inspecting the caret style
+//!   and applying style commands to the selection.
+
+pub mod compile;
+pub mod ctext;
+pub mod filters;
+pub mod spell;
+pub mod styled;
+pub mod tags;

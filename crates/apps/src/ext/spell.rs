@@ -1,0 +1,144 @@
+//! The spelling checker (paper §1's extension packages).
+//!
+//! A small built-in word list stands in for `/usr/dict/words`. The
+//! checker flags unknown words; [`underline_misspellings`] marks them
+//! with the underline style on the ordinary text data object, so every
+//! view of the document shows the flags — the same leverage as the C
+//! component.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use atk_text::{Style, TextData};
+
+/// A compact everyday word list (stands in for /usr/dict/words).
+const WORDS: &str = "a about after all also an and any are as at back be because but by can \
+come could day do even first for from get give go good have he her here him his how i if in \
+into it its just know like look make many me more most my new no not now of on one only or \
+other our out over people say see she so some take than that the their them then there these \
+they thing think this time to two up us use want way we well what when which who will with \
+would year you your \
+andrew toolkit text table spreadsheet drawing equation raster animation editor mail help \
+system window view data object component campus university computer program code file document \
+menu cursor mouse keyboard event tree parent child user interface application letter expenses \
+dear david enclosed hope nice trip list work item worth good bold keep apple zebra";
+
+fn dictionary() -> &'static HashSet<&'static str> {
+    static DICT: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    DICT.get_or_init(|| WORDS.split_whitespace().collect())
+}
+
+/// True if `word` is known (case-insensitive; possessives and plain
+/// plurals are folded).
+pub fn known(word: &str) -> bool {
+    if word.is_empty() || word.chars().any(|c| c.is_ascii_digit()) {
+        return true; // Numbers and empty tokens are not spelling errors.
+    }
+    let lower = word.to_lowercase();
+    let dict = dictionary();
+    if dict.contains(lower.as_str()) {
+        return true;
+    }
+    for suffix in ["s", "es", "ed", "ing", "'s"] {
+        if let Some(stem) = lower.strip_suffix(suffix) {
+            if dict.contains(stem) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Finds misspellings: `(start, end, word)` for every unknown word.
+pub fn check(text: &str) -> Vec<(usize, usize, String)> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphabetic() || chars[i] == '\'' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphabetic() || chars[i] == '\'') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let trimmed = word.trim_matches('\'');
+            if !trimmed.is_empty() && !known(trimmed) {
+                out.push((start, i, word));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Underlines every misspelled word in the document. Returns how many
+/// were flagged.
+pub fn underline_misspellings(text: &mut TextData) -> usize {
+    let src = text.text();
+    let misspellings = check(&src);
+    for (start, end, _) in &misspellings {
+        let base = text.style_value_at(*start).clone();
+        text.apply_style(
+            *start,
+            *end,
+            Style {
+                underline: true,
+                ..base
+            },
+        );
+    }
+    misspellings.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_known() {
+        for w in ["the", "The", "toolkit", "windows", "used", "thinking"] {
+            assert!(known(w), "{w} should be known");
+        }
+    }
+
+    #[test]
+    fn garbage_is_flagged() {
+        assert!(!known("zqxv"));
+        assert!(!known("tolkit"));
+    }
+
+    #[test]
+    fn check_reports_positions() {
+        let errs = check("the tolkit is good");
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].0, 4);
+        assert_eq!(errs[0].1, 10);
+        assert_eq!(errs[0].2, "tolkit");
+    }
+
+    #[test]
+    fn numbers_and_punctuation_pass() {
+        assert!(check("42 items, worth $99!").len() <= 1); // "items"/"worth" known.
+        assert!(check("1988").is_empty());
+    }
+
+    #[test]
+    fn underline_marks_only_the_bad_words() {
+        let mut text = TextData::from_str("the tolkit works");
+        let n = underline_misspellings(&mut text);
+        assert_eq!(n, 1);
+        assert!(!text.style_value_at(0).underline); // "the"
+        assert!(text.style_value_at(5).underline); // "tolkit"
+        assert!(!text.style_value_at(12).underline); // "works"
+    }
+
+    #[test]
+    fn preserves_existing_styling() {
+        let mut text = TextData::from_str("bold tolkit");
+        text.apply_style(0, 11, Style::body().bolded());
+        underline_misspellings(&mut text);
+        let s = text.style_value_at(6);
+        assert!(s.underline && s.bold, "underline composes with bold");
+    }
+}

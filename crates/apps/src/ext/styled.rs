@@ -1,0 +1,215 @@
+//! The style editor (paper §1's extension packages).
+//!
+//! A side-panel view that inspects the style under a text view's caret
+//! and applies style commands to its selection — the same commands the
+//! menus bind (`set-bold`, `set-italic`, …), so the panel is pure UI over
+//! the existing protocol. It is also another demonstration of a view
+//! with *no data object of its own* (like the scrollbar): it only
+//! inspects and drives another view.
+
+use std::any::Any;
+
+use atk_graphics::{Color, FontDesc, Point, Rect, Size};
+use atk_wm::{Button, Graphic, MouseAction};
+
+use atk_core::{Update, View, ViewBase, ViewId, World};
+use atk_text::{TextData, TextView};
+
+/// One row of the panel: label and the command it applies.
+const ROWS: &[(&str, &str)] = &[
+    ("Bold", "set-bold"),
+    ("Italic", "set-italic"),
+    ("Plain", "set-plain"),
+    ("Bigger", "set-bigger"),
+    ("Typewriter", "set-fixed"),
+];
+
+/// Row height in pixels.
+const ROW_H: i32 = 16;
+
+/// The style editor panel.
+pub struct StyleEditorView {
+    base: ViewBase,
+    target: Option<ViewId>,
+    /// Commands applied (instrumentation).
+    pub applied: u64,
+}
+
+impl StyleEditorView {
+    /// A panel driving `target` (a text view).
+    pub fn new(target: ViewId) -> StyleEditorView {
+        StyleEditorView {
+            base: ViewBase::new(),
+            target: Some(target),
+            applied: 0,
+        }
+    }
+
+    /// Describes the style at the target's caret, e.g. `"andy 12 bold"`.
+    pub fn describe_current(&self, world: &World) -> String {
+        let Some(tv) = self.target.and_then(|t| world.view_as::<TextView>(t)) else {
+            return "(no target)".to_string();
+        };
+        let Some(text) = tv.data_object().and_then(|d| world.data::<TextData>(d)) else {
+            return "(no document)".to_string();
+        };
+        let s = text.style_value_at(tv.caret().min(text.len().saturating_sub(1)));
+        let mut out = format!("{} {}", s.family, s.size);
+        if s.bold {
+            out.push_str(" bold");
+        }
+        if s.italic {
+            out.push_str(" italic");
+        }
+        if s.underline {
+            out.push_str(" underline");
+        }
+        out
+    }
+
+    fn row_at(&self, pt: Point) -> Option<usize> {
+        let idx = (pt.y - ROW_H) / ROW_H; // First row is the status line.
+        if pt.y >= ROW_H && idx >= 0 && (idx as usize) < ROWS.len() {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+}
+
+impl View for StyleEditorView {
+    fn class_name(&self) -> &'static str {
+        "styleeditor"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+
+    fn desired_size(&mut self, _world: &mut World, _budget: i32) -> Size {
+        Size::new(110, ROW_H * (ROWS.len() as i32 + 1) + 4)
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, _update: Update) {
+        let size = world.view_bounds(self.base.id).size();
+        g.set_font(FontDesc::new("andy", Default::default(), 10));
+        // Status line: the style under the caret.
+        g.set_foreground(Color::LIGHT_GRAY);
+        g.fill_rect(Rect::new(0, 0, size.width, ROW_H));
+        g.set_foreground(Color::BLACK);
+        g.draw_string(Point::new(3, 3), &self.describe_current(world));
+        // Command rows.
+        for (i, (label, _)) in ROWS.iter().enumerate() {
+            let r = Rect::new(0, ROW_H * (i as i32 + 1), size.width, ROW_H);
+            g.draw_bezel(r.inset(1), true);
+            g.draw_string_centered(r, label);
+        }
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        if let MouseAction::Down(Button::Left) = action {
+            if let (Some(row), Some(target)) = (self.row_at(pt), self.target) {
+                self.applied += 1;
+                world.post_command(target, ROWS[row].1);
+                world.post_damage_full(self.base.id);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+
+    fn setup() -> (World, ViewId, ViewId, atk_core::DataId) {
+        let mut world = standard_world();
+        let data = world.insert_data(Box::new(TextData::from_str("style me now")));
+        let tv = world.new_view("textview").unwrap();
+        world.with_view(tv, |v, w| v.set_data_object(w, data));
+        world.set_view_bounds(tv, Rect::new(0, 0, 300, 100));
+        let panel = world.insert_view(Box::new(StyleEditorView::new(tv)));
+        world.set_view_bounds(panel, Rect::new(0, 0, 110, 110));
+        (world, panel, tv, data)
+    }
+
+    #[test]
+    fn describes_the_caret_style() {
+        let (mut world, panel, tv, data) = setup();
+        let desc = world
+            .view_as::<StyleEditorView>(panel)
+            .unwrap()
+            .describe_current(&world);
+        assert_eq!(desc, "andy 12");
+        // Make the word at the caret bold and look again.
+        world.with_view(tv, |v, w| {
+            let t = v.as_any_mut().downcast_mut::<TextView>().unwrap();
+            t.select(w, 0, 5);
+            t.perform(w, "set-bold");
+            t.set_caret(w, 2);
+        });
+        let _ = data;
+        let desc = world
+            .view_as::<StyleEditorView>(panel)
+            .unwrap()
+            .describe_current(&world);
+        assert_eq!(desc, "andy 12 bold");
+    }
+
+    #[test]
+    fn clicking_a_row_styles_the_target_selection() {
+        let (mut world, panel, tv, data) = setup();
+        world.with_view(tv, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<TextView>()
+                .unwrap()
+                .select(w, 6, 8);
+        });
+        // Row 1 = Italic (row 0 of ROWS is at y = ROW_H..2*ROW_H).
+        world.with_view(panel, |v, w| {
+            v.mouse(
+                w,
+                MouseAction::Down(Button::Left),
+                Point::new(10, ROW_H * 2 + 2),
+            );
+        });
+        world.flush_commands();
+        assert!(
+            world
+                .data::<TextData>(data)
+                .unwrap()
+                .style_value_at(6)
+                .italic
+        );
+        assert!(
+            !world
+                .data::<TextData>(data)
+                .unwrap()
+                .style_value_at(0)
+                .italic
+        );
+        assert_eq!(world.view_as::<StyleEditorView>(panel).unwrap().applied, 1);
+    }
+
+    #[test]
+    fn status_row_clicks_do_nothing() {
+        let (mut world, panel, _tv, data) = setup();
+        world.with_view(panel, |v, w| {
+            v.mouse(w, MouseAction::Down(Button::Left), Point::new(10, 3));
+        });
+        world.flush_commands();
+        let t = world.data::<TextData>(data).unwrap();
+        assert!(!t.style_value_at(0).bold && !t.style_value_at(0).italic);
+    }
+}

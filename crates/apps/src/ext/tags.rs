@@ -1,0 +1,212 @@
+//! The tags package (paper §1's extension packages).
+//!
+//! Builds a definition index over C source documents — the ctags
+//! workflow: collect `name → (document, position)` for every function
+//! definition, then jump a text view there by name.
+
+use std::collections::BTreeMap;
+
+use atk_core::{DataId, View, ViewId, World};
+use atk_text::{TextData, TextView};
+
+use super::ctext::{lex_c, SyntaxKind};
+
+/// One tag: a function definition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tag {
+    /// Function name.
+    pub name: String,
+    /// The document it is defined in.
+    pub doc: DataId,
+    /// Character position of the name.
+    pub pos: usize,
+}
+
+/// Finds function definitions in C source: an identifier followed by
+/// `(`…`)` and then `{`, at top level (not inside comments/strings).
+pub fn find_definitions(src: &str) -> Vec<(String, usize)> {
+    let chars: Vec<char> = src.chars().collect();
+    // Mask out non-code.
+    let mut code = vec![true; chars.len()];
+    for (start, len, kind) in lex_c(src) {
+        if kind == SyntaxKind::Comment || kind == SyntaxKind::Str {
+            for slot in code.iter_mut().skip(start).take(len) {
+                *slot = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < chars.len() {
+        if !code[i] {
+            i += 1;
+            continue;
+        }
+        match chars[i] {
+            '{' => {
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth -= 1;
+                i += 1;
+            }
+            c if depth == 0 && (c.is_ascii_alphabetic() || c == '_') => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let name: String = chars[start..i].iter().collect();
+                // Skip whitespace, expect '(' … ')' then '{'.
+                let mut j = i;
+                while j < chars.len() && chars[j].is_whitespace() {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'(') {
+                    let mut paren = 0i32;
+                    while j < chars.len() {
+                        match chars[j] {
+                            '(' => paren += 1,
+                            ')' => {
+                                paren -= 1;
+                                if paren == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'{')
+                        && !super::ctext::KEYWORDS.contains(&name.as_str())
+                    {
+                        out.push((name, start));
+                    }
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The tags table over a set of documents.
+#[derive(Debug, Default)]
+pub struct TagsTable {
+    tags: BTreeMap<String, Tag>,
+}
+
+impl TagsTable {
+    /// An empty table.
+    pub fn new() -> TagsTable {
+        TagsTable::default()
+    }
+
+    /// Indexes a document's definitions (later documents win on name
+    /// collisions, like re-running ctags).
+    pub fn index_document(&mut self, world: &World, doc: DataId) -> usize {
+        let Some(text) = world.data::<TextData>(doc) else {
+            return 0;
+        };
+        let defs = find_definitions(&text.text());
+        let n = defs.len();
+        for (name, pos) in defs {
+            self.tags.insert(name.clone(), Tag { name, doc, pos });
+        }
+        n
+    }
+
+    /// Looks up a tag.
+    pub fn find(&self, name: &str) -> Option<&Tag> {
+        self.tags.get(name)
+    }
+
+    /// All tag names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.tags.keys().map(String::as_str).collect()
+    }
+
+    /// Jumps a text view to a tag: rebinds it to the tag's document if
+    /// needed and moves the caret. Returns false for unknown tags.
+    pub fn goto(&self, world: &mut World, view: ViewId, name: &str) -> bool {
+        let Some(tag) = self.find(name) else {
+            return false;
+        };
+        let (doc, pos) = (tag.doc, tag.pos);
+        world
+            .with_view(view, |v, w| {
+                let Some(tv) = v.as_any_mut().downcast_mut::<TextView>() else {
+                    return false;
+                };
+                if tv.data_object() != Some(doc) {
+                    tv.set_data_object(w, doc);
+                }
+                tv.set_caret(w, pos);
+                true
+            })
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+    use atk_graphics::Rect;
+
+    const FILE_A: &str =
+        "/* util */\nint add(int a, int b) {\n    return a + b;\n}\nstatic void helper(void) { }\n";
+    const FILE_B: &str = "int main(void) {\n    if (x) { call(); }\n    return add(1, 2);\n}\n";
+
+    #[test]
+    fn finds_top_level_definitions_only() {
+        let defs = find_definitions(FILE_B);
+        // `main` is a definition; `call` and `add` are calls (inside a
+        // body, or not followed by `{`).
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].0, "main");
+    }
+
+    #[test]
+    fn finds_multiple_definitions_with_positions() {
+        let defs = find_definitions(FILE_A);
+        let names: Vec<&str> = defs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["add", "helper"]);
+        assert_eq!(defs[0].1, FILE_A.find("add").unwrap());
+    }
+
+    #[test]
+    fn keywords_and_comments_are_not_tags() {
+        assert!(find_definitions("/* int fake(void) { } */").is_empty());
+        assert!(find_definitions("if (x) { }").is_empty());
+        assert!(find_definitions("char *s = \"int f() {\";").is_empty());
+    }
+
+    #[test]
+    fn table_indexes_and_jumps_across_documents() {
+        let mut world = standard_world();
+        let a = world.insert_data(Box::new(TextData::from_str(FILE_A)));
+        let b = world.insert_data(Box::new(TextData::from_str(FILE_B)));
+        let mut tags = TagsTable::new();
+        assert_eq!(tags.index_document(&world, a), 2);
+        assert_eq!(tags.index_document(&world, b), 1);
+        assert_eq!(tags.names(), vec!["add", "helper", "main"]);
+
+        // A view currently showing file B jumps to `add` in file A.
+        let view = world.new_view("textview").unwrap();
+        world.with_view(view, |v, w| v.set_data_object(w, b));
+        world.set_view_bounds(view, Rect::new(0, 0, 300, 120));
+        assert!(tags.goto(&mut world, view, "add"));
+        let tv = world.view_as::<TextView>(view).unwrap();
+        assert_eq!(tv.data_object(), Some(a));
+        assert_eq!(tv.caret(), FILE_A.find("add").unwrap());
+        assert!(!tags.goto(&mut world, view, "nonexistent"));
+    }
+}

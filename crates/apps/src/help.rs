@@ -1,0 +1,346 @@
+//! The help system (paper figure 2).
+//!
+//! A topics index on the right, the selected help document on the left —
+//! and because the body is a text view, help documents are multi-media
+//! for free, exactly like mail bodies.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use atk_core::{
+    read_document, AppOutcome, Application, ChangeRec, DataId, InteractionManager, MenuItem,
+    Update, View, ViewBase, ViewId, World,
+};
+use atk_graphics::{Point, Rect, Size};
+use atk_text::TextData;
+use atk_wm::{Graphic, MouseAction, WindowSystem};
+
+use atk_components::{ListView, ScrollView};
+
+use crate::AppArgs;
+
+/// The built-in help corpus: topic name → body text. Mirrors figure 2's
+/// index (EZ, Andrew tour, bulletin boards, printing, programming, …).
+pub fn builtin_topics() -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "ez".to_string(),
+        "EZ: A Document Editor\n\nEZ is an editing program that you can use to create, edit,\nand format many different types of documents.\n\n1. Related information about EZ\n2. Starting EZ\n3. Selecting text and using menus\n4. Previewing and printing your documents\n5. Quitting\n6. Advice\n".to_string(),
+    );
+    m.insert(
+        "andrew-tour".to_string(),
+        "Andrew Tour\n\nA guided tour of the Andrew system: logging in, the window\nmanager, the editor, and the message system.\n".to_string(),
+    );
+    m.insert(
+        "bulletin-boards".to_string(),
+        "Bulletin Boards\n\nCampus bulletin boards are read with the messages program.\nSubscribe to folders from the folders pane.\n".to_string(),
+    );
+    m.insert(
+        "printing".to_string(),
+        "Printing Documents\n\nChoose Print from the File menu. Views repaint themselves onto\na printer drawable; see also the preview program.\n".to_string(),
+    );
+    m.insert(
+        "programming".to_string(),
+        "Programming\n\nThe class system provides objects and dynamic loading. New\ncomponents can be added without rebuilding applications.\n".to_string(),
+    );
+    m.insert(
+        "typescript".to_string(),
+        "Typescript\n\nTypescript provides an enhanced interface to the shell: the\ntranscript is an ordinary text component.\n".to_string(),
+    );
+    m.insert(
+        "console".to_string(),
+        "Console\n\nThe console displays status information such as the time, date,\nCPU load, and file system usage.\n".to_string(),
+    );
+    m
+}
+
+/// Coordinator view: body text left, topics index right (figure 2).
+pub struct HelpView {
+    base: ViewBase,
+    topics: Vec<(String, String)>,
+    index_list: Option<ViewId>,
+    body_scroll: Option<ViewId>,
+    body_text: Option<ViewId>,
+    /// Currently shown topic.
+    pub current: Option<String>,
+}
+
+impl HelpView {
+    /// An unwired help view.
+    pub fn new() -> HelpView {
+        HelpView {
+            base: ViewBase::new(),
+            topics: Vec::new(),
+            index_list: None,
+            body_scroll: None,
+            body_text: None,
+            current: None,
+        }
+    }
+
+    /// Wires up the panes with the given topic corpus.
+    pub fn build(
+        world: &mut World,
+        me: ViewId,
+        topics: BTreeMap<String, String>,
+    ) -> Result<(), String> {
+        let names: Vec<String> = topics.keys().cloned().collect();
+        let index = {
+            let mut lv = ListView::new("topic");
+            lv.set_target(me);
+            let id = world.insert_view(Box::new(lv));
+            world.set_view_parent(id, Some(me));
+            world.with_view(id, |v, w| {
+                v.as_any_mut()
+                    .downcast_mut::<ListView>()
+                    .expect("list class")
+                    .set_items(w, names);
+            });
+            id
+        };
+        let body_doc = world.insert_data(Box::new(TextData::from_str(
+            "Welcome to help.\n\nChoose a topic from the index on the right.",
+        )));
+        let body_text = world.new_view("textview").map_err(|e| e.to_string())?;
+        world.with_view(body_text, |v, w| v.set_data_object(w, body_doc));
+        let body_scroll = world.new_view("scroll").map_err(|e| e.to_string())?;
+        world.with_view(body_scroll, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<ScrollView>()
+                .expect("scroll class")
+                .set_body(w, body_text);
+        });
+        world.set_view_parent(body_scroll, Some(me));
+
+        let hv = world
+            .view_as_mut::<HelpView>(me)
+            .ok_or("HelpView::build on wrong view")?;
+        hv.topics = topics.into_iter().collect();
+        hv.index_list = Some(index);
+        hv.body_scroll = Some(body_scroll);
+        hv.body_text = Some(body_text);
+        Ok(())
+    }
+
+    fn show_topic(&mut self, world: &mut World, index: usize) {
+        let Some((name, text)) = self.topics.get(index).cloned() else {
+            return;
+        };
+        self.current = Some(name);
+        let doc = if text.starts_with("\\begindata") {
+            match read_document(world, &text) {
+                Ok(d) => d,
+                Err(_) => world.insert_data(Box::new(TextData::from_str(&text))),
+            }
+        } else {
+            world.insert_data(Box::new(TextData::from_str(&text)))
+        };
+        if let Some(tv) = self.body_text {
+            world.with_view(tv, |v, w| v.set_data_object(w, doc));
+        }
+        world.post_damage_full(self.base.id);
+    }
+}
+
+impl Default for HelpView {
+    fn default() -> Self {
+        HelpView::new()
+    }
+}
+
+impl View for HelpView {
+    fn class_name(&self) -> &'static str {
+        "helpv"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+    fn children(&self) -> Vec<ViewId> {
+        [self.body_scroll, self.index_list]
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    fn desired_size(&mut self, _world: &mut World, budget: i32) -> Size {
+        Size::new(budget, 360)
+    }
+
+    fn layout(&mut self, world: &mut World) {
+        let size = world.view_bounds(self.base.id).size();
+        let index_w = (size.width / 4).clamp(100, 200);
+        if let Some(b) = self.body_scroll {
+            world.set_view_bounds(b, Rect::new(0, 0, size.width - index_w - 1, size.height));
+        }
+        if let Some(i) = self.index_list {
+            world.set_view_bounds(i, Rect::new(size.width - index_w, 0, index_w, size.height));
+        }
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, update: Update) {
+        let size = world.view_bounds(self.base.id).size();
+        let index_w = (size.width / 4).clamp(100, 200);
+        g.set_foreground(atk_graphics::Color::BLACK);
+        g.draw_line(
+            Point::new(size.width - index_w - 1, 0),
+            Point::new(size.width - index_w - 1, size.height - 1),
+        );
+        for child in self.children() {
+            world.draw_child(child, g, update);
+        }
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        for child in self.children() {
+            if world.mouse_to_child(child, action, pt) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        if let Some(rest) = command.strip_prefix("topic:") {
+            if let Ok(i) = rest.parse::<usize>() {
+                self.show_topic(world, i);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        vec![MenuItem::new("Help", "Overview", "help-overview")]
+    }
+
+    fn observed_changed(&mut self, world: &mut World, _s: DataId, _c: &ChangeRec) {
+        world.post_damage_full(self.base.id);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The help application.
+pub struct HelpApp;
+
+impl HelpApp {
+    /// A fresh help app.
+    pub fn new() -> HelpApp {
+        HelpApp
+    }
+}
+
+impl Default for HelpApp {
+    fn default() -> Self {
+        HelpApp::new()
+    }
+}
+
+impl Application for HelpApp {
+    fn name(&self) -> &'static str {
+        "help"
+    }
+
+    fn run(
+        &mut self,
+        world: &mut World,
+        ws: &mut dyn WindowSystem,
+        args: &[String],
+    ) -> Result<AppOutcome, String> {
+        let args = AppArgs::parse(args);
+        crate::register_components(&mut world.catalog);
+
+        let help = world.insert_view(Box::new(HelpView::new()));
+        HelpView::build(world, help, builtin_topics())?;
+        // Open the requested topic directly (like `help ez`).
+        if let Some(topic) = &args.doc {
+            let idx = world
+                .view_as::<HelpView>(help)
+                .and_then(|h| h.topics.iter().position(|(n, _)| n == topic));
+            if let Some(i) = idx {
+                world.with_view(help, |v, w| {
+                    v.perform(w, &format!("topic:{i}"));
+                });
+            }
+        }
+        let frame = world.new_view("frame").map_err(|e| e.to_string())?;
+        world.with_view(frame, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<atk_components::FrameView>()
+                .expect("frame class")
+                .set_body(w, help);
+        });
+
+        let window = ws.open_window("help", Size::new(680, 440));
+        let mut im = InteractionManager::new(world, window, frame);
+        world.request_focus(help);
+        im.pump(world);
+
+        if let Some(script) = args.load_script()? {
+            script.run(&mut im, world);
+        }
+
+        let mut report = Vec::new();
+        if let Some(path) = &args.snapshot {
+            let saved = crate::save_snapshot(&im, path)?;
+            report.push(format!("snapshot {path}: {saved}"));
+        }
+        let hv = world.view_as::<HelpView>(help).expect("help view");
+        report.push(format!("topics: {}", hv.topics.len()));
+        report.push(format!("current: {:?}", hv.current));
+        Ok(AppOutcome {
+            report,
+            events_handled: im.stats().events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+
+    #[test]
+    fn builtin_topics_cover_the_figure() {
+        let topics = builtin_topics();
+        for t in ["ez", "andrew-tour", "bulletin-boards", "printing"] {
+            assert!(topics.contains_key(t), "missing topic {t}");
+        }
+    }
+
+    #[test]
+    fn app_opens_named_topic() {
+        let mut world = standard_world();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let out = HelpApp::new()
+            .run(&mut world, &mut ws, &["ez".to_string()])
+            .unwrap();
+        let joined = out.report.join("\n");
+        assert!(joined.contains("current: Some(\"ez\")"), "{joined}");
+    }
+
+    #[test]
+    fn clicking_index_changes_topic() {
+        let mut world = standard_world();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        // The index pane is on the right quarter; click its first row.
+        let script = "mouse down 600 20\nmouse up 600 20\n";
+        let out = HelpApp::new()
+            .run(
+                &mut world,
+                &mut ws,
+                &["--script-text".to_string(), script.to_string()],
+            )
+            .unwrap();
+        let joined = out.report.join("\n");
+        assert!(joined.contains("current: Some("), "{joined}");
+    }
+}

@@ -1,0 +1,221 @@
+//! # atk-apps — the Andrew Toolkit applications
+//!
+//! "Using these components we have built a multi-media editor, mail
+//! system, and help system" (abstract); §1 adds "a typescript facility
+//! that provides an enhanced interface to the C-shell, a ditroff
+//! previewer, and a system monitor (console)". This crate builds all of
+//! them on the toolkit, plus `runapp` — the single base image that loads
+//! each application dynamically (§7).
+//!
+//! | Module | Application |
+//! |---|---|
+//! | [`ez`] | the multi-media document editor |
+//! | [`messages`] | the mail/bboard reader and composer (with an on-disk message store substrate) |
+//! | [`help`] | the help system |
+//! | [`typescript`] | the shell interface (built-in command interpreter substrate) |
+//! | [`console`] | the system monitor (synthetic + `/proc` stat sources) |
+//! | [`preview`] | the ditroff previewer (subset generator + parser substrate) |
+//! | [`scenes`] | reconstructions of the paper's figures 1–5 |
+//! | [`corpus`] | synthetic documents/workloads for benchmarks |
+//!
+//! Every application is headless-driveable: it opens a window on whatever
+//! [`atk_wm::WindowSystem`] it is handed, runs an optional event script,
+//! and can save a PPM snapshot — which is how the paper's screen-shot
+//! figures are regenerated deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod console;
+pub mod corpus;
+pub mod ext;
+pub mod ez;
+pub mod help;
+pub mod messages;
+pub mod preview;
+pub mod scenes;
+pub mod typescript;
+
+pub use console::{ConsoleApp, ProcStatSource, StatSource, Stats, SyntheticStatSource};
+pub use ez::EzApp;
+pub use help::HelpApp;
+pub use messages::{MessageStore, MessagesApp};
+pub use preview::PreviewApp;
+pub use typescript::TypescriptApp;
+
+use atk_class::ModuleSpec;
+use atk_core::{AppRegistry, Catalog, World};
+
+/// Registers every toolkit component in `catalog` (idempotent).
+pub fn register_components(catalog: &mut Catalog) {
+    atk_components::register(catalog);
+    atk_text::register(catalog);
+    atk_table::register(catalog);
+    atk_media::register(catalog);
+}
+
+/// Adds the application modules to the loader inventory (what `runapp`
+/// loads on demand, §7). Sizes follow the same scale as the component
+/// modules.
+pub fn register_app_modules(catalog: &mut Catalog) {
+    let apps: &[(&str, u64, &[&str])] = &[
+        (
+            "ez",
+            48_000,
+            &["text", "table", "drawing", "eq", "raster", "animation"],
+        ),
+        ("messages", 56_000, &["text", "components"]),
+        ("help", 26_000, &["text", "components"]),
+        ("typescript", 20_000, &["text", "components"]),
+        ("console", 14_000, &["components"]),
+        ("preview", 24_000, &["drawing", "components"]),
+    ];
+    for (name, size, deps) in apps {
+        let _ = catalog.add_module(ModuleSpec::new(name, *size, &[], deps));
+    }
+}
+
+/// A world with everything registered: components, app modules.
+pub fn standard_world() -> World {
+    let mut world = World::new();
+    register_components(&mut world.catalog);
+    register_app_modules(&mut world.catalog);
+    world
+}
+
+/// The `runapp` registry with all six applications installed.
+pub fn standard_apps() -> AppRegistry {
+    let mut reg = AppRegistry::new();
+    reg.register("ez", || Box::new(EzApp::new()));
+    reg.register("messages", || Box::new(MessagesApp::new()));
+    reg.register("help", || Box::new(HelpApp::new()));
+    reg.register("typescript", || Box::new(TypescriptApp::new()));
+    reg.register("console", || Box::new(ConsoleApp::new()));
+    reg.register("preview", || Box::new(PreviewApp::new()));
+    reg
+}
+
+/// Parses the common application argument conventions:
+/// `[document] [--script FILE|--script-text TEXT] [--snapshot FILE]`.
+#[derive(Debug, Default, Clone)]
+pub struct AppArgs {
+    /// Positional document / folder argument.
+    pub doc: Option<String>,
+    /// Event script path.
+    pub script: Option<String>,
+    /// Inline event script text.
+    pub script_text: Option<String>,
+    /// Where to save a PPM snapshot at exit.
+    pub snapshot: Option<String>,
+    /// Where to save the document at exit.
+    pub save: Option<String>,
+}
+
+impl AppArgs {
+    /// Parses an argument vector.
+    pub fn parse(args: &[String]) -> AppArgs {
+        let mut out = AppArgs::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--script" => out.script = it.next().cloned(),
+                "--script-text" => out.script_text = it.next().cloned(),
+                "--snapshot" => out.snapshot = it.next().cloned(),
+                "--save" => out.save = it.next().cloned(),
+                other if !other.starts_with("--") => out.doc = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Loads the script from either source.
+    pub fn load_script(&self) -> Result<Option<atk_core::EventScript>, String> {
+        let text = match (&self.script_text, &self.script) {
+            (Some(t), _) => Some(t.clone()),
+            (None, Some(path)) => Some(std::fs::read_to_string(path).map_err(|e| e.to_string())?),
+            (None, None) => None,
+        };
+        match text {
+            Some(t) => atk_core::EventScript::parse(&t)
+                .map(Some)
+                .map_err(|(line, msg)| format!("script line {line}: {msg}")),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Saves a window snapshot as PPM if the backend supports pixels.
+pub fn save_snapshot(im: &atk_core::InteractionManager, path: &str) -> Result<bool, String> {
+    match im.snapshot() {
+        Some(fb) => {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            atk_graphics::ppm::write_ppm(&fb, std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_args_parsing() {
+        let args: Vec<String> = [
+            "paper.d",
+            "--script",
+            "s.txt",
+            "--snapshot",
+            "out.ppm",
+            "--save",
+            "saved.d",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = AppArgs::parse(&args);
+        assert_eq!(a.doc.as_deref(), Some("paper.d"));
+        assert_eq!(a.script.as_deref(), Some("s.txt"));
+        assert_eq!(a.snapshot.as_deref(), Some("out.ppm"));
+        assert_eq!(a.save.as_deref(), Some("saved.d"));
+    }
+
+    #[test]
+    fn standard_world_has_all_components() {
+        let world = standard_world();
+        for class in [
+            "text",
+            "table",
+            "chart",
+            "drawing",
+            "eq",
+            "raster",
+            "animation",
+        ] {
+            assert!(
+                world.catalog.has_data_class(class),
+                "missing data class {class}"
+            );
+        }
+        for class in ["textview", "tablev", "frame", "scroll", "list"] {
+            assert!(
+                world.catalog.has_view_class(class),
+                "missing view class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_apps_lists_all_six() {
+        let reg = standard_apps();
+        assert_eq!(
+            reg.names(),
+            vec!["console", "ez", "help", "messages", "preview", "typescript"]
+        );
+    }
+}

@@ -1,0 +1,566 @@
+//! The ditroff previewer.
+//!
+//! Paper §1 lists "a ditroff previewer" among the basic applications.
+//! troff itself is unavailable, so this module carries both halves of the
+//! substitution documented in DESIGN.md §2:
+//!
+//! * [`generate_ditroff`] — a tiny formatter that turns a simple markup
+//!   (plain paragraphs, `.B`/`.I` lines, `.sp`, `.ce`) into
+//!   device-independent troff output (`x`/`p`/`V`/`H`/`s`/`f`/`t`/`w`/`n`/`D`
+//!   commands), so real parse input exists;
+//! * [`parse_ditroff`] — a parser for that ditroff subset producing
+//!   [`Page`]s of positioned text and draw commands;
+//! * [`PreviewView`] — renders a page through the graphics layer.
+
+use std::any::Any;
+
+use atk_core::{
+    AppOutcome, Application, InteractionManager, MenuItem, Update, View, ViewBase, ViewId, World,
+};
+use atk_graphics::{Color, FontDesc, FontStyle, Point, Rect, Size};
+use atk_wm::{Graphic, WindowSystem};
+
+use crate::AppArgs;
+
+/// Device resolution of our simulated typesetter (units per inch). Kept
+/// small so device units ≈ pixels.
+pub const RES: i32 = 80;
+
+/// One positioned item on a page.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PageItem {
+    /// Text placed with its baseline at the given device position.
+    Text {
+        /// Device position (baseline).
+        at: Point,
+        /// The characters.
+        text: String,
+        /// Point size.
+        size: u32,
+        /// Font number (1=roman, 2=italic, 3=bold).
+        font: u8,
+    },
+    /// A drawn line (the `D l` command).
+    Line {
+        /// Start.
+        a: Point,
+        /// End.
+        b: Point,
+    },
+}
+
+/// One output page.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Page {
+    /// Items in paint order.
+    pub items: Vec<PageItem>,
+}
+
+/// Errors from the ditroff parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DitroffError(pub String);
+
+impl std::fmt::Display for DitroffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ditroff: {}", self.0)
+    }
+}
+
+impl std::error::Error for DitroffError {}
+
+/// Parses device-independent troff output (the subset our generator
+/// emits plus the common motion commands).
+pub fn parse_ditroff(src: &str) -> Result<Vec<Page>, DitroffError> {
+    let mut pages: Vec<Page> = Vec::new();
+    let mut h = 0i32;
+    let mut v = 0i32;
+    let mut size = 10u32;
+    let mut font = 1u8;
+    let err = |m: &str| DitroffError(m.to_string());
+
+    for raw_line in src.lines() {
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            let rest = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> String {
+                chars.collect()
+            };
+            let num = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> Option<i32> {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || (s.is_empty() && d == '-') {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                s.parse().ok()
+            };
+            match c {
+                'x' => {
+                    // Device-control line: consume entirely.
+                    let _ = rest(&mut chars);
+                    break;
+                }
+                '#' => {
+                    let _ = rest(&mut chars);
+                    break;
+                }
+                'p' => {
+                    let _ = num(&mut chars);
+                    pages.push(Page::default());
+                    h = 0;
+                    v = 0;
+                }
+                'V' => {
+                    v = num(&mut chars).ok_or_else(|| err("V needs a number"))?;
+                }
+                'v' => {
+                    v += num(&mut chars).ok_or_else(|| err("v needs a number"))?;
+                }
+                'H' => {
+                    h = num(&mut chars).ok_or_else(|| err("H needs a number"))?;
+                }
+                'h' => {
+                    h += num(&mut chars).ok_or_else(|| err("h needs a number"))?;
+                }
+                's' => {
+                    size = num(&mut chars)
+                        .ok_or_else(|| err("s needs a number"))?
+                        .max(4) as u32;
+                }
+                'f' => {
+                    font = num(&mut chars)
+                        .ok_or_else(|| err("f needs a number"))?
+                        .max(1) as u8;
+                }
+                'c' => {
+                    // Single character at the current position.
+                    let ch = chars.next().ok_or_else(|| err("c needs a char"))?;
+                    let page = pages.last_mut().ok_or_else(|| err("c before p"))?;
+                    page.items.push(PageItem::Text {
+                        at: Point::new(h, v),
+                        text: ch.to_string(),
+                        size,
+                        font,
+                    });
+                    h += char_width(ch, size);
+                }
+                't' => {
+                    // A word at the current position.
+                    let text: String = rest(&mut chars);
+                    let page = pages.last_mut().ok_or_else(|| err("t before p"))?;
+                    let w: i32 = text.chars().map(|c| char_width(c, size)).sum();
+                    page.items.push(PageItem::Text {
+                        at: Point::new(h, v),
+                        text,
+                        size,
+                        font,
+                    });
+                    h += w;
+                    break;
+                }
+                'w' => {
+                    // Word space: advance by a space width.
+                    h += char_width(' ', size);
+                }
+                'n' => {
+                    // End of line: consume the two numbers.
+                    let _ = num(&mut chars);
+                    while chars.peek() == Some(&' ') {
+                        chars.next();
+                    }
+                    let _ = num(&mut chars);
+                }
+                'D' => {
+                    // Draw command; we support `D l dx dy`.
+                    while chars.peek() == Some(&' ') {
+                        chars.next();
+                    }
+                    match chars.next() {
+                        Some('l') => {
+                            while chars.peek() == Some(&' ') {
+                                chars.next();
+                            }
+                            let dx = num(&mut chars).ok_or_else(|| err("D l dx"))?;
+                            while chars.peek() == Some(&' ') {
+                                chars.next();
+                            }
+                            let dy = num(&mut chars).ok_or_else(|| err("D l dy"))?;
+                            let page = pages.last_mut().ok_or_else(|| err("D before p"))?;
+                            page.items.push(PageItem::Line {
+                                a: Point::new(h, v),
+                                b: Point::new(h + dx, v + dy),
+                            });
+                            h += dx;
+                            v += dy;
+                        }
+                        other => return Err(err(&format!("unsupported draw {other:?}"))),
+                    }
+                }
+                ' ' => {}
+                other => return Err(err(&format!("unknown command {other:?}"))),
+            }
+        }
+    }
+    Ok(pages)
+}
+
+/// Width of a character in device units at a point size (our typesetter
+/// is the built-in font at `RES` units/inch).
+fn char_width(ch: char, size: u32) -> i32 {
+    FontDesc::new("andy", FontStyle::PLAIN, size).char_width(ch)
+}
+
+/// Generates ditroff output from simple markup: plain paragraph lines,
+/// `.B text` (bold line), `.I text` (italic line), `.ce text` (centered),
+/// `.sp` (blank line), `.ti N` (temporary indent, device units).
+pub fn generate_ditroff(markup: &str, page_width: i32) -> String {
+    const LINE_H: i32 = 14;
+    const MARGIN: i32 = 20;
+
+    fn emit_line(
+        out: &mut String,
+        page_width: i32,
+        v: &mut i32,
+        text: &str,
+        font: u8,
+        size: u32,
+        center: bool,
+    ) {
+        let w: i32 = text.chars().map(|c| char_width(c, size)).sum();
+        let h = if center {
+            MARGIN + ((page_width - 2 * MARGIN - w) / 2).max(0)
+        } else {
+            MARGIN
+        };
+        out.push_str(&format!("V{v}\nH{h}\ns{size}\nf{font}\n"));
+        // Emit word by word with w separators, like real troff output.
+        let mut first = true;
+        for word in text.split(' ') {
+            if !first {
+                out.push_str("w\n");
+            }
+            if !word.is_empty() {
+                out.push_str(&format!("t{word}\n"));
+            }
+            first = false;
+        }
+        out.push_str("n14 0\n");
+        *v += LINE_H;
+    }
+
+    let mut out = String::new();
+    out.push_str("x T atk\nx res 80 1 1\nx init\np1\n");
+    let mut v = 40;
+    for raw in markup.lines() {
+        if let Some(rest) = raw.strip_prefix(".B ") {
+            emit_line(&mut out, page_width, &mut v, rest, 3, 10, false);
+        } else if let Some(rest) = raw.strip_prefix(".I ") {
+            emit_line(&mut out, page_width, &mut v, rest, 2, 10, false);
+        } else if let Some(rest) = raw.strip_prefix(".ce ") {
+            emit_line(&mut out, page_width, &mut v, rest, 3, 12, true);
+        } else if raw.trim() == ".sp" {
+            v += LINE_H;
+        } else if raw.starts_with(".rule") {
+            out.push_str(&format!(
+                "V{v}\nH{MARGIN}\nD l {} 0\n",
+                page_width - 2 * MARGIN
+            ));
+            v += 6;
+        } else if !raw.trim().is_empty() {
+            emit_line(&mut out, page_width, &mut v, raw, 1, 10, false);
+        } else {
+            v += LINE_H / 2;
+        }
+    }
+    out
+}
+
+/// The preview view: renders one parsed [`Page`].
+pub struct PreviewView {
+    base: ViewBase,
+    pages: Vec<Page>,
+    /// Which page is displayed.
+    pub current: usize,
+}
+
+impl PreviewView {
+    /// A view over parsed pages.
+    pub fn new(pages: Vec<Page>) -> PreviewView {
+        PreviewView {
+            base: ViewBase::new(),
+            pages,
+            current: 0,
+        }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl View for PreviewView {
+    fn class_name(&self) -> &'static str {
+        "previewv"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+
+    fn desired_size(&mut self, _world: &mut World, _budget: i32) -> Size {
+        Size::new(480, 620)
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, _update: Update) {
+        let size = world.view_bounds(self.base.id).size();
+        // Page sheet with a drop shadow, like period previewers.
+        let sheet = Rect::new(8, 8, size.width - 24, size.height - 24);
+        g.set_foreground(Color::GRAY);
+        g.fill_rect(sheet.translate(4, 4));
+        g.set_foreground(Color::WHITE);
+        g.fill_rect(sheet);
+        g.set_foreground(Color::BLACK);
+        g.draw_rect(sheet);
+        let Some(page) = self.pages.get(self.current) else {
+            return;
+        };
+        for item in &page.items {
+            match item {
+                PageItem::Text {
+                    at,
+                    text,
+                    size: pt,
+                    font,
+                } => {
+                    let style = match font {
+                        2 => FontStyle::ITALIC,
+                        3 => FontStyle::BOLD,
+                        _ => FontStyle::PLAIN,
+                    };
+                    g.set_font(FontDesc::new("andy", style, *pt));
+                    g.draw_string_baseline(Point::new(sheet.x + at.x, sheet.y + at.y), text);
+                }
+                PageItem::Line { a, b } => {
+                    g.draw_line(
+                        Point::new(sheet.x + a.x, sheet.y + a.y),
+                        Point::new(sheet.x + b.x, sheet.y + b.y),
+                    );
+                }
+            }
+        }
+        g.set_font(FontDesc::new("andy", FontStyle::PLAIN, 10));
+        g.draw_string(
+            Point::new(sheet.x, sheet.bottom() + 2),
+            &format!("page {}/{}", self.current + 1, self.pages.len()),
+        );
+    }
+
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        match command {
+            "preview-next" => {
+                if self.current + 1 < self.pages.len() {
+                    self.current += 1;
+                    world.post_damage_full(self.base.id);
+                }
+                true
+            }
+            "preview-prev" => {
+                if self.current > 0 {
+                    self.current -= 1;
+                    world.post_damage_full(self.base.id);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        vec![
+            MenuItem::new("Page", "Next", "preview-next"),
+            MenuItem::new("Page", "Previous", "preview-prev"),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The built-in sample document (used when no input file is given).
+pub fn sample_markup() -> &'static str {
+    ".ce The Andrew Toolkit\n.sp\n.rule\n.sp\nThe Andrew Toolkit is an object-oriented system designed\nto provide a foundation on which a large number of diverse\nuser-interface applications can be developed.\n.sp\n.B Components\nmulti-font text, tables, spreadsheets, drawings,\nequations, rasters, and simple animations.\n.sp\n.I Information Technology Center, Carnegie Mellon University\n"
+}
+
+/// The preview application.
+pub struct PreviewApp;
+
+impl PreviewApp {
+    /// A fresh preview app.
+    pub fn new() -> PreviewApp {
+        PreviewApp
+    }
+}
+
+impl Default for PreviewApp {
+    fn default() -> Self {
+        PreviewApp::new()
+    }
+}
+
+impl Application for PreviewApp {
+    fn name(&self) -> &'static str {
+        "preview"
+    }
+
+    fn run(
+        &mut self,
+        world: &mut World,
+        ws: &mut dyn WindowSystem,
+        args: &[String],
+    ) -> Result<AppOutcome, String> {
+        let args = AppArgs::parse(args);
+        crate::register_components(&mut world.catalog);
+
+        // Input: a ditroff file, a markup file (.mk), or the sample.
+        let ditroff = match &args.doc {
+            Some(path) if path.ends_with(".mk") => {
+                let markup = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+                generate_ditroff(&markup, 440)
+            }
+            Some(path) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+            None => generate_ditroff(sample_markup(), 440),
+        };
+        let pages = parse_ditroff(&ditroff).map_err(|e| e.to_string())?;
+        let page_count = pages.len();
+
+        let preview = world.insert_view(Box::new(PreviewView::new(pages)));
+        let frame = world.new_view("frame").map_err(|e| e.to_string())?;
+        world.with_view(frame, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<atk_components::FrameView>()
+                .expect("frame class")
+                .set_body(w, preview);
+        });
+
+        let window = ws.open_window("preview", Size::new(500, 660));
+        let mut im = InteractionManager::new(world, window, frame);
+        world.request_focus(preview);
+        im.pump(world);
+
+        if let Some(script) = args.load_script()? {
+            script.run(&mut im, world);
+        }
+
+        let mut report = vec![format!("pages: {page_count}")];
+        if let Some(path) = &args.snapshot {
+            let saved = crate::save_snapshot(&im, path)?;
+            report.push(format!("snapshot {path}: {saved}"));
+        }
+        Ok(AppOutcome {
+            report,
+            events_handled: im.stats().events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+
+    #[test]
+    fn generator_emits_valid_ditroff() {
+        let out = generate_ditroff(sample_markup(), 440);
+        assert!(out.starts_with("x T atk"));
+        assert!(out.contains("p1"));
+        assert!(out.contains("tThe"));
+        assert!(out.contains("D l "));
+        // And our own parser accepts it.
+        let pages = parse_ditroff(&out).unwrap();
+        assert_eq!(pages.len(), 1);
+        assert!(pages[0].items.len() > 10);
+    }
+
+    #[test]
+    fn parser_handles_motions_and_sizes() {
+        let src =
+            "x init\np1\nV100\nH40\ns12\nf3\ntHello\nw\ntworld\nn14 0\nV120\nH40\nD l 200 0\n";
+        let pages = parse_ditroff(src).unwrap();
+        let items = &pages[0].items;
+        assert_eq!(items.len(), 3);
+        match &items[0] {
+            PageItem::Text {
+                at,
+                text,
+                size,
+                font,
+            } => {
+                assert_eq!(*at, Point::new(40, 100));
+                assert_eq!(text, "Hello");
+                assert_eq!(*size, 12);
+                assert_eq!(*font, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &items[1] {
+            PageItem::Text { at, text, .. } => {
+                assert!(at.x > 40, "second word advanced: {at:?}");
+                assert_eq!(text, "world");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &items[2] {
+            PageItem::Line { a, b } => {
+                assert_eq!(*a, Point::new(40, 120));
+                assert_eq!(*b, Point::new(240, 120));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_ditroff("p1\nq99\n").is_err());
+        assert!(parse_ditroff("tOrphan text\n").is_err()); // Text before p.
+    }
+
+    #[test]
+    fn multi_page_navigation() {
+        let src = "p1\nV10\nH10\ntOne\np2\nV10\nH10\ntTwo\n";
+        let pages = parse_ditroff(src).unwrap();
+        assert_eq!(pages.len(), 2);
+        let mut world = standard_world();
+        let v = world.insert_view(Box::new(PreviewView::new(pages)));
+        world.set_view_bounds(v, Rect::new(0, 0, 480, 620));
+        world.with_view(v, |view, w| {
+            assert!(view.perform(w, "preview-next"));
+        });
+        assert_eq!(world.view_as::<PreviewView>(v).unwrap().current, 1);
+        world.with_view(v, |view, w| {
+            view.perform(w, "preview-next"); // Clamped.
+            view.perform(w, "preview-prev");
+        });
+        assert_eq!(world.view_as::<PreviewView>(v).unwrap().current, 0);
+    }
+
+    #[test]
+    fn app_runs_with_sample() {
+        let mut world = standard_world();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let out = PreviewApp::new().run(&mut world, &mut ws, &[]).unwrap();
+        assert!(out.report.iter().any(|l| l == "pages: 1"));
+    }
+}

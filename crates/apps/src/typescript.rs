@@ -1,0 +1,468 @@
+//! Typescript: the shell-in-a-text-component (paper §1, §9).
+//!
+//! The point of typescript is architectural: the transcript is an
+//! ordinary [`TextData`], so everything the text component can do —
+//! styles, selections, even embedded objects — works in a "terminal".
+//! The C-shell itself is replaced by [`Shell`], a small built-in command
+//! interpreter (the substitution is documented in DESIGN.md §2).
+//!
+//! [`TypescriptView`] wraps a text view and exercises parental authority
+//! over the keyboard: it intercepts Return via `filter_key`, extracts the
+//! command after the prompt, runs it, and appends the output — the child
+//! text view never knows it is a terminal.
+
+use std::any::Any;
+
+use atk_core::{
+    AppOutcome, Application, DataId, InteractionManager, Update, View, ViewBase, ViewId, World,
+};
+use atk_graphics::{Point, Rect, Size};
+use atk_text::{Style, TextData, TextView};
+use atk_wm::{Graphic, Key, MouseAction, WindowSystem};
+
+use atk_components::ScrollView;
+
+use crate::AppArgs;
+
+/// The prompt string.
+pub const PROMPT: &str = "% ";
+
+/// The built-in command interpreter standing in for csh.
+#[derive(Debug, Default)]
+pub struct Shell {
+    cwd: Option<std::path::PathBuf>,
+    history: Vec<String>,
+}
+
+impl Shell {
+    /// A shell rooted at the process working directory.
+    pub fn new() -> Shell {
+        Shell {
+            cwd: std::env::current_dir().ok(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Commands run so far.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// Executes one command line, returning its output (with trailing
+    /// newline).
+    pub fn run(&mut self, line: &str, now_ms: u64) -> String {
+        let line = line.trim();
+        if !line.is_empty() {
+            self.history.push(line.to_string());
+        }
+        let mut words = line.split_whitespace();
+        let cmd = words.next().unwrap_or("");
+        let rest: Vec<&str> = words.collect();
+        match cmd {
+            "" => String::new(),
+            "echo" => format!("{}\n", rest.join(" ")),
+            "date" => {
+                // Virtual time: deterministic under scripted runs.
+                let secs = now_ms / 1000;
+                format!(
+                    "Thu Feb 11 {:02}:{:02}:{:02} EST 1988\n",
+                    9 + (secs / 3600) % 12,
+                    (secs / 60) % 60,
+                    secs % 60
+                )
+            }
+            "pwd" => match &self.cwd {
+                Some(p) => format!("{}\n", p.display()),
+                None => "?\n".to_string(),
+            },
+            "cd" => {
+                let target = rest.first().copied().unwrap_or("/");
+                let new = match &self.cwd {
+                    Some(c) => c.join(target),
+                    None => std::path::PathBuf::from(target),
+                };
+                if new.is_dir() {
+                    self.cwd = Some(new.canonicalize().unwrap_or(new));
+                    String::new()
+                } else {
+                    format!("cd: no such directory: {target}\n")
+                }
+            }
+            "ls" => {
+                let dir = match rest.first() {
+                    Some(p) => self
+                        .cwd
+                        .as_ref()
+                        .map(|c| c.join(p))
+                        .unwrap_or_else(|| std::path::PathBuf::from(p)),
+                    None => self.cwd.clone().unwrap_or_else(|| ".".into()),
+                };
+                match std::fs::read_dir(&dir) {
+                    Ok(rd) => {
+                        let mut names: Vec<String> = rd
+                            .filter_map(|e| e.ok())
+                            .filter_map(|e| e.file_name().into_string().ok())
+                            .collect();
+                        names.sort();
+                        names.into_iter().map(|n| format!("{n}\n")).collect()
+                    }
+                    Err(e) => format!("ls: {e}\n"),
+                }
+            }
+            "cat" => {
+                let mut out = String::new();
+                for f in &rest {
+                    let path = self
+                        .cwd
+                        .as_ref()
+                        .map(|c| c.join(f))
+                        .unwrap_or_else(|| std::path::PathBuf::from(f));
+                    match std::fs::read_to_string(&path) {
+                        Ok(s) => out.push_str(&s),
+                        Err(e) => out.push_str(&format!("cat: {f}: {e}\n")),
+                    }
+                }
+                out
+            }
+            "history" => self
+                .history
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{:4}  {h}\n", i + 1))
+                .collect(),
+            "uname" => "AndrewOS 4.3bsd-ITC (reproduction)\n".to_string(),
+            "help" => "builtin commands: echo date pwd cd ls cat history uname help\n".to_string(),
+            other => format!("{other}: command not found\n"),
+        }
+    }
+}
+
+/// The typescript view: text view child plus shell interception.
+pub struct TypescriptView {
+    base: ViewBase,
+    shell: Shell,
+    doc: Option<DataId>,
+    scroll: Option<ViewId>,
+    text: Option<ViewId>,
+    /// Buffer position where the current command starts (just after the
+    /// prompt).
+    input_start: usize,
+    /// Commands executed (instrumentation).
+    pub commands_run: u64,
+}
+
+impl TypescriptView {
+    /// An unwired typescript view.
+    pub fn new() -> TypescriptView {
+        TypescriptView {
+            base: ViewBase::new(),
+            shell: Shell::new(),
+            doc: None,
+            scroll: None,
+            text: None,
+            input_start: 0,
+            commands_run: 0,
+        }
+    }
+
+    /// Wires the transcript. `me` must be this view's id.
+    pub fn build(world: &mut World, me: ViewId) -> Result<(), String> {
+        let mut doc_data = TextData::new();
+        doc_data.insert(0, "Andrew typescript (built-in shell)\n");
+        doc_data.apply_style(0, 34, Style::fixed());
+        let doc = world.insert_data(Box::new(doc_data));
+        let text = world.new_view("textview").map_err(|e| e.to_string())?;
+        world.with_view(text, |v, w| v.set_data_object(w, doc));
+        let scroll = world.new_view("scroll").map_err(|e| e.to_string())?;
+        world.with_view(scroll, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<ScrollView>()
+                .expect("scroll class")
+                .set_body(w, text);
+        });
+        world.set_view_parent(scroll, Some(me));
+
+        let ts = world
+            .view_as_mut::<TypescriptView>(me)
+            .ok_or("TypescriptView::build on wrong view")?;
+        ts.doc = Some(doc);
+        ts.scroll = Some(scroll);
+        ts.text = Some(text);
+        TypescriptView::emit_prompt(world, me);
+        Ok(())
+    }
+
+    /// The transcript text (for assertions).
+    pub fn transcript(&self, world: &World) -> String {
+        self.doc
+            .and_then(|d| world.data::<TextData>(d))
+            .map(|t| t.text())
+            .unwrap_or_default()
+    }
+
+    fn emit_prompt(world: &mut World, me: ViewId) {
+        let (doc, text) = match world.view_as::<TypescriptView>(me) {
+            Some(ts) => (ts.doc, ts.text),
+            None => return,
+        };
+        let Some(doc) = doc else { return };
+        let end = world.data::<TextData>(doc).map(|t| t.len()).unwrap_or(0);
+        let rec = world
+            .data_mut::<TextData>(doc)
+            .map(|t| t.insert(end, PROMPT));
+        if let Some(rec) = rec {
+            world.notify(doc, rec);
+        }
+        let new_end = end + PROMPT.len();
+        if let Some(ts) = world.view_as_mut::<TypescriptView>(me) {
+            ts.input_start = new_end;
+        }
+        if let Some(text) = text {
+            world.with_view(text, |v, w| {
+                if let Some(tv) = v.as_any_mut().downcast_mut::<TextView>() {
+                    tv.set_caret(w, new_end);
+                    tv.perform(w, "end-of-text");
+                }
+            });
+        }
+    }
+
+    fn run_pending_command(&mut self, world: &mut World) {
+        let Some(doc) = self.doc else { return };
+        let (cmd, end) = match world.data::<TextData>(doc) {
+            Some(t) => (t.slice(self.input_start, t.len()), t.len()),
+            None => return,
+        };
+        let now = world.now_ms();
+        let output = self.shell.run(&cmd, now);
+        self.commands_run += 1;
+        let insertion = format!("\n{output}");
+        let rec = world
+            .data_mut::<TextData>(doc)
+            .map(|t| t.insert(end, &insertion));
+        if let Some(rec) = rec {
+            world.notify(doc, rec);
+        }
+        let me = self.base.id;
+        // Prompt emission must run with `self` reinstalled; defer via a
+        // direct call since we have `&mut self` anyway.
+        let new_end = end + insertion.chars().count();
+        let rec = world
+            .data_mut::<TextData>(doc)
+            .map(|t| t.insert(new_end, PROMPT));
+        if let Some(rec) = rec {
+            world.notify(doc, rec);
+        }
+        self.input_start = new_end + PROMPT.len();
+        if let Some(text) = self.text {
+            let target = self.input_start;
+            world.with_view(text, |v, w| {
+                if let Some(tv) = v.as_any_mut().downcast_mut::<TextView>() {
+                    tv.set_caret(w, target);
+                    tv.perform(w, "end-of-text");
+                }
+            });
+        }
+        let _ = me;
+    }
+}
+
+impl Default for TypescriptView {
+    fn default() -> Self {
+        TypescriptView::new()
+    }
+}
+
+impl View for TypescriptView {
+    fn class_name(&self) -> &'static str {
+        "typescriptv"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+    fn children(&self) -> Vec<ViewId> {
+        self.scroll.into_iter().collect()
+    }
+
+    fn desired_size(&mut self, _world: &mut World, budget: i32) -> Size {
+        Size::new(budget, 300)
+    }
+
+    fn layout(&mut self, world: &mut World) {
+        let size = world.view_bounds(self.base.id).size();
+        if let Some(s) = self.scroll {
+            world.set_view_bounds(s, Rect::at(Point::ORIGIN, size));
+        }
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, update: Update) {
+        if let Some(s) = self.scroll {
+            world.draw_child(s, g, update);
+        }
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        if let Some(s) = self.scroll {
+            if world.mouse_to_child(s, action, pt) {
+                // Keep focus on the inner text view for typing.
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parental authority: Return runs the pending command instead of
+    /// inserting a newline in the middle of the transcript.
+    fn filter_key(&mut self, world: &mut World, key: Key, _target: ViewId) -> Option<Key> {
+        match key {
+            Key::Return => {
+                self.run_pending_command(world);
+                None
+            }
+            _ => Some(key),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The typescript application.
+pub struct TypescriptApp;
+
+impl TypescriptApp {
+    /// A fresh typescript app.
+    pub fn new() -> TypescriptApp {
+        TypescriptApp
+    }
+}
+
+impl Default for TypescriptApp {
+    fn default() -> Self {
+        TypescriptApp::new()
+    }
+}
+
+impl Application for TypescriptApp {
+    fn name(&self) -> &'static str {
+        "typescript"
+    }
+
+    fn run(
+        &mut self,
+        world: &mut World,
+        ws: &mut dyn WindowSystem,
+        args: &[String],
+    ) -> Result<AppOutcome, String> {
+        let args = AppArgs::parse(args);
+        crate::register_components(&mut world.catalog);
+
+        let ts = world.insert_view(Box::new(TypescriptView::new()));
+        TypescriptView::build(world, ts)?;
+        let frame = world.new_view("frame").map_err(|e| e.to_string())?;
+        world.with_view(frame, |v, w| {
+            v.as_any_mut()
+                .downcast_mut::<atk_components::FrameView>()
+                .expect("frame class")
+                .set_body(w, ts);
+        });
+
+        let window = ws.open_window("typescript", Size::new(600, 400));
+        let mut im = InteractionManager::new(world, window, frame);
+        // Focus the inner text view so keys flow through the typescript
+        // view's filter (it is an ancestor of the focus).
+        let text = world
+            .view_as::<TypescriptView>(ts)
+            .and_then(|t| t.text)
+            .expect("built");
+        world.request_focus(text);
+        im.pump(world);
+
+        if let Some(script) = args.load_script()? {
+            script.run(&mut im, world);
+        }
+
+        let mut report = Vec::new();
+        if let Some(path) = &args.snapshot {
+            let saved = crate::save_snapshot(&im, path)?;
+            report.push(format!("snapshot {path}: {saved}"));
+        }
+        let tsv = world.view_as::<TypescriptView>(ts).expect("ts view");
+        report.push(format!("commands run: {}", tsv.commands_run));
+        report.push(format!("transcript chars: {}", tsv.transcript(world).len()));
+        Ok(AppOutcome {
+            report,
+            events_handled: im.stats().events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_world;
+
+    #[test]
+    fn shell_builtins() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.run("echo hello world", 0), "hello world\n");
+        assert!(sh.run("date", 61_000).contains("01:01"));
+        assert!(sh.run("uname", 0).contains("AndrewOS"));
+        assert!(sh.run("nosuchcmd", 0).contains("not found"));
+        assert!(sh.run("history", 0).contains("echo hello world"));
+        assert_eq!(sh.history().len(), 5);
+    }
+
+    #[test]
+    fn shell_touches_real_fs_read_only() {
+        let mut sh = Shell::new();
+        let out = sh.run("ls /", 0);
+        assert!(out.contains("tmp") || out.contains("usr") || !out.is_empty());
+        assert!(sh.run("cd /definitely-not-here-xyz", 0).contains("no such"));
+    }
+
+    #[test]
+    fn typescript_runs_commands_through_the_view_tree() {
+        let mut world = standard_world();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let script = "type echo it works\nkey RET\ntype date\nkey RET\n";
+        let out = TypescriptApp::new()
+            .run(
+                &mut world,
+                &mut ws,
+                &["--script-text".to_string(), script.to_string()],
+            )
+            .unwrap();
+        let joined = out.report.join("\n");
+        assert!(joined.contains("commands run: 2"), "{joined}");
+    }
+
+    #[test]
+    fn transcript_contains_prompt_command_and_output() {
+        let mut world = standard_world();
+        let ts = world.insert_view(Box::new(TypescriptView::new()));
+        TypescriptView::build(&mut world, ts).unwrap();
+        // Simulate typing through filter + text view directly.
+        let text = world.view_as::<TypescriptView>(ts).unwrap().text.unwrap();
+        for c in "echo hi".chars() {
+            world.with_view(text, |v, w| {
+                v.key(w, Key::Char(c));
+            });
+        }
+        world.with_view(ts, |v, w| {
+            assert!(v.filter_key(w, Key::Return, text).is_none());
+        });
+        let transcript = world
+            .view_as::<TypescriptView>(ts)
+            .unwrap()
+            .transcript(&world);
+        assert!(transcript.contains("% echo hi\nhi\n% "), "{transcript:?}");
+    }
+}

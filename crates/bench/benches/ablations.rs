@@ -1,0 +1,124 @@
+//! Ablations: the substrate design choices DESIGN.md §5 commits to,
+//! measured against the naive alternatives.
+//!
+//! * gap buffer vs. `String` insertion for localized editing;
+//! * run-length style assignment vs. a per-character style vector;
+//! * banded-region damage vs. single bounding-box damage (overdraw
+//!   proxy: pixels a repaint would touch for two distant dirty spots).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atk_graphics::{Rect, Region};
+use atk_text::{GapBuffer, Style, StyleRuns, StyleTable};
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/buffer");
+    for size in [10_000usize, 100_000] {
+        let base = "x".repeat(size);
+        g.bench_with_input(
+            BenchmarkId::new("gap_buffer_local_inserts", size),
+            &size,
+            |b, &size| {
+                let mut buf = GapBuffer::from_str(&base);
+                let mid = size / 2;
+                let mut i = 0;
+                b.iter(|| {
+                    // Clustered edits, like typing: the gap stays nearby.
+                    buf.insert(black_box(mid + (i % 50)), "y");
+                    i += 1;
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("string_local_inserts", size),
+            &size,
+            |b, &size| {
+                let mut buf = base.clone();
+                let mid = size / 2;
+                let mut i = 0;
+                b.iter(|| {
+                    // `String::insert` shifts the whole tail every time.
+                    buf.insert(black_box(mid + (i % 50)), 'y');
+                    i += 1;
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/styles");
+    const LEN: usize = 50_000;
+    g.bench_function("run_length_apply_and_query", |b| {
+        let mut table = StyleTable::new();
+        let bold = table.intern(Style::body().bolded());
+        let mut runs = StyleRuns::new(LEN);
+        let mut i = 0usize;
+        b.iter(|| {
+            let at = (i * 131) % (LEN - 60);
+            runs.apply(at, at + 40, bold);
+            i += 1;
+            black_box(runs.style_at(at + 20))
+        })
+    });
+    g.bench_function("per_char_vector_apply_and_query", |b| {
+        let mut styles = vec![0usize; LEN];
+        let mut i = 0usize;
+        b.iter(|| {
+            let at = (i * 131) % (LEN - 60);
+            for s in &mut styles[at..at + 40] {
+                *s = 1;
+            }
+            i += 1;
+            black_box(styles[at + 20])
+        })
+    });
+    // The part the vector can't do cheaply: insertion in the middle.
+    g.bench_function("run_length_insert_mid", |b| {
+        let mut runs = StyleRuns::new(LEN);
+        b.iter(|| runs.adjust_insert(black_box(LEN / 2), 1))
+    });
+    g.bench_function("per_char_vector_insert_mid", |b| {
+        let mut styles = vec![0usize; LEN];
+        b.iter(|| styles.insert(black_box(styles.len() / 2), 0))
+    });
+    g.finish();
+}
+
+fn bench_damage_region(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/damage");
+    // Two small dirty spots far apart on a 1024x800 window.
+    let a = Rect::new(10, 10, 40, 12);
+    let b_r = Rect::new(900, 700, 40, 12);
+    g.bench_function("banded_region_union", |b| {
+        b.iter(|| {
+            let mut r = Region::new();
+            r.add_rect(black_box(a));
+            r.add_rect(black_box(b_r));
+            black_box(r.area())
+        })
+    });
+    g.bench_function("bounding_box_union", |b| {
+        b.iter(|| black_box(a.union(b_r).area()))
+    });
+    // Report the overdraw the bounding box would repaint.
+    let mut r = Region::new();
+    r.add_rect(a);
+    r.add_rect(b_r);
+    println!(
+        "ablation/damage overdraw: region {} px vs bbox {} px ({}x)",
+        r.area(),
+        a.union(b_r).area(),
+        a.union(b_r).area() / r.area().max(1)
+    );
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_buffer, bench_styles, bench_damage_region
+}
+criterion_main!(benches);

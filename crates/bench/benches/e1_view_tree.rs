@@ -1,0 +1,133 @@
+//! E1 — event routing through the view tree (paper §3, figure 1).
+//!
+//! Series reported:
+//! * `fig1/` — mouse dispatch through the paper's exact window (frame ⊃
+//!   scrollbar ⊃ text ⊃ table);
+//! * `depth/` — dispatch latency vs. tree depth (nested boxes), showing
+//!   the cost of parental authority is linear and tiny;
+//! * `global/` — the flat global-physical baseline at matching sizes.
+//!
+//! Expected shape: both dispatchers are microseconds-class; the tree
+//! grows with depth, the global model with registered-rectangle count —
+//! and only the tree gets the semantics right (see tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atk_apps::scenes;
+use atk_components::boxes::Extent;
+use atk_components::{BoxView, Orientation};
+use atk_core::baseline::GlobalDispatcher;
+use atk_core::World;
+use atk_graphics::{Point, Rect, Size};
+use atk_wm::{Button, MouseAction};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+    let mut scene = scenes::fig1_view_tree(&mut ws).unwrap();
+    let mut g = c.benchmark_group("e1/fig1");
+    g.bench_function("mouse_down_into_text", |b| {
+        let root = scene.im.root();
+        b.iter(|| {
+            scene.world.with_view(root, |v, w| {
+                v.mouse(
+                    w,
+                    MouseAction::Down(Button::Left),
+                    black_box(Point::new(120, 40)),
+                )
+            })
+        })
+    });
+    g.bench_function("mouse_down_into_embedded_table", |b| {
+        let root = scene.im.root();
+        b.iter(|| {
+            scene.world.with_view(root, |v, w| {
+                v.mouse(
+                    w,
+                    MouseAction::Down(Button::Left),
+                    black_box(Point::new(180, 70)),
+                )
+            })
+        })
+    });
+    g.bench_function("movement_with_cursor_negotiation", |b| {
+        b.iter(|| {
+            scene.im.dispatch(
+                &mut scene.world,
+                atk_wm::WindowEvent::Mouse {
+                    action: MouseAction::Movement,
+                    pos: black_box(Point::new(120, 40)),
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Builds a chain of nested vertical boxes `depth` deep with a leaf probe.
+fn deep_tree(depth: usize) -> (World, atk_core::ViewId) {
+    let mut world = World::new();
+    atk_components::register(&mut world.catalog);
+    let mut root = world.insert_view(Box::new(BoxView::new(Orientation::Vertical)));
+    world.set_view_bounds(root, Rect::new(0, 0, 400, 400));
+    let top = root;
+    for _ in 0..depth {
+        let child = world.insert_view(Box::new(BoxView::new(Orientation::Vertical)));
+        world.with_view(root, |v, w| {
+            v.as_any_mut().downcast_mut::<BoxView>().unwrap().add_child(
+                w,
+                child,
+                Extent::Weight(1.0),
+            );
+        });
+        // Re-run layout so bounds cascade.
+        let b = world.view_bounds(root);
+        world.set_view_bounds(root, Rect::new(b.x, b.y, b.width, b.height));
+        world.with_view(root, |v, w| v.layout(w));
+        root = child;
+    }
+    (world, top)
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1/depth");
+    for depth in [2usize, 4, 8, 16] {
+        let (mut world, top) = deep_tree(depth);
+        g.bench_with_input(BenchmarkId::new("tree_dispatch", depth), &depth, |b, _| {
+            b.iter(|| {
+                world.with_view(top, |v, w| {
+                    v.mouse(
+                        w,
+                        MouseAction::Down(Button::Left),
+                        black_box(Point::new(200, 200)),
+                    )
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_global(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1/global");
+    for n in [4usize, 16, 64, 256] {
+        let mut disp = GlobalDispatcher::new();
+        for i in 0..n {
+            let x = (i % 16) as i32 * 25;
+            let y = (i / 16) as i32 * 25;
+            disp.register(i as u32, Rect::new(x, y, 24, 24), i as i32);
+        }
+        g.bench_with_input(BenchmarkId::new("flat_dispatch", n), &n, |b, _| {
+            b.iter(|| disp.dispatch(black_box(Point::new(200, 200))))
+        });
+    }
+    g.finish();
+    let _ = Size::ZERO;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig1, bench_depth, bench_global
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E2 — multiple views on one data object, and the chart's two-hop
+//! relay (paper §2).
+//!
+//! Series: notification fan-out cost vs. number of attached views
+//! (1–64), and the table → chart-data → chart-view relay.
+//!
+//! Expected shape: linear in the observer count, sub-microsecond per
+//! observer — supporting the paper's claim that the separation's costs
+//! are manageable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atk_apps::standard_world;
+use atk_graphics::Rect;
+use atk_table::{CellInput, ChartData, PieChartView, TableData};
+use atk_text::{TextData, TextView};
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2/fanout");
+    for n in [1usize, 4, 16, 64] {
+        let mut world = standard_world();
+        let doc = world.insert_data(Box::new(TextData::from_str(&"line\n".repeat(50))));
+        for _ in 0..n {
+            let v = world.insert_view(Box::new(TextView::new()));
+            world.with_view(v, |view, w| view.set_data_object(w, doc));
+            world.set_view_bounds(v, Rect::new(0, 0, 300, 200));
+            world.with_view(v, |view, w| {
+                view.as_any_mut()
+                    .downcast_mut::<TextView>()
+                    .unwrap()
+                    .ensure_layout(w);
+            });
+        }
+        let _ = world.take_damage_region();
+        g.bench_with_input(BenchmarkId::new("views", n), &n, |b, _| {
+            b.iter(|| {
+                // Insert then delete so the document size stays constant
+                // across iterations.
+                let rec = world
+                    .data_mut::<TextData>(doc)
+                    .unwrap()
+                    .insert(black_box(10), "x");
+                world.notify(doc, rec);
+                let rec = world.data_mut::<TextData>(doc).unwrap().delete(10, 1);
+                world.notify(doc, rec);
+                let delivered = world.flush_notifications();
+                let _ = world.take_damage_region();
+                delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chart_relay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2/chart_relay");
+    let mut world = standard_world();
+    let table = world.insert_data(Box::new(TableData::new(4, 4)));
+    let chart = world.insert_data(Box::new(ChartData::new()));
+    world.with_data(chart, |d, w| {
+        d.as_any_mut()
+            .downcast_mut::<ChartData>()
+            .unwrap()
+            .bind(w, chart, table, (0, 0, 3, 3));
+    });
+    let pie = world.insert_view(Box::new(PieChartView::new()));
+    world.with_view(pie, |v, w| v.set_data_object(w, chart));
+    world.set_view_bounds(pie, Rect::new(0, 0, 100, 100));
+    world.flush_notifications();
+    let _ = world.take_damage_region();
+
+    g.bench_function("table_edit_to_chart_view", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let rec = world.data_mut::<TableData>(table).unwrap().set_cell(
+                0,
+                0,
+                CellInput::Raw(format!("{}", i % 100)),
+            );
+            world.notify(table, rec);
+            world.flush_notifications();
+            let _ = world.take_damage_region();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_fanout, bench_chart_relay
+}
+criterion_main!(benches);

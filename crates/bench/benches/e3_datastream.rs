@@ -1,0 +1,102 @@
+//! E3 — the datastream external representation (paper §5).
+//!
+//! Series: write and read throughput vs. document size; nesting depth
+//! scaling; the skip-scan (find an object's extent without parsing) vs.
+//! a full component parse of the same bytes.
+//!
+//! Expected shape: linear in document size; skip-scan several times
+//! cheaper than parsing — the property that makes unknown-object
+//! passthrough and partial recovery practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atk_apps::corpus::{self, Mix};
+use atk_apps::standard_world;
+use atk_core::{document_to_string, read_document, DatastreamReader, Token};
+
+fn bench_write_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3/write_read");
+    for words in [200usize, 1000, 5000] {
+        let mut world = standard_world();
+        let doc = corpus::compound_document(&mut world, 42, words, Mix::paper_intro());
+        let stream = document_to_string(&world, doc);
+        g.throughput(Throughput::Bytes(stream.len() as u64));
+        g.bench_with_input(BenchmarkId::new("write", words), &words, |b, _| {
+            b.iter(|| document_to_string(&world, black_box(doc)))
+        });
+        g.bench_with_input(BenchmarkId::new("read", words), &words, |b, _| {
+            b.iter(|| {
+                let mut w2 = standard_world();
+                read_document(&mut w2, black_box(&stream)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nesting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3/nesting");
+    for depth in [4usize, 16, 32] {
+        let mut world = standard_world();
+        let doc = corpus::nested_document(&mut world, depth);
+        let stream = document_to_string(&world, doc);
+        g.bench_with_input(BenchmarkId::new("read_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut w2 = standard_world();
+                read_document(&mut w2, black_box(&stream)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_skip_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3/skip_vs_parse");
+    let mut world = standard_world();
+    let doc = corpus::compound_document(&mut world, 7, 3000, Mix::paper_intro());
+    let stream = document_to_string(&world, doc);
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+
+    // Skip scan: find the root object's extent without parsing anything.
+    g.bench_function("skip_scan", |b| {
+        b.iter(|| {
+            let mut r = DatastreamReader::new(black_box(&stream));
+            match r.next_token().unwrap() {
+                Some(Token::BeginData { .. }) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            let lines = r.skip_to_matching_end().unwrap();
+            lines.len()
+        })
+    });
+    // Full parse through every component's read_body.
+    g.bench_function("full_parse", |b| {
+        b.iter(|| {
+            let mut w2 = standard_world();
+            read_document(&mut w2, black_box(&stream)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_escaping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3/escaping");
+    let nasty: String = "text with \\backslashes\\ and café unicode ∑ mixed in ".repeat(40);
+    g.throughput(Throughput::Bytes(nasty.len() as u64));
+    g.bench_function("escape", |b| {
+        b.iter(|| atk_core::datastream::escape_content(black_box(&nasty)))
+    });
+    let escaped = atk_core::datastream::escape_content(&nasty).join("");
+    g.bench_function("unescape", |b| {
+        b.iter(|| atk_core::datastream::unescape_content(black_box(&escaped)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_write_read, bench_nesting, bench_skip_scan, bench_escaping
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! E4 — dynamic loading and `runapp` (paper §6–7).
+//!
+//! Series:
+//! * `startup/` — application startup under dynamic loading vs. the
+//!   static-link baseline (simulated load latency included);
+//! * `sharing/` — resident bytes after launching 1..6 applications in
+//!   one runapp image vs. the sum of per-application static images;
+//! * `first_use/` — the "slight delay" of a component's first
+//!   instantiation vs. warm instantiation.
+//!
+//! Expected shape: dynamic startup ≪ static startup; runapp residency
+//! grows by one app module per app while static images multiply the
+//! whole inventory; first use pays once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atk_apps::{register_app_modules, register_components, standard_apps};
+use atk_class::{CostModel, LinkPolicy};
+use atk_core::{Catalog, World};
+
+fn world_with(policy: LinkPolicy) -> World {
+    let catalog = Catalog::new(policy, CostModel::vice_afs());
+    let mut world = World::with_catalog(catalog);
+    register_components(&mut world.catalog);
+    register_app_modules(&mut world.catalog);
+    world
+}
+
+fn bench_startup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/startup");
+    for policy in [LinkPolicy::Dynamic, LinkPolicy::Static] {
+        let label = match policy {
+            LinkPolicy::Dynamic => "dynamic",
+            LinkPolicy::Static => "static",
+        };
+        g.bench_function(BenchmarkId::new("ez_first_window", label), |b| {
+            b.iter(|| {
+                let mut world = world_with(policy);
+                let registry = standard_apps();
+                let mut ws = atk_wm::x11sim::X11Sim::new();
+                let out = registry
+                    .launch("ez", &mut world, &mut ws, &[])
+                    .expect("ez runs");
+                // Report includes simulated load time; return both so the
+                // optimizer keeps everything.
+                black_box((
+                    out.events_handled,
+                    world.catalog.loader.stats().total_simulated_ns,
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    // Print the simulated-latency side channel once (criterion measures
+    // wall clock; the cost model carries the 1988 numbers).
+    for policy in [LinkPolicy::Dynamic, LinkPolicy::Static] {
+        let mut world = world_with(policy);
+        let registry = standard_apps();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        registry.launch("ez", &mut world, &mut ws, &[]).unwrap();
+        let s = world.catalog.loader.stats();
+        println!(
+            "e4/startup[{:?}]: {} modules, {} KB resident, {:.1} ms simulated load",
+            policy,
+            s.resident_modules,
+            s.resident_bytes / 1024,
+            s.total_simulated_ns as f64 / 1e6
+        );
+    }
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let apps = ["ez", "help", "messages", "typescript", "console", "preview"];
+    // Not a timing benchmark: a table the harness prints, like the
+    // paper's qualitative §7 list.
+    println!("e4/sharing: runapp resident bytes vs per-app static images");
+    let registry = standard_apps();
+    let mut world = world_with(LinkPolicy::Dynamic);
+    let per_app_static = world.catalog.loader.inventory_bytes();
+    for (i, app) in apps.iter().enumerate() {
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let _ = registry.launch(app, &mut world, &mut ws, &[]);
+        let shared = world.catalog.loader.stats().resident_bytes;
+        let static_sum = per_app_static * (i as u64 + 1);
+        println!(
+            "  after {:>10}: runapp {:>7} KB | {} static images {:>7} KB | saving {:>5.1}x",
+            app,
+            shared / 1024,
+            i + 1,
+            static_sum / 1024,
+            static_sum as f64 / shared as f64
+        );
+    }
+
+    // And one measured series: marginal launch cost of the Nth app.
+    let mut g = c.benchmark_group("e4/sharing");
+    g.bench_function("marginal_app_launch_warm_toolkit", |b| {
+        let registry = standard_apps();
+        let mut world = world_with(LinkPolicy::Dynamic);
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        registry.launch("ez", &mut world, &mut ws, &[]).unwrap();
+        b.iter(|| {
+            let mut ws = atk_wm::x11sim::X11Sim::new();
+            registry
+                .launch(black_box("console"), &mut world, &mut ws, &[])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_first_use(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/first_use");
+    g.bench_function("cold_component_instantiation", |b| {
+        b.iter(|| {
+            let mut world = world_with(LinkPolicy::Dynamic);
+            black_box(world.new_data("animation").unwrap())
+        })
+    });
+    g.bench_function("warm_component_instantiation", |b| {
+        let mut world = world_with(LinkPolicy::Dynamic);
+        world.new_data("animation").unwrap();
+        b.iter(|| black_box(world.new_data("animation").unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_startup, bench_sharing, bench_first_use
+}
+criterion_main!(benches);

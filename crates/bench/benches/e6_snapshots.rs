@@ -1,0 +1,67 @@
+//! E6 — the paper's figures as full-scene renders.
+//!
+//! Series: construction + first full render time of each of figures 1–5,
+//! on both window systems. Regenerating the images themselves is
+//! `cargo run --example snapshots`.
+//!
+//! Expected shape: every scene builds and paints in milliseconds; the
+//! compound figure-5 document (table ⊃ {text, equation, animation,
+//! spreadsheet} inside text) is the most expensive, as it is in any real
+//! toolkit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atk_apps::scenes::{self, Scene};
+use atk_wm::WindowSystem;
+
+type Builder = fn(&mut dyn WindowSystem) -> Result<Scene, String>;
+
+fn builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("fig1_view_tree", scenes::fig1_view_tree as Builder),
+        ("fig2_help", scenes::fig2_help as Builder),
+        (
+            "fig3_messages_reading",
+            scenes::fig3_messages_reading as Builder,
+        ),
+        (
+            "fig4_messages_compose",
+            scenes::fig4_messages_compose as Builder,
+        ),
+        ("fig5_ez_compound", scenes::fig5_ez_compound as Builder),
+    ]
+}
+
+fn bench_build_and_render(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6/build_and_render");
+    g.sample_size(10);
+    for (name, builder) in builders() {
+        for backend in ["x11sim", "awmsim"] {
+            g.bench_with_input(BenchmarkId::new(name, backend), &backend, |b, backend| {
+                b.iter(|| {
+                    let mut ws = atk_wm::open_window_system(Some(backend)).unwrap();
+                    let scene = builder(ws.as_mut()).unwrap();
+                    black_box(scene.im.stats().updates)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_repaint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6/full_repaint");
+    g.sample_size(20);
+    for (name, builder) in builders() {
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let mut scene = builder(&mut ws).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| scene.im.redraw_full(black_box(&mut scene.world)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build_and_render, bench_repaint);
+criterion_main!(benches);

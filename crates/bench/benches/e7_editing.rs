@@ -1,0 +1,139 @@
+//! E7 — interactive editing throughput (paper §9: EZ replaced emacs for
+//! 3000 campus users).
+//!
+//! Series:
+//! * `keystrokes/` — full keystroke path (key → keymap → buffer edit →
+//!   change record → notification → incremental damage) on documents up
+//!   to 100k characters, plain and compound;
+//! * `recalc/` — spreadsheet recalculation vs. sheet size (the Pascal's
+//!   Triangle dependency chain);
+//! * `session/` — a scripted mixed editing session through the whole
+//!   interaction manager.
+//!
+//! Expected shape: keystroke cost roughly flat in document size (gap
+//! buffer + incremental damage); recalc linear in formula count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atk_apps::corpus::{self, Mix};
+use atk_apps::standard_world;
+use atk_core::InteractionManager;
+use atk_graphics::{Rect, Size};
+use atk_table::{coord_to_a1, CellInput, TableData};
+use atk_text::{TextData, TextView};
+use atk_wm::{Key, WindowSystem};
+
+fn bench_keystrokes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7/keystrokes");
+    for chars in [1_000usize, 10_000, 100_000] {
+        let mut world = standard_world();
+        let doc = corpus::plain_text_doc(&mut world, 1, chars);
+        let view = world.new_view("textview").unwrap();
+        world.with_view(view, |v, w| v.set_data_object(w, doc));
+        world.set_view_bounds(view, Rect::new(0, 0, 400, 300));
+        world.with_view(view, |v, w| {
+            let tv = v.as_any_mut().downcast_mut::<TextView>().unwrap();
+            tv.ensure_layout(w);
+            tv.set_caret(w, chars / 2);
+        });
+        let _ = world.take_damage_region();
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("insert_char", chars), &chars, |b, _| {
+            b.iter(|| {
+                // Type a character, then delete it, so the document size
+                // stays at the series' nominal value.
+                world.with_view(view, |v, w| {
+                    v.key(w, black_box(Key::Char('x')));
+                    v.key(w, Key::Backspace);
+                });
+                world.flush_notifications();
+                let _ = world.take_damage_region();
+            })
+        });
+    }
+    // The compound case: same keystroke inside a document with embedded
+    // components.
+    let mut world = standard_world();
+    let doc = corpus::compound_document(&mut world, 3, 2_000, Mix::paper_intro());
+    let view = world.new_view("textview").unwrap();
+    world.with_view(view, |v, w| v.set_data_object(w, doc));
+    world.set_view_bounds(view, Rect::new(0, 0, 400, 300));
+    world.with_view(view, |v, w| {
+        v.as_any_mut()
+            .downcast_mut::<TextView>()
+            .unwrap()
+            .ensure_layout(w);
+    });
+    let _ = world.take_damage_region();
+    g.bench_function("insert_char_compound_doc", |b| {
+        b.iter(|| {
+            world.with_view(view, |v, w| {
+                v.key(w, black_box(Key::Char('x')));
+                v.key(w, Key::Backspace);
+            });
+            world.flush_notifications();
+            let _ = world.take_damage_region();
+        })
+    });
+    g.finish();
+}
+
+fn pascal_sheet(n: usize) -> TableData {
+    let mut t = TableData::new(n, n);
+    for i in 0..n {
+        t.set_cell(i, 0, CellInput::Raw("1".into()));
+        t.set_cell(0, i, CellInput::Raw("1".into()));
+    }
+    for r in 1..n {
+        for c in 1..n {
+            let above = coord_to_a1((r - 1, c));
+            let left = coord_to_a1((r, c - 1));
+            t.set_cell(r, c, CellInput::Raw(format!("={above}+{left}")));
+        }
+    }
+    t
+}
+
+fn bench_recalc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7/recalc");
+    for n in [5usize, 10, 20, 40] {
+        let mut sheet = pascal_sheet(n);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("pascal", n), &n, |b, _| {
+            b.iter(|| {
+                sheet.recalc();
+                black_box(sheet.value(n - 1, n - 1))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7/session");
+    g.sample_size(10);
+    g.bench_function("scripted_200_events_through_im", |b| {
+        let script = corpus::editing_script(9, 200);
+        b.iter(|| {
+            let mut world = standard_world();
+            let doc = world.insert_data(Box::new(TextData::from_str(&corpus::lorem(2, 400))));
+            let (frame, tv) = atk_apps::EzApp::build_tree(&mut world, doc).unwrap();
+            let mut ws = atk_wm::x11sim::X11Sim::new();
+            let win = ws.open_window("bench", Size::new(500, 350));
+            let mut im = InteractionManager::new(&mut world, win, frame);
+            world.request_focus(tv);
+            im.pump(&mut world);
+            script.run(&mut im, &mut world);
+            black_box(im.stats().events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_keystrokes, bench_recalc, bench_session
+}
+criterion_main!(benches);

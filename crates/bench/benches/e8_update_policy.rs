@@ -1,0 +1,189 @@
+//! E8 — the delayed-update protocol (paper §2 calls coordinating data
+//! objects and views via delayed update "the trickiest challenge").
+//!
+//! Series:
+//! * `policy/` — cost of one edit + screen settle under three policies:
+//!   incremental (change records → line-strip damage, the toolkit's
+//!   design), full-invalidate (every change damages the whole view), and
+//!   immediate (redraw synchronously on every edit, no batching) — each
+//!   with 1, 8, and 32 attached views;
+//! * `batching/` — N edits then one settle vs. N edits each settled.
+//!
+//! Expected shape: incremental < full-invalidate < immediate, with the
+//! gap widening in the view count — the reason the paper accepts the
+//! delayed-update complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atk_apps::standard_world;
+use atk_core::{ChangeRec, InteractionManager, World};
+use atk_graphics::Size;
+use atk_text::TextData;
+use atk_wm::WindowSystem;
+
+struct Rig {
+    world: World,
+    ims: Vec<InteractionManager>,
+    doc: atk_core::DataId,
+}
+
+/// N windows, each with a text view on the same 60-line document.
+fn rig(views: usize) -> Rig {
+    let mut world = standard_world();
+    let doc = world.insert_data(Box::new(TextData::from_str(&"line of text\n".repeat(60))));
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+    let mut ims = Vec::new();
+    for _ in 0..views {
+        let tv = world.new_view("textview").unwrap();
+        world.with_view(tv, |v, w| v.set_data_object(w, doc));
+        let win = ws.open_window("w", Size::new(320, 240));
+        let mut im = InteractionManager::new(&mut world, win, tv);
+        im.pump(&mut world);
+        ims.push(im);
+    }
+    Rig { world, ims, doc }
+}
+
+fn settle_all(rig: &mut Rig) {
+    for im in &mut rig.ims {
+        im.settle(&mut rig.world);
+    }
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8/policy");
+    g.sample_size(20);
+    for views in [1usize, 8, 32] {
+        // Incremental: the toolkit's real path (typed change records).
+        g.bench_with_input(
+            BenchmarkId::new("incremental", views),
+            &views,
+            |b, &views| {
+                let mut r = rig(views);
+                b.iter(|| {
+                    let rec = r
+                        .world
+                        .data_mut::<TextData>(r.doc)
+                        .unwrap()
+                        .insert(black_box(400), "x");
+                    r.world.notify(r.doc, rec);
+                    settle_all(&mut r);
+                })
+            },
+        );
+        // Full invalidation: same edit, but the change record is Full,
+        // so every view repaints everything.
+        g.bench_with_input(
+            BenchmarkId::new("full_invalidate", views),
+            &views,
+            |b, &views| {
+                let mut r = rig(views);
+                b.iter(|| {
+                    let _ = r
+                        .world
+                        .data_mut::<TextData>(r.doc)
+                        .unwrap()
+                        .insert(black_box(400), "x");
+                    r.world.notify(r.doc, ChangeRec::Full);
+                    settle_all(&mut r);
+                })
+            },
+        );
+        // Immediate: no batching at all — the edit is announced and
+        // every window fully, synchronously repainted (the
+        // pre-delayed-update strawman).
+        g.bench_with_input(BenchmarkId::new("immediate", views), &views, |b, &views| {
+            let mut r = rig(views);
+            b.iter(|| {
+                let rec = r
+                    .world
+                    .data_mut::<TextData>(r.doc)
+                    .unwrap()
+                    .insert(black_box(400), "x");
+                r.world.notify(r.doc, rec);
+                r.world.flush_notifications();
+                let _ = r.world.take_damage_region();
+                for im in &mut r.ims {
+                    im.redraw_full(&mut r.world);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8/batching");
+    g.sample_size(20);
+    const EDITS: usize = 16;
+    g.bench_function("16_edits_one_settle", |b| {
+        let mut r = rig(4);
+        b.iter(|| {
+            for i in 0..EDITS {
+                let rec = r
+                    .world
+                    .data_mut::<TextData>(r.doc)
+                    .unwrap()
+                    .insert(black_box(100 + i), "y");
+                r.world.notify(r.doc, rec);
+            }
+            settle_all(&mut r);
+        })
+    });
+    g.bench_function("16_edits_16_settles", |b| {
+        let mut r = rig(4);
+        b.iter(|| {
+            for i in 0..EDITS {
+                let rec = r
+                    .world
+                    .data_mut::<TextData>(r.doc)
+                    .unwrap()
+                    .insert(black_box(100 + i), "y");
+                r.world.notify(r.doc, rec);
+                settle_all(&mut r);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Damage-area side channel: how many pixels each policy touches.
+fn report_damage_areas() {
+    for views in [1usize, 8] {
+        let mut r = rig(views);
+        let rec = r
+            .world
+            .data_mut::<TextData>(r.doc)
+            .unwrap()
+            .insert(100, "x");
+        r.world.notify(r.doc, rec);
+        r.world.flush_notifications();
+        let mut area = 0i64;
+        for im in &r.ims {
+            let _ = im;
+        }
+        // All views share the world's damage list; measure before settle.
+        let region = r.world.take_damage_region();
+        area += region.area();
+        println!("e8/damage_area[incremental, {views} views]: {area} px");
+
+        let mut r = rig(views);
+        r.world.notify(r.doc, ChangeRec::Full);
+        r.world.flush_notifications();
+        let region = r.world.take_damage_region();
+        println!(
+            "e8/damage_area[full_invalidate, {views} views]: {} px",
+            region.area()
+        );
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    report_damage_areas();
+    bench_policy(c);
+    bench_batching(c);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

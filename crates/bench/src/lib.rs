@@ -1,0 +1,3 @@
+//! Host crate for the Criterion benchmarks reproducing the paper's
+//! evaluation; see `benches/` and the repository's EXPERIMENTS.md. There
+//! is no library code here.

@@ -1,0 +1,40 @@
+//! The Andrew Class System, reimagined for Rust.
+//!
+//! The 1988 Andrew Toolkit was written in C with a small preprocessor
+//! ("Class") that provided single-inheritance objects *and* — crucially —
+//! dynamic loading/linking of component code (paper §6). The toolkit's
+//! extension story rests on it: a music component written years after EZ
+//! shipped can be embedded in any document, and EZ loads its code on first
+//! use without being recompiled, relinked, or otherwise modified.
+//!
+//! Rust gives us the object system (traits) at compile time, so this crate
+//! implements the two pieces Rust does *not* give us at run time:
+//!
+//! * a **class registry** ([`ClassRegistry`]): class names, single-inheritance
+//!   ancestry, versions, and per-class method inventories, queryable at run
+//!   time (`is_a`, `ancestry`, `lookup`) exactly the way Class' run-time
+//!   library was;
+//! * a **simulated dynamic loader** ([`Loader`]): components live in
+//!   [`ModuleSpec`]s carrying code size and dependency lists. A module is
+//!   *known* (its factory is registered in the inventory) but **not loaded**
+//!   until something `require`s it, at which point the loader resolves
+//!   dependencies transitively and charges a [`CostModel`] — the "slight
+//!   delay to load the code" the paper describes. [`LoadStats`] make the
+//!   behaviour measurable, which is what benchmark E4 does.
+//!
+//! Real `dlopen` of arbitrary Rust component code is unsound and
+//! unportable; the paper's measurable claims are about *when* code loads,
+//! *what* has to be rebuilt (nothing), and *how much* is shared (runapp).
+//! This simulation exercises exactly those code paths. The substitution is
+//! documented in DESIGN.md §2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loader;
+pub mod registry;
+
+pub use loader::{
+    CostModel, LinkPolicy, LoadError, LoadEvent, LoadStats, Loader, ModuleId, ModuleSpec,
+};
+pub use registry::{ClassError, ClassId, ClassInfo, ClassRegistry, MethodInfo, MethodKind};

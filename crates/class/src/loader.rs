@@ -1,0 +1,494 @@
+//! Simulated dynamic loading/linking of component modules.
+//!
+//! The toolkit's dynamic loader (paper §6–7) let an application discover,
+//! at the moment a document mentioned an unfamiliar component, that it
+//! needed the component's code, pull that code off the (distributed) file
+//! system, link it into the running image, and continue — with the user
+//! noticing nothing but "a slight delay to load the code". The same
+//! mechanism powered `runapp`, a single base image that loaded each
+//! *application* dynamically so every toolkit program shared one copy of
+//! the toolkit's code.
+//!
+//! This module simulates that machinery so its behaviour can be tested and
+//! measured (experiment E4):
+//!
+//! * a [`ModuleSpec`] describes a unit of loadable code: name, code size in
+//!   bytes, the classes it provides, and the modules it depends on;
+//! * a [`Loader`] holds the *inventory* of known modules (the analogue of
+//!   `.do` files on the search path) and tracks which are resident;
+//! * [`Loader::require`] resolves a module and its dependencies
+//!   depth-first, charging a [`CostModel`] for every module that was not
+//!   already resident and recording a [`LoadEvent`] per load;
+//! * [`LinkPolicy`] switches between the paper's world (`Dynamic`) and the
+//!   baseline it argues against (`Static`, everything resident at startup),
+//!   so benchmarks can compare startup cost, resident bytes, and first-use
+//!   latency between the two.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier for a module in a [`Loader`]'s inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(u32);
+
+impl ModuleId {
+    /// Raw index of this module id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Description of one dynamically loadable module.
+#[derive(Debug, Clone)]
+pub struct ModuleSpec {
+    /// Module name, conventionally the principal class it provides
+    /// (e.g. `"table"` provides classes `table` and `tablev`).
+    pub name: String,
+    /// Size of the module's object code in bytes. Used by the cost model
+    /// and by the resident-set accounting.
+    pub code_bytes: u64,
+    /// Class names this module provides.
+    pub provides: Vec<String>,
+    /// Names of modules that must be resident before this one runs.
+    pub deps: Vec<String>,
+}
+
+impl ModuleSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, code_bytes: u64, provides: &[&str], deps: &[&str]) -> Self {
+        ModuleSpec {
+            name: name.to_string(),
+            code_bytes,
+            provides: provides.iter().map(|s| s.to_string()).collect(),
+            deps: deps.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// How module code is bound into the running image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkPolicy {
+    /// The paper's model: nothing is resident until first use.
+    Dynamic,
+    /// The baseline the paper argues against: every known module is linked
+    /// into the image at startup (static linking, no sharing).
+    Static,
+}
+
+/// Cost model for a simulated load, standing in for `read(2)` + relocation
+/// over the campus distributed file system.
+///
+/// The simulated latency of loading one module is
+/// `fixed_ns + code_bytes * ns_per_byte`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-load fixed overhead (open, symbol resolution), nanoseconds.
+    pub fixed_ns: u64,
+    /// Transfer + relocation cost per code byte, nanoseconds.
+    pub ns_per_byte: f64,
+}
+
+impl CostModel {
+    /// A model calibrated to the paper's era: ~25 ms fixed (file open over
+    /// the Andrew File System) plus ~1 µs/KB-ish transfer.
+    pub fn vice_afs() -> Self {
+        CostModel {
+            fixed_ns: 25_000_000,
+            ns_per_byte: 1_000.0 / 1024.0,
+        }
+    }
+
+    /// A zero-cost model, useful in unit tests.
+    pub fn free() -> Self {
+        CostModel {
+            fixed_ns: 0,
+            ns_per_byte: 0.0,
+        }
+    }
+
+    /// Simulated nanoseconds to load a module of `code_bytes` bytes.
+    pub fn load_ns(&self, code_bytes: u64) -> u64 {
+        self.fixed_ns + (code_bytes as f64 * self.ns_per_byte) as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::vice_afs()
+    }
+}
+
+/// One completed load, recorded in [`LoadStats::events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadEvent {
+    /// Module that was loaded.
+    pub module: String,
+    /// Module (or the application itself) whose `require` triggered it.
+    pub requested_by: String,
+    /// Code bytes brought in.
+    pub code_bytes: u64,
+    /// Simulated latency charged, nanoseconds.
+    pub simulated_ns: u64,
+}
+
+/// Aggregate accounting for a [`Loader`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Modules currently resident.
+    pub resident_modules: usize,
+    /// Total code bytes resident.
+    pub resident_bytes: u64,
+    /// All load events in order.
+    pub events: Vec<LoadEvent>,
+    /// Total simulated load latency, nanoseconds.
+    pub total_simulated_ns: u64,
+}
+
+/// Errors returned by loader operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// No module of this name is in the inventory — the paper's case of a
+    /// document mentioning a component whose code cannot be found on the
+    /// search path.
+    NotFound(String),
+    /// A dependency cycle among modules was detected.
+    Cycle(Vec<String>),
+    /// A module of this name is already in the inventory.
+    Duplicate(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::NotFound(n) => write!(f, "no loadable module named `{n}`"),
+            LoadError::Cycle(path) => write!(f, "module dependency cycle: {}", path.join(" -> ")),
+            LoadError::Duplicate(n) => write!(f, "module `{n}` already in inventory"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModState {
+    Known,
+    Loading,
+    Resident,
+}
+
+/// The simulated dynamic loader.
+///
+/// # Examples
+///
+/// ```
+/// use atk_class::{CostModel, LinkPolicy, Loader, ModuleSpec};
+///
+/// let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+/// loader.add_module(ModuleSpec::new("view", 40_000, &["view"], &[])).unwrap();
+/// loader.add_module(ModuleSpec::new("text", 90_000, &["text"], &["view"])).unwrap();
+///
+/// // Nothing resident until first use.
+/// assert_eq!(loader.stats().resident_modules, 0);
+/// loader.require("text", "ez").unwrap();
+/// // The dependency came in transitively.
+/// assert_eq!(loader.stats().resident_modules, 2);
+/// // A second require is free: already resident.
+/// loader.require("text", "messages").unwrap();
+/// assert_eq!(loader.stats().events.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Loader {
+    policy: LinkPolicy,
+    cost: CostModel,
+    modules: Vec<ModuleSpec>,
+    states: Vec<ModState>,
+    by_name: HashMap<String, ModuleId>,
+    class_to_module: HashMap<String, ModuleId>,
+    stats: LoadStats,
+}
+
+impl Loader {
+    /// Creates a loader with an empty inventory.
+    pub fn new(policy: LinkPolicy, cost: CostModel) -> Self {
+        Loader {
+            policy,
+            cost,
+            modules: Vec::new(),
+            states: Vec::new(),
+            by_name: HashMap::new(),
+            class_to_module: HashMap::new(),
+            stats: LoadStats::default(),
+        }
+    }
+
+    /// Creates a dynamic loader with the default (AFS-calibrated) cost model.
+    pub fn dynamic() -> Self {
+        Loader::new(LinkPolicy::Dynamic, CostModel::default())
+    }
+
+    /// The loader's link policy.
+    pub fn policy(&self) -> LinkPolicy {
+        self.policy
+    }
+
+    /// Adds a module to the inventory (the analogue of installing a `.do`
+    /// file on the search path). Under [`LinkPolicy::Static`] the module is
+    /// immediately made resident, charging its load cost as startup cost.
+    pub fn add_module(&mut self, spec: ModuleSpec) -> Result<ModuleId, LoadError> {
+        if self.by_name.contains_key(&spec.name) {
+            return Err(LoadError::Duplicate(spec.name));
+        }
+        let id = ModuleId(self.modules.len() as u32);
+        self.by_name.insert(spec.name.clone(), id);
+        for class in &spec.provides {
+            self.class_to_module.insert(class.clone(), id);
+        }
+        self.modules.push(spec);
+        self.states.push(ModState::Known);
+        if self.policy == LinkPolicy::Static {
+            self.load_one(id, "startup");
+        }
+        Ok(id)
+    }
+
+    /// Looks up the module providing `class`, if any.
+    pub fn module_for_class(&self, class: &str) -> Option<&ModuleSpec> {
+        self.class_to_module
+            .get(class)
+            .map(|id| &self.modules[id.index()])
+    }
+
+    /// Returns the inventory entry named `name`.
+    pub fn module(&self, name: &str) -> Option<&ModuleSpec> {
+        self.by_name.get(name).map(|id| &self.modules[id.index()])
+    }
+
+    /// True if the named module is resident.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.by_name
+            .get(name)
+            .map(|id| self.states[id.index()] == ModState::Resident)
+            .unwrap_or(false)
+    }
+
+    /// Ensures the module named `name` (and, transitively, its
+    /// dependencies) is resident. `requested_by` labels the load events.
+    ///
+    /// Returns the simulated nanoseconds charged by this call (0 if
+    /// everything was already resident).
+    pub fn require(&mut self, name: &str, requested_by: &str) -> Result<u64, LoadError> {
+        let id = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| LoadError::NotFound(name.to_string()))?;
+        let before = self.stats.total_simulated_ns;
+        self.require_rec(id, requested_by, &mut Vec::new())?;
+        Ok(self.stats.total_simulated_ns - before)
+    }
+
+    /// Ensures the module *providing class* `class` is resident — this is
+    /// the entry point the datastream reader uses when a document mentions
+    /// a component (`\begindata{music,…}`).
+    pub fn require_class(&mut self, class: &str, requested_by: &str) -> Result<u64, LoadError> {
+        let id = *self
+            .class_to_module
+            .get(class)
+            .ok_or_else(|| LoadError::NotFound(class.to_string()))?;
+        let before = self.stats.total_simulated_ns;
+        self.require_rec(id, requested_by, &mut Vec::new())?;
+        Ok(self.stats.total_simulated_ns - before)
+    }
+
+    fn require_rec(
+        &mut self,
+        id: ModuleId,
+        requested_by: &str,
+        path: &mut Vec<String>,
+    ) -> Result<(), LoadError> {
+        match self.states[id.index()] {
+            ModState::Resident => return Ok(()),
+            ModState::Loading => {
+                let mut cycle = path.clone();
+                cycle.push(self.modules[id.index()].name.clone());
+                return Err(LoadError::Cycle(cycle));
+            }
+            ModState::Known => {}
+        }
+        self.states[id.index()] = ModState::Loading;
+        path.push(self.modules[id.index()].name.clone());
+        let deps: Vec<String> = self.modules[id.index()].deps.clone();
+        for dep in deps {
+            let did = *self
+                .by_name
+                .get(&dep)
+                .ok_or_else(|| LoadError::NotFound(dep.clone()))?;
+            self.require_rec(did, requested_by, path)?;
+        }
+        path.pop();
+        self.load_one(id, requested_by);
+        Ok(())
+    }
+
+    fn load_one(&mut self, id: ModuleId, requested_by: &str) {
+        let spec = &self.modules[id.index()];
+        let ns = self.cost.load_ns(spec.code_bytes);
+        self.stats.events.push(LoadEvent {
+            module: spec.name.clone(),
+            requested_by: requested_by.to_string(),
+            code_bytes: spec.code_bytes,
+            simulated_ns: ns,
+        });
+        self.stats.resident_modules += 1;
+        self.stats.resident_bytes += spec.code_bytes;
+        self.stats.total_simulated_ns += ns;
+        self.states[id.index()] = ModState::Resident;
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> &LoadStats {
+        &self.stats
+    }
+
+    /// Total code bytes across the whole inventory (what a statically
+    /// linked image of *everything* would weigh — the per-application file
+    /// size the paper says runapp avoids).
+    pub fn inventory_bytes(&self) -> u64 {
+        self.modules.iter().map(|m| m.code_bytes).sum()
+    }
+
+    /// Number of modules in the inventory.
+    pub fn inventory_len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Unloads everything, returning the loader to its startup state
+    /// (inventory intact, nothing resident, stats cleared). Under
+    /// [`LinkPolicy::Static`] all modules are immediately re-loaded.
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            *s = ModState::Known;
+        }
+        self.stats = LoadStats::default();
+        if self.policy == LinkPolicy::Static {
+            for i in 0..self.modules.len() {
+                self.load_one(ModuleId(i as u32), "startup");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inventory(loader: &mut Loader) {
+        loader
+            .add_module(ModuleSpec::new("class", 20_000, &["class"], &[]))
+            .unwrap();
+        loader
+            .add_module(ModuleSpec::new("view", 40_000, &["view", "im"], &["class"]))
+            .unwrap();
+        loader
+            .add_module(ModuleSpec::new(
+                "text",
+                90_000,
+                &["text", "textview"],
+                &["view"],
+            ))
+            .unwrap();
+        loader
+            .add_module(ModuleSpec::new(
+                "table",
+                70_000,
+                &["table", "tablev"],
+                &["view"],
+            ))
+            .unwrap();
+    }
+
+    #[test]
+    fn dynamic_loads_on_first_use_only() {
+        let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+        inventory(&mut loader);
+        assert_eq!(loader.stats().resident_modules, 0);
+        loader.require("text", "ez").unwrap();
+        assert!(loader.is_resident("text"));
+        assert!(loader.is_resident("view"));
+        assert!(loader.is_resident("class"));
+        assert!(!loader.is_resident("table"));
+        assert_eq!(loader.stats().resident_bytes, 150_000);
+    }
+
+    #[test]
+    fn second_require_is_free() {
+        let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::vice_afs());
+        inventory(&mut loader);
+        let first = loader.require("text", "ez").unwrap();
+        assert!(first > 0);
+        let second = loader.require("text", "messages").unwrap();
+        assert_eq!(second, 0);
+        assert_eq!(loader.stats().events.len(), 3);
+    }
+
+    #[test]
+    fn static_policy_loads_everything_at_startup() {
+        let mut loader = Loader::new(LinkPolicy::Static, CostModel::free());
+        inventory(&mut loader);
+        assert_eq!(loader.stats().resident_modules, 4);
+        assert_eq!(loader.stats().resident_bytes, loader.inventory_bytes());
+        // And require is then always free.
+        assert_eq!(loader.require("table", "ez").unwrap(), 0);
+    }
+
+    #[test]
+    fn require_by_class_name() {
+        let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+        inventory(&mut loader);
+        loader.require_class("tablev", "ez").unwrap();
+        assert!(loader.is_resident("table"));
+    }
+
+    #[test]
+    fn missing_module_is_reported() {
+        let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+        inventory(&mut loader);
+        assert_eq!(
+            loader.require("music", "ez"),
+            Err(LoadError::NotFound("music".into()))
+        );
+    }
+
+    #[test]
+    fn dependency_cycles_are_detected() {
+        let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+        loader
+            .add_module(ModuleSpec::new("a", 1, &["a"], &["b"]))
+            .unwrap();
+        loader
+            .add_module(ModuleSpec::new("b", 1, &["b"], &["a"]))
+            .unwrap();
+        assert!(matches!(
+            loader.require("a", "test"),
+            Err(LoadError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn cost_model_charges_fixed_plus_per_byte() {
+        let cost = CostModel {
+            fixed_ns: 100,
+            ns_per_byte: 2.0,
+        };
+        assert_eq!(cost.load_ns(50), 100 + 100);
+    }
+
+    #[test]
+    fn reset_returns_to_startup_state() {
+        let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+        inventory(&mut loader);
+        loader.require("text", "ez").unwrap();
+        loader.reset();
+        assert_eq!(loader.stats().resident_modules, 0);
+        assert_eq!(loader.inventory_len(), 4);
+    }
+}

@@ -1,0 +1,378 @@
+//! Run-time class registry: names, ancestry, versions, method inventories.
+//!
+//! The Class preprocessor generated, for every class, a run-time descriptor
+//! holding its name, its superclass, a version stamp, and a table of object
+//! methods (overridable, like C++ virtuals) and class procedures (not
+//! overridable, like Smalltalk class methods). The run-time library could
+//! answer "is this object a kind of `view`?" and "what does `textview`
+//! override?". This module provides the same queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier for a registered class.
+///
+/// Identifiers are assigned in registration order and never reused; they
+/// index the registry's internal tables directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Returns the raw index of this class id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The flavour of a method entry, mirroring the Class language (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// An object method: dispatched through the instance, overridable in
+    /// subclasses (like a C++ virtual function).
+    Object,
+    /// A class procedure: bound to the class itself and *not* overridable
+    /// (like a Smalltalk class method).
+    ClassProcedure,
+}
+
+/// A single entry in a class' method table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Method name as it appeared in the class header (`.ch`) file.
+    pub name: String,
+    /// Whether this is an overridable object method or a class procedure.
+    pub kind: MethodKind,
+}
+
+/// The run-time descriptor for one class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Unique class name (e.g. `"textview"`).
+    pub name: String,
+    /// Superclass, or `None` for a root class.
+    pub parent: Option<ClassId>,
+    /// Version stamp; the Class system used these to detect stale `.ih`
+    /// files at dynamic-link time.
+    pub version: u32,
+    /// Methods introduced *or overridden* by this class (inherited methods
+    /// are resolved through the ancestry chain).
+    pub methods: Vec<MethodInfo>,
+}
+
+/// Errors returned by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassError {
+    /// A class with this name is already registered.
+    Duplicate(String),
+    /// The named class (or parent id) is not registered.
+    Unknown(String),
+    /// A dynamic link was attempted against a mismatched class version.
+    VersionMismatch {
+        /// Class whose versions disagreed.
+        class: String,
+        /// Version compiled into the importer.
+        wanted: u32,
+        /// Version actually registered.
+        found: u32,
+    },
+}
+
+impl fmt::Display for ClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassError::Duplicate(n) => write!(f, "class `{n}` already registered"),
+            ClassError::Unknown(n) => write!(f, "unknown class `{n}`"),
+            ClassError::VersionMismatch {
+                class,
+                wanted,
+                found,
+            } => write!(
+                f,
+                "class `{class}` version mismatch: importer wants {wanted}, registry has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClassError {}
+
+/// The registry of all classes known to the running toolkit.
+///
+/// # Examples
+///
+/// ```
+/// use atk_class::{ClassRegistry, MethodKind};
+///
+/// let mut reg = ClassRegistry::new();
+/// let dataobj = reg.define_root("dataobject", 1).unwrap();
+/// let text = reg
+///     .define("text", "dataobject", 3)
+///     .unwrap();
+/// reg.add_method(text, "InsertCharacters", MethodKind::Object).unwrap();
+///
+/// assert!(reg.is_a(text, dataobj));
+/// assert!(!reg.is_a(dataobj, text));
+/// assert_eq!(reg.ancestry(text).count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ClassRegistry {
+    classes: Vec<ClassInfo>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a root class (one with no superclass).
+    pub fn define_root(&mut self, name: &str, version: u32) -> Result<ClassId, ClassError> {
+        self.insert(name, None, version)
+    }
+
+    /// Registers `name` as a subclass of the already-registered `parent`.
+    pub fn define(
+        &mut self,
+        name: &str,
+        parent: &str,
+        version: u32,
+    ) -> Result<ClassId, ClassError> {
+        let pid = self.id_of(parent)?;
+        self.insert(name, Some(pid), version)
+    }
+
+    fn insert(
+        &mut self,
+        name: &str,
+        parent: Option<ClassId>,
+        version: u32,
+    ) -> Result<ClassId, ClassError> {
+        if self.by_name.contains_key(name) {
+            return Err(ClassError::Duplicate(name.to_string()));
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassInfo {
+            name: name.to_string(),
+            parent,
+            version,
+            methods: Vec::new(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Appends a method entry to `class`' method table.
+    pub fn add_method(
+        &mut self,
+        class: ClassId,
+        method: &str,
+        kind: MethodKind,
+    ) -> Result<(), ClassError> {
+        let info = self
+            .classes
+            .get_mut(class.index())
+            .ok_or_else(|| ClassError::Unknown(format!("#{}", class.0)))?;
+        info.methods.push(MethodInfo {
+            name: method.to_string(),
+            kind,
+        });
+        Ok(())
+    }
+
+    /// Looks up a class id by name.
+    pub fn id_of(&self, name: &str) -> Result<ClassId, ClassError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ClassError::Unknown(name.to_string()))
+    }
+
+    /// Returns the descriptor for `id`, if registered.
+    pub fn info(&self, id: ClassId) -> Option<&ClassInfo> {
+        self.classes.get(id.index())
+    }
+
+    /// Returns the descriptor for a class name, if registered.
+    pub fn info_by_name(&self, name: &str) -> Option<&ClassInfo> {
+        self.by_name.get(name).and_then(|id| self.info(*id))
+    }
+
+    /// True if `class` is `ancestor` or a (transitive) subclass of it.
+    ///
+    /// This is Class' `class_IsType` query, used pervasively by the toolkit
+    /// to ask e.g. "can this object be embedded?" (`is_a(x, dataobject)`).
+    pub fn is_a(&self, class: ClassId, ancestor: ClassId) -> bool {
+        self.ancestry(class).any(|c| c == ancestor)
+    }
+
+    /// Iterates `class` and then each superclass up to the root.
+    pub fn ancestry(&self, class: ClassId) -> Ancestry<'_> {
+        Ancestry {
+            registry: self,
+            next: Some(class),
+        }
+    }
+
+    /// Returns the class that introduces or most recently overrides
+    /// `method` for `class`, searching up the ancestry chain.
+    ///
+    /// Class procedures are *not* inherited (paper §6: "they may not be
+    /// overridden"), so they only match on the class itself.
+    pub fn resolve_method(&self, class: ClassId, method: &str) -> Option<(ClassId, &MethodInfo)> {
+        for (depth, cid) in self.ancestry(class).enumerate() {
+            let info = self.info(cid)?;
+            if let Some(m) = info.methods.iter().find(|m| m.name == method) {
+                match m.kind {
+                    MethodKind::Object => return Some((cid, m)),
+                    MethodKind::ClassProcedure if depth == 0 => return Some((cid, m)),
+                    MethodKind::ClassProcedure => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks that the registered version of `name` equals `wanted`,
+    /// mirroring the stale-import check done at dynamic-link time.
+    pub fn check_version(&self, name: &str, wanted: u32) -> Result<(), ClassError> {
+        let info = self
+            .info_by_name(name)
+            .ok_or_else(|| ClassError::Unknown(name.to_string()))?;
+        if info.version != wanted {
+            return Err(ClassError::VersionMismatch {
+                class: name.to_string(),
+                wanted,
+                found: info.version,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates all registered class descriptors in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i as u32), c))
+    }
+}
+
+/// Iterator over a class and its superclasses; see [`ClassRegistry::ancestry`].
+pub struct Ancestry<'a> {
+    registry: &'a ClassRegistry,
+    next: Option<ClassId>,
+}
+
+impl Iterator for Ancestry<'_> {
+    type Item = ClassId;
+
+    fn next(&mut self) -> Option<ClassId> {
+        let cur = self.next?;
+        self.next = self.registry.info(cur).and_then(|i| i.parent);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toolkit_registry() -> (ClassRegistry, ClassId, ClassId, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let dobj = reg.define_root("dataobject", 1).unwrap();
+        let view = reg.define_root("view", 1).unwrap();
+        let text = reg.define("text", "dataobject", 2).unwrap();
+        let textview = reg.define("textview", "view", 2).unwrap();
+        (reg, dobj, view, text, textview)
+    }
+
+    #[test]
+    fn ancestry_walks_to_root() {
+        let (reg, dobj, _, text, _) = toolkit_registry();
+        let chain: Vec<_> = reg.ancestry(text).collect();
+        assert_eq!(chain, vec![text, dobj]);
+    }
+
+    #[test]
+    fn is_a_is_reflexive_and_respects_hierarchy() {
+        let (reg, dobj, view, text, textview) = toolkit_registry();
+        assert!(reg.is_a(text, text));
+        assert!(reg.is_a(text, dobj));
+        assert!(reg.is_a(textview, view));
+        assert!(!reg.is_a(text, view));
+        assert!(!reg.is_a(dobj, text));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let (mut reg, ..) = toolkit_registry();
+        assert_eq!(
+            reg.define_root("view", 9),
+            Err(ClassError::Duplicate("view".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let mut reg = ClassRegistry::new();
+        assert_eq!(
+            reg.define("scrollview", "view", 1),
+            Err(ClassError::Unknown("view".into()))
+        );
+    }
+
+    #[test]
+    fn object_methods_resolve_through_inheritance() {
+        let (mut reg, _, view, _, textview) = toolkit_registry();
+        reg.add_method(view, "FullUpdate", MethodKind::Object)
+            .unwrap();
+        reg.add_method(textview, "FullUpdate", MethodKind::Object)
+            .unwrap();
+        let scroll = reg.define("scrollview", "view", 1).unwrap();
+
+        // The subclass override wins for textview...
+        let (owner, _) = reg.resolve_method(textview, "FullUpdate").unwrap();
+        assert_eq!(owner, textview);
+        // ...while scrollview inherits the base implementation.
+        let (owner, _) = reg.resolve_method(scroll, "FullUpdate").unwrap();
+        assert_eq!(owner, view);
+    }
+
+    #[test]
+    fn class_procedures_do_not_inherit() {
+        let (mut reg, _, view, _, textview) = toolkit_registry();
+        reg.add_method(view, "Create", MethodKind::ClassProcedure)
+            .unwrap();
+        assert!(reg.resolve_method(view, "Create").is_some());
+        assert!(reg.resolve_method(textview, "Create").is_none());
+    }
+
+    #[test]
+    fn version_check_matches_paper_link_semantics() {
+        let (reg, ..) = toolkit_registry();
+        assert!(reg.check_version("text", 2).is_ok());
+        assert_eq!(
+            reg.check_version("text", 1),
+            Err(ClassError::VersionMismatch {
+                class: "text".into(),
+                wanted: 1,
+                found: 2
+            })
+        );
+        assert!(matches!(
+            reg.check_version("music", 1),
+            Err(ClassError::Unknown(_))
+        ));
+    }
+}

@@ -1,0 +1,289 @@
+//! Linear layout containers.
+//!
+//! A [`BoxView`] stacks children vertically or horizontally, giving each
+//! either a fixed extent or a weighted share of what remains. The
+//! messages application's three-pane window (folders | captions / body)
+//! is built from these.
+
+use std::any::Any;
+
+use atk_graphics::{Color, Point, Rect, Size};
+use atk_wm::{CursorShape, Graphic, MouseAction};
+
+use atk_core::{MenuItem, Update, View, ViewBase, ViewId, World};
+
+/// Stacking direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Children stacked top to bottom.
+    Vertical,
+    /// Children side by side, left to right.
+    Horizontal,
+}
+
+/// How much space a child gets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Extent {
+    /// Exactly this many pixels.
+    Fixed(i32),
+    /// A weighted share of the leftover space.
+    Weight(f32),
+}
+
+struct Entry {
+    view: ViewId,
+    extent: Extent,
+}
+
+/// A vertical or horizontal stack of child views.
+pub struct BoxView {
+    base: ViewBase,
+    orientation: Orientation,
+    entries: Vec<Entry>,
+    /// Pixel gap drawn between children.
+    gap: i32,
+}
+
+impl BoxView {
+    /// An empty box.
+    pub fn new(orientation: Orientation) -> BoxView {
+        BoxView {
+            base: ViewBase::new(),
+            orientation,
+            entries: Vec::new(),
+            gap: 1,
+        }
+    }
+
+    /// Adds a child with the given extent policy. The child is re-parented
+    /// under this box.
+    pub fn add_child(&mut self, world: &mut World, child: ViewId, extent: Extent) {
+        world.set_view_parent(child, Some(self.base.id));
+        self.entries.push(Entry {
+            view: child,
+            extent,
+        });
+    }
+
+    fn slots(&self, total: i32) -> Vec<i32> {
+        let gaps = self.gap * (self.entries.len().saturating_sub(1)) as i32;
+        let fixed: i32 = self
+            .entries
+            .iter()
+            .map(|e| match e.extent {
+                Extent::Fixed(px) => px,
+                Extent::Weight(_) => 0,
+            })
+            .sum();
+        let weight_sum: f32 = self
+            .entries
+            .iter()
+            .map(|e| match e.extent {
+                Extent::Weight(w) => w,
+                Extent::Fixed(_) => 0.0,
+            })
+            .sum();
+        let leftover = (total - fixed - gaps).max(0);
+        let mut out = Vec::with_capacity(self.entries.len());
+        let mut used = 0;
+        let weighted_count = self
+            .entries
+            .iter()
+            .filter(|e| matches!(e.extent, Extent::Weight(_)))
+            .count();
+        let mut weighted_seen = 0;
+        for e in &self.entries {
+            let px = match e.extent {
+                Extent::Fixed(px) => px,
+                Extent::Weight(w) => {
+                    weighted_seen += 1;
+                    if weighted_seen == weighted_count {
+                        // Last weighted child absorbs rounding.
+                        leftover - used
+                    } else {
+                        let px = (leftover as f32 * w / weight_sum) as i32;
+                        used += px;
+                        px
+                    }
+                }
+            };
+            out.push(px.max(0));
+        }
+        out
+    }
+}
+
+impl View for BoxView {
+    fn class_name(&self) -> &'static str {
+        match self.orientation {
+            Orientation::Vertical => "vbox",
+            Orientation::Horizontal => "hbox",
+        }
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+    fn children(&self) -> Vec<ViewId> {
+        self.entries.iter().map(|e| e.view).collect()
+    }
+
+    fn desired_size(&mut self, world: &mut World, budget: i32) -> Size {
+        let mut along = 0;
+        let mut across = 0;
+        for e in &self.entries {
+            let s = world
+                .with_view(e.view, |v, w| v.desired_size(w, budget))
+                .unwrap_or(Size::ZERO);
+            match self.orientation {
+                Orientation::Vertical => {
+                    along += s.height;
+                    across = across.max(s.width);
+                }
+                Orientation::Horizontal => {
+                    along += s.width;
+                    across = across.max(s.height);
+                }
+            }
+        }
+        along += self.gap * (self.entries.len().saturating_sub(1)) as i32;
+        match self.orientation {
+            Orientation::Vertical => Size::new(across, along),
+            Orientation::Horizontal => Size::new(along, across),
+        }
+    }
+
+    fn layout(&mut self, world: &mut World) {
+        let size = world.view_bounds(self.base.id).size();
+        let total = match self.orientation {
+            Orientation::Vertical => size.height,
+            Orientation::Horizontal => size.width,
+        };
+        let slots = self.slots(total);
+        let mut pos = 0;
+        for (e, px) in self.entries.iter().zip(slots) {
+            let r = match self.orientation {
+                Orientation::Vertical => Rect::new(0, pos, size.width, px),
+                Orientation::Horizontal => Rect::new(pos, 0, px, size.height),
+            };
+            world.set_view_bounds(e.view, r);
+            pos += px + self.gap;
+        }
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, update: Update) {
+        // Separator lines in the gaps.
+        let size = world.view_bounds(self.base.id).size();
+        g.set_foreground(Color::BLACK);
+        for e in &self.entries {
+            let b = world.view_bounds(e.view);
+            match self.orientation {
+                Orientation::Vertical if b.bottom() < size.height => {
+                    g.draw_line(
+                        Point::new(0, b.bottom()),
+                        Point::new(size.width - 1, b.bottom()),
+                    );
+                }
+                Orientation::Horizontal if b.right() < size.width => {
+                    g.draw_line(
+                        Point::new(b.right(), 0),
+                        Point::new(b.right(), size.height - 1),
+                    );
+                }
+                _ => {}
+            }
+        }
+        for e in &self.entries {
+            world.draw_child(e.view, g, update);
+        }
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        for e in &self.entries {
+            if world.mouse_to_child(e.view, action, pt) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        Vec::new()
+    }
+
+    fn cursor_at(&self, world: &World, pt: Point) -> Option<CursorShape> {
+        for e in &self.entries {
+            let b = world.view_bounds(e.view);
+            if b.contains(pt) {
+                return world
+                    .view_dyn(e.view)
+                    .and_then(|v| v.cursor_at(world, pt - b.origin()));
+            }
+        }
+        None
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelView;
+
+    fn setup() -> (World, ViewId, ViewId, ViewId) {
+        let mut world = World::new();
+        let a = world.insert_view(Box::new(LabelView::new("a")));
+        let b = world.insert_view(Box::new(LabelView::new("b")));
+        let boxv = world.insert_view(Box::new(BoxView::new(Orientation::Vertical)));
+        (world, boxv, a, b)
+    }
+
+    #[test]
+    fn fixed_plus_weight_layout() {
+        let (mut world, boxv, a, b) = setup();
+        world.with_view(boxv, |v, w| {
+            let bx = v.as_any_mut().downcast_mut::<BoxView>().unwrap();
+            bx.add_child(w, a, Extent::Fixed(20));
+            bx.add_child(w, b, Extent::Weight(1.0));
+        });
+        world.set_view_bounds(boxv, Rect::new(0, 0, 100, 101));
+        assert_eq!(world.view_bounds(a), Rect::new(0, 0, 100, 20));
+        // Gap of 1 => b starts at 21 and takes the rest.
+        assert_eq!(world.view_bounds(b), Rect::new(0, 21, 100, 80));
+    }
+
+    #[test]
+    fn weights_split_proportionally() {
+        let (mut world, _, a, b) = setup();
+        let boxv = world.insert_view(Box::new(BoxView::new(Orientation::Horizontal)));
+        world.with_view(boxv, |v, w| {
+            let bx = v.as_any_mut().downcast_mut::<BoxView>().unwrap();
+            bx.add_child(w, a, Extent::Weight(1.0));
+            bx.add_child(w, b, Extent::Weight(3.0));
+        });
+        world.set_view_bounds(boxv, Rect::new(0, 0, 201, 50));
+        let wa = world.view_bounds(a).width;
+        let wb = world.view_bounds(b).width;
+        assert_eq!(wa + wb + 1, 201);
+        assert!((wb as f32 / wa as f32 - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn children_are_parented() {
+        let (mut world, boxv, a, _) = setup();
+        world.with_view(boxv, |v, w| {
+            let bx = v.as_any_mut().downcast_mut::<BoxView>().unwrap();
+            bx.add_child(w, a, Extent::Fixed(10));
+        });
+        assert_eq!(world.view_parent(a), Some(boxv));
+        assert_eq!(world.view_dyn(boxv).unwrap().children(), vec![a]);
+    }
+}

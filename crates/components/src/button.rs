@@ -1,0 +1,201 @@
+//! A push button.
+//!
+//! Buttons are pure user-interface views (no data object). A press
+//! highlights; releasing inside the button dispatches its command string
+//! to a target view through the normal `perform` protocol — the same
+//! protocol menus use, so anything a menu can invoke a button can too.
+
+use std::any::Any;
+
+use atk_graphics::{Color, FontDesc, Point, Rect, Size};
+use atk_wm::{Button, Graphic, MouseAction};
+
+use atk_core::{Update, View, ViewBase, ViewId, World};
+
+/// A labelled push button dispatching a command on click.
+pub struct ButtonView {
+    base: ViewBase,
+    label: String,
+    command: String,
+    target: Option<ViewId>,
+    font: FontDesc,
+    pressed: bool,
+    clicks: u64,
+}
+
+impl ButtonView {
+    /// Creates a button with a label and the command it dispatches.
+    pub fn new(label: &str, command: &str) -> ButtonView {
+        ButtonView {
+            base: ViewBase::new(),
+            label: label.to_string(),
+            command: command.to_string(),
+            target: None,
+            font: FontDesc::default_body(),
+            pressed: false,
+            clicks: 0,
+        }
+    }
+
+    /// Sets the view that receives the command.
+    pub fn set_target(&mut self, target: ViewId) {
+        self.target = Some(target);
+    }
+
+    /// Number of completed clicks (instrumentation).
+    pub fn clicks(&self) -> u64 {
+        self.clicks
+    }
+
+    /// The button's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl View for ButtonView {
+    fn class_name(&self) -> &'static str {
+        "button"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+
+    fn desired_size(&mut self, _world: &mut World, _budget: i32) -> Size {
+        let m = self.font.metrics();
+        Size::new(self.font.string_width(&self.label) + 16, m.line_height + 6)
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, _update: Update) {
+        let bounds = Rect::at(Point::ORIGIN, world.view_bounds(self.base.id).size());
+        g.set_foreground(Color::LIGHT_GRAY);
+        g.fill_rect(bounds.inset(1));
+        g.draw_bezel(bounds, !self.pressed);
+        g.set_font(self.font.clone());
+        g.set_foreground(Color::BLACK);
+        let text_rect = if self.pressed {
+            bounds.translate(1, 1)
+        } else {
+            bounds
+        };
+        g.draw_string_centered(text_rect, &self.label);
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        let bounds = Rect::at(Point::ORIGIN, world.view_bounds(self.base.id).size());
+        match action {
+            MouseAction::Down(Button::Left) => {
+                self.pressed = true;
+                world.post_damage_full(self.base.id);
+                true
+            }
+            MouseAction::Up(Button::Left) => {
+                let was = self.pressed;
+                self.pressed = false;
+                world.post_damage_full(self.base.id);
+                if was && bounds.contains(pt) {
+                    self.clicks += 1;
+                    if let Some(target) = self.target {
+                        world.post_command(target, &self.command);
+                    }
+                }
+                true
+            }
+            MouseAction::Drag(Button::Left) => true,
+            _ => false,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atk_core::ChangeRec;
+    use atk_core::DataId;
+
+    struct SinkView {
+        base: ViewBase,
+        commands: Vec<String>,
+    }
+    impl SinkView {
+        fn new() -> SinkView {
+            SinkView {
+                base: ViewBase::new(),
+                commands: Vec::new(),
+            }
+        }
+    }
+    impl View for SinkView {
+        fn class_name(&self) -> &'static str {
+            "sink"
+        }
+        fn id(&self) -> ViewId {
+            self.base.id
+        }
+        fn set_id(&mut self, id: ViewId) {
+            self.base.id = id;
+        }
+        fn desired_size(&mut self, _w: &mut World, _b: i32) -> Size {
+            Size::ZERO
+        }
+        fn draw(&mut self, _w: &mut World, _g: &mut dyn Graphic, _u: Update) {}
+        fn perform(&mut self, _w: &mut World, command: &str) -> bool {
+            self.commands.push(command.to_string());
+            true
+        }
+        fn observed_changed(&mut self, _w: &mut World, _d: DataId, _c: &ChangeRec) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn click_dispatches_command_to_target() {
+        let mut world = World::new();
+        let sink = world.insert_view(Box::new(SinkView::new()));
+        let mut btn = ButtonView::new("Send", "message-send");
+        btn.set_target(sink);
+        let bid = world.insert_view(Box::new(btn));
+        world.set_view_bounds(bid, Rect::new(0, 0, 60, 20));
+
+        world.with_view(bid, |v, w| {
+            v.mouse(w, MouseAction::Down(Button::Left), Point::new(5, 5));
+            v.mouse(w, MouseAction::Up(Button::Left), Point::new(5, 5));
+        });
+        world.flush_commands();
+        assert_eq!(
+            world.view_as::<SinkView>(sink).unwrap().commands,
+            vec!["message-send".to_string()]
+        );
+        assert_eq!(world.view_as::<ButtonView>(bid).unwrap().clicks(), 1);
+    }
+
+    #[test]
+    fn release_outside_cancels() {
+        let mut world = World::new();
+        let sink = world.insert_view(Box::new(SinkView::new()));
+        let mut btn = ButtonView::new("Send", "go");
+        btn.set_target(sink);
+        let bid = world.insert_view(Box::new(btn));
+        world.set_view_bounds(bid, Rect::new(0, 0, 60, 20));
+        world.with_view(bid, |v, w| {
+            v.mouse(w, MouseAction::Down(Button::Left), Point::new(5, 5));
+            v.mouse(w, MouseAction::Up(Button::Left), Point::new(200, 5));
+        });
+        assert!(world.view_as::<SinkView>(sink).unwrap().commands.is_empty());
+        assert_eq!(world.view_as::<ButtonView>(bid).unwrap().clicks(), 0);
+    }
+}

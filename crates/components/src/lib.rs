@@ -1,0 +1,48 @@
+//! Basic user-interface views for the Andrew Toolkit: "the usual set of
+//! simple components (menu, scroll bars, etc)" of paper §1, plus the
+//! frame with its message line and draggable divider from the paper's
+//! figure 1.
+//!
+//! Every type here is an ordinary [`atk_core::View`]; none has special
+//! standing with the toolkit. The [`frame::FrameView`] in particular
+//! demonstrates the event-handling claim of §3: it accepts mouse events
+//! in an *overlap band* around its divider — space that physically
+//! belongs to its children — which is exactly the interaction the paper
+//! says a screen-layout-driven dispatcher cannot express cleanly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxes;
+pub mod button;
+pub mod frame;
+pub mod label;
+pub mod list;
+pub mod scroll;
+
+pub use boxes::{BoxView, Orientation};
+pub use button::ButtonView;
+pub use frame::FrameView;
+pub use label::LabelView;
+pub use list::ListView;
+pub use scroll::ScrollView;
+
+use atk_class::ModuleSpec;
+use atk_core::Catalog;
+
+/// Registers the basic components in a catalog (module `"components"`).
+pub fn register(catalog: &mut Catalog) {
+    let _ = catalog.add_module(ModuleSpec::new(
+        "components",
+        38_000,
+        &["frame", "scroll", "button", "label", "list", "vbox", "hbox"],
+        &[],
+    ));
+    catalog.register_view("frame", || Box::new(FrameView::new()));
+    catalog.register_view("scroll", || Box::new(ScrollView::new()));
+    catalog.register_view("button", || Box::new(ButtonView::new("button", "")));
+    catalog.register_view("label", || Box::new(LabelView::new("")));
+    catalog.register_view("list", || Box::new(ListView::new("select")));
+    catalog.register_view("vbox", || Box::new(BoxView::new(Orientation::Vertical)));
+    catalog.register_view("hbox", || Box::new(BoxView::new(Orientation::Horizontal)));
+}

@@ -1,0 +1,157 @@
+//! Applications and `runapp` (paper §7).
+//!
+//! "We have created a program, called runapp, that contains the basic
+//! components of the toolkit. The code for each individual application is
+//! then dynamically loaded in at run time." — applications implement
+//! [`Application`] and register a factory in an [`AppRegistry`] alongside
+//! a module in the loader inventory; [`AppRegistry::launch`] requires the
+//! module (charging the dynamic-load cost on first use) and runs the app.
+
+use std::collections::HashMap;
+
+use atk_wm::WindowSystem;
+
+use crate::world::World;
+
+/// What an application run produced (so scripted runs can be asserted
+/// on).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AppOutcome {
+    /// Human-readable summary lines the app chose to report.
+    pub report: Vec<String>,
+    /// Events the app processed.
+    pub events_handled: u64,
+}
+
+/// A toolkit application, launchable by name through `runapp`.
+pub trait Application {
+    /// The application's name (`"ez"`, `"messages"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the application: build the view tree, process `args` (which
+    /// may include a document to open and an event script to run), and
+    /// return an outcome.
+    fn run(
+        &mut self,
+        world: &mut World,
+        ws: &mut dyn WindowSystem,
+        args: &[String],
+    ) -> Result<AppOutcome, String>;
+}
+
+/// Factory for an application instance.
+pub type AppFactory = fn() -> Box<dyn Application>;
+
+/// The `runapp` registry: application name → factory, gated by the
+/// world's dynamic loader.
+#[derive(Default)]
+pub struct AppRegistry {
+    factories: HashMap<String, AppFactory>,
+}
+
+impl AppRegistry {
+    /// An empty registry.
+    pub fn new() -> AppRegistry {
+        AppRegistry::default()
+    }
+
+    /// Registers an application factory. The module of the same name
+    /// should be in the world's loader inventory.
+    pub fn register(&mut self, name: &str, factory: AppFactory) {
+        self.factories.insert(name.to_string(), factory);
+    }
+
+    /// Registered application names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Launches `name`: requires its module through the world's loader
+    /// (first use pays the simulated load latency), instantiates it, and
+    /// runs it.
+    pub fn launch(
+        &self,
+        name: &str,
+        world: &mut World,
+        ws: &mut dyn WindowSystem,
+        args: &[String],
+    ) -> Result<AppOutcome, String> {
+        let factory = self
+            .factories
+            .get(name)
+            .ok_or_else(|| format!("runapp: no application `{name}`"))?;
+        if world.catalog.loader.module(name).is_some() {
+            world
+                .catalog
+                .loader
+                .require(name, "runapp")
+                .map_err(|e| e.to_string())?;
+        }
+        let mut app = factory();
+        app.run(world, ws, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atk_class::ModuleSpec;
+
+    struct NullApp;
+    impl Application for NullApp {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn run(
+            &mut self,
+            _world: &mut World,
+            _ws: &mut dyn WindowSystem,
+            args: &[String],
+        ) -> Result<AppOutcome, String> {
+            Ok(AppOutcome {
+                report: vec![format!("args: {}", args.len())],
+                events_handled: 0,
+            })
+        }
+    }
+
+    fn null_factory() -> Box<dyn Application> {
+        Box::new(NullApp)
+    }
+
+    #[test]
+    fn launch_by_name() {
+        let mut reg = AppRegistry::new();
+        reg.register("null", null_factory);
+        let mut world = World::new();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let out = reg
+            .launch("null", &mut world, &mut ws, &["a".into()])
+            .unwrap();
+        assert_eq!(out.report, vec!["args: 1".to_string()]);
+    }
+
+    #[test]
+    fn launch_charges_module_load() {
+        let mut reg = AppRegistry::new();
+        reg.register("null", null_factory);
+        let mut world = World::new();
+        world
+            .catalog
+            .add_module(ModuleSpec::new("null", 5_000, &[], &[]))
+            .unwrap();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        reg.launch("null", &mut world, &mut ws, &[]).unwrap();
+        assert!(world.catalog.loader.is_resident("null"));
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        let reg = AppRegistry::new();
+        let mut world = World::new();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        assert!(reg.launch("ez", &mut world, &mut ws, &[]).is_err());
+    }
+}

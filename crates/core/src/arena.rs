@@ -1,0 +1,266 @@
+//! Generational slot arenas for data objects and views.
+//!
+//! The toolkit's object graph (paper §2–3) is a web: views reference data
+//! objects, data objects observe other data objects, parents reference
+//! children. In Rust we avoid `Rc<RefCell<…>>` webs by owning everything
+//! in arenas keyed by generational ids — an id names an object without
+//! borrowing it, serializes naturally into the datastream's reference
+//! tags, and detects use-after-free (a stale generation simply fails the
+//! lookup).
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A generational index into an [`Arena<T>`].
+///
+/// The phantom parameter keeps data ids and view ids from being mixed up
+/// at compile time.
+pub struct Id<M> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M> Id<M> {
+    /// Raw slot index (for diagnostics only).
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// A sentinel id that no arena will ever return; lookups fail cleanly.
+    pub fn dangling() -> Id<M> {
+        Id {
+            index: u32::MAX,
+            generation: u32::MAX,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// Manual impls: `derive` would wrongly require `M: Trait`.
+impl<M> Clone for Id<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Id<M> {}
+impl<M> PartialEq for Id<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<M> Eq for Id<M> {}
+impl<M> std::hash::Hash for Id<M> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<M> PartialOrd for Id<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Id<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.index, self.generation).cmp(&(other.index, other.generation))
+    }
+}
+impl<M> fmt::Debug for Id<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}v{}", self.index, self.generation)
+    }
+}
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A slot arena with generational ids and O(1) insert/remove/lookup.
+pub struct Arena<T, M> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<T, M> Default for Arena<T, M> {
+    fn default() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, M> Arena<T, M> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its id.
+    pub fn insert(&mut self, value: T) -> Id<M> {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            Id {
+                index,
+                generation: slot.generation,
+                _marker: PhantomData,
+            }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            Id {
+                index,
+                generation: 0,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Removes and returns the value, invalidating the id.
+    pub fn remove(&mut self, id: Id<M>) -> Option<T> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Shared access.
+    pub fn get(&self, id: Id<M>) -> Option<&T> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Exclusive access.
+    pub fn get_mut(&mut self, id: Id<M>) -> Option<&mut T> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// True if the id refers to a live entry.
+    pub fn contains(&self, id: Id<M>) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterates live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<M>, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    Id {
+                        index: i as u32,
+                        generation: s.generation,
+                        _marker: PhantomData,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Iterates live ids.
+    pub fn ids(&self) -> Vec<Id<M>> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    enum TestMark {}
+    type TestArena = Arena<String, TestMark>;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = TestArena::new();
+        let id = a.insert("hello".into());
+        assert_eq!(a.get(id).unwrap(), "hello");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove(id).unwrap(), "hello");
+        assert!(a.get(id).is_none());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stale_id_fails_after_slot_reuse() {
+        let mut a = TestArena::new();
+        let id1 = a.insert("one".into());
+        a.remove(id1);
+        let id2 = a.insert("two".into());
+        // Slot reused, but old id must not resolve.
+        assert_eq!(id1.index(), id2.index());
+        assert!(a.get(id1).is_none());
+        assert_eq!(a.get(id2).unwrap(), "two");
+        assert!(a.remove(id1).is_none());
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut a = TestArena::new();
+        let id = a.insert("x".into());
+        a.get_mut(id).unwrap().push('y');
+        assert_eq!(a.get(id).unwrap(), "xy");
+    }
+
+    #[test]
+    fn dangling_never_resolves() {
+        let mut a = TestArena::new();
+        a.insert("a".into());
+        let d: Id<TestMark> = Id::dangling();
+        assert!(a.get(d).is_none());
+        assert!(!a.contains(d));
+    }
+
+    #[test]
+    fn iter_yields_live_entries_only() {
+        let mut a = TestArena::new();
+        let i1 = a.insert("a".into());
+        let _i2 = a.insert("b".into());
+        a.remove(i1);
+        let all: Vec<_> = a.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(all, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn ids_are_distinct_types_per_marker() {
+        // This is a compile-time property; we just exercise two arenas.
+        enum OtherMark {}
+        let mut a = TestArena::new();
+        let mut b: Arena<String, OtherMark> = Arena::new();
+        let _ida = a.insert("a".into());
+        let idb = b.insert("b".into());
+        assert_eq!(b.get(idb).unwrap(), "b");
+    }
+}

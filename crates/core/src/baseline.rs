@@ -1,0 +1,128 @@
+//! The baseline the paper argues against: a *global, physical* event
+//! dispatcher.
+//!
+//! "Other systems closely tie the handling of events to the physical
+//! relationship of components on the screen … many toolkits use a global
+//! analysis of all views in order to process and distribute events."
+//! (paper §3). The Andrew Base Editor prototype worked this way, and the
+//! paper recounts how it made the drawing editor impossible: with a line
+//! drawn over embedded text, "only the drawing component could determine
+//! whether the user was selecting the line or the underlying text",
+//! but the global dispatcher had already decided.
+//!
+//! [`GlobalDispatcher`] reproduces that model — a flat registry of
+//! screen rectangles with stacking order; the topmost rectangle under the
+//! pointer wins, unconditionally. Experiment E1 uses it two ways:
+//!
+//! * as a *performance* baseline against tree-routed dispatch, and
+//! * as a *correctness* foil: the integration test builds the paper's
+//!   line-over-text scene and shows the global model gives the event to
+//!   the wrong component, while parental dispatch resolves it.
+
+use atk_graphics::{Point, Rect};
+
+/// A registered screen element in the global model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalTarget {
+    /// Identifier chosen by the registrant.
+    pub tag: u32,
+    /// Screen rectangle (window coordinates).
+    pub rect: Rect,
+    /// Stacking order; higher is "on top".
+    pub z: i32,
+}
+
+/// A flat, globally-analyzed dispatcher (the pre-toolkit model).
+#[derive(Debug, Default)]
+pub struct GlobalDispatcher {
+    targets: Vec<GlobalTarget>,
+    dispatches: u64,
+}
+
+impl GlobalDispatcher {
+    /// An empty dispatcher.
+    pub fn new() -> GlobalDispatcher {
+        GlobalDispatcher::default()
+    }
+
+    /// Registers an element.
+    pub fn register(&mut self, tag: u32, rect: Rect, z: i32) {
+        self.targets.push(GlobalTarget { tag, rect, z });
+    }
+
+    /// Removes every element with `tag`.
+    pub fn unregister(&mut self, tag: u32) {
+        self.targets.retain(|t| t.tag != tag);
+    }
+
+    /// Number of registered elements.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Dispatches a point: the **topmost** rectangle containing it wins,
+    /// with no appeal — the global model's defining (and limiting) rule.
+    pub fn dispatch(&mut self, pt: Point) -> Option<u32> {
+        self.dispatches += 1;
+        self.targets
+            .iter()
+            .filter(|t| t.rect.contains(pt))
+            .max_by_key(|t| t.z)
+            .map(|t| t.tag)
+    }
+
+    /// Total dispatches performed.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topmost_wins() {
+        let mut d = GlobalDispatcher::new();
+        d.register(1, Rect::new(0, 0, 100, 100), 0);
+        d.register(2, Rect::new(40, 40, 20, 20), 5);
+        assert_eq!(d.dispatch(Point::new(50, 50)), Some(2));
+        assert_eq!(d.dispatch(Point::new(5, 5)), Some(1));
+        assert_eq!(d.dispatch(Point::new(500, 500)), None);
+    }
+
+    #[test]
+    fn the_line_over_text_failure() {
+        // The paper's scene: embedded text, with a drawn line crossing it.
+        // In the global model the line's (thin) rect sits on top, so a
+        // click near the line *always* selects the line — the drawing
+        // component never gets the chance to ask "line or text?".
+        let mut d = GlobalDispatcher::new();
+        const TEXT: u32 = 1;
+        const LINE: u32 = 2;
+        d.register(TEXT, Rect::new(10, 10, 200, 40), 1);
+        d.register(LINE, Rect::new(0, 28, 300, 4), 2);
+        // Click in the text area but within the line's grab band: global
+        // dispatch hands it to the line, unconditionally.
+        assert_eq!(d.dispatch(Point::new(100, 30)), Some(LINE));
+        // Even when the intent is plainly textual (caret placement between
+        // characters just below the line), the answer is the same.
+        assert_eq!(d.dispatch(Point::new(100, 29)), Some(LINE));
+    }
+
+    #[test]
+    fn unregister_removes_all_with_tag() {
+        let mut d = GlobalDispatcher::new();
+        d.register(7, Rect::new(0, 0, 10, 10), 0);
+        d.register(7, Rect::new(20, 0, 10, 10), 0);
+        d.register(8, Rect::new(40, 0, 10, 10), 0);
+        d.unregister(7);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.dispatch(Point::new(5, 5)), None);
+    }
+}

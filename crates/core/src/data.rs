@@ -1,0 +1,194 @@
+//! Data objects, change records, and the observer mechanism's vocabulary
+//! (paper §2).
+//!
+//! A *data object* "contains the information that is to be displayed" and
+//! can be saved to a file; everything about *how* it is displayed lives in
+//! views. When a view mutates a data object it then asks the
+//! [`crate::world::World`] to notify every observer with a
+//! [`ChangeRec`] describing *what* changed, and each observer computes its
+//! own minimal reaction — the paper's *delayed update* protocol, which it
+//! calls "the trickiest challenge in building a data object/view pair".
+
+use std::any::Any;
+use std::io;
+
+use crate::datastream::{DatastreamReader, DatastreamWriter, DsError};
+use crate::ids::DataId;
+use crate::world::World;
+
+/// What changed in a data object. Typed records let views repaint
+/// *incrementally* instead of redrawing everything (measured in
+/// experiment E8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeRec {
+    /// Everything may have changed; repaint fully.
+    Full,
+    /// Text edit: at `pos`, `inserted` characters arrived after `deleted`
+    /// characters were removed.
+    Text {
+        /// Buffer position of the edit.
+        pos: usize,
+        /// Number of characters inserted.
+        inserted: usize,
+        /// Number of characters deleted.
+        deleted: usize,
+    },
+    /// A rectangular range of table cells changed (inclusive).
+    Cells {
+        /// First row.
+        r0: usize,
+        /// First column.
+        c0: usize,
+        /// Last row.
+        r1: usize,
+        /// Last column.
+        c1: usize,
+    },
+    /// One element of a display list (drawing shape, animation frame)
+    /// changed.
+    Element {
+        /// Element index.
+        index: usize,
+    },
+    /// Structure changed (rows/columns/frames added or removed).
+    Structure,
+    /// Non-content metadata changed (chart labels, styles table).
+    Meta,
+}
+
+/// Who is observing a data object (paper §2: "a data object may be
+/// observed by any number of other data objects and views").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObserverRef {
+    /// A view: will receive `View::observed_changed`.
+    View(crate::ids::ViewId),
+    /// Another data object: will receive `DataObject::observed_changed`
+    /// (the auxiliary-chart-data-object pattern).
+    Data(DataId),
+}
+
+/// The data-object half of a component.
+pub trait DataObject: Any {
+    /// Class name as used in datastream markers and the class registry.
+    fn class_name(&self) -> &'static str;
+
+    /// Writes the object's body (everything between its `\begindata` and
+    /// `\enddata` markers). Embedded children are written by calling
+    /// [`DatastreamWriter::write_embedded`].
+    fn write_body(&self, w: &mut DatastreamWriter, world: &World) -> io::Result<()>;
+
+    /// Reads the object's body. The reader is positioned just after this
+    /// object's `\begindata`; the implementation must consume up to and
+    /// including its own `\enddata` (via [`DatastreamReader::next_token`]
+    /// returning [`crate::datastream::Token::EndData`]).
+    fn read_body(&mut self, r: &mut DatastreamReader<'_>, world: &mut World)
+        -> Result<(), DsError>;
+
+    /// Ids of embedded child data objects (used for reachability when
+    /// writing documents and freeing them).
+    fn embedded(&self) -> Vec<DataId> {
+        Vec::new()
+    }
+
+    /// Called when a data object this one observes has changed — the
+    /// auxiliary data-object pattern of paper §2. `me` is this object's
+    /// own id, so it can relay the change to *its* observers (chart data
+    /// relays table changes to chart views). The default ignores it.
+    fn observed_changed(
+        &mut self,
+        world: &mut World,
+        me: DataId,
+        source: DataId,
+        change: &ChangeRec,
+    ) {
+        let _ = (world, me, source, change);
+    }
+
+    /// Upcast for concrete access.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast for concrete mutation.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A data object whose class could not be resolved (no module on the
+/// search path). It preserves the raw datastream body so the document
+/// survives a load/save round trip unharmed — possible only because the
+/// format lets an object's extent be found *without parsing its
+/// contents* (paper §5).
+#[derive(Debug, Default)]
+pub struct UnknownObject {
+    /// The class name the stream claimed.
+    pub original_class: String,
+    /// Raw body lines, verbatim (including nested markers).
+    pub raw_lines: Vec<String>,
+}
+
+impl UnknownObject {
+    /// Creates an empty unknown object for `class`.
+    pub fn new(class: &str) -> UnknownObject {
+        UnknownObject {
+            original_class: class.to_string(),
+            raw_lines: Vec::new(),
+        }
+    }
+}
+
+impl DataObject for UnknownObject {
+    fn class_name(&self) -> &'static str {
+        "unknown"
+    }
+
+    fn write_body(&self, w: &mut DatastreamWriter, _world: &World) -> io::Result<()> {
+        for line in &self.raw_lines {
+            w.write_raw_line(line)?;
+        }
+        Ok(())
+    }
+
+    fn read_body(
+        &mut self,
+        r: &mut DatastreamReader<'_>,
+        _world: &mut World,
+    ) -> Result<(), DsError> {
+        // Skip-scan: capture everything up to our matching enddata
+        // without interpreting it.
+        self.raw_lines = r.skip_to_matching_end()?;
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_rec_equality() {
+        assert_eq!(
+            ChangeRec::Text {
+                pos: 1,
+                inserted: 2,
+                deleted: 0
+            },
+            ChangeRec::Text {
+                pos: 1,
+                inserted: 2,
+                deleted: 0
+            }
+        );
+        assert_ne!(ChangeRec::Full, ChangeRec::Meta);
+    }
+
+    #[test]
+    fn unknown_object_remembers_class() {
+        let u = UnknownObject::new("music");
+        assert_eq!(u.original_class, "music");
+        assert_eq!(u.class_name(), "unknown");
+    }
+}

@@ -1,0 +1,698 @@
+//! The datastream external representation (paper §5).
+//!
+//! Documents are written as nested, properly bracketed object bodies:
+//!
+//! ```text
+//! \begindata{text,1}
+//! ...text data...
+//! \begindata{table,2}
+//! ...the table data goes here...
+//! \enddata{table,2}
+//! ...more text data...
+//! \view{spread,2}
+//! ...rest of text data...
+//! \enddata{text,1}
+//! ```
+//!
+//! The format's contract, straight from the paper:
+//!
+//! * markers "must be properly nested and it must be possible to find all
+//!   the data associated with an object **without actually parsing the
+//!   data**" — see [`DatastreamReader::skip_to_matching_end`], which is
+//!   also what lets unknown components ride through unscathed;
+//! * the `\view{type,id}` construct records *which view class* displays a
+//!   data object and where;
+//! * content should be 7-bit ASCII with lines under 80 characters so
+//!   documents survive every network and mailer — the writer enforces
+//!   this by escaping and wrapping ([`escape_content`]); the
+//!   [`audit_stream`] helper verifies it for tests and benchmarks.
+//!
+//! Content lines are escaped (`\` doubled, non-ASCII as `\+XXXX;`) and
+//! wrapped with a trailing-single-`\` continuation. Because escaping
+//! always doubles backslashes, a line ending in an *odd* run of
+//! backslashes is unambiguously a continuation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+
+use crate::ids::DataId;
+use crate::world::World;
+
+/// Maximum physical line length the writer produces (paper: "below 80").
+pub const MAX_LINE: usize = 78;
+
+/// Errors from reading a datastream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsError {
+    /// Input ended while an object was still open.
+    UnexpectedEof,
+    /// A marker line could not be parsed.
+    Malformed(String),
+    /// `\enddata` did not match the open `\begindata`.
+    MarkerMismatch {
+        /// What was open.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A `\view` referenced a stream id never defined by a `\begindata`.
+    DanglingViewRef(u32),
+    /// Component creation failed (even the unknown-object fallback).
+    Component(String),
+    /// I/O failure while writing.
+    Io(String),
+}
+
+impl fmt::Display for DsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsError::UnexpectedEof => write!(f, "unexpected end of datastream"),
+            DsError::Malformed(l) => write!(f, "malformed datastream line: {l}"),
+            DsError::MarkerMismatch { expected, found } => {
+                write!(f, "marker mismatch: expected {expected}, found {found}")
+            }
+            DsError::DanglingViewRef(id) => write!(f, "\\view references undefined id {id}"),
+            DsError::Component(e) => write!(f, "component error: {e}"),
+            DsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}
+
+/// One lexical element of a datastream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `\begindata{class,id}`.
+    BeginData {
+        /// Component class name.
+        class: String,
+        /// Stream-local object id.
+        sid: u32,
+    },
+    /// `\enddata{class,id}`.
+    EndData {
+        /// Component class name.
+        class: String,
+        /// Stream-local object id.
+        sid: u32,
+    },
+    /// `\view{viewclass,id}` — place a view of class `class` on the data
+    /// object with stream id `sid` here.
+    ViewRef {
+        /// View class name.
+        class: String,
+        /// Stream id of the data object being viewed.
+        sid: u32,
+    },
+    /// An unescaped content line.
+    Line(String),
+}
+
+/// Escapes one logical content line into one or more physical lines,
+/// each ≤ [`MAX_LINE`] characters of printable 7-bit ASCII.
+pub fn escape_content(s: &str) -> Vec<String> {
+    let mut escaped = String::with_capacity(s.len() + 8);
+    for ch in s.chars() {
+        match ch {
+            '\\' => escaped.push_str("\\\\"),
+            '\t' => escaped.push(ch),
+            c if (c as u32) < 0x20 || (c as u32) > 0x7e => {
+                escaped.push_str(&format!("\\+{:04X};", c as u32));
+            }
+            c => escaped.push(c),
+        }
+    }
+    // Wrap with continuation backslashes, never splitting an escape
+    // sequence (backslash run or \+XXXX;).
+    let bytes = escaped.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while bytes.len() - start > MAX_LINE {
+        let mut cut = start + MAX_LINE - 1; // Room for the trailing '\'.
+                                            // Do not cut inside a "\+XXXX;" sequence.
+        while cut > start {
+            let window_start = cut.saturating_sub(6).max(start);
+            let tail = &escaped[window_start..cut];
+            if let Some(pos) = tail.rfind("\\+") {
+                let abs = window_start + pos;
+                if abs + 7 > cut {
+                    cut = abs;
+                    continue;
+                }
+            }
+            break;
+        }
+        // Do not cut inside a backslash run (would create a spurious
+        // odd-length run).
+        while cut > start && bytes[cut - 1] == b'\\' {
+            let mut run = 0;
+            let mut i = cut;
+            while i > start && bytes[i - 1] == b'\\' {
+                run += 1;
+                i -= 1;
+            }
+            if run % 2 == 0 {
+                break;
+            }
+            cut -= 1;
+        }
+        if cut == start {
+            cut = start + MAX_LINE - 1; // Give up; pathological input.
+        }
+        out.push(format!("{}\\", &escaped[start..cut]));
+        start = cut;
+    }
+    out.push(escaped[start..].to_string());
+    out
+}
+
+/// Counts trailing backslashes of a physical line.
+fn trailing_backslashes(s: &str) -> usize {
+    s.bytes().rev().take_while(|&b| b == b'\\').count()
+}
+
+/// Unescapes content previously produced by [`escape_content`] (joined
+/// physical lines with continuations already resolved).
+pub fn unescape_content(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.peek() {
+            Some('\\') => {
+                chars.next();
+                out.push('\\');
+            }
+            Some('+') => {
+                chars.next();
+                let mut hex = String::new();
+                for h in chars.by_ref() {
+                    if h == ';' {
+                        break;
+                    }
+                    hex.push(h);
+                }
+                if let Ok(code) = u32::from_str_radix(&hex, 16) {
+                    if let Some(ch) = char::from_u32(code) {
+                        out.push(ch);
+                    }
+                }
+            }
+            _ => out.push('\\'), // Lenient: stray backslash kept.
+        }
+    }
+    out
+}
+
+/// Parses a marker line like `\begindata{text,1}`; returns (keyword,
+/// class, id).
+fn parse_marker(line: &str) -> Option<(&str, String, u32)> {
+    let rest = line.strip_prefix('\\')?;
+    for kw in ["begindata", "enddata", "view"] {
+        if let Some(args) = rest.strip_prefix(kw) {
+            let args = args.strip_prefix('{')?.strip_suffix('}')?;
+            let (class, id) = args.split_once(',')?;
+            let id: u32 = id.trim().parse().ok()?;
+            return Some((kw, class.trim().to_string(), id));
+        }
+    }
+    None
+}
+
+/// True if the raw line is a marker (and not escaped content, whose
+/// backslashes are always doubled).
+fn is_marker(line: &str) -> bool {
+    line.starts_with("\\begindata{")
+        || line.starts_with("\\enddata{")
+        || line.starts_with("\\view{")
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes data objects to a datastream.
+pub struct DatastreamWriter<'a> {
+    out: &'a mut dyn Write,
+    sids: HashMap<DataId, u32>,
+    written: std::collections::HashSet<DataId>,
+    next_sid: u32,
+    depth: usize,
+    lines_written: u64,
+}
+
+impl<'a> DatastreamWriter<'a> {
+    /// Creates a writer over any byte sink.
+    pub fn new(out: &'a mut dyn Write) -> DatastreamWriter<'a> {
+        DatastreamWriter {
+            out,
+            sids: HashMap::new(),
+            written: std::collections::HashSet::new(),
+            next_sid: 1,
+            depth: 0,
+            lines_written: 0,
+        }
+    }
+
+    /// The stream id assigned to `id` (assigning a fresh one if needed).
+    pub fn sid_for(&mut self, id: DataId) -> u32 {
+        if let Some(s) = self.sids.get(&id) {
+            return *s;
+        }
+        let s = self.next_sid;
+        self.next_sid += 1;
+        self.sids.insert(id, s);
+        s
+    }
+
+    /// Writes a whole embedded object: `\begindata`, its body, `\enddata`.
+    /// Returns the stream id, which the caller can later reference with
+    /// [`DatastreamWriter::write_view_ref`].
+    pub fn write_embedded(&mut self, world: &World, id: DataId) -> io::Result<u32> {
+        let sid = self.sid_for(id);
+        // A data object shared by several views/parents is written once;
+        // later references reuse its stream id (the id tag of §5 exists
+        // exactly so objects can be referenced "by other data objects").
+        if !self.written.insert(id) {
+            return Ok(sid);
+        }
+        let obj = world
+            .data_dyn(id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "dangling data id"))?;
+        let class = match obj.as_any().downcast_ref::<crate::data::UnknownObject>() {
+            Some(u) => u.original_class.clone(),
+            None => obj.class_name().to_string(),
+        };
+        writeln!(self.out, "\\begindata{{{class},{sid}}}")?;
+        self.lines_written += 1;
+        self.depth += 1;
+        obj.write_body(self, world)?;
+        self.depth -= 1;
+        writeln!(self.out, "\\enddata{{{class},{sid}}}")?;
+        self.lines_written += 1;
+        Ok(sid)
+    }
+
+    /// Writes a `\view{class,sid}` placement for a previously embedded
+    /// object.
+    pub fn write_view_ref(&mut self, view_class: &str, sid: u32) -> io::Result<()> {
+        writeln!(self.out, "\\view{{{view_class},{sid}}}")?;
+        self.lines_written += 1;
+        Ok(())
+    }
+
+    /// Writes one logical content line, escaped and wrapped.
+    pub fn write_line(&mut self, content: &str) -> io::Result<()> {
+        for phys in escape_content(content) {
+            writeln!(self.out, "{phys}")?;
+            self.lines_written += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes an already-escaped physical line verbatim (used by
+    /// [`crate::data::UnknownObject`] to preserve foreign content).
+    pub fn write_raw_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.out, "{line}")?;
+        self.lines_written += 1;
+        Ok(())
+    }
+
+    /// Current nesting depth (0 at top level).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Physical lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written
+    }
+}
+
+/// Writes a complete document rooted at `root`.
+pub fn write_document(world: &World, root: DataId, out: &mut dyn Write) -> io::Result<()> {
+    let mut w = DatastreamWriter::new(out);
+    w.write_embedded(world, root)?;
+    Ok(())
+}
+
+/// Convenience: a document as a `String`.
+pub fn document_to_string(world: &World, root: DataId) -> String {
+    let mut buf = Vec::new();
+    write_document(world, root, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("datastream output is always ASCII")
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Parses a datastream, creating components through the world's catalog.
+pub struct DatastreamReader<'a> {
+    lines: std::str::Lines<'a>,
+    peeked: Option<Token>,
+    sid_map: HashMap<u32, DataId>,
+    open: Vec<(String, u32)>,
+}
+
+impl<'a> DatastreamReader<'a> {
+    /// Creates a reader over a full document.
+    pub fn new(src: &'a str) -> DatastreamReader<'a> {
+        DatastreamReader {
+            lines: src.lines(),
+            peeked: None,
+            sid_map: HashMap::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Resolves a stream id seen in a `\view` to the data object created
+    /// for it.
+    pub fn lookup_sid(&self, sid: u32) -> Option<DataId> {
+        self.sid_map.get(&sid).copied()
+    }
+
+    fn next_raw_joined(&mut self) -> Option<String> {
+        let mut line = self.lines.next()?.to_string();
+        if is_marker(&line) {
+            return Some(line);
+        }
+        // Join continuation lines (odd trailing backslash run).
+        while trailing_backslashes(&line) % 2 == 1 {
+            line.pop();
+            match self.lines.next() {
+                Some(next) => line.push_str(next),
+                None => break,
+            }
+        }
+        Some(line)
+    }
+
+    /// Returns the next token without consuming it.
+    pub fn peek_token(&mut self) -> Result<Option<&Token>, DsError> {
+        if self.peeked.is_none() {
+            self.peeked = self.read_token()?;
+        }
+        Ok(self.peeked.as_ref())
+    }
+
+    /// Returns and consumes the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, DsError> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(Some(t));
+        }
+        self.read_token()
+    }
+
+    fn read_token(&mut self) -> Result<Option<Token>, DsError> {
+        let Some(raw) = self.next_raw_joined() else {
+            return Ok(None);
+        };
+        if is_marker(&raw) {
+            let (kw, class, sid) =
+                parse_marker(&raw).ok_or_else(|| DsError::Malformed(raw.clone()))?;
+            let tok = match kw {
+                "begindata" => {
+                    self.open.push((class.clone(), sid));
+                    Token::BeginData { class, sid }
+                }
+                "enddata" => {
+                    match self.open.pop() {
+                        Some((oc, os)) if oc == class && os == sid => {}
+                        Some((oc, os)) => {
+                            return Err(DsError::MarkerMismatch {
+                                expected: format!("\\enddata{{{oc},{os}}}"),
+                                found: raw,
+                            })
+                        }
+                        None => {
+                            return Err(DsError::MarkerMismatch {
+                                expected: "(nothing open)".to_string(),
+                                found: raw,
+                            })
+                        }
+                    }
+                    Token::EndData { class, sid }
+                }
+                "view" => Token::ViewRef { class, sid },
+                _ => unreachable!("parse_marker keywords"),
+            };
+            Ok(Some(tok))
+        } else {
+            Ok(Some(Token::Line(unescape_content(&raw))))
+        }
+    }
+
+    /// Reads one whole object. The next token must be its `\begindata`.
+    /// Creates the data object through the world's catalog (falling back
+    /// to [`crate::data::UnknownObject`] when the class has no loadable
+    /// module), recursively reading its body, and returns its id.
+    pub fn read_object(&mut self, world: &mut World) -> Result<DataId, DsError> {
+        let tok = self.next_token()?.ok_or(DsError::UnexpectedEof)?;
+        let (class, sid) = match tok {
+            Token::BeginData { class, sid } => (class, sid),
+            other => {
+                return Err(DsError::Malformed(format!(
+                    "expected \\begindata, found {other:?}"
+                )))
+            }
+        };
+        self.read_object_body(world, &class, sid)
+    }
+
+    /// Reads an object whose `\begindata{class,sid}` token was already
+    /// consumed (components embedding children hit this case: their body
+    /// loop pulls the token, then delegates here).
+    pub fn read_object_body(
+        &mut self,
+        world: &mut World,
+        class: &str,
+        sid: u32,
+    ) -> Result<DataId, DsError> {
+        let mut obj = match world.create_data(class) {
+            Ok(obj) => obj,
+            Err(_) => Box::new(crate::data::UnknownObject::new(class)),
+        };
+        obj.read_body(self, world)?;
+        let id = world.insert_data(obj);
+        self.sid_map.insert(sid, id);
+        Ok(id)
+    }
+
+    /// Captures raw physical lines up to (and consuming) the `\enddata`
+    /// matching the innermost open `\begindata`, **without parsing
+    /// content** — the paper's skip-scan requirement. Nested objects'
+    /// markers are captured verbatim.
+    pub fn skip_to_matching_end(&mut self) -> Result<Vec<String>, DsError> {
+        assert!(
+            self.peeked.is_none(),
+            "skip_to_matching_end after peeking would lose a token"
+        );
+        let mut depth = 0usize;
+        let mut captured = Vec::new();
+        loop {
+            let Some(raw) = self.lines.next() else {
+                return Err(DsError::UnexpectedEof);
+            };
+            if raw.starts_with("\\begindata{") {
+                depth += 1;
+            } else if raw.starts_with("\\enddata{") {
+                if depth == 0 {
+                    // This closes *us*; keep the open-stack consistent.
+                    self.open.pop();
+                    return Ok(captured);
+                }
+                depth -= 1;
+            }
+            captured.push(raw.to_string());
+        }
+    }
+}
+
+/// Reads a complete document, returning the root data object.
+pub fn read_document(world: &mut World, src: &str) -> Result<DataId, DsError> {
+    let mut r = DatastreamReader::new(src);
+    let id = r.read_object(world)?;
+    Ok(id)
+}
+
+// ---------------------------------------------------------------------------
+// Audit
+// ---------------------------------------------------------------------------
+
+/// A transport-safety violation found by [`audit_stream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A line exceeds 80 characters.
+    LongLine {
+        /// 1-based line number.
+        line: usize,
+        /// Its length.
+        len: usize,
+    },
+    /// A byte outside printable 7-bit ASCII (tab excepted).
+    NonAscii {
+        /// 1-based line number.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+/// Checks a serialized stream against the paper's transport guidelines:
+/// only printable 7-bit ASCII (plus tab/newline) and lines ≤ 80 chars.
+pub fn audit_stream(stream: &str) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for (i, line) in stream.lines().enumerate() {
+        if line.len() > 80 {
+            v.push(Violation::LongLine {
+                line: i + 1,
+                len: line.len(),
+            });
+        }
+        for &b in line.as_bytes() {
+            if b != b'\t' && !(0x20..=0x7e).contains(&b) {
+                v.push(Violation::NonAscii {
+                    line: i + 1,
+                    byte: b,
+                });
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip_simple() {
+        for s in ["hello world", "tabs\tstay", "back\\slash", "", "a"] {
+            let phys = escape_content(s);
+            assert_eq!(phys.len(), 1);
+            assert_eq!(unescape_content(&phys[0]), s);
+        }
+    }
+
+    #[test]
+    fn escape_non_ascii() {
+        let phys = escape_content("café ← ok");
+        assert_eq!(phys.len(), 1);
+        assert!(phys[0].is_ascii());
+        assert_eq!(unescape_content(&phys[0]), "café ← ok");
+    }
+
+    #[test]
+    fn long_lines_wrap_with_continuation() {
+        let long: String = "x".repeat(300);
+        let phys = escape_content(&long);
+        assert!(phys.len() > 1);
+        for p in &phys {
+            assert!(p.len() <= MAX_LINE, "line too long: {}", p.len());
+        }
+        // All but the last end with a single (odd) backslash.
+        for p in &phys[..phys.len() - 1] {
+            assert_eq!(trailing_backslashes(p) % 2, 1);
+        }
+        // Joining reverses it.
+        let mut joined = String::new();
+        for p in &phys[..phys.len() - 1] {
+            joined.push_str(&p[..p.len() - 1]);
+        }
+        joined.push_str(&phys[phys.len() - 1]);
+        assert_eq!(unescape_content(&joined), long);
+    }
+
+    #[test]
+    fn wrap_never_splits_escapes() {
+        // Lines of backslashes and unicode stress the cut logic.
+        let nasty: String = "\\é".repeat(60);
+        let phys = escape_content(&nasty);
+        let mut joined = String::new();
+        for p in &phys[..phys.len() - 1] {
+            assert_eq!(trailing_backslashes(p) % 2, 1, "bad continuation: {p:?}");
+            joined.push_str(&p[..p.len() - 1]);
+        }
+        joined.push_str(&phys[phys.len() - 1]);
+        assert_eq!(unescape_content(&joined), nasty);
+    }
+
+    #[test]
+    fn marker_parsing() {
+        assert_eq!(
+            parse_marker("\\begindata{text,1}"),
+            Some(("begindata", "text".to_string(), 1))
+        );
+        assert_eq!(
+            parse_marker("\\view{spread, 2}"),
+            Some(("view", "spread".to_string(), 2))
+        );
+        assert_eq!(parse_marker("\\begindata{text}"), None);
+        assert_eq!(parse_marker("not a marker"), None);
+    }
+
+    #[test]
+    fn tokenizer_sequences_paper_example() {
+        let src = "\\begindata{text,1}\n. text data ...\n\\begindata{table,2}\nthe table data goes here ...\n\\enddata{table,2}\nmore text data ...\n\\view{spread,2}\nrest of text data ...\n\\enddata{text,1}\n";
+        let mut r = DatastreamReader::new(src);
+        let mut kinds = Vec::new();
+        while let Some(t) = r.next_token().unwrap() {
+            kinds.push(match t {
+                Token::BeginData { class, .. } => format!("begin:{class}"),
+                Token::EndData { class, .. } => format!("end:{class}"),
+                Token::ViewRef { class, .. } => format!("view:{class}"),
+                Token::Line(_) => "line".to_string(),
+            });
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                "begin:text",
+                "line",
+                "begin:table",
+                "line",
+                "end:table",
+                "line",
+                "view:spread",
+                "line",
+                "end:text"
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatched_markers_rejected() {
+        let src = "\\begindata{text,1}\n\\enddata{table,1}\n";
+        let mut r = DatastreamReader::new(src);
+        r.next_token().unwrap();
+        assert!(matches!(
+            r.next_token(),
+            Err(DsError::MarkerMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn audit_catches_violations() {
+        let ok = "\\begindata{text,1}\nshort line\n\\enddata{text,1}\n";
+        assert!(audit_stream(ok).is_empty());
+        let long = format!("{}\n", "y".repeat(100));
+        assert_eq!(audit_stream(&long).len(), 1);
+        let binary = "caf\u{00e9}\n";
+        assert!(!audit_stream(binary).is_empty());
+    }
+
+    #[test]
+    fn escaped_marker_lookalikes_stay_content() {
+        // Content that *talks about* markers must not be parsed as one.
+        let phys = escape_content("\\begindata{text,1}");
+        assert!(phys[0].starts_with("\\\\"));
+        assert!(!is_marker(&phys[0]));
+        assert_eq!(unescape_content(&phys[0]), "\\begindata{text,1}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Typed identifiers for the two object arenas.
+
+use crate::arena::Id;
+
+/// Marker type for data-object ids.
+pub enum DataMark {}
+/// Marker type for view ids.
+pub enum ViewMark {}
+
+/// Identifier of a data object in the [`crate::world::World`].
+pub type DataId = Id<DataMark>;
+/// Identifier of a view in the [`crate::world::World`].
+pub type ViewId = Id<ViewMark>;

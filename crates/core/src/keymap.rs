@@ -1,0 +1,219 @@
+//! Key bindings: sequences of keys mapped to named commands.
+//!
+//! "These commands can be bound either to key sequences or to menus"
+//! (paper §7). A [`Keymap`] maps key *sequences* (so `C-x C-s` works) to
+//! command strings dispatched through `View::perform`; a [`KeyState`]
+//! tracks an in-progress multi-key sequence. Keymaps compose along the
+//! focus path — a deeper view's map shadows its ancestors', the keyboard
+//! half of parental authority.
+
+use std::collections::HashMap;
+
+use atk_wm::Key;
+
+/// A table of key-sequence bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Keymap {
+    bindings: HashMap<Vec<Key>, String>,
+    prefixes: HashMap<Vec<Key>, usize>,
+}
+
+impl Keymap {
+    /// An empty keymap.
+    pub fn new() -> Keymap {
+        Keymap::default()
+    }
+
+    /// Binds a key sequence to a command, replacing any previous binding.
+    pub fn bind(&mut self, seq: &[Key], command: &str) {
+        for n in 1..seq.len() {
+            *self.prefixes.entry(seq[..n].to_vec()).or_insert(0) += 1;
+        }
+        self.bindings.insert(seq.to_vec(), command.to_string());
+    }
+
+    /// Convenience: binds a single key.
+    pub fn bind1(&mut self, key: Key, command: &str) {
+        self.bind(&[key], command);
+    }
+
+    /// The command bound to an exact sequence.
+    pub fn lookup(&self, seq: &[Key]) -> Option<&str> {
+        self.bindings.get(seq).map(String::as_str)
+    }
+
+    /// True if `seq` is a proper prefix of some longer binding.
+    pub fn is_prefix(&self, seq: &[Key]) -> bool {
+        self.prefixes.contains_key(seq)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// Result of feeding one key to a [`KeyState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyOutcome {
+    /// The sequence completed: dispatch this command.
+    Command(String),
+    /// The key begins or continues a multi-key sequence.
+    Pending,
+    /// No binding matched; the key should be handled as plain input.
+    Unbound(Vec<Key>),
+}
+
+/// Tracks an in-progress key sequence against a stack of keymaps
+/// (deepest view first — its bindings shadow the ancestors').
+#[derive(Debug, Clone, Default)]
+pub struct KeyState {
+    pending: Vec<Key>,
+}
+
+impl KeyState {
+    /// A fresh state with no pending keys.
+    pub fn new() -> KeyState {
+        KeyState::default()
+    }
+
+    /// True if a multi-key sequence is in progress.
+    pub fn in_progress(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Abandons any in-progress sequence.
+    pub fn reset(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Feeds a key against the maps (deepest-first).
+    pub fn feed(&mut self, maps: &[&Keymap], key: Key) -> KeyOutcome {
+        self.pending.push(key);
+        // Exact match in the closest map that has one wins.
+        for map in maps {
+            if let Some(cmd) = map.lookup(&self.pending) {
+                let cmd = cmd.to_string();
+                self.pending.clear();
+                return KeyOutcome::Command(cmd);
+            }
+        }
+        if maps.iter().any(|m| m.is_prefix(&self.pending)) {
+            return KeyOutcome::Pending;
+        }
+        let keys = std::mem::take(&mut self.pending);
+        KeyOutcome::Unbound(keys)
+    }
+}
+
+/// The classic editing bindings shared by every text-like view (a subset
+/// of the EZ bindings that let it replace emacs on campus, paper §9).
+pub fn standard_editing_keymap() -> Keymap {
+    let mut m = Keymap::new();
+    m.bind1(Key::Ctrl('f'), "forward-char");
+    m.bind1(Key::Right, "forward-char");
+    m.bind1(Key::Ctrl('b'), "backward-char");
+    m.bind1(Key::Left, "backward-char");
+    m.bind1(Key::Ctrl('n'), "next-line");
+    m.bind1(Key::Down, "next-line");
+    m.bind1(Key::Ctrl('p'), "previous-line");
+    m.bind1(Key::Up, "previous-line");
+    m.bind1(Key::Ctrl('a'), "beginning-of-line");
+    m.bind1(Key::Home, "beginning-of-line");
+    m.bind1(Key::Ctrl('e'), "end-of-line");
+    m.bind1(Key::End, "end-of-line");
+    m.bind1(Key::Ctrl('d'), "delete-char");
+    m.bind1(Key::Delete, "delete-char");
+    m.bind1(Key::Backspace, "delete-backward-char");
+    m.bind1(Key::Ctrl('k'), "kill-line");
+    m.bind1(Key::Ctrl('y'), "yank");
+    m.bind1(Key::Ctrl('v'), "next-page");
+    m.bind1(Key::PageDown, "next-page");
+    m.bind1(Key::Meta('v'), "previous-page");
+    m.bind1(Key::PageUp, "previous-page");
+    m.bind1(Key::Meta('<'), "beginning-of-text");
+    m.bind1(Key::Meta('>'), "end-of-text");
+    m.bind(&[Key::Ctrl('x'), Key::Ctrl('s')], "save-document");
+    m.bind(&[Key::Ctrl('x'), Key::Ctrl('w')], "write-document");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_key_binding() {
+        let mut m = Keymap::new();
+        m.bind1(Key::Ctrl('f'), "forward-char");
+        let mut st = KeyState::new();
+        assert_eq!(
+            st.feed(&[&m], Key::Ctrl('f')),
+            KeyOutcome::Command("forward-char".into())
+        );
+        assert!(!st.in_progress());
+    }
+
+    #[test]
+    fn multi_key_sequence() {
+        let m = standard_editing_keymap();
+        let mut st = KeyState::new();
+        assert_eq!(st.feed(&[&m], Key::Ctrl('x')), KeyOutcome::Pending);
+        assert!(st.in_progress());
+        assert_eq!(
+            st.feed(&[&m], Key::Ctrl('s')),
+            KeyOutcome::Command("save-document".into())
+        );
+    }
+
+    #[test]
+    fn broken_sequence_returns_unbound_keys() {
+        let m = standard_editing_keymap();
+        let mut st = KeyState::new();
+        st.feed(&[&m], Key::Ctrl('x'));
+        let out = st.feed(&[&m], Key::Char('q'));
+        assert_eq!(
+            out,
+            KeyOutcome::Unbound(vec![Key::Ctrl('x'), Key::Char('q')])
+        );
+        assert!(!st.in_progress());
+    }
+
+    #[test]
+    fn deeper_map_shadows_ancestor() {
+        let mut parent = Keymap::new();
+        parent.bind1(Key::Ctrl('s'), "frame-search");
+        let mut child = Keymap::new();
+        child.bind1(Key::Ctrl('s'), "text-search");
+        let mut st = KeyState::new();
+        // Deepest-first ordering.
+        assert_eq!(
+            st.feed(&[&child, &parent], Key::Ctrl('s')),
+            KeyOutcome::Command("text-search".into())
+        );
+    }
+
+    #[test]
+    fn unbound_plain_char_passes_through() {
+        let m = standard_editing_keymap();
+        let mut st = KeyState::new();
+        assert_eq!(
+            st.feed(&[&m], Key::Char('z')),
+            KeyOutcome::Unbound(vec![Key::Char('z')])
+        );
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut m = Keymap::new();
+        m.bind1(Key::Tab, "indent");
+        m.bind1(Key::Tab, "next-field");
+        assert_eq!(m.lookup(&[Key::Tab]), Some("next-field"));
+        assert_eq!(m.len(), 1);
+    }
+}

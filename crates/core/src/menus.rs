@@ -1,0 +1,95 @@
+//! Menu negotiation (paper §3).
+//!
+//! "The same mechanism is used between children and parents to negotiate
+//! the contents of menus…" — every view on the focus path contributes
+//! [`MenuItem`]s; the interaction manager merges them with
+//! [`merge_menus`], letting deeper (more specific) views override or
+//! shadow their ancestors' items of the same label.
+
+/// One menu entry a view contributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MenuItem {
+    /// The card (submenu) this item belongs to, e.g. `"File"`.
+    pub card: String,
+    /// The visible label, e.g. `"Save"`.
+    pub label: String,
+    /// The command dispatched through `View::perform` when chosen.
+    pub command: String,
+}
+
+impl MenuItem {
+    /// Creates an item.
+    pub fn new(card: &str, label: &str, command: &str) -> MenuItem {
+        MenuItem {
+            card: card.to_string(),
+            label: label.to_string(),
+            command: command.to_string(),
+        }
+    }
+}
+
+/// Merges menu contributions along the focus path. `contributions` is
+/// ordered root-first; later (deeper) contributors override earlier items
+/// with the same card+label, and otherwise append.
+pub fn merge_menus(contributions: &[Vec<MenuItem>]) -> Vec<MenuItem> {
+    let mut merged: Vec<MenuItem> = Vec::new();
+    for contribution in contributions {
+        for item in contribution {
+            if let Some(existing) = merged
+                .iter_mut()
+                .find(|m| m.card == item.card && m.label == item.label)
+            {
+                existing.command = item.command.clone();
+            } else {
+                merged.push(item.clone());
+            }
+        }
+    }
+    // Stable grouping by card keeps related items together while
+    // preserving contribution order within a card.
+    let mut cards: Vec<String> = Vec::new();
+    for m in &merged {
+        if !cards.contains(&m.card) {
+            cards.push(m.card.clone());
+        }
+    }
+    let mut out = Vec::with_capacity(merged.len());
+    for card in cards {
+        out.extend(merged.iter().filter(|m| m.card == card).cloned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_views_override_same_label() {
+        let root = vec![MenuItem::new("File", "Save", "frame-save")];
+        let leaf = vec![MenuItem::new("File", "Save", "text-save")];
+        let merged = merge_menus(&[root, leaf]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].command, "text-save");
+    }
+
+    #[test]
+    fn distinct_items_accumulate_grouped_by_card() {
+        let a = vec![
+            MenuItem::new("File", "Save", "save"),
+            MenuItem::new("Edit", "Cut", "cut"),
+        ];
+        let b = vec![MenuItem::new("File", "Print", "print")];
+        let merged = merge_menus(&[a, b]);
+        assert_eq!(
+            merged.iter().map(|m| m.label.as_str()).collect::<Vec<_>>(),
+            vec!["Save", "Print", "Cut"]
+        );
+    }
+
+    #[test]
+    fn empty_contributions_are_fine() {
+        assert!(merge_menus(&[]).is_empty());
+        assert!(merge_menus(&[vec![], vec![]]).is_empty());
+    }
+}

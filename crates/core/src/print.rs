@@ -1,0 +1,90 @@
+//! Printing (paper §4).
+//!
+//! "When a view receives a print request for a specific type of printer
+//! it can temporarily shift its pointer to a drawable for that printer
+//! type and do a redraw of its image. We expect to provide this facility
+//! in a later version of the toolkit." — this module is that later
+//! version: [`print_view`] repaints any view (and its whole subtree,
+//! embedded components included) onto a PostScript drawable, reusing the
+//! exact draw code that paints the screen.
+
+use atk_graphics::Rect;
+use atk_wm::printer::PostScriptGraphic;
+use atk_wm::Graphic;
+
+use crate::ids::ViewId;
+use crate::view::Update;
+use crate::world::World;
+
+/// US-letter page in our device units.
+pub const PAGE_WIDTH: i32 = 612;
+/// US-letter page height.
+pub const PAGE_HEIGHT: i32 = 792;
+
+/// Prints a view: repaints it (full update) onto a printer drawable and
+/// returns the PostScript program. The view keeps its current bounds; it
+/// is placed at the page's top-left with a small margin.
+pub fn print_view(world: &mut World, view: ViewId) -> String {
+    let mut ps = PostScriptGraphic::new(PAGE_WIDTH, PAGE_HEIGHT);
+    let bounds = world.view_bounds(view);
+    ps.gsave();
+    ps.translate(36, 36);
+    ps.clip_rect(Rect::new(0, 0, bounds.width, bounds.height));
+    world.with_view(view, |v, w| v.draw(w, &mut ps, Update::Full));
+    ps.grestore();
+    ps.document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::ChangeRec;
+    use crate::ids::DataId;
+    use crate::view::{View, ViewBase};
+    use atk_graphics::{Point, Size};
+    use std::any::Any;
+
+    struct Inked {
+        base: ViewBase,
+    }
+    impl View for Inked {
+        fn class_name(&self) -> &'static str {
+            "inked"
+        }
+        fn id(&self) -> ViewId {
+            self.base.id
+        }
+        fn set_id(&mut self, id: ViewId) {
+            self.base.id = id;
+        }
+        fn desired_size(&mut self, _w: &mut World, _b: i32) -> Size {
+            Size::new(100, 40)
+        }
+        fn draw(&mut self, _w: &mut World, g: &mut dyn atk_wm::Graphic, _u: Update) {
+            g.fill_rect(Rect::new(5, 5, 50, 20));
+            g.draw_string(Point::new(10, 10), "printed");
+        }
+        fn observed_changed(&mut self, _w: &mut World, _d: DataId, _c: &ChangeRec) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn print_reuses_the_screen_draw_path() {
+        let mut world = World::new();
+        let v = world.insert_view(Box::new(Inked {
+            base: ViewBase::new(),
+        }));
+        world.set_view_bounds(v, Rect::new(0, 0, 100, 40));
+        let ps = print_view(&mut world, v);
+        assert!(ps.starts_with("%!PS-Adobe-2.0"));
+        assert!(ps.contains("(printed) show"));
+        assert!(ps.contains("fill"));
+        // The page margin translation is in effect (device x = 36+5).
+        assert!(ps.contains("41 "), "margin-translated coords:\n{ps}");
+    }
+}

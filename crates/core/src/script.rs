@@ -1,0 +1,234 @@
+//! Scripted event sources: the deterministic stand-in for a user at the
+//! display.
+//!
+//! The paper's applications were exercised by ~3000 campus users; ours
+//! are exercised by event scripts, which is what makes every snapshot and
+//! benchmark reproducible. A script is a line-oriented text format:
+//!
+//! ```text
+//! # move, press, type, choose a menu item, let time pass
+//! mouse move 120 80
+//! mouse down 120 80
+//! mouse up 120 80
+//! type Hello, world
+//! key C-x
+//! key C-s
+//! key RET
+//! menu request
+//! menu select Save
+//! tick 250
+//! resize 800 600
+//! ```
+
+use atk_graphics::{Point, Size};
+use atk_wm::{Button, Key, MouseAction, WindowEvent};
+
+use crate::im::InteractionManager;
+use crate::world::World;
+
+/// One step of a script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptStep {
+    /// Post a window event.
+    Event(WindowEvent),
+    /// Request menus, then select the item with this label.
+    MenuSelect(String),
+}
+
+/// A parsed script.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventScript {
+    /// The steps, in order.
+    pub steps: Vec<ScriptStep>,
+}
+
+impl EventScript {
+    /// Parses script text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and a description for the first
+    /// malformed line.
+    pub fn parse(src: &str) -> Result<EventScript, (usize, String)> {
+        let mut steps = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| (idx + 1, format!("{msg}: {raw}"));
+            let mut words = line.split_whitespace();
+            match words.next().unwrap() {
+                "mouse" => {
+                    let verb = words.next().ok_or_else(|| err("missing mouse verb"))?;
+                    let btn = match verb {
+                        "down" | "up" | "drag" | "move" => Button::Left,
+                        "rdown" | "rup" => Button::Right,
+                        "mdown" | "mup" => Button::Middle,
+                        _ => return Err(err("unknown mouse verb")),
+                    };
+                    let action = match verb {
+                        "down" | "rdown" | "mdown" => MouseAction::Down(btn),
+                        "up" | "rup" | "mup" => MouseAction::Up(btn),
+                        "drag" => MouseAction::Drag(btn),
+                        "move" => MouseAction::Movement,
+                        _ => unreachable!(),
+                    };
+                    let x: i32 = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad x"))?;
+                    let y: i32 = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad y"))?;
+                    steps.push(ScriptStep::Event(WindowEvent::Mouse {
+                        action,
+                        pos: Point::new(x, y),
+                    }));
+                }
+                "key" => {
+                    let name = words.next().ok_or_else(|| err("missing key"))?;
+                    let key = parse_key(name).ok_or_else(|| err("unknown key"))?;
+                    steps.push(ScriptStep::Event(WindowEvent::Key(key)));
+                }
+                "type" => {
+                    let text = line.strip_prefix("type").unwrap().strip_prefix(' ');
+                    let text = text.ok_or_else(|| err("missing text"))?;
+                    for ch in text.chars() {
+                        steps.push(ScriptStep::Event(WindowEvent::Key(Key::Char(ch))));
+                    }
+                }
+                "menu" => match words.next() {
+                    Some("request") => {
+                        steps.push(ScriptStep::Event(WindowEvent::MenuRequest {
+                            pos: Point::ORIGIN,
+                        }));
+                    }
+                    Some("select") => {
+                        let label = line
+                            .splitn(3, ' ')
+                            .nth(2)
+                            .ok_or_else(|| err("missing menu label"))?;
+                        steps.push(ScriptStep::MenuSelect(label.to_string()));
+                    }
+                    _ => return Err(err("unknown menu verb")),
+                },
+                "tick" => {
+                    let ms: u64 = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad tick"))?;
+                    steps.push(ScriptStep::Event(WindowEvent::Tick(ms)));
+                }
+                "resize" => {
+                    let w: i32 = words
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| err("bad width"))?;
+                    let h: i32 = words
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| err("bad height"))?;
+                    steps.push(ScriptStep::Event(WindowEvent::Resize(Size::new(w, h))));
+                }
+                "close" => steps.push(ScriptStep::Event(WindowEvent::Close)),
+                _ => return Err(err("unknown script command")),
+            }
+        }
+        Ok(EventScript { steps })
+    }
+
+    /// Runs every step through the interaction manager.
+    pub fn run(&self, im: &mut InteractionManager, world: &mut World) {
+        for step in &self.steps {
+            match step {
+                ScriptStep::Event(ev) => im.feed(world, ev.clone()),
+                ScriptStep::MenuSelect(label) => {
+                    im.feed(world, WindowEvent::MenuRequest { pos: Point::ORIGIN });
+                    im.select_menu(world, label);
+                    im.pump(world);
+                }
+            }
+        }
+    }
+}
+
+/// Parses a key name: single characters, `C-x` / `M-x` chords, and the
+/// special names used by the script format.
+pub fn parse_key(name: &str) -> Option<Key> {
+    let key = match name {
+        "RET" | "RETURN" | "ENTER" => Key::Return,
+        "TAB" => Key::Tab,
+        "BS" | "BACKSPACE" => Key::Backspace,
+        "DEL" | "DELETE" => Key::Delete,
+        "ESC" => Key::Escape,
+        "UP" => Key::Up,
+        "DOWN" => Key::Down,
+        "LEFT" => Key::Left,
+        "RIGHT" => Key::Right,
+        "PGUP" => Key::PageUp,
+        "PGDN" => Key::PageDown,
+        "HOME" => Key::Home,
+        "END" => Key::End,
+        "SPC" | "SPACE" => Key::Char(' '),
+        _ => {
+            if let Some(c) = name.strip_prefix("C-") {
+                Key::Ctrl(c.chars().next()?)
+            } else if let Some(c) = name.strip_prefix("M-") {
+                Key::Meta(c.chars().next()?)
+            } else if name.chars().count() == 1 {
+                Key::Char(name.chars().next().unwrap())
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mixed_script() {
+        let script = EventScript::parse(
+            "# demo\nmouse down 10 20\nmouse up 10 20\ntype hi\nkey C-x\nkey RET\ntick 50\nmenu request\nmenu select Save\nresize 640 480\nclose\n",
+        )
+        .unwrap();
+        assert_eq!(script.steps.len(), 11);
+        assert_eq!(
+            script.steps[0],
+            ScriptStep::Event(WindowEvent::left_down(10, 20))
+        );
+        assert_eq!(script.steps[2], ScriptStep::Event(WindowEvent::ch('h')));
+        assert_eq!(
+            script.steps[4],
+            ScriptStep::Event(WindowEvent::Key(Key::Ctrl('x')))
+        );
+        assert_eq!(script.steps[8], ScriptStep::MenuSelect("Save".to_string()));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = EventScript::parse("mouse down 10 20\nbogus line\n").unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn key_names() {
+        assert_eq!(parse_key("a"), Some(Key::Char('a')));
+        assert_eq!(parse_key("C-s"), Some(Key::Ctrl('s')));
+        assert_eq!(parse_key("M-<"), Some(Key::Meta('<')));
+        assert_eq!(parse_key("PGDN"), Some(Key::PageDown));
+        assert_eq!(parse_key("nope"), None);
+    }
+
+    #[test]
+    fn type_preserves_interior_spaces() {
+        let script = EventScript::parse("type a b\n").unwrap();
+        assert_eq!(script.steps.len(), 3);
+        assert_eq!(script.steps[1], ScriptStep::Event(WindowEvent::ch(' ')));
+    }
+}

@@ -1,0 +1,843 @@
+//! The `World`: owner of every data object and view, and home of the
+//! observer and damage machinery.
+//!
+//! All toolkit objects live in two arenas here. Views and data objects
+//! refer to each other only by id, so any method can receive `&mut World`
+//! without aliasing; when the world needs to call *into* an object with
+//! itself as an argument (dispatch), it temporarily moves the object's box
+//! out of its slot — see [`World::with_view`] / [`World::with_data`].
+//!
+//! The world also owns:
+//! * the **observer lists** and the **pending-notification queue** that
+//!   implement the paper's delayed update (§2): mutators call
+//!   [`World::notify`], and the interaction manager later drains the
+//!   queue with [`World::flush_notifications`], fanning each change
+//!   record out to every observer;
+//! * the **damage list**: views post view-local dirty rectangles
+//!   ([`World::post_damage`]), and the update cycle converts them to
+//!   window coordinates by walking the parent chain (the paper's
+//!   "update request is posted up the tree");
+//! * the **virtual clock and timers** that drive animations and the
+//!   console deterministically;
+//! * the component [`Catalog`].
+
+use std::collections::VecDeque;
+
+use atk_graphics::{Point, Rect, Region};
+use atk_wm::{Graphic, MouseAction};
+
+use crate::arena::Arena;
+use crate::catalog::{Catalog, CatalogError};
+use crate::data::{ChangeRec, DataObject, ObserverRef};
+use crate::ids::{DataId, DataMark, ViewId, ViewMark};
+use crate::view::{Update, View};
+
+struct DataSlot {
+    obj: Option<Box<dyn DataObject>>,
+    observers: Vec<ObserverRef>,
+    version: u64,
+}
+
+struct ViewSlot {
+    view: Option<Box<dyn View>>,
+    parent: Option<ViewId>,
+    /// Bounds in the *parent's* coordinate space.
+    bounds: Rect,
+}
+
+struct Timer {
+    due_ms: u64,
+    view: ViewId,
+    token: u32,
+}
+
+/// The object world. See the module docs.
+pub struct World {
+    data: Arena<DataSlot, DataMark>,
+    views: Arena<ViewSlot, ViewMark>,
+    pending: VecDeque<(DataId, ChangeRec)>,
+    damage: Vec<(ViewId, Rect)>,
+    /// Component catalog (public: applications register components).
+    pub catalog: Catalog,
+    focus_request: Option<ViewId>,
+    pending_commands: Vec<(ViewId, String)>,
+    clock_ms: u64,
+    timers: Vec<Timer>,
+    notifications_delivered: u64,
+}
+
+impl World {
+    /// An empty world with a default (free-cost, dynamic) catalog.
+    pub fn new() -> World {
+        World::with_catalog(Catalog::default())
+    }
+
+    /// An empty world with a specific catalog.
+    pub fn with_catalog(catalog: Catalog) -> World {
+        World {
+            data: Arena::new(),
+            views: Arena::new(),
+            pending: VecDeque::new(),
+            damage: Vec::new(),
+            catalog,
+            focus_request: None,
+            pending_commands: Vec::new(),
+            clock_ms: 0,
+            timers: Vec::new(),
+            notifications_delivered: 0,
+        }
+    }
+
+    // --- Data objects -----------------------------------------------------
+
+    /// Inserts a data object, returning its id.
+    pub fn insert_data(&mut self, obj: Box<dyn DataObject>) -> DataId {
+        self.data.insert(DataSlot {
+            obj: Some(obj),
+            observers: Vec::new(),
+            version: 0,
+        })
+    }
+
+    /// Removes a data object (observers are dropped with it).
+    pub fn remove_data(&mut self, id: DataId) -> Option<Box<dyn DataObject>> {
+        self.data.remove(id).and_then(|s| s.obj)
+    }
+
+    /// Creates a data object of `class` through the catalog.
+    pub fn create_data(&mut self, class: &str) -> Result<Box<dyn DataObject>, CatalogError> {
+        self.catalog.new_data(class)
+    }
+
+    /// Creates and inserts a data object of `class`.
+    pub fn new_data(&mut self, class: &str) -> Result<DataId, CatalogError> {
+        let obj = self.catalog.new_data(class)?;
+        Ok(self.insert_data(obj))
+    }
+
+    /// Number of live data objects.
+    pub fn data_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Dynamic access to a data object.
+    pub fn data_dyn(&self, id: DataId) -> Option<&dyn DataObject> {
+        self.data.get(id).and_then(|s| s.obj.as_deref())
+    }
+
+    /// Typed shared access to a data object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is live but the object is not a `T` — that is a
+    /// programming error, not a data condition.
+    pub fn data<T: DataObject>(&self, id: DataId) -> Option<&T> {
+        self.data.get(id).and_then(|s| s.obj.as_deref()).map(|o| {
+            o.as_any()
+                .downcast_ref::<T>()
+                .expect("data object has unexpected concrete type")
+        })
+    }
+
+    /// Typed exclusive access to a data object. See [`World::data`].
+    pub fn data_mut<T: DataObject>(&mut self, id: DataId) -> Option<&mut T> {
+        self.data
+            .get_mut(id)
+            .and_then(|s| s.obj.as_deref_mut())
+            .map(|o| {
+                o.as_any_mut()
+                    .downcast_mut::<T>()
+                    .expect("data object has unexpected concrete type")
+            })
+    }
+
+    /// Calls `f` with the data object temporarily moved out, so `f` may
+    /// use the world freely (e.g. to notify further observers).
+    pub fn with_data<R>(
+        &mut self,
+        id: DataId,
+        f: impl FnOnce(&mut dyn DataObject, &mut World) -> R,
+    ) -> Option<R> {
+        let mut obj = self.data.get_mut(id)?.obj.take()?;
+        let r = f(obj.as_mut(), self);
+        if let Some(slot) = self.data.get_mut(id) {
+            slot.obj = Some(obj);
+        }
+        Some(r)
+    }
+
+    /// Monotonic modification version of a data object.
+    pub fn data_version(&self, id: DataId) -> u64 {
+        self.data.get(id).map(|s| s.version).unwrap_or(0)
+    }
+
+    // --- Observers and delayed update --------------------------------------
+
+    /// Registers `observer` on `data` (idempotent).
+    pub fn add_observer(&mut self, data: DataId, observer: ObserverRef) {
+        if let Some(slot) = self.data.get_mut(data) {
+            if !slot.observers.contains(&observer) {
+                slot.observers.push(observer);
+            }
+        }
+    }
+
+    /// Unregisters `observer` from `data`.
+    pub fn remove_observer(&mut self, data: DataId, observer: ObserverRef) {
+        if let Some(slot) = self.data.get_mut(data) {
+            slot.observers.retain(|o| *o != observer);
+        }
+    }
+
+    /// Observers of `data` (diagnostics).
+    pub fn observers_of(&self, data: DataId) -> Vec<ObserverRef> {
+        self.data
+            .get(data)
+            .map(|s| s.observers.clone())
+            .unwrap_or_default()
+    }
+
+    /// Announces that `data` changed. The notification is queued; nothing
+    /// is delivered until [`World::flush_notifications`] — the delayed
+    /// update of paper §2.
+    pub fn notify(&mut self, data: DataId, change: ChangeRec) {
+        if let Some(slot) = self.data.get_mut(data) {
+            slot.version += 1;
+            self.pending.push_back((data, change));
+        }
+    }
+
+    /// True if notifications are queued.
+    pub fn has_pending_notifications(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Delivers queued notifications to observers (which may enqueue
+    /// more, e.g. a chart data object relaying a table change to its own
+    /// observers). Returns the number delivered.
+    ///
+    /// A safety cap breaks pathological notification cycles.
+    pub fn flush_notifications(&mut self) -> usize {
+        let mut delivered = 0usize;
+        let cap = 100_000;
+        while let Some((data, change)) = self.pending.pop_front() {
+            let observers = self
+                .data
+                .get(data)
+                .map(|s| s.observers.clone())
+                .unwrap_or_default();
+            for obs in observers {
+                delivered += 1;
+                match obs {
+                    ObserverRef::View(vid) => {
+                        self.with_view(vid, |v, w| v.observed_changed(w, data, &change));
+                    }
+                    ObserverRef::Data(did) => {
+                        let ch = change.clone();
+                        self.with_data(did, |d, w| d.observed_changed(w, did, data, &ch));
+                    }
+                }
+                if delivered >= cap {
+                    self.pending.clear();
+                    return delivered;
+                }
+            }
+        }
+        self.notifications_delivered += delivered as u64;
+        delivered
+    }
+
+    /// Total notifications delivered since startup (instrumentation).
+    pub fn notifications_delivered(&self) -> u64 {
+        self.notifications_delivered
+    }
+
+    // --- Views -------------------------------------------------------------
+
+    /// Inserts a view, assigning its id.
+    pub fn insert_view(&mut self, view: Box<dyn View>) -> ViewId {
+        let id = self.views.insert(ViewSlot {
+            view: Some(view),
+            parent: None,
+            bounds: Rect::EMPTY,
+        });
+        if let Some(slot) = self.views.get_mut(id) {
+            if let Some(v) = slot.view.as_mut() {
+                v.set_id(id);
+            }
+        }
+        id
+    }
+
+    /// Creates and inserts a view of `class` through the catalog.
+    pub fn new_view(&mut self, class: &str) -> Result<ViewId, CatalogError> {
+        let v = self.catalog.new_view(class)?;
+        Ok(self.insert_view(v))
+    }
+
+    /// Removes a view and (recursively) its children.
+    pub fn remove_view_tree(&mut self, id: ViewId) {
+        let children = self
+            .views
+            .get(id)
+            .and_then(|s| s.view.as_ref())
+            .map(|v| v.children())
+            .unwrap_or_default();
+        for c in children {
+            self.remove_view_tree(c);
+        }
+        self.views.remove(id);
+    }
+
+    /// Number of live views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True if `id` names a live view.
+    pub fn view_exists(&self, id: ViewId) -> bool {
+        self.views.contains(id)
+    }
+
+    /// Dynamic shared access to a view (e.g. for cursor queries that
+    /// recurse with only `&World`).
+    pub fn view_dyn(&self, id: ViewId) -> Option<&dyn View> {
+        self.views.get(id).and_then(|s| s.view.as_deref())
+    }
+
+    /// Typed shared access to a view.
+    pub fn view_as<T: View>(&self, id: ViewId) -> Option<&T> {
+        self.views
+            .get(id)
+            .and_then(|s| s.view.as_deref())
+            .and_then(|v| v.as_any().downcast_ref::<T>())
+    }
+
+    /// Typed exclusive access to a view (no world re-entry: use
+    /// [`World::with_view`] for that).
+    pub fn view_as_mut<T: View>(&mut self, id: ViewId) -> Option<&mut T> {
+        self.views
+            .get_mut(id)
+            .and_then(|s| s.view.as_deref_mut())
+            .and_then(|v| v.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Calls `f` with the view temporarily moved out so it can receive
+    /// `&mut World`. Returns `None` if the view is missing **or already
+    /// taken** (re-entrant dispatch into the same view is a no-op rather
+    /// than a panic).
+    pub fn with_view<R>(
+        &mut self,
+        id: ViewId,
+        f: impl FnOnce(&mut dyn View, &mut World) -> R,
+    ) -> Option<R> {
+        let mut v = self.views.get_mut(id)?.view.take()?;
+        let r = f(v.as_mut(), self);
+        if let Some(slot) = self.views.get_mut(id) {
+            slot.view = Some(v);
+        }
+        Some(r)
+    }
+
+    /// A view's bounds, in its parent's coordinates.
+    pub fn view_bounds(&self, id: ViewId) -> Rect {
+        self.views.get(id).map(|s| s.bounds).unwrap_or(Rect::EMPTY)
+    }
+
+    /// Sets a view's bounds and runs its layout.
+    pub fn set_view_bounds(&mut self, id: ViewId, bounds: Rect) {
+        let changed = match self.views.get_mut(id) {
+            Some(slot) => {
+                let changed = slot.bounds != bounds;
+                slot.bounds = bounds;
+                changed
+            }
+            None => false,
+        };
+        if changed {
+            self.with_view(id, |v, w| v.layout(w));
+        }
+    }
+
+    /// A view's parent.
+    pub fn view_parent(&self, id: ViewId) -> Option<ViewId> {
+        self.views.get(id).and_then(|s| s.parent)
+    }
+
+    /// Links `child` under `parent` (geometry only; the parent keeps its
+    /// own child list).
+    pub fn set_view_parent(&mut self, child: ViewId, parent: Option<ViewId>) {
+        if let Some(slot) = self.views.get_mut(child) {
+            slot.parent = parent;
+        }
+    }
+
+    /// The path from the root ancestor down to `id`, inclusive.
+    pub fn path_to(&self, id: ViewId) -> Vec<ViewId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.view_parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Converts a view-local rect to window coordinates by walking the
+    /// parent chain. Returns `None` if the view is not rooted.
+    pub fn to_window_rect(&self, view: ViewId, local: Rect) -> Rect {
+        let mut r = local;
+        let mut cur = Some(view);
+        while let Some(id) = cur {
+            let b = self.view_bounds(id);
+            r = r.translate(b.x, b.y);
+            cur = self.view_parent(id);
+        }
+        r
+    }
+
+    // --- Damage ------------------------------------------------------------
+
+    /// Posts a view-local dirty rectangle ("update request posted up the
+    /// tree").
+    pub fn post_damage(&mut self, view: ViewId, local: Rect) {
+        if !local.is_empty() {
+            self.damage.push((view, local));
+        }
+    }
+
+    /// Posts the view's whole bounds as damage.
+    pub fn post_damage_full(&mut self, view: ViewId) {
+        let size = self.view_bounds(view).size();
+        self.post_damage(view, Rect::at(Point::ORIGIN, size));
+    }
+
+    /// True if damage is queued.
+    pub fn has_damage(&self) -> bool {
+        !self.damage.is_empty()
+    }
+
+    /// Drains the damage list into a window-coordinate region.
+    pub fn take_damage_region(&mut self) -> Region {
+        let mut region = Region::new();
+        for (view, local) in std::mem::take(&mut self.damage) {
+            region.add_rect(self.clip_damage_to_window(view, local));
+        }
+        region
+    }
+
+    /// Drains only the damage belonging to the tree rooted at `root`,
+    /// leaving other windows' damage queued. Each interaction manager
+    /// settles its own window this way — several windows can share one
+    /// world (paper §2's multi-window editing).
+    pub fn take_damage_region_for(&mut self, root: ViewId) -> Region {
+        let mut region = Region::new();
+        let mut keep = Vec::new();
+        for (view, local) in std::mem::take(&mut self.damage) {
+            let mine = self
+                .path_to(view)
+                .first()
+                .map(|r| *r == root)
+                .unwrap_or(false);
+            if mine {
+                region.add_rect(self.clip_damage_to_window(view, local));
+            } else {
+                keep.push((view, local));
+            }
+        }
+        self.damage = keep;
+        region
+    }
+
+    /// Converts view-local damage to window coordinates, clipping to the
+    /// visible extent at every level on the way up.
+    fn clip_damage_to_window(&self, view: ViewId, local: Rect) -> Rect {
+        let mut r = local;
+        let mut cur = Some(view);
+        while let Some(id) = cur {
+            let b = self.view_bounds(id);
+            r = r.intersect(Rect::at(Point::ORIGIN, b.size()));
+            r = r.translate(b.x, b.y);
+            cur = self.view_parent(id);
+        }
+        r
+    }
+
+    // --- Dispatch helpers ---------------------------------------------------
+
+    /// Draws `child` through `g`: clips to the child's bounds, translates
+    /// into its space, and calls its draw with a correspondingly
+    /// translated update.
+    pub fn draw_child(&mut self, child: ViewId, g: &mut dyn Graphic, update: Update) {
+        let b = self.view_bounds(child);
+        if b.is_empty() {
+            return;
+        }
+        if !update.touches(b) {
+            return;
+        }
+        g.gsave();
+        g.clip_rect(b);
+        g.translate(b.x, b.y);
+        let child_update = update.translated(-b.x, -b.y);
+        self.with_view(child, |v, w| v.draw(w, g, child_update));
+        g.grestore();
+    }
+
+    /// Forwards a mouse event to `child` if the point is inside its
+    /// bounds (parent coordinates), translating to child coordinates.
+    /// Returns true if the child consumed it.
+    pub fn mouse_to_child(&mut self, child: ViewId, action: MouseAction, pt: Point) -> bool {
+        let b = self.view_bounds(child);
+        if !b.contains(pt) {
+            return false;
+        }
+        self.mouse_to_child_unchecked(child, action, pt)
+    }
+
+    /// Forwards a mouse event to `child` regardless of bounds (parents
+    /// may grant a child events outside its rectangle, e.g. drags).
+    pub fn mouse_to_child_unchecked(
+        &mut self,
+        child: ViewId,
+        action: MouseAction,
+        pt: Point,
+    ) -> bool {
+        let b = self.view_bounds(child);
+        let local = pt - b.origin();
+        self.with_view(child, |v, w| v.mouse(w, action, local))
+            .unwrap_or(false)
+    }
+
+    // --- Focus ---------------------------------------------------------------
+
+    /// Requests the input focus for `view`; granted by the interaction
+    /// manager at the end of the current dispatch.
+    pub fn request_focus(&mut self, view: ViewId) {
+        self.focus_request = Some(view);
+    }
+
+    /// Takes the pending focus request (interaction manager only).
+    pub fn take_focus_request(&mut self) -> Option<ViewId> {
+        self.focus_request.take()
+    }
+
+    /// Posts a command to be performed on `target` once the current
+    /// dispatch unwinds. This is how a child safely talks to an ancestor
+    /// that is on the call stack above it (a list selecting into its
+    /// coordinator): direct re-entry would find the ancestor's slot
+    /// empty.
+    pub fn post_command(&mut self, target: ViewId, command: &str) {
+        self.pending_commands.push((target, command.to_string()));
+    }
+
+    /// Delivers queued commands (interaction manager / test drivers).
+    /// Returns how many were performed.
+    pub fn flush_commands(&mut self) -> usize {
+        let mut n = 0;
+        // Commands may enqueue further commands; bound the cascade.
+        for _ in 0..64 {
+            let batch = std::mem::take(&mut self.pending_commands);
+            if batch.is_empty() {
+                break;
+            }
+            for (target, cmd) in batch {
+                n += 1;
+                self.with_view(target, |v, w| v.perform(w, &cmd));
+            }
+        }
+        n
+    }
+
+    /// True if commands are queued.
+    pub fn has_pending_commands(&self) -> bool {
+        !self.pending_commands.is_empty()
+    }
+
+    // --- Clock and timers -------------------------------------------------
+
+    /// The virtual time, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Schedules `view.timer(token)` to fire `delay_ms` from now.
+    pub fn schedule_timer(&mut self, view: ViewId, delay_ms: u64, token: u32) {
+        self.timers.push(Timer {
+            due_ms: self.clock_ms + delay_ms,
+            view,
+            token,
+        });
+    }
+
+    /// Cancels all timers for a view.
+    pub fn cancel_timers(&mut self, view: ViewId) {
+        self.timers.retain(|t| t.view != view);
+    }
+
+    /// Advances the virtual clock, returning the timers that came due in
+    /// order.
+    pub fn advance_clock(&mut self, ms: u64) -> Vec<(ViewId, u32)> {
+        self.clock_ms += ms;
+        let now = self.clock_ms;
+        let mut due: Vec<(u64, ViewId, u32)> = Vec::new();
+        self.timers.retain(|t| {
+            if t.due_ms <= now {
+                due.push((t.due_ms, t.view, t.token));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|(d, ..)| *d);
+        due.into_iter().map(|(_, v, t)| (v, t)).collect()
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::UnknownObject;
+    use crate::view::{ScrollInfo, ViewBase};
+    use atk_graphics::Size;
+    use std::any::Any;
+
+    // A minimal view that records events for assertions.
+    struct ProbeView {
+        base: ViewBase,
+        children: Vec<ViewId>,
+        changes_seen: usize,
+        last_mouse: Option<Point>,
+    }
+
+    impl ProbeView {
+        fn new() -> ProbeView {
+            ProbeView {
+                base: ViewBase::new(),
+                children: Vec::new(),
+                changes_seen: 0,
+                last_mouse: None,
+            }
+        }
+    }
+
+    impl View for ProbeView {
+        fn class_name(&self) -> &'static str {
+            "probe"
+        }
+        fn id(&self) -> ViewId {
+            self.base.id
+        }
+        fn set_id(&mut self, id: ViewId) {
+            self.base.id = id;
+        }
+        fn children(&self) -> Vec<ViewId> {
+            self.children.clone()
+        }
+        fn desired_size(&mut self, _w: &mut World, _budget: i32) -> Size {
+            Size::new(10, 10)
+        }
+        fn draw(&mut self, _w: &mut World, _g: &mut dyn Graphic, _u: Update) {}
+        fn mouse(&mut self, world: &mut World, _a: MouseAction, pt: Point) -> bool {
+            self.last_mouse = Some(pt);
+            // Forward to any child containing the point — parental choice.
+            let kids = self.children.clone();
+            for k in kids {
+                if world.mouse_to_child(k, _a, pt) {
+                    return true;
+                }
+            }
+            true
+        }
+        fn observed_changed(&mut self, world: &mut World, _d: DataId, _c: &ChangeRec) {
+            self.changes_seen += 1;
+            world.post_damage_full(self.id());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn scroll_info(&self, _w: &World) -> Option<ScrollInfo> {
+            None
+        }
+    }
+
+    #[test]
+    fn insert_view_assigns_id() {
+        let mut w = World::new();
+        let id = w.insert_view(Box::new(ProbeView::new()));
+        assert_eq!(w.view_as::<ProbeView>(id).unwrap().id(), id);
+    }
+
+    #[test]
+    fn observer_notification_is_delayed_until_flush() {
+        let mut w = World::new();
+        let d = w.insert_data(Box::new(UnknownObject::new("x")));
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        w.add_observer(d, ObserverRef::View(v));
+        w.notify(d, ChangeRec::Full);
+        assert_eq!(w.view_as::<ProbeView>(v).unwrap().changes_seen, 0);
+        assert!(w.has_pending_notifications());
+        let n = w.flush_notifications();
+        assert_eq!(n, 1);
+        assert_eq!(w.view_as::<ProbeView>(v).unwrap().changes_seen, 1);
+    }
+
+    #[test]
+    fn multiple_views_all_hear_one_change() {
+        let mut w = World::new();
+        let d = w.insert_data(Box::new(UnknownObject::new("x")));
+        let vs: Vec<ViewId> = (0..5)
+            .map(|_| {
+                let v = w.insert_view(Box::new(ProbeView::new()));
+                w.add_observer(d, ObserverRef::View(v));
+                v
+            })
+            .collect();
+        w.notify(d, ChangeRec::Full);
+        w.flush_notifications();
+        for v in vs {
+            assert_eq!(w.view_as::<ProbeView>(v).unwrap().changes_seen, 1);
+        }
+    }
+
+    #[test]
+    fn observer_registration_is_idempotent() {
+        let mut w = World::new();
+        let d = w.insert_data(Box::new(UnknownObject::new("x")));
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        w.add_observer(d, ObserverRef::View(v));
+        w.add_observer(d, ObserverRef::View(v));
+        assert_eq!(w.observers_of(d).len(), 1);
+        w.remove_observer(d, ObserverRef::View(v));
+        assert!(w.observers_of(d).is_empty());
+    }
+
+    #[test]
+    fn version_bumps_on_notify() {
+        let mut w = World::new();
+        let d = w.insert_data(Box::new(UnknownObject::new("x")));
+        assert_eq!(w.data_version(d), 0);
+        w.notify(d, ChangeRec::Full);
+        w.notify(d, ChangeRec::Meta);
+        assert_eq!(w.data_version(d), 2);
+    }
+
+    #[test]
+    fn damage_converts_to_window_coordinates() {
+        let mut w = World::new();
+        let parent = w.insert_view(Box::new(ProbeView::new()));
+        let child = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_parent(child, Some(parent));
+        w.set_view_bounds(parent, Rect::new(100, 50, 200, 200));
+        w.set_view_bounds(child, Rect::new(10, 20, 50, 50));
+        w.post_damage(child, Rect::new(1, 2, 5, 5));
+        let region = w.take_damage_region();
+        assert_eq!(region.bounding_box(), Rect::new(111, 72, 5, 5));
+        assert!(!w.has_damage());
+    }
+
+    #[test]
+    fn damage_clips_to_view_extents() {
+        let mut w = World::new();
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_bounds(v, Rect::new(10, 10, 20, 20));
+        w.post_damage(v, Rect::new(15, 15, 100, 100));
+        let region = w.take_damage_region();
+        assert_eq!(region.bounding_box(), Rect::new(25, 25, 5, 5));
+    }
+
+    #[test]
+    fn mouse_routing_translates_coordinates() {
+        let mut w = World::new();
+        let parent = w.insert_view(Box::new(ProbeView::new()));
+        let child = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_parent(child, Some(parent));
+        w.set_view_bounds(parent, Rect::new(0, 0, 100, 100));
+        w.set_view_bounds(child, Rect::new(30, 30, 40, 40));
+        w.view_as_mut::<ProbeView>(parent)
+            .unwrap()
+            .children
+            .push(child);
+        let consumed = w.with_view(parent, |v, w| {
+            v.mouse(
+                w,
+                MouseAction::Down(atk_wm::Button::Left),
+                Point::new(35, 45),
+            )
+        });
+        assert_eq!(consumed, Some(true));
+        assert_eq!(
+            w.view_as::<ProbeView>(child).unwrap().last_mouse,
+            Some(Point::new(5, 15))
+        );
+    }
+
+    #[test]
+    fn timers_fire_in_order_when_clock_advances() {
+        let mut w = World::new();
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        w.schedule_timer(v, 100, 2);
+        w.schedule_timer(v, 50, 1);
+        assert!(w.advance_clock(49).is_empty());
+        assert_eq!(w.advance_clock(1), vec![(v, 1)]);
+        assert_eq!(w.advance_clock(1000), vec![(v, 2)]);
+        assert!(w.advance_clock(1000).is_empty());
+    }
+
+    #[test]
+    fn cancel_timers_removes_them() {
+        let mut w = World::new();
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        w.schedule_timer(v, 10, 1);
+        w.cancel_timers(v);
+        assert!(w.advance_clock(100).is_empty());
+    }
+
+    #[test]
+    fn path_to_walks_from_root() {
+        let mut w = World::new();
+        let a = w.insert_view(Box::new(ProbeView::new()));
+        let b = w.insert_view(Box::new(ProbeView::new()));
+        let c = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_parent(b, Some(a));
+        w.set_view_parent(c, Some(b));
+        assert_eq!(w.path_to(c), vec![a, b, c]);
+        assert_eq!(w.path_to(a), vec![a]);
+    }
+
+    #[test]
+    fn remove_view_tree_removes_descendants() {
+        let mut w = World::new();
+        let a = w.insert_view(Box::new(ProbeView::new()));
+        let b = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_parent(b, Some(a));
+        w.view_as_mut::<ProbeView>(a).unwrap().children.push(b);
+        w.remove_view_tree(a);
+        assert!(!w.view_exists(a));
+        assert!(!w.view_exists(b));
+        assert_eq!(w.view_count(), 0);
+    }
+
+    #[test]
+    fn with_view_is_reentrancy_safe() {
+        let mut w = World::new();
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        let outer = w.with_view(v, |_, w| {
+            // Re-entering the same view while it is taken is a no-op.
+            w.with_view(v, |_, _| 42)
+        });
+        assert_eq!(outer, Some(None));
+        // And the view is back afterwards.
+        assert!(w.view_as::<ProbeView>(v).is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! Color model.
+//!
+//! 1988 Andrew ran on monochrome bitmapped displays; the toolkit drew in
+//! black-on-white with XOR for selection feedback. We keep a small RGB
+//! model so the simulated backends can also render shaded UI furniture
+//! (scrollbar troughs, chart slices) while preserving the classic
+//! constants.
+
+/// A packed RGB color (8 bits per channel, no alpha).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color(pub u32);
+
+impl Color {
+    /// Pure black — the toolkit's foreground.
+    pub const BLACK: Color = Color(0x000000);
+    /// Pure white — the toolkit's background.
+    pub const WHITE: Color = Color(0xFFFFFF);
+    /// 25% gray, used for scrollbar troughs and window furniture.
+    pub const LIGHT_GRAY: Color = Color(0xC0C0C0);
+    /// 50% gray.
+    pub const GRAY: Color = Color(0x808080);
+    /// 75% gray.
+    pub const DARK_GRAY: Color = Color(0x404040);
+    /// Saturated red (chart slices).
+    pub const RED: Color = Color(0xCC3333);
+    /// Saturated green (chart slices).
+    pub const GREEN: Color = Color(0x33990A);
+    /// Saturated blue (chart slices).
+    pub const BLUE: Color = Color(0x3355CC);
+    /// Warm yellow (chart slices).
+    pub const YELLOW: Color = Color(0xDDAA22);
+
+    /// Builds a color from channels.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color(((r as u32) << 16) | ((g as u32) << 8) | b as u32)
+    }
+
+    /// Red channel.
+    pub const fn r(self) -> u8 {
+        ((self.0 >> 16) & 0xFF) as u8
+    }
+
+    /// Green channel.
+    pub const fn g(self) -> u8 {
+        ((self.0 >> 8) & 0xFF) as u8
+    }
+
+    /// Blue channel.
+    pub const fn b(self) -> u8 {
+        (self.0 & 0xFF) as u8
+    }
+
+    /// Rec. 601 luma in `0..=255`.
+    pub fn luma(self) -> u8 {
+        let y = 0.299 * self.r() as f32 + 0.587 * self.g() as f32 + 0.114 * self.b() as f32;
+        y.round().clamp(0.0, 255.0) as u8
+    }
+
+    /// Linear blend: `t = 0` is `self`, `t = 255` is `other`.
+    pub fn blend(self, other: Color, t: u8) -> Color {
+        let lerp = |a: u8, b: u8| -> u8 {
+            ((a as u32 * (255 - t as u32) + b as u32 * t as u32) / 255) as u8
+        };
+        Color::rgb(
+            lerp(self.r(), other.r()),
+            lerp(self.g(), other.g()),
+            lerp(self.b(), other.b()),
+        )
+    }
+
+    /// Bitwise XOR of channel values — the classic monochrome selection
+    /// highlight (`RasterOp::Xor` uses this).
+    pub fn xor(self, other: Color) -> Color {
+        Color(self.0 ^ other.0)
+    }
+
+    /// A categorical palette for chart views, cycling by index.
+    pub fn chart(index: usize) -> Color {
+        const PALETTE: [Color; 6] = [
+            Color::BLUE,
+            Color::RED,
+            Color::GREEN,
+            Color::YELLOW,
+            Color::GRAY,
+            Color::DARK_GRAY,
+        ];
+        PALETTE[index % PALETTE.len()]
+    }
+}
+
+impl Default for Color {
+    fn default() -> Self {
+        Color::BLACK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_round_trip() {
+        let c = Color::rgb(12, 200, 255);
+        assert_eq!((c.r(), c.g(), c.b()), (12, 200, 255));
+    }
+
+    #[test]
+    fn luma_extremes() {
+        assert_eq!(Color::BLACK.luma(), 0);
+        assert_eq!(Color::WHITE.luma(), 255);
+        assert!(Color::GRAY.luma() > 100 && Color::GRAY.luma() < 156);
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = Color::rgb(0, 0, 0);
+        let b = Color::rgb(255, 255, 255);
+        assert_eq!(a.blend(b, 0), a);
+        assert_eq!(a.blend(b, 255), b);
+        let mid = a.blend(b, 128);
+        assert!(mid.r() > 120 && mid.r() < 136);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Color::rgb(10, 20, 30);
+        let b = Color::WHITE;
+        assert_eq!(a.xor(b).xor(b), a);
+    }
+
+    #[test]
+    fn chart_palette_cycles() {
+        assert_eq!(Color::chart(0), Color::chart(6));
+        assert_ne!(Color::chart(0), Color::chart(1));
+    }
+}

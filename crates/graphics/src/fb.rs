@@ -1,0 +1,535 @@
+//! Software framebuffer: the pixel store both simulated window systems
+//! render into.
+//!
+//! Provides the primitive raster operations the toolkit's drawable layer
+//! (paper §4) bottoms out in: clipped pixel writes, solid fills,
+//! Bresenham lines with thickness, midpoint ovals, scanline polygon
+//! fills, and rectangle blits with the classic raster ops (copy, XOR,
+//! or, and-not). All drawing is clipped against an optional [`Region`].
+
+use crate::color::Color;
+use crate::geom::{Point, Rect};
+use crate::region::Region;
+
+/// How a blit combines source and destination pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RasterOp {
+    /// Destination = source.
+    Copy,
+    /// Destination ^= source (self-inverse; used for selection feedback).
+    Xor,
+    /// Destination |= source.
+    Or,
+    /// Destination &= !source ("paint white through a mask").
+    AndNot,
+}
+
+/// A rectangular array of packed RGB pixels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framebuffer {
+    width: i32,
+    height: i32,
+    pixels: Vec<u32>,
+    clip: Option<Region>,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is negative.
+    pub fn new(width: i32, height: i32, fill: Color) -> Framebuffer {
+        assert!(width >= 0 && height >= 0, "negative framebuffer dimension");
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![fill.0; (width as usize) * (height as usize)],
+            clip: None,
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// The full bounds rectangle.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width, self.height)
+    }
+
+    /// Sets the clip region; `None` clips only to the framebuffer bounds.
+    pub fn set_clip(&mut self, clip: Option<Region>) {
+        self.clip = clip;
+    }
+
+    /// The current clip region, if any.
+    pub fn clip(&self) -> Option<&Region> {
+        self.clip.as_ref()
+    }
+
+    #[inline]
+    fn writable(&self, x: i32, y: i32) -> bool {
+        if x < 0 || y < 0 || x >= self.width || y >= self.height {
+            return false;
+        }
+        match &self.clip {
+            Some(region) => region.contains(Point::new(x, y)),
+            None => true,
+        }
+    }
+
+    /// Reads a pixel; out-of-bounds reads return white.
+    pub fn get(&self, x: i32, y: i32) -> Color {
+        if x < 0 || y < 0 || x >= self.width || y >= self.height {
+            return Color::WHITE;
+        }
+        Color(self.pixels[(y as usize) * (self.width as usize) + x as usize])
+    }
+
+    /// Writes a pixel, honoring bounds and clip.
+    #[inline]
+    pub fn set(&mut self, x: i32, y: i32, color: Color) {
+        if self.writable(x, y) {
+            self.pixels[(y as usize) * (self.width as usize) + x as usize] = color.0;
+        }
+    }
+
+    /// Writes a pixel combining with the existing value via `op`.
+    pub fn set_op(&mut self, x: i32, y: i32, color: Color, op: RasterOp) {
+        if !self.writable(x, y) {
+            return;
+        }
+        let idx = (y as usize) * (self.width as usize) + x as usize;
+        let dst = self.pixels[idx];
+        self.pixels[idx] = match op {
+            RasterOp::Copy => color.0,
+            RasterOp::Xor => dst ^ color.0,
+            RasterOp::Or => dst | color.0,
+            RasterOp::AndNot => dst & !color.0,
+        };
+    }
+
+    /// Fills the whole buffer (ignoring clip).
+    pub fn clear(&mut self, color: Color) {
+        self.pixels.fill(color.0);
+    }
+
+    /// Fills a rectangle.
+    pub fn fill_rect(&mut self, r: Rect, color: Color) {
+        self.fill_rect_op(r, color, RasterOp::Copy);
+    }
+
+    /// Fills a rectangle with a raster op.
+    pub fn fill_rect_op(&mut self, r: Rect, color: Color, op: RasterOp) {
+        let r = r.intersect(self.bounds());
+        if r.is_empty() {
+            return;
+        }
+        // Fast path: no clip region, plain copy.
+        if self.clip.is_none() && op == RasterOp::Copy {
+            for y in r.y..r.bottom() {
+                let row = (y as usize) * (self.width as usize);
+                self.pixels[row + r.x as usize..row + r.right() as usize].fill(color.0);
+            }
+            return;
+        }
+        for y in r.y..r.bottom() {
+            for x in r.x..r.right() {
+                self.set_op(x, y, color, op);
+            }
+        }
+    }
+
+    /// Outlines a rectangle with 1-pixel lines just inside its bounds.
+    pub fn draw_rect(&mut self, r: Rect, color: Color) {
+        if r.is_empty() {
+            return;
+        }
+        self.fill_rect(Rect::new(r.x, r.y, r.width, 1), color);
+        self.fill_rect(Rect::new(r.x, r.bottom() - 1, r.width, 1), color);
+        self.fill_rect(Rect::new(r.x, r.y, 1, r.height), color);
+        self.fill_rect(Rect::new(r.right() - 1, r.y, 1, r.height), color);
+    }
+
+    /// Draws a line of the given thickness (Bresenham; thickness expands
+    /// each plotted position into a small square).
+    pub fn draw_line(&mut self, a: Point, b: Point, thickness: i32, color: Color) {
+        let thickness = thickness.max(1);
+        let plot = |fb: &mut Framebuffer, x: i32, y: i32| {
+            if thickness == 1 {
+                fb.set(x, y, color);
+            } else {
+                let half = thickness / 2;
+                fb.fill_rect(Rect::new(x - half, y - half, thickness, thickness), color);
+            }
+        };
+        let (mut x0, mut y0) = (a.x, a.y);
+        let (x1, y1) = (b.x, b.y);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            plot(self, x0, y0);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Outlines an axis-aligned ellipse inscribed in `r` (midpoint
+    /// algorithm).
+    pub fn draw_oval(&mut self, r: Rect, color: Color) {
+        self.oval(r, color, false);
+    }
+
+    /// Fills an axis-aligned ellipse inscribed in `r`.
+    pub fn fill_oval(&mut self, r: Rect, color: Color) {
+        self.oval(r, color, true);
+    }
+
+    fn oval(&mut self, r: Rect, color: Color, fill: bool) {
+        if r.is_empty() {
+            return;
+        }
+        // Scanline ellipse: for each pixel row solve x^2/rx^2 + y^2/ry^2 = 1
+        // about the (possibly half-integral) center. Robust over every
+        // aspect ratio, unlike a naive midpoint walk.
+        let cx = r.x as f64 + (r.width - 1) as f64 / 2.0;
+        let cy = r.y as f64 + (r.height - 1) as f64 / 2.0;
+        let rx = ((r.width - 1) as f64 / 2.0).max(0.5);
+        let ry = ((r.height - 1) as f64 / 2.0).max(0.5);
+        let mut left: Vec<Point> = Vec::new();
+        let mut right: Vec<Point> = Vec::new();
+        for y in r.y..r.bottom() {
+            let fy = y as f64 - cy;
+            let t = 1.0 - (fy / ry) * (fy / ry);
+            if t < 0.0 {
+                continue;
+            }
+            let half = rx * t.sqrt();
+            let x0 = (cx - half).round() as i32;
+            let x1 = (cx + half).round() as i32;
+            if fill {
+                self.fill_rect(Rect::new(x0, y, x1 - x0 + 1, 1), color);
+            } else {
+                left.push(Point::new(x0, y));
+                right.push(Point::new(x1, y));
+            }
+        }
+        if !fill {
+            // Connect successive outline samples so steep sides are solid.
+            for seq in [left, right] {
+                for w in seq.windows(2) {
+                    self.draw_line(w[0], w[1], 1, color);
+                }
+            }
+        }
+    }
+
+    /// Fills an arbitrary polygon (even-odd rule, scanline algorithm).
+    pub fn fill_polygon(&mut self, pts: &[Point], color: Color) {
+        if pts.len() < 3 {
+            return;
+        }
+        let min_y = pts.iter().map(|p| p.y).min().unwrap();
+        let max_y = pts.iter().map(|p| p.y).max().unwrap();
+        for y in min_y..=max_y {
+            // Gather x-intersections of edges with the scanline center.
+            let yc = y as f64 + 0.5;
+            let mut xs: Vec<f64> = Vec::new();
+            for i in 0..pts.len() {
+                let p0 = pts[i];
+                let p1 = pts[(i + 1) % pts.len()];
+                let (y0, y1) = (p0.y as f64, p1.y as f64);
+                if (y0 <= yc && y1 > yc) || (y1 <= yc && y0 > yc) {
+                    let t = (yc - y0) / (y1 - y0);
+                    xs.push(p0.x as f64 + t * (p1.x - p0.x) as f64);
+                }
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for pair in xs.chunks(2) {
+                if pair.len() == 2 {
+                    let x0 = pair[0].ceil() as i32;
+                    let x1 = pair[1].floor() as i32;
+                    if x1 >= x0 {
+                        self.fill_rect(Rect::new(x0, y, x1 - x0 + 1, 1), color);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills a pie-slice wedge of the ellipse inscribed in `r`, between
+    /// `start_deg` and `end_deg` (clockwise from 12 o'clock). Used by the
+    /// pie-chart view.
+    pub fn fill_wedge(&mut self, r: Rect, start_deg: f64, end_deg: f64, color: Color) {
+        if r.is_empty() || end_deg <= start_deg {
+            return;
+        }
+        let c = r.center();
+        let rx = r.width as f64 / 2.0;
+        let ry = r.height as f64 / 2.0;
+        let mut pts = vec![c];
+        let steps = (((end_deg - start_deg).abs() / 3.0).ceil() as usize).max(2);
+        for i in 0..=steps {
+            let ang =
+                (start_deg + (end_deg - start_deg) * i as f64 / steps as f64 - 90.0).to_radians();
+            pts.push(Point::new(
+                c.x + (rx * ang.cos()).round() as i32,
+                c.y + (ry * ang.sin()).round() as i32,
+            ));
+        }
+        self.fill_polygon(&pts, color);
+    }
+
+    /// Copies rectangle `src_rect` of `src` to `dst_origin` here, using
+    /// `op`.
+    pub fn blit(&mut self, src: &Framebuffer, src_rect: Rect, dst_origin: Point, op: RasterOp) {
+        let src_rect = src_rect.intersect(src.bounds());
+        for dy in 0..src_rect.height {
+            for dx in 0..src_rect.width {
+                let c = src.get(src_rect.x + dx, src_rect.y + dy);
+                self.set_op(dst_origin.x + dx, dst_origin.y + dy, c, op);
+            }
+        }
+    }
+
+    /// Copies a rectangle within this framebuffer (handles overlap),
+    /// e.g. for scrolling.
+    pub fn copy_within(&mut self, src_rect: Rect, dst_origin: Point) {
+        let src_rect = src_rect.intersect(self.bounds());
+        if src_rect.is_empty() {
+            return;
+        }
+        // Snapshot the source rows to handle overlap simply and correctly.
+        let snapshot: Vec<Vec<u32>> = (src_rect.y..src_rect.bottom())
+            .map(|y| {
+                let row = (y as usize) * (self.width as usize);
+                self.pixels[row + src_rect.x as usize..row + src_rect.right() as usize].to_vec()
+            })
+            .collect();
+        for (dy, rowdata) in snapshot.iter().enumerate() {
+            for (dx, &px) in rowdata.iter().enumerate() {
+                self.set(
+                    dst_origin.x + dx as i32,
+                    dst_origin.y + dy as i32,
+                    Color(px),
+                );
+            }
+        }
+    }
+
+    /// Counts pixels equal to `color` within `r` (test helper, also used
+    /// by snapshot assertions).
+    pub fn count_pixels(&self, r: Rect, color: Color) -> usize {
+        let r = r.intersect(self.bounds());
+        let mut n = 0;
+        for y in r.y..r.bottom() {
+            for x in r.x..r.right() {
+                if self.get(x, y) == color {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Renders the buffer as ASCII art (`#` for dark pixels), for tests.
+    pub fn ascii_art(&self) -> String {
+        let mut s = String::with_capacity(((self.width + 1) * self.height) as usize);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                s.push(if self.get(x, y).luma() < 128 {
+                    '#'
+                } else {
+                    '.'
+                });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Raw pixel access for encoders.
+    pub fn pixels(&self) -> &[u32] {
+        &self.pixels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_filled() {
+        let fb = Framebuffer::new(4, 3, Color::WHITE);
+        assert_eq!(fb.count_pixels(fb.bounds(), Color::WHITE), 12);
+    }
+
+    #[test]
+    fn set_get_round_trip_and_oob() {
+        let mut fb = Framebuffer::new(4, 4, Color::WHITE);
+        fb.set(1, 2, Color::BLACK);
+        assert_eq!(fb.get(1, 2), Color::BLACK);
+        fb.set(-1, 0, Color::BLACK); // Silently clipped.
+        fb.set(4, 0, Color::BLACK);
+        assert_eq!(fb.count_pixels(fb.bounds(), Color::BLACK), 1);
+        assert_eq!(fb.get(99, 99), Color::WHITE);
+    }
+
+    #[test]
+    fn fill_rect_clips_to_bounds() {
+        let mut fb = Framebuffer::new(10, 10, Color::WHITE);
+        fb.fill_rect(Rect::new(5, 5, 100, 100), Color::BLACK);
+        assert_eq!(fb.count_pixels(fb.bounds(), Color::BLACK), 25);
+    }
+
+    #[test]
+    fn clip_region_restricts_drawing() {
+        let mut fb = Framebuffer::new(10, 10, Color::WHITE);
+        fb.set_clip(Some(Region::from_rect(Rect::new(0, 0, 3, 3))));
+        fb.fill_rect(Rect::new(0, 0, 10, 10), Color::BLACK);
+        assert_eq!(fb.count_pixels(fb.bounds(), Color::BLACK), 9);
+        fb.set_clip(None);
+        fb.fill_rect(Rect::new(0, 0, 10, 10), Color::BLACK);
+        assert_eq!(fb.count_pixels(fb.bounds(), Color::BLACK), 100);
+    }
+
+    #[test]
+    fn horizontal_and_vertical_lines() {
+        let mut fb = Framebuffer::new(10, 10, Color::WHITE);
+        fb.draw_line(Point::new(0, 5), Point::new(9, 5), 1, Color::BLACK);
+        assert_eq!(fb.count_pixels(Rect::new(0, 5, 10, 1), Color::BLACK), 10);
+        fb.draw_line(Point::new(3, 0), Point::new(3, 9), 1, Color::BLACK);
+        assert_eq!(fb.count_pixels(Rect::new(3, 0, 1, 10), Color::BLACK), 10);
+    }
+
+    #[test]
+    fn diagonal_line_endpoints() {
+        let mut fb = Framebuffer::new(10, 10, Color::WHITE);
+        fb.draw_line(Point::new(0, 0), Point::new(9, 9), 1, Color::BLACK);
+        assert_eq!(fb.get(0, 0), Color::BLACK);
+        assert_eq!(fb.get(9, 9), Color::BLACK);
+        assert_eq!(fb.get(5, 5), Color::BLACK);
+    }
+
+    #[test]
+    fn thick_line_is_wider() {
+        let mut thin = Framebuffer::new(20, 20, Color::WHITE);
+        let mut thick = Framebuffer::new(20, 20, Color::WHITE);
+        thin.draw_line(Point::new(2, 10), Point::new(18, 10), 1, Color::BLACK);
+        thick.draw_line(Point::new(2, 10), Point::new(18, 10), 3, Color::BLACK);
+        assert!(
+            thick.count_pixels(thick.bounds(), Color::BLACK)
+                > 2 * thin.count_pixels(thin.bounds(), Color::BLACK)
+        );
+    }
+
+    #[test]
+    fn draw_rect_outline_only() {
+        let mut fb = Framebuffer::new(10, 10, Color::WHITE);
+        fb.draw_rect(Rect::new(2, 2, 6, 6), Color::BLACK);
+        // Perimeter of a 6x6 square = 20 pixels.
+        assert_eq!(fb.count_pixels(fb.bounds(), Color::BLACK), 20);
+        assert_eq!(fb.get(4, 4), Color::WHITE);
+    }
+
+    #[test]
+    fn fill_oval_covers_center_not_corners() {
+        let mut fb = Framebuffer::new(20, 20, Color::WHITE);
+        fb.fill_oval(Rect::new(0, 0, 20, 20), Color::BLACK);
+        assert_eq!(fb.get(10, 10), Color::BLACK);
+        assert_eq!(fb.get(0, 0), Color::WHITE);
+        assert_eq!(fb.get(19, 19), Color::WHITE);
+        let area = fb.count_pixels(fb.bounds(), Color::BLACK) as f64;
+        // Area of a circle of radius ~10 is ~314; allow raster slop.
+        assert!(area > 250.0 && area < 340.0, "oval area {area}");
+    }
+
+    #[test]
+    fn polygon_triangle_fill() {
+        let mut fb = Framebuffer::new(20, 20, Color::WHITE);
+        fb.fill_polygon(
+            &[Point::new(1, 1), Point::new(17, 1), Point::new(1, 17)],
+            Color::BLACK,
+        );
+        assert_eq!(fb.get(3, 3), Color::BLACK);
+        assert_eq!(fb.get(16, 16), Color::WHITE);
+        let area = fb.count_pixels(fb.bounds(), Color::BLACK) as f64;
+        assert!(area > 90.0 && area < 145.0, "triangle area {area}");
+    }
+
+    #[test]
+    fn xor_fill_is_self_inverse() {
+        let mut fb = Framebuffer::new(10, 10, Color::WHITE);
+        fb.fill_rect(Rect::new(0, 0, 5, 10), Color::BLACK);
+        let before = fb.clone();
+        let sel = Rect::new(2, 2, 6, 6);
+        fb.fill_rect_op(sel, Color::WHITE, RasterOp::Xor);
+        assert_ne!(fb, before);
+        fb.fill_rect_op(sel, Color::WHITE, RasterOp::Xor);
+        assert_eq!(fb, before);
+    }
+
+    #[test]
+    fn blit_copies_rect() {
+        let mut src = Framebuffer::new(10, 10, Color::WHITE);
+        src.fill_rect(Rect::new(0, 0, 4, 4), Color::BLACK);
+        let mut dst = Framebuffer::new(10, 10, Color::WHITE);
+        dst.blit(
+            &src,
+            Rect::new(0, 0, 4, 4),
+            Point::new(5, 5),
+            RasterOp::Copy,
+        );
+        assert_eq!(dst.count_pixels(Rect::new(5, 5, 4, 4), Color::BLACK), 16);
+        assert_eq!(dst.count_pixels(dst.bounds(), Color::BLACK), 16);
+    }
+
+    #[test]
+    fn copy_within_handles_overlap() {
+        let mut fb = Framebuffer::new(10, 1, Color::WHITE);
+        for x in 0..5 {
+            fb.set(x, 0, Color::rgb(x as u8, 0, 0));
+        }
+        // Shift right by 2 with overlapping ranges.
+        fb.copy_within(Rect::new(0, 0, 5, 1), Point::new(2, 0));
+        for x in 0..5 {
+            assert_eq!(fb.get(x + 2, 0), Color::rgb(x as u8, 0, 0));
+        }
+    }
+
+    #[test]
+    fn wedge_quarters_cover_quarter_area() {
+        let mut fb = Framebuffer::new(40, 40, Color::WHITE);
+        fb.fill_wedge(Rect::new(0, 0, 40, 40), 0.0, 90.0, Color::BLACK);
+        // Top-right quadrant should be mostly black, bottom-left all white.
+        assert!(fb.count_pixels(Rect::new(20, 0, 20, 20), Color::BLACK) > 200);
+        assert_eq!(fb.count_pixels(Rect::new(0, 20, 18, 18), Color::BLACK), 0);
+    }
+
+    #[test]
+    fn ascii_art_shape() {
+        let mut fb = Framebuffer::new(3, 2, Color::WHITE);
+        fb.set(1, 0, Color::BLACK);
+        assert_eq!(fb.ascii_art(), ".#.\n...\n");
+    }
+}

@@ -1,0 +1,422 @@
+//! Banded regions for clipping and damage accumulation.
+//!
+//! The X server represents arbitrary pixel sets as *banded* y-sorted lists
+//! of disjoint rectangles; the interaction manager needs the same
+//! structure to accumulate damage from many views and to clip updates to
+//! exposed areas. This is a from-scratch implementation of that data
+//! structure with the usual boolean operations.
+//!
+//! # Invariants
+//!
+//! A region's rectangles are:
+//! * non-empty and pairwise disjoint;
+//! * grouped into *bands*: rects in a band share `y` and `height`, bands
+//!   are sorted by `y` and do not overlap vertically;
+//! * within a band, sorted by `x` with no two rects adjacent (they would
+//!   have been merged);
+//! * vertically adjacent bands with identical x-structure are coalesced.
+//!
+//! These invariants make equality structural: two regions covering the
+//! same pixel set compare equal. Property tests in this module check that.
+
+use crate::geom::{Point, Rect};
+
+/// A set of pixels, stored as banded disjoint rectangles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Union,
+    Intersect,
+    Subtract,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn new() -> Region {
+        Region::default()
+    }
+
+    /// A region covering exactly `r` (empty if `r` is empty).
+    pub fn from_rect(r: Rect) -> Region {
+        if r.is_empty() {
+            Region::new()
+        } else {
+            Region { rects: vec![r] }
+        }
+    }
+
+    /// True if the region covers no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The region's rectangles (banded, disjoint, y/x sorted).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Total number of pixels covered.
+    pub fn area(&self) -> i64 {
+        self.rects.iter().map(|r| r.area()).sum()
+    }
+
+    /// The tightest rectangle enclosing the region.
+    pub fn bounding_box(&self) -> Rect {
+        self.rects.iter().fold(Rect::EMPTY, |acc, r| acc.union(*r))
+    }
+
+    /// True if `p` is covered.
+    pub fn contains(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains(p))
+    }
+
+    /// True if any pixel of `r` is covered.
+    pub fn intersects_rect(&self, r: Rect) -> bool {
+        self.rects.iter().any(|x| x.intersects(r))
+    }
+
+    /// Adds `r` to the region (in place).
+    pub fn add_rect(&mut self, r: Rect) {
+        *self = self.union(&Region::from_rect(r));
+    }
+
+    /// Removes `r` from the region (in place).
+    pub fn subtract_rect(&mut self, r: Rect) {
+        *self = self.subtract(&Region::from_rect(r));
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Region) -> Region {
+        self.combine(other, Op::Union)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Region) -> Region {
+        self.combine(other, Op::Intersect)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &Region) -> Region {
+        self.combine(other, Op::Subtract)
+    }
+
+    /// Intersection with a single rectangle (common clipping case).
+    pub fn intersect_rect(&self, r: Rect) -> Region {
+        self.intersect(&Region::from_rect(r))
+    }
+
+    /// The region moved by `(dx, dy)`.
+    pub fn translate(&self, dx: i32, dy: i32) -> Region {
+        Region {
+            rects: self.rects.iter().map(|r| r.translate(dx, dy)).collect(),
+        }
+    }
+
+    /// Band-sweep boolean combination.
+    fn combine(&self, other: &Region, op: Op) -> Region {
+        // Elementary y-slabs: every band edge from either operand.
+        let mut ys: Vec<i32> = Vec::with_capacity((self.rects.len() + other.rects.len()) * 2);
+        for r in self.rects.iter().chain(other.rects.iter()) {
+            ys.push(r.y);
+            ys.push(r.bottom());
+        }
+        ys.sort_unstable();
+        ys.dedup();
+
+        let mut out: Vec<Rect> = Vec::new();
+        for w in ys.windows(2) {
+            let (top, bot) = (w[0], w[1]);
+            let a = slab_intervals(&self.rects, top, bot);
+            let b = slab_intervals(&other.rects, top, bot);
+            let combined = combine_intervals(&a, &b, op);
+            let mut band: Vec<Rect> = combined
+                .into_iter()
+                .map(|(x0, x1)| Rect::new(x0, top, x1 - x0, bot - top))
+                .collect();
+            coalesce_with_previous_band(&mut out, &mut band);
+            out.append(&mut band);
+        }
+        Region { rects: out }
+    }
+}
+
+/// X-intervals of `rects` covering the slab `top..bot`.
+///
+/// Because region rects are banded and disjoint, the covering rects of an
+/// elementary slab are already disjoint in x; we only need to sort and
+/// merge adjacency.
+fn slab_intervals(rects: &[Rect], top: i32, bot: i32) -> Vec<(i32, i32)> {
+    let mut iv: Vec<(i32, i32)> = rects
+        .iter()
+        .filter(|r| r.y <= top && r.bottom() >= bot)
+        .map(|r| (r.x, r.right()))
+        .collect();
+    iv.sort_unstable();
+    // Merge touching/overlapping intervals.
+    let mut merged: Vec<(i32, i32)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match merged.last_mut() {
+            Some((_, pb)) if *pb >= a => *pb = (*pb).max(b),
+            _ => merged.push((a, b)),
+        }
+    }
+    merged
+}
+
+/// Boolean op over two sorted disjoint interval lists.
+fn combine_intervals(a: &[(i32, i32)], b: &[(i32, i32)], op: Op) -> Vec<(i32, i32)> {
+    // Sweep over all interval endpoints tracking membership in a and b.
+    let mut events: Vec<i32> = Vec::with_capacity((a.len() + b.len()) * 2);
+    for &(s, e) in a.iter().chain(b.iter()) {
+        events.push(s);
+        events.push(e);
+    }
+    events.sort_unstable();
+    events.dedup();
+
+    let inside_a = |x: i32| a.iter().any(|&(s, e)| s <= x && x < e);
+    let inside_b = |x: i32| b.iter().any(|&(s, e)| s <= x && x < e);
+
+    let mut out: Vec<(i32, i32)> = Vec::new();
+    for w in events.windows(2) {
+        let (s, e) = (w[0], w[1]);
+        let ia = inside_a(s);
+        let ib = inside_b(s);
+        let keep = match op {
+            Op::Union => ia || ib,
+            Op::Intersect => ia && ib,
+            Op::Subtract => ia && !ib,
+        };
+        if keep {
+            match out.last_mut() {
+                Some((_, pe)) if *pe == s => *pe = e,
+                _ => out.push((s, e)),
+            }
+        }
+    }
+    out
+}
+
+/// If the previous band in `out` is vertically adjacent to `band` and has
+/// the same x-structure, grow it downward instead of appending.
+fn coalesce_with_previous_band(out: &mut Vec<Rect>, band: &mut Vec<Rect>) {
+    if band.is_empty() || out.is_empty() {
+        return;
+    }
+    let band_top = band[0].y;
+    // Find the previous band (trailing run of rects sharing y and height).
+    let prev_y = out.last().map(|r| r.y).unwrap();
+    let prev_h = out.last().map(|r| r.height).unwrap();
+    if prev_y + prev_h != band_top {
+        return;
+    }
+    let start = out
+        .iter()
+        .rposition(|r| r.y != prev_y)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let prev = &out[start..];
+    if prev.len() != band.len() {
+        return;
+    }
+    let same = prev
+        .iter()
+        .zip(band.iter())
+        .all(|(p, b)| p.x == b.x && p.width == b.width);
+    if !same {
+        return;
+    }
+    let grow = band[0].height;
+    for r in &mut out[start..] {
+        r.height += grow;
+    }
+    band.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: i32, y: i32, w: i32, h: i32) -> Rect {
+        Rect::new(x, y, w, h)
+    }
+
+    #[test]
+    fn from_rect_and_area() {
+        let reg = Region::from_rect(r(0, 0, 10, 5));
+        assert_eq!(reg.area(), 50);
+        assert!(Region::from_rect(Rect::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn union_of_disjoint_rects() {
+        let a = Region::from_rect(r(0, 0, 10, 10));
+        let b = Region::from_rect(r(20, 0, 10, 10));
+        let u = a.union(&b);
+        assert_eq!(u.area(), 200);
+        assert_eq!(u.rects().len(), 2);
+    }
+
+    #[test]
+    fn union_merges_overlap() {
+        let a = Region::from_rect(r(0, 0, 10, 10));
+        let b = Region::from_rect(r(5, 0, 10, 10));
+        let u = a.union(&b);
+        assert_eq!(u.area(), 150);
+        assert_eq!(u.rects(), &[r(0, 0, 15, 10)]);
+    }
+
+    #[test]
+    fn adjacent_rects_coalesce_into_one() {
+        let a = Region::from_rect(r(0, 0, 10, 10));
+        let b = Region::from_rect(r(0, 10, 10, 10));
+        let u = a.union(&b);
+        assert_eq!(u.rects(), &[r(0, 0, 10, 20)]);
+    }
+
+    #[test]
+    fn intersect_simple() {
+        let a = Region::from_rect(r(0, 0, 10, 10));
+        let b = Region::from_rect(r(5, 5, 10, 10));
+        let i = a.intersect(&b);
+        assert_eq!(i.rects(), &[r(5, 5, 5, 5)]);
+    }
+
+    #[test]
+    fn subtract_punches_hole() {
+        let a = Region::from_rect(r(0, 0, 30, 30));
+        let hole = Region::from_rect(r(10, 10, 10, 10));
+        let d = a.subtract(&hole);
+        assert_eq!(d.area(), 900 - 100);
+        assert!(!d.contains(Point::new(15, 15)));
+        assert!(d.contains(Point::new(5, 15)));
+        assert!(d.contains(Point::new(25, 15)));
+        // Re-adding the hole restores the square.
+        let restored = d.union(&hole);
+        assert_eq!(restored.rects(), &[r(0, 0, 30, 30)]);
+    }
+
+    #[test]
+    fn structural_equality_of_same_pixel_set() {
+        // Built two different ways, same pixels => same representation.
+        let mut a = Region::new();
+        a.add_rect(r(0, 0, 10, 5));
+        a.add_rect(r(0, 5, 10, 5));
+        let b = Region::from_rect(r(0, 0, 10, 10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounding_box_and_contains() {
+        let mut reg = Region::new();
+        reg.add_rect(r(0, 0, 5, 5));
+        reg.add_rect(r(20, 20, 5, 5));
+        assert_eq!(reg.bounding_box(), r(0, 0, 25, 25));
+        assert!(reg.contains(Point::new(2, 2)));
+        assert!(!reg.contains(Point::new(10, 10)));
+        assert!(reg.intersects_rect(r(4, 4, 2, 2)));
+        assert!(!reg.intersects_rect(r(6, 6, 2, 2)));
+    }
+
+    #[test]
+    fn translate_moves_all_rects() {
+        let reg = Region::from_rect(r(0, 0, 5, 5)).translate(3, 4);
+        assert_eq!(reg.rects(), &[r(3, 4, 5, 5)]);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = Region::from_rect(r(0, 0, 10, 10));
+        assert!(a.intersect(&Region::new()).is_empty());
+        assert_eq!(a.union(&Region::new()), a);
+        assert_eq!(a.subtract(&Region::new()), a);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (0i32..40, 0i32..40, 1i32..20, 1i32..20).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+    }
+
+    fn arb_region() -> impl Strategy<Value = Region> {
+        proptest::collection::vec(arb_rect(), 0..6).prop_map(|rs| {
+            let mut reg = Region::new();
+            for r in rs {
+                reg.add_rect(r);
+            }
+            reg
+        })
+    }
+
+    /// Brute-force membership oracle over a small grid. Pixels are pushed
+    /// as `(y, x)` so generation order equals lexicographic order and the
+    /// result is always sorted.
+    fn pixels(reg: &Region) -> Vec<(i32, i32)> {
+        let mut v = Vec::new();
+        for y in -2..70 {
+            for x in -2..70 {
+                if reg.contains(Point::new(x, y)) {
+                    v.push((y, x));
+                }
+            }
+        }
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn union_matches_pixel_oracle(a in arb_region(), b in arb_region()) {
+            let u = a.union(&b);
+            let mut expect = pixels(&a);
+            expect.extend(pixels(&b));
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(pixels(&u), expect);
+        }
+
+        #[test]
+        fn intersect_matches_pixel_oracle(a in arb_region(), b in arb_region()) {
+            let i = a.intersect(&b);
+            let pb = pixels(&b);
+            let expect: Vec<_> = pixels(&a).into_iter()
+                .filter(|p| pb.binary_search(p).is_ok())
+                .collect();
+            prop_assert_eq!(pixels(&i), expect);
+        }
+
+        #[test]
+        fn subtract_matches_pixel_oracle(a in arb_region(), b in arb_region()) {
+            let d = a.subtract(&b);
+            let pb = pixels(&b);
+            let expect: Vec<_> = pixels(&a).into_iter()
+                .filter(|p| pb.binary_search(p).is_err())
+                .collect();
+            prop_assert_eq!(pixels(&d), expect);
+        }
+
+        #[test]
+        fn area_equals_pixel_count(a in arb_region()) {
+            prop_assert_eq!(a.area() as usize, pixels(&a).len());
+        }
+
+        #[test]
+        fn rects_are_disjoint(a in arb_region(), b in arb_region()) {
+            let u = a.union(&b);
+            let rs = u.rects();
+            for i in 0..rs.len() {
+                for j in (i + 1)..rs.len() {
+                    prop_assert!(!rs[i].intersects(rs[j]),
+                        "rects {} and {} overlap", rs[i], rs[j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Host crate for the cross-crate integration tests.
+//!
+//! The test sources live at the repository root (`/tests`) and are wired
+//! in as `[[test]]` targets of this crate; see `Cargo.toml`. There is no
+//! library code here.

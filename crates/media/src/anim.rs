@@ -1,0 +1,509 @@
+//! The animation component: "simple animations" (paper §1).
+//!
+//! Figure 5 embeds "an animation showing the building of [Pascal's]
+//! triangle" inside a table cell, started by choosing *animate* from the
+//! menus. [`AnimData`] is a sequence of frames (each a small display
+//! list); [`AnimView`] plays them on the world's **virtual** timer queue,
+//! so playback is deterministic under the scripted event driver.
+
+use std::any::Any;
+use std::io;
+
+use atk_graphics::{Color, FontDesc, Point, Rect, Size};
+use atk_wm::Graphic;
+
+use atk_core::{
+    ChangeRec, DataId, DataObject, DatastreamReader, DatastreamWriter, DsError, MenuItem,
+    ObserverRef, Token, Update, View, ViewBase, ViewId, World,
+};
+
+use crate::drawing::Shape;
+
+/// A frame: a display list of plain shapes (no insets inside frames).
+pub type Frame = Vec<Shape>;
+
+/// The animation data object.
+pub struct AnimData {
+    frames: Vec<Frame>,
+    /// Milliseconds between frames.
+    pub interval_ms: u64,
+    /// Natural display size.
+    pub canvas: Size,
+}
+
+impl AnimData {
+    /// An empty animation.
+    pub fn new(width: i32, height: i32, interval_ms: u64) -> AnimData {
+        AnimData {
+            frames: Vec::new(),
+            interval_ms,
+            canvas: Size::new(width, height),
+        }
+    }
+
+    /// Builds the paper's figure-5 animation: Pascal's triangle growing a
+    /// row per frame.
+    pub fn pascal_demo(rows: usize) -> AnimData {
+        let mut anim = AnimData::new(120, 16 * rows as i32 + 4, 200);
+        let mut triangle: Vec<Vec<u64>> = Vec::new();
+        for r in 0..rows {
+            let mut row = vec![1u64; r + 1];
+            for c in 1..r {
+                row[c] = triangle[r - 1][c - 1] + triangle[r - 1][c];
+            }
+            triangle.push(row);
+            // Frame r shows rows 0..=r.
+            let mut frame: Frame = Vec::new();
+            for (ri, trow) in triangle.iter().enumerate() {
+                for (ci, v) in trow.iter().enumerate() {
+                    let x = 60 - 8 * ri as i32 + 16 * ci as i32;
+                    let y = 2 + 16 * ri as i32;
+                    frame.push(Shape::Label {
+                        at: Point::new(x, y),
+                        text: v.to_string(),
+                        size: 10,
+                    });
+                }
+            }
+            anim.push_frame(frame);
+        }
+        anim
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A frame's display list.
+    pub fn frame(&self, i: usize) -> Option<&Frame> {
+        self.frames.get(i)
+    }
+
+    /// Appends a frame.
+    pub fn push_frame(&mut self, frame: Frame) -> ChangeRec {
+        self.frames.push(frame);
+        ChangeRec::Structure
+    }
+}
+
+impl DataObject for AnimData {
+    fn class_name(&self) -> &'static str {
+        "animation"
+    }
+
+    fn write_body(&self, w: &mut DatastreamWriter, _world: &World) -> io::Result<()> {
+        w.write_line(&format!(
+            "anim {} {} {}",
+            self.canvas.width, self.canvas.height, self.interval_ms
+        ))?;
+        for frame in &self.frames {
+            w.write_line(&format!("frame {}", frame.len()))?;
+            for s in frame {
+                match s {
+                    Shape::Line { a, b, width } => {
+                        w.write_line(&format!("line {} {} {} {} {}", a.x, a.y, b.x, b.y, width))?
+                    }
+                    Shape::Rect { rect, filled } => w.write_line(&format!(
+                        "rect {} {} {} {} {}",
+                        rect.x, rect.y, rect.width, rect.height, *filled as u8
+                    ))?,
+                    Shape::Oval { rect, filled } => w.write_line(&format!(
+                        "oval {} {} {} {} {}",
+                        rect.x, rect.y, rect.width, rect.height, *filled as u8
+                    ))?,
+                    Shape::Label { at, text, size } => {
+                        w.write_line(&format!("label {} {} {} {}", at.x, at.y, size, text))?
+                    }
+                    other => {
+                        // Polylines and insets are not supported inside
+                        // animation frames; write a comment-ish no-op.
+                        w.write_line(&format!("skip {}", shape_name(other)))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_body(
+        &mut self,
+        r: &mut DatastreamReader<'_>,
+        _world: &mut World,
+    ) -> Result<(), DsError> {
+        let bad = |l: &str| DsError::Malformed(format!("animation body: {l}"));
+        self.frames.clear();
+        loop {
+            let tok = r.next_token()?.ok_or(DsError::UnexpectedEof)?;
+            match tok {
+                Token::EndData { .. } => break,
+                Token::Line(line) => {
+                    let mut words = line.split_whitespace();
+                    let kw = words.next().unwrap_or("");
+                    let mut nums = |n: usize| -> Result<Vec<i32>, DsError> {
+                        let v: Vec<i32> = words
+                            .by_ref()
+                            .take(n)
+                            .filter_map(|x| x.parse().ok())
+                            .collect();
+                        if v.len() == n {
+                            Ok(v)
+                        } else {
+                            Err(bad(&line))
+                        }
+                    };
+                    match kw {
+                        "anim" => {
+                            let v = nums(3)?;
+                            self.canvas = Size::new(v[0], v[1]);
+                            self.interval_ms = v[2].max(1) as u64;
+                        }
+                        "frame" => self.frames.push(Vec::new()),
+                        "line" => {
+                            let v = nums(5)?;
+                            self.frames
+                                .last_mut()
+                                .ok_or_else(|| bad(&line))?
+                                .push(Shape::Line {
+                                    a: Point::new(v[0], v[1]),
+                                    b: Point::new(v[2], v[3]),
+                                    width: v[4],
+                                });
+                        }
+                        "rect" | "oval" => {
+                            let v = nums(5)?;
+                            let rect = Rect::new(v[0], v[1], v[2], v[3]);
+                            let filled = v[4] != 0;
+                            self.frames.last_mut().ok_or_else(|| bad(&line))?.push(
+                                if kw == "rect" {
+                                    Shape::Rect { rect, filled }
+                                } else {
+                                    Shape::Oval { rect, filled }
+                                },
+                            );
+                        }
+                        "label" => {
+                            let v = nums(3)?;
+                            let text = words.collect::<Vec<_>>().join(" ");
+                            self.frames
+                                .last_mut()
+                                .ok_or_else(|| bad(&line))?
+                                .push(Shape::Label {
+                                    at: Point::new(v[0], v[1]),
+                                    text,
+                                    size: v[2].max(6) as u32,
+                                });
+                        }
+                        "skip" => {}
+                        _ => return Err(bad(&line)),
+                    }
+                }
+                other => {
+                    return Err(DsError::Malformed(format!(
+                        "animation body token: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn shape_name(s: &Shape) -> &'static str {
+    match s {
+        Shape::Line { .. } => "line",
+        Shape::Rect { .. } => "rect",
+        Shape::Oval { .. } => "oval",
+        Shape::Polyline { .. } => "poly",
+        Shape::Label { .. } => "label",
+        Shape::Inset { .. } => "inset",
+    }
+}
+
+/// Timer token used by the animation view.
+const TICK_TOKEN: u32 = 1;
+
+/// The animation view: frame display plus virtual-clock playback.
+pub struct AnimView {
+    base: ViewBase,
+    data: Option<DataId>,
+    /// Current frame index.
+    pub current: usize,
+    /// True while playing.
+    pub playing: bool,
+}
+
+impl AnimView {
+    /// An unbound animation view.
+    pub fn new() -> AnimView {
+        AnimView {
+            base: ViewBase::new(),
+            data: None,
+            current: 0,
+            playing: false,
+        }
+    }
+
+    fn interval(&self, world: &World) -> u64 {
+        self.data
+            .and_then(|d| world.data::<AnimData>(d))
+            .map(|a| a.interval_ms)
+            .unwrap_or(200)
+    }
+
+    /// Starts playback (the menu's *animate* item).
+    pub fn play(&mut self, world: &mut World) {
+        if !self.playing {
+            self.playing = true;
+            let iv = self.interval(world);
+            world.schedule_timer(self.base.id, iv, TICK_TOKEN);
+        }
+    }
+
+    /// Stops playback.
+    pub fn stop(&mut self, world: &mut World) {
+        self.playing = false;
+        world.cancel_timers(self.base.id);
+    }
+}
+
+impl Default for AnimView {
+    fn default() -> Self {
+        AnimView::new()
+    }
+}
+
+impl View for AnimView {
+    fn class_name(&self) -> &'static str {
+        "animationv"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+    fn data_object(&self) -> Option<DataId> {
+        self.data
+    }
+
+    fn set_data_object(&mut self, world: &mut World, data: DataId) -> bool {
+        if let Some(old) = self.data {
+            world.remove_observer(old, ObserverRef::View(self.base.id));
+        }
+        self.data = Some(data);
+        world.add_observer(data, ObserverRef::View(self.base.id));
+        world.post_damage_full(self.base.id);
+        true
+    }
+
+    fn desired_size(&mut self, world: &mut World, _budget: i32) -> Size {
+        self.data
+            .and_then(|d| world.data::<AnimData>(d))
+            .map(|a| a.canvas)
+            .unwrap_or(Size::new(100, 60))
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, _update: Update) {
+        let Some(anim) = self.data.and_then(|d| world.data::<AnimData>(d)) else {
+            return;
+        };
+        let frame = anim
+            .frame(self.current.min(anim.frame_count().saturating_sub(1)))
+            .cloned()
+            .unwrap_or_default();
+        g.set_foreground(Color::BLACK);
+        for s in &frame {
+            match s {
+                Shape::Line { a, b, width } => {
+                    g.set_line_width(*width);
+                    g.draw_line(*a, *b);
+                    g.set_line_width(1);
+                }
+                Shape::Rect { rect, filled } => {
+                    if *filled {
+                        g.fill_rect(*rect);
+                    } else {
+                        g.draw_rect(*rect);
+                    }
+                }
+                Shape::Oval { rect, filled } => {
+                    if *filled {
+                        g.fill_oval(*rect);
+                    } else {
+                        g.draw_oval(*rect);
+                    }
+                }
+                Shape::Label { at, text, size } => {
+                    g.set_font(FontDesc::new("andy", Default::default(), *size));
+                    g.draw_string(*at, text);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn timer(&mut self, world: &mut World, token: u32) {
+        if token != TICK_TOKEN || !self.playing {
+            return;
+        }
+        let count = self
+            .data
+            .and_then(|d| world.data::<AnimData>(d))
+            .map(|a| a.frame_count())
+            .unwrap_or(0);
+        if count > 0 {
+            self.current = (self.current + 1) % count;
+            world.post_damage_full(self.base.id);
+        }
+        let iv = self.interval(world);
+        world.schedule_timer(self.base.id, iv, TICK_TOKEN);
+    }
+
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        match command {
+            // The paper: "click into the cell and choose the animate item
+            // from the menus."
+            "animate" => {
+                self.play(world);
+                true
+            }
+            "anim-stop" => {
+                self.stop(world);
+                true
+            }
+            "anim-step" => {
+                let count = self
+                    .data
+                    .and_then(|d| world.data::<AnimData>(d))
+                    .map(|a| a.frame_count())
+                    .unwrap_or(0);
+                if count > 0 {
+                    self.current = (self.current + 1) % count;
+                    world.post_damage_full(self.base.id);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        vec![
+            MenuItem::new("Animation", "Animate", "animate"),
+            MenuItem::new("Animation", "Stop", "anim-stop"),
+            MenuItem::new("Animation", "Step", "anim-step"),
+        ]
+    }
+
+    fn mouse(&mut self, world: &mut World, action: atk_wm::MouseAction, _pt: Point) -> bool {
+        if let atk_wm::MouseAction::Down(atk_wm::Button::Left) = action {
+            world.request_focus(self.base.id);
+            return true;
+        }
+        false
+    }
+
+    fn observed_changed(&mut self, world: &mut World, _s: DataId, _c: &ChangeRec) {
+        world.post_damage_full(self.base.id);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pascal_demo_builds_growing_frames() {
+        let anim = AnimData::pascal_demo(5);
+        assert_eq!(anim.frame_count(), 5);
+        // Frame r has 1+2+..+(r+1) labels.
+        assert_eq!(anim.frame(0).unwrap().len(), 1);
+        assert_eq!(anim.frame(4).unwrap().len(), 15);
+        // Last row of last frame carries binomials 1 4 6 4 1.
+        let labels: Vec<String> = anim
+            .frame(4)
+            .unwrap()
+            .iter()
+            .filter_map(|s| match s {
+                Shape::Label { text, .. } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&"6".to_string()));
+    }
+
+    #[test]
+    fn playback_advances_on_virtual_timer() {
+        let mut world = World::new();
+        let data = world.insert_data(Box::new(AnimData::pascal_demo(4)));
+        let vid = world.insert_view(Box::new(AnimView::new()));
+        world.with_view(vid, |v, w| v.set_data_object(w, data));
+        world.set_view_bounds(vid, Rect::new(0, 0, 120, 70));
+        // Menu "Animate".
+        world.with_view(vid, |v, w| {
+            assert!(v.perform(w, "animate"));
+        });
+        assert!(world.view_as::<AnimView>(vid).unwrap().playing);
+        // Two intervals pass (interval is 200ms).
+        for _ in 0..2 {
+            for (view, token) in world.advance_clock(200) {
+                world.with_view(view, |v, w| v.timer(w, token));
+            }
+        }
+        assert_eq!(world.view_as::<AnimView>(vid).unwrap().current, 2);
+        // Stop cancels the timer.
+        world.with_view(vid, |v, w| {
+            assert!(v.perform(w, "anim-stop"));
+        });
+        assert!(world.advance_clock(1000).is_empty());
+    }
+
+    #[test]
+    fn step_wraps_around() {
+        let mut world = World::new();
+        let data = world.insert_data(Box::new(AnimData::pascal_demo(2)));
+        let vid = world.insert_view(Box::new(AnimView::new()));
+        world.with_view(vid, |v, w| v.set_data_object(w, data));
+        world.with_view(vid, |v, w| {
+            v.perform(w, "anim-step");
+            v.perform(w, "anim-step");
+        });
+        assert_eq!(world.view_as::<AnimView>(vid).unwrap().current, 0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut world = World::new();
+        world
+            .catalog
+            .register_data("animation", || Box::new(AnimData::new(1, 1, 100)));
+        let anim = AnimData::pascal_demo(3);
+        let id = world.insert_data(Box::new(anim));
+        let doc = atk_core::document_to_string(&world, id);
+        assert!(atk_core::audit_stream(&doc).is_empty());
+        let mut world2 = World::new();
+        world2
+            .catalog
+            .register_data("animation", || Box::new(AnimData::new(1, 1, 100)));
+        let id2 = atk_core::read_document(&mut world2, &doc).unwrap();
+        let a2 = world2.data::<AnimData>(id2).unwrap();
+        assert_eq!(a2.frame_count(), 3);
+        assert_eq!(a2.interval_ms, 200);
+        assert_eq!(a2.frame(2).unwrap().len(), 6);
+    }
+}

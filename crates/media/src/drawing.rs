@@ -1,0 +1,902 @@
+//! The drawing component: a display list of shapes, with semantic hit
+//! testing and embedded insets.
+//!
+//! The drawing editor is the paper's star witness for parental authority
+//! (§3): with text embedded in a drawing and a line drawn over that text,
+//! "only the drawing component could determine whether the user was
+//! selecting the line or the underlying text" — which a global dispatcher
+//! cannot allow. [`DrawingView::mouse`] makes exactly that determination:
+//! it hit-tests its shapes first (a click near the line selects the
+//! line), and only then forwards the event into an embedded inset.
+//!
+//! The paper says the drawing component "will soon support" embedding;
+//! this reproduction implements that announced feature
+//! ([`Shape::Inset`]).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::io;
+
+use atk_graphics::{Color, FontDesc, Point, Rect, Size};
+use atk_wm::{Button, CursorShape, Graphic, MouseAction};
+
+use atk_core::{
+    ChangeRec, DataId, DataObject, DatastreamReader, DatastreamWriter, DsError, MenuItem,
+    ObserverRef, Token, Update, View, ViewBase, ViewId, World,
+};
+
+/// One element of the drawing's display list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A line segment with thickness.
+    Line {
+        /// Start point.
+        a: Point,
+        /// End point.
+        b: Point,
+        /// Pen width.
+        width: i32,
+    },
+    /// A rectangle.
+    Rect {
+        /// Geometry.
+        rect: Rect,
+        /// Filled or outlined.
+        filled: bool,
+    },
+    /// An ellipse.
+    Oval {
+        /// Bounding box.
+        rect: Rect,
+        /// Filled or outlined.
+        filled: bool,
+    },
+    /// An open polyline.
+    Polyline {
+        /// Vertices.
+        points: Vec<Point>,
+    },
+    /// A text label.
+    Label {
+        /// Top-left position.
+        at: Point,
+        /// The text.
+        text: String,
+        /// Point size.
+        size: u32,
+    },
+    /// An embedded component (the announced "soon" feature).
+    Inset {
+        /// Where it sits in the drawing.
+        rect: Rect,
+        /// The embedded data object.
+        data: DataId,
+        /// View class displaying it.
+        view_class: String,
+    },
+}
+
+impl Shape {
+    /// Bounding rectangle (used for damage and selection handles).
+    pub fn bounds(&self) -> Rect {
+        match self {
+            Shape::Line { a, b, width } => Rect::from_corners(*a, *b).inset(-(width + 1)),
+            Shape::Rect { rect, .. } | Shape::Oval { rect, .. } => rect.inset(-1),
+            Shape::Polyline { points } => points
+                .iter()
+                .fold(Rect::EMPTY, |acc, p| acc.union(Rect::new(p.x, p.y, 1, 1)))
+                .inset(-1),
+            Shape::Label { at, text, size } => {
+                let font = FontDesc::new("andy", Default::default(), *size);
+                Rect::new(
+                    at.x,
+                    at.y,
+                    font.string_width(text),
+                    font.metrics().line_height,
+                )
+            }
+            Shape::Inset { rect, .. } => *rect,
+        }
+    }
+
+    /// True if `pt` hits this shape within `slop` pixels. Insets are
+    /// *not* hit here — the view forwards into them only after no
+    /// ordinary shape claims the point.
+    pub fn hit(&self, pt: Point, slop: i32) -> bool {
+        match self {
+            Shape::Line { a, b, width } => seg_dist2(pt, *a, *b) <= ((slop + width) as i64).pow(2),
+            Shape::Rect { rect, filled } | Shape::Oval { rect, filled } => {
+                if *filled {
+                    rect.inset(-slop).contains(pt)
+                } else {
+                    rect.inset(-slop).contains(pt) && !rect.inset(slop + 1).contains(pt)
+                }
+            }
+            Shape::Polyline { points } => points
+                .windows(2)
+                .any(|w| seg_dist2(pt, w[0], w[1]) <= (slop as i64 + 1).pow(2)),
+            Shape::Label { .. } => self.bounds().inset(-slop).contains(pt),
+            Shape::Inset { .. } => false,
+        }
+    }
+
+    /// The shape moved by `(dx, dy)`.
+    pub fn translated(&self, dx: i32, dy: i32) -> Shape {
+        let d = Point::new(dx, dy);
+        match self {
+            Shape::Line { a, b, width } => Shape::Line {
+                a: *a + d,
+                b: *b + d,
+                width: *width,
+            },
+            Shape::Rect { rect, filled } => Shape::Rect {
+                rect: rect.translate(dx, dy),
+                filled: *filled,
+            },
+            Shape::Oval { rect, filled } => Shape::Oval {
+                rect: rect.translate(dx, dy),
+                filled: *filled,
+            },
+            Shape::Polyline { points } => Shape::Polyline {
+                points: points.iter().map(|p| *p + d).collect(),
+            },
+            Shape::Label { at, text, size } => Shape::Label {
+                at: *at + d,
+                text: text.clone(),
+                size: *size,
+            },
+            Shape::Inset {
+                rect,
+                data,
+                view_class,
+            } => Shape::Inset {
+                rect: rect.translate(dx, dy),
+                data: *data,
+                view_class: view_class.clone(),
+            },
+        }
+    }
+}
+
+/// Squared distance from a point to a segment.
+fn seg_dist2(p: Point, a: Point, b: Point) -> i64 {
+    let (px, py) = (p.x as f64, p.y as f64);
+    let (ax, ay) = (a.x as f64, a.y as f64);
+    let (bx, by) = (b.x as f64, b.y as f64);
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)) as i64
+}
+
+/// The drawing data object.
+pub struct DrawingData {
+    shapes: Vec<Shape>,
+    /// Natural canvas size.
+    pub canvas: Size,
+}
+
+impl DrawingData {
+    /// An empty drawing with the given canvas size.
+    pub fn new(width: i32, height: i32) -> DrawingData {
+        DrawingData {
+            shapes: Vec::new(),
+            canvas: Size::new(width, height),
+        }
+    }
+
+    /// The display list.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Appends a shape, returning its change record.
+    pub fn add_shape(&mut self, shape: Shape) -> ChangeRec {
+        self.shapes.push(shape);
+        ChangeRec::Element {
+            index: self.shapes.len() - 1,
+        }
+    }
+
+    /// Removes a shape.
+    pub fn remove_shape(&mut self, index: usize) -> ChangeRec {
+        if index < self.shapes.len() {
+            self.shapes.remove(index);
+        }
+        ChangeRec::Structure
+    }
+
+    /// Moves a shape by a delta.
+    pub fn move_shape(&mut self, index: usize, dx: i32, dy: i32) -> ChangeRec {
+        if let Some(s) = self.shapes.get_mut(index) {
+            *s = s.translated(dx, dy);
+        }
+        ChangeRec::Element { index }
+    }
+
+    /// The **topmost** shape hit at `pt` (reverse display-list order —
+    /// later shapes draw over earlier ones).
+    pub fn hit_test(&self, pt: Point, slop: i32) -> Option<usize> {
+        (0..self.shapes.len())
+            .rev()
+            .find(|&i| self.shapes[i].hit(pt, slop))
+    }
+}
+
+impl DataObject for DrawingData {
+    fn class_name(&self) -> &'static str {
+        "drawing"
+    }
+
+    fn write_body(&self, w: &mut DatastreamWriter, world: &World) -> io::Result<()> {
+        w.write_line(&format!(
+            "canvas {} {}",
+            self.canvas.width, self.canvas.height
+        ))?;
+        for s in &self.shapes {
+            match s {
+                Shape::Line { a, b, width } => {
+                    w.write_line(&format!("line {} {} {} {} {}", a.x, a.y, b.x, b.y, width))?
+                }
+                Shape::Rect { rect, filled } => w.write_line(&format!(
+                    "rect {} {} {} {} {}",
+                    rect.x, rect.y, rect.width, rect.height, *filled as u8
+                ))?,
+                Shape::Oval { rect, filled } => w.write_line(&format!(
+                    "oval {} {} {} {} {}",
+                    rect.x, rect.y, rect.width, rect.height, *filled as u8
+                ))?,
+                Shape::Polyline { points } => {
+                    let coords: Vec<String> = points
+                        .iter()
+                        .flat_map(|p| [p.x.to_string(), p.y.to_string()])
+                        .collect();
+                    w.write_line(&format!("poly {} {}", points.len(), coords.join(" ")))?;
+                }
+                Shape::Label { at, text, size } => {
+                    w.write_line(&format!("label {} {} {} {}", at.x, at.y, size, text))?
+                }
+                Shape::Inset {
+                    rect,
+                    data,
+                    view_class,
+                } => {
+                    let sid = w.write_embedded(world, *data)?;
+                    w.write_line(&format!(
+                        "inset {} {} {} {}",
+                        rect.x, rect.y, rect.width, rect.height
+                    ))?;
+                    w.write_view_ref(view_class, sid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_body(
+        &mut self,
+        r: &mut DatastreamReader<'_>,
+        world: &mut World,
+    ) -> Result<(), DsError> {
+        let bad = |l: &str| DsError::Malformed(format!("drawing body: {l}"));
+        self.shapes.clear();
+        let mut pending_inset: Option<Rect> = None;
+        loop {
+            let tok = r.next_token()?.ok_or(DsError::UnexpectedEof)?;
+            match tok {
+                Token::EndData { .. } => break,
+                Token::BeginData { class, sid } => {
+                    r.read_object_body(world, &class, sid)?;
+                }
+                Token::ViewRef { class, sid } => {
+                    let rect = pending_inset.take().ok_or_else(|| bad("stray \\view"))?;
+                    let data = r.lookup_sid(sid).ok_or(DsError::DanglingViewRef(sid))?;
+                    self.shapes.push(Shape::Inset {
+                        rect,
+                        data,
+                        view_class: class,
+                    });
+                }
+                Token::Line(line) => {
+                    let mut words = line.split_whitespace();
+                    let kw = words.next().unwrap_or("");
+                    let mut nums = |n: usize| -> Result<Vec<i32>, DsError> {
+                        let v: Vec<i32> = words
+                            .by_ref()
+                            .take(n)
+                            .filter_map(|x| x.parse().ok())
+                            .collect();
+                        if v.len() == n {
+                            Ok(v)
+                        } else {
+                            Err(bad(&line))
+                        }
+                    };
+                    match kw {
+                        "canvas" => {
+                            let v = nums(2)?;
+                            self.canvas = Size::new(v[0], v[1]);
+                        }
+                        "line" => {
+                            let v = nums(5)?;
+                            self.shapes.push(Shape::Line {
+                                a: Point::new(v[0], v[1]),
+                                b: Point::new(v[2], v[3]),
+                                width: v[4],
+                            });
+                        }
+                        "rect" | "oval" => {
+                            let v = nums(5)?;
+                            let rect = Rect::new(v[0], v[1], v[2], v[3]);
+                            let filled = v[4] != 0;
+                            self.shapes.push(if kw == "rect" {
+                                Shape::Rect { rect, filled }
+                            } else {
+                                Shape::Oval { rect, filled }
+                            });
+                        }
+                        "poly" => {
+                            let n = nums(1)?[0].max(0) as usize;
+                            let v = nums(n * 2)?;
+                            let points = v.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
+                            self.shapes.push(Shape::Polyline { points });
+                        }
+                        "label" => {
+                            let v = nums(3)?;
+                            let text: String = words.collect::<Vec<_>>().join(" ");
+                            self.shapes.push(Shape::Label {
+                                at: Point::new(v[0], v[1]),
+                                text,
+                                size: v[2].max(6) as u32,
+                            });
+                        }
+                        "inset" => {
+                            let v = nums(4)?;
+                            pending_inset = Some(Rect::new(v[0], v[1], v[2], v[3]));
+                        }
+                        _ => return Err(bad(&line)),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn embedded(&self) -> Vec<DataId> {
+        self.shapes
+            .iter()
+            .filter_map(|s| match s {
+                Shape::Inset { data, .. } => Some(*data),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The drawing view: rendering, semantic hit testing, selection, drag.
+pub struct DrawingView {
+    base: ViewBase,
+    data: Option<DataId>,
+    /// Selected shape index.
+    pub selected: Option<usize>,
+    drag_last: Option<Point>,
+    insets: HashMap<DataId, ViewId>,
+}
+
+impl DrawingView {
+    /// An unbound drawing view.
+    pub fn new() -> DrawingView {
+        DrawingView {
+            base: ViewBase::new(),
+            data: None,
+            selected: None,
+            drag_last: None,
+            insets: HashMap::new(),
+        }
+    }
+
+    fn ensure_insets(&mut self, world: &mut World) {
+        let Some(data_id) = self.data else { return };
+        let insets: Vec<(Rect, DataId, String)> = world
+            .data::<DrawingData>(data_id)
+            .map(|d| {
+                d.shapes()
+                    .iter()
+                    .filter_map(|s| match s {
+                        Shape::Inset {
+                            rect,
+                            data,
+                            view_class,
+                        } => Some((*rect, *data, view_class.clone())),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (rect, data, view_class) in insets {
+            if !self.insets.contains_key(&data) {
+                if let Ok(vid) = world.new_view(&view_class) {
+                    world.set_view_parent(vid, Some(self.base.id));
+                    world.with_view(vid, |v, w| v.set_data_object(w, data));
+                    self.insets.insert(data, vid);
+                }
+            }
+            if let Some(&vid) = self.insets.get(&data) {
+                world.set_view_bounds(vid, rect);
+            }
+        }
+    }
+}
+
+impl Default for DrawingView {
+    fn default() -> Self {
+        DrawingView::new()
+    }
+}
+
+impl View for DrawingView {
+    fn class_name(&self) -> &'static str {
+        "drawingv"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+    fn data_object(&self) -> Option<DataId> {
+        self.data
+    }
+    fn children(&self) -> Vec<ViewId> {
+        self.insets.values().copied().collect()
+    }
+
+    fn set_data_object(&mut self, world: &mut World, data: DataId) -> bool {
+        if let Some(old) = self.data {
+            world.remove_observer(old, ObserverRef::View(self.base.id));
+        }
+        self.data = Some(data);
+        world.add_observer(data, ObserverRef::View(self.base.id));
+        world.post_damage_full(self.base.id);
+        true
+    }
+
+    fn desired_size(&mut self, world: &mut World, _budget: i32) -> Size {
+        self.data
+            .and_then(|d| world.data::<DrawingData>(d))
+            .map(|d| d.canvas)
+            .unwrap_or(Size::new(120, 80))
+    }
+
+    fn layout(&mut self, world: &mut World) {
+        self.ensure_insets(world);
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, update: Update) {
+        self.ensure_insets(world);
+        let Some(data_id) = self.data else { return };
+        let shapes: Vec<Shape> = match world.data::<DrawingData>(data_id) {
+            Some(d) => d.shapes().to_vec(),
+            None => return,
+        };
+        g.set_foreground(Color::BLACK);
+        for s in &shapes {
+            match s {
+                Shape::Line { a, b, width } => {
+                    g.set_line_width(*width);
+                    g.draw_line(*a, *b);
+                    g.set_line_width(1);
+                }
+                Shape::Rect { rect, filled } => {
+                    if *filled {
+                        g.fill_rect(*rect);
+                    } else {
+                        g.draw_rect(*rect);
+                    }
+                }
+                Shape::Oval { rect, filled } => {
+                    if *filled {
+                        g.fill_oval(*rect);
+                    } else {
+                        g.draw_oval(*rect);
+                    }
+                }
+                Shape::Polyline { points } => {
+                    for w2 in points.windows(2) {
+                        g.draw_line(w2[0], w2[1]);
+                    }
+                }
+                Shape::Label { at, text, size } => {
+                    g.set_font(FontDesc::new("andy", Default::default(), *size));
+                    g.draw_string(*at, text);
+                }
+                Shape::Inset { .. } => {}
+            }
+        }
+        // Inset children on top of plain shapes, under selection feedback.
+        let vids: Vec<ViewId> = self.insets.values().copied().collect();
+        for vid in vids {
+            world.draw_child(vid, g, update);
+        }
+        // Selection handles.
+        if let Some(i) = self.selected {
+            if let Some(s) = shapes.get(i) {
+                let b = s.bounds();
+                g.set_foreground(Color::BLACK);
+                for corner in [
+                    b.origin(),
+                    Point::new(b.right(), b.y),
+                    Point::new(b.x, b.bottom()),
+                    Point::new(b.right(), b.bottom()),
+                ] {
+                    g.fill_rect(Rect::new(corner.x - 2, corner.y - 2, 4, 4));
+                }
+            }
+        }
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        let Some(data_id) = self.data else {
+            return false;
+        };
+        match action {
+            MouseAction::Down(Button::Left) => {
+                // THE disambiguation (§3): shapes first — clicking near a
+                // line over embedded text selects the line...
+                let hit = world
+                    .data::<DrawingData>(data_id)
+                    .and_then(|d| d.hit_test(pt, 3));
+                if let Some(i) = hit {
+                    self.selected = Some(i);
+                    self.drag_last = Some(pt);
+                    world.request_focus(self.base.id);
+                    world.post_damage_full(self.base.id);
+                    return true;
+                }
+                // ...and only otherwise does the event reach the inset.
+                for &vid in self.insets.values() {
+                    if world.mouse_to_child(vid, action, pt) {
+                        return true;
+                    }
+                }
+                self.selected = None;
+                world.post_damage_full(self.base.id);
+                true
+            }
+            MouseAction::Drag(Button::Left) => {
+                if let (Some(i), Some(last)) = (self.selected, self.drag_last) {
+                    let d = pt - last;
+                    if d != Point::ORIGIN {
+                        let rec = world
+                            .data_mut::<DrawingData>(data_id)
+                            .map(|dd| dd.move_shape(i, d.x, d.y));
+                        if let Some(rec) = rec {
+                            world.notify(data_id, rec);
+                        }
+                        self.drag_last = Some(pt);
+                    }
+                    return true;
+                }
+                for &vid in self.insets.values() {
+                    if world.mouse_to_child(vid, action, pt) {
+                        return true;
+                    }
+                }
+                false
+            }
+            MouseAction::Up(Button::Left) => {
+                self.drag_last = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        let Some(data_id) = self.data else {
+            return false;
+        };
+        let shape = match command {
+            "draw-add-line" => Some(Shape::Line {
+                a: Point::new(10, 10),
+                b: Point::new(60, 40),
+                width: 1,
+            }),
+            "draw-add-rect" => Some(Shape::Rect {
+                rect: Rect::new(20, 20, 40, 30),
+                filled: false,
+            }),
+            "draw-add-oval" => Some(Shape::Oval {
+                rect: Rect::new(30, 15, 40, 25),
+                filled: false,
+            }),
+            "draw-delete" => {
+                if let Some(i) = self.selected.take() {
+                    let rec = world
+                        .data_mut::<DrawingData>(data_id)
+                        .map(|d| d.remove_shape(i));
+                    if let Some(rec) = rec {
+                        world.notify(data_id, rec);
+                    }
+                }
+                return true;
+            }
+            _ => None,
+        };
+        match shape {
+            Some(s) => {
+                let rec = world
+                    .data_mut::<DrawingData>(data_id)
+                    .map(|d| d.add_shape(s));
+                if let Some(rec) = rec {
+                    world.notify(data_id, rec);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        vec![
+            MenuItem::new("Draw", "Add Line", "draw-add-line"),
+            MenuItem::new("Draw", "Add Rectangle", "draw-add-rect"),
+            MenuItem::new("Draw", "Add Oval", "draw-add-oval"),
+            MenuItem::new("Draw", "Delete", "draw-delete"),
+        ]
+    }
+
+    fn cursor_at(&self, _world: &World, _pt: Point) -> Option<CursorShape> {
+        Some(CursorShape::Crosshair)
+    }
+
+    fn observed_changed(&mut self, world: &mut World, _source: DataId, change: &ChangeRec) {
+        match change {
+            ChangeRec::Element { index } => {
+                let rect = self
+                    .data
+                    .and_then(|d| world.data::<DrawingData>(d))
+                    .and_then(|d| d.shapes().get(*index).map(|s| s.bounds()));
+                match rect {
+                    Some(r) => world.post_damage(self.base.id, r.inset(-4)),
+                    None => world.post_damage_full(self.base.id),
+                }
+            }
+            _ => world.post_damage_full(self.base.id),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_testing_prefers_topmost() {
+        let mut d = DrawingData::new(200, 100);
+        d.add_shape(Shape::Rect {
+            rect: Rect::new(10, 10, 100, 60),
+            filled: true,
+        });
+        d.add_shape(Shape::Line {
+            a: Point::new(0, 40),
+            b: Point::new(200, 40),
+            width: 1,
+        });
+        // On the line: the line (later, topmost) wins.
+        assert_eq!(d.hit_test(Point::new(50, 40), 2), Some(1));
+        // Inside the rect, away from the line.
+        assert_eq!(d.hit_test(Point::new(50, 15), 2), Some(0));
+        // Nowhere.
+        assert_eq!(d.hit_test(Point::new(199, 99), 2), None);
+    }
+
+    #[test]
+    fn line_hit_uses_distance_not_bbox() {
+        let line = Shape::Line {
+            a: Point::new(0, 0),
+            b: Point::new(100, 100),
+            width: 1,
+        };
+        assert!(line.hit(Point::new(50, 50), 2));
+        // Inside the bounding box but far from the segment.
+        assert!(!line.hit(Point::new(90, 10), 2));
+    }
+
+    #[test]
+    fn outline_rect_hit_is_edge_only() {
+        let r = Shape::Rect {
+            rect: Rect::new(10, 10, 50, 50),
+            filled: false,
+        };
+        assert!(r.hit(Point::new(10, 30), 2)); // Left edge.
+        assert!(!r.hit(Point::new(35, 35), 2)); // Interior.
+    }
+
+    #[test]
+    fn move_and_delete() {
+        let mut d = DrawingData::new(100, 100);
+        d.add_shape(Shape::Oval {
+            rect: Rect::new(0, 0, 10, 10),
+            filled: false,
+        });
+        d.move_shape(0, 5, 7);
+        match &d.shapes()[0] {
+            Shape::Oval { rect, .. } => assert_eq!(*rect, Rect::new(5, 7, 10, 10)),
+            other => panic!("unexpected {other:?}"),
+        }
+        d.remove_shape(0);
+        assert!(d.shapes().is_empty());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut world = World::new();
+        world
+            .catalog
+            .register_data("drawing", || Box::new(DrawingData::new(10, 10)));
+        let mut d = DrawingData::new(300, 200);
+        d.add_shape(Shape::Line {
+            a: Point::new(1, 2),
+            b: Point::new(3, 4),
+            width: 2,
+        });
+        d.add_shape(Shape::Polyline {
+            points: vec![Point::new(0, 0), Point::new(5, 5), Point::new(10, 0)],
+        });
+        d.add_shape(Shape::Label {
+            at: Point::new(7, 8),
+            text: "Dear David,".to_string(),
+            size: 12,
+        });
+        let id = world.insert_data(Box::new(d));
+        let doc = atk_core::document_to_string(&world, id);
+        assert!(atk_core::audit_stream(&doc).is_empty());
+
+        let mut world2 = World::new();
+        world2
+            .catalog
+            .register_data("drawing", || Box::new(DrawingData::new(10, 10)));
+        let id2 = atk_core::read_document(&mut world2, &doc).unwrap();
+        let d2 = world2.data::<DrawingData>(id2).unwrap();
+        assert_eq!(d2.canvas, Size::new(300, 200));
+        assert_eq!(d2.shapes().len(), 3);
+        match &d2.shapes()[2] {
+            Shape::Label { text, .. } => assert_eq!(text, "Dear David,"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_line_over_text_case_resolves_correctly() {
+        // Build the paper's scene inside the real view: embedded text
+        // with a line over it. A click near the line selects the line; a
+        // click in the text (away from the line) reaches the text inset.
+        let mut world = World::new();
+        world
+            .catalog
+            .register_data("drawing", || Box::new(DrawingData::new(10, 10)));
+        world
+            .catalog
+            .register_view("drawingv", || Box::new(DrawingView::new()));
+        // A trivial stand-in "text" view that records hits.
+        struct Probe {
+            base: ViewBase,
+            hits: u64,
+        }
+        impl View for Probe {
+            fn class_name(&self) -> &'static str {
+                "probe"
+            }
+            fn id(&self) -> ViewId {
+                self.base.id
+            }
+            fn set_id(&mut self, id: ViewId) {
+                self.base.id = id;
+            }
+            fn set_data_object(&mut self, _w: &mut World, _d: DataId) -> bool {
+                true
+            }
+            fn desired_size(&mut self, _w: &mut World, _b: i32) -> Size {
+                Size::new(100, 40)
+            }
+            fn draw(&mut self, _w: &mut World, _g: &mut dyn Graphic, _u: Update) {}
+            fn mouse(&mut self, _w: &mut World, _a: MouseAction, _p: Point) -> bool {
+                self.hits += 1;
+                true
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        world.catalog.register_view("probe", || {
+            Box::new(Probe {
+                base: ViewBase::new(),
+                hits: 0,
+            })
+        });
+
+        let text_stub = world.insert_data(Box::new(DrawingData::new(1, 1)));
+        let mut drawing = DrawingData::new(300, 100);
+        drawing.add_shape(Shape::Inset {
+            rect: Rect::new(20, 20, 150, 40),
+            data: text_stub,
+            view_class: "probe".to_string(),
+        });
+        drawing.add_shape(Shape::Line {
+            a: Point::new(0, 40),
+            b: Point::new(300, 40),
+            width: 1,
+        });
+        let did = world.insert_data(Box::new(drawing));
+        let view = world.new_view("drawingv").unwrap();
+        world.with_view(view, |v, w| v.set_data_object(w, did));
+        world.set_view_bounds(view, Rect::new(0, 0, 300, 100));
+
+        // Click ON the line, inside the text's rectangle.
+        world.with_view(view, |v, w| {
+            v.mouse(w, MouseAction::Down(Button::Left), Point::new(80, 41));
+            v.mouse(w, MouseAction::Up(Button::Left), Point::new(80, 41));
+        });
+        assert_eq!(
+            world.view_as::<DrawingView>(view).unwrap().selected,
+            Some(1)
+        );
+        let probe_id = world.view_dyn(view).unwrap().children()[0];
+        assert_eq!(world.view_as::<Probe>(probe_id).unwrap().hits, 0);
+
+        // Click in the text, away from the line: the inset gets it.
+        world.with_view(view, |v, w| {
+            v.mouse(w, MouseAction::Down(Button::Left), Point::new(80, 25));
+        });
+        assert_eq!(world.view_as::<Probe>(probe_id).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn drag_moves_selected_shape() {
+        let mut world = World::new();
+        world
+            .catalog
+            .register_data("drawing", || Box::new(DrawingData::new(10, 10)));
+        let mut d = DrawingData::new(100, 100);
+        d.add_shape(Shape::Rect {
+            rect: Rect::new(10, 10, 20, 20),
+            filled: true,
+        });
+        let did = world.insert_data(Box::new(d));
+        let view = world.insert_view(Box::new(DrawingView::new()));
+        world.with_view(view, |v, w| v.set_data_object(w, did));
+        world.set_view_bounds(view, Rect::new(0, 0, 100, 100));
+        world.with_view(view, |v, w| {
+            v.mouse(w, MouseAction::Down(Button::Left), Point::new(15, 15));
+            v.mouse(w, MouseAction::Drag(Button::Left), Point::new(25, 20));
+            v.mouse(w, MouseAction::Up(Button::Left), Point::new(25, 20));
+        });
+        match &world.data::<DrawingData>(did).unwrap().shapes()[0] {
+            Shape::Rect { rect, .. } => assert_eq!(*rect, Rect::new(20, 15, 20, 20)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # atk-media — drawings, equations, rasters, and animations
+//!
+//! The remaining editable components of paper §1: "Some of the components
+//! included in the toolkit are multi-font text, tables, spreadsheets,
+//! **drawings, equations, rasters, and simple animations**."
+//!
+//! * [`drawing`] — display-list vector graphics with semantic hit testing
+//!   (the line-over-text disambiguation of §3) and embedded insets (the
+//!   feature §1 announces as coming "soon");
+//! * [`eq`] — an eqn-flavoured equation language with box layout (figure
+//!   5's Pascal's-Triangle equations);
+//! * [`raster`] — 1-bit bitmaps with the §5-suggested one-hex-line-per-row
+//!   external representation;
+//! * [`anim`] — frame-list animations played on the deterministic virtual
+//!   timer (figure 5's "animation showing the building of the triangle").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anim;
+pub mod drawing;
+pub mod eq;
+pub mod raster;
+
+pub use anim::{AnimData, AnimView, Frame};
+pub use drawing::{DrawingData, DrawingView, Shape};
+pub use eq::{measure, parse_eq, render, EqBox, EqData, EqError, EqNode, EqView};
+pub use raster::{RasterData, RasterView};
+
+use atk_class::ModuleSpec;
+use atk_core::Catalog;
+
+/// Registers the media components (modules `"drawing"`, `"eq"`,
+/// `"raster"`, `"animation"`).
+pub fn register(catalog: &mut Catalog) {
+    let _ = catalog.add_module(ModuleSpec::new(
+        "drawing",
+        64_000,
+        &["drawing", "drawingv"],
+        &["components"],
+    ));
+    let _ = catalog.add_module(ModuleSpec::new("eq", 30_000, &["eq", "eqv"], &[]));
+    let _ = catalog.add_module(ModuleSpec::new(
+        "raster",
+        28_000,
+        &["raster", "rasterview"],
+        &[],
+    ));
+    let _ = catalog.add_module(ModuleSpec::new(
+        "animation",
+        22_000,
+        &["animation", "animationv"],
+        &["drawing"],
+    ));
+    catalog.register_data("drawing", || Box::new(DrawingData::new(200, 120)));
+    catalog.register_view("drawingv", || Box::new(DrawingView::new()));
+    catalog.set_default_view("drawing", "drawingv");
+    catalog.register_data("eq", || Box::new(EqData::new()));
+    catalog.register_view("eqv", || Box::new(EqView::new()));
+    catalog.set_default_view("eq", "eqv");
+    catalog.register_data("raster", || Box::new(RasterData::new(32, 32)));
+    catalog.register_view("rasterview", || Box::new(RasterView::new()));
+    catalog.set_default_view("raster", "rasterview");
+    catalog.register_data("animation", || Box::new(AnimData::new(100, 60, 200)));
+    catalog.register_view("animationv", || Box::new(AnimView::new()));
+    catalog.set_default_view("animation", "animationv");
+}

@@ -1,0 +1,704 @@
+//! The table data object: a grid of cells with spreadsheet recalculation
+//! and embedded components.
+//!
+//! "The text and table components are multi-media components, in that
+//! they allow the embedding \[of\] other components within their
+//! description" (paper §1) — a cell can hold text, a number, a formula,
+//! or an arbitrary embedded data object (the paper's figure 5 puts an
+//! equation and an animation inside table cells).
+//!
+//! Formula cells form a dependency graph; [`TableData::recalc`] orders it
+//! topologically (depth-first with cycle detection) and re-evaluates, so
+//! the Pascal's-Triangle spreadsheet from figure 5 works the way a 1988
+//! user would expect.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::io;
+
+use atk_core::{
+    ChangeRec, DataId, DataObject, DatastreamReader, DatastreamWriter, DsError, Token, World,
+};
+
+use crate::formula::{parse, Coord, Expr, FormulaError};
+
+/// Default column width in pixels.
+pub const DEFAULT_COL_WIDTH: i32 = 64;
+/// Default row height in pixels.
+pub const DEFAULT_ROW_HEIGHT: i32 = 16;
+
+/// One cell of the table.
+#[derive(Debug, Clone, Default)]
+pub enum Cell {
+    /// Nothing.
+    #[default]
+    Empty,
+    /// A text label.
+    Text(String),
+    /// A literal number.
+    Number(f64),
+    /// A formula with its parse and latest value.
+    Formula {
+        /// Source, without the leading `=`.
+        src: String,
+        /// Parsed expression (`None` when the source is malformed).
+        ast: Option<Expr>,
+        /// Latest computed value.
+        value: Result<f64, FormulaError>,
+    },
+    /// An embedded component (drawing, equation, animation, …).
+    Embedded {
+        /// The embedded data object.
+        data: DataId,
+        /// View class displaying it.
+        view_class: String,
+    },
+}
+
+impl Cell {
+    /// The numeric value other formulas see (text/empty/error → 0).
+    pub fn numeric(&self) -> f64 {
+        match self {
+            Cell::Number(n) => *n,
+            Cell::Formula { value: Ok(v), .. } => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Display string for the cell.
+    pub fn display(&self) -> String {
+        match self {
+            Cell::Empty => String::new(),
+            Cell::Text(s) => s.clone(),
+            Cell::Number(n) => format_num(*n),
+            Cell::Formula { value: Ok(v), .. } => format_num(*v),
+            Cell::Formula { value: Err(e), .. } => match e {
+                FormulaError::Cycle => "#CYCLE".to_string(),
+                _ => "#ERR".to_string(),
+            },
+            Cell::Embedded { view_class, .. } => format!("[{view_class}]"),
+        }
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:.4}")
+    }
+}
+
+/// What a user typed into a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellInput {
+    /// Clear the cell.
+    Clear,
+    /// Raw text: parsed as a number if it looks like one, a formula if
+    /// it starts with `=`, text otherwise.
+    Raw(String),
+}
+
+/// The table/spreadsheet data object.
+pub struct TableData {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Cell>,
+    /// Per-column widths (pixels).
+    pub col_widths: Vec<i32>,
+    /// Per-row heights (pixels).
+    pub row_heights: Vec<i32>,
+    recalcs: u64,
+}
+
+impl TableData {
+    /// An empty `rows`×`cols` table.
+    pub fn new(rows: usize, cols: usize) -> TableData {
+        TableData {
+            rows,
+            cols,
+            cells: vec![Cell::Empty; rows * cols],
+            col_widths: vec![DEFAULT_COL_WIDTH; cols],
+            row_heights: vec![DEFAULT_ROW_HEIGHT; rows],
+            recalcs: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total recalculation passes run (instrumentation).
+    pub fn recalcs(&self) -> u64 {
+        self.recalcs
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * self.cols + c
+    }
+
+    /// The cell at `(r, c)` (Empty outside the grid).
+    pub fn cell(&self, r: usize, c: usize) -> &Cell {
+        static EMPTY: Cell = Cell::Empty;
+        if r < self.rows && c < self.cols {
+            &self.cells[self.idx(r, c)]
+        } else {
+            &EMPTY
+        }
+    }
+
+    /// Numeric value at `(r, c)`.
+    pub fn value(&self, r: usize, c: usize) -> f64 {
+        self.cell(r, c).numeric()
+    }
+
+    /// Sets a cell from user input, recalculates, and returns the change
+    /// record (covering the whole dependent region — conservatively the
+    /// grid when formulas exist).
+    pub fn set_cell(&mut self, r: usize, c: usize, input: CellInput) -> ChangeRec {
+        if r >= self.rows || c >= self.cols {
+            return ChangeRec::Meta;
+        }
+        let idx = self.idx(r, c);
+        self.cells[idx] = match input {
+            CellInput::Clear => Cell::Empty,
+            CellInput::Raw(s) => {
+                let t = s.trim();
+                if let Some(body) = t.strip_prefix('=') {
+                    match parse(body) {
+                        Ok(ast) => Cell::Formula {
+                            src: body.to_string(),
+                            ast: Some(ast),
+                            value: Ok(0.0),
+                        },
+                        Err(e) => Cell::Formula {
+                            src: body.to_string(),
+                            ast: None,
+                            value: Err(e),
+                        },
+                    }
+                } else if let Ok(n) = t.parse::<f64>() {
+                    Cell::Number(n)
+                } else if t.is_empty() {
+                    Cell::Empty
+                } else {
+                    Cell::Text(s)
+                }
+            }
+        };
+        let has_formulas = self.cells.iter().any(|c| matches!(c, Cell::Formula { .. }));
+        if has_formulas {
+            self.recalc();
+            ChangeRec::Cells {
+                r0: 0,
+                c0: 0,
+                r1: self.rows.saturating_sub(1),
+                c1: self.cols.saturating_sub(1),
+            }
+        } else {
+            ChangeRec::Cells {
+                r0: r,
+                c0: c,
+                r1: r,
+                c1: c,
+            }
+        }
+    }
+
+    /// Embeds a component in a cell.
+    pub fn set_embedded(
+        &mut self,
+        r: usize,
+        c: usize,
+        data: DataId,
+        view_class: &str,
+    ) -> ChangeRec {
+        if r >= self.rows || c >= self.cols {
+            return ChangeRec::Meta;
+        }
+        let idx = self.idx(r, c);
+        self.cells[idx] = Cell::Embedded {
+            data,
+            view_class: view_class.to_string(),
+        };
+        ChangeRec::Cells {
+            r0: r,
+            c0: c,
+            r1: r,
+            c1: c,
+        }
+    }
+
+    /// Re-evaluates every formula in dependency order. Cells on a cycle
+    /// get [`FormulaError::Cycle`].
+    pub fn recalc(&mut self) {
+        self.recalcs += 1;
+        // Collect formulas and their dependencies.
+        let mut formulas: HashMap<Coord, Vec<Coord>> = HashMap::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if let Cell::Formula { ast: Some(a), .. } = self.cell(r, c) {
+                    formulas.insert((r, c), a.deps());
+                }
+            }
+        }
+        // DFS topological order with cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let mut marks: HashMap<Coord, Mark> = formulas.keys().map(|k| (*k, Mark::White)).collect();
+        let mut order: Vec<Coord> = Vec::with_capacity(formulas.len());
+        let mut cyclic: Vec<Coord> = Vec::new();
+
+        // Iterative DFS to survive deep chains (the Pascal's-Triangle
+        // sheet is exactly a long dependency chain).
+        for &start in formulas.keys() {
+            if marks[&start] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(Coord, usize)> = vec![(start, 0)];
+            marks.insert(start, Mark::Gray);
+            while let Some(frame) = stack.last_mut() {
+                let node = frame.0;
+                let deps = &formulas[&node];
+                if frame.1 < deps.len() {
+                    let dep = deps[frame.1];
+                    frame.1 += 1;
+                    if formulas.contains_key(&dep) {
+                        match marks[&dep] {
+                            Mark::White => {
+                                marks.insert(dep, Mark::Gray);
+                                stack.push((dep, 0));
+                            }
+                            Mark::Gray => {
+                                cyclic.push(dep);
+                                cyclic.push(node);
+                            }
+                            Mark::Black => {}
+                        }
+                    }
+                } else {
+                    marks.insert(node, Mark::Black);
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+
+        // Propagate cycle taint: any formula depending (transitively) on
+        // a cyclic cell is also in error.
+        let mut tainted: std::collections::HashSet<Coord> = cyclic.into_iter().collect();
+        loop {
+            let before = tainted.len();
+            for (coord, deps) in &formulas {
+                if deps.iter().any(|d| tainted.contains(d)) {
+                    tainted.insert(*coord);
+                }
+            }
+            if tainted.len() == before {
+                break;
+            }
+        }
+
+        // Evaluate in order.
+        let mut values: HashMap<Coord, f64> = HashMap::new();
+        for coord in order {
+            if tainted.contains(&coord) {
+                continue;
+            }
+            let ast = match self.cell(coord.0, coord.1) {
+                Cell::Formula { ast: Some(a), .. } => a.clone(),
+                _ => continue,
+            };
+            let result = {
+                let lookup = |dep: Coord| -> f64 {
+                    if let Some(v) = values.get(&dep) {
+                        *v
+                    } else {
+                        self.value(dep.0, dep.1)
+                    }
+                };
+                ast.eval(&lookup)
+            };
+            if let Ok(v) = result {
+                values.insert(coord, v);
+            }
+            let idx = self.idx(coord.0, coord.1);
+            if let Cell::Formula { value, .. } = &mut self.cells[idx] {
+                *value = result;
+            }
+        }
+        for coord in tainted {
+            if coord.0 < self.rows && coord.1 < self.cols {
+                let idx = self.idx(coord.0, coord.1);
+                if let Cell::Formula { value, .. } = &mut self.cells[idx] {
+                    *value = Err(FormulaError::Cycle);
+                }
+            }
+        }
+    }
+
+    /// Appends a row.
+    pub fn add_row(&mut self) -> ChangeRec {
+        self.rows += 1;
+        self.row_heights.push(DEFAULT_ROW_HEIGHT);
+        self.cells
+            .extend(std::iter::repeat_with(Cell::default).take(self.cols));
+        ChangeRec::Structure
+    }
+
+    /// Appends a column.
+    pub fn add_col(&mut self) -> ChangeRec {
+        let old_cols = self.cols;
+        self.cols += 1;
+        self.col_widths.push(DEFAULT_COL_WIDTH);
+        let mut cells = vec![Cell::Empty; self.rows * self.cols];
+        for r in 0..self.rows {
+            for c in 0..old_cols {
+                cells[r * self.cols + c] = std::mem::take(&mut self.cells[r * old_cols + c]);
+            }
+        }
+        self.cells = cells;
+        ChangeRec::Structure
+    }
+
+    /// Total pixel width including all columns.
+    pub fn total_width(&self) -> i32 {
+        self.col_widths.iter().sum()
+    }
+
+    /// Total pixel height including all rows.
+    pub fn total_height(&self) -> i32 {
+        self.row_heights.iter().sum()
+    }
+
+    /// Values of a rectangular range, row-major (for chart views).
+    pub fn range_values(&self, r0: usize, c0: usize, r1: usize, c1: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for r in r0..=r1.min(self.rows.saturating_sub(1)) {
+            for c in c0..=c1.min(self.cols.saturating_sub(1)) {
+                out.push(self.value(r, c));
+            }
+        }
+        out
+    }
+}
+
+impl DataObject for TableData {
+    fn class_name(&self) -> &'static str {
+        "table"
+    }
+
+    fn write_body(&self, w: &mut DatastreamWriter, world: &World) -> io::Result<()> {
+        w.write_line(&format!("dims {} {}", self.rows, self.cols))?;
+        w.write_line(&format!(
+            "colw {}",
+            self.col_widths
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ))?;
+        w.write_line(&format!(
+            "rowh {}",
+            self.row_heights
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ))?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                match self.cell(r, c) {
+                    Cell::Empty => {}
+                    Cell::Text(s) => w.write_line(&format!("cell {r} {c} t {s}"))?,
+                    Cell::Number(n) => w.write_line(&format!("cell {r} {c} n {n}"))?,
+                    Cell::Formula { src, .. } => w.write_line(&format!("cell {r} {c} f {src}"))?,
+                    Cell::Embedded { data, view_class } => {
+                        let sid = w.write_embedded(world, *data)?;
+                        w.write_line(&format!("cell {r} {c} e"))?;
+                        w.write_view_ref(view_class, sid)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_body(
+        &mut self,
+        r: &mut DatastreamReader<'_>,
+        world: &mut World,
+    ) -> Result<(), DsError> {
+        let bad = |l: &str| DsError::Malformed(format!("table body: {l}"));
+        let mut pending_embed: Option<(usize, usize)> = None;
+        loop {
+            let tok = r.next_token()?.ok_or(DsError::UnexpectedEof)?;
+            match tok {
+                Token::EndData { .. } => break,
+                Token::BeginData { class, sid } => {
+                    r.read_object_body(world, &class, sid)?;
+                }
+                Token::ViewRef { class, sid } => {
+                    let (row, col) = pending_embed.take().ok_or_else(|| bad("stray \\view"))?;
+                    let data = r.lookup_sid(sid).ok_or(DsError::DanglingViewRef(sid))?;
+                    self.set_embedded(row, col, data, &class);
+                }
+                Token::Line(line) => {
+                    let mut words = line.split_whitespace();
+                    match words.next() {
+                        Some("dims") => {
+                            let rows: usize = words
+                                .next()
+                                .and_then(|x| x.parse().ok())
+                                .ok_or_else(|| bad(&line))?;
+                            let cols: usize = words
+                                .next()
+                                .and_then(|x| x.parse().ok())
+                                .ok_or_else(|| bad(&line))?;
+                            *self = TableData::new(rows, cols);
+                        }
+                        Some("colw") => {
+                            let v: Vec<i32> = words.filter_map(|x| x.parse().ok()).collect();
+                            if v.len() == self.cols {
+                                self.col_widths = v;
+                            }
+                        }
+                        Some("rowh") => {
+                            let v: Vec<i32> = words.filter_map(|x| x.parse().ok()).collect();
+                            if v.len() == self.rows {
+                                self.row_heights = v;
+                            }
+                        }
+                        Some("cell") => {
+                            let row: usize = words
+                                .next()
+                                .and_then(|x| x.parse().ok())
+                                .ok_or_else(|| bad(&line))?;
+                            let col: usize = words
+                                .next()
+                                .and_then(|x| x.parse().ok())
+                                .ok_or_else(|| bad(&line))?;
+                            let kind = words.next().ok_or_else(|| bad(&line))?;
+                            // The rest of the line, verbatim.
+                            let prefix_len = line
+                                .find(kind)
+                                .map(|i| i + kind.len() + 1)
+                                .unwrap_or(line.len());
+                            let rest = line.get(prefix_len..).unwrap_or("");
+                            match kind {
+                                "t" => {
+                                    self.set_cell(row, col, CellInput::Raw(rest.to_string()));
+                                    // Force text even if numeric-looking.
+                                    if row < self.rows && col < self.cols {
+                                        let idx = self.idx(row, col);
+                                        self.cells[idx] = Cell::Text(rest.to_string());
+                                    }
+                                }
+                                "n" => {
+                                    let n: f64 = rest.trim().parse().map_err(|_| bad(&line))?;
+                                    let idx = self.idx(row, col);
+                                    self.cells[idx] = Cell::Number(n);
+                                }
+                                "f" => {
+                                    self.set_cell(row, col, CellInput::Raw(format!("={rest}")));
+                                }
+                                "e" => {
+                                    pending_embed = Some((row, col));
+                                }
+                                _ => return Err(bad(&line)),
+                            }
+                        }
+                        _ => return Err(bad(&line)),
+                    }
+                }
+            }
+        }
+        self.recalc();
+        Ok(())
+    }
+
+    fn embedded(&self) -> Vec<DataId> {
+        self.cells
+            .iter()
+            .filter_map(|c| match c {
+                Cell::Embedded { data, .. } => Some(*data),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(t: &mut TableData, r: usize, c: usize, s: &str) {
+        t.set_cell(r, c, CellInput::Raw(s.to_string()));
+    }
+
+    #[test]
+    fn literals_and_display() {
+        let mut t = TableData::new(2, 2);
+        set(&mut t, 0, 0, "42");
+        set(&mut t, 0, 1, "hello");
+        set(&mut t, 1, 0, "2.5");
+        assert_eq!(t.value(0, 0), 42.0);
+        assert_eq!(t.cell(0, 1).display(), "hello");
+        assert_eq!(t.cell(1, 0).display(), "2.5000");
+        assert_eq!(t.cell(1, 1).display(), "");
+    }
+
+    #[test]
+    fn formulas_recalculate_on_change() {
+        let mut t = TableData::new(2, 2);
+        set(&mut t, 0, 0, "10");
+        set(&mut t, 0, 1, "=A1*2");
+        assert_eq!(t.value(0, 1), 20.0);
+        set(&mut t, 0, 0, "7");
+        assert_eq!(t.value(0, 1), 14.0);
+    }
+
+    #[test]
+    fn dependency_chains_evaluate_in_order() {
+        let mut t = TableData::new(1, 4);
+        set(&mut t, 0, 3, "=C1+1");
+        set(&mut t, 0, 2, "=B1+1");
+        set(&mut t, 0, 1, "=A1+1");
+        set(&mut t, 0, 0, "1");
+        assert_eq!(t.value(0, 3), 4.0);
+    }
+
+    #[test]
+    fn cycles_are_detected_not_looped() {
+        let mut t = TableData::new(1, 3);
+        set(&mut t, 0, 0, "=B1");
+        set(&mut t, 0, 1, "=A1");
+        set(&mut t, 0, 2, "=A1+1");
+        assert_eq!(t.cell(0, 0).display(), "#CYCLE");
+        assert_eq!(t.cell(0, 1).display(), "#CYCLE");
+        // C1 depends on the cycle and is tainted too.
+        assert_eq!(t.cell(0, 2).display(), "#CYCLE");
+    }
+
+    #[test]
+    fn pascals_triangle_spreadsheet() {
+        // The paper's figure 5: Pascal's triangle via the spreadsheet.
+        let n = 6;
+        let mut t = TableData::new(n, n);
+        for i in 0..n {
+            set(&mut t, i, 0, "1");
+            set(&mut t, 0, i, "1");
+        }
+        for r in 1..n {
+            for c in 1..n {
+                let above = crate::formula::coord_to_a1((r - 1, c));
+                let left = crate::formula::coord_to_a1((r, c - 1));
+                set(&mut t, r, c, &format!("={above}+{left}"));
+            }
+        }
+        // Binomial coefficients: cell (r,c) = C(r+c, r).
+        assert_eq!(t.value(1, 1), 2.0);
+        assert_eq!(t.value(2, 2), 6.0);
+        assert_eq!(t.value(3, 2), 10.0);
+        assert_eq!(t.value(5, 5), 252.0);
+    }
+
+    #[test]
+    fn aggregates_over_ranges() {
+        let mut t = TableData::new(3, 2);
+        for r in 0..3 {
+            set(&mut t, r, 0, &format!("{}", r + 1));
+        }
+        set(&mut t, 0, 1, "=SUM(A1:A3)");
+        set(&mut t, 1, 1, "=AVG(A1:A3)");
+        assert_eq!(t.value(0, 1), 6.0);
+        assert_eq!(t.value(1, 1), 2.0);
+    }
+
+    #[test]
+    fn structure_ops() {
+        let mut t = TableData::new(2, 2);
+        set(&mut t, 1, 1, "9");
+        t.add_row();
+        t.add_col();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.value(1, 1), 9.0);
+        assert_eq!(t.value(2, 2), 0.0);
+        assert_eq!(t.col_widths.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_show_err() {
+        let mut t = TableData::new(1, 1);
+        set(&mut t, 0, 0, "=1+");
+        assert_eq!(t.cell(0, 0).display(), "#ERR");
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut world = World::new();
+        world
+            .catalog
+            .register_data("table", || Box::new(TableData::new(1, 1)));
+        let mut t = TableData::new(2, 3);
+        set(&mut t, 0, 0, "5");
+        set(&mut t, 0, 1, "=A1*3");
+        set(&mut t, 1, 2, "label text here");
+        let id = world.insert_data(Box::new(t));
+        let doc = atk_core::document_to_string(&world, id);
+        assert!(atk_core::audit_stream(&doc).is_empty());
+
+        let mut world2 = World::new();
+        world2
+            .catalog
+            .register_data("table", || Box::new(TableData::new(1, 1)));
+        let id2 = atk_core::read_document(&mut world2, &doc).unwrap();
+        let t2 = world2.data::<TableData>(id2).unwrap();
+        assert_eq!(t2.rows(), 2);
+        assert_eq!(t2.cols(), 3);
+        assert_eq!(t2.value(0, 0), 5.0);
+        assert_eq!(t2.value(0, 1), 15.0);
+        assert_eq!(t2.cell(1, 2).display(), "label text here");
+    }
+
+    #[test]
+    fn embedded_cells_serialize_with_view_refs() {
+        let mut world = World::new();
+        world
+            .catalog
+            .register_data("table", || Box::new(TableData::new(1, 1)));
+        let inner = world.insert_data(Box::new(TableData::new(1, 1)));
+        let mut t = TableData::new(2, 2);
+        t.set_embedded(1, 0, inner, "tablev");
+        let id = world.insert_data(Box::new(t));
+        let doc = atk_core::document_to_string(&world, id);
+        assert!(doc.contains("\\view{tablev,2}"));
+
+        let mut world2 = World::new();
+        world2
+            .catalog
+            .register_data("table", || Box::new(TableData::new(1, 1)));
+        let id2 = atk_core::read_document(&mut world2, &doc).unwrap();
+        let t2 = world2.data::<TableData>(id2).unwrap();
+        assert!(matches!(t2.cell(1, 0), Cell::Embedded { .. }));
+        assert_eq!(t2.embedded().len(), 1);
+    }
+}

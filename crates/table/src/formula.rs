@@ -1,0 +1,647 @@
+//! The spreadsheet formula engine.
+//!
+//! The paper's figure 5 shows "an implementation of Pascal's Triangle
+//! using the spreadsheet facilities of the table object" — so the table
+//! component needs a real formula language. This module provides one:
+//! A1-style references, ranges, arithmetic, comparisons, and the
+//! classic aggregate functions, parsed with a Pratt parser into an
+//! [`Expr`] that can report its cell dependencies (for the recalculation
+//! engine) and evaluate against a cell-value lookup.
+
+use std::fmt;
+
+/// A cell coordinate: `(row, col)`, zero-based.
+pub type Coord = (usize, usize);
+
+/// Formula evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaError {
+    /// Lexical or syntax error.
+    Parse(String),
+    /// Reference to a cell outside the table.
+    BadRef(String),
+    /// A reference cycle involves this cell.
+    Cycle,
+    /// Division by zero or a domain error.
+    Domain(String),
+    /// Unknown function name.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::Parse(m) => write!(f, "parse error: {m}"),
+            FormulaError::BadRef(r) => write!(f, "bad reference {r}"),
+            FormulaError::Cycle => write!(f, "reference cycle"),
+            FormulaError::Domain(m) => write!(f, "domain error: {m}"),
+            FormulaError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+        }
+    }
+}
+
+impl std::error::Error for FormulaError {}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation.
+    Pow,
+    /// Equality (1/0).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// A parsed formula expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal number.
+    Num(f64),
+    /// Cell reference.
+    Ref(Coord),
+    /// Rectangular range (inclusive corners, normalized).
+    Range(Coord, Coord),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Converts column letters to an index (`A`→0, `Z`→25, `AA`→26).
+pub fn col_from_letters(s: &str) -> Option<usize> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut n = 0usize;
+    for c in s.chars() {
+        let c = c.to_ascii_uppercase();
+        if !c.is_ascii_uppercase() {
+            return None;
+        }
+        n = n * 26 + (c as usize - 'A' as usize + 1);
+    }
+    Some(n - 1)
+}
+
+/// Converts a column index to letters (`0`→`A`, `26`→`AA`).
+pub fn col_to_letters(mut col: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.insert(0, (b'A' + (col % 26) as u8) as char);
+        if col < 26 {
+            break;
+        }
+        col = col / 26 - 1;
+    }
+    s
+}
+
+/// Formats a coordinate as an A1 reference.
+pub fn coord_to_a1(coord: Coord) -> String {
+    format!("{}{}", col_to_letters(coord.1), coord.0 + 1)
+}
+
+// --- Lexer -------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Op(char),
+    Le,
+    Ge,
+    Ne,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, FormulaError> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '0'..='9' | '.' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| FormulaError::Parse(format!("bad number {s}")))?;
+                toks.push(Tok::Num(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            '+' | '-' | '*' | '/' | '^' | '=' => {
+                chars.next();
+                toks.push(Tok::Op(c));
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        toks.push(Tok::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        toks.push(Tok::Ne);
+                    }
+                    _ => toks.push(Tok::Op('<')),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Ge);
+                } else {
+                    toks.push(Tok::Op('>'));
+                }
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            ':' => {
+                chars.next();
+                toks.push(Tok::Colon);
+            }
+            other => {
+                return Err(FormulaError::Parse(format!("unexpected `{other}`")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// --- Parser -------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), FormulaError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(FormulaError::Parse(format!(
+                "expected {want:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_expr(&mut self, min_bp: u8) -> Result<Expr, FormulaError> {
+        let mut lhs = self.parse_prefix()?;
+        loop {
+            let (op, bp) = match self.peek() {
+                Some(Tok::Op('=')) => (BinOp::Eq, 1),
+                Some(Tok::Ne) => (BinOp::Ne, 1),
+                Some(Tok::Op('<')) => (BinOp::Lt, 1),
+                Some(Tok::Le) => (BinOp::Le, 1),
+                Some(Tok::Op('>')) => (BinOp::Gt, 1),
+                Some(Tok::Ge) => (BinOp::Ge, 1),
+                Some(Tok::Op('+')) => (BinOp::Add, 3),
+                Some(Tok::Op('-')) => (BinOp::Sub, 3),
+                Some(Tok::Op('*')) => (BinOp::Mul, 5),
+                Some(Tok::Op('/')) => (BinOp::Div, 5),
+                Some(Tok::Op('^')) => (BinOp::Pow, 7),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.next();
+            // Right-associative for ^, left for the rest.
+            let rhs = self.parse_expr(if op == BinOp::Pow { bp } else { bp + 1 })?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_prefix(&mut self) -> Result<Expr, FormulaError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Op('-')) => Ok(Expr::Neg(Box::new(self.parse_expr(6)?))),
+            Some(Tok::Op('+')) => self.parse_expr(6),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr(0)?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr(0)?);
+                            match self.peek() {
+                                Some(Tok::Comma) => {
+                                    self.next();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name.to_ascii_uppercase(), args))
+                } else {
+                    let start =
+                        parse_a1(&name).ok_or_else(|| FormulaError::BadRef(name.clone()))?;
+                    if self.peek() == Some(&Tok::Colon) {
+                        self.next();
+                        match self.next() {
+                            Some(Tok::Ident(end_name)) => {
+                                let end =
+                                    parse_a1(&end_name).ok_or(FormulaError::BadRef(end_name))?;
+                                let r0 = start.0.min(end.0);
+                                let r1 = start.0.max(end.0);
+                                let c0 = start.1.min(end.1);
+                                let c1 = start.1.max(end.1);
+                                Ok(Expr::Range((r0, c0), (r1, c1)))
+                            }
+                            other => Err(FormulaError::Parse(format!(
+                                "expected range end, found {other:?}"
+                            ))),
+                        }
+                    } else {
+                        Ok(Expr::Ref(start))
+                    }
+                }
+            }
+            other => Err(FormulaError::Parse(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+/// Parses an A1-style reference (`B3` → `(2, 1)`).
+pub fn parse_a1(s: &str) -> Option<Coord> {
+    let letters: String = s.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+    let digits: String = s.chars().skip(letters.len()).collect();
+    if letters.is_empty() || digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let col = col_from_letters(&letters)?;
+    let row: usize = digits.parse().ok()?;
+    if row == 0 {
+        return None;
+    }
+    Some((row - 1, col))
+}
+
+/// Parses a formula body (without the leading `=`).
+pub fn parse(src: &str) -> Result<Expr, FormulaError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.parse_expr(0)?;
+    if p.pos != p.toks.len() {
+        return Err(FormulaError::Parse(format!(
+            "trailing input at token {}",
+            p.pos
+        )));
+    }
+    Ok(e)
+}
+
+impl Expr {
+    /// Every cell this expression reads (ranges expanded).
+    pub fn deps(&self) -> Vec<Coord> {
+        let mut out = Vec::new();
+        self.collect_deps(&mut out);
+        out
+    }
+
+    fn collect_deps(&self, out: &mut Vec<Coord>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Ref(c) => out.push(*c),
+            Expr::Range(a, b) => {
+                for r in a.0..=b.0 {
+                    for c in a.1..=b.1 {
+                        out.push((r, c));
+                    }
+                }
+            }
+            Expr::Bin(_, l, r) => {
+                l.collect_deps(out);
+                r.collect_deps(out);
+            }
+            Expr::Neg(e) => e.collect_deps(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_deps(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates against a cell-value lookup.
+    pub fn eval(&self, lookup: &dyn Fn(Coord) -> f64) -> Result<f64, FormulaError> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Ref(c) => Ok(lookup(*c)),
+            Expr::Range(..) => Err(FormulaError::Domain(
+                "range used outside a function".to_string(),
+            )),
+            Expr::Neg(e) => Ok(-e.eval(lookup)?),
+            Expr::Bin(op, l, r) => {
+                let a = l.eval(lookup)?;
+                let b = r.eval(lookup)?;
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            return Err(FormulaError::Domain("division by zero".to_string()));
+                        }
+                        a / b
+                    }
+                    BinOp::Pow => a.powf(b),
+                    BinOp::Eq => (a == b) as i32 as f64,
+                    BinOp::Ne => (a != b) as i32 as f64,
+                    BinOp::Lt => (a < b) as i32 as f64,
+                    BinOp::Le => (a <= b) as i32 as f64,
+                    BinOp::Gt => (a > b) as i32 as f64,
+                    BinOp::Ge => (a >= b) as i32 as f64,
+                })
+            }
+            Expr::Call(name, args) => {
+                // Flatten args: ranges contribute every covered cell.
+                let values = |args: &[Expr]| -> Result<Vec<f64>, FormulaError> {
+                    let mut out = Vec::new();
+                    for a in args {
+                        match a {
+                            Expr::Range(from, to) => {
+                                for r in from.0..=to.0 {
+                                    for c in from.1..=to.1 {
+                                        out.push(lookup((r, c)));
+                                    }
+                                }
+                            }
+                            other => out.push(other.eval(lookup)?),
+                        }
+                    }
+                    Ok(out)
+                };
+                match name.as_str() {
+                    "SUM" => Ok(values(args)?.iter().sum()),
+                    "AVG" | "AVERAGE" => {
+                        let v = values(args)?;
+                        if v.is_empty() {
+                            return Err(FormulaError::Domain("AVG of nothing".to_string()));
+                        }
+                        Ok(v.iter().sum::<f64>() / v.len() as f64)
+                    }
+                    "MIN" => {
+                        let v = values(args)?;
+                        v.into_iter()
+                            .fold(None::<f64>, |m, x| Some(m.map_or(x, |m| m.min(x))))
+                            .ok_or_else(|| FormulaError::Domain("MIN of nothing".to_string()))
+                    }
+                    "MAX" => {
+                        let v = values(args)?;
+                        v.into_iter()
+                            .fold(None::<f64>, |m, x| Some(m.map_or(x, |m| m.max(x))))
+                            .ok_or_else(|| FormulaError::Domain("MAX of nothing".to_string()))
+                    }
+                    "COUNT" => Ok(values(args)?.len() as f64),
+                    "ABS" => {
+                        let v = values(args)?;
+                        match v.as_slice() {
+                            [x] => Ok(x.abs()),
+                            _ => Err(FormulaError::Domain("ABS takes one arg".to_string())),
+                        }
+                    }
+                    "SQRT" => {
+                        let v = values(args)?;
+                        match v.as_slice() {
+                            [x] if *x >= 0.0 => Ok(x.sqrt()),
+                            [_] => Err(FormulaError::Domain("SQRT of negative".to_string())),
+                            _ => Err(FormulaError::Domain("SQRT takes one arg".to_string())),
+                        }
+                    }
+                    "ROUND" => {
+                        let v = values(args)?;
+                        match v.as_slice() {
+                            [x] => Ok(x.round()),
+                            _ => Err(FormulaError::Domain("ROUND takes one arg".to_string())),
+                        }
+                    }
+                    "IF" => match args.as_slice() {
+                        [cond, then, els] => {
+                            if cond.eval(lookup)? != 0.0 {
+                                then.eval(lookup)
+                            } else {
+                                els.eval(lookup)
+                            }
+                        }
+                        _ => Err(FormulaError::Domain("IF takes three args".to_string())),
+                    },
+                    other => Err(FormulaError::UnknownFunction(other.to_string())),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_const(src: &str) -> f64 {
+        parse(src).unwrap().eval(&|_| 0.0).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval_const("1+2*3"), 7.0);
+        assert_eq!(eval_const("(1+2)*3"), 9.0);
+        assert_eq!(eval_const("2^3^2"), 512.0); // Right associative.
+        assert_eq!(eval_const("-3+5"), 2.0);
+        assert_eq!(eval_const("10-2-3"), 5.0);
+        assert_eq!(eval_const("7/2"), 3.5);
+    }
+
+    #[test]
+    fn comparisons_yield_booleans() {
+        assert_eq!(eval_const("1 < 2"), 1.0);
+        assert_eq!(eval_const("2 <= 1"), 0.0);
+        assert_eq!(eval_const("3 = 3"), 1.0);
+        assert_eq!(eval_const("3 <> 3"), 0.0);
+    }
+
+    #[test]
+    fn a1_references() {
+        assert_eq!(parse_a1("A1"), Some((0, 0)));
+        assert_eq!(parse_a1("B3"), Some((2, 1)));
+        assert_eq!(parse_a1("AA10"), Some((9, 26)));
+        assert_eq!(parse_a1("A0"), None);
+        assert_eq!(parse_a1("1A"), None);
+        assert_eq!(col_to_letters(0), "A");
+        assert_eq!(col_to_letters(26), "AA");
+        assert_eq!(coord_to_a1((2, 1)), "B3");
+    }
+
+    #[test]
+    fn refs_evaluate_through_lookup() {
+        let e = parse("A1 + B2 * 2").unwrap();
+        let v = e
+            .eval(&|c| match c {
+                (0, 0) => 10.0,
+                (1, 1) => 5.0,
+                _ => 0.0,
+            })
+            .unwrap();
+        assert_eq!(v, 20.0);
+        let mut deps = e.deps();
+        deps.sort_unstable();
+        assert_eq!(deps, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn ranges_and_aggregates() {
+        let e = parse("SUM(A1:A3) + MAX(B1, B2)").unwrap();
+        let v = e
+            .eval(&|(r, c)| {
+                if c == 0 {
+                    (r + 1) as f64
+                } else {
+                    10.0 * (r + 1) as f64
+                }
+            })
+            .unwrap();
+        assert_eq!(v, 6.0 + 20.0);
+        assert_eq!(e.deps().len(), 5);
+        assert_eq!(eval_const("COUNT(A1:B2)"), 4.0);
+        assert_eq!(eval_const("AVG(2, 4, 6)"), 4.0);
+        assert_eq!(eval_const("MIN(3, 1, 2)"), 1.0);
+    }
+
+    #[test]
+    fn conditionals_and_functions() {
+        assert_eq!(eval_const("IF(1 < 2, 10, 20)"), 10.0);
+        assert_eq!(eval_const("IF(1 > 2, 10, 20)"), 20.0);
+        assert_eq!(eval_const("ABS(-4)"), 4.0);
+        assert_eq!(eval_const("SQRT(16)"), 4.0);
+        assert_eq!(eval_const("ROUND(2.6)"), 3.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(parse("1 +"), Err(FormulaError::Parse(_))));
+        assert!(matches!(parse("@"), Err(FormulaError::Parse(_))));
+        assert!(matches!(parse("1 2"), Err(FormulaError::Parse(_))));
+        assert!(matches!(
+            parse("NOPE(1)").unwrap().eval(&|_| 0.0),
+            Err(FormulaError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            parse("1/0").unwrap().eval(&|_| 0.0),
+            Err(FormulaError::Domain(_))
+        ));
+        assert!(matches!(
+            parse("SQRT(-1)").unwrap().eval(&|_| 0.0),
+            Err(FormulaError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn pascals_triangle_formula_shape() {
+        // The paper's own example: v[i,j] = v[i-1,j] + v[i,j-1] becomes,
+        // in A1 terms for cell B2: =B1 + A2.
+        let e = parse("B1 + A2").unwrap();
+        let v = e
+            .eval(&|c| match c {
+                (0, 1) => 3.0,
+                (1, 0) => 3.0,
+                _ => 0.0,
+            })
+            .unwrap();
+        assert_eq!(v, 6.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn col_letters_round_trip(col in 0usize..10_000) {
+            prop_assert_eq!(col_from_letters(&col_to_letters(col)), Some(col));
+        }
+
+        #[test]
+        fn a1_round_trip(r in 0usize..5_000, c in 0usize..5_000) {
+            prop_assert_eq!(parse_a1(&coord_to_a1((r, c))), Some((r, c)));
+        }
+
+        #[test]
+        fn parser_never_panics(src in "[A-Za-z0-9+\\-*/^(), :.<>=]{0,40}") {
+            let _ = parse(&src);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # atk-table — tables, spreadsheets, and charts
+//!
+//! The table component of paper §1: a grid that is simultaneously a
+//! layout device, a spreadsheet (figure 5 builds Pascal's Triangle with
+//! its formulas), and a multi-media container (cells can embed arbitrary
+//! components). The [`chart`] module implements §2's auxiliary-data-object
+//! worked example verbatim: a chart data object that observes the table
+//! and carries the stable view state (title, labels) that would otherwise
+//! be lost on save.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod data;
+pub mod formula;
+pub mod view;
+
+pub use chart::{rebind_after_read, BarChartView, ChartData, PieChartView};
+pub use data::{Cell, CellInput, TableData, DEFAULT_COL_WIDTH, DEFAULT_ROW_HEIGHT};
+pub use formula::{col_to_letters, coord_to_a1, parse, parse_a1, Expr, FormulaError};
+pub use view::TableView;
+
+use atk_class::ModuleSpec;
+use atk_core::Catalog;
+
+/// Registers the table and chart components (modules `"table"` and
+/// `"chart"`).
+pub fn register(catalog: &mut Catalog) {
+    let _ = catalog.add_module(ModuleSpec::new(
+        "table",
+        72_000,
+        &["table", "tablev", "spread"],
+        &["components"],
+    ));
+    let _ = catalog.add_module(ModuleSpec::new(
+        "chart",
+        24_000,
+        &["chart", "piechartv", "barchartv"],
+        &["table"],
+    ));
+    catalog.register_data("table", || Box::new(TableData::new(3, 3)));
+    catalog.register_view("tablev", || Box::new(TableView::new()));
+    // "spread" is the historical name used in the paper's §5 example.
+    catalog.register_view("spread", || Box::new(TableView::new()));
+    catalog.set_default_view("table", "tablev");
+    catalog.register_data("chart", || Box::new(ChartData::new()));
+    catalog.register_view("piechartv", || Box::new(PieChartView::new()));
+    catalog.register_view("barchartv", || Box::new(BarChartView::new()));
+    catalog.set_default_view("chart", "piechartv");
+}

@@ -1,0 +1,437 @@
+//! The text buffer: a gap buffer of characters plus sticky marks.
+//!
+//! The text data object "contains the actual characters" (paper §2); the
+//! classic editor-substrate choice for cheap localized edits is a gap
+//! buffer, which this is. *Marks* are positions that ride along with
+//! edits (carets, selection ends, embedded-object anchors): an insertion
+//! before a mark shifts it right, a deletion spanning it collapses it to
+//! the deletion point.
+
+/// A gap buffer of `char`s.
+///
+/// Positions are character indices in `0..=len()`. All operations clamp
+/// rather than panic on out-of-range positions — editor code paths are
+/// full of boundary races and the 1988 toolkit's buffer was similarly
+/// forgiving.
+#[derive(Debug, Clone)]
+pub struct GapBuffer {
+    buf: Vec<char>,
+    gap_start: usize,
+    gap_len: usize,
+}
+
+impl GapBuffer {
+    /// An empty buffer.
+    pub fn new() -> GapBuffer {
+        GapBuffer::with_capacity(64)
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> GapBuffer {
+        GapBuffer {
+            buf: vec!['\0'; cap.max(16)],
+            gap_start: 0,
+            gap_len: cap.max(16),
+        }
+    }
+
+    /// A buffer initialized from text.
+    pub fn from_str(s: &str) -> GapBuffer {
+        let mut b = GapBuffer::with_capacity(s.chars().count() + 64);
+        b.insert(0, s);
+        b
+    }
+
+    /// Number of characters.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.gap_len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn index(&self, pos: usize) -> usize {
+        if pos < self.gap_start {
+            pos
+        } else {
+            pos + self.gap_len
+        }
+    }
+
+    /// The character at `pos`, if in range.
+    pub fn char_at(&self, pos: usize) -> Option<char> {
+        if pos < self.len() {
+            Some(self.buf[self.index(pos)])
+        } else {
+            None
+        }
+    }
+
+    fn move_gap(&mut self, pos: usize) {
+        let pos = pos.min(self.len());
+        if pos == self.gap_start {
+            return;
+        }
+        if pos < self.gap_start {
+            // Shift the span [pos, gap_start) right past the gap.
+            for i in (pos..self.gap_start).rev() {
+                self.buf[i + self.gap_len] = self.buf[i];
+            }
+        } else {
+            // Shift the span [gap_start+gap_len, pos+gap_len) left.
+            for i in self.gap_start..pos {
+                self.buf[i] = self.buf[i + self.gap_len];
+            }
+        }
+        self.gap_start = pos;
+    }
+
+    fn ensure_gap(&mut self, need: usize) {
+        if self.gap_len >= need {
+            return;
+        }
+        let grow = (self.buf.len().max(32)).max(need * 2);
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + grow, '\0');
+        // Move the tail (after the gap) to the end of the new allocation.
+        let tail_len = old_len - (self.gap_start + self.gap_len);
+        for i in (0..tail_len).rev() {
+            let from = self.gap_start + self.gap_len + i;
+            let to = self.buf.len() - tail_len + i;
+            self.buf[to] = self.buf[from];
+        }
+        self.gap_len += grow;
+    }
+
+    /// Inserts `text` at `pos` (clamped to the end). Returns the number
+    /// of characters inserted.
+    pub fn insert(&mut self, pos: usize, text: &str) -> usize {
+        let pos = pos.min(self.len());
+        let count = text.chars().count();
+        self.ensure_gap(count);
+        self.move_gap(pos);
+        for c in text.chars() {
+            self.buf[self.gap_start] = c;
+            self.gap_start += 1;
+            self.gap_len -= 1;
+        }
+        count
+    }
+
+    /// Deletes up to `count` characters at `pos`. Returns how many were
+    /// actually deleted.
+    pub fn delete(&mut self, pos: usize, count: usize) -> usize {
+        let pos = pos.min(self.len());
+        let count = count.min(self.len() - pos);
+        self.move_gap(pos);
+        self.gap_len += count;
+        count
+    }
+
+    /// The characters in `start..end` as a `String` (clamped).
+    pub fn slice(&self, start: usize, end: usize) -> String {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        (start..end).filter_map(|i| self.char_at(i)).collect()
+    }
+
+    /// The whole contents.
+    pub fn to_string(&self) -> String {
+        self.slice(0, self.len())
+    }
+
+    /// Iterates characters from `pos` to the end.
+    pub fn chars_from(&self, pos: usize) -> impl Iterator<Item = char> + '_ {
+        (pos..self.len()).filter_map(move |i| self.char_at(i))
+    }
+
+    /// Position of the next `'\n'` at or after `pos`, or `len()`.
+    pub fn line_end(&self, pos: usize) -> usize {
+        let mut i = pos;
+        while i < self.len() {
+            if self.char_at(i) == Some('\n') {
+                return i;
+            }
+            i += 1;
+        }
+        self.len()
+    }
+
+    /// Position just after the previous `'\n'` before `pos`, or 0.
+    pub fn line_start(&self, pos: usize) -> usize {
+        let mut i = pos.min(self.len());
+        while i > 0 {
+            if self.char_at(i - 1) == Some('\n') {
+                return i;
+            }
+            i -= 1;
+        }
+        0
+    }
+}
+
+impl Default for GapBuffer {
+    fn default() -> Self {
+        GapBuffer::new()
+    }
+}
+
+/// Identifier of a mark in a [`MarkTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MarkId(u32);
+
+/// Which way a mark leans when text is inserted exactly at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gravity {
+    /// Stays put (insertion at the mark lands after it).
+    Left,
+    /// Moves with the insertion (insertion at the mark lands before it).
+    Right,
+}
+
+#[derive(Debug, Clone)]
+struct Mark {
+    id: MarkId,
+    pos: usize,
+    gravity: Gravity,
+}
+
+/// Positions that follow edits: carets, selections, embedded-object
+/// anchors.
+#[derive(Debug, Clone, Default)]
+pub struct MarkTable {
+    marks: Vec<Mark>,
+    next: u32,
+}
+
+impl MarkTable {
+    /// An empty table.
+    pub fn new() -> MarkTable {
+        MarkTable::default()
+    }
+
+    /// Creates a mark at `pos`.
+    pub fn create(&mut self, pos: usize, gravity: Gravity) -> MarkId {
+        let id = MarkId(self.next);
+        self.next += 1;
+        self.marks.push(Mark { id, pos, gravity });
+        id
+    }
+
+    /// Removes a mark.
+    pub fn remove(&mut self, id: MarkId) {
+        self.marks.retain(|m| m.id != id);
+    }
+
+    /// A mark's current position.
+    pub fn pos(&self, id: MarkId) -> Option<usize> {
+        self.marks.iter().find(|m| m.id == id).map(|m| m.pos)
+    }
+
+    /// Moves a mark explicitly.
+    pub fn set_pos(&mut self, id: MarkId, pos: usize) {
+        if let Some(m) = self.marks.iter_mut().find(|m| m.id == id) {
+            m.pos = pos;
+        }
+    }
+
+    /// Adjusts all marks for an insertion of `count` chars at `pos`.
+    pub fn adjust_insert(&mut self, pos: usize, count: usize) {
+        for m in &mut self.marks {
+            if m.pos > pos || (m.pos == pos && m.gravity == Gravity::Right) {
+                m.pos += count;
+            }
+        }
+    }
+
+    /// Adjusts all marks for a deletion of `count` chars at `pos`.
+    pub fn adjust_delete(&mut self, pos: usize, count: usize) {
+        for m in &mut self.marks {
+            if m.pos > pos + count {
+                m.pos -= count;
+            } else if m.pos > pos {
+                m.pos = pos;
+            }
+        }
+    }
+
+    /// Number of marks.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True if no marks exist.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut b = GapBuffer::new();
+        b.insert(0, "hello");
+        b.insert(5, " world");
+        assert_eq!(b.to_string(), "hello world");
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.char_at(4), Some('o'));
+        assert_eq!(b.char_at(11), None);
+    }
+
+    #[test]
+    fn insert_in_middle_moves_gap() {
+        let mut b = GapBuffer::from_str("held");
+        b.insert(3, " wor");
+        assert_eq!(b.to_string(), "hel word");
+        b.insert(0, ">>");
+        assert_eq!(b.to_string(), ">>hel word");
+    }
+
+    #[test]
+    fn delete_ranges() {
+        let mut b = GapBuffer::from_str("abcdefgh");
+        assert_eq!(b.delete(2, 3), 3);
+        assert_eq!(b.to_string(), "abfgh");
+        // Deleting past the end clamps.
+        assert_eq!(b.delete(3, 100), 2);
+        assert_eq!(b.to_string(), "abf");
+        assert_eq!(b.delete(99, 1), 0);
+    }
+
+    #[test]
+    fn interleaved_edits_match_string_oracle() {
+        let mut b = GapBuffer::new();
+        let mut oracle = String::new();
+        let ops: &[(usize, &str, usize)] = &[
+            (0, "the quick", 0),
+            (4, "very ", 0),
+            (0, "", 3),
+            (8, " brown", 2),
+        ];
+        for &(pos, ins, del) in ops {
+            let pos = pos.min(oracle.chars().count());
+            let del = del.min(oracle.chars().count() - pos);
+            let mut chars: Vec<char> = oracle.chars().collect();
+            chars.splice(pos..pos + del, ins.chars());
+            oracle = chars.into_iter().collect();
+            b.delete(pos, del);
+            b.insert(pos, ins);
+        }
+        assert_eq!(b.to_string(), oracle);
+    }
+
+    #[test]
+    fn slice_and_lines() {
+        let b = GapBuffer::from_str("one\ntwo\nthree");
+        assert_eq!(b.slice(4, 7), "two");
+        assert_eq!(b.line_end(0), 3);
+        assert_eq!(b.line_start(5), 4);
+        assert_eq!(b.line_end(4), 7);
+        assert_eq!(b.line_start(0), 0);
+        assert_eq!(b.line_end(8), 13);
+    }
+
+    #[test]
+    fn growth_preserves_content() {
+        let mut b = GapBuffer::with_capacity(4);
+        for i in 0..200 {
+            b.insert(b.len() / 2, &format!("{}", i % 10));
+        }
+        assert_eq!(b.len(), 200);
+    }
+
+    #[test]
+    fn unicode_chars_are_single_positions() {
+        let mut b = GapBuffer::from_str("café");
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.char_at(3), Some('é'));
+        b.insert(4, "→");
+        assert_eq!(b.to_string(), "café→");
+    }
+
+    #[test]
+    fn marks_follow_insertions() {
+        let mut t = MarkTable::new();
+        let before = t.create(3, Gravity::Left);
+        let at_l = t.create(5, Gravity::Left);
+        let at_r = t.create(5, Gravity::Right);
+        let after = t.create(8, Gravity::Left);
+        t.adjust_insert(5, 2);
+        assert_eq!(t.pos(before), Some(3));
+        assert_eq!(t.pos(at_l), Some(5));
+        assert_eq!(t.pos(at_r), Some(7));
+        assert_eq!(t.pos(after), Some(10));
+    }
+
+    #[test]
+    fn marks_collapse_into_deletions() {
+        let mut t = MarkTable::new();
+        let inside = t.create(5, Gravity::Left);
+        let after = t.create(10, Gravity::Left);
+        t.adjust_delete(3, 4);
+        assert_eq!(t.pos(inside), Some(3));
+        assert_eq!(t.pos(after), Some(6));
+    }
+
+    #[test]
+    fn mark_removal() {
+        let mut t = MarkTable::new();
+        let m = t.create(0, Gravity::Left);
+        assert_eq!(t.len(), 1);
+        t.remove(m);
+        assert!(t.is_empty());
+        assert_eq!(t.pos(m), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(usize, String),
+        Delete(usize, usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..200, "[a-z \\n]{0,12}").prop_map(|(p, s)| Op::Insert(p, s)),
+            (0usize..200, 0usize..20).prop_map(|(p, n)| Op::Delete(p, n)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn gap_buffer_matches_vec_oracle(ops in proptest::collection::vec(arb_op(), 0..40)) {
+            let mut b = GapBuffer::new();
+            let mut oracle: Vec<char> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(pos, s) => {
+                        let pos = pos.min(oracle.len());
+                        b.insert(pos, &s);
+                        let cs: Vec<char> = s.chars().collect();
+                        oracle.splice(pos..pos, cs);
+                    }
+                    Op::Delete(pos, n) => {
+                        let pos = pos.min(oracle.len());
+                        let n = n.min(oracle.len() - pos);
+                        b.delete(pos, n);
+                        oracle.splice(pos..pos + n, std::iter::empty());
+                    }
+                }
+                prop_assert_eq!(b.len(), oracle.len());
+            }
+            let expect: String = oracle.into_iter().collect();
+            prop_assert_eq!(b.to_string(), expect);
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! Multi-font styling: styles and run-length style assignment.
+//!
+//! "The text data object contains the actual characters, **style
+//! information** and pointers to embedded data objects" (paper §2). A
+//! [`Style`] describes the appearance of a span (font family/size/flags
+//! plus paragraph indent); [`StyleRuns`] assigns a style to every
+//! character as a run-length sequence kept exactly in sync with the
+//! buffer.
+//!
+//! # Invariants
+//!
+//! * the run lengths always sum to the buffer length;
+//! * no zero-length runs;
+//! * adjacent runs never share a style id (they are merged).
+//!
+//! The property tests at the bottom hold these against random edit
+//! sequences.
+
+use atk_graphics::{FontDesc, FontStyle};
+
+/// Appearance of a span of text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Style {
+    /// Font family (`"andy"`, `"andytype"`).
+    pub family: String,
+    /// Point size.
+    pub size: u32,
+    /// Bold flag.
+    pub bold: bool,
+    /// Italic flag.
+    pub italic: bool,
+    /// Underline flag.
+    pub underline: bool,
+    /// Left indent in pixels (paragraph styles).
+    pub indent: i32,
+}
+
+impl Style {
+    /// The default body style.
+    pub fn body() -> Style {
+        Style {
+            family: "andy".to_string(),
+            size: 12,
+            bold: false,
+            italic: false,
+            underline: false,
+            indent: 0,
+        }
+    }
+
+    /// The fixed-pitch (typewriter) style.
+    pub fn fixed() -> Style {
+        Style {
+            family: "andytype".to_string(),
+            ..Style::body()
+        }
+    }
+
+    /// This style, emboldened.
+    pub fn bolded(mut self) -> Style {
+        self.bold = true;
+        self
+    }
+
+    /// This style, italicized.
+    pub fn italicized(mut self) -> Style {
+        self.italic = true;
+        self
+    }
+
+    /// This style at a different size.
+    pub fn sized(mut self, size: u32) -> Style {
+        self.size = size;
+        self
+    }
+
+    /// The font descriptor this style selects.
+    pub fn font(&self) -> FontDesc {
+        FontDesc::new(
+            &self.family,
+            FontStyle {
+                bold: self.bold,
+                italic: self.italic,
+                underline: self.underline,
+            },
+            self.size,
+        )
+    }
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style::body()
+    }
+}
+
+/// Index into a [`StyleTable`].
+pub type StyleId = usize;
+
+/// An interned table of styles (documents reuse few distinct styles, so
+/// runs store small indices).
+#[derive(Debug, Clone, Default)]
+pub struct StyleTable {
+    styles: Vec<Style>,
+}
+
+impl StyleTable {
+    /// A table containing only the body style (id 0).
+    pub fn new() -> StyleTable {
+        StyleTable {
+            styles: vec![Style::body()],
+        }
+    }
+
+    /// Interns a style, returning its id.
+    pub fn intern(&mut self, style: Style) -> StyleId {
+        if let Some(i) = self.styles.iter().position(|s| *s == style) {
+            return i;
+        }
+        self.styles.push(style);
+        self.styles.len() - 1
+    }
+
+    /// The style for an id (falls back to body for stale ids).
+    pub fn get(&self, id: StyleId) -> &Style {
+        self.styles.get(id).unwrap_or(&self.styles[0])
+    }
+
+    /// Number of interned styles.
+    pub fn len(&self) -> usize {
+        self.styles.len()
+    }
+
+    /// Always at least 1 (the body style).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates all styles.
+    pub fn iter(&self) -> impl Iterator<Item = (StyleId, &Style)> {
+        self.styles.iter().enumerate()
+    }
+}
+
+/// Run-length style assignment over a buffer of `total` characters.
+#[derive(Debug, Clone)]
+pub struct StyleRuns {
+    /// (length, style) pairs covering the buffer exactly.
+    runs: Vec<(usize, StyleId)>,
+    total: usize,
+}
+
+impl StyleRuns {
+    /// Runs covering `total` characters in style 0.
+    pub fn new(total: usize) -> StyleRuns {
+        let runs = if total > 0 {
+            vec![(total, 0)]
+        } else {
+            Vec::new()
+        };
+        StyleRuns { runs, total }
+    }
+
+    /// Characters covered.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The style at a character position (style 0 past the end).
+    pub fn style_at(&self, pos: usize) -> StyleId {
+        let mut off = 0;
+        for &(len, id) in &self.runs {
+            if pos < off + len {
+                return id;
+            }
+            off += len;
+        }
+        0
+    }
+
+    /// Iterates `(start, len, style)` runs intersecting `start..end`.
+    pub fn runs_in(&self, start: usize, end: usize) -> Vec<(usize, usize, StyleId)> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        for &(len, id) in &self.runs {
+            let run_end = off + len;
+            if run_end > start && off < end {
+                let s = off.max(start);
+                let e = run_end.min(end);
+                out.push((s, e - s, id));
+            }
+            off = run_end;
+            if off >= end {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Records an insertion of `count` chars at `pos`, inheriting the
+    /// style of the character before the insertion point (or the run at
+    /// the point for position 0) — the editor convention.
+    pub fn adjust_insert(&mut self, pos: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.total += count;
+        if self.runs.is_empty() {
+            self.runs.push((count, 0));
+            return;
+        }
+        let inherit_pos = pos.saturating_sub(1);
+        let mut off = 0;
+        for run in self.runs.iter_mut() {
+            if inherit_pos < off + run.0 {
+                run.0 += count;
+                return;
+            }
+            off += run.0;
+        }
+        // Insertion at the very end: extend the last run.
+        self.runs.last_mut().expect("non-empty").0 += count;
+    }
+
+    /// Records a deletion of `count` chars at `pos`.
+    pub fn adjust_delete(&mut self, pos: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let count = count.min(self.total.saturating_sub(pos));
+        self.total -= count;
+        let mut remaining = count;
+        let mut off = 0;
+        let mut i = 0;
+        while i < self.runs.len() && remaining > 0 {
+            let (len, _) = self.runs[i];
+            let run_start = off;
+            let run_end = off + len;
+            if run_end > pos {
+                let cut_start = pos.max(run_start);
+                let cut = (run_end - cut_start).min(remaining);
+                self.runs[i].0 -= cut;
+                remaining -= cut;
+                if self.runs[i].0 == 0 {
+                    self.runs.remove(i);
+                    continue; // Same offset; do not advance.
+                }
+            }
+            off += self.runs[i].0;
+            i += 1;
+        }
+        self.normalize();
+    }
+
+    /// Applies `style` to `start..end`.
+    pub fn apply(&mut self, start: usize, end: usize, style: StyleId) {
+        let end = end.min(self.total);
+        if start >= end {
+            return;
+        }
+        // Rebuild via a simple three-piece split; runs are short in
+        // practice and this keeps the logic obviously correct.
+        let mut new_runs: Vec<(usize, StyleId)> = Vec::with_capacity(self.runs.len() + 2);
+        let mut off = 0;
+        for &(len, id) in &self.runs {
+            let run_start = off;
+            let run_end = off + len;
+            // Piece before the styled range.
+            if run_start < start {
+                let piece = run_end.min(start) - run_start;
+                if piece > 0 {
+                    new_runs.push((piece, id));
+                }
+            }
+            // Piece after the styled range.
+            if run_end > end {
+                let piece = run_end - run_start.max(end);
+                if piece > 0 {
+                    new_runs.push((piece, id));
+                }
+            }
+            off = run_end;
+        }
+        // Reassemble: the prefix pieces (which sum to exactly `start`),
+        // the styled span, then the suffix pieces.
+        let mut assembled: Vec<(usize, StyleId)> = Vec::with_capacity(new_runs.len() + 1);
+        let mut taken = 0;
+        let mut it = new_runs.into_iter();
+        while taken < start {
+            let (len, id) = it.next().expect("prefix pieces cover `start`");
+            assembled.push((len, id));
+            taken += len;
+        }
+        assembled.push((end - start, style));
+        assembled.extend(it);
+        self.runs = assembled;
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.runs.retain(|(len, _)| *len > 0);
+        let mut i = 1;
+        while i < self.runs.len() {
+            if self.runs[i].1 == self.runs[i - 1].1 {
+                self.runs[i - 1].0 += self.runs[i].0;
+                self.runs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The raw runs (for serialization).
+    pub fn raw_runs(&self) -> &[(usize, StyleId)] {
+        &self.runs
+    }
+
+    /// Rebuilds from serialized runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the lengths do not sum to `total`.
+    pub fn from_raw(runs: Vec<(usize, StyleId)>, total: usize) -> Result<StyleRuns, String> {
+        let sum: usize = runs.iter().map(|(l, _)| l).sum();
+        if sum != total {
+            return Err(format!("style runs cover {sum} of {total} chars"));
+        }
+        let mut r = StyleRuns { runs, total };
+        r.normalize();
+        Ok(r)
+    }
+
+    /// Checks the invariants (used by tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let sum: usize = self.runs.iter().map(|(l, _)| l).sum();
+        if sum != self.total {
+            return Err(format!("runs sum {sum} != total {}", self.total));
+        }
+        if self.runs.iter().any(|(l, _)| *l == 0) {
+            return Err("zero-length run".to_string());
+        }
+        for w in self.runs.windows(2) {
+            if w[0].1 == w[1].1 {
+                return Err("unmerged adjacent runs".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_table_interns() {
+        let mut t = StyleTable::new();
+        let bold = t.intern(Style::body().bolded());
+        let bold2 = t.intern(Style::body().bolded());
+        assert_eq!(bold, bold2);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(bold).bold);
+    }
+
+    #[test]
+    fn apply_splits_runs() {
+        let mut r = StyleRuns::new(10);
+        r.apply(3, 6, 1);
+        assert_eq!(r.raw_runs(), &[(3, 0), (3, 1), (4, 0)]);
+        assert_eq!(r.style_at(2), 0);
+        assert_eq!(r.style_at(3), 1);
+        assert_eq!(r.style_at(5), 1);
+        assert_eq!(r.style_at(6), 0);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_at_edges_and_overlaps() {
+        let mut r = StyleRuns::new(10);
+        r.apply(0, 5, 1);
+        r.apply(5, 10, 2);
+        assert_eq!(r.raw_runs(), &[(5, 1), (5, 2)]);
+        r.apply(3, 7, 0);
+        assert_eq!(r.raw_runs(), &[(3, 1), (4, 0), (3, 2)]);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_inherits_preceding_style() {
+        let mut r = StyleRuns::new(10);
+        r.apply(0, 5, 1);
+        // Insert at 5: inherits style of char 4 (style 1).
+        r.adjust_insert(5, 3);
+        assert_eq!(r.style_at(5), 1);
+        assert_eq!(r.style_at(7), 1);
+        assert_eq!(r.style_at(8), 0);
+        assert_eq!(r.total(), 13);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_spanning_runs() {
+        let mut r = StyleRuns::new(12);
+        r.apply(4, 8, 1);
+        r.adjust_delete(2, 8); // Removes the whole styled run plus edges.
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.raw_runs(), &[(4, 0)]);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn runs_in_window() {
+        let mut r = StyleRuns::new(10);
+        r.apply(3, 6, 1);
+        assert_eq!(r.runs_in(0, 10), vec![(0, 3, 0), (3, 3, 1), (6, 4, 0)]);
+        assert_eq!(r.runs_in(4, 5), vec![(4, 1, 1)]);
+        assert_eq!(r.runs_in(2, 4), vec![(2, 1, 0), (3, 1, 1)]);
+    }
+
+    #[test]
+    fn from_raw_validates_total() {
+        assert!(StyleRuns::from_raw(vec![(5, 0)], 5).is_ok());
+        assert!(StyleRuns::from_raw(vec![(4, 0)], 5).is_err());
+    }
+
+    #[test]
+    fn empty_buffer_runs() {
+        let mut r = StyleRuns::new(0);
+        r.check_invariants().unwrap();
+        r.adjust_insert(0, 5);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.style_at(0), 0);
+        r.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(usize, usize),
+        Delete(usize, usize),
+        Apply(usize, usize, StyleId),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..100, 1usize..10).prop_map(|(p, n)| Op::Insert(p, n)),
+            (0usize..100, 0usize..15).prop_map(|(p, n)| Op::Delete(p, n)),
+            (0usize..100, 0usize..100, 0usize..4).prop_map(|(a, b, s)| Op::Apply(
+                a.min(b),
+                b.max(a),
+                s
+            )),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold_and_match_per_char_oracle(
+            ops in proptest::collection::vec(arb_op(), 0..30)
+        ) {
+            let mut runs = StyleRuns::new(20);
+            let mut oracle: Vec<StyleId> = vec![0; 20];
+            for op in ops {
+                match op {
+                    Op::Insert(pos, n) => {
+                        let pos = pos.min(oracle.len());
+                        let inherit = if oracle.is_empty() {
+                            0
+                        } else {
+                            oracle[pos.saturating_sub(1).min(oracle.len() - 1)]
+                        };
+                        runs.adjust_insert(pos, n);
+                        for _ in 0..n {
+                            oracle.insert(pos, inherit);
+                        }
+                    }
+                    Op::Delete(pos, n) => {
+                        let pos = pos.min(oracle.len());
+                        let n = n.min(oracle.len() - pos);
+                        runs.adjust_delete(pos, n);
+                        oracle.splice(pos..pos + n, std::iter::empty());
+                    }
+                    Op::Apply(a, b, s) => {
+                        let b = b.min(oracle.len());
+                        let a = a.min(b);
+                        runs.apply(a, b, s);
+                        for slot in oracle.iter_mut().take(b).skip(a) {
+                            *slot = s;
+                        }
+                    }
+                }
+                prop_assert!(runs.check_invariants().is_ok(), "{:?}", runs);
+                prop_assert_eq!(runs.total(), oracle.len());
+                for (i, &want) in oracle.iter().enumerate() {
+                    prop_assert_eq!(runs.style_at(i), want, "at {}", i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1080 @@
+//! The text view: the toolkit's semi-WYSIWYG ("WYSLRN" — *What You See
+//! Looks Real Neat*, paper §2) display and editor for [`TextData`].
+//!
+//! "The text view contains information such as the current selected piece
+//! of text, the portion of the text that is currently visible, and the
+//! location of the text. The text view provides methods for drawing the
+//! text, handling various input events (mouse, keyboard, menus), and
+//! manipulating the visual representation of the text."
+//!
+//! The view keeps a line-layout cache; incoming change records
+//! invalidate it from the edited line downward and damage only the
+//! affected strip — the incremental half of the delayed-update protocol
+//! that experiment E8 measures against redraw-everything.
+//!
+//! Embedded objects appear as *insets*: at each anchor the view
+//! instantiates the anchor's view class through the catalog
+//! ([`World::new_view`]), binds it with `set_data_object`, wraps lines
+//! around its desired size, and forwards mouse events into it — which is
+//! the whole point of the toolkit: the table inside this text is editable
+//! in place by a component the text view knows nothing about.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use atk_graphics::{Color, Point, Rect, Size};
+use atk_wm::{Button, CursorShape, Graphic, Key, MouseAction};
+
+use atk_core::{
+    standard_editing_keymap, ChangeRec, DataId, KeyOutcome, KeyState, Keymap, MenuItem, ScrollInfo,
+    Update, View, ViewBase, ViewId, World,
+};
+
+use crate::data::TextData;
+use crate::style::Style;
+
+/// Left/right margin inside the view.
+const MARGIN: i32 = 4;
+
+/// One laid-out line.
+#[derive(Debug, Clone, PartialEq)]
+struct Line {
+    /// First buffer position on the line.
+    start: usize,
+    /// One past the last position (excluding a trailing `\n`).
+    end: usize,
+    /// Top of the line, in layout (content) coordinates.
+    y: i32,
+    /// Line height in pixels.
+    height: i32,
+    /// Baseline offset from the line top.
+    baseline: i32,
+}
+
+/// Redraw accounting (experiment E8 reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedrawStats {
+    /// Full-view damage posts.
+    pub full: u64,
+    /// Partial (line-strip) damage posts.
+    pub partial: u64,
+    /// Total damaged pixel area posted.
+    pub damage_area: i64,
+}
+
+/// The text view. See the module docs.
+pub struct TextView {
+    base: ViewBase,
+    data: Option<DataId>,
+    keymap: Keymap,
+    keystate: KeyState,
+    caret: usize,
+    sel_anchor: Option<usize>,
+    scroll_y: i32,
+    lines: Vec<Line>,
+    layout_valid: bool,
+    layout_width: i32,
+    insets: HashMap<DataId, ViewId>,
+    kill_buffer: String,
+    focused: bool,
+    /// Notifications pending from this view's own edits: the caret was
+    /// already moved by the editing code, so `observed_changed` must not
+    /// adjust it again when the delayed notification arrives.
+    self_changes: usize,
+    /// Redraw accounting.
+    pub stats: RedrawStats,
+}
+
+impl TextView {
+    /// An unbound text view; attach data with `set_data_object`.
+    pub fn new() -> TextView {
+        TextView {
+            base: ViewBase::new(),
+            data: None,
+            keymap: standard_editing_keymap(),
+            keystate: KeyState::new(),
+            caret: 0,
+            sel_anchor: None,
+            scroll_y: 0,
+            lines: Vec::new(),
+            layout_valid: false,
+            layout_width: 0,
+            insets: HashMap::new(),
+            kill_buffer: String::new(),
+            focused: false,
+            self_changes: 0,
+            stats: RedrawStats::default(),
+        }
+    }
+
+    /// The caret position.
+    pub fn caret(&self) -> usize {
+        self.caret
+    }
+
+    /// Moves the caret (clamped), clearing the selection.
+    pub fn set_caret(&mut self, world: &mut World, pos: usize) {
+        let len = self.data_len(world);
+        self.caret = pos.min(len);
+        self.sel_anchor = None;
+        world.post_damage_full(self.base.id);
+    }
+
+    /// The selected range, if any.
+    pub fn selection(&self) -> Option<(usize, usize)> {
+        let a = self.sel_anchor?;
+        if a == self.caret {
+            return None;
+        }
+        Some((a.min(self.caret), a.max(self.caret)))
+    }
+
+    /// Selects a range explicitly.
+    pub fn select(&mut self, world: &mut World, start: usize, end: usize) {
+        self.sel_anchor = Some(start);
+        self.caret = end;
+        world.post_damage_full(self.base.id);
+    }
+
+    fn data_len(&self, world: &World) -> usize {
+        self.data
+            .and_then(|d| world.data::<TextData>(d))
+            .map(|t| t.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of laid-out lines (layout must be current).
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total layout height in pixels.
+    pub fn content_height(&self) -> i32 {
+        self.lines.last().map(|l| l.y + l.height).unwrap_or(0)
+    }
+
+    // --- Layout -------------------------------------------------------------
+
+    /// Recomputes the line layout if stale. Returns true if it ran.
+    pub fn ensure_layout(&mut self, world: &mut World) -> bool {
+        let width = world.view_bounds(self.base.id).width - 2 * MARGIN;
+        if self.layout_valid && self.layout_width == width {
+            return false;
+        }
+        self.layout_width = width;
+        self.lines.clear();
+        let Some(data_id) = self.data else {
+            self.layout_valid = true;
+            return true;
+        };
+
+        // Snapshot what layout needs so we can instantiate insets (which
+        // requires &mut World) while measuring.
+        let (len, chars, anchors): (usize, Vec<char>, Vec<(usize, DataId, String)>) = {
+            let Some(text) = world.data::<TextData>(data_id) else {
+                self.layout_valid = true;
+                return true;
+            };
+            (
+                text.len(),
+                (0..text.len()).filter_map(|i| text.char_at(i)).collect(),
+                text.anchors(),
+            )
+        };
+        let anchor_at = |pos: usize| -> Option<&(usize, DataId, String)> {
+            anchors.iter().find(|(p, ..)| *p == pos)
+        };
+
+        // Make sure inset views exist before measuring.
+        for (_, data, view_class) in &anchors {
+            self.ensure_inset(world, *data, view_class);
+        }
+
+        let budget = width.max(20);
+        let mut y = 0;
+        let mut pos = 0;
+        let mut inset_places: Vec<(ViewId, i32, i32, Size)> = Vec::new();
+        loop {
+            // Lay out one line starting at `pos`.
+            let indent = {
+                let text = world.data::<TextData>(data_id).expect("checked above");
+                text.style_value_at(pos.min(len.saturating_sub(1))).indent
+            };
+            let mut x = indent;
+            let mut i = pos;
+            let mut last_break: Option<usize> = None;
+            let mut line_height = 0;
+            let mut ascent = 0;
+            let mut ended_by_newline = false;
+
+            while i < len {
+                let ch = chars[i];
+                if ch == '\n' {
+                    ended_by_newline = true;
+                    break;
+                }
+                let mut pending_inset: Option<(ViewId, Size)> = None;
+                let (cw, chh, casc) = if let Some((_, d, _)) = anchor_at(i) {
+                    let inset = self.insets.get(d).copied();
+                    let s = inset
+                        .and_then(|v| {
+                            world.with_view(v, |view, w| view.desired_size(w, budget - x))
+                        })
+                        .unwrap_or(Size::new(12, 12));
+                    if let Some(v) = inset {
+                        pending_inset = Some((v, s));
+                    }
+                    (s.width + 2, s.height + 2, s.height + 1)
+                } else {
+                    let text = world.data::<TextData>(data_id).expect("checked above");
+                    let font = text.style_value_at(i).font();
+                    let m = font.metrics();
+                    (font.char_width(ch), m.line_height, m.ascent)
+                };
+                if x + cw > budget && i > pos {
+                    // Wrap: prefer the last space.
+                    if let Some(b) = last_break {
+                        i = b + 1;
+                    }
+                    break;
+                }
+                if let Some((vid, s)) = pending_inset {
+                    inset_places.push((vid, x, y, s));
+                }
+                if ch == ' ' {
+                    last_break = Some(i);
+                }
+                x += cw;
+                line_height = line_height.max(chh);
+                ascent = ascent.max(casc);
+                i += 1;
+            }
+            if line_height == 0 {
+                // Empty line: use the style's font height.
+                let text = world.data::<TextData>(data_id).expect("checked above");
+                let m = text
+                    .style_value_at(pos.min(len.saturating_sub(1)))
+                    .font()
+                    .metrics();
+                line_height = m.line_height;
+                ascent = m.ascent;
+            }
+            self.lines.push(Line {
+                start: pos,
+                end: i,
+                y,
+                height: line_height,
+                baseline: ascent,
+            });
+            y += line_height;
+            let prev_pos = pos;
+            pos = if ended_by_newline { i + 1 } else { i };
+            if pos >= len {
+                if ended_by_newline || self.lines.is_empty() {
+                    // Trailing empty line after a final newline.
+                    let text = world.data::<TextData>(data_id).expect("checked above");
+                    let m = text.style_value_at(len.saturating_sub(1)).font().metrics();
+                    self.lines.push(Line {
+                        start: len,
+                        end: len,
+                        y,
+                        height: m.line_height,
+                        baseline: m.ascent,
+                    });
+                }
+                break;
+            }
+            if pos == prev_pos {
+                // Safety: no progress (budget too small for one char).
+                pos += 1;
+            }
+        }
+        self.layout_valid = true;
+        // Position inset child bounds from the placements recorded while
+        // measuring (x is in layout space; drawing adds MARGIN; y is the
+        // line top in content space — the draw pass subtracts scroll).
+        for (vid, x, ly, s) in inset_places {
+            world.set_view_bounds(
+                vid,
+                Rect::new(MARGIN + x + 1, ly - self.scroll_y + 1, s.width, s.height),
+            );
+        }
+        true
+    }
+
+    fn ensure_inset(&mut self, world: &mut World, data: DataId, view_class: &str) {
+        if self.insets.contains_key(&data) {
+            return;
+        }
+        let Ok(vid) = world.new_view(view_class) else {
+            return;
+        };
+        world.set_view_parent(vid, Some(self.base.id));
+        world.with_view(vid, |v, w| v.set_data_object(w, data));
+        self.insets.insert(data, vid);
+    }
+
+    // --- Geometry queries ----------------------------------------------------
+
+    fn line_index_of(&self, pos: usize) -> usize {
+        match self
+            .lines
+            .iter()
+            .position(|l| pos >= l.start && pos < l.end.max(l.start + 1))
+        {
+            Some(i) => i,
+            None => self.lines.len().saturating_sub(1),
+        }
+    }
+
+    /// The rectangle of the character at `pos`, in view coordinates
+    /// (valid after layout).
+    fn char_rect_internal(&self, world: &World, pos: usize) -> Option<Rect> {
+        let li = self.line_index_of(pos);
+        let line = self.lines.get(li)?;
+        let data_id = self.data?;
+        let text = world.data::<TextData>(data_id)?;
+        let mut x = MARGIN + text.style_value_at(line.start).indent;
+        for i in line.start..pos.min(line.end) {
+            x += self.char_width_at(world, text, i);
+        }
+        let w = if pos < line.end {
+            self.char_width_at(world, text, pos)
+        } else {
+            2
+        };
+        Some(Rect::new(x, line.y - self.scroll_y, w, line.height))
+    }
+
+    fn char_width_at(&self, world: &World, text: &TextData, i: usize) -> i32 {
+        if let Some((data, _)) = text.anchor_at(i) {
+            if let Some(&vid) = self.insets.get(&data) {
+                return world.view_bounds(vid).width + 2;
+            }
+            return 14;
+        }
+        let ch = text.char_at(i).unwrap_or(' ');
+        text.style_value_at(i).font().char_width(ch)
+    }
+
+    /// The buffer position nearest to a view-local point (valid after
+    /// layout).
+    pub fn pos_at_point(&self, world: &World, pt: Point) -> usize {
+        let y = pt.y + self.scroll_y;
+        let Some(data_id) = self.data else { return 0 };
+        let Some(text) = world.data::<TextData>(data_id) else {
+            return 0;
+        };
+        let line = match self.lines.iter().find(|l| y >= l.y && y < l.y + l.height) {
+            Some(l) => l,
+            None if y < 0 => return 0,
+            None => return text.len(),
+        };
+        let mut x = MARGIN + text.style_value_at(line.start).indent;
+        for i in line.start..line.end {
+            let w = self.char_width_at(world, text, i);
+            if pt.x < x + w / 2 {
+                return i;
+            }
+            x += w;
+        }
+        line.end
+    }
+
+    // --- Editing helpers -------------------------------------------------------
+
+    fn with_data<R>(
+        &mut self,
+        world: &mut World,
+        f: impl FnOnce(&mut TextData) -> (R, ChangeRec),
+    ) -> Option<R> {
+        let data_id = self.data?;
+        let (r, rec) = {
+            let text = world.data_mut::<TextData>(data_id)?;
+            f(text)
+        };
+        self.self_changes += 1;
+        world.notify(data_id, rec);
+        Some(r)
+    }
+
+    /// Inserts text at the caret (replacing any selection).
+    pub fn insert_at_caret(&mut self, world: &mut World, s: &str) {
+        if let Some((a, b)) = self.selection() {
+            self.with_data(world, |t| ((), t.delete(a, b - a)));
+            self.caret = a;
+            self.sel_anchor = None;
+        }
+        let caret = self.caret;
+        let n = s.chars().count();
+        self.with_data(world, |t| ((), t.insert(caret, s)));
+        self.caret += n;
+    }
+
+    fn delete_range(&mut self, world: &mut World, a: usize, b: usize) {
+        if b > a {
+            self.with_data(world, |t| ((), t.delete(a, b - a)));
+            self.caret = a;
+            self.sel_anchor = None;
+        }
+    }
+
+    fn line_of_caret(&self) -> usize {
+        self.line_index_of(self.caret)
+    }
+
+    fn move_caret_line(&mut self, world: &mut World, delta: i32) {
+        self.ensure_layout(world);
+        let li = self.line_of_caret() as i32 + delta;
+        let li = li.clamp(0, self.lines.len().saturating_sub(1) as i32) as usize;
+        if let Some(line) = self.lines.get(li) {
+            let col = self.caret - self.lines[self.line_of_caret()].start;
+            self.caret = (line.start + col).min(line.end);
+        }
+        self.sel_anchor = None;
+        self.scroll_caret_into_view(world);
+        world.post_damage_full(self.base.id);
+    }
+
+    fn scroll_caret_into_view(&mut self, world: &mut World) {
+        self.ensure_layout(world);
+        let h = world.view_bounds(self.base.id).height;
+        let li = self.line_of_caret();
+        if let Some(line) = self.lines.get(li) {
+            if line.y < self.scroll_y {
+                self.scroll_y = line.y;
+            } else if line.y + line.height > self.scroll_y + h {
+                self.scroll_y = line.y + line.height - h;
+            }
+        }
+    }
+
+    /// Applies a style to the selection (or caret word when nothing is
+    /// selected).
+    pub fn style_selection(&mut self, world: &mut World, build: impl Fn(Style) -> Style) {
+        let Some(data_id) = self.data else { return };
+        let (a, b) = match self.selection() {
+            Some(r) => r,
+            None => {
+                let t = world.data::<TextData>(data_id).unwrap();
+                (t.word_start(self.caret), t.word_end(self.caret))
+            }
+        };
+        if a >= b {
+            return;
+        }
+        let base = {
+            let t = world.data::<TextData>(data_id).unwrap();
+            t.style_value_at(a).clone()
+        };
+        let styled = build(base);
+        self.with_data(world, |t| ((), t.apply_style(a, b, styled)));
+    }
+
+    fn post_incremental_damage(&mut self, world: &mut World, change: &ChangeRec) {
+        let bounds = world.view_bounds(self.base.id);
+        match change {
+            ChangeRec::Text {
+                pos,
+                inserted,
+                deleted,
+            } if self.layout_valid && !self.lines.is_empty() => {
+                // Relayout eagerly and diff the old and new line tables:
+                // only lines whose content, position, or geometry changed
+                // are damaged. A plain character insert damages one line
+                // strip; an insert that re-wraps or shifts lines damages
+                // exactly the shifted strip (y is part of the key).
+                let old_lines = std::mem::take(&mut self.lines);
+                self.layout_valid = false;
+                self.ensure_layout(world);
+                match diff_strip(&old_lines, &self.lines, *pos, *inserted, *deleted) {
+                    Some((top, bottom)) => {
+                        let rect = Rect::new(0, top - self.scroll_y, bounds.width, bottom - top)
+                            .intersect(Rect::new(0, 0, bounds.width, bounds.height));
+                        self.stats.partial += 1;
+                        self.stats.damage_area += rect.area();
+                        world.post_damage(self.base.id, rect);
+                    }
+                    None => {
+                        // Off-screen or no visible change.
+                        self.stats.partial += 1;
+                    }
+                }
+            }
+            _ => {
+                self.stats.full += 1;
+                self.stats.damage_area += Rect::new(0, 0, bounds.width, bounds.height).area();
+                world.post_damage_full(self.base.id);
+                self.layout_valid = false;
+            }
+        }
+    }
+}
+
+/// Comparison key for a laid-out line: `(start, end, y, height)` with old
+/// positions shifted into post-edit coordinates. `None` marks a line that
+/// touches the edited range and is therefore always damaged.
+fn line_key(
+    line: &Line,
+    edit_from: usize,
+    edit_to: usize,
+    shift: i64,
+) -> Option<(i64, i64, i32, i32)> {
+    if line.end + 1 >= edit_from && line.start <= edit_to {
+        return None;
+    }
+    let adjust = |p: usize| -> i64 {
+        if p >= edit_to {
+            p as i64 + shift
+        } else {
+            p as i64
+        }
+    };
+    Some((adjust(line.start), adjust(line.end), line.y, line.height))
+}
+
+/// The vertical strip (content coordinates) that visually changed between
+/// two line layouts, or `None` when nothing did.
+fn diff_strip(
+    old: &[Line],
+    new: &[Line],
+    pos: usize,
+    inserted: usize,
+    deleted: usize,
+) -> Option<(i32, i32)> {
+    // Old lines touching [pos, pos+deleted] changed; survivors after it
+    // shift by the net delta. New lines touching [pos, pos+inserted]
+    // changed; the rest are already in final coordinates.
+    let delta = inserted as i64 - deleted as i64;
+    let old_keys: Vec<_> = old
+        .iter()
+        .map(|l| line_key(l, pos, pos + deleted, delta))
+        .collect();
+    let new_keys: Vec<_> = new
+        .iter()
+        .map(|l| line_key(l, pos, pos + inserted, 0))
+        .collect();
+
+    let equal = |a: &Option<(i64, i64, i32, i32)>, b: &Option<(i64, i64, i32, i32)>| match (a, b) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    };
+    let mut front = 0;
+    while front < old_keys.len()
+        && front < new_keys.len()
+        && equal(&old_keys[front], &new_keys[front])
+    {
+        front += 1;
+    }
+    let mut back = 0;
+    while back < old_keys.len().saturating_sub(front)
+        && back < new_keys.len().saturating_sub(front)
+        && equal(
+            &old_keys[old_keys.len() - 1 - back],
+            &new_keys[new_keys.len() - 1 - back],
+        )
+    {
+        back += 1;
+    }
+    let mut top = i32::MAX;
+    let mut bottom = i32::MIN;
+    for l in old[front..old.len() - back]
+        .iter()
+        .chain(new[front..new.len() - back].iter())
+    {
+        top = top.min(l.y);
+        bottom = bottom.max(l.y + l.height);
+    }
+    if top > bottom {
+        None
+    } else {
+        Some((top, bottom))
+    }
+}
+
+impl Default for TextView {
+    fn default() -> Self {
+        TextView::new()
+    }
+}
+
+impl View for TextView {
+    fn class_name(&self) -> &'static str {
+        "textview"
+    }
+    fn id(&self) -> ViewId {
+        self.base.id
+    }
+    fn set_id(&mut self, id: ViewId) {
+        self.base.id = id;
+    }
+    fn data_object(&self) -> Option<DataId> {
+        self.data
+    }
+    fn children(&self) -> Vec<ViewId> {
+        self.insets.values().copied().collect()
+    }
+
+    fn set_data_object(&mut self, world: &mut World, data: DataId) -> bool {
+        if let Some(old) = self.data {
+            world.remove_observer(old, atk_core::ObserverRef::View(self.base.id));
+        }
+        self.data = Some(data);
+        world.add_observer(data, atk_core::ObserverRef::View(self.base.id));
+        self.layout_valid = false;
+        world.post_damage_full(self.base.id);
+        true
+    }
+
+    fn desired_size(&mut self, world: &mut World, budget: i32) -> Size {
+        // Lay out at the budget width and report the resulting height.
+        let current = world.view_bounds(self.base.id);
+        if current.width != budget {
+            // Measure without disturbing stored bounds: temporary layout.
+            let saved_width = self.layout_width;
+            let saved_valid = self.layout_valid;
+            let saved_lines = std::mem::take(&mut self.lines);
+            // Perform a layout pass at the requested width by faking it.
+            self.layout_width = budget - 2 * MARGIN;
+            self.lines = Vec::new();
+            // Reuse ensure_layout's logic would need bounds; do a simple
+            // estimate instead: count wrapped lines at the budget.
+            let h = self.estimate_height(world, budget);
+            self.lines = saved_lines;
+            self.layout_width = saved_width;
+            self.layout_valid = saved_valid;
+            return Size::new(budget.min(360), h);
+        }
+        self.ensure_layout(world);
+        Size::new(budget.min(360), self.content_height().max(12))
+    }
+
+    fn layout(&mut self, world: &mut World) {
+        self.layout_valid = false;
+        self.ensure_layout(world);
+    }
+
+    fn draw(&mut self, world: &mut World, g: &mut dyn Graphic, update: Update) {
+        self.ensure_layout(world);
+        let bounds = Rect::at(Point::ORIGIN, world.view_bounds(self.base.id).size());
+        let draw_rect = update.rect_for(bounds);
+        let Some(data_id) = self.data else {
+            return;
+        };
+
+        // Collect per-line draw work first (shared borrow), then draw.
+        struct Piece {
+            x: i32,
+            baseline_y: i32,
+            text: String,
+            font: atk_graphics::FontDesc,
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut inset_rects: Vec<(ViewId, Rect)> = Vec::new();
+        let mut caret_rect: Option<Rect> = None;
+        let mut selection_rects: Vec<Rect> = Vec::new();
+        {
+            let Some(text) = world.data::<TextData>(data_id) else {
+                return;
+            };
+            let sel = self.selection();
+            for line in &self.lines {
+                let ly = line.y - self.scroll_y;
+                if ly + line.height < draw_rect.y || ly > draw_rect.bottom() {
+                    continue;
+                }
+                let mut x = MARGIN + text.style_value_at(line.start).indent;
+                let mut i = line.start;
+                while i < line.end {
+                    if let Some((data, _)) = text.anchor_at(i) {
+                        if let Some(&vid) = self.insets.get(&data) {
+                            let r = Rect::new(
+                                x + 1,
+                                ly + 1,
+                                world.view_bounds(vid).width,
+                                world.view_bounds(vid).height,
+                            );
+                            inset_rects.push((vid, r));
+                            x += r.width + 2;
+                        } else {
+                            x += 14;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    // A run of same-style plain characters.
+                    let style_id = text.style_at(i);
+                    let mut j = i;
+                    let mut s = String::new();
+                    while j < line.end
+                        && text.style_at(j) == style_id
+                        && text.anchor_at(j).is_none()
+                    {
+                        s.push(text.char_at(j).unwrap_or(' '));
+                        j += 1;
+                    }
+                    let font = text.styles.get(style_id).font();
+                    let width = font.string_width(&s);
+                    pieces.push(Piece {
+                        x,
+                        baseline_y: ly + line.baseline,
+                        text: s,
+                        font,
+                    });
+                    x += width;
+                    i = j;
+                }
+                // Selection highlight covering this line's slice.
+                if let Some((a, b)) = sel {
+                    if a < line.end.max(line.start + 1) && b > line.start {
+                        let sa = a.max(line.start);
+                        let sb = b.min(line.end);
+                        let xa = self
+                            .char_rect_internal(world, sa)
+                            .map(|r| r.x)
+                            .unwrap_or(MARGIN);
+                        let xb = self
+                            .char_rect_internal(world, sb.saturating_sub(0))
+                            .map(|r| r.x)
+                            .unwrap_or(xa);
+                        let xb = if sb >= line.end { xb.max(xa + 4) } else { xb };
+                        selection_rects.push(Rect::new(xa, ly, (xb - xa).max(2), line.height));
+                    }
+                }
+            }
+            // Caret.
+            if self.focused && sel.is_none() {
+                if let Some(r) = self.char_rect_internal(world, self.caret) {
+                    caret_rect = Some(Rect::new(r.x, r.y, 1, r.height));
+                }
+            }
+        }
+
+        g.set_foreground(Color::BLACK);
+        for p in &pieces {
+            g.set_font(p.font.clone());
+            g.draw_string_baseline(Point::new(p.x, p.baseline_y), &p.text);
+        }
+        for (vid, rect) in inset_rects {
+            world.set_view_bounds(vid, rect);
+            g.set_foreground(Color::GRAY);
+            g.draw_rect(rect.inset(-1));
+            world.draw_child(vid, g, Update::Full);
+        }
+        for r in selection_rects {
+            g.invert_rect(r);
+        }
+        if let Some(r) = caret_rect {
+            g.set_foreground(Color::BLACK);
+            g.fill_rect(r);
+        }
+    }
+
+    fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
+        self.ensure_layout(world);
+        // Editable in place: a press inside an inset goes to the inset.
+        for &vid in self.insets.values() {
+            let b = world.view_bounds(vid);
+            if b.contains(pt) && world.mouse_to_child(vid, action, pt) {
+                return true;
+            }
+        }
+        match action {
+            MouseAction::Down(Button::Left) => {
+                let pos = self.pos_at_point(world, pt);
+                self.caret = pos;
+                self.sel_anchor = Some(pos);
+                world.request_focus(self.base.id);
+                world.post_damage_full(self.base.id);
+                true
+            }
+            MouseAction::Drag(Button::Left) => {
+                let pos = self.pos_at_point(world, pt);
+                if pos != self.caret {
+                    self.caret = pos;
+                    world.post_damage_full(self.base.id);
+                }
+                true
+            }
+            MouseAction::Up(Button::Left) => {
+                if self.sel_anchor == Some(self.caret) {
+                    self.sel_anchor = None;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn key(&mut self, world: &mut World, key: Key) -> bool {
+        let map = std::mem::take(&mut self.keymap);
+        let outcome = self.keystate.feed(&[&map], key);
+        self.keymap = map;
+        match outcome {
+            KeyOutcome::Command(cmd) => {
+                self.perform(world, &cmd);
+                true
+            }
+            KeyOutcome::Pending => true,
+            KeyOutcome::Unbound(keys) => {
+                let mut handled = false;
+                for k in keys {
+                    match k {
+                        Key::Char(c) => {
+                            self.insert_at_caret(world, &c.to_string());
+                            handled = true;
+                        }
+                        Key::Return => {
+                            self.insert_at_caret(world, "\n");
+                            handled = true;
+                        }
+                        Key::Tab => {
+                            self.insert_at_caret(world, "\t");
+                            handled = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if handled {
+                    self.scroll_caret_into_view(world);
+                }
+                handled
+            }
+        }
+    }
+
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        let len = self.data_len(world);
+        match command {
+            "forward-char" => {
+                self.caret = (self.caret + 1).min(len);
+                self.sel_anchor = None;
+                world.post_damage_full(self.base.id);
+            }
+            "backward-char" => {
+                self.caret = self.caret.saturating_sub(1);
+                self.sel_anchor = None;
+                world.post_damage_full(self.base.id);
+            }
+            "next-line" => self.move_caret_line(world, 1),
+            "previous-line" => self.move_caret_line(world, -1),
+            "beginning-of-line" => {
+                if let Some(d) = self.data {
+                    let t = world.data::<TextData>(d).unwrap();
+                    self.caret = t.line_start(self.caret);
+                }
+                world.post_damage_full(self.base.id);
+            }
+            "end-of-line" => {
+                if let Some(d) = self.data {
+                    let t = world.data::<TextData>(d).unwrap();
+                    self.caret = t.line_end(self.caret);
+                }
+                world.post_damage_full(self.base.id);
+            }
+            "beginning-of-text" => {
+                self.caret = 0;
+                self.scroll_y = 0;
+                world.post_damage_full(self.base.id);
+            }
+            "end-of-text" => {
+                self.caret = len;
+                self.scroll_caret_into_view(world);
+                world.post_damage_full(self.base.id);
+            }
+            "delete-char" => {
+                if let Some((a, b)) = self.selection() {
+                    self.delete_range(world, a, b);
+                } else {
+                    let c = self.caret;
+                    self.delete_range(world, c, (c + 1).min(len));
+                }
+            }
+            "delete-backward-char" => {
+                if let Some((a, b)) = self.selection() {
+                    self.delete_range(world, a, b);
+                } else if self.caret > 0 {
+                    let c = self.caret;
+                    self.delete_range(world, c - 1, c);
+                }
+            }
+            "kill-line" => {
+                if let Some(d) = self.data {
+                    let (a, b) = {
+                        let t = world.data::<TextData>(d).unwrap();
+                        let e = t.line_end(self.caret);
+                        // Killing at line end removes the newline itself.
+                        if e == self.caret {
+                            (self.caret, (e + 1).min(t.len()))
+                        } else {
+                            (self.caret, e)
+                        }
+                    };
+                    let t = world.data::<TextData>(d).unwrap();
+                    self.kill_buffer = t.slice(a, b);
+                    self.delete_range(world, a, b);
+                }
+            }
+            "yank" => {
+                let s = self.kill_buffer.clone();
+                self.insert_at_caret(world, &s);
+            }
+            "next-page" | "previous-page" => {
+                self.ensure_layout(world);
+                let h = world.view_bounds(self.base.id).height;
+                let delta = if command == "next-page" { h } else { -h };
+                let max = (self.content_height() - h).max(0);
+                self.scroll_y = (self.scroll_y + delta).clamp(0, max);
+                world.post_damage_full(self.base.id);
+            }
+            "set-bold" => self.style_selection(world, |s| s.bolded()),
+            "set-italic" => self.style_selection(world, |s| s.italicized()),
+            "set-plain" => self.style_selection(world, |s| Style {
+                family: s.family,
+                size: s.size,
+                indent: s.indent,
+                ..Style::body()
+            }),
+            "set-bigger" => self.style_selection(world, |s| {
+                let size = s.size + 8;
+                s.sized(size)
+            }),
+            "set-fixed" => self.style_selection(world, |s| Style {
+                family: "andytype".to_string(),
+                ..s
+            }),
+            _ if command.starts_with("search:") => {
+                // Forward search from just past the caret, wrapping once.
+                let needle = &command["search:".len()..];
+                if needle.is_empty() {
+                    return true;
+                }
+                if let Some(d) = self.data {
+                    let t = world.data::<TextData>(d).expect("bound data");
+                    let hay = t.text();
+                    let from = (self.caret + 1).min(hay.chars().count());
+                    let chars: Vec<char> = hay.chars().collect();
+                    let pat: Vec<char> = needle.chars().collect();
+                    let find_from = |start: usize| -> Option<usize> {
+                        (start..chars.len().saturating_sub(pat.len() - 1).max(start))
+                            .find(|&i| chars[i..].starts_with(&pat[..]))
+                    };
+                    if let Some(hit) = find_from(from).or_else(|| find_from(0)) {
+                        self.caret = hit;
+                        self.sel_anchor = Some(hit + pat.len());
+                        self.scroll_caret_into_view(world);
+                        world.post_damage_full(self.base.id);
+                    }
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    fn menus(&self, _world: &World) -> Vec<MenuItem> {
+        vec![
+            MenuItem::new("Edit", "Kill Line", "kill-line"),
+            MenuItem::new("Edit", "Yank", "yank"),
+            MenuItem::new("Style", "Bold", "set-bold"),
+            MenuItem::new("Style", "Italic", "set-italic"),
+            MenuItem::new("Style", "Plain", "set-plain"),
+            MenuItem::new("Style", "Bigger", "set-bigger"),
+            MenuItem::new("Style", "Typewriter", "set-fixed"),
+        ]
+    }
+
+    fn cursor_at(&self, world: &World, pt: Point) -> Option<CursorShape> {
+        for &vid in self.insets.values() {
+            let b = world.view_bounds(vid);
+            if b.contains(pt) {
+                return world
+                    .view_dyn(vid)
+                    .and_then(|v| v.cursor_at(world, pt - b.origin()))
+                    .or(Some(CursorShape::Arrow));
+            }
+        }
+        Some(CursorShape::IBeam)
+    }
+
+    fn observed_changed(&mut self, world: &mut World, _source: DataId, change: &ChangeRec) {
+        // Keep the caret sane across *remote* edits (another view of the
+        // same data object may have mutated it). Our own edits already
+        // moved the caret, so skip the adjustment for those.
+        if self.self_changes > 0 {
+            self.self_changes -= 1;
+        } else if let ChangeRec::Text {
+            pos,
+            inserted,
+            deleted,
+        } = change
+        {
+            if self.caret > *pos {
+                self.caret = self.caret.saturating_sub((*deleted).min(self.caret - pos)) + inserted;
+            }
+        }
+        self.post_incremental_damage(world, change);
+    }
+
+    fn on_focus(&mut self, world: &mut World, gained: bool) {
+        self.focused = gained;
+        world.post_damage_full(self.base.id);
+    }
+
+    fn scroll_info(&self, world: &World) -> Option<ScrollInfo> {
+        Some(ScrollInfo {
+            total: self.content_height().max(1),
+            visible: world.view_bounds(self.base.id).height,
+            offset: self.scroll_y,
+        })
+    }
+
+    fn scroll_to(&mut self, world: &mut World, offset: i32) {
+        let h = world.view_bounds(self.base.id).height;
+        let max = (self.content_height() - h).max(0);
+        self.scroll_y = offset.clamp(0, max);
+        world.post_damage_full(self.base.id);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl TextView {
+    /// Estimates wrapped height at a width without touching stored
+    /// layout (used by `desired_size` when embedded).
+    fn estimate_height(&self, world: &World, budget: i32) -> i32 {
+        let Some(data_id) = self.data else { return 12 };
+        let Some(text) = world.data::<TextData>(data_id) else {
+            return 12;
+        };
+        let budget = (budget - 2 * MARGIN).max(20);
+        let mut h = 0;
+        let mut x = 0;
+        let mut line_h = 0;
+        for i in 0..text.len() {
+            let ch = text.char_at(i).unwrap_or(' ');
+            let font = text.style_value_at(i).font();
+            let m = font.metrics();
+            if ch == '\n' {
+                h += line_h.max(m.line_height);
+                x = 0;
+                line_h = 0;
+                continue;
+            }
+            let cw = font.char_width(ch);
+            if x + cw > budget {
+                h += line_h.max(m.line_height);
+                x = 0;
+                line_h = 0;
+            }
+            x += cw;
+            line_h = line_h.max(m.line_height);
+        }
+        h + line_h.max(12)
+    }
+}

@@ -1,0 +1,171 @@
+//! Window-system events.
+//!
+//! The interaction manager (paper §3) "has the responsibility of
+//! translating input events such as key strokes, mouse events, menu
+//! events and exposure events from the window system to the rest of the
+//! view tree". These are the events it translates. Both simulated
+//! backends deliver them through [`crate::Window::next_event`]; tests and
+//! the scripted application driver inject them with
+//! [`crate::Window::post_event`].
+
+use atk_graphics::{Point, Rect, Size};
+
+/// Mouse buttons. Andrew used a three-button mouse; menus traditionally
+/// lived on the right button.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Button {
+    /// Left (select / caret placement).
+    Left,
+    /// Middle (extend selection).
+    Middle,
+    /// Right (pop-up menus).
+    Right,
+}
+
+/// What the mouse just did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MouseAction {
+    /// Button pressed.
+    Down(Button),
+    /// Button released.
+    Up(Button),
+    /// Moved with a button held.
+    Drag(Button),
+    /// Moved with no button held.
+    Movement,
+}
+
+impl MouseAction {
+    /// The button involved, if any.
+    pub fn button(self) -> Option<Button> {
+        match self {
+            MouseAction::Down(b) | MouseAction::Up(b) | MouseAction::Drag(b) => Some(b),
+            MouseAction::Movement => None,
+        }
+    }
+}
+
+/// A keyboard symbol after window-system keymap translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// A printable character.
+    Char(char),
+    /// Control-chord (stored lowercase, e.g. `Ctrl('a')`).
+    Ctrl(char),
+    /// Meta/Escape-prefixed chord (stored lowercase).
+    Meta(char),
+    /// Return / Enter.
+    Return,
+    /// Tab.
+    Tab,
+    /// Backspace / Delete-backward.
+    Backspace,
+    /// Forward delete.
+    Delete,
+    /// Escape.
+    Escape,
+    /// Cursor up.
+    Up,
+    /// Cursor down.
+    Down,
+    /// Cursor left.
+    Left,
+    /// Cursor right.
+    Right,
+    /// Page up.
+    PageUp,
+    /// Page down.
+    PageDown,
+    /// Home.
+    Home,
+    /// End.
+    End,
+}
+
+/// One event delivered by a window to its interaction manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowEvent {
+    /// Mouse activity at a window-relative position.
+    Mouse {
+        /// What happened.
+        action: MouseAction,
+        /// Where, in window coordinates.
+        pos: Point,
+    },
+    /// A translated keystroke.
+    Key(Key),
+    /// The user asked for menus at this position (right button in Andrew).
+    MenuRequest {
+        /// Where, in window coordinates.
+        pos: Point,
+    },
+    /// A menu item was chosen; carries the item's command string.
+    MenuSelect(String),
+    /// Part of the window needs repainting.
+    Expose(Rect),
+    /// The window changed size.
+    Resize(Size),
+    /// Virtual time advanced by this many milliseconds (drives timers,
+    /// e.g. the animation component and the console clock).
+    Tick(u64),
+    /// The window is closing.
+    Close,
+}
+
+impl WindowEvent {
+    /// Convenience constructor for a left-button press.
+    pub fn left_down(x: i32, y: i32) -> WindowEvent {
+        WindowEvent::Mouse {
+            action: MouseAction::Down(Button::Left),
+            pos: Point::new(x, y),
+        }
+    }
+
+    /// Convenience constructor for a left-button release.
+    pub fn left_up(x: i32, y: i32) -> WindowEvent {
+        WindowEvent::Mouse {
+            action: MouseAction::Up(Button::Left),
+            pos: Point::new(x, y),
+        }
+    }
+
+    /// Convenience constructor for a left-button drag.
+    pub fn left_drag(x: i32, y: i32) -> WindowEvent {
+        WindowEvent::Mouse {
+            action: MouseAction::Drag(Button::Left),
+            pos: Point::new(x, y),
+        }
+    }
+
+    /// Convenience constructor for typing one character.
+    pub fn ch(c: char) -> WindowEvent {
+        WindowEvent::Key(Key::Char(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mouse_action_button_extraction() {
+        assert_eq!(MouseAction::Down(Button::Left).button(), Some(Button::Left));
+        assert_eq!(
+            MouseAction::Drag(Button::Right).button(),
+            Some(Button::Right)
+        );
+        assert_eq!(MouseAction::Movement.button(), None);
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert_eq!(
+            WindowEvent::left_down(3, 4),
+            WindowEvent::Mouse {
+                action: MouseAction::Down(Button::Left),
+                pos: Point::new(3, 4)
+            }
+        );
+        assert_eq!(WindowEvent::ch('x'), WindowEvent::Key(Key::Char('x')));
+    }
+}

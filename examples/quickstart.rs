@@ -1,0 +1,76 @@
+//! Quickstart: build a compound document, put a view tree on it, drive
+//! it with events, and save it — the toolkit's whole lifecycle in one
+//! file.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use atk_apps::{scenes, standard_world};
+use atk_core::{document_to_string, EventScript, InteractionManager};
+use atk_graphics::Size;
+use atk_table::{CellInput, TableData};
+use atk_text::TextData;
+
+fn main() -> Result<(), String> {
+    // 1. A world with every component registered (text, table, drawing,
+    //    equation, raster, animation — and their views).
+    let mut world = standard_world();
+
+    // 2. Data objects: a letter with an embedded expense table, exactly
+    //    the scene of the paper's figure 1.
+    let mut table = TableData::new(3, 2);
+    table.set_cell(0, 0, CellInput::Raw("travel".into()));
+    table.set_cell(0, 1, CellInput::Raw("340".into()));
+    table.set_cell(1, 0, CellInput::Raw("lodging".into()));
+    table.set_cell(1, 1, CellInput::Raw("280".into()));
+    table.set_cell(2, 0, CellInput::Raw("total".into()));
+    table.set_cell(2, 1, CellInput::Raw("=B1+B2".into()));
+    let table_id = world.insert_data(Box::new(table));
+
+    let mut letter = TextData::from_str(
+        "Dear David,\n\nEnclosed is a list of our expenses:\n\n\nHope you have a nice trip!\n",
+    );
+    letter.add_embedded(49, table_id, "tablev");
+    let doc = world.insert_data(Box::new(letter));
+
+    // 3. A view tree: frame (message line) > scrollbar > text view. The
+    //    text view will instantiate a table view for the inset on its own,
+    //    through the catalog — it was never compiled against tables.
+    let (frame, textview) = atk_apps::EzApp::build_tree(&mut world, doc)?;
+
+    // 4. A window from the window-system-independent layer. The backend
+    //    comes from ATK_WINDOW_SYSTEM (x11sim or awmsim).
+    let mut ws = atk_wm::open_window_system(None)?;
+    let window = ws.open_window("quickstart", Size::new(420, 320));
+    let mut im = InteractionManager::new(&mut world, window, frame);
+    world.request_focus(textview);
+    im.pump(&mut world);
+
+    // 5. Drive it like a user: click into the text and type.
+    let script = EventScript::parse(
+        "mouse down 60 40\nmouse up 60 40\nkey C-e\ntype  (hello from the event script)\n",
+    )
+    .map_err(|(l, m)| format!("script line {l}: {m}"))?;
+    script.run(&mut im, &mut world);
+
+    // 6. Print the live view tree — the paper's figure 1, from the real
+    //    object graph.
+    println!("{}", scenes::print_view_tree(&world, im.root()));
+
+    // 7. Save the document in the datastream external representation.
+    let stream = document_to_string(&world, doc);
+    println!("--- datastream ({} bytes) ---", stream.len());
+    for line in stream.lines().take(12) {
+        println!("{line}");
+    }
+    println!("...");
+
+    // 8. And snapshot the pixels.
+    let out = std::path::Path::new("target/quickstart.ppm");
+    if let Some(fb) = im.snapshot() {
+        atk_graphics::ppm::write_ppm(&fb, out).map_err(|e| e.to_string())?;
+        println!("wrote {}", out.display());
+    }
+    Ok(())
+}

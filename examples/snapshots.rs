@@ -1,0 +1,27 @@
+//! Regenerates every figure of the paper as a PPM image (experiment E6).
+//!
+//! ```sh
+//! cargo run --example snapshots            # x11sim backend
+//! ATK_WINDOW_SYSTEM=awmsim cargo run --example snapshots
+//! ```
+//!
+//! Output lands in `target/snapshots/`.
+
+use atk_apps::scenes;
+
+fn main() -> Result<(), String> {
+    let backend = std::env::var("ATK_WINDOW_SYSTEM").unwrap_or_else(|_| "x11sim".to_string());
+    let out = std::path::Path::new("target/snapshots");
+    println!("building the paper's figures on `{backend}`…");
+    for scene in scenes::all_figures(&backend)? {
+        let path = scene.snapshot_to(out)?;
+        let fb = scene.im.snapshot().expect("snapshot");
+        println!("  {}  ({}x{})", path.display(), fb.width(), fb.height());
+    }
+    // Figure 1 is also a diagram: print the live view tree.
+    let mut ws = atk_wm::open_window_system(Some(&backend))?;
+    let scene = scenes::fig1_view_tree(ws.as_mut())?;
+    println!("\nfigure 1, as the live object graph:\n");
+    println!("{}", scenes::print_view_tree(&scene.world, scene.im.root()));
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! The paper's §2 worked example: one table data object, several views —
+//! a table view, a pie chart, and a bar chart — with the chart's stable
+//! state in an auxiliary chart data object that *observes* the table.
+//!
+//! Edit a cell and watch every view update through the two-hop path:
+//! table → chart data → chart views.
+//!
+//! ```sh
+//! cargo run --example spreadsheet_chart
+//! ```
+
+use atk_apps::standard_world;
+use atk_core::{document_to_string, InteractionManager, Update};
+use atk_graphics::Size;
+use atk_table::{
+    rebind_after_read, BarChartView, CellInput, ChartData, PieChartView, TableData, TableView,
+};
+
+fn main() -> Result<(), String> {
+    let mut world = standard_world();
+
+    // The model: quarterly expenses.
+    let mut table = TableData::new(2, 4);
+    for (c, (label, value)) in [("Q1", "340"), ("Q2", "280"), ("Q3", "410"), ("Q4", "150")]
+        .iter()
+        .enumerate()
+    {
+        table.set_cell(0, c, CellInput::Raw(label.to_string()));
+        table.set_cell(1, c, CellInput::Raw(value.to_string()));
+    }
+    let table_id = world.insert_data(Box::new(table));
+
+    // The auxiliary data object: holds title/labels (stable view state)
+    // and observes the table.
+    let chart_id = world.insert_data(Box::new(ChartData::new()));
+    world.with_data(chart_id, |d, w| {
+        let chart = d.as_any_mut().downcast_mut::<ChartData>().unwrap();
+        chart.title = "Expenses".to_string();
+        chart.bind(w, chart_id, table_id, (1, 0, 1, 3));
+    });
+
+    // Three simultaneous views.
+    let tablev = world.insert_view(Box::new(TableView::new()));
+    world.with_view(tablev, |v, w| v.set_data_object(w, table_id));
+    let pie = world.insert_view(Box::new(PieChartView::new()));
+    world.with_view(pie, |v, w| v.set_data_object(w, chart_id));
+    let bar = world.insert_view(Box::new(BarChartView::new()));
+    world.with_view(bar, |v, w| v.set_data_object(w, chart_id));
+
+    // Lay them out side by side under an hbox.
+    use atk_components::boxes::Extent;
+    use atk_components::{BoxView, Orientation};
+    let hbox = world.insert_view(Box::new(BoxView::new(Orientation::Horizontal)));
+    world.with_view(hbox, |v, w| {
+        let bx = v.as_any_mut().downcast_mut::<BoxView>().unwrap();
+        bx.add_child(w, tablev, Extent::Weight(1.4));
+        bx.add_child(w, pie, Extent::Weight(1.0));
+        bx.add_child(w, bar, Extent::Weight(1.0));
+    });
+
+    let mut ws = atk_wm::open_window_system(None)?;
+    let window = ws.open_window("spreadsheet + charts", Size::new(640, 180));
+    let mut im = InteractionManager::new(&mut world, window, hbox);
+    im.pump(&mut world);
+    im.redraw_full(&mut world);
+
+    // Edit Q4 through the table view — the charts follow automatically.
+    let cell = world
+        .view_as::<TableView>(tablev)
+        .unwrap()
+        .cell_rect(&world, 1, 3)
+        .unwrap();
+    let _ = cell;
+    world.with_view(tablev, |v, w| {
+        let tv = v.as_any_mut().downcast_mut::<TableView>().unwrap();
+        tv.sel = (1, 3);
+        tv.edit = Some("480".to_string());
+        tv.commit_edit(w);
+    });
+    im.pump(&mut world);
+    im.redraw_full(&mut world);
+
+    let relays = world.data::<ChartData>(chart_id).unwrap().relays;
+    println!("table edited; chart data relayed {relays} change(s) to its views");
+    println!(
+        "chart now shows: {:?}",
+        world.data::<ChartData>(chart_id).unwrap().values(&world)
+    );
+
+    // Save and reload: the chart's title (pure view state in 1987
+    // toolkits, lost on save) survives because it lives in the auxiliary
+    // data object.
+    let stream = document_to_string(&world, chart_id);
+    let mut world2 = standard_world();
+    let chart2 = atk_core::read_document(&mut world2, &stream).map_err(|e| e.to_string())?;
+    rebind_after_read(&mut world2, chart2);
+    println!(
+        "after save/load, chart title = {:?}",
+        world2.data::<ChartData>(chart2).unwrap().title
+    );
+
+    if let Some(fb) = im.snapshot() {
+        let out = std::path::Path::new("target/spreadsheet_chart.ppm");
+        atk_graphics::ppm::write_ppm(&fb, out).map_err(|e| e.to_string())?;
+        println!("wrote {}", out.display());
+    }
+    let _ = Update::Full;
+    Ok(())
+}

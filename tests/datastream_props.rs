@@ -1,0 +1,122 @@
+//! Property tests over the datastream external representation (§5),
+//! with whole components in the loop.
+
+use atk_apps::standard_world;
+use atk_core::{audit_stream, document_to_string, read_document};
+use atk_table::{CellInput, TableData};
+use atk_text::{Style, TextData};
+use proptest::prelude::*;
+
+fn arb_text_content() -> impl Strategy<Value = String> {
+    // Includes newlines, backslashes, braces, marker lookalikes, and
+    // non-ASCII — everything the escaping layer must survive.
+    proptest::collection::vec(
+        prop_oneof![
+            "[a-zA-Z0-9 ]{0,20}",
+            Just("\\begindata{text,1}".to_string()),
+            Just("\\enddata{text,1}".to_string()),
+            Just("\\view{spread,2}".to_string()),
+            Just("back\\slash and {braces}".to_string()),
+            Just("café → ünïcode ∑".to_string()),
+            Just(String::new()),
+        ],
+        0..8,
+    )
+    .prop_map(|lines| lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_documents_round_trip_exactly(content in arb_text_content()) {
+        let mut world = standard_world();
+        let doc = world.insert_data(Box::new(TextData::from_str(&content)));
+        let stream = document_to_string(&world, doc);
+        prop_assert!(audit_stream(&stream).is_empty(), "transport violation");
+        let mut world2 = standard_world();
+        let doc2 = read_document(&mut world2, &stream).unwrap();
+        prop_assert_eq!(world2.data::<TextData>(doc2).unwrap().text(), content);
+    }
+
+    #[test]
+    fn styled_documents_round_trip(
+        content in "[a-z ]{10,60}",
+        a in 0usize..30,
+        b in 0usize..60,
+        bold in any::<bool>(),
+        size in prop_oneof![Just(10u32), Just(12), Just(20)],
+    ) {
+        let mut world = standard_world();
+        let mut t = TextData::from_str(&content);
+        let (lo, hi) = (a.min(b), a.max(b).min(content.len()));
+        let style = if bold { Style::body().bolded().sized(size) } else { Style::body().sized(size) };
+        t.apply_style(lo, hi, style.clone());
+        let doc = world.insert_data(Box::new(t));
+        let stream = document_to_string(&world, doc);
+        let mut world2 = standard_world();
+        let doc2 = read_document(&mut world2, &stream).unwrap();
+        let t2 = world2.data::<TextData>(doc2).unwrap();
+        prop_assert_eq!(t2.text(), content.clone());
+        if lo < hi {
+            prop_assert_eq!(t2.style_value_at(lo), &style);
+        }
+    }
+
+    #[test]
+    fn tables_round_trip_values_and_formulas(
+        rows in 1usize..6,
+        cols in 1usize..5,
+        values in proptest::collection::vec(-1000i64..1000, 1..20),
+    ) {
+        let mut world = standard_world();
+        let mut t = TableData::new(rows, cols);
+        for (i, v) in values.iter().enumerate() {
+            let r = i % rows;
+            let c = i % cols;
+            t.set_cell(r, c, CellInput::Raw(v.to_string()));
+        }
+        t.set_cell(0, 0, CellInput::Raw("=SUM(A1:A3)+1".to_string()));
+        let expect: Vec<f64> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c)))
+            .map(|(r, c)| t.value(r, c))
+            .collect();
+        let doc = world.insert_data(Box::new(t));
+        let stream = document_to_string(&world, doc);
+        prop_assert!(audit_stream(&stream).is_empty());
+        let mut world2 = standard_world();
+        let doc2 = read_document(&mut world2, &stream).unwrap();
+        let t2 = world2.data::<TableData>(doc2).unwrap();
+        let got: Vec<f64> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c)))
+            .map(|(r, c)| t2.value(r, c))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn truncated_streams_fail_cleanly(
+        content in "[a-z\\n ]{0,50}",
+        cut_frac in 0.0f64..0.95,
+    ) {
+        let mut world = standard_world();
+        let doc = world.insert_data(Box::new(TextData::from_str(&content)));
+        let stream = document_to_string(&world, doc);
+        let cut = (stream.len() as f64 * cut_frac) as usize;
+        // Cut on a char boundary.
+        let mut cut = cut.min(stream.len().saturating_sub(1));
+        while !stream.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &stream[..cut];
+        let mut world2 = standard_world();
+        // Must never panic; may legitimately fail.
+        let _ = read_document(&mut world2, truncated);
+    }
+
+    #[test]
+    fn arbitrary_junk_never_panics_the_reader(junk in "\\PC{0,300}") {
+        let mut world = standard_world();
+        let _ = read_document(&mut world, &junk);
+    }
+}

@@ -1,0 +1,191 @@
+//! Experiment E3 (paper §5) and the embedding architecture (§1, §7):
+//! arbitrary components inside arbitrary components, external
+//! representation round trips, skip scanning, and unknown-object
+//! passthrough — across every component crate at once.
+
+use atk_apps::corpus::{self, Mix};
+use atk_apps::standard_world;
+use atk_core::{
+    audit_stream, document_to_string, read_document, DataObject, DatastreamReader, Token,
+};
+use atk_graphics::{Point, Rect};
+use atk_media::{DrawingData, RasterData, Shape};
+use atk_table::{Cell, CellInput, TableData};
+use atk_text::TextData;
+
+#[test]
+fn four_level_cross_component_nesting_round_trips() {
+    // text ⊃ table ⊃ drawing ⊃ text — four components, three crates.
+    let mut world = standard_world();
+    let innermost = world.insert_data(Box::new(TextData::from_str("deep text")));
+    let mut drawing = DrawingData::new(120, 60);
+    drawing.add_shape(Shape::Inset {
+        rect: Rect::new(10, 10, 80, 30),
+        data: innermost,
+        view_class: "textview".to_string(),
+    });
+    drawing.add_shape(Shape::Line {
+        a: Point::new(0, 25),
+        b: Point::new(120, 25),
+        width: 1,
+    });
+    let drawing_id = world.insert_data(Box::new(drawing));
+    let mut table = TableData::new(2, 2);
+    table.set_cell(0, 0, CellInput::Raw("label".into()));
+    table.set_embedded(1, 1, drawing_id, "drawingv");
+    let table_id = world.insert_data(Box::new(table));
+    let mut text = TextData::from_str("Outer document. ");
+    let pos = text.len();
+    text.add_embedded(pos, table_id, "tablev");
+    let doc = world.insert_data(Box::new(text));
+
+    let stream = document_to_string(&world, doc);
+    assert!(audit_stream(&stream).is_empty(), "transport-unsafe stream");
+
+    // Reload in a fresh world and verify the whole chain.
+    let mut world2 = standard_world();
+    let doc2 = read_document(&mut world2, &stream).unwrap();
+    let text2 = world2.data::<TextData>(doc2).unwrap();
+    let (_, table2_id, view_class) = text2.anchors()[0].clone();
+    assert_eq!(view_class, "tablev");
+    let table2 = world2.data::<TableData>(table2_id).unwrap();
+    let drawing2_id = match table2.cell(1, 1) {
+        Cell::Embedded { data, .. } => *data,
+        other => panic!("unexpected {other:?}"),
+    };
+    let drawing2 = world2.data::<DrawingData>(drawing2_id).unwrap();
+    let inner2_id = drawing2.embedded()[0];
+    let inner2 = world2.data::<TextData>(inner2_id).unwrap();
+    assert_eq!(inner2.text(), "deep text");
+
+    // Idempotence: writing again gives the same bytes.
+    assert_eq!(stream, document_to_string(&world2, doc2));
+}
+
+#[test]
+fn compound_corpus_documents_are_stable_and_transport_safe() {
+    for seed in 0..5 {
+        let mut world = standard_world();
+        let doc = corpus::compound_document(&mut world, seed, 400, Mix::paper_intro());
+        let stream = document_to_string(&world, doc);
+        assert!(audit_stream(&stream).is_empty(), "seed {seed}");
+        let mut world2 = standard_world();
+        let doc2 = read_document(&mut world2, &stream).unwrap();
+        assert_eq!(
+            stream,
+            document_to_string(&world2, doc2),
+            "seed {seed} not idempotent"
+        );
+    }
+}
+
+#[test]
+fn markers_nest_properly_in_generated_streams() {
+    let mut world = standard_world();
+    let doc = corpus::nested_document(&mut world, 16);
+    let stream = document_to_string(&world, doc);
+    // Scan raw lines: nesting depth never goes negative and ends at 0.
+    let mut depth = 0i32;
+    for line in stream.lines() {
+        if line.starts_with("\\begindata{") {
+            depth += 1;
+        } else if line.starts_with("\\enddata{") {
+            depth -= 1;
+        }
+        assert!(depth >= 0, "unbalanced markers");
+    }
+    assert_eq!(depth, 0);
+}
+
+#[test]
+fn skip_scan_finds_extent_without_parsing() {
+    // An object with content that would crash a naive parser (lines that
+    // look like commands of other components) can still be skipped.
+    let mut world = standard_world();
+    let body = "\\begindata{mystery,7}\ncell 0 0 t not a real table row\nnotes not real music\nraster 9 9\n\\begindata{inner,8}\nnested unknown content\n\\enddata{inner,8}\ntrailing line\n\\enddata{mystery,7}\n";
+    let doc = read_document(&mut world, body).unwrap();
+    let unknown = world.data::<atk_core::UnknownObject>(doc).unwrap();
+    assert_eq!(unknown.original_class, "mystery");
+    assert_eq!(unknown.raw_lines.len(), 7);
+    // The nested markers were captured verbatim, not interpreted.
+    assert!(unknown
+        .raw_lines
+        .iter()
+        .any(|l| l == "\\begindata{inner,8}"));
+    // And write-back reproduces the input (stream ids are reassigned by
+    // the writer, so compare with the outer id normalized).
+    let out = document_to_string(&world, doc);
+    assert_eq!(out.replace("{mystery,1}", "{mystery,7}"), body);
+}
+
+#[test]
+fn unknown_component_survives_inside_known_ones() {
+    // A music object (no module anywhere) inside text inside a table.
+    let src = "\\begindata{table,1}\ndims 1 1\ncolw 64\nrowh 16\n\\begindata{text,2}\nstyles 1\nstyle andy 12 --- 0\nruns 1\nrun 6 0\n\\begindata{music,3}\nnotes 60 64 67\n\\enddata{music,3}\nanchor 5\n\\view{musicview,3}\ntext 1\nhear \u{FFFC}\n\\enddata{text,2}\ncell 0 0 e\n\\view{textview,2}\n\\enddata{table,1}\n";
+    let mut world = standard_world();
+    let doc = read_document(&mut world, src).unwrap();
+    let out = document_to_string(&world, doc);
+    assert!(out.contains("\\begindata{music,"));
+    assert!(out.contains("notes 60 64 67"));
+    assert!(out.contains("\\view{musicview,"));
+}
+
+#[test]
+fn raster_rows_begin_on_new_lines() {
+    // §5's "slightly more comprehensible" suggestion, verified on the
+    // wire format.
+    let mut world = standard_world();
+    let raster = RasterData::from_fn(16, 6, |x, y| x == y || x == 15 - y);
+    let id = world.insert_data(Box::new(raster));
+    let stream = document_to_string(&world, id);
+    let hex_rows: Vec<&str> = stream
+        .lines()
+        .filter(|l| l.len() == 4 && l.chars().all(|c| c.is_ascii_hexdigit()))
+        .collect();
+    assert_eq!(hex_rows.len(), 6);
+}
+
+#[test]
+fn view_refs_resolve_to_shared_objects() {
+    // One data object, two placements: written once, referenced twice.
+    let mut world = standard_world();
+    let shared = world.insert_data(Box::new(TableData::new(2, 2)));
+    let mut text = TextData::from_str("first:  second: ");
+    text.add_embedded(7, shared, "tablev");
+    text.add_embedded(17, shared, "spread");
+    let doc = world.insert_data(Box::new(text));
+    let stream = document_to_string(&world, doc);
+    assert_eq!(stream.matches("\\begindata{table,").count(), 1);
+    assert_eq!(stream.matches("\\view{").count(), 2);
+
+    let mut world2 = standard_world();
+    let doc2 = read_document(&mut world2, &stream).unwrap();
+    let text2 = world2.data::<TextData>(doc2).unwrap();
+    let anchors = text2.anchors();
+    assert_eq!(anchors.len(), 2);
+    assert_eq!(anchors[0].1, anchors[1].1, "both anchors share one object");
+    assert_ne!(
+        anchors[0].2, anchors[1].2,
+        "but with different view classes"
+    );
+}
+
+#[test]
+fn tokenizer_reports_each_construct() {
+    let src = "\\begindata{text,1}\nplain line\n\\view{spread,1}\n\\enddata{text,1}\n";
+    let mut r = DatastreamReader::new(src);
+    assert!(matches!(
+        r.next_token().unwrap(),
+        Some(Token::BeginData { .. })
+    ));
+    assert!(matches!(r.next_token().unwrap(), Some(Token::Line(_))));
+    assert!(matches!(
+        r.next_token().unwrap(),
+        Some(Token::ViewRef { .. })
+    ));
+    assert!(matches!(
+        r.next_token().unwrap(),
+        Some(Token::EndData { .. })
+    ));
+    assert!(r.next_token().unwrap().is_none());
+}

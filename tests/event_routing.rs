@@ -1,0 +1,273 @@
+//! Experiment E1 (paper §3): event routing through the view tree with
+//! parental authority, against the global-physical baseline — on the
+//! paper's own figure-1 window.
+
+use atk_apps::scenes;
+use atk_components::{FrameView, ScrollView};
+use atk_core::baseline::GlobalDispatcher;
+use atk_core::{EventScript, World};
+use atk_graphics::{Point, Rect};
+use atk_text::TextView;
+use atk_wm::{CursorShape, Key, WindowEvent};
+
+/// The figure-1 scene plus handles on its pieces.
+struct Fig1 {
+    scene: scenes::Scene,
+    frame: atk_core::ViewId,
+    scroll: atk_core::ViewId,
+    textview: atk_core::ViewId,
+    tablev: atk_core::ViewId,
+}
+
+fn fig1() -> Fig1 {
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+    let scene = scenes::fig1_view_tree(&mut ws).unwrap();
+    let frame = scene.im.root();
+    let scroll = scene.world.view_dyn(frame).unwrap().children()[0];
+    let textview = scene.world.view_dyn(scroll).unwrap().children()[0];
+    let tablev = scene.world.view_dyn(textview).unwrap().children()[0];
+    Fig1 {
+        scene,
+        frame,
+        scroll,
+        textview,
+        tablev,
+    }
+}
+
+#[test]
+fn tree_matches_figure_one() {
+    let f = fig1();
+    let w = &f.scene.world;
+    assert_eq!(w.view_dyn(f.frame).unwrap().class_name(), "frame");
+    assert_eq!(w.view_dyn(f.scroll).unwrap().class_name(), "scroll");
+    assert_eq!(w.view_dyn(f.textview).unwrap().class_name(), "textview");
+    assert_eq!(w.view_dyn(f.tablev).unwrap().class_name(), "tablev");
+    assert_eq!(w.view_parent(f.tablev), Some(f.textview));
+    assert_eq!(w.view_parent(f.textview), Some(f.scroll));
+    assert_eq!(w.view_parent(f.scroll), Some(f.frame));
+    assert_eq!(w.view_parent(f.frame), None);
+}
+
+#[test]
+fn click_in_text_routes_through_frame_and_scrollbar_to_text() {
+    let mut f = fig1();
+    let world = &mut f.scene.world;
+    let im = &mut f.scene.im;
+    // A point inside the text area (right of the 14px scrollbar, below
+    // the 14px message line).
+    im.feed(world, WindowEvent::left_down(120, 40));
+    im.feed(world, WindowEvent::left_up(120, 40));
+    assert_eq!(im.focus(), Some(f.textview), "text view took the focus");
+}
+
+#[test]
+fn click_into_embedded_table_reaches_the_table() {
+    let mut f = fig1();
+    let b = f
+        .scene
+        .world
+        .to_window_rect(f.tablev, Rect::new(0, 0, 1, 1));
+    let world = &mut f.scene.world;
+    let im = &mut f.scene.im;
+    // Click inside the embedded table's first cell area.
+    let pt = Point::new(b.x + 40, b.y + 20);
+    im.feed(
+        world,
+        WindowEvent::Mouse {
+            action: atk_wm::MouseAction::Down(atk_wm::Button::Left),
+            pos: pt,
+        },
+    );
+    assert_eq!(
+        im.focus(),
+        Some(f.tablev),
+        "the embedded table view took the focus (editable in place)"
+    );
+}
+
+#[test]
+fn keys_reach_the_focused_view_through_ancestors() {
+    let mut f = fig1();
+    let world = &mut f.scene.world;
+    let im = &mut f.scene.im;
+    im.feed(world, WindowEvent::left_down(120, 40));
+    im.feed(world, WindowEvent::left_up(120, 40));
+    let before = {
+        let doc = world.view_dyn(f.textview).unwrap().data_object().unwrap();
+        world.data::<atk_text::TextData>(doc).unwrap().len()
+    };
+    im.feed(world, WindowEvent::ch('X'));
+    let doc = world.view_dyn(f.textview).unwrap().data_object().unwrap();
+    let after = world.data::<atk_text::TextData>(doc).unwrap().len();
+    assert_eq!(after, before + 1);
+}
+
+#[test]
+fn frame_dialog_intercepts_keys_from_the_whole_tree() {
+    // Parental authority over the keyboard: with a dialog up, even keys
+    // aimed at the deep text view are consumed by the frame.
+    let mut f = fig1();
+    let world = &mut f.scene.world;
+    let im = &mut f.scene.im;
+    im.feed(world, WindowEvent::left_down(120, 40));
+    world.with_view(f.frame, |v, w| {
+        v.as_any_mut()
+            .downcast_mut::<FrameView>()
+            .unwrap()
+            .prompt(w, "Save as?", f.textview, "write");
+    });
+    let before_filtered = im.stats().keys_filtered;
+    im.feed(world, WindowEvent::ch('a'));
+    im.feed(world, WindowEvent::ch('b'));
+    assert_eq!(im.stats().keys_filtered, before_filtered + 2);
+    // And the text was NOT edited.
+    let doc = world.view_dyn(f.textview).unwrap().data_object().unwrap();
+    let text = world.data::<atk_text::TextData>(doc).unwrap().text();
+    assert!(!text.contains("ab"));
+    // Finishing the dialog dispatches the command to the target.
+    im.feed(world, WindowEvent::Key(Key::Return));
+    assert!(!world.view_as::<FrameView>(f.frame).unwrap().dialog_active());
+}
+
+#[test]
+fn menus_merge_along_the_focus_path() {
+    let mut f = fig1();
+    let world = &mut f.scene.world;
+    let im = &mut f.scene.im;
+    // Focus the text view, then request menus.
+    im.feed(world, WindowEvent::left_down(120, 40));
+    im.feed(
+        world,
+        WindowEvent::MenuRequest {
+            pos: Point::new(0, 0),
+        },
+    );
+    let menus = im.offered_menus().to_vec();
+    let labels: Vec<&str> = menus.iter().map(|m| m.label.as_str()).collect();
+    // Frame's File card and the text view's Style card, together.
+    assert!(labels.contains(&"Quit"), "{labels:?}");
+    assert!(labels.contains(&"Bold"), "{labels:?}");
+    // Choosing a style item styles the text (dispatch leaf-first).
+    world.with_view(f.textview, |v, w| {
+        let tv = v.as_any_mut().downcast_mut::<TextView>().unwrap();
+        tv.select(w, 0, 4);
+    });
+    assert!(im.select_menu(world, "Bold"));
+    let doc = world.view_dyn(f.textview).unwrap().data_object().unwrap();
+    assert!(
+        world
+            .data::<atk_text::TextData>(doc)
+            .unwrap()
+            .style_value_at(0)
+            .bold
+    );
+}
+
+#[test]
+fn cursor_negotiation_walks_the_tree() {
+    let f = fig1();
+    let world = &f.scene.world;
+    let frame_view = world.view_dyn(f.frame).unwrap();
+    // Over the text area: the text view's I-beam wins.
+    assert_eq!(
+        frame_view.cursor_at(world, Point::new(120, 40)),
+        Some(CursorShape::IBeam)
+    );
+    // Over the scrollbar gutter: vertical drag.
+    assert_eq!(
+        frame_view.cursor_at(world, Point::new(5, 100)),
+        Some(CursorShape::VerticalDrag)
+    );
+}
+
+#[test]
+fn scrollbar_scrolls_the_text_without_knowing_its_type() {
+    let mut f = fig1();
+    let world = &mut f.scene.world;
+    // Grow the document so there is something to scroll.
+    let doc = world.view_dyn(f.textview).unwrap().data_object().unwrap();
+    let rec = {
+        let t = world.data_mut::<atk_text::TextData>(doc).unwrap();
+        let end = t.len();
+        t.insert(end, &"more lines\n".repeat(80))
+    };
+    world.notify(doc, rec);
+    f.scene.im.pump(world);
+    let sv = world.view_as::<ScrollView>(f.scroll).unwrap();
+    let thumb_before = sv.thumb_rect(world).unwrap();
+    // Click low in the scrollbar trough: page down.
+    f.scene.im.feed(world, WindowEvent::left_down(5, 300));
+    f.scene.im.feed(world, WindowEvent::left_up(5, 300));
+    let sv = world.view_as::<ScrollView>(f.scroll).unwrap();
+    let thumb_after = sv.thumb_rect(world).unwrap();
+    assert!(
+        thumb_after.y > thumb_before.y,
+        "thumb moved: {thumb_before} -> {thumb_after}"
+    );
+}
+
+#[test]
+fn scripted_session_runs_end_to_end() {
+    let mut f = fig1();
+    let script = EventScript::parse(
+        "mouse down 120 40\nmouse up 120 40\nkey C-e\ntype  appended\nkey C-a\nkey C-k\n",
+    )
+    .unwrap();
+    script.run(&mut f.scene.im, &mut f.scene.world);
+    assert!(f.scene.im.stats().events > 10);
+}
+
+// --- The global-physical baseline (what the toolkit replaced) ---------------
+
+#[test]
+fn global_dispatcher_cannot_do_the_frame_overlap() {
+    // Register the frame's children as screen rectangles with the frame's
+    // divider band on top — the only way a global model can approximate
+    // the overlap — and observe that the band now steals clicks that the
+    // tree-routed frame correctly passes to children *horizontally*
+    // outside it, because the flat model has no per-event judgment.
+    let mut world = World::new();
+    let _ = &mut world;
+    let mut g = GlobalDispatcher::new();
+    const UPPER: u32 = 1;
+    const LOWER: u32 = 2;
+    const BAND: u32 = 3;
+    g.register(UPPER, Rect::new(0, 14, 400, 100), 1);
+    g.register(LOWER, Rect::new(0, 115, 400, 100), 1);
+    g.register(BAND, Rect::new(0, 111, 400, 7), 2);
+    // In the band: fine, same as the frame.
+    assert_eq!(g.dispatch(Point::new(200, 113)), Some(BAND));
+    // But the *frame* decides per event (e.g. it could require the
+    // divider drag to start with a Down, passing Move events through);
+    // the global model gives every event kind to the band.
+    assert_eq!(g.dispatch(Point::new(200, 112)), Some(BAND));
+    // The real frame: movement in the band is consumed only as a cursor
+    // affordance, while clicks just outside go to children — verified in
+    // the frame's own tests; here we show the baseline has no such lever.
+    assert_eq!(g.dispatch(Point::new(200, 110)), Some(UPPER));
+}
+
+#[test]
+fn dispatch_costs_are_comparable_but_semantics_differ() {
+    // Sanity check both dispatchers handle the same click volume; the
+    // criterion bench (e1_view_tree) measures the actual latency curves.
+    let mut f = fig1();
+    let world = &mut f.scene.world;
+    let im = &mut f.scene.im;
+    let mut g = GlobalDispatcher::new();
+    g.register(1, Rect::new(0, 0, 420, 330), 0);
+    for i in 0..200 {
+        let pt = Point::new(20 + (i * 7) % 380, 20 + (i * 13) % 280);
+        im.dispatch(
+            world,
+            WindowEvent::Mouse {
+                action: atk_wm::MouseAction::Movement,
+                pos: pt,
+            },
+        );
+        g.dispatch(pt);
+    }
+    assert_eq!(g.dispatches(), 200);
+    assert!(im.stats().events >= 200);
+}

@@ -1,0 +1,237 @@
+//! Experiment E2 (paper §2): multiple views — in multiple windows — on
+//! one data object, and the auxiliary-data-object/observer machinery.
+
+use atk_apps::standard_world;
+use atk_core::{InteractionManager, ObserverRef, World};
+use atk_graphics::{Color, Rect, Size};
+use atk_table::{CellInput, ChartData, PieChartView, TableData, TableView};
+use atk_text::{TextData, TextView};
+use atk_wm::WindowEvent;
+use atk_wm::WindowSystem;
+
+// Re-export for convenience in assertions.
+use atk_wm::Window as _;
+
+fn two_window_setup() -> (
+    World,
+    atk_core::DataId,
+    InteractionManager,
+    InteractionManager,
+    atk_core::ViewId,
+    atk_core::ViewId,
+) {
+    let mut world = standard_world();
+    let doc = world.insert_data(Box::new(TextData::from_str("shared document text")));
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+
+    let mut make = |world: &mut World| {
+        let tv = world.new_view("textview").unwrap();
+        world.with_view(tv, |v, w| v.set_data_object(w, doc));
+        let win = ws.open_window("w", Size::new(300, 120));
+        let im = InteractionManager::new(world, win, tv);
+        (im, tv)
+    };
+    let (mut im1, tv1) = make(&mut world);
+    let (mut im2, tv2) = make(&mut world);
+    im1.pump(&mut world);
+    im2.pump(&mut world);
+    (world, doc, im1, im2, tv1, tv2)
+}
+
+#[test]
+fn edits_in_one_window_appear_in_the_other() {
+    let (mut world, doc, mut im1, mut im2, _tv1, tv2) = two_window_setup();
+    let before = im2.snapshot().unwrap();
+
+    // Type in window 1.
+    im1.feed(&mut world, WindowEvent::left_down(50, 10));
+    im1.feed(&mut world, WindowEvent::left_up(50, 10));
+    for c in "EDIT".chars() {
+        im1.feed(&mut world, WindowEvent::ch(c));
+    }
+    // Window 2's view was notified; settle its damage.
+    im2.pump(&mut world);
+    let after = im2.snapshot().unwrap();
+    assert_ne!(before, after, "window 2 must reflect window 1's edit");
+    assert!(world.data::<TextData>(doc).unwrap().text().contains("EDIT"));
+    // The second view posted incremental (not full) damage.
+    let stats = world.view_as::<TextView>(tv2).unwrap().stats;
+    assert!(stats.partial >= 1);
+}
+
+#[test]
+fn n_views_all_hear_every_change() {
+    let mut world = standard_world();
+    let doc = world.insert_data(Box::new(TextData::from_str("fan out")));
+    let views: Vec<_> = (0..16)
+        .map(|_| {
+            let v = world.new_view("textview").unwrap();
+            world.with_view(v, |view, w| view.set_data_object(w, doc));
+            world.set_view_bounds(v, Rect::new(0, 0, 200, 80));
+            v
+        })
+        .collect();
+    let _ = world.take_damage_region();
+    let rec = world.data_mut::<TextData>(doc).unwrap().insert(0, "x");
+    world.notify(doc, rec);
+    let delivered = world.flush_notifications();
+    assert_eq!(delivered, 16);
+    for v in views {
+        assert!(world.view_as::<TextView>(v).unwrap().stats.partial >= 1);
+    }
+}
+
+#[test]
+fn different_view_types_on_one_table() {
+    // "two different types of views displaying information contained in
+    // the one data object" — a table view and (via the chart data
+    // object) a pie chart.
+    let mut world = standard_world();
+    let table = world.insert_data(Box::new(TableData::new(1, 3)));
+    for c in 0..3 {
+        let rec = world.data_mut::<TableData>(table).unwrap().set_cell(
+            0,
+            c,
+            CellInput::Raw(format!("{}", c + 1)),
+        );
+        world.notify(table, rec);
+    }
+    // Settle the setup edits before the chart starts observing.
+    world.flush_notifications();
+    let chart = world.insert_data(Box::new(ChartData::new()));
+    world.with_data(chart, |d, w| {
+        d.as_any_mut()
+            .downcast_mut::<ChartData>()
+            .unwrap()
+            .bind(w, chart, table, (0, 0, 0, 2));
+    });
+    let tv = world.insert_view(Box::new(TableView::new()));
+    world.with_view(tv, |v, w| v.set_data_object(w, table));
+    world.set_view_bounds(tv, Rect::new(0, 0, 240, 80));
+    let pie = world.insert_view(Box::new(PieChartView::new()));
+    world.with_view(pie, |v, w| v.set_data_object(w, chart));
+    world.set_view_bounds(pie, Rect::new(0, 0, 100, 100));
+    world.flush_notifications();
+    let _ = world.take_damage_region();
+
+    // One edit; both view types react (table directly, pie via relay).
+    let rec =
+        world
+            .data_mut::<TableData>(table)
+            .unwrap()
+            .set_cell(0, 0, CellInput::Raw("9".into()));
+    world.notify(table, rec);
+    world.flush_notifications();
+    let region = world.take_damage_region();
+    assert!(!region.is_empty());
+    assert_eq!(world.data::<ChartData>(chart).unwrap().relays, 1);
+    assert_eq!(
+        world.data::<ChartData>(chart).unwrap().values(&world),
+        vec![9.0, 2.0, 3.0]
+    );
+}
+
+#[test]
+fn observer_chains_terminate() {
+    // chart observes table; a second chart observes the same table; both
+    // notify views; no infinite relay.
+    let mut world = standard_world();
+    let table = world.insert_data(Box::new(TableData::new(1, 1)));
+    let charts: Vec<_> = (0..3)
+        .map(|_| {
+            let c = world.insert_data(Box::new(ChartData::new()));
+            world.with_data(c, |d, w| {
+                d.as_any_mut()
+                    .downcast_mut::<ChartData>()
+                    .unwrap()
+                    .bind(w, c, table, (0, 0, 0, 0));
+            });
+            c
+        })
+        .collect();
+    let rec =
+        world
+            .data_mut::<TableData>(table)
+            .unwrap()
+            .set_cell(0, 0, CellInput::Raw("1".into()));
+    world.notify(table, rec);
+    let delivered = world.flush_notifications();
+    // 3 chart-data deliveries; their relays have no observers.
+    assert_eq!(delivered, 3);
+    for c in charts {
+        assert_eq!(world.data::<ChartData>(c).unwrap().relays, 1);
+    }
+    assert!(!world.has_pending_notifications());
+}
+
+#[test]
+fn dead_observers_are_skipped_gracefully() {
+    let mut world = standard_world();
+    let doc = world.insert_data(Box::new(TextData::from_str("x")));
+    let v = world.new_view("textview").unwrap();
+    world.with_view(v, |view, w| view.set_data_object(w, doc));
+    world.remove_view_tree(v);
+    // The observer entry is stale; notification must not panic.
+    let rec = world.data_mut::<TextData>(doc).unwrap().insert(0, "y");
+    world.notify(doc, rec);
+    world.flush_notifications();
+    assert!(world.observers_of(doc).contains(&ObserverRef::View(v)));
+    let _ = Color::BLACK;
+}
+
+#[test]
+fn window_titles_stay_independent() {
+    // Sanity: the two interaction managers are really two windows.
+    let (_world, _doc, mut im1, mut im2, ..) = two_window_setup();
+    im1.window_mut().set_title("left");
+    im2.window_mut().set_title("right");
+    assert_eq!(im1.window_mut().title(), "left");
+    assert_eq!(im2.window_mut().title(), "right");
+}
+
+#[test]
+fn windows_on_two_different_window_systems_at_once() {
+    // §8's closing aspiration: "it will be possible to actually open
+    // windows on two different window systems at the same time." One
+    // world, one document — one window on the simulated X server, one on
+    // the simulated Andrew window manager, edits visible in both.
+    let mut world = standard_world();
+    let doc = world.insert_data(Box::new(TextData::from_str("cross-server document")));
+
+    let mut x11 = atk_wm::open_window_system(Some("x11sim")).unwrap();
+    let mut awm = atk_wm::open_window_system(Some("awmsim")).unwrap();
+
+    let tv_x = world.new_view("textview").unwrap();
+    world.with_view(tv_x, |v, w| v.set_data_object(w, doc));
+    let mut im_x = InteractionManager::new(
+        &mut world,
+        x11.open_window("on x11", Size::new(300, 120)),
+        tv_x,
+    );
+    let tv_a = world.new_view("textview").unwrap();
+    world.with_view(tv_a, |v, w| v.set_data_object(w, doc));
+    let mut im_a = InteractionManager::new(
+        &mut world,
+        awm.open_window("on awm", Size::new(300, 120)),
+        tv_a,
+    );
+    im_x.pump(&mut world);
+    im_a.pump(&mut world);
+    let before_a = im_a.snapshot().unwrap();
+
+    // Type into the X window.
+    im_x.feed(&mut world, WindowEvent::left_down(50, 10));
+    for c in "BOTH".chars() {
+        im_x.feed(&mut world, WindowEvent::ch(c));
+    }
+    im_a.pump(&mut world);
+
+    // The Andrew-wm window changed too, and both show identical pixels.
+    let after_a = im_a.snapshot().unwrap();
+    assert_ne!(before_a, after_a, "edit must reach the other window system");
+    assert_eq!(
+        im_x.snapshot().unwrap(),
+        after_a,
+        "same document, same pixels, different servers"
+    );
+}

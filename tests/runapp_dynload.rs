@@ -1,0 +1,146 @@
+//! Experiment E4 (paper §6–7): dynamic loading and `runapp` code sharing.
+
+use atk_apps::{register_app_modules, register_components, standard_apps, standard_world};
+use atk_class::{CostModel, LinkPolicy, Loader};
+use atk_core::{Catalog, World};
+use atk_wm::WindowSystem as _;
+
+/// Builds a catalog with a given policy and the whole component/app
+/// inventory.
+fn world_with_policy(policy: LinkPolicy) -> World {
+    let catalog = Catalog::new(policy, CostModel::vice_afs());
+    let mut world = World::with_catalog(catalog);
+    register_components(&mut world.catalog);
+    register_app_modules(&mut world.catalog);
+    world
+}
+
+#[test]
+fn dynamic_worlds_start_with_nothing_resident() {
+    let world = world_with_policy(LinkPolicy::Dynamic);
+    assert_eq!(world.catalog.loader.stats().resident_modules, 0);
+    assert_eq!(world.catalog.loader.stats().resident_bytes, 0);
+    assert!(world.catalog.loader.inventory_len() >= 12);
+}
+
+#[test]
+fn static_worlds_pay_everything_at_startup() {
+    let world = world_with_policy(LinkPolicy::Static);
+    let stats = world.catalog.loader.stats();
+    assert_eq!(stats.resident_bytes, world.catalog.loader.inventory_bytes());
+    assert!(stats.total_simulated_ns > 0);
+}
+
+#[test]
+fn components_load_on_first_instantiation_only() {
+    let mut world = world_with_policy(LinkPolicy::Dynamic);
+    let before = world.catalog.loader.stats().events.len();
+    let _ = world.new_data("table").unwrap();
+    let mid = world.catalog.loader.stats().events.len();
+    assert!(mid > before, "first use loads the module (and deps)");
+    let _ = world.new_data("table").unwrap();
+    assert_eq!(
+        world.catalog.loader.stats().events.len(),
+        mid,
+        "second use is free"
+    );
+}
+
+#[test]
+fn opening_a_document_loads_exactly_what_it_mentions() {
+    // A text-only document must not load the table/drawing modules.
+    let mut world = world_with_policy(LinkPolicy::Dynamic);
+    let src = "\\begindata{text,1}\nstyles 1\nstyle andy 12 --- 0\nruns 1\nrun 5 0\ntext 1\nhello\n\\enddata{text,1}\n";
+    atk_core::read_document(&mut world, src).unwrap();
+    assert!(world.catalog.loader.is_resident("text"));
+    assert!(!world.catalog.loader.is_resident("table"));
+    assert!(!world.catalog.loader.is_resident("drawing"));
+    assert!(!world.catalog.loader.is_resident("raster"));
+}
+
+#[test]
+fn runapp_shares_toolkit_code_across_applications() {
+    // The paper's claim: under runapp, multiple applications share the
+    // resident toolkit; the marginal cost of the second app is its own
+    // module, not another copy of the toolkit.
+    let mut world = world_with_policy(LinkPolicy::Dynamic);
+    let registry = standard_apps();
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+
+    registry
+        .launch("ez", &mut world, &mut ws, &[])
+        .expect("ez runs");
+    let after_ez = world.catalog.loader.stats().resident_bytes;
+
+    registry
+        .launch("help", &mut world, &mut ws, &[])
+        .expect("help runs");
+    let after_help = world.catalog.loader.stats().resident_bytes;
+
+    let help_module = world.catalog.loader.module("help").unwrap().code_bytes;
+    let marginal = after_help - after_ez;
+    assert!(
+        marginal <= help_module + 40_000,
+        "second app cost {marginal} bytes; its own module is {help_module}"
+    );
+
+    // Against per-application static images: each app would carry the
+    // full inventory.
+    let per_app_static = world.catalog.loader.inventory_bytes();
+    assert!(
+        after_help < 2 * per_app_static,
+        "shared residency {after_help} must beat two static images {}",
+        2 * per_app_static
+    );
+}
+
+#[test]
+fn first_use_latency_is_visible_then_gone() {
+    // "Except for a slight delay to load the code, the user of the
+    // editor is unaware…" — the delay exists once.
+    let mut world = world_with_policy(LinkPolicy::Dynamic);
+    let t1 = world
+        .catalog
+        .loader
+        .require_class("animationv", "test")
+        .unwrap();
+    assert!(t1 > 0, "first use charges simulated latency");
+    let t2 = world
+        .catalog
+        .loader
+        .require_class("animationv", "test")
+        .unwrap();
+    assert_eq!(t2, 0, "warm use is free");
+}
+
+#[test]
+fn missing_modules_degrade_to_unknown_objects_not_errors() {
+    let mut world = standard_world();
+    let src = "\\begindata{holography,9}\nwavefront data\n\\enddata{holography,9}\n";
+    let id = atk_core::read_document(&mut world, src).unwrap();
+    let u = world.data::<atk_core::UnknownObject>(id).unwrap();
+    assert_eq!(u.original_class, "holography");
+}
+
+#[test]
+fn loader_events_record_who_asked() {
+    let mut loader = Loader::new(LinkPolicy::Dynamic, CostModel::free());
+    loader
+        .add_module(atk_class::ModuleSpec::new("m", 10, &["m"], &[]))
+        .unwrap();
+    loader.require("m", "ez").unwrap();
+    assert_eq!(loader.stats().events[0].requested_by, "ez");
+}
+
+#[test]
+fn every_application_launches_under_runapp() {
+    let registry = standard_apps();
+    for app in registry.names() {
+        let mut world = standard_world();
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let out = registry
+            .launch(app, &mut world, &mut ws, &[])
+            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        assert!(!out.report.is_empty(), "{app} reported nothing");
+    }
+}
