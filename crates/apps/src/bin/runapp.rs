@@ -5,6 +5,7 @@
 //! runapp <app> [args…]            # ez, messages, help, typescript, console, preview
 //! runapp --list
 //! runapp --loader-stats <app>     # also print the dynamic loader's accounting
+//! runapp --trace <file> <app>     # record a Chrome trace of the update pipeline
 //! ```
 //!
 //! The window system is chosen by `ATK_WINDOW_SYSTEM` (x11sim | awmsim),
@@ -16,9 +17,28 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut args = argv.as_slice();
     let mut show_stats = false;
-    if args.first().map(String::as_str) == Some("--loader-stats") {
-        show_stats = true;
-        args = &args[1..];
+    let mut trace_file: Option<String> = None;
+    loop {
+        match args.first().map(String::as_str) {
+            Some("--loader-stats") => {
+                show_stats = true;
+                args = &args[1..];
+            }
+            Some("--trace") => {
+                let Some(path) = args.get(1) else {
+                    eprintln!("runapp: --trace needs a file argument");
+                    std::process::exit(2);
+                };
+                trace_file = Some(path.clone());
+                args = &args[2..];
+            }
+            _ => break,
+        }
+    }
+    if trace_file.is_some() {
+        // The class loader and every world report into the global
+        // collector unless told otherwise; one switch arms them all.
+        atk_trace::global().enable();
     }
 
     let registry = standard_apps();
@@ -62,6 +82,24 @@ fn main() {
                         "  loaded {} ({} bytes) for {}",
                         ev.module, ev.code_bytes, ev.requested_by
                     );
+                }
+            }
+            if let Some(path) = &trace_file {
+                let snapshot = world.collector().snapshot();
+                let json = atk_trace::chrome_trace_json(&snapshot);
+                match std::fs::write(path, json) {
+                    Ok(()) => {
+                        eprintln!(
+                            "trace: {} spans, {} counters -> {path}",
+                            snapshot.spans.len(),
+                            snapshot.counters.len()
+                        );
+                        eprint!("{}", atk_trace::text_summary(&snapshot));
+                    }
+                    Err(e) => {
+                        eprintln!("runapp: cannot write trace {path}: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }

@@ -126,6 +126,7 @@ pub struct ConsoleView {
     latest: Option<Stats>,
     /// Samples taken (instrumentation).
     pub samples: u64,
+    show_pipeline: bool,
 }
 
 impl ConsoleView {
@@ -136,7 +137,13 @@ impl ConsoleView {
             source,
             latest: None,
             samples: 0,
+            show_pipeline: false,
         }
+    }
+
+    /// True when the pipeline-stats panel is toggled on.
+    pub fn shows_pipeline_stats(&self) -> bool {
+        self.show_pipeline
     }
 
     /// Starts the refresh timer and takes the first sample.
@@ -201,6 +208,23 @@ impl View for ConsoleView {
         meter(g, 48, "CPU", stats.cpu_load);
         meter(g, 64, "disk", stats.disk_used);
         meter(g, 80, "mem", stats.mem_used);
+
+        if self.show_pipeline {
+            // Live update-pipeline counters from the trace collector —
+            // the console watching the toolkit that draws it.
+            let snap = world.collector().snapshot();
+            g.set_font(FontDesc::new("andy", Default::default(), 10));
+            g.set_foreground(Color::BLACK);
+            g.draw_string(
+                Point::new(8, 96),
+                &format!(
+                    "pipe: {} notify  {} damage  {} updates",
+                    snap.counter("world.notify"),
+                    snap.counter("world.post_damage"),
+                    snap.counter("im.updates"),
+                ),
+            );
+        }
     }
 
     fn timer(&mut self, world: &mut World, token: u32) {
@@ -211,15 +235,29 @@ impl View for ConsoleView {
     }
 
     fn menus(&self, _world: &World) -> Vec<MenuItem> {
-        vec![MenuItem::new("Console", "Refresh", "console-refresh")]
+        vec![
+            MenuItem::new("Console", "Refresh", "console-refresh"),
+            MenuItem::new("Console", "Pipeline stats", "console-stats"),
+        ]
     }
 
     fn perform(&mut self, world: &mut World, command: &str) -> bool {
-        if command == "console-refresh" {
-            self.resample(world);
-            return true;
+        match command {
+            "console-refresh" => {
+                self.resample(world);
+                true
+            }
+            "console-stats" => {
+                self.show_pipeline = !self.show_pipeline;
+                if self.show_pipeline && !world.collector().is_enabled() {
+                    // Arm the collector so there is something to show.
+                    world.collector().enable();
+                }
+                world.post_damage_full(self.base.id);
+                true
+            }
+            _ => false,
         }
-        false
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -302,6 +340,36 @@ impl Application for ConsoleApp {
 mod tests {
     use super::*;
     use crate::standard_world;
+    use std::sync::Arc;
+
+    #[test]
+    fn pipeline_stats_toggle_arms_the_collector() {
+        let mut world = standard_world();
+        // Private collector: don't flip the process-global one in tests.
+        world.set_collector(Arc::new(atk_trace::Collector::new()));
+        let mut ws = atk_wm::x11sim::X11Sim::new();
+        let console = world.insert_view(Box::new(ConsoleView::new(Box::new(SyntheticStatSource))));
+        let window = ws.open_window("console", Size::new(220, 120));
+        let mut im = InteractionManager::new(&mut world, window, console);
+        assert!(!world.collector().is_enabled());
+        assert!(im.dispatch_command(&mut world, "console-stats"));
+        assert!(world.collector().is_enabled());
+        assert!(world
+            .view_as::<ConsoleView>(console)
+            .unwrap()
+            .shows_pipeline_stats());
+        im.settle(&mut world);
+        // The settle itself was traced by the now-armed collector.
+        let snap = world.collector().snapshot();
+        assert!(snap.counter("world.post_damage") >= 1);
+        // Toggling again hides the panel but leaves the collector armed.
+        assert!(im.dispatch_command(&mut world, "console-stats"));
+        assert!(!world
+            .view_as::<ConsoleView>(console)
+            .unwrap()
+            .shows_pipeline_stats());
+        assert!(world.collector().is_enabled());
+    }
 
     #[test]
     fn synthetic_source_is_deterministic() {

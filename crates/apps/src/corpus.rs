@@ -127,10 +127,10 @@ pub fn compound_document(world: &mut World, seed: u64, words: usize, mix: Mix) -
     embed_positions.reverse(); // Insert from the back so positions hold.
 
     let mut kinds: Vec<&str> = Vec::new();
-    kinds.extend(std::iter::repeat("table").take(mix.tables));
-    kinds.extend(std::iter::repeat("drawing").take(mix.drawings));
-    kinds.extend(std::iter::repeat("eq").take(mix.equations));
-    kinds.extend(std::iter::repeat("raster").take(mix.rasters));
+    kinds.extend(std::iter::repeat_n("table", mix.tables));
+    kinds.extend(std::iter::repeat_n("drawing", mix.drawings));
+    kinds.extend(std::iter::repeat_n("eq", mix.equations));
+    kinds.extend(std::iter::repeat_n("raster", mix.rasters));
 
     for (pos, kind) in embed_positions.into_iter().zip(kinds) {
         match kind {

@@ -196,11 +196,10 @@ impl MessageStore {
             let (cx, cy) = (24.0, 18.0);
             let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
             let face = d < 12.0 && d > 10.0;
-            let eye = ((x as i32 - 19).pow(2) + (y as i32 - 15).pow(2)) < 4
-                || ((x as i32 - 29).pow(2) + (y as i32 - 15).pow(2)) < 4;
-            let ear = (y as i32) < 10
-                && ((x as i32 - 14).abs() + (y as i32 - 10).abs() < 7
-                    || (x as i32 - 34).abs() + (y as i32 - 10).abs() < 7);
+            let eye =
+                ((x - 19).pow(2) + (y - 15).pow(2)) < 4 || ((x - 29).pow(2) + (y - 15).pow(2)) < 4;
+            let ear = y < 10
+                && ((x - 14).abs() + (y - 10).abs() < 7 || (x - 34).abs() + (y - 10).abs() < 7);
             face || eye || ear
         });
         let cat_id = world.insert_data(Box::new(cat));

@@ -7,7 +7,12 @@
 //!   design), full-invalidate (every change damages the whole view), and
 //!   immediate (redraw synchronously on every edit, no batching) — each
 //!   with 1, 8, and 32 attached views;
-//! * `batching/` — N edits then one settle vs. N edits each settled.
+//! * `batching/` — N edits then one settle vs. N edits each settled;
+//! * `instrumentation/` — the same edit+settle with the atk-trace
+//!   collector disabled (default: one atomic load per site) vs. enabled
+//!   (counters + spans recorded). The acceptance bar is enabled within
+//!   5% of disabled; the enabled run's collector summary is printed
+//!   alongside the criterion output.
 //!
 //! Expected shape: incremental < full-invalidate < immediate, with the
 //! gap widening in the view count — the reason the paper accepts the
@@ -15,6 +20,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
+
+use atk_trace::{text_summary, Collector};
 
 use atk_apps::standard_world;
 use atk_core::{ChangeRec, InteractionManager, World};
@@ -148,6 +156,42 @@ fn bench_batching(c: &mut Criterion) {
     g.finish();
 }
 
+/// One incremental edit + settle — the workload the instrumentation
+/// ablation holds fixed while varying the collector state.
+fn edit_and_settle(r: &mut Rig) {
+    let rec = r
+        .world
+        .data_mut::<TextData>(r.doc)
+        .unwrap()
+        .insert(black_box(400), "x");
+    r.world.notify(r.doc, rec);
+    settle_all(r);
+}
+
+/// Collector-overhead ablation: identical workload, collector off/on.
+fn bench_instrumentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8/instrumentation");
+    g.sample_size(20);
+    g.bench_function("collector_off", |b| {
+        let mut r = rig(8);
+        // A fresh, disabled collector (not the shared global), so the
+        // baseline measures the pure fast path.
+        r.world.set_collector(Arc::new(Collector::new()));
+        b.iter(|| edit_and_settle(&mut r))
+    });
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    g.bench_function("collector_on", |b| {
+        let mut r = rig(8);
+        r.world.set_collector(Arc::clone(&collector));
+        b.iter(|| edit_and_settle(&mut r))
+    });
+    g.finish();
+    println!("collector summary (enabled run):");
+    print!("{}", text_summary(&collector.snapshot()));
+    println!();
+}
+
 /// Damage-area side channel: how many pixels each policy touches.
 fn report_damage_areas() {
     for views in [1usize, 8] {
@@ -183,6 +227,7 @@ fn bench_all(c: &mut Criterion) {
     report_damage_areas();
     bench_policy(c);
     bench_batching(c);
+    bench_instrumentation(c);
 }
 
 criterion_group!(benches, bench_all);

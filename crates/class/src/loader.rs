@@ -277,6 +277,9 @@ impl Loader {
     /// Returns the simulated nanoseconds charged by this call (0 if
     /// everything was already resident).
     pub fn require(&mut self, name: &str, requested_by: &str) -> Result<u64, LoadError> {
+        let collector = atk_trace::global();
+        let _span = collector.span("class.require");
+        collector.count("class.requires", 1);
         let id = *self
             .by_name
             .get(name)
@@ -290,6 +293,9 @@ impl Loader {
     /// the entry point the datastream reader uses when a document mentions
     /// a component (`\begindata{music,…}`).
     pub fn require_class(&mut self, class: &str, requested_by: &str) -> Result<u64, LoadError> {
+        let collector = atk_trace::global();
+        let _span = collector.span("class.require");
+        collector.count("class.requires", 1);
         let id = *self
             .class_to_module
             .get(class)
@@ -332,6 +338,10 @@ impl Loader {
     fn load_one(&mut self, id: ModuleId, requested_by: &str) {
         let spec = &self.modules[id.index()];
         let ns = self.cost.load_ns(spec.code_bytes);
+        let collector = atk_trace::global();
+        collector.count("class.modules_loaded", 1);
+        collector.observe("class.module_bytes", spec.code_bytes);
+        collector.observe("class.load_ns", ns);
         self.stats.events.push(LoadEvent {
             module: spec.name.clone(),
             requested_by: requested_by.to_string(),

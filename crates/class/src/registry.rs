@@ -182,6 +182,7 @@ impl ClassRegistry {
 
     /// Looks up a class id by name.
     pub fn id_of(&self, name: &str) -> Result<ClassId, ClassError> {
+        atk_trace::global().count("class.lookups", 1);
         self.by_name
             .get(name)
             .copied()
@@ -220,6 +221,7 @@ impl ClassRegistry {
     /// Class procedures are *not* inherited (paper §6: "they may not be
     /// overridden"), so they only match on the class itself.
     pub fn resolve_method(&self, class: ClassId, method: &str) -> Option<(ClassId, &MethodInfo)> {
+        atk_trace::global().count("class.method_resolutions", 1);
         for (depth, cid) in self.ancestry(class).enumerate() {
             let info = self.info(cid)?;
             if let Some(m) = info.methods.iter().find(|m| m.name == method) {

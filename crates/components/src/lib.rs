@@ -19,6 +19,7 @@ pub mod frame;
 pub mod label;
 pub mod list;
 pub mod scroll;
+pub mod stats;
 
 pub use boxes::{BoxView, Orientation};
 pub use button::ButtonView;
@@ -26,6 +27,7 @@ pub use frame::FrameView;
 pub use label::LabelView;
 pub use list::ListView;
 pub use scroll::ScrollView;
+pub use stats::{StatsData, StatsView};
 
 use atk_class::ModuleSpec;
 use atk_core::Catalog;
@@ -35,7 +37,9 @@ pub fn register(catalog: &mut Catalog) {
     let _ = catalog.add_module(ModuleSpec::new(
         "components",
         38_000,
-        &["frame", "scroll", "button", "label", "list", "vbox", "hbox"],
+        &[
+            "frame", "scroll", "button", "label", "list", "vbox", "hbox", "stats", "statsv",
+        ],
         &[],
     ));
     catalog.register_view("frame", || Box::new(FrameView::new()));
@@ -45,4 +49,6 @@ pub fn register(catalog: &mut Catalog) {
     catalog.register_view("list", || Box::new(ListView::new("select")));
     catalog.register_view("vbox", || Box::new(BoxView::new(Orientation::Vertical)));
     catalog.register_view("hbox", || Box::new(BoxView::new(Orientation::Horizontal)));
+    catalog.register_data("stats", || Box::new(StatsData::new()));
+    catalog.register_view("statsv", || Box::new(StatsView::new()));
 }

@@ -281,6 +281,11 @@ impl<'a> DatastreamWriter<'a> {
         if !self.written.insert(id) {
             return Ok(sid);
         }
+        let _span = world.collector().span("datastream.write_object");
+        world.collector().count("datastream.objects_written", 1);
+        world
+            .collector()
+            .observe("datastream.write_depth", self.depth as u64);
         let obj = world
             .data_dyn(id)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "dangling data id"))?;
@@ -345,6 +350,9 @@ pub fn write_document(world: &World, root: DataId, out: &mut dyn Write) -> io::R
 pub fn document_to_string(world: &World, root: DataId) -> String {
     let mut buf = Vec::new();
     write_document(world, root, &mut buf).expect("writing to a Vec cannot fail");
+    world
+        .collector()
+        .observe("datastream.bytes_written", buf.len() as u64);
     String::from_utf8(buf).expect("datastream output is always ASCII")
 }
 
@@ -474,6 +482,11 @@ impl<'a> DatastreamReader<'a> {
         class: &str,
         sid: u32,
     ) -> Result<DataId, DsError> {
+        let _span = world.collector().span("datastream.read_object");
+        world.collector().count("datastream.objects_read", 1);
+        world
+            .collector()
+            .observe("datastream.read_depth", self.open.len() as u64);
         let mut obj = match world.create_data(class) {
             Ok(obj) => obj,
             Err(_) => Box::new(crate::data::UnknownObject::new(class)),
@@ -516,6 +529,10 @@ impl<'a> DatastreamReader<'a> {
 
 /// Reads a complete document, returning the root data object.
 pub fn read_document(world: &mut World, src: &str) -> Result<DataId, DsError> {
+    let _span = world.collector().span("datastream.load");
+    world
+        .collector()
+        .observe("datastream.bytes_read", src.len() as u64);
     let mut r = DatastreamReader::new(src);
     let id = r.read_object(world)?;
     Ok(id)

@@ -35,12 +35,21 @@ use crate::world::World;
 pub struct ImStats {
     /// Window events dispatched.
     pub events: u64,
-    /// Update passes down the tree.
+    /// Damage-driven update passes down the tree ([`InteractionManager::draw_region`]).
     pub updates: u64,
+    /// Forced whole-window repaints ([`InteractionManager::draw`]).
+    pub full_redraws: u64,
     /// Notifications flushed.
     pub notifications: u64,
     /// Keys consumed by ancestor filters (parental authority in action).
     pub keys_filtered: u64,
+}
+
+impl ImStats {
+    /// Update passes of either kind.
+    pub fn total_draws(&self) -> u64 {
+        self.updates + self.full_redraws
+    }
 }
 
 /// The top of the view tree. See the module docs.
@@ -126,6 +135,8 @@ impl InteractionManager {
     /// Routes one event.
     pub fn dispatch(&mut self, world: &mut World, ev: WindowEvent) {
         self.stats.events += 1;
+        world.collector().count("im.events", 1);
+        let _span = world.collector().span("im.dispatch");
         match ev {
             WindowEvent::Mouse { action, pos } => {
                 world.with_view(self.root, |v, w| v.mouse(w, action, pos));
@@ -179,6 +190,7 @@ impl InteractionManager {
                 Some(k) => key = k,
                 None => {
                     self.stats.keys_filtered += 1;
+                    world.collector().count("im.keys_filtered", 1);
                     return;
                 }
             }
@@ -274,6 +286,7 @@ impl InteractionManager {
     /// Flushes notifications and converts accumulated damage into a
     /// single update pass.
     pub fn settle(&mut self, world: &mut World) {
+        let _span = world.collector().span("im.settle");
         // Deferred commands first (child -> ancestor messages), then
         // notifications; both may post damage. Loop until quiescent.
         for _ in 0..8 {
@@ -296,6 +309,8 @@ impl InteractionManager {
     /// An update pass clipped to a damage region (window coordinates).
     pub fn draw_region(&mut self, world: &mut World, region: &Region) {
         self.stats.updates += 1;
+        world.collector().count("im.updates", 1);
+        let _span = world.collector().span("im.update_pass");
         let g = self.window.graphic();
         g.gsave();
         g.clip_region(region);
@@ -310,7 +325,9 @@ impl InteractionManager {
 
     /// One update pass down the tree.
     pub fn draw(&mut self, world: &mut World, update: Update) {
-        self.stats.updates += 1;
+        self.stats.full_redraws += 1;
+        world.collector().count("im.full_redraws", 1);
+        let _span = world.collector().span("im.update_pass");
         let g = self.window.graphic();
         let bounds = world.view_bounds(self.root);
         g.gsave();

@@ -22,8 +22,10 @@
 //! * the component [`Catalog`].
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use atk_graphics::{Point, Rect, Region};
+use atk_trace::Collector;
 use atk_wm::{Graphic, MouseAction};
 
 use crate::arena::Arena;
@@ -64,6 +66,9 @@ pub struct World {
     clock_ms: u64,
     timers: Vec<Timer>,
     notifications_delivered: u64,
+    /// Metrics/span sink for the update pipeline; defaults to the
+    /// process-wide collector, which starts disabled (near-zero cost).
+    collector: Arc<Collector>,
 }
 
 impl World {
@@ -85,7 +90,21 @@ impl World {
             clock_ms: 0,
             timers: Vec::new(),
             notifications_delivered: 0,
+            collector: atk_trace::global(),
         }
+    }
+
+    // --- Instrumentation ----------------------------------------------------
+
+    /// The collector this world reports into.
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Replaces the collector (tests inject a private, enabled one so
+    /// runs stay isolated and deterministic).
+    pub fn set_collector(&mut self, collector: Arc<Collector>) {
+        self.collector = collector;
     }
 
     // --- Data objects -----------------------------------------------------
@@ -204,6 +223,7 @@ impl World {
         if let Some(slot) = self.data.get_mut(data) {
             slot.version += 1;
             self.pending.push_back((data, change));
+            self.collector.count("world.notify", 1);
         }
     }
 
@@ -218,6 +238,7 @@ impl World {
     ///
     /// A safety cap breaks pathological notification cycles.
     pub fn flush_notifications(&mut self) -> usize {
+        let _span = self.collector.span("world.flush_notifications");
         let mut delivered = 0usize;
         let cap = 100_000;
         while let Some((data, change)) = self.pending.pop_front() {
@@ -244,6 +265,8 @@ impl World {
             }
         }
         self.notifications_delivered += delivered as u64;
+        self.collector
+            .count("world.notifications_delivered", delivered as u64);
         delivered
     }
 
@@ -404,6 +427,7 @@ impl World {
     pub fn post_damage(&mut self, view: ViewId, local: Rect) {
         if !local.is_empty() {
             self.damage.push((view, local));
+            self.collector.count("world.post_damage", 1);
         }
     }
 
@@ -420,6 +444,7 @@ impl World {
 
     /// Drains the damage list into a window-coordinate region.
     pub fn take_damage_region(&mut self) -> Region {
+        let _span = self.collector.span("world.damage_to_window");
         let mut region = Region::new();
         for (view, local) in std::mem::take(&mut self.damage) {
             region.add_rect(self.clip_damage_to_window(view, local));
@@ -432,6 +457,7 @@ impl World {
     /// settles its own window this way — several windows can share one
     /// world (paper §2's multi-window editing).
     pub fn take_damage_region_for(&mut self, root: ViewId) -> Region {
+        let _span = self.collector.span("world.damage_to_window");
         let mut region = Region::new();
         let mut keep = Vec::new();
         for (view, local) in std::mem::take(&mut self.damage) {
@@ -580,6 +606,9 @@ impl World {
     /// order.
     pub fn advance_clock(&mut self, ms: u64) -> Vec<(ViewId, u32)> {
         self.clock_ms += ms;
+        // Keep an injected manual trace clock in lock-step with the
+        // virtual clock, so span timestamps line up with timer time.
+        self.collector.advance_clock_us(ms.saturating_mul(1000));
         let now = self.clock_ms;
         let mut due: Vec<(u64, ViewId, u32)> = Vec::new();
         self.timers.retain(|t| {
@@ -591,6 +620,9 @@ impl World {
             }
         });
         due.sort_by_key(|(d, ..)| *d);
+        if !due.is_empty() {
+            self.collector.count("world.timers_fired", due.len() as u64);
+        }
         due.into_iter().map(|(_, v, t)| (v, t)).collect()
     }
 }

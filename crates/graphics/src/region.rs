@@ -203,7 +203,7 @@ fn combine_intervals(a: &[(i32, i32)], b: &[(i32, i32)], op: Op) -> Vec<(i32, i3
 
 /// If the previous band in `out` is vertically adjacent to `band` and has
 /// the same x-structure, grow it downward instead of appending.
-fn coalesce_with_previous_band(out: &mut Vec<Rect>, band: &mut Vec<Rect>) {
+fn coalesce_with_previous_band(out: &mut [Rect], band: &mut Vec<Rect>) {
     if band.is_empty() || out.is_empty() {
         return;
     }

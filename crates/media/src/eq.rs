@@ -492,7 +492,7 @@ impl EqData {
 
     /// The parsed node (or the parse error).
     pub fn ast(&self) -> Result<&EqNode, &EqError> {
-        self.ast.as_ref().map_err(|e| e)
+        self.ast.as_ref()
     }
 
     /// Replaces the source, reparsing. Returns the change record.

@@ -36,6 +36,7 @@ impl GapBuffer {
     }
 
     /// A buffer initialized from text.
+    #[allow(clippy::should_implement_trait)] // infallible, unlike FromStr
     pub fn from_str(s: &str) -> GapBuffer {
         let mut b = GapBuffer::with_capacity(s.chars().count() + 64);
         b.insert(0, s);
@@ -138,11 +139,6 @@ impl GapBuffer {
         (start..end).filter_map(|i| self.char_at(i)).collect()
     }
 
-    /// The whole contents.
-    pub fn to_string(&self) -> String {
-        self.slice(0, self.len())
-    }
-
     /// Iterates characters from `pos` to the end.
     pub fn chars_from(&self, pos: usize) -> impl Iterator<Item = char> + '_ {
         (pos..self.len()).filter_map(move |i| self.char_at(i))
@@ -176,6 +172,13 @@ impl GapBuffer {
 impl Default for GapBuffer {
     fn default() -> Self {
         GapBuffer::new()
+    }
+}
+
+/// The whole contents (also provides `.to_string()`).
+impl std::fmt::Display for GapBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.slice(0, self.len()))
     }
 }
 

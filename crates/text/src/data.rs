@@ -53,6 +53,7 @@ impl TextData {
     }
 
     /// A text initialized with body-styled content.
+    #[allow(clippy::should_implement_trait)] // infallible, unlike FromStr
     pub fn from_str(s: &str) -> TextData {
         let mut t = TextData::new();
         t.insert(0, s);

@@ -1,0 +1,96 @@
+//! Time sources for the collector.
+//!
+//! Spans need timestamps, but the toolkit's tests run on the `World`
+//! virtual clock and must be deterministic. The collector therefore
+//! reads time through [`Clock`], which is either anchored wall time
+//! (microseconds since collector creation) or a manual counter that the
+//! embedder advances in lock-step with the virtual clock. The manual
+//! clock auto-steps on every read so that even back-to-back span
+//! open/close pairs get non-zero, strictly increasing durations.
+
+use std::time::Instant;
+
+/// A monotonic microsecond time source.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real elapsed time since the anchor.
+    Wall {
+        /// Anchor instant; readings are microseconds since it.
+        origin: Instant,
+    },
+    /// Deterministic counter advanced by the embedder.
+    Manual {
+        /// Current reading in microseconds.
+        now_us: u64,
+        /// Auto-increment applied after every read (keeps durations
+        /// non-zero without explicit advances).
+        step_us: u64,
+    },
+}
+
+impl Clock {
+    /// Wall clock anchored at "now".
+    pub fn wall() -> Clock {
+        Clock::Wall {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Manual clock starting at `start_us`, auto-stepping by `step_us`
+    /// per reading.
+    pub fn manual(start_us: u64, step_us: u64) -> Clock {
+        Clock::Manual {
+            now_us: start_us,
+            step_us,
+        }
+    }
+
+    /// Current reading in microseconds. Manual clocks auto-step.
+    pub fn now_us(&mut self) -> u64 {
+        match self {
+            Clock::Wall { origin } => origin.elapsed().as_micros() as u64,
+            Clock::Manual { now_us, step_us } => {
+                let t = *now_us;
+                *now_us = now_us.saturating_add(*step_us);
+                t
+            }
+        }
+    }
+
+    /// Advances a manual clock by `delta_us`; no-op on a wall clock.
+    pub fn advance_us(&mut self, delta_us: u64) {
+        if let Clock::Manual { now_us, .. } = self {
+            *now_us = now_us.saturating_add(delta_us);
+        }
+    }
+
+    /// True for [`Clock::Manual`].
+    pub fn is_manual(&self) -> bool {
+        matches!(self, Clock::Manual { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Clock;
+
+    #[test]
+    fn manual_clock_auto_steps() {
+        let mut c = Clock::manual(100, 3);
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.now_us(), 103);
+        c.advance_us(1000);
+        assert_eq!(c.now_us(), 1106);
+        assert!(c.is_manual());
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let mut c = Clock::wall();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+        c.advance_us(1_000_000); // no-op
+        assert!(c.now_us() < 1_000_000 + a + 1_000_000);
+    }
+}

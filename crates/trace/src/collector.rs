@@ -1,0 +1,426 @@
+//! The metric and span collector.
+//!
+//! One [`Collector`] instance gathers everything the toolkit reports
+//! about an update cycle: named counters and gauges, log2 histograms,
+//! and a fixed-capacity ring of completed [`SpanRecord`]s. The
+//! collector starts *disabled*; every recording entry point checks a
+//! single relaxed atomic first, so an idle collector costs one load and
+//! a branch. Metric keys are `&'static str`, the span ring and open
+//! stack are pre-allocated, and counter/histogram tables are keyed by
+//! static strings — after warm-up the hot path performs no allocation.
+//!
+//! Spans are RAII: [`Collector::span`] pushes an open frame and returns
+//! a [`SpanGuard`]; dropping the guard pops the frame, stamps the
+//! duration, records it under the span's name in a histogram, and
+//! appends the completed record to the ring (overwriting the oldest
+//! record once full). Nesting comes for free from guard drop order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::histogram::Histogram;
+
+/// Default capacity of the completed-span ring buffer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// A completed span, as stored in the ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"world.flush_notifications"`.
+    pub name: &'static str,
+    /// Open timestamp in collector microseconds.
+    pub start_us: u64,
+    /// Close minus open timestamp.
+    pub dur_us: u64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u16,
+    /// Monotonic open sequence number, unique per collector.
+    pub seq: u64,
+    /// `seq` of the enclosing open span, if any.
+    pub parent: Option<u64>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    start_us: u64,
+    seq: u64,
+    parent: Option<u64>,
+    depth: u16,
+}
+
+/// Fixed-capacity overwrite-oldest buffer of completed spans.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<SpanRecord>,
+    cap: usize,
+    /// Index of the oldest record once the buffer has wrapped.
+    start: usize,
+    /// Completed spans discarded because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.start] = rec;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records in completion order, oldest first.
+    fn in_order(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.start..]);
+        out.extend_from_slice(&self.buf[..self.start]);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Clock,
+    counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, i64>,
+    histograms: HashMap<&'static str, Histogram>,
+    open: Vec<OpenSpan>,
+    ring: Ring,
+}
+
+/// An immutable copy of a collector's state, for exporters and tests.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counters, sorted by key.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauges, sorted by key.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// Histograms (including per-span-name duration histograms),
+    /// sorted by key.
+    pub histograms: Vec<(&'static str, Histogram)>,
+    /// Completed spans in completion order, oldest first.
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded because the ring wrapped.
+    pub dropped_spans: u64,
+    /// Spans open (guard still live) at snapshot time.
+    pub open_spans: usize,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, key: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Histogram under `key`, if any value was observed.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Completed spans named `name`, in completion order.
+    pub fn spans_named(&self, name: &str) -> Vec<SpanRecord> {
+        self.spans
+            .iter()
+            .copied()
+            .filter(|s| s.name == name)
+            .collect()
+    }
+}
+
+/// Collects counters, gauges, histograms, and spans. See module docs.
+#[derive(Debug)]
+pub struct Collector {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// A disabled collector on the wall clock with the default ring
+    /// capacity.
+    pub fn new() -> Collector {
+        Collector::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A disabled collector with a ring of `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Collector {
+        Collector {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                clock: Clock::wall(),
+                counters: HashMap::with_capacity(32),
+                gauges: HashMap::with_capacity(8),
+                histograms: HashMap::with_capacity(32),
+                open: Vec::with_capacity(32),
+                ring: Ring::new(capacity),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock poisons it; the collector's
+        // data is still structurally sound, so keep collecting.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// True when recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Off is the default and costs one
+    /// atomic load per entry point.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Shorthand for `set_enabled(true)`.
+    pub fn enable(&self) {
+        self.set_enabled(true);
+    }
+
+    /// Replaces the time source with a deterministic manual clock.
+    /// `step_us` is auto-added after every reading so adjacent
+    /// timestamps differ; pass at least 1 for non-zero durations.
+    pub fn set_manual_clock(&self, start_us: u64, step_us: u64) {
+        self.lock().clock = Clock::manual(start_us, step_us);
+    }
+
+    /// Advances a manual clock (e.g. in lock-step with the `World`
+    /// virtual clock); no-op on the wall clock.
+    pub fn advance_clock_us(&self, delta_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().clock.advance_us(delta_us);
+    }
+
+    /// Adds `n` to the counter `key`.
+    pub fn count(&self, key: &'static str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        *self.lock().counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Sets the gauge `key` to `value`.
+    pub fn gauge(&self, key: &'static str, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().gauges.insert(key, value);
+    }
+
+    /// Records `value` into the histogram `key`.
+    pub fn observe(&self, key: &'static str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().histograms.entry(key).or_default().record(value);
+    }
+
+    /// Opens a span; dropping the returned guard closes it. When the
+    /// collector is disabled this returns an inert guard without
+    /// touching the lock.
+    pub fn span(self: &Arc<Self>, name: &'static str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard {
+                owner: None,
+                seq: 0,
+            };
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock();
+        let start_us = inner.clock.now_us();
+        let parent = inner.open.last().map(|o| o.seq);
+        let depth = inner.open.len() as u16;
+        inner.open.push(OpenSpan {
+            name,
+            start_us,
+            seq,
+            parent,
+            depth,
+        });
+        SpanGuard {
+            owner: Some(Arc::clone(self)),
+            seq,
+        }
+    }
+
+    fn close_span(&self, seq: u64) {
+        let mut inner = self.lock();
+        let Some(pos) = inner.open.iter().rposition(|o| o.seq == seq) else {
+            return; // reset() ran while the guard was live
+        };
+        let end_us = inner.clock.now_us();
+        // Guards drop LIFO, so everything above `pos` (if anything) is
+        // a leaked child; close it with the same end timestamp.
+        while inner.open.len() > pos {
+            let open = inner.open.pop().expect("len > pos");
+            let rec = SpanRecord {
+                name: open.name,
+                start_us: open.start_us,
+                dur_us: end_us.saturating_sub(open.start_us),
+                depth: open.depth,
+                seq: open.seq,
+                parent: open.parent,
+            };
+            inner
+                .histograms
+                .entry(open.name)
+                .or_default()
+                .record(rec.dur_us);
+            inner.ring.push(rec);
+        }
+    }
+
+    /// Copies out the current state. Open spans are not included in
+    /// `spans` (they have no duration yet) but are counted.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let mut counters: Vec<_> = inner.counters.iter().map(|(k, v)| (*k, *v)).collect();
+        counters.sort_unstable_by_key(|(k, _)| *k);
+        let mut gauges: Vec<_> = inner.gauges.iter().map(|(k, v)| (*k, *v)).collect();
+        gauges.sort_unstable_by_key(|(k, _)| *k);
+        let mut histograms: Vec<_> = inner.histograms.iter().map(|(k, v)| (*k, *v)).collect();
+        histograms.sort_unstable_by_key(|(k, _)| *k);
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: inner.ring.in_order(),
+            dropped_spans: inner.ring.dropped,
+            open_spans: inner.open.len(),
+        }
+    }
+
+    /// Clears all recorded data (counters, gauges, histograms, spans,
+    /// open stack). Keeps the clock and the enabled flag.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+        inner.open.clear();
+        let cap = inner.ring.cap;
+        inner.ring = Ring::new(cap);
+    }
+}
+
+/// RAII handle for an open span; closes it on drop.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    owner: Option<Arc<Collector>>,
+    seq: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(c) = self.owner.take() {
+            c.close_span(self.seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> Arc<Collector> {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c.set_manual_clock(0, 1);
+        c
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Arc::new(Collector::new());
+        c.count("k", 3);
+        c.observe("h", 9);
+        drop(c.span("s"));
+        let snap = c.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let c = manual();
+        c.count("a", 2);
+        c.count("a", 3);
+        c.gauge("g", -7);
+        c.gauge("g", 11);
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.gauge("g"), Some(11));
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn span_durations_use_manual_clock() {
+        let c = manual();
+        {
+            let _outer = c.span("outer");
+            c.advance_clock_us(100);
+            let _inner = c.span("inner");
+            c.advance_clock_us(40);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let inner = snap.spans_named("inner")[0];
+        let outer = snap.spans_named("outer")[0];
+        assert_eq!(inner.parent, Some(outer.seq));
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert!(inner.dur_us >= 40);
+        assert!(outer.dur_us > inner.dur_us);
+        // Durations are also mirrored into per-name histograms.
+        assert_eq!(snap.histogram("outer").unwrap().count, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = manual();
+        c.count("a", 1);
+        drop(c.span("s"));
+        c.reset();
+        let snap = c.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.dropped_spans, 0);
+    }
+}

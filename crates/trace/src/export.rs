@@ -1,0 +1,151 @@
+//! Exporters: Chrome `trace_event` JSON and a plain-text summary.
+//!
+//! The Chrome exporter emits the "JSON object format" understood by
+//! `chrome://tracing` and Perfetto: an object with a `traceEvents`
+//! array of complete (`"ph":"X"`) events sorted by start timestamp,
+//! followed by one counter (`"ph":"C"`) sample per counter so the
+//! metric totals travel with the trace. The text exporter is for
+//! terminals: counters, gauges, histogram stats, and per-span-name
+//! duration aggregates.
+
+use std::fmt::Write as _;
+
+use crate::collector::Snapshot;
+use crate::histogram::bucket_lower_bound;
+
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `snap` as Chrome `trace_event` JSON. Events are sorted by
+/// `ts` (ties broken by open order), so `ts` is monotonically
+/// non-decreasing through the array.
+pub fn chrome_trace_json(snap: &Snapshot) -> String {
+    let mut spans = snap.spans.clone();
+    spans.sort_by_key(|s| (s.start_us, s.seq));
+    let last_ts = spans
+        .iter()
+        .map(|s| s.start_us.saturating_add(s.dur_us))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::with_capacity(spans.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\":\"");
+        escape_json(s.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{\"depth\":{},\"seq\":{}}}}}",
+            s.start_us, s.dur_us, s.depth, s.seq
+        );
+    }
+    for (k, v) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\":\"");
+        escape_json(k, &mut out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"atk\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\"args\":{{\"value\":{v}}}}}"
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders `snap` as a human-readable multi-line summary.
+pub fn text_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "  {k:<44} {v:>12}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(out, "  {k:<44} {v:>12}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms (count / min / mean / max, top bucket ≥):\n");
+        for (k, h) in &snap.histograms {
+            let top = h.top_bucket().map_or(0, bucket_lower_bound);
+            let _ = writeln!(
+                out,
+                "  {k:<44} {:>8} / {:>6} / {:>9.1} / {:>8}   ≥{top}",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "spans: {} recorded, {} dropped, {} still open",
+        snap.spans.len(),
+        snap.dropped_spans,
+        snap.open_spans
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use std::sync::Arc;
+
+    #[test]
+    fn chrome_json_escapes_and_orders() {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c.set_manual_clock(10, 1);
+        drop(c.span("a\"b"));
+        drop(c.span("plain"));
+        c.count("world.notify", 4);
+        let json = chrome_trace_json(&c.snapshot());
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("world.notify"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn text_summary_mentions_all_sections() {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c.set_manual_clock(0, 1);
+        c.count("k", 1);
+        c.gauge("g", 2);
+        c.observe("h", 3);
+        drop(c.span("s"));
+        let text = text_summary(&c.snapshot());
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("spans: 1 recorded"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Power-of-two bucket histograms.
+//!
+//! Bucket `0` holds only the value `0`; bucket `b` (1..=64) holds the
+//! range `[2^(b-1), 2^b - 1]`. That gives fixed memory, O(1) record,
+//! and enough resolution to answer "are datastream objects tens of
+//! bytes or tens of kilobytes" — the kind of question the summary
+//! exporter is for.
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// Bucket index for `value` (log2 buckets, zero gets its own bucket).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Smallest value that lands in bucket `index`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// A log2-bucket histogram with running count/sum/min/max.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; see [`bucket_index`].
+    pub buckets: [u64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKET_COUNT],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Arithmetic mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any value was recorded.
+    pub fn top_bucket(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..BUCKET_COUNT {
+            let lo = bucket_lower_bound(b);
+            assert_eq!(bucket_index(lo), b, "lower bound of bucket {b}");
+            assert_eq!(bucket_index(lo - 1), b - 1, "below bucket {b}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_min_max_mean() {
+        let mut h = Histogram::default();
+        for v in [5u64, 1, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 9);
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+        assert_eq!(h.top_bucket(), Some(bucket_index(9)));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.top_bucket(), None);
+    }
+}

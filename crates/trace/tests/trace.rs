@@ -1,0 +1,378 @@
+//! Black-box tests of the atk-trace public API: ring wraparound, span
+//! nesting, histogram bucket edges, and a golden Chrome-trace export
+//! (deterministic under the manual clock, validated with a minimal
+//! hand-rolled JSON parser — the crate has no serde).
+
+use std::sync::Arc;
+
+use atk_trace::{bucket_index, chrome_trace_json, Collector};
+
+fn manual(capacity: usize) -> Arc<Collector> {
+    let c = Arc::new(Collector::with_capacity(capacity));
+    c.enable();
+    c.set_manual_clock(100, 10);
+    c
+}
+
+// --- ring buffer -----------------------------------------------------------
+
+#[test]
+fn ring_wraparound_keeps_the_newest_spans() {
+    let c = manual(4);
+    let names: [&'static str; 10] = ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"];
+    for name in names {
+        drop(c.span(name));
+    }
+    let snap = c.snapshot();
+    assert_eq!(snap.spans.len(), 4, "ring holds exactly its capacity");
+    assert_eq!(snap.dropped_spans, 6);
+    let kept: Vec<&str> = snap.spans.iter().map(|s| s.name).collect();
+    assert_eq!(kept, ["s6", "s7", "s8", "s9"], "oldest overwritten first");
+    // Completion order is preserved across the wrap point.
+    for pair in snap.spans.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+}
+
+#[test]
+fn wraparound_spans_keep_their_timestamps() {
+    let c = manual(2);
+    for name in ["a", "b", "c"] {
+        drop(c.span(name));
+    }
+    let snap = c.snapshot();
+    // Manual clock: open/close per span = 2 readings, step 10.
+    let b = snap.spans_named("b")[0];
+    let cc = snap.spans_named("c")[0];
+    assert_eq!(b.start_us, 120);
+    assert_eq!(cc.start_us, 140);
+    assert_eq!(b.dur_us, 10);
+    assert_eq!(cc.dur_us, 10);
+}
+
+// --- nesting ---------------------------------------------------------------
+
+#[test]
+fn nested_spans_record_parentage_and_depth() {
+    let c = manual(16);
+    {
+        let _outer = c.span("outer");
+        {
+            let _mid = c.span("mid");
+            drop(c.span("leaf"));
+        }
+        drop(c.span("second_leaf"));
+    }
+    let snap = c.snapshot();
+    let outer = snap.spans_named("outer")[0];
+    let mid = snap.spans_named("mid")[0];
+    let leaf = snap.spans_named("leaf")[0];
+    let second = snap.spans_named("second_leaf")[0];
+    assert_eq!(outer.depth, 0);
+    assert_eq!(outer.parent, None);
+    assert_eq!(mid.depth, 1);
+    assert_eq!(mid.parent, Some(outer.seq));
+    assert_eq!(leaf.depth, 2);
+    assert_eq!(leaf.parent, Some(mid.seq));
+    assert_eq!(second.depth, 1);
+    assert_eq!(second.parent, Some(outer.seq));
+    // Children complete before (and fit inside) their parents.
+    assert!(leaf.start_us >= mid.start_us);
+    assert!(leaf.start_us + leaf.dur_us <= mid.start_us + mid.dur_us);
+    assert!(mid.start_us + mid.dur_us <= outer.start_us + outer.dur_us);
+}
+
+#[test]
+fn leaked_child_is_closed_with_its_parent() {
+    let c = manual(16);
+    let parent = c.span("parent");
+    let child = c.span("child");
+    drop(parent); // out of order: the child guard is still live
+    drop(child); // no-op; the parent close already swept it
+    let snap = c.snapshot();
+    assert_eq!(snap.spans.len(), 2);
+    assert_eq!(snap.open_spans, 0);
+    let p = snap.spans_named("parent")[0];
+    let ch = snap.spans_named("child")[0];
+    assert_eq!(ch.parent, Some(p.seq));
+    // Both were stamped with the same end timestamp.
+    assert_eq!(p.start_us + p.dur_us, ch.start_us + ch.dur_us);
+}
+
+// --- histograms ------------------------------------------------------------
+
+#[test]
+fn observe_lands_values_on_log2_bucket_boundaries() {
+    let c = manual(16);
+    for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+        c.observe("h", v);
+    }
+    let snap = c.snapshot();
+    let h = snap.histogram("h").expect("histogram recorded");
+    assert_eq!(h.count, 10);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, u64::MAX);
+    // Bucket 0 = {0}; bucket b = [2^(b-1), 2^b - 1].
+    assert_eq!(h.buckets[0], 1); // 0
+    assert_eq!(h.buckets[1], 1); // 1
+    assert_eq!(h.buckets[2], 2); // 2, 3
+    assert_eq!(h.buckets[3], 2); // 4, 7
+    assert_eq!(h.buckets[4], 1); // 8
+    assert_eq!(h.buckets[10], 1); // 1023
+    assert_eq!(h.buckets[11], 1); // 1024
+    assert_eq!(h.buckets[64], 1); // u64::MAX
+    assert_eq!(bucket_index(1023), 10);
+    assert_eq!(bucket_index(1024), 11);
+}
+
+#[test]
+fn span_durations_feed_the_per_name_histogram() {
+    let c = manual(16);
+    for _ in 0..3 {
+        drop(c.span("tick"));
+    }
+    let snap = c.snapshot();
+    let h = snap.histogram("tick").expect("span-name histogram");
+    assert_eq!(h.count, 3);
+    assert_eq!(h.min, 10); // one clock step per open/close pair
+    assert_eq!(h.max, 10);
+}
+
+// --- Chrome export ---------------------------------------------------------
+
+/// The exact bytes the exporter must produce for a two-span, one-counter
+/// trace under the manual clock (start 100, step 10). Chrome's JSON
+/// object format: X events sorted by ts, then one C sample per counter.
+const GOLDEN: &str = concat!(
+    "{\"traceEvents\":[\n",
+    "{\"name\":\"outer\",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":100,\"dur\":30,",
+    "\"pid\":1,\"tid\":1,\"args\":{\"depth\":0,\"seq\":0}},\n",
+    "{\"name\":\"inner\",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":110,\"dur\":10,",
+    "\"pid\":1,\"tid\":1,\"args\":{\"depth\":1,\"seq\":1}},\n",
+    "{\"name\":\"pipeline.events\",\"cat\":\"atk\",\"ph\":\"C\",\"ts\":130,",
+    "\"pid\":1,\"args\":{\"value\":7}}\n",
+    "],\"displayTimeUnit\":\"ms\"}\n",
+);
+
+#[test]
+fn chrome_export_matches_the_golden_file() {
+    let c = manual(16);
+    {
+        let _outer = c.span("outer");
+        drop(c.span("inner"));
+    }
+    c.count("pipeline.events", 7);
+    assert_eq!(chrome_trace_json(&c.snapshot()), GOLDEN);
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_monotonic_ts() {
+    let c = manual(64);
+    // A busier trace: nesting, a wrapped name with escapes, counters.
+    for round in 0..5 {
+        let _outer = c.span("frame");
+        drop(c.span("inner \"quoted\"\n"));
+        c.count("events", round + 1);
+        c.observe("latency", round * 3);
+    }
+    c.gauge("queue", 2);
+    let json = chrome_trace_json(&c.snapshot());
+    let value = json::parse(&json).expect("exporter output parses as JSON");
+    let events = match &value {
+        json::Value::Object(fields) => match fields.iter().find(|(k, _)| k == "traceEvents") {
+            Some((_, json::Value::Array(items))) => items,
+            _ => panic!("missing traceEvents array"),
+        },
+        _ => panic!("top level is not an object"),
+    };
+    assert_eq!(events.len(), 10 + 1, "10 X spans + 1 C counter sample");
+    let mut last_ts = -1.0f64;
+    for ev in events {
+        let json::Value::Object(fields) = ev else {
+            panic!("event is not an object")
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        assert!(matches!(get("name"), Some(json::Value::String(_))));
+        let Some(json::Value::Number(ts)) = get("ts") else {
+            panic!("event without numeric ts")
+        };
+        assert!(*ts >= last_ts, "ts must be monotonic: {ts} after {last_ts}");
+        last_ts = *ts;
+        match get("ph") {
+            Some(json::Value::String(ph)) if ph == "X" => {
+                assert!(matches!(get("dur"), Some(json::Value::Number(d)) if *d > 0.0));
+            }
+            Some(json::Value::String(ph)) if ph == "C" => {
+                assert!(get("dur").is_none());
+            }
+            other => panic!("unexpected ph: {other:?}"),
+        }
+    }
+}
+
+/// A minimal recursive-descent JSON reader — enough to prove the
+/// exporter's output is well-formed without pulling in a JSON crate.
+mod json {
+    #[derive(Debug)]
+    #[allow(dead_code)] // trace output has no bools/nulls, but JSON does
+    pub enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        String(String),
+        Number(f64),
+        Bool(bool),
+        Null,
+    }
+
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}", ch as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::String(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {pos}"))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            fields.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected , or }} at {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected , or ] at {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at {pos}"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&ch) = b.get(*pos) {
+            *pos += 1;
+            match ch {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                b'\\' => {
+                    let esc = b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(*esc),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let hex =
+                                b.get(*pos..*pos + 4)
+                                    .ok_or("short \\u escape")
+                                    .and_then(|h| {
+                                        std::str::from_utf8(h).map_err(|_| "bad \\u escape")
+                                    })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u digits".to_string())?;
+                            *pos += 4;
+                            let c = char::from_u32(code).ok_or("bad codepoint")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(format!("bad escape at {pos}")),
+                    }
+                }
+                _ => out.push(ch),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# The full local gate, in the order a failure is cheapest to see.
+# Usage: scripts/ci.sh  (from anywhere inside the repository)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci: all green"

@@ -10,7 +10,6 @@ use atk_wm::WindowEvent;
 use atk_wm::WindowSystem;
 
 // Re-export for convenience in assertions.
-use atk_wm::Window as _;
 
 fn two_window_setup() -> (
     World,

@@ -3,7 +3,6 @@
 use atk_apps::{register_app_modules, register_components, standard_apps, standard_world};
 use atk_class::{CostModel, LinkPolicy, Loader};
 use atk_core::{Catalog, World};
-use atk_wm::WindowSystem as _;
 
 /// Builds a catalog with a given policy and the whole component/app
 /// inventory.

@@ -1,0 +1,122 @@
+//! End-to-end observability of the delayed-update protocol (paper §2):
+//! a keystroke into the figure-1 window must produce a trace covering
+//! every pipeline stage — event dispatch, notification flush, damage
+//! conversion, and the update pass — plus datastream load/store spans,
+//! all with non-zero durations under the deterministic manual clock.
+
+use std::sync::Arc;
+
+use atk_apps::{scenes, standard_world};
+use atk_core::{document_to_string, read_document};
+use atk_text::TextData;
+use atk_trace::{chrome_trace_json, Collector, SpanRecord};
+use atk_wm::WindowEvent;
+
+/// The figure-1 scene with a private, enabled collector on the manual
+/// clock (step 1µs) injected into its world — isolated from the
+/// process-global collector so parallel tests never interleave.
+fn traced_fig1() -> (scenes::Scene, Arc<Collector>) {
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+    let scene = scenes::fig1_view_tree(&mut ws).unwrap();
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    collector.set_manual_clock(0, 1);
+    let mut scene = scene;
+    scene.world.set_collector(Arc::clone(&collector));
+    (scene, collector)
+}
+
+fn first_named(spans: &[SpanRecord], name: &str) -> SpanRecord {
+    *spans
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no span named {name}"))
+}
+
+#[test]
+fn keystroke_traces_every_pipeline_stage_in_order() {
+    let (mut scene, collector) = traced_fig1();
+    // Focus the text area, then discard the focus click's trace so the
+    // assertions see exactly one keystroke's pipeline.
+    scene
+        .im
+        .feed(&mut scene.world, WindowEvent::left_down(120, 40));
+    scene
+        .im
+        .feed(&mut scene.world, WindowEvent::left_up(120, 40));
+    collector.reset();
+
+    scene.im.feed(&mut scene.world, WindowEvent::ch('X'));
+
+    let snap = collector.snapshot();
+    // Counters: the keystroke was dispatched, the edit was announced,
+    // observers were told, views posted damage, one update ran.
+    assert_eq!(snap.counter("im.events"), 1);
+    assert!(snap.counter("world.notify") >= 1, "{:?}", snap.counters);
+    assert!(snap.counter("world.notifications_delivered") >= 1);
+    assert!(snap.counter("world.post_damage") >= 1);
+    assert_eq!(snap.counter("im.updates"), 1);
+    assert_eq!(snap.counter("im.full_redraws"), 0);
+
+    // Spans: dispatch → settle { flush → damage conversion → update }.
+    let dispatch = first_named(&snap.spans, "im.dispatch");
+    let settle = first_named(&snap.spans, "im.settle");
+    let flush = first_named(&snap.spans, "world.flush_notifications");
+    let damage = first_named(&snap.spans, "world.damage_to_window");
+    let update = first_named(&snap.spans, "im.update_pass");
+    for s in [dispatch, settle, flush, damage, update] {
+        assert!(s.dur_us > 0, "{} has zero duration", s.name);
+    }
+    assert!(dispatch.start_us < settle.start_us);
+    assert!(settle.start_us < flush.start_us);
+    assert!(flush.start_us + flush.dur_us <= damage.start_us);
+    assert!(damage.start_us + damage.dur_us <= update.start_us);
+    // The three stages nest inside the settle span.
+    assert_eq!(flush.parent, Some(settle.seq));
+    assert_eq!(damage.parent, Some(settle.seq));
+    assert_eq!(update.parent, Some(settle.seq));
+    assert!(update.start_us + update.dur_us <= settle.start_us + settle.dur_us);
+}
+
+#[test]
+fn datastream_round_trip_is_traced() {
+    let mut world = standard_world();
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    collector.set_manual_clock(0, 1);
+    world.set_collector(Arc::clone(&collector));
+
+    let doc = world.insert_data(Box::new(TextData::from_str("traced text\n")));
+    let stream = document_to_string(&world, doc);
+    let loaded = read_document(&mut world, &stream).expect("round trip");
+    assert_eq!(
+        world.data::<TextData>(loaded).unwrap().text(),
+        "traced text\n"
+    );
+
+    let snap = collector.snapshot();
+    assert!(snap.counter("datastream.objects_written") >= 1);
+    assert!(snap.counter("datastream.objects_read") >= 1);
+    let write = first_named(&snap.spans, "datastream.write_object");
+    let load = first_named(&snap.spans, "datastream.load");
+    let read = first_named(&snap.spans, "datastream.read_object");
+    assert!(write.dur_us > 0 && load.dur_us > 0 && read.dur_us > 0);
+    // The per-object read span nests inside the whole-document load.
+    assert_eq!(read.parent, Some(load.seq));
+    assert!(snap.histogram("datastream.bytes_read").is_some());
+    assert!(snap.histogram("datastream.bytes_written").is_some());
+}
+
+#[test]
+fn pipeline_trace_exports_to_chrome_json() {
+    let (mut scene, collector) = traced_fig1();
+    scene
+        .im
+        .feed(&mut scene.world, WindowEvent::left_down(120, 40));
+    scene.im.feed(&mut scene.world, WindowEvent::ch('Y'));
+    let json = chrome_trace_json(&collector.snapshot());
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"name\":\"im.update_pass\""));
+    assert!(json.contains("\"name\":\"world.flush_notifications\""));
+    assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}\n"));
+}

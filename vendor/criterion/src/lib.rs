@@ -1,0 +1,325 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the source-compatible slice of criterion the workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per benchmark it warms up
+//! briefly, then takes `sample_size` samples, each batched to at least
+//! [`MIN_BATCH`] so timer quantization is irrelevant, and reports the
+//! median ns/iter (with min/max spread and optional throughput) on
+//! stdout. `CRITERION_SAMPLE_MS` caps per-sample time for quick smoke
+//! runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured time per sample, so short benches batch many
+/// iterations.
+pub const MIN_BATCH: Duration = Duration::from_millis(5);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (upstream `from_parameter`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    sample_cap: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow until one batch ≥ MIN_BATCH.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= MIN_BATCH || el >= self.sample_cap {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples_ns.clear();
+        let deadline = Instant::now() + self.sample_cap.saturating_mul(self.sample_size as u32);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            self.samples_ns.push(el.as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Upstream-compatible alias: times `f` over `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let d = f(1);
+        self.samples_ns.push(d.as_nanos() as f64);
+    }
+}
+
+struct Config {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Config {
+    fn new() -> Config {
+        Config {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+fn sample_cap() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60u64);
+    Duration::from_millis(ms.max(1))
+}
+
+fn run_one(id: &str, cfg: &Config, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        sample_size: cfg.sample_size.max(3),
+        sample_cap: sample_cap(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mut s = b.samples_ns.clone();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = s[s.len() / 2];
+    let min = s[0];
+    let max = s[s.len() - 1];
+    let tp = match cfg.throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / (median / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.2} Melem/s", n as f64 / (median / 1e9) / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{id:<50} time: [{min:>12.1} ns {median:>12.1} ns {max:>12.1} ns]{tp}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(tp);
+        self
+    }
+
+    /// Upstream no-op knobs, accepted for source compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// See [`BenchmarkGroup::measurement_time`].
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(&id, &self.cfg, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&id, &self.cfg, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (spacing only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { cfg: Config::new() }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample size.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let mut cfg = Config::new();
+        cfg.sample_size = self.cfg.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            cfg,
+            _c: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = Config {
+            sample_size: self.cfg.sample_size,
+            throughput: None,
+        };
+        run_one(&id.into_id(), &cfg, &mut f);
+        self
+    }
+}
+
+/// Declares a group runner function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let cfg = Config::new();
+        let mut ran = false;
+        run_one("smoke/noop", &cfg, &mut |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("inc", 8).id, "inc/8");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

@@ -1,0 +1,526 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the slice of proptest this workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`;
+//! * integer-range, tuple, char-class-regex (`"[a-z]{0,12}"`) and
+//!   [`collection::vec`] strategies;
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!` and
+//!   `prop_assert_eq!` macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the
+//! panic message includes the case number and seed so a failure is still
+//! reproducible), and generation distributions are merely uniform. Case
+//! count defaults to 64 and is overridable with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner plumbing used by the `proptest!` macro expansion.
+pub mod test_runner {
+    /// Deterministic RNG used for generation (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case number `case`.
+        pub fn for_case(case: u64) -> TestRng {
+            // Distinct, well-mixed stream per case; constant base seed
+            // keeps runs reproducible.
+            TestRng {
+                state: 0xA076_1D64_78BD_642F ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (`bound == 0` returns 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> u64 {
+        cases_with(64)
+    }
+
+    /// Like [`cases`], with an explicit default from
+    /// `#![proptest_config(...)]`; the env var still wins.
+    pub fn cases_with(default_cases: u64) -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_cases)
+    }
+
+    /// Per-block configuration, as accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Strategies: how values are generated.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A mapped strategy; see [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy; see [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// A strategy choosing uniformly among `options`.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs alternatives");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types generable by [`any`].
+    pub trait ArbitraryValue {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    /// See [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An arbitrary value of `T` (`any::<bool>()` etc.).
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// `&str` patterns act as regex strategies. Supported shapes:
+    /// `[class]{min,max}` where the class holds literal chars, `a-z`
+    /// ranges, and backslash escapes, and `\PC{min,max}` (printable
+    /// characters, including some non-ASCII); anything else generates
+    /// the pattern string literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_class_repeat(self).or_else(|| parse_printable_repeat(self)) {
+                Some((chars, min, max)) => {
+                    let len = min + rng.below((max - min + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parses `[class]{min,max}` into (alphabet, min, max).
+    fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = find_unescaped(rest, ']')?;
+        let class = &rest[..close];
+        let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = match rep.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = rep.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if max < min {
+            return None;
+        }
+        let mut chars = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            let lit = if c == '\\' {
+                match it.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            // An unescaped '-' with chars on both sides is a range.
+            if it.peek() == Some(&'-') {
+                let mut ahead = it.clone();
+                ahead.next(); // the '-'
+                if let Some(&end) = ahead.peek() {
+                    if end != ']' {
+                        it.next(); // consume '-'
+                        let end = match it.next()? {
+                            '\\' => it.next()?,
+                            e => e,
+                        };
+                        for code in (lit as u32)..=(end as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                chars.push(ch);
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+            chars.push(lit);
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        Some((chars, min, max))
+    }
+
+    /// Parses `\PC{min,max}` into (printable alphabet, min, max).
+    fn parse_printable_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rep = pat
+            .strip_prefix("\\PC")
+            .and_then(|r| r.strip_prefix('{'))
+            .and_then(|r| r.strip_suffix('}'))?;
+        let (min, max) = match rep.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = rep.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if max < min {
+            return None;
+        }
+        let mut chars: Vec<char> = (' '..='~').collect();
+        chars.extend("äβ→∑\u{00a0}čλ§あ�".chars());
+        Some((chars, min, max))
+    }
+
+    fn find_unescaped(s: &str, target: char) -> Option<usize> {
+        let mut escaped = false;
+        for (i, c) in s.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == target {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`crate::test_runner::cases`] generated
+/// cases; a failure panics with the case number (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (@count ($cases:expr) $( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                for case in 0..($cases) {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    #[allow(unused_parens)]
+                    let ($($arg),+) = {
+                        #[allow(non_snake_case, unused_variables)]
+                        let ($($arg,)+) = &strategies;
+                        ($($crate::strategy::Strategy::generate($arg, &mut rng)),+)
+                    };
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(e) = result {
+                        eprintln!("proptest case {} of {} failed (set PROPTEST_CASES to adjust)",
+                            case, stringify!($name));
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! {
+            @count ($crate::test_runner::cases_with(($cfg).cases as u64))
+            $($rest)*
+        }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @count ($crate::test_runner::cases())
+            $($rest)*
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn char_class_generation() {
+        let strat = "[a-c]{2,4}";
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let strat = "[a \\n\\-]{1,8}";
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(
+                s.chars().all(|c| matches!(c, 'a' | ' ' | '\n' | '-')),
+                "{s:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_compose(v in (0usize..10, 1i32..5).prop_map(|(a, b)| a as i32 + b)) {
+            prop_assert!((1..14).contains(&v));
+        }
+
+        #[test]
+        fn oneof_picks_all_arms(x in prop_oneof![0usize..1, 10usize..11]) {
+            prop_assert!(x == 0 || x == 10);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+}
