@@ -4,11 +4,16 @@
 //! * gap buffer vs. `String` insertion for localized editing;
 //! * run-length style assignment vs. a per-character style vector;
 //! * banded-region damage vs. single bounding-box damage (overdraw
-//!   proxy: pixels a repaint would touch for two distant dirty spots).
+//!   proxy: pixels a repaint would touch for two distant dirty spots);
+//! * band-merge sweep vs. the old elementary-slab region combine
+//!   (per-slab rescans + linear interval probes) on damage-union
+//!   workloads — the E9 rewrite, isolated from the pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
 
+use atk_bench::legacy_region;
 use atk_graphics::{Rect, Region};
 use atk_text::{GapBuffer, Style, StyleRuns, StyleTable};
 
@@ -116,9 +121,53 @@ fn bench_damage_region(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_region_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/region_combine");
+    // A damage-drain's worth of scattered dirty rects, unioned one at a
+    // time (the accumulation pattern `World::take_damage_region` had
+    // before bulk coalescing).
+    for n in [50usize, 500] {
+        let mut rng = StdRng::seed_from_u64(41);
+        let rects: Vec<Rect> = (0..n)
+            .map(|_| {
+                Rect::new(
+                    rng.gen_range(0..2000),
+                    rng.gen_range(0..2000),
+                    rng.gen_range(4..64),
+                    rng.gen_range(4..32),
+                )
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("elementary_slab_old", n),
+            &rects,
+            |b, rects| b.iter(|| black_box(legacy_region::add_rect_loop(rects.iter().copied()))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("band_merge_sweep", n),
+            &rects,
+            |b, rects| {
+                b.iter(|| {
+                    let mut acc = Region::new();
+                    for &r in rects {
+                        acc.add_rect(r);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("band_merge_bulk", n),
+            &rects,
+            |b, rects| b.iter(|| black_box(Region::from_rects(rects.iter().copied()))),
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_buffer, bench_styles, bench_damage_region
+    targets = bench_buffer, bench_styles, bench_damage_region, bench_region_combine
 }
 criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! E9 — linear-time region algebra and batched damage accumulation.
+//!
+//! The update pipeline unions every posted damage rect into one region
+//! per redraw pass (paper §2's delayed update), so region union is on
+//! the hot path of every keystroke. This experiment measures the
+//! band-merge sweep rewrite against the algorithm it replaced.
+//!
+//! Series, each over n ∈ {10, 100, 1000, 10000} damage rects:
+//! * `union_scattered/legacy_add_rect_loop` — the pre-rewrite slab
+//!   algorithm (elementary y-slabs, per-slab rescans, linear
+//!   `inside_a`/`inside_b` probes), one union per rect, exactly how
+//!   `World::take_damage_region` used to accumulate damage. Capped at
+//!   n ≤ 1000: the quadratic blow-up makes 10⁴ impractical to sample.
+//! * `union_scattered/sweep_add_rect_loop` — the new sweep, same
+//!   one-union-per-rect call pattern.
+//! * `union_scattered/sweep_from_rects` — the new bulk constructor
+//!   (sort + divide-and-conquer pairwise union), the call pattern
+//!   `take_damage_region` uses now.
+//! * `union_scanline/` — the fast-path-friendly workload: rects posted
+//!   in row-major order, as a text view damaging successive line strips
+//!   does; `add_rect`'s append/extend fast paths should make the loop
+//!   itself linear.
+//! * `binary_ops/` — intersect and subtract of two pre-built scattered
+//!   regions, legacy vs. sweep, at matched operand sizes.
+//!
+//! Acceptance (EXPERIMENTS.md E9): sweep ≥ 5× the legacy loop when
+//! unioning 10³ scattered rects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+use atk_bench::legacy_region;
+use atk_graphics::{Rect, Region};
+
+/// Scattered damage: small rects spread over a large desktop, the worst
+/// case for coalescing (many independent bands).
+fn scattered(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Rect::new(
+                rng.gen_range(0..4000),
+                rng.gen_range(0..4000),
+                rng.gen_range(4..64),
+                rng.gen_range(4..32),
+            )
+        })
+        .collect()
+}
+
+/// Row-major line strips, like a text view damaging successive lines.
+fn scanline(n: usize) -> Vec<Rect> {
+    (0..n as i32)
+        .map(|i| Rect::new(0, i * 14, 640, 14))
+        .collect()
+}
+
+fn bench_union_scattered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/union_scattered");
+    for n in [10usize, 100, 1000, 10_000] {
+        let rects = scattered(n, 9);
+        if n <= 1000 {
+            g.bench_with_input(
+                BenchmarkId::new("legacy_add_rect_loop", n),
+                &rects,
+                |b, rects| {
+                    b.iter(|| black_box(legacy_region::add_rect_loop(rects.iter().copied())))
+                },
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new("sweep_add_rect_loop", n),
+            &rects,
+            |b, rects| {
+                b.iter(|| {
+                    let mut acc = Region::new();
+                    for &r in rects {
+                        acc.add_rect(r);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sweep_from_rects", n),
+            &rects,
+            |b, rects| b.iter(|| black_box(Region::from_rects(rects.iter().copied()))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_union_scanline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/union_scanline");
+    for n in [100usize, 1000, 10_000] {
+        let rects = scanline(n);
+        g.bench_with_input(
+            BenchmarkId::new("sweep_add_rect_loop", n),
+            &rects,
+            |b, rects| {
+                b.iter(|| {
+                    let mut acc = Region::new();
+                    for &r in rects {
+                        acc.add_rect(r);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sweep_from_rects", n),
+            &rects,
+            |b, rects| b.iter(|| black_box(Region::from_rects(rects.iter().copied()))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_binary_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/binary_ops");
+    for n in [100usize, 1000] {
+        let a = Region::from_rects(scattered(n, 17));
+        let b_reg = Region::from_rects(scattered(n, 23));
+        let (ar, br) = (a.rects().to_vec(), b_reg.rects().to_vec());
+        g.bench_with_input(BenchmarkId::new("legacy_intersect", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(legacy_region::combine(
+                    &ar,
+                    &br,
+                    legacy_region::Op::Intersect,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sweep_intersect", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.intersect(&b_reg)))
+        });
+        g.bench_with_input(BenchmarkId::new("legacy_subtract", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(legacy_region::combine(
+                    &ar,
+                    &br,
+                    legacy_region::Op::Subtract,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sweep_subtract", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.subtract(&b_reg)))
+        });
+    }
+    g.finish();
+}
+
+/// Prints the headline ratio the acceptance bar asks for, outside
+/// criterion's own statistics: wall-clock of one legacy pass vs. one
+/// sweep pass unioning 10³ scattered rects.
+fn print_headline_speedup() {
+    let rects = scattered(1000, 9);
+    let t0 = std::time::Instant::now();
+    let legacy = legacy_region::add_rect_loop(rects.iter().copied());
+    let t_legacy = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let swept = Region::from_rects(rects.iter().copied());
+    let t_sweep = t1.elapsed();
+    assert_eq!(legacy, swept.rects(), "legacy and sweep unions disagree");
+    println!(
+        "e9 headline: legacy {:?} vs sweep {:?} on 10^3 scattered rects ({:.1}x)",
+        t_legacy,
+        t_sweep,
+        t_legacy.as_secs_f64() / t_sweep.as_secs_f64().max(1e-9),
+    );
+}
+
+fn benches_with_headline(c: &mut Criterion) {
+    print_headline_speedup();
+    bench_union_scattered(c);
+    bench_union_scanline(c);
+    bench_binary_ops(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = benches_with_headline
+}
+criterion_main!(benches);

@@ -1,3 +1,146 @@
 //! Host crate for the Criterion benchmarks reproducing the paper's
-//! evaluation; see `benches/` and the repository's EXPERIMENTS.md. There
-//! is no library code here.
+//! evaluation; see `benches/` and the repository's EXPERIMENTS.md.
+//!
+//! The one piece of library code here is [`legacy_region`]: the
+//! pre-sweep region algebra, kept so the E9 benchmark and the ablation
+//! suite can measure the rewrite against its true predecessor instead
+//! of a strawman.
+
+pub mod legacy_region {
+    //! The region `combine` this repository shipped before the
+    //! band-merge sweep: cut the plane into elementary y-slabs from
+    //! every edge of both operands, rebuild each slab's interval set
+    //! from scratch (`slab_intervals` rescans every rect), and classify
+    //! each elementary x-interval with linear `inside_a`/`inside_b`
+    //! probes. Preserved verbatim, operating on the banded rect list
+    //! directly (the old `Region` was exactly such a `Vec<Rect>`), so
+    //! none of the measured work routes through the new sweep.
+
+    use atk_graphics::Rect;
+
+    /// Set-operation selector matching the private `Op` in
+    /// `atk_graphics::region`.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum Op {
+        Union,
+        Intersect,
+        Subtract,
+    }
+
+    fn slab_intervals(rects: &[Rect], top: i32, bot: i32) -> Vec<(i32, i32)> {
+        let mut iv: Vec<(i32, i32)> = rects
+            .iter()
+            .filter(|r| r.y <= top && r.bottom() >= bot)
+            .map(|r| (r.x, r.right()))
+            .collect();
+        iv.sort_unstable();
+        let mut merged: Vec<(i32, i32)> = Vec::with_capacity(iv.len());
+        for (a, b) in iv {
+            match merged.last_mut() {
+                Some((_, pb)) if *pb >= a => *pb = (*pb).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        merged
+    }
+
+    fn combine_intervals(a: &[(i32, i32)], b: &[(i32, i32)], op: Op) -> Vec<(i32, i32)> {
+        let mut events: Vec<i32> = Vec::with_capacity((a.len() + b.len()) * 2);
+        for &(s, e) in a.iter().chain(b.iter()) {
+            events.push(s);
+            events.push(e);
+        }
+        events.sort_unstable();
+        events.dedup();
+
+        let inside_a = |x: i32| a.iter().any(|&(s, e)| s <= x && x < e);
+        let inside_b = |x: i32| b.iter().any(|&(s, e)| s <= x && x < e);
+
+        let mut out: Vec<(i32, i32)> = Vec::new();
+        for w in events.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let ia = inside_a(s);
+            let ib = inside_b(s);
+            let keep = match op {
+                Op::Union => ia || ib,
+                Op::Intersect => ia && ib,
+                Op::Subtract => ia && !ib,
+            };
+            if keep {
+                match out.last_mut() {
+                    Some((_, pe)) if *pe == s => *pe = e,
+                    _ => out.push((s, e)),
+                }
+            }
+        }
+        out
+    }
+
+    fn coalesce_with_previous_band(out: &mut [Rect], band: &mut Vec<Rect>) {
+        if band.is_empty() || out.is_empty() {
+            return;
+        }
+        let band_top = band[0].y;
+        let prev_end = out.len();
+        let prev_start = out[..prev_end]
+            .iter()
+            .rposition(|r| r.y != out[prev_end - 1].y)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let prev = &out[prev_start..prev_end];
+        if prev.len() != band.len()
+            || prev[0].bottom() != band_top
+            || !prev
+                .iter()
+                .zip(band.iter())
+                .all(|(p, b)| p.x == b.x && p.width == b.width)
+        {
+            return;
+        }
+        let grow = band[0].height;
+        for r in &mut out[prev_start..prev_end] {
+            r.height += grow;
+        }
+        band.clear();
+    }
+
+    /// The old `Region::combine`, verbatim, on banded rect lists.
+    pub fn combine(ar: &[Rect], br: &[Rect], op: Op) -> Vec<Rect> {
+        let mut ys: Vec<i32> = Vec::with_capacity((ar.len() + br.len()) * 2);
+        for r in ar.iter().chain(br.iter()) {
+            ys.push(r.y);
+            ys.push(r.bottom());
+        }
+        ys.sort_unstable();
+        ys.dedup();
+
+        let mut out: Vec<Rect> = Vec::new();
+        for w in ys.windows(2) {
+            let (top, bot) = (w[0], w[1]);
+            let ia = slab_intervals(ar, top, bot);
+            let ib = slab_intervals(br, top, bot);
+            let combined = combine_intervals(&ia, &ib, op);
+            let mut band: Vec<Rect> = combined
+                .into_iter()
+                .map(|(x0, x1)| Rect::new(x0, top, x1 - x0, bot - top))
+                .collect();
+            coalesce_with_previous_band(&mut out, &mut band);
+            out.append(&mut band);
+        }
+        out
+    }
+
+    /// The old damage-accumulation pattern: one `combine(Union)` per
+    /// posted rect, exactly what `World::take_damage_region` used to do
+    /// via repeated `Region::add_rect`.
+    pub fn add_rect_loop<I: IntoIterator<Item = Rect>>(rects: I) -> Vec<Rect> {
+        let mut acc: Vec<Rect> = Vec::new();
+        for r in rects {
+            if r.is_empty() {
+                continue;
+            }
+            acc = combine(&acc, &[r], Op::Union);
+        }
+        acc
+    }
+}

@@ -125,46 +125,48 @@ pub fn escape_content(s: &str) -> Vec<String> {
         }
     }
     // Wrap with continuation backslashes, never splitting an escape
-    // sequence (backslash run or \+XXXX;).
+    // sequence (an escaped backslash `\\` or a `\+XXXX;`).
+    //
+    // The escaped text is a sequence of unambiguous tokens — `\\`
+    // (2 chars), `\+` followed by hex and `;` (≤ 8 chars), or one plain
+    // character — so a single forward pass places whole tokens onto
+    // lines. Scanning forward keeps backslash-run parity exact: a `\`
+    // opens an escape only at even run offsets, so `…\\\\+…` (escaped
+    // backslashes before a literal `+`) is two 2-char tokens and a plain
+    // `+`, never a bogus escape start. Because no token exceeds the
+    // line budget there is no "pathological input" fallback that could
+    // cut mid-escape; every physical line ends after a complete token
+    // with an even trailing backslash run, so the appended continuation
+    // `\` is always an unambiguous odd run.
     let bytes = escaped.as_bytes();
     let mut out = Vec::new();
-    let mut start = 0;
-    while bytes.len() - start > MAX_LINE {
-        let mut cut = start + MAX_LINE - 1; // Room for the trailing '\'.
-                                            // Do not cut inside a "\+XXXX;" sequence.
-        while cut > start {
-            let window_start = cut.saturating_sub(6).max(start);
-            let tail = &escaped[window_start..cut];
-            if let Some(pos) = tail.rfind("\\+") {
-                let abs = window_start + pos;
-                if abs + 7 > cut {
-                    cut = abs;
-                    continue;
-                }
+    let mut line = String::with_capacity(MAX_LINE);
+    let mut i = 0;
+    while i < bytes.len() {
+        let tok_len = if bytes[i] == b'\\' {
+            if bytes.get(i + 1) == Some(&b'+') {
+                // `\+XXXX;` — find the terminating `;` (always present
+                // in our own output; at most 6 hex digits).
+                let semi = bytes[i + 2..]
+                    .iter()
+                    .position(|&b| b == b';')
+                    .expect("escape_content always terminates \\+ escapes");
+                semi + 3
+            } else {
+                2 // `\\`
             }
-            break;
+        } else {
+            1
+        };
+        // Reserve one column for the continuation backslash.
+        if !line.is_empty() && line.len() + tok_len > MAX_LINE - 1 {
+            line.push('\\');
+            out.push(std::mem::take(&mut line));
         }
-        // Do not cut inside a backslash run (would create a spurious
-        // odd-length run).
-        while cut > start && bytes[cut - 1] == b'\\' {
-            let mut run = 0;
-            let mut i = cut;
-            while i > start && bytes[i - 1] == b'\\' {
-                run += 1;
-                i -= 1;
-            }
-            if run % 2 == 0 {
-                break;
-            }
-            cut -= 1;
-        }
-        if cut == start {
-            cut = start + MAX_LINE - 1; // Give up; pathological input.
-        }
-        out.push(format!("{}\\", &escaped[start..cut]));
-        start = cut;
+        line.push_str(&escaped[i..i + tok_len]);
+        i += tok_len;
     }
-    out.push(escaped[start..].to_string());
+    out.push(line);
     out
 }
 
@@ -190,16 +192,35 @@ pub fn unescape_content(s: &str) -> String {
             }
             Some('+') => {
                 chars.next();
+                // Scan at most 6 hex digits, stopping at the first
+                // non-hex character. A well-formed escape is non-empty
+                // hex followed by `;` and decodes to a valid scalar;
+                // anything else is emitted verbatim (including whatever
+                // character stopped the scan — it is NOT consumed as a
+                // bogus terminator, so malformed input loses no data).
                 let mut hex = String::new();
-                for h in chars.by_ref() {
-                    if h == ';' {
-                        break;
+                while hex.len() < 6 {
+                    match chars.peek() {
+                        Some(h) if h.is_ascii_hexdigit() => {
+                            hex.push(*h);
+                            chars.next();
+                        }
+                        _ => break,
                     }
-                    hex.push(h);
                 }
-                if let Ok(code) = u32::from_str_radix(&hex, 16) {
-                    if let Some(ch) = char::from_u32(code) {
+                let decoded = if chars.peek() == Some(&';') && !hex.is_empty() {
+                    u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                } else {
+                    None
+                };
+                match decoded {
+                    Some(ch) => {
+                        chars.next(); // Consume the `;`.
                         out.push(ch);
+                    }
+                    None => {
+                        out.push_str("\\+");
+                        out.push_str(&hex);
                     }
                 }
             }
@@ -638,6 +659,73 @@ mod tests {
         }
         joined.push_str(&phys[phys.len() - 1]);
         assert_eq!(unescape_content(&joined), nasty);
+    }
+
+    /// Joins physical lines exactly as the reader does: while the
+    /// accumulated line ends in an odd backslash run, pop the
+    /// continuation backslash and append the next physical line.
+    /// Returns the joined logical line and how many physical lines were
+    /// consumed (a correct wrap consumes all of them).
+    fn reader_join(phys: &[String]) -> (String, usize) {
+        let mut line = phys[0].clone();
+        let mut used = 1;
+        while trailing_backslashes(&line) % 2 == 1 && used < phys.len() {
+            line.pop();
+            line.push_str(&phys[used]);
+            used += 1;
+        }
+        (line, used)
+    }
+
+    fn assert_wrap_round_trip(input: &str) {
+        let phys = escape_content(input);
+        for p in &phys {
+            assert!(p.len() <= MAX_LINE, "line too long ({}): {p:?}", p.len());
+        }
+        let (joined, used) = reader_join(&phys);
+        assert_eq!(used, phys.len(), "reader stopped joining early: {phys:?}");
+        assert_eq!(unescape_content(&joined), input);
+    }
+
+    /// Regression: the old wrapper located escape starts with
+    /// `rfind("\\+")`, which matched an escaped backslash followed by a
+    /// literal `+` (`…\\\\+…` in escaped form) and mis-chose the cut,
+    /// producing a physical line whose trailing backslash run had even
+    /// parity — the reader then refused to join the continuation and
+    /// the round trip corrupted the content.
+    #[test]
+    fn regression_escaped_backslash_run_before_literal_plus() {
+        let input = format!("{}{}", "\\+".repeat(22), "\\\\+".repeat(3));
+        assert_wrap_round_trip(&input);
+    }
+
+    /// Regression: dense runs of escape-like material near the wrap
+    /// boundary drove the old backtracking scan all the way to the line
+    /// start, triggering its blind `cut = start + MAX_LINE - 1`
+    /// fallback, which could split an escape sequence mid-token.
+    #[test]
+    fn regression_dense_escape_wrap_backtracking() {
+        let input = format!("{}{}", "\\\\+".repeat(15), "\\+".repeat(3));
+        assert_wrap_round_trip(&input);
+    }
+
+    /// Regression: a malformed `\+` escape with no terminating `;` used
+    /// to consume every remaining character of the line as "hex" and
+    /// silently drop it. Malformed escapes must now be emitted verbatim
+    /// with nothing consumed beyond the (≤ 6) scanned hex digits.
+    #[test]
+    fn regression_malformed_escape_keeps_input() {
+        // No terminator at all: previously the rest of the line vanished.
+        assert_eq!(unescape_content("\\+0041 rest"), "\\+0041 rest");
+        // Hex scan caps at 6 digits; the 7th digit and `;` pass through.
+        assert_eq!(unescape_content("\\+0000041;"), "\\+0000041;");
+        // Empty hex, non-hex digits, invalid scalar: all verbatim.
+        assert_eq!(unescape_content("\\+;"), "\\+;");
+        assert_eq!(unescape_content("\\+zz;"), "\\+zz;");
+        assert_eq!(unescape_content("\\+D800;"), "\\+D800;");
+        // Well-formed escapes still decode, including 5-digit ones.
+        assert_eq!(unescape_content("\\+E9;"), "é");
+        assert_eq!(unescape_content("\\+1F600;"), "\u{1F600}");
     }
 
     #[test]

@@ -310,6 +310,9 @@ impl InteractionManager {
     pub fn draw_region(&mut self, world: &mut World, region: &Region) {
         self.stats.updates += 1;
         world.collector().count("im.updates", 1);
+        world
+            .collector()
+            .observe("im.damage_rects", region.rects().len() as u64);
         let _span = world.collector().span("im.update_pass");
         let g = self.window.graphic();
         g.gsave();

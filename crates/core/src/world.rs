@@ -21,7 +21,7 @@
 //!   console deterministically;
 //! * the component [`Catalog`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use atk_graphics::{Point, Rect, Region};
@@ -53,6 +53,20 @@ struct Timer {
     token: u32,
 }
 
+/// A memoized view→window transform: translate a view-local rect by
+/// `(dx, dy)` and intersect with `clip` (window coordinates) to get the
+/// visible window-space rect — no tree walk. `root` is the view's root
+/// ancestor. Valid only while `epoch` matches the world's geometry
+/// epoch, which is bumped on any bounds or parent change.
+#[derive(Clone, Copy)]
+struct CachedXform {
+    epoch: u64,
+    dx: i32,
+    dy: i32,
+    clip: Rect,
+    root: ViewId,
+}
+
 /// The object world. See the module docs.
 pub struct World {
     data: Arena<DataSlot, DataMark>,
@@ -66,6 +80,11 @@ pub struct World {
     clock_ms: u64,
     timers: Vec<Timer>,
     notifications_delivered: u64,
+    /// View→window transform cache; see [`CachedXform`].
+    xform_cache: HashMap<ViewId, CachedXform>,
+    /// Bumped on every geometry or parent change; stale cache entries
+    /// are detected by epoch mismatch instead of eager invalidation.
+    xform_epoch: u64,
     /// Metrics/span sink for the update pipeline; defaults to the
     /// process-wide collector, which starts disabled (near-zero cost).
     collector: Arc<Collector>,
@@ -90,6 +109,8 @@ impl World {
             clock_ms: 0,
             timers: Vec::new(),
             notifications_delivered: 0,
+            xform_cache: HashMap::new(),
+            xform_epoch: 0,
             collector: atk_trace::global(),
         }
     }
@@ -310,6 +331,8 @@ impl World {
             self.remove_view_tree(c);
         }
         self.views.remove(id);
+        self.xform_cache.remove(&id);
+        self.xform_epoch += 1;
     }
 
     /// Number of live views.
@@ -378,6 +401,7 @@ impl World {
             None => false,
         };
         if changed {
+            self.xform_epoch += 1;
             self.with_view(id, |v, w| v.layout(w));
         }
     }
@@ -392,6 +416,7 @@ impl World {
     pub fn set_view_parent(&mut self, child: ViewId, parent: Option<ViewId>) {
         if let Some(slot) = self.views.get_mut(child) {
             slot.parent = parent;
+            self.xform_epoch += 1;
         }
     }
 
@@ -424,11 +449,31 @@ impl World {
 
     /// Posts a view-local dirty rectangle ("update request posted up the
     /// tree").
+    ///
+    /// Posting is O(1): rects accumulate in a pending list that is
+    /// bulk-coalesced when drained ([`World::take_damage_region`]). A
+    /// cheap containment check against the most recent entry absorbs the
+    /// common repeat patterns (same caret rect, growing invalidation) at
+    /// post time; absorbed rects count as `world.damage_coalesced`.
     pub fn post_damage(&mut self, view: ViewId, local: Rect) {
-        if !local.is_empty() {
-            self.damage.push((view, local));
-            self.collector.count("world.post_damage", 1);
+        if local.is_empty() {
+            return;
         }
+        if let Some(&(last_view, last_rect)) = self.damage.last() {
+            if last_view == view {
+                if last_rect.contains_rect(local) {
+                    self.collector.count("world.damage_coalesced", 1);
+                    return;
+                }
+                if local.contains_rect(last_rect) {
+                    self.damage.last_mut().unwrap().1 = local;
+                    self.collector.count("world.damage_coalesced", 1);
+                    return;
+                }
+            }
+        }
+        self.damage.push((view, local));
+        self.collector.count("world.post_damage", 1);
     }
 
     /// Posts the view's whole bounds as damage.
@@ -442,14 +487,28 @@ impl World {
         !self.damage.is_empty()
     }
 
+    /// Number of queued damage entries (post-time coalescing makes this
+    /// smaller than the number of `post_damage` calls).
+    pub fn pending_damage_len(&self) -> usize {
+        self.damage.len()
+    }
+
     /// Drains the damage list into a window-coordinate region.
+    ///
+    /// The pending rects are converted through the cached view→window
+    /// transforms and coalesced in one bulk union sweep
+    /// ([`Region::from_rects`]) — O(n log n) instead of the O(n²·bands)
+    /// of unioning one rect at a time.
     pub fn take_damage_region(&mut self) -> Region {
         let _span = self.collector.span("world.damage_to_window");
-        let mut region = Region::new();
-        for (view, local) in std::mem::take(&mut self.damage) {
-            region.add_rect(self.clip_damage_to_window(view, local));
-        }
-        region
+        let posted = std::mem::take(&mut self.damage);
+        self.collector
+            .observe("world.damage_drained", posted.len() as u64);
+        let rects: Vec<Rect> = posted
+            .into_iter()
+            .map(|(view, local)| self.clip_damage_to_window(view, local))
+            .collect();
+        Region::from_rects(rects)
     }
 
     /// Drains only the damage belonging to the tree rooted at `root`,
@@ -458,36 +517,72 @@ impl World {
     /// world (paper §2's multi-window editing).
     pub fn take_damage_region_for(&mut self, root: ViewId) -> Region {
         let _span = self.collector.span("world.damage_to_window");
-        let mut region = Region::new();
+        let posted = std::mem::take(&mut self.damage);
+        let mut rects = Vec::new();
         let mut keep = Vec::new();
-        for (view, local) in std::mem::take(&mut self.damage) {
-            let mine = self
-                .path_to(view)
-                .first()
-                .map(|r| *r == root)
-                .unwrap_or(false);
-            if mine {
-                region.add_rect(self.clip_damage_to_window(view, local));
+        for (view, local) in posted {
+            if self.window_xform(view).root == root {
+                rects.push(self.clip_damage_to_window(view, local));
             } else {
                 keep.push((view, local));
             }
         }
         self.damage = keep;
-        region
+        self.collector
+            .observe("world.damage_drained", rects.len() as u64);
+        Region::from_rects(rects)
     }
 
     /// Converts view-local damage to window coordinates, clipping to the
-    /// visible extent at every level on the way up.
-    fn clip_damage_to_window(&self, view: ViewId, local: Rect) -> Rect {
-        let mut r = local;
-        let mut cur = Some(view);
-        while let Some(id) = cur {
-            let b = self.view_bounds(id);
-            r = r.intersect(Rect::at(Point::ORIGIN, b.size()));
-            r = r.translate(b.x, b.y);
-            cur = self.view_parent(id);
+    /// visible extent at every level on the way up — via the memoized
+    /// transform, so the tree walk happens once per geometry epoch
+    /// rather than once per rect.
+    fn clip_damage_to_window(&mut self, view: ViewId, local: Rect) -> Rect {
+        let x = self.window_xform(view);
+        local.translate(x.dx, x.dy).intersect(x.clip)
+    }
+
+    /// The view's window transform, from cache or by one root→view walk
+    /// (which fills the cache for every ancestor on the path too).
+    fn window_xform(&mut self, view: ViewId) -> CachedXform {
+        if let Some(c) = self.xform_cache.get(&view) {
+            if c.epoch == self.xform_epoch {
+                self.collector.count("world.xform_cache_hit", 1);
+                return *c;
+            }
         }
-        r
+        self.collector.count("world.xform_cache_miss", 1);
+        let path = self.path_to(view);
+        let root = path[0];
+        let (mut dx, mut dy) = (0i32, 0i32);
+        let mut clip: Option<Rect> = None;
+        let mut cached = CachedXform {
+            epoch: self.xform_epoch,
+            dx: 0,
+            dy: 0,
+            clip: Rect::EMPTY,
+            root,
+        };
+        for &id in &path {
+            let b = self.view_bounds(id);
+            dx += b.x;
+            dy += b.y;
+            let extent = Rect::new(dx, dy, b.width, b.height);
+            let c = match clip {
+                Some(c) => c.intersect(extent),
+                None => extent,
+            };
+            clip = Some(c);
+            cached = CachedXform {
+                epoch: self.xform_epoch,
+                dx,
+                dy,
+                clip: c,
+                root,
+            };
+            self.xform_cache.insert(id, cached);
+        }
+        cached
     }
 
     // --- Dispatch helpers ---------------------------------------------------
@@ -786,6 +881,51 @@ mod tests {
         w.post_damage(v, Rect::new(15, 15, 100, 100));
         let region = w.take_damage_region();
         assert_eq!(region.bounding_box(), Rect::new(25, 25, 5, 5));
+    }
+
+    #[test]
+    fn contained_damage_posts_coalesce_at_post_time() {
+        let mut w = World::new();
+        let v = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_bounds(v, Rect::new(0, 0, 100, 100));
+        // Growing rects on the same view: each new post swallows the
+        // previous pending entry...
+        w.post_damage(v, Rect::new(10, 10, 5, 5));
+        w.post_damage(v, Rect::new(10, 10, 20, 20));
+        // ...and a rect already inside the pending entry is absorbed.
+        w.post_damage(v, Rect::new(12, 12, 3, 3));
+        assert_eq!(w.pending_damage_len(), 1);
+        let region = w.take_damage_region();
+        assert_eq!(region.bounding_box(), Rect::new(10, 10, 20, 20));
+    }
+
+    #[test]
+    fn xform_cache_invalidates_on_geometry_and_parent_changes() {
+        let mut w = World::new();
+        let parent = w.insert_view(Box::new(ProbeView::new()));
+        let child = w.insert_view(Box::new(ProbeView::new()));
+        w.set_view_parent(child, Some(parent));
+        w.set_view_bounds(parent, Rect::new(100, 50, 200, 200));
+        w.set_view_bounds(child, Rect::new(10, 20, 50, 50));
+        w.post_damage(child, Rect::new(1, 2, 5, 5));
+        assert_eq!(
+            w.take_damage_region().bounding_box(),
+            Rect::new(111, 72, 5, 5)
+        );
+        // Move the parent: the cached child transform must not be reused.
+        w.set_view_bounds(parent, Rect::new(0, 0, 200, 200));
+        w.post_damage(child, Rect::new(1, 2, 5, 5));
+        assert_eq!(
+            w.take_damage_region().bounding_box(),
+            Rect::new(11, 22, 5, 5)
+        );
+        // Reparent to the root: offsets drop the old parent's origin.
+        w.set_view_parent(child, None);
+        w.post_damage(child, Rect::new(1, 2, 5, 5));
+        assert_eq!(
+            w.take_damage_region().bounding_box(),
+            Rect::new(11, 22, 5, 5)
+        );
     }
 
     #[test]

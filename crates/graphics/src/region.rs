@@ -18,6 +18,19 @@
 //!
 //! These invariants make equality structural: two regions covering the
 //! same pixel set compare equal. Property tests in this module check that.
+//!
+//! # Algorithm
+//!
+//! Boolean combination is a single merged y-sweep over both operands'
+//! bands (the X server's `miRegionOp` shape): the two banded lists are
+//! walked in lock-step, y-ranges where only one operand has a band are
+//! copied (or skipped, per the operator), and overlapping y-ranges merge
+//! the two bands' x-intervals with one two-pointer pass. Total cost is
+//! linear in the number of input plus output rectangles — no elementary
+//! slab rebuild, no per-slab membership probes. Trivial cases (an empty
+//! operand, disjoint bounding boxes, repeated damage rects) short-circuit
+//! and are counted under the `region.fast_path` metric on the global
+//! [`atk_trace`] collector.
 
 use crate::geom::{Point, Rect};
 
@@ -80,8 +93,73 @@ impl Region {
     }
 
     /// Adds `r` to the region (in place).
+    ///
+    /// Damage streams are full of repeats and monotone scans, so three
+    /// O(1) shapes skip the general sweep: an empty region, a rect the
+    /// last rect already covers, and a rect strictly below every band.
     pub fn add_rect(&mut self, r: Rect) {
+        if r.is_empty() {
+            return;
+        }
+        if self.rects.is_empty() {
+            fast_path();
+            self.rects.push(r);
+            return;
+        }
+        let last = *self.rects.last().unwrap();
+        if last.contains_rect(r) {
+            fast_path();
+            return;
+        }
+        if r.y >= last.bottom() {
+            // Below every band (the last band has the maximal bottom).
+            fast_path();
+            let n = self.rects.len();
+            let last_band_is_single = n < 2 || self.rects[n - 2].y != last.y;
+            if r.y == last.bottom() && last_band_is_single && r.x == last.x && r.width == last.width
+            {
+                // Identical x-structure in an adjacent band: coalesce.
+                self.rects[n - 1].height += r.height;
+            } else {
+                self.rects.push(r);
+            }
+            return;
+        }
         *self = self.union(&Region::from_rect(r));
+    }
+
+    /// Builds a region covering the union of arbitrary (possibly
+    /// overlapping, unsorted) rectangles.
+    ///
+    /// Pairwise divide-and-conquer union: O(n log n) band merges rather
+    /// than the O(n²) of a repeated [`Region::add_rect`] loop. This is
+    /// the bulk-coalesce entry point for batched damage accumulation.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Region {
+        let mut parts: Vec<Region> = rects
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(Region::from_rect)
+            .collect();
+        if parts.len() > 1 {
+            // Presorting by band keeps intermediate unions mostly
+            // ordered, so the sweeps coalesce early.
+            parts.sort_unstable_by_key(|p| {
+                let r = p.rects[0];
+                (r.y, r.x)
+            });
+        }
+        while parts.len() > 1 {
+            let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+            let mut iter = parts.chunks_exact(2);
+            for pair in iter.by_ref() {
+                next.push(pair[0].union(&pair[1]));
+            }
+            if let [odd] = iter.remainder() {
+                next.push(odd.clone());
+            }
+            parts = next;
+        }
+        parts.pop().unwrap_or_default()
     }
 
     /// Removes `r` from the region (in place).
@@ -116,89 +194,259 @@ impl Region {
         }
     }
 
-    /// Band-sweep boolean combination.
+    /// Band-merge boolean combination: one merged y-sweep over both
+    /// operands' bands, two-pointer interval merges per band. Linear in
+    /// input + output rectangles.
     fn combine(&self, other: &Region, op: Op) -> Region {
-        // Elementary y-slabs: every band edge from either operand.
-        let mut ys: Vec<i32> = Vec::with_capacity((self.rects.len() + other.rects.len()) * 2);
-        for r in self.rects.iter().chain(other.rects.iter()) {
-            ys.push(r.y);
-            ys.push(r.bottom());
+        // Trivial-operand fast paths.
+        if self.rects.is_empty() || other.rects.is_empty() {
+            fast_path();
+            return match op {
+                Op::Union => {
+                    if self.rects.is_empty() {
+                        other.clone()
+                    } else {
+                        self.clone()
+                    }
+                }
+                Op::Intersect => Region::new(),
+                Op::Subtract => self.clone(),
+            };
         }
-        ys.sort_unstable();
-        ys.dedup();
+        // Disjoint bounding boxes decide intersect/subtract outright.
+        if op != Op::Union && !self.bounding_box().intersects(other.bounding_box()) {
+            fast_path();
+            return match op {
+                Op::Intersect => Region::new(),
+                _ => self.clone(),
+            };
+        }
 
-        let mut out: Vec<Rect> = Vec::new();
-        for w in ys.windows(2) {
-            let (top, bot) = (w[0], w[1]);
-            let a = slab_intervals(&self.rects, top, bot);
-            let b = slab_intervals(&other.rects, top, bot);
-            let combined = combine_intervals(&a, &b, op);
-            let mut band: Vec<Rect> = combined
-                .into_iter()
-                .map(|(x0, x1)| Rect::new(x0, top, x1 - x0, bot - top))
-                .collect();
-            coalesce_with_previous_band(&mut out, &mut band);
-            out.append(&mut band);
+        let keep_a = op != Op::Intersect; // y-ranges covered only by self
+        let keep_b = op == Op::Union; //     …only by other
+        let mut out: Vec<Rect> = Vec::with_capacity(self.rects.len() + other.rects.len());
+        let mut scratch: Vec<Rect> = Vec::new();
+        let mut ca = BandCursor::new(&self.rects);
+        let mut cb = BandCursor::new(&other.rects);
+
+        while !ca.done() && !cb.done() {
+            let (at, ab) = (ca.top, ca.bot());
+            let (bt, bb) = (cb.top, cb.bot());
+            if ab <= bt {
+                // a's band lies entirely above b's.
+                if keep_a {
+                    emit_band(&mut out, &mut scratch, at, ab, ca.band());
+                }
+                ca.advance_to(ab);
+            } else if bb <= at {
+                if keep_b {
+                    emit_band(&mut out, &mut scratch, bt, bb, cb.band());
+                }
+                cb.advance_to(bb);
+            } else if at < bt {
+                // a sticks out above the overlap: emit the a-only slab.
+                if keep_a {
+                    emit_band(&mut out, &mut scratch, at, bt, ca.band());
+                }
+                ca.advance_to(bt);
+            } else if bt < at {
+                if keep_b {
+                    emit_band(&mut out, &mut scratch, bt, at, cb.band());
+                }
+                cb.advance_to(at);
+            } else {
+                // Tops aligned: merge the overlapping slab.
+                let bot = ab.min(bb);
+                merge_bands(&mut out, &mut scratch, at, bot, ca.band(), cb.band(), op);
+                ca.advance_to(bot);
+                cb.advance_to(bot);
+            }
+        }
+        while keep_a && !ca.done() {
+            let bot = ca.bot();
+            emit_band(&mut out, &mut scratch, ca.top, bot, ca.band());
+            ca.advance_to(bot);
+        }
+        while keep_b && !cb.done() {
+            let bot = cb.bot();
+            emit_band(&mut out, &mut scratch, cb.top, bot, cb.band());
+            cb.advance_to(bot);
         }
         Region { rects: out }
     }
 }
 
-/// X-intervals of `rects` covering the slab `top..bot`.
-///
-/// Because region rects are banded and disjoint, the covering rects of an
-/// elementary slab are already disjoint in x; we only need to sort and
-/// merge adjacency.
-fn slab_intervals(rects: &[Rect], top: i32, bot: i32) -> Vec<(i32, i32)> {
-    let mut iv: Vec<(i32, i32)> = rects
-        .iter()
-        .filter(|r| r.y <= top && r.bottom() >= bot)
-        .map(|r| (r.x, r.right()))
-        .collect();
-    iv.sort_unstable();
-    // Merge touching/overlapping intervals.
-    let mut merged: Vec<(i32, i32)> = Vec::with_capacity(iv.len());
-    for (a, b) in iv {
-        match merged.last_mut() {
-            Some((_, pb)) if *pb >= a => *pb = (*pb).max(b),
-            _ => merged.push((a, b)),
-        }
-    }
-    merged
+/// Counts a short-circuit in the region algebra on the process-wide
+/// collector (disabled collectors make this one relaxed atomic load).
+fn fast_path() {
+    atk_trace::global().count("region.fast_path", 1);
 }
 
-/// Boolean op over two sorted disjoint interval lists.
-fn combine_intervals(a: &[(i32, i32)], b: &[(i32, i32)], op: Op) -> Vec<(i32, i32)> {
-    // Sweep over all interval endpoints tracking membership in a and b.
-    let mut events: Vec<i32> = Vec::with_capacity((a.len() + b.len()) * 2);
-    for &(s, e) in a.iter().chain(b.iter()) {
-        events.push(s);
-        events.push(e);
-    }
-    events.sort_unstable();
-    events.dedup();
+/// A cursor over a banded rect list: the current band is the run
+/// `rects[start..end]` (shared y and height), with `top` advanced past
+/// `rects[start].y` when the other operand's band edges split this band.
+struct BandCursor<'r> {
+    rects: &'r [Rect],
+    start: usize,
+    end: usize,
+    top: i32,
+}
 
-    let inside_a = |x: i32| a.iter().any(|&(s, e)| s <= x && x < e);
-    let inside_b = |x: i32| b.iter().any(|&(s, e)| s <= x && x < e);
-
-    let mut out: Vec<(i32, i32)> = Vec::new();
-    for w in events.windows(2) {
-        let (s, e) = (w[0], w[1]);
-        let ia = inside_a(s);
-        let ib = inside_b(s);
-        let keep = match op {
-            Op::Union => ia || ib,
-            Op::Intersect => ia && ib,
-            Op::Subtract => ia && !ib,
+impl<'r> BandCursor<'r> {
+    fn new(rects: &'r [Rect]) -> BandCursor<'r> {
+        let mut c = BandCursor {
+            rects,
+            start: 0,
+            end: 0,
+            top: 0,
         };
-        if keep {
-            match out.last_mut() {
-                Some((_, pe)) if *pe == s => *pe = e,
-                _ => out.push((s, e)),
+        c.load(0);
+        c
+    }
+
+    /// Positions the cursor on the band starting at index `i`.
+    fn load(&mut self, i: usize) {
+        self.start = i;
+        if i >= self.rects.len() {
+            self.end = i;
+            return;
+        }
+        let (y, h) = (self.rects[i].y, self.rects[i].height);
+        let mut j = i + 1;
+        while j < self.rects.len() && self.rects[j].y == y && self.rects[j].height == h {
+            j += 1;
+        }
+        self.end = j;
+        self.top = y;
+    }
+
+    fn done(&self) -> bool {
+        self.start >= self.rects.len()
+    }
+
+    fn bot(&self) -> i32 {
+        self.rects[self.start].bottom()
+    }
+
+    fn band(&self) -> &'r [Rect] {
+        &self.rects[self.start..self.end]
+    }
+
+    /// Consumes the band up to `y`; reaching the band's bottom moves on
+    /// to the next band.
+    fn advance_to(&mut self, y: i32) {
+        if y >= self.bot() {
+            let next = self.end;
+            self.load(next);
+        } else {
+            self.top = y;
+        }
+    }
+}
+
+/// Emits `band`'s x-structure as a band spanning `top..bot`, coalescing
+/// with the previous output band when possible. `scratch` is a reusable
+/// buffer (left empty on return).
+fn emit_band(out: &mut Vec<Rect>, scratch: &mut Vec<Rect>, top: i32, bot: i32, band: &[Rect]) {
+    scratch.clear();
+    let h = bot - top;
+    scratch.extend(band.iter().map(|r| Rect::new(r.x, top, r.width, h)));
+    coalesce_with_previous_band(out, scratch);
+    out.append(scratch);
+}
+
+/// Merges the x-intervals of two aligned bands under `op` into a band
+/// spanning `top..bot`, appended to `out` (via `scratch`, reused).
+///
+/// Both inputs are sorted, disjoint, and non-adjacent in x (the region
+/// invariant), so every operator is a single two-pointer pass.
+fn merge_bands(
+    out: &mut Vec<Rect>,
+    scratch: &mut Vec<Rect>,
+    top: i32,
+    bot: i32,
+    a: &[Rect],
+    b: &[Rect],
+    op: Op,
+) {
+    scratch.clear();
+    let h = bot - top;
+    match op {
+        Op::Union => {
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() || j < b.len() {
+                let from_a = match (a.get(i), b.get(j)) {
+                    (Some(ra), Some(rb)) => ra.x <= rb.x,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                let r = if from_a {
+                    i += 1;
+                    a[i - 1]
+                } else {
+                    j += 1;
+                    b[j - 1]
+                };
+                match scratch.last_mut() {
+                    // Overlapping or adjacent: grow the previous interval.
+                    Some(last) if last.right() >= r.x => {
+                        if r.right() > last.right() {
+                            last.width = r.right() - last.x;
+                        }
+                    }
+                    _ => scratch.push(Rect::new(r.x, top, r.width, h)),
+                }
+            }
+        }
+        Op::Intersect => {
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                let x0 = a[i].x.max(b[j].x);
+                let x1 = a[i].right().min(b[j].right());
+                if x0 < x1 {
+                    scratch.push(Rect::new(x0, top, x1 - x0, h));
+                }
+                if a[i].right() <= b[j].right() {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        Op::Subtract => {
+            let mut j = 0;
+            for ra in a {
+                let mut x = ra.x;
+                let end = ra.right();
+                // b intervals entirely left of this a interval are done
+                // for good (a is sorted), so the outer pointer advances.
+                while j < b.len() && b[j].right() <= x {
+                    j += 1;
+                }
+                // A b interval can straddle into the next a interval, so
+                // scan with a local pointer from j.
+                let mut k = j;
+                while k < b.len() && b[k].x < end {
+                    if b[k].x > x {
+                        scratch.push(Rect::new(x, top, b[k].x - x, h));
+                    }
+                    x = x.max(b[k].right());
+                    if x >= end {
+                        break;
+                    }
+                    k += 1;
+                }
+                if x < end {
+                    scratch.push(Rect::new(x, top, end - x, h));
+                }
             }
         }
     }
-    out
+    if scratch.is_empty() {
+        return;
+    }
+    coalesce_with_previous_band(out, scratch);
+    out.append(scratch);
 }
 
 /// If the previous band in `out` is vertically adjacent to `band` and has
@@ -415,6 +663,147 @@ mod proptests {
                 for j in (i + 1)..rs.len() {
                     prop_assert!(!rs[i].intersects(rs[j]),
                         "rects {} and {} overlap", rs[i], rs[j]);
+                }
+            }
+        }
+
+        #[test]
+        fn from_rects_equals_add_rect_loop(rs in proptest::collection::vec(arb_rect(), 0..12)) {
+            let bulk = Region::from_rects(rs.iter().copied());
+            let mut looped = Region::new();
+            for r in rs {
+                looped.add_rect(r);
+            }
+            prop_assert_eq!(bulk, looped);
+        }
+    }
+}
+
+/// The pre-sweep reference implementation (elementary y-slabs with
+/// linear membership probes), kept verbatim as a semantic oracle: the
+/// band-merge sweep must produce *identical structure* on every input.
+#[cfg(test)]
+mod reference_oracle {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn slab_intervals(rects: &[Rect], top: i32, bot: i32) -> Vec<(i32, i32)> {
+        let mut iv: Vec<(i32, i32)> = rects
+            .iter()
+            .filter(|r| r.y <= top && r.bottom() >= bot)
+            .map(|r| (r.x, r.right()))
+            .collect();
+        iv.sort_unstable();
+        let mut merged: Vec<(i32, i32)> = Vec::with_capacity(iv.len());
+        for (a, b) in iv {
+            match merged.last_mut() {
+                Some((_, pb)) if *pb >= a => *pb = (*pb).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        merged
+    }
+
+    fn combine_intervals(a: &[(i32, i32)], b: &[(i32, i32)], op: Op) -> Vec<(i32, i32)> {
+        let mut events: Vec<i32> = Vec::with_capacity((a.len() + b.len()) * 2);
+        for &(s, e) in a.iter().chain(b.iter()) {
+            events.push(s);
+            events.push(e);
+        }
+        events.sort_unstable();
+        events.dedup();
+
+        let inside_a = |x: i32| a.iter().any(|&(s, e)| s <= x && x < e);
+        let inside_b = |x: i32| b.iter().any(|&(s, e)| s <= x && x < e);
+
+        let mut out: Vec<(i32, i32)> = Vec::new();
+        for w in events.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let ia = inside_a(s);
+            let ib = inside_b(s);
+            let keep = match op {
+                Op::Union => ia || ib,
+                Op::Intersect => ia && ib,
+                Op::Subtract => ia && !ib,
+            };
+            if keep {
+                match out.last_mut() {
+                    Some((_, pe)) if *pe == s => *pe = e,
+                    _ => out.push((s, e)),
+                }
+            }
+        }
+        out
+    }
+
+    /// The old `Region::combine`, verbatim.
+    pub(super) fn reference_combine(a: &Region, b: &Region, op: Op) -> Region {
+        let mut ys: Vec<i32> = Vec::with_capacity((a.rects.len() + b.rects.len()) * 2);
+        for r in a.rects.iter().chain(b.rects.iter()) {
+            ys.push(r.y);
+            ys.push(r.bottom());
+        }
+        ys.sort_unstable();
+        ys.dedup();
+
+        let mut out: Vec<Rect> = Vec::new();
+        for w in ys.windows(2) {
+            let (top, bot) = (w[0], w[1]);
+            let ia = slab_intervals(&a.rects, top, bot);
+            let ib = slab_intervals(&b.rects, top, bot);
+            let combined = combine_intervals(&ia, &ib, op);
+            let mut band: Vec<Rect> = combined
+                .into_iter()
+                .map(|(x0, x1)| Rect::new(x0, top, x1 - x0, bot - top))
+                .collect();
+            coalesce_with_previous_band(&mut out, &mut band);
+            out.append(&mut band);
+        }
+        Region { rects: out }
+    }
+
+    /// Wider coordinate range than the pixel-oracle tests: equivalence
+    /// checking needs no per-pixel scan, so the grid can be much larger.
+    fn big_rect() -> impl Strategy<Value = Rect> {
+        (0i32..400, 0i32..400, 1i32..160, 1i32..160).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+    }
+
+    fn big_region() -> impl Strategy<Value = Region> {
+        proptest::collection::vec(big_rect(), 0..10)
+            .prop_map(|rs| Region::from_rects(rs.into_iter()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn sweep_matches_reference_structurally(a in big_region(), b in big_region()) {
+            for op in [Op::Union, Op::Intersect, Op::Subtract] {
+                let new = a.combine(&b, op);
+                let old = reference_combine(&a, &b, op);
+                prop_assert_eq!(new, old);
+            }
+        }
+
+        #[test]
+        fn sweep_matches_pixel_oracle_on_larger_grid(
+            a in proptest::collection::vec(
+                (0i32..120, 0i32..120, 1i32..50, 1i32..50), 0..8),
+            b in proptest::collection::vec(
+                (0i32..120, 0i32..120, 1i32..50, 1i32..50), 0..8),
+        ) {
+            let ra = Region::from_rects(a.iter().map(|&(x, y, w, h)| Rect::new(x, y, w, h)));
+            let rb = Region::from_rects(b.iter().map(|&(x, y, w, h)| Rect::new(x, y, w, h)));
+            let u = ra.union(&rb);
+            let i = ra.intersect(&rb);
+            let d = ra.subtract(&rb);
+            for y in -1..175 {
+                for x in -1..175 {
+                    let p = Point::new(x, y);
+                    let (ina, inb) = (ra.contains(p), rb.contains(p));
+                    prop_assert_eq!(u.contains(p), ina || inb, "union wrong at {},{}", x, y);
+                    prop_assert_eq!(i.contains(p), ina && inb, "intersect wrong at {},{}", x, y);
+                    prop_assert_eq!(d.contains(p), ina && !inb, "subtract wrong at {},{}", x, y);
                 }
             }
         }

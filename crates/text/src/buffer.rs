@@ -78,14 +78,14 @@ impl GapBuffer {
         }
         if pos < self.gap_start {
             // Shift the span [pos, gap_start) right past the gap.
-            for i in (pos..self.gap_start).rev() {
-                self.buf[i + self.gap_len] = self.buf[i];
-            }
+            self.buf
+                .copy_within(pos..self.gap_start, pos + self.gap_len);
         } else {
             // Shift the span [gap_start+gap_len, pos+gap_len) left.
-            for i in self.gap_start..pos {
-                self.buf[i] = self.buf[i + self.gap_len];
-            }
+            self.buf.copy_within(
+                self.gap_start + self.gap_len..pos + self.gap_len,
+                self.gap_start,
+            );
         }
         self.gap_start = pos;
     }
@@ -98,12 +98,9 @@ impl GapBuffer {
         let old_len = self.buf.len();
         self.buf.resize(old_len + grow, '\0');
         // Move the tail (after the gap) to the end of the new allocation.
-        let tail_len = old_len - (self.gap_start + self.gap_len);
-        for i in (0..tail_len).rev() {
-            let from = self.gap_start + self.gap_len + i;
-            let to = self.buf.len() - tail_len + i;
-            self.buf[to] = self.buf[from];
-        }
+        let tail_start = self.gap_start + self.gap_len;
+        let new_tail_start = self.buf.len() - (old_len - tail_start);
+        self.buf.copy_within(tail_start..old_len, new_tail_start);
         self.gap_len += grow;
     }
 

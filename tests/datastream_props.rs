@@ -2,6 +2,7 @@
 //! with whole components in the loop.
 
 use atk_apps::standard_world;
+use atk_core::datastream::{escape_content, unescape_content};
 use atk_core::{audit_stream, document_to_string, read_document};
 use atk_table::{CellInput, TableData};
 use atk_text::{Style, TextData};
@@ -23,6 +24,60 @@ fn arb_text_content() -> impl Strategy<Value = String> {
         0..8,
     )
     .prop_map(|lines| lines.join("\n"))
+}
+
+/// Joins physical lines exactly as the reader does: while the line ends
+/// in an odd run of backslashes, pop the continuation `\` and append
+/// the next physical line. Returns the logical line plus how many
+/// physical lines were consumed.
+fn reader_join(phys: &[String]) -> (String, usize) {
+    let mut line = phys[0].clone();
+    let mut used = 1;
+    while line.bytes().rev().take_while(|&b| b == b'\\').count() % 2 == 1 && used < phys.len() {
+        line.pop();
+        line.push_str(&phys[used]);
+        used += 1;
+    }
+    (line, used)
+}
+
+fn arb_wrap_stress() -> impl Strategy<Value = String> {
+    // Dense mixtures of backslash runs, literal `+`, and characters
+    // that escape to `\+XXXX;`, with a plain-ASCII pad that slides the
+    // mixture across the 78-column wrap boundary.
+    (
+        0usize..90,
+        proptest::collection::vec(
+            prop_oneof![
+                Just("\\".to_string()),
+                Just("+".to_string()),
+                Just("\\+".to_string()),
+                Just("\\\\+".to_string()),
+                Just("é".to_string()),
+                Just("\\é".to_string()),
+                Just("\u{1F600}".to_string()),
+                Just("a".to_string()),
+            ],
+            0..60,
+        ),
+    )
+        .prop_map(|(pad, blocks)| format!("{}{}", "a".repeat(pad), blocks.concat()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1200))]
+
+    #[test]
+    fn wrap_boundary_escapes_round_trip(content in arb_wrap_stress()) {
+        let phys = escape_content(&content);
+        for p in &phys {
+            prop_assert!(p.len() <= 78, "physical line too long ({}): {:?}", p.len(), p);
+            prop_assert!(p.is_ascii(), "unescaped non-ASCII leaked: {:?}", p);
+        }
+        let (joined, used) = reader_join(&phys);
+        prop_assert_eq!(used, phys.len(), "continuation join stopped early: {:?}", phys);
+        prop_assert_eq!(unescape_content(&joined), content);
+    }
 }
 
 proptest! {
