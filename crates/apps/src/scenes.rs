@@ -83,6 +83,17 @@ fn scripted_pump(world: &mut World, im: &mut InteractionManager) {
     im.redraw_full(world);
 }
 
+/// A process-unique scratch directory under the system temp dir.
+/// `std::process::id()` alone is shared by every `#[test]` in a binary,
+/// so parallel tests (or repeated scene builds in one process) would
+/// stomp each other; a per-call counter keeps them disjoint.
+pub fn unique_temp_dir(prefix: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{prefix}_{}_{n}", std::process::id()))
+}
+
 /// Figure 1: a window containing a frame, scrollbar, text view, and an
 /// embedded table view, with the message line — and the letter from the
 /// figure ("Dear David, Enclosed is a list of our expenses …").
@@ -160,7 +171,7 @@ pub fn fig2_help(ws: &mut dyn WindowSystem) -> Result<Scene, String> {
 /// message whose body embeds a drawing.
 pub fn fig3_messages_reading(ws: &mut dyn WindowSystem) -> Result<Scene, String> {
     let mut world = crate::standard_world();
-    let root = std::env::temp_dir().join(format!("atk_fig3_{}", std::process::id()));
+    let root = unique_temp_dir("atk_fig3");
     let _ = std::fs::remove_dir_all(&root);
     let store = crate::MessageStore::open(&root).map_err(|e| e.to_string())?;
     store.seed_demo(&mut world).map_err(|e| e.to_string())?;
@@ -302,16 +313,45 @@ pub fn fig5_ez_compound(ws: &mut dyn WindowSystem) -> Result<Scene, String> {
     })
 }
 
+/// A scene builder, as stored in the registry.
+pub type SceneBuilder = fn(&mut dyn WindowSystem) -> Result<Scene, String>;
+
+/// Every shipped scene, by its snapshot name (registry for `runcheck`
+/// and the snapshot tooling).
+pub fn scene_registry() -> Vec<(&'static str, SceneBuilder)> {
+    vec![
+        ("fig1_view_tree", fig1_view_tree as SceneBuilder),
+        ("fig2_help", fig2_help),
+        ("fig3_messages_reading", fig3_messages_reading),
+        ("fig4_messages_compose", fig4_messages_compose),
+        ("fig5_ez_compound", fig5_ez_compound),
+    ]
+}
+
+/// Names of every shipped scene.
+pub fn scene_names() -> Vec<&'static str> {
+    scene_registry().iter().map(|(n, _)| *n).collect()
+}
+
+/// Builds the named scene (full snapshot name, or a short prefix like
+/// `fig3`) on a fresh instance of `backend`.
+pub fn build_scene(name: &str, backend: &str) -> Result<Scene, String> {
+    for (full, builder) in scene_registry() {
+        if full == name || full.starts_with(&format!("{name}_")) {
+            let mut ws = atk_wm::open_window_system(Some(backend))?;
+            return builder(ws.as_mut());
+        }
+    }
+    Err(format!(
+        "unknown scene `{name}` (known: {})",
+        scene_names().join(", ")
+    ))
+}
+
 /// Builds every figure scene on a fresh backend instance each.
 pub fn all_figures(backend: &str) -> Result<Vec<Scene>, String> {
     let mut scenes = Vec::new();
-    for builder in [
-        fig1_view_tree as fn(&mut dyn WindowSystem) -> Result<Scene, String>,
-        fig2_help,
-        fig3_messages_reading,
-        fig4_messages_compose,
-        fig5_ez_compound,
-    ] {
+    for (_, builder) in scene_registry() {
         let mut ws = atk_wm::open_window_system(Some(backend))?;
         scenes.push(builder(ws.as_mut())?);
     }

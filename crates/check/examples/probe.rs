@@ -1,0 +1,63 @@
+//! Repaint triage for minimized scripts: replay a script against a
+//! scene, then diff the incremental framebuffer against a from-scratch
+//! redraw and name the views under the divergence.
+//!
+//! ```sh
+//! cargo run --release -p atk-check --example probe -- fig1 /tmp/atk_check_fig1_7.script
+//! ```
+
+use atk_check::Session;
+use atk_core::{EventScript, ViewId, World};
+
+fn main() {
+    let scene = std::env::args().nth(1).unwrap_or_else(|| "fig1".into());
+    let script = std::env::args()
+        .nth(2)
+        .expect("usage: probe <scene> <script-file>");
+    let text = std::fs::read_to_string(&script).unwrap();
+    let steps = EventScript::parse(&text).unwrap().steps;
+    let mut s = Session::build(&scene, "x11sim").unwrap();
+    for st in &steps {
+        println!("apply {st:?}");
+        s.apply(st);
+    }
+    let before = s.im.snapshot().unwrap();
+    s.im.redraw_full(&mut s.world);
+    let after = s.im.snapshot().unwrap();
+
+    let (mut x0, mut y0, mut x1, mut y1, mut n) = (i32::MAX, i32::MAX, -1, -1, 0u64);
+    for y in 0..before.height() {
+        for x in 0..before.width() {
+            if before.get(x, y) != after.get(x, y) {
+                n += 1;
+                x0 = x0.min(x);
+                y0 = y0.min(y);
+                x1 = x1.max(x);
+                y1 = y1.max(y);
+            }
+        }
+    }
+    println!("diff: {n} px, bbox x[{x0},{x1}] y[{y0},{y1}]");
+
+    // Walk the tree with absolute origins; star the views whose bounds
+    // overlap the divergence box.
+    fn walk(world: &World, v: ViewId, ox: i32, oy: i32, depth: usize, bb: (i32, i32, i32, i32)) {
+        let b = world.view_bounds(v);
+        let (ax, ay) = (ox + b.x, oy + b.y);
+        let hit = ax <= bb.2 && ax + b.width > bb.0 && ay <= bb.3 && ay + b.height > bb.1;
+        let class = world.view_dyn(v).map(|vw| vw.class_name()).unwrap_or("?");
+        println!(
+            "{}{}{class} abs=({ax},{ay} {}x{})",
+            "  ".repeat(depth),
+            if hit { "*" } else { " " },
+            b.width,
+            b.height
+        );
+        if let Some(vw) = world.view_dyn(v) {
+            for c in vw.children() {
+                walk(world, c, ax, ay, depth + 1, bb);
+            }
+        }
+    }
+    walk(&s.world, s.im.root(), 0, 0, 0, (x0, y0, x1, y1));
+}

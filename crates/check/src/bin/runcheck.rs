@@ -1,0 +1,136 @@
+//! `runcheck` — seed-driven session fuzzing against the shipped scenes.
+//!
+//! ```text
+//! runcheck [--seed N] [--steps N] [--scene NAME|all] \
+//!          [--oracle repaint,roundtrip,tree,backend|all] \
+//!          [--window N] [--no-shrink]
+//! ```
+//!
+//! Exit status is non-zero when any oracle trips; the minimized
+//! reproducing script is written next to the temp dir and printed, so
+//! `runapp <app> --script <file>` can replay it.
+
+use atk_check::{run_check, CheckConfig, OracleSet};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: runcheck [--seed N] [--steps N] [--scene NAME|all] \
+         [--oracle LIST|all] [--window N] [--no-shrink]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("runcheck: {flag} needs a numeric argument");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = CheckConfig {
+        steps: 2000,
+        ..CheckConfig::default()
+    };
+    let mut scene_spec = "all".to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                config.seed = parse_num("--seed", argv.get(i + 1));
+                i += 2;
+            }
+            "--steps" => {
+                config.steps = parse_num("--steps", argv.get(i + 1));
+                i += 2;
+            }
+            "--window" => {
+                config.oracle_every = parse_num("--window", argv.get(i + 1));
+                i += 2;
+            }
+            "--scene" => {
+                let Some(name) = argv.get(i + 1) else { usage() };
+                scene_spec = name.clone();
+                i += 2;
+            }
+            "--oracle" => {
+                let Some(spec) = argv.get(i + 1) else { usage() };
+                match OracleSet::parse(spec) {
+                    Ok(set) => config.oracles = set,
+                    Err(e) => {
+                        eprintln!("runcheck: {e}");
+                        usage();
+                    }
+                }
+                i += 2;
+            }
+            "--no-shrink" => {
+                config.shrink = false;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    let scenes: Vec<String> = if scene_spec == "all" {
+        atk_apps::scenes::scene_names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    } else {
+        scene_spec.split(',').map(String::from).collect()
+    };
+
+    let mut failed = false;
+    for scene in &scenes {
+        let report = match run_check(scene, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("runcheck: {scene}: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "{}: {} steps (seed {}), {:.0} steps/s, {} oracle runs, {}",
+            report.scene,
+            report.steps_run,
+            config.seed,
+            report.steps_per_sec,
+            report.oracle_runs,
+            match &report.failure {
+                None => "clean".to_string(),
+                Some(f) => format!("VIOLATION ({})", f.violation.oracle),
+            }
+        );
+        if let Some(f) = &report.failure {
+            failed = true;
+            println!("  oracle:    {}", f.violation.oracle);
+            println!("  detail:    {}", f.violation.detail);
+            println!("  at step:   {}", f.at_step);
+            println!(
+                "  minimized: {} steps after {} shrink replays",
+                f.minimized.len(),
+                report.shrink_rounds
+            );
+            let path = std::env::temp_dir()
+                .join(format!("atk_check_{}_{}.script", report.scene, config.seed));
+            match std::fs::write(&path, &f.script) {
+                Ok(()) => println!(
+                    "  script:    {} (replay: runapp <app> --script {0})",
+                    path.display()
+                ),
+                Err(e) => println!("  script:    (could not write: {e})"),
+            }
+            for line in f.script.lines() {
+                println!("    | {line}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,448 @@
+//! # atk-check — deterministic session fuzzing for the toolkit
+//!
+//! The paper's toolkit was hardened by ~3000 campus users banging on EZ
+//! and its embedded components daily (§9). This crate is the mechanical
+//! stand-in: a seed-driven fuzzer that generates weighted random
+//! [`ScriptStep`] streams against the real scenes in
+//! [`atk_apps::scenes`], and checks four oracles after configurable step
+//! windows:
+//!
+//! * **repaint** — the incremental damage path must converge to the
+//!   same framebuffer as a from-scratch full redraw (§2's delayed
+//!   update protocol, exercised through PR 2's region algebra);
+//! * **roundtrip** — serialize the live document, read it into a fresh
+//!   world, re-serialize: byte identity (§5's datastream);
+//! * **tree** — parent/child links mutually consistent, no dangling
+//!   ids, acyclic, children clipped inside non-scrolling parents, focus
+//!   reachable from the root (§3's view tree);
+//! * **backend** — the same script on `X11Sim` and `AwmSim` yields
+//!   identical framebuffers and damage accounting (§8's window-system
+//!   independence).
+//!
+//! On failure the event stream is delta-debugged ([`shrink`]) to a
+//! 1-minimal script in the line-oriented format `runapp --script`
+//! replays. The run exports `check.steps`, `check.oracle_runs`, and
+//! `check.shrink_rounds` through `atk-trace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracles;
+pub mod shrink;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use atk_core::{EventScript, InteractionManager, ScriptStep, World};
+use atk_graphics::{Color, Point, Rect};
+use atk_trace::Collector;
+use atk_wm::WindowEvent;
+
+pub use oracles::{Oracle, Violation};
+
+/// Which oracles a run checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleSet {
+    /// Incremental repaint ≡ full redraw.
+    pub repaint: bool,
+    /// Datastream save/load/save identity.
+    pub roundtrip: bool,
+    /// View-tree structural invariants.
+    pub tree: bool,
+    /// X11Sim / AwmSim differential.
+    pub backend: bool,
+}
+
+impl OracleSet {
+    /// All four oracles.
+    pub fn all() -> OracleSet {
+        OracleSet {
+            repaint: true,
+            roundtrip: true,
+            tree: true,
+            backend: true,
+        }
+    }
+
+    /// Only the named oracle.
+    pub fn only(oracle: Oracle) -> OracleSet {
+        let mut set = OracleSet {
+            repaint: false,
+            roundtrip: false,
+            tree: false,
+            backend: false,
+        };
+        match oracle {
+            Oracle::Repaint => set.repaint = true,
+            Oracle::Roundtrip => set.roundtrip = true,
+            Oracle::Tree => set.tree = true,
+            Oracle::Backend => set.backend = true,
+        }
+        set
+    }
+
+    /// Parses a comma-separated list (`repaint,tree`) or `all`.
+    pub fn parse(spec: &str) -> Result<OracleSet, String> {
+        if spec == "all" {
+            return Ok(OracleSet::all());
+        }
+        let mut set = OracleSet {
+            repaint: false,
+            roundtrip: false,
+            tree: false,
+            backend: false,
+        };
+        for name in spec.split(',').filter(|s| !s.is_empty()) {
+            match name {
+                "repaint" => set.repaint = true,
+                "roundtrip" => set.roundtrip = true,
+                "tree" => set.tree = true,
+                "backend" => set.backend = true,
+                other => {
+                    return Err(format!(
+                        "unknown oracle `{other}` (repaint, roundtrip, tree, backend, all)"
+                    ))
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// Configuration for one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// RNG seed (same seed + scene → same stream).
+    pub seed: u64,
+    /// How many steps to generate.
+    pub steps: usize,
+    /// Check oracles every this many steps (and once at the end).
+    pub oracle_every: usize,
+    /// Which oracles to check.
+    pub oracles: OracleSet,
+    /// Primary backend.
+    pub backend: String,
+    /// Mirror backend for the differential oracle.
+    pub mirror_backend: String,
+    /// Whether to delta-debug a failing stream down to a minimal script.
+    pub shrink: bool,
+    /// Test-only fault injection: on every `Tick` step, scribble a pixel
+    /// on the primary window *without posting damage* — a planted
+    /// repaint bug the repaint oracle must catch and the shrinker must
+    /// minimize. Never set outside tests.
+    pub sabotage_on_tick: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            seed: 42,
+            steps: 1000,
+            oracle_every: 25,
+            oracles: OracleSet::all(),
+            backend: "x11sim".to_string(),
+            mirror_backend: "awmsim".to_string(),
+            shrink: true,
+            sabotage_on_tick: false,
+        }
+    }
+}
+
+/// A live fuzzing session: one scene's world and interaction manager,
+/// plus the bit of bookkeeping the repaint oracle needs.
+pub struct Session {
+    /// The object world.
+    pub world: World,
+    /// The interaction manager over the scene's window.
+    pub im: InteractionManager,
+    /// True when menu traffic may have painted the transient pop-up
+    /// overlay since the last full redraw (see
+    /// [`oracles::check_repaint`]).
+    pub overlay_possible: bool,
+}
+
+impl Session {
+    /// Builds the named scene on `backend` and gives its world a fresh,
+    /// enabled collector (so `im.*` counters start at zero and the
+    /// backend differential can compare them).
+    pub fn build(scene: &str, backend: &str) -> Result<Session, String> {
+        let built = atk_apps::scenes::build_scene(scene, backend)?;
+        let mut session = Session::from_scene(built.world, built.im);
+        let collector = Arc::new(Collector::new());
+        collector.enable();
+        session.world.set_collector(collector);
+        Ok(session)
+    }
+
+    /// Wraps an already-built world and interaction manager.
+    pub fn from_scene(world: World, im: InteractionManager) -> Session {
+        Session {
+            world,
+            im,
+            overlay_possible: false,
+        }
+    }
+
+    /// Applies one step with the same semantics as [`EventScript::run`].
+    pub fn apply(&mut self, step: &ScriptStep) {
+        match step {
+            ScriptStep::Event(ev) => self.im.feed(&mut self.world, ev.clone()),
+            ScriptStep::MenuSelect(label) => {
+                self.im.feed(
+                    &mut self.world,
+                    WindowEvent::MenuRequest { pos: Point::ORIGIN },
+                );
+                self.im.select_menu(&mut self.world, label);
+                self.im.pump(&mut self.world);
+            }
+        }
+        if matches!(
+            step,
+            ScriptStep::Event(WindowEvent::MenuRequest { .. }) | ScriptStep::MenuSelect(_)
+        ) {
+            self.overlay_possible = true;
+        }
+    }
+
+    /// The planted repaint bug: paint a pixel behind the damage
+    /// system's back.
+    fn sabotage(&mut self) {
+        let g = self.im.window_mut().graphic();
+        g.set_foreground(Color::RED);
+        g.fill_rect(Rect::new(2, 2, 3, 3));
+        g.flush();
+    }
+}
+
+/// Where a violation was found and what the minimized reproduction is.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The tripped oracle and its explanation.
+    pub violation: Violation,
+    /// Step index (0-based into the generated stream) after which the
+    /// oracle tripped.
+    pub at_step: usize,
+    /// The minimized reproducing steps (the full failing prefix when
+    /// shrinking is disabled).
+    pub minimized: Vec<ScriptStep>,
+    /// The minimized steps rendered in the line-oriented script format
+    /// (`runapp <app> --script <file>` replays this).
+    pub script: String,
+}
+
+/// The outcome of one scene's fuzzing run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Scene name.
+    pub scene: String,
+    /// Steps actually applied.
+    pub steps_run: usize,
+    /// Oracle checks performed (individual oracle invocations).
+    pub oracle_runs: u64,
+    /// Candidate replays the shrinker performed.
+    pub shrink_rounds: u64,
+    /// Steps per second, wall clock, including oracle overhead.
+    pub steps_per_sec: f64,
+    /// The failure, if any oracle tripped.
+    pub failure: Option<FailureReport>,
+}
+
+/// What one pass over a (generated or replayed) stream produced.
+enum StreamOutcome {
+    Clean,
+    Failed {
+        prefix: Vec<ScriptStep>,
+        violation: Violation,
+        at_step: usize,
+    },
+}
+
+fn run_oracles(
+    primary: &mut Session,
+    mirror: Option<&mut Session>,
+    oracles: OracleSet,
+    collector: &Arc<Collector>,
+) -> Option<Violation> {
+    // Backend first: it wants both incremental framebuffers untouched.
+    if oracles.backend {
+        if let Some(m) = &mirror {
+            collector.count("check.oracle_runs", 1);
+            if let Some(detail) = oracles::check_backend(primary, m) {
+                return Some(Violation {
+                    oracle: Oracle::Backend,
+                    detail,
+                });
+            }
+        }
+    }
+    if oracles.repaint {
+        collector.count("check.oracle_runs", 1);
+        if let Some(detail) = oracles::check_repaint(primary) {
+            return Some(Violation {
+                oracle: Oracle::Repaint,
+                detail,
+            });
+        }
+        if let Some(m) = mirror {
+            collector.count("check.oracle_runs", 1);
+            if let Some(detail) = oracles::check_repaint(m) {
+                return Some(Violation {
+                    oracle: Oracle::Repaint,
+                    detail: format!("(mirror backend) {detail}"),
+                });
+            }
+        }
+    }
+    if oracles.roundtrip {
+        collector.count("check.oracle_runs", 1);
+        if let Some(detail) = oracles::check_roundtrip(primary) {
+            return Some(Violation {
+                oracle: Oracle::Roundtrip,
+                detail,
+            });
+        }
+    }
+    if oracles.tree {
+        collector.count("check.oracle_runs", 1);
+        if let Some(detail) = oracles::check_tree(primary) {
+            return Some(Violation {
+                oracle: Oracle::Tree,
+                detail,
+            });
+        }
+    }
+    None
+}
+
+/// Generates and applies `config.steps` steps, checking oracles every
+/// `oracle_every` steps and once at the end.
+fn run_stream(
+    scene: &str,
+    config: &CheckConfig,
+    collector: &Arc<Collector>,
+) -> Result<StreamOutcome, String> {
+    let mut primary = Session::build(scene, &config.backend)?;
+    let mut mirror = if config.oracles.backend {
+        Some(Session::build(scene, &config.mirror_backend)?)
+    } else {
+        None
+    };
+    let mut gen = gen::StepGen::new(config.seed);
+    let mut recorded: Vec<ScriptStep> = Vec::with_capacity(config.steps);
+    let window = config.oracle_every.max(1);
+    for i in 0..config.steps {
+        let step = gen.next_step(&mut primary.world, &mut primary.im);
+        primary.apply(&step);
+        if config.sabotage_on_tick && matches!(step, ScriptStep::Event(WindowEvent::Tick(_))) {
+            primary.sabotage();
+        }
+        if let Some(m) = &mut mirror {
+            m.apply(&step);
+        }
+        recorded.push(step);
+        collector.count("check.steps", 1);
+        let at_window = (i + 1) % window == 0 || i + 1 == config.steps;
+        if at_window {
+            if let Some(violation) =
+                run_oracles(&mut primary, mirror.as_mut(), config.oracles, collector)
+            {
+                return Ok(StreamOutcome::Failed {
+                    prefix: recorded,
+                    violation,
+                    at_step: i,
+                });
+            }
+        }
+    }
+    Ok(StreamOutcome::Clean)
+}
+
+/// Replays `steps` against a fresh scene, checking oracles after every
+/// step; returns the first violation. This is the shrinker's test
+/// function.
+fn replay_detect(
+    scene: &str,
+    config: &CheckConfig,
+    steps: &[ScriptStep],
+    collector: &Arc<Collector>,
+) -> Result<Option<Violation>, String> {
+    let mut primary = Session::build(scene, &config.backend)?;
+    let mut mirror = if config.oracles.backend {
+        Some(Session::build(scene, &config.mirror_backend)?)
+    } else {
+        None
+    };
+    for step in steps {
+        primary.apply(step);
+        if config.sabotage_on_tick && matches!(step, ScriptStep::Event(WindowEvent::Tick(_))) {
+            primary.sabotage();
+        }
+        if let Some(m) = &mut mirror {
+            m.apply(step);
+        }
+        if let Some(v) = run_oracles(&mut primary, mirror.as_mut(), config.oracles, collector) {
+            return Ok(Some(v));
+        }
+    }
+    // An empty candidate can still fail if the scene violates an oracle
+    // at rest (an input-independent bug).
+    if steps.is_empty() {
+        return Ok(run_oracles(
+            &mut primary,
+            mirror.as_mut(),
+            config.oracles,
+            collector,
+        ));
+    }
+    Ok(None)
+}
+
+/// Fuzzes one scene. `scene` is a name from
+/// [`atk_apps::scenes::scene_names`] (or a `fig3`-style prefix).
+pub fn run_check(scene: &str, config: &CheckConfig) -> Result<CheckReport, String> {
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    let start = Instant::now();
+    let outcome = run_stream(scene, config, &collector)?;
+    let failure = match outcome {
+        StreamOutcome::Clean => None,
+        StreamOutcome::Failed {
+            prefix,
+            violation,
+            at_step,
+        } => {
+            let minimized = if config.shrink {
+                shrink::minimize(&prefix, &collector, |candidate| {
+                    matches!(
+                        replay_detect(scene, config, candidate, &collector),
+                        Ok(Some(_))
+                    )
+                })
+            } else {
+                prefix
+            };
+            let script = EventScript {
+                steps: minimized.clone(),
+            }
+            .to_text();
+            Some(FailureReport {
+                violation,
+                at_step,
+                minimized,
+                script,
+            })
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let snap = collector.snapshot();
+    let steps_run = snap.counter("check.steps") as usize;
+    Ok(CheckReport {
+        scene: scene.to_string(),
+        steps_run,
+        oracle_runs: snap.counter("check.oracle_runs"),
+        shrink_rounds: snap.counter("check.shrink_rounds"),
+        steps_per_sec: steps_run as f64 / elapsed,
+        failure,
+    })
+}

@@ -119,6 +119,19 @@ impl View for ScrollView {
         self.body.into_iter().collect()
     }
 
+    fn perform(&mut self, world: &mut World, command: &str) -> bool {
+        // A body that scrolled itself (caret tracking, home/end, paging)
+        // says so through the deferred command channel; the elevator
+        // position is derived from the body's scroll_info at draw time,
+        // so it only needs the bar strip repainted.
+        if command == "scroll-sync" {
+            let bar = self.bar_rect(world);
+            world.post_damage(self.base.id, bar);
+            return true;
+        }
+        false
+    }
+
     fn desired_size(&mut self, world: &mut World, budget: i32) -> Size {
         let body = match self.body {
             Some(b) => world

@@ -430,6 +430,8 @@ mod tests {
         draws: u64,
         timers: Vec<u32>,
         focus_events: Vec<bool>,
+        keymap: crate::keymap::Keymap,
+        keystate: crate::keymap::KeyState,
     }
 
     impl Probe {
@@ -445,6 +447,8 @@ mod tests {
                 draws: 0,
                 timers: Vec::new(),
                 focus_events: Vec::new(),
+                keymap: crate::keymap::Keymap::new(),
+                keystate: crate::keymap::KeyState::new(),
             }
         }
     }
@@ -497,6 +501,21 @@ mod tests {
             }
         }
         fn key(&mut self, _w: &mut World, key: Key) -> bool {
+            // With a keymap installed the probe behaves like a real
+            // editing view: resolve chords, report unbound keys as
+            // unhandled so they bubble to the parent. Without one it
+            // swallows everything (the original probe behavior).
+            if !self.keymap.is_empty() {
+                use crate::keymap::KeyOutcome;
+                return match self.keystate.feed(&[&self.keymap], key) {
+                    KeyOutcome::Command(cmd) => {
+                        self.commands.push(cmd);
+                        true
+                    }
+                    KeyOutcome::Pending => true,
+                    KeyOutcome::Unbound(_) => false,
+                };
+            }
             self.keys.push(key);
             true
         }
@@ -584,6 +603,81 @@ mod tests {
         im.feed(&mut world, WindowEvent::ch('x'));
         assert!(world.view_as::<Probe>(child).unwrap().keys.is_empty());
         assert_eq!(im.stats().keys_filtered, 1);
+    }
+
+    #[test]
+    fn same_chord_resolves_by_focus_depth_not_globally() {
+        let (mut world, mut im, root, child) = setup();
+        world
+            .view_as_mut::<Probe>(root)
+            .unwrap()
+            .keymap
+            .bind1(Key::Ctrl('s'), "frame-search");
+        world
+            .view_as_mut::<Probe>(child)
+            .unwrap()
+            .keymap
+            .bind1(Key::Ctrl('s'), "text-search");
+        // Focus starts at the root: its own map resolves the key.
+        im.feed(&mut world, WindowEvent::Key(Key::Ctrl('s')));
+        assert_eq!(
+            world.view_as::<Probe>(root).unwrap().commands,
+            vec!["frame-search"]
+        );
+        // Focus the child: the same key now means something else.
+        im.feed(&mut world, WindowEvent::left_down(50, 50));
+        im.feed(&mut world, WindowEvent::Key(Key::Ctrl('s')));
+        assert_eq!(
+            world.view_as::<Probe>(child).unwrap().commands,
+            vec!["text-search"]
+        );
+        assert_eq!(world.view_as::<Probe>(root).unwrap().commands.len(), 1);
+    }
+
+    #[test]
+    fn unbound_key_after_valid_prefix_bubbles_to_parent() {
+        let (mut world, mut im, root, child) = setup();
+        world
+            .view_as_mut::<Probe>(child)
+            .unwrap()
+            .keymap
+            .bind(&[Key::Ctrl('x'), Key::Ctrl('s')], "save-document");
+        im.feed(&mut world, WindowEvent::left_down(50, 50));
+        // A valid prefix is consumed by the focus while it waits.
+        im.feed(&mut world, WindowEvent::Key(Key::Ctrl('x')));
+        assert!(world.view_as::<Probe>(root).unwrap().keys.is_empty());
+        // The chord breaks: the focus reports the key unhandled and the
+        // parent (empty map, swallows everything) sees it bubble.
+        im.feed(&mut world, WindowEvent::Key(Key::Char('q')));
+        assert!(world.view_as::<Probe>(child).unwrap().commands.is_empty());
+        assert_eq!(
+            world.view_as::<Probe>(root).unwrap().keys,
+            vec![Key::Char('q')]
+        );
+    }
+
+    #[test]
+    fn dangling_prefix_at_end_of_script_is_inert() {
+        let (mut world, mut im, root, child) = setup();
+        world
+            .view_as_mut::<Probe>(child)
+            .unwrap()
+            .keymap
+            .bind(&[Key::Ctrl('x'), Key::Ctrl('s')], "save-document");
+        im.feed(&mut world, WindowEvent::left_down(50, 50));
+        // The script ends mid-chord: no command fires, nothing leaks to
+        // the parent, and the session stays live.
+        let script = crate::EventScript::parse("key C-x\n").unwrap();
+        script.run(&mut im, &mut world);
+        assert!(world.view_as::<Probe>(child).unwrap().commands.is_empty());
+        assert!(world.view_as::<Probe>(root).unwrap().keys.is_empty());
+        // The pending chord survives the script boundary: the next live
+        // keystroke completes it.
+        im.feed(&mut world, WindowEvent::Key(Key::Ctrl('s')));
+        assert_eq!(
+            world.view_as::<Probe>(child).unwrap().commands,
+            vec!["save-document"]
+        );
     }
 
     #[test]

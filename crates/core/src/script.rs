@@ -35,6 +35,41 @@ pub enum ScriptStep {
     MenuSelect(String),
 }
 
+impl ScriptStep {
+    /// Renders the step as one script line (the inverse of
+    /// [`EventScript::parse`]), or `None` for events the line format
+    /// cannot carry (`Expose`, `MenuSelect` window events).
+    pub fn to_line(&self) -> Option<String> {
+        let line = match self {
+            ScriptStep::MenuSelect(label) => format!("menu select {label}"),
+            ScriptStep::Event(ev) => match ev {
+                WindowEvent::Mouse { action, pos } => {
+                    let verb = match action {
+                        MouseAction::Down(Button::Left) => "down",
+                        MouseAction::Up(Button::Left) => "up",
+                        MouseAction::Drag(Button::Left) => "drag",
+                        MouseAction::Movement => "move",
+                        MouseAction::Down(Button::Right) => "rdown",
+                        MouseAction::Up(Button::Right) => "rup",
+                        MouseAction::Down(Button::Middle) => "mdown",
+                        MouseAction::Up(Button::Middle) => "mup",
+                        // The parser has no verb for non-left drags.
+                        MouseAction::Drag(_) => return None,
+                    };
+                    format!("mouse {verb} {} {}", pos.x, pos.y)
+                }
+                WindowEvent::Key(key) => format!("key {}", format_key(*key)?),
+                WindowEvent::MenuRequest { .. } => "menu request".to_string(),
+                WindowEvent::Tick(ms) => format!("tick {ms}"),
+                WindowEvent::Resize(size) => format!("resize {} {}", size.width, size.height),
+                WindowEvent::Close => "close".to_string(),
+                WindowEvent::Expose(_) | WindowEvent::MenuSelect(_) => return None,
+            },
+        };
+        Some(line)
+    }
+}
+
 /// A parsed script.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventScript {
@@ -139,6 +174,20 @@ impl EventScript {
         Ok(EventScript { steps })
     }
 
+    /// Renders the script in the line-oriented text format, so any
+    /// generated or minimized step stream can be saved and replayed with
+    /// `runapp --script`. Steps the format cannot carry are skipped.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            if let Some(line) = step.to_line() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
     /// Runs every step through the interaction manager.
     pub fn run(&self, im: &mut InteractionManager, world: &mut World) {
         for step in &self.steps {
@@ -187,6 +236,36 @@ pub fn parse_key(name: &str) -> Option<Key> {
     Some(key)
 }
 
+/// Renders a key as the script format spells it (the inverse of
+/// [`parse_key`]): special names for the named keys, `C-x`/`M-x` for
+/// chords, the bare character otherwise. Returns `None` for characters
+/// the whitespace-splitting parser cannot read back (e.g. `Char(' ')`
+/// is spelled `SPC`, but an embedded control character has no spelling).
+pub fn format_key(key: Key) -> Option<String> {
+    let name = match key {
+        Key::Return => "RET".to_string(),
+        Key::Tab => "TAB".to_string(),
+        Key::Backspace => "BS".to_string(),
+        Key::Delete => "DEL".to_string(),
+        Key::Escape => "ESC".to_string(),
+        Key::Up => "UP".to_string(),
+        Key::Down => "DOWN".to_string(),
+        Key::Left => "LEFT".to_string(),
+        Key::Right => "RIGHT".to_string(),
+        Key::PageUp => "PGUP".to_string(),
+        Key::PageDown => "PGDN".to_string(),
+        Key::Home => "HOME".to_string(),
+        Key::End => "END".to_string(),
+        Key::Char(' ') => "SPC".to_string(),
+        Key::Char(c) if !c.is_whitespace() && !c.is_control() => c.to_string(),
+        Key::Char(_) => return None,
+        Key::Ctrl(c) if !c.is_whitespace() && !c.is_control() => format!("C-{c}"),
+        Key::Meta(c) if !c.is_whitespace() && !c.is_control() => format!("M-{c}"),
+        Key::Ctrl(_) | Key::Meta(_) => return None,
+    };
+    Some(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +309,65 @@ mod tests {
         let script = EventScript::parse("type a b\n").unwrap();
         assert_eq!(script.steps.len(), 3);
         assert_eq!(script.steps[1], ScriptStep::Event(WindowEvent::ch(' ')));
+    }
+
+    #[test]
+    fn to_text_round_trips_through_parse() {
+        let script = EventScript {
+            steps: vec![
+                ScriptStep::Event(WindowEvent::left_down(10, 20)),
+                ScriptStep::Event(WindowEvent::left_drag(12, 22)),
+                ScriptStep::Event(WindowEvent::left_up(12, 22)),
+                ScriptStep::Event(WindowEvent::Mouse {
+                    action: MouseAction::Down(Button::Right),
+                    pos: Point::new(3, 4),
+                }),
+                ScriptStep::Event(WindowEvent::Mouse {
+                    action: MouseAction::Up(Button::Middle),
+                    pos: Point::new(3, 4),
+                }),
+                ScriptStep::Event(WindowEvent::ch('h')),
+                ScriptStep::Event(WindowEvent::ch(' ')),
+                ScriptStep::Event(WindowEvent::Key(Key::Ctrl('x'))),
+                ScriptStep::Event(WindowEvent::Key(Key::Meta('<'))),
+                ScriptStep::Event(WindowEvent::Key(Key::Return)),
+                ScriptStep::Event(WindowEvent::Key(Key::PageDown)),
+                ScriptStep::Event(WindowEvent::MenuRequest { pos: Point::ORIGIN }),
+                ScriptStep::MenuSelect("File/Save".to_string()),
+                ScriptStep::Event(WindowEvent::Tick(250)),
+                ScriptStep::Event(WindowEvent::Resize(Size::new(640, 480))),
+                ScriptStep::Event(WindowEvent::Close),
+            ],
+        };
+        let text = script.to_text();
+        let parsed = EventScript::parse(&text).unwrap();
+        assert_eq!(parsed, script, "script text was:\n{text}");
+    }
+
+    #[test]
+    fn unserializable_steps_are_skipped_not_mangled() {
+        use atk_graphics::Rect;
+        let script = EventScript {
+            steps: vec![
+                ScriptStep::Event(WindowEvent::Expose(Rect::new(0, 0, 5, 5))),
+                ScriptStep::Event(WindowEvent::Key(Key::Char('\u{7}'))),
+                ScriptStep::Event(WindowEvent::ch('a')),
+            ],
+        };
+        let text = script.to_text();
+        assert_eq!(text, "key a\n");
+        assert!(EventScript::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn format_key_inverts_parse_key() {
+        for name in [
+            "RET", "TAB", "BS", "DEL", "ESC", "UP", "DOWN", "LEFT", "RIGHT", "PGUP", "PGDN",
+            "HOME", "END", "SPC", "a", "Z", "C-x", "M-<",
+        ] {
+            let key = parse_key(name).unwrap();
+            let rendered = format_key(key).unwrap();
+            assert_eq!(parse_key(&rendered), Some(key), "{name} -> {rendered}");
+        }
     }
 }

@@ -340,6 +340,13 @@ impl World {
         self.views.len()
     }
 
+    /// Ids of every live view (diagnostics and invariant checkers: the
+    /// session fuzzer's view-tree oracle walks all views, not just the
+    /// ones reachable from one root).
+    pub fn view_ids(&self) -> Vec<ViewId> {
+        self.views.ids()
+    }
+
     /// True if `id` names a live view.
     pub fn view_exists(&self, id: ViewId) -> bool {
         self.views.contains(id)

@@ -676,6 +676,32 @@ mod proptests {
             }
             prop_assert_eq!(bulk, looped);
         }
+
+        /// The banded form is canonical: any permutation of the input
+        /// must yield a *structurally* identical region (same bands, same
+        /// x-spans), not merely the same pixel set — and both must equal
+        /// the incremental `add_rect` fold over the permuted order.
+        #[test]
+        fn from_rects_is_permutation_invariant(
+            rs in proptest::collection::vec(arb_rect(), 0..12),
+            swaps in proptest::collection::vec((0usize..64, 0usize..64), 0..32),
+        ) {
+            let baseline = Region::from_rects(rs.iter().copied());
+            let mut perm = rs.clone();
+            for (a, b) in swaps {
+                if !perm.is_empty() {
+                    let len = perm.len();
+                    perm.swap(a % len, b % len);
+                }
+            }
+            let shuffled = Region::from_rects(perm.iter().copied());
+            prop_assert_eq!(shuffled.rects(), baseline.rects());
+            let mut folded = Region::new();
+            for r in perm {
+                folded.add_rect(r);
+            }
+            prop_assert_eq!(folded, baseline);
+        }
     }
 }
 

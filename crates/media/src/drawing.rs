@@ -14,7 +14,6 @@
 //! ([`Shape::Inset`]).
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::io;
 
 use atk_graphics::{Color, FontDesc, Point, Rect, Size};
@@ -392,7 +391,8 @@ pub struct DrawingView {
     /// Selected shape index.
     pub selected: Option<usize>,
     drag_last: Option<Point>,
-    insets: HashMap<DataId, ViewId>,
+    /// Inset child views in document (shape) order; order is paint order.
+    insets: Vec<(DataId, ViewId)>,
 }
 
 impl DrawingView {
@@ -403,8 +403,15 @@ impl DrawingView {
             data: None,
             selected: None,
             drag_last: None,
-            insets: HashMap::new(),
+            insets: Vec::new(),
         }
+    }
+
+    fn inset_view(&self, data: DataId) -> Option<ViewId> {
+        self.insets
+            .iter()
+            .find(|(d, _)| *d == data)
+            .map(|(_, v)| *v)
     }
 
     fn ensure_insets(&mut self, world: &mut World) {
@@ -425,18 +432,25 @@ impl DrawingView {
                     .collect()
             })
             .unwrap_or_default();
+        // Rebuild in shape order so child order (and therefore paint
+        // order) follows the document, not the insertion history.
+        let mut fresh: Vec<(DataId, ViewId)> = Vec::with_capacity(insets.len());
         for (rect, data, view_class) in insets {
-            if !self.insets.contains_key(&data) {
-                if let Ok(vid) = world.new_view(&view_class) {
+            let vid = match self.inset_view(data) {
+                Some(vid) => Some(vid),
+                None => world.new_view(&view_class).ok().inspect(|&vid| {
                     world.set_view_parent(vid, Some(self.base.id));
                     world.with_view(vid, |v, w| v.set_data_object(w, data));
-                    self.insets.insert(data, vid);
+                }),
+            };
+            if let Some(vid) = vid {
+                world.set_view_bounds(vid, rect);
+                if !fresh.iter().any(|(_, v)| *v == vid) {
+                    fresh.push((data, vid));
                 }
             }
-            if let Some(&vid) = self.insets.get(&data) {
-                world.set_view_bounds(vid, rect);
-            }
         }
+        self.insets = fresh;
     }
 }
 
@@ -460,7 +474,7 @@ impl View for DrawingView {
         self.data
     }
     fn children(&self) -> Vec<ViewId> {
-        self.insets.values().copied().collect()
+        self.insets.iter().map(|(_, v)| *v).collect()
     }
 
     fn set_data_object(&mut self, world: &mut World, data: DataId) -> bool {
@@ -526,7 +540,7 @@ impl View for DrawingView {
             }
         }
         // Inset children on top of plain shapes, under selection feedback.
-        let vids: Vec<ViewId> = self.insets.values().copied().collect();
+        let vids: Vec<ViewId> = self.insets.iter().map(|(_, v)| *v).collect();
         for vid in vids {
             world.draw_child(vid, g, update);
         }
@@ -566,7 +580,7 @@ impl View for DrawingView {
                     return true;
                 }
                 // ...and only otherwise does the event reach the inset.
-                for &vid in self.insets.values() {
+                for &(_, vid) in self.insets.iter().rev() {
                     if world.mouse_to_child(vid, action, pt) {
                         return true;
                     }
@@ -589,7 +603,7 @@ impl View for DrawingView {
                     }
                     return true;
                 }
-                for &vid in self.insets.values() {
+                for &(_, vid) in self.insets.iter().rev() {
                     if world.mouse_to_child(vid, action, pt) {
                         return true;
                     }

@@ -2,7 +2,6 @@
 //! embedded-component cells.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use atk_graphics::{Color, FontDesc, Point, Rect, Size};
 use atk_wm::{Button, CursorShape, Graphic, Key, MouseAction};
@@ -28,7 +27,10 @@ pub struct TableView {
     /// In-progress cell edit text (shown in place of the cell value).
     pub edit: Option<String>,
     scroll_y: i32,
-    insets: HashMap<DataId, ViewId>,
+    /// Embedded-cell child views in row-major cell order — also their
+    /// paint order. A `Vec`, not a hash map: child order must not depend
+    /// on hasher state.
+    insets: Vec<(DataId, ViewId)>,
     font: FontDesc,
 }
 
@@ -41,7 +43,7 @@ impl TableView {
             sel: (0, 0),
             edit: None,
             scroll_y: 0,
-            insets: HashMap::new(),
+            insets: Vec::new(),
             font: FontDesc::default_body(),
         }
     }
@@ -128,18 +130,24 @@ impl TableView {
             .unwrap_or_default();
         let _ = data_id;
         for (r, c, data, view_class) in embeds {
-            if !self.insets.contains_key(&data) {
+            if self.inset_view(data).is_none() {
                 if let Ok(vid) = world.new_view(&view_class) {
                     world.set_view_parent(vid, Some(self.base.id));
                     world.with_view(vid, |v, w| v.set_data_object(w, data));
-                    self.insets.insert(data, vid);
+                    self.insets.push((data, vid));
                 }
             }
-            if let (Some(&vid), Some(rect)) = (self.insets.get(&data), self.cell_rect(world, r, c))
-            {
+            if let (Some(vid), Some(rect)) = (self.inset_view(data), self.cell_rect(world, r, c)) {
                 world.set_view_bounds(vid, rect.inset(1));
             }
         }
+    }
+
+    fn inset_view(&self, data: DataId) -> Option<ViewId> {
+        self.insets
+            .iter()
+            .find(|(d, _)| *d == data)
+            .map(|(_, v)| *v)
     }
 
     fn move_sel(&mut self, world: &mut World, dr: i32, dc: i32) {
@@ -174,7 +182,7 @@ impl View for TableView {
         self.data
     }
     fn children(&self) -> Vec<ViewId> {
-        self.insets.values().copied().collect()
+        self.insets.iter().map(|(_, v)| *v).collect()
     }
 
     fn set_data_object(&mut self, world: &mut World, data: DataId) -> bool {
@@ -292,7 +300,7 @@ impl View for TableView {
             }
         }
         // Embedded children.
-        let inset_ids: Vec<ViewId> = self.insets.values().copied().collect();
+        let inset_ids: Vec<ViewId> = self.insets.iter().map(|(_, v)| *v).collect();
         for vid in inset_ids {
             world.draw_child(vid, g, update);
         }
@@ -306,7 +314,7 @@ impl View for TableView {
 
     fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
         // Embedded cells are editable in place.
-        for &vid in self.insets.values() {
+        for &(_, vid) in self.insets.iter().rev() {
             let b = world.view_bounds(vid);
             if b.contains(pt) && world.mouse_to_child(vid, action, pt) {
                 return true;
@@ -425,7 +433,7 @@ impl View for TableView {
     }
 
     fn cursor_at(&self, world: &World, pt: Point) -> Option<CursorShape> {
-        for &vid in self.insets.values() {
+        for &(_, vid) in self.insets.iter().rev() {
             let b = world.view_bounds(vid);
             if b.contains(pt) {
                 return world

@@ -402,36 +402,52 @@ mod proptests {
     }
 
     fn arb_op() -> impl Strategy<Value = Op> {
+        // Positions beyond the live length exercise the clamp paths;
+        // jumping between low and high positions drags the gap both
+        // directions through `move_gap`'s two `copy_within` arms, and the
+        // long-string variant overflows the gap so `ensure_gap`'s
+        // grow-and-move-tail path runs mid-sequence.
         prop_oneof![
             (0usize..200, "[a-z \\n]{0,12}").prop_map(|(p, s)| Op::Insert(p, s)),
-            (0usize..200, 0usize..20).prop_map(|(p, n)| Op::Delete(p, n)),
+            (0usize..200, "[a-z]{30,60}").prop_map(|(p, s)| Op::Insert(p, s)),
+            (0usize..200, Just("é→∑\u{1F600}".to_string())).prop_map(|(p, s)| Op::Insert(p, s)),
+            (0usize..200, 0usize..25).prop_map(|(p, n)| Op::Delete(p, n)),
         ]
     }
 
     proptest! {
         #[test]
         fn gap_buffer_matches_vec_oracle(ops in proptest::collection::vec(arb_op(), 0..40)) {
-            let mut b = GapBuffer::new();
+            // Tiny capacity so growth happens under the test, not before.
+            let mut b = GapBuffer::with_capacity(1);
             let mut oracle: Vec<char> = Vec::new();
             for op in ops {
                 match op {
                     Op::Insert(pos, s) => {
+                        let n = b.insert(pos, &s);
+                        prop_assert_eq!(n, s.chars().count());
                         let pos = pos.min(oracle.len());
-                        b.insert(pos, &s);
                         let cs: Vec<char> = s.chars().collect();
                         oracle.splice(pos..pos, cs);
                     }
                     Op::Delete(pos, n) => {
+                        let deleted = b.delete(pos, n);
                         let pos = pos.min(oracle.len());
                         let n = n.min(oracle.len() - pos);
-                        b.delete(pos, n);
+                        prop_assert_eq!(deleted, n);
                         oracle.splice(pos..pos + n, std::iter::empty());
                     }
                 }
                 prop_assert_eq!(b.len(), oracle.len());
             }
-            let expect: String = oracle.into_iter().collect();
+            // Full-content and random-access agreement: `char_at` reads
+            // across the gap wherever the last edit left it.
+            let expect: String = oracle.iter().collect();
             prop_assert_eq!(b.to_string(), expect);
+            for (i, &c) in oracle.iter().enumerate() {
+                prop_assert_eq!(b.char_at(i), Some(c));
+            }
+            prop_assert_eq!(b.char_at(oracle.len()), None);
         }
     }
 }

@@ -395,3 +395,51 @@ mod search_tests {
         assert_eq!(world.view_as::<TextView>(view).unwrap().caret(), 0);
     }
 }
+
+#[cfg(test)]
+mod caret_line_tests {
+    use super::*;
+    use atk_core::{View, World};
+    use atk_graphics::Rect;
+
+    fn setup(content: &str) -> (World, atk_core::ViewId) {
+        let mut world = World::new();
+        register(&mut world.catalog);
+        atk_components::register(&mut world.catalog);
+        let data = world.insert_data(Box::new(TextData::from_str(content)));
+        let view = world.new_view("textview").unwrap();
+        world.with_view(view, |v, w| v.set_data_object(w, data));
+        world.set_view_bounds(view, Rect::new(0, 0, 300, 200));
+        (world, view)
+    }
+
+    // Regression: a caret sitting exactly on a newline character falls
+    // between line ranges ([start, end) with the next line starting at
+    // end+1). line_index_of used to resolve that gap to the *document's
+    // last* line, so next-line/previous-line computed the caret column
+    // as caret - last_line.start and underflowed (found by the session
+    // fuzzer in crates/check).
+    #[test]
+    fn caret_on_newline_moves_down_without_underflow() {
+        let (mut world, view) = setup("ab\ncdef\nghi\njkl");
+        world.with_view(view, |v, w| {
+            let tv = v.as_any_mut().downcast_mut::<TextView>().unwrap();
+            tv.set_caret(w, 2); // on the first '\n'
+            tv.perform(w, "next-line");
+        });
+        // Column 2 of "cdef" is position 3 + 2 = 5.
+        assert_eq!(world.view_as::<TextView>(view).unwrap().caret(), 5);
+    }
+
+    #[test]
+    fn caret_on_newline_moves_up_to_short_line() {
+        let (mut world, view) = setup("ab\ncdef\nghi");
+        world.with_view(view, |v, w| {
+            let tv = v.as_any_mut().downcast_mut::<TextView>().unwrap();
+            tv.set_caret(w, 7); // on the second '\n', column 4 of "cdef"
+            tv.perform(w, "previous-line");
+        });
+        // Column 4 clamps to the end of "ab" (position 2).
+        assert_eq!(world.view_as::<TextView>(view).unwrap().caret(), 2);
+    }
+}

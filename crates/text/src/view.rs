@@ -20,7 +20,6 @@
 //! in place by a component the text view knows nothing about.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use atk_graphics::{Color, Point, Rect, Size};
 use atk_wm::{Button, CursorShape, Graphic, Key, MouseAction};
@@ -74,7 +73,10 @@ pub struct TextView {
     lines: Vec<Line>,
     layout_valid: bool,
     layout_width: i32,
-    insets: HashMap<DataId, ViewId>,
+    /// Inset child views in document (anchor) order — the order layout
+    /// first meets them, which is also their paint order. A `Vec`, not a
+    /// hash map: child order must not depend on hasher state.
+    insets: Vec<(DataId, ViewId)>,
     kill_buffer: String,
     focused: bool,
     /// Notifications pending from this view's own edits: the caret was
@@ -99,7 +101,7 @@ impl TextView {
             lines: Vec::new(),
             layout_valid: false,
             layout_width: 0,
-            insets: HashMap::new(),
+            insets: Vec::new(),
             kill_buffer: String::new(),
             focused: false,
             self_changes: 0,
@@ -215,7 +217,7 @@ impl TextView {
                 }
                 let mut pending_inset: Option<(ViewId, Size)> = None;
                 let (cw, chh, casc) = if let Some((_, d, _)) = anchor_at(i) {
-                    let inset = self.insets.get(d).copied();
+                    let inset = self.inset_view(*d);
                     let s = inset
                         .and_then(|v| {
                             world.with_view(v, |view, w| view.desired_size(w, budget - x))
@@ -302,8 +304,15 @@ impl TextView {
         true
     }
 
+    fn inset_view(&self, data: DataId) -> Option<ViewId> {
+        self.insets
+            .iter()
+            .find(|(d, _)| *d == data)
+            .map(|(_, v)| *v)
+    }
+
     fn ensure_inset(&mut self, world: &mut World, data: DataId, view_class: &str) {
-        if self.insets.contains_key(&data) {
+        if self.inset_view(data).is_some() {
             return;
         }
         let Ok(vid) = world.new_view(view_class) else {
@@ -311,7 +320,7 @@ impl TextView {
         };
         world.set_view_parent(vid, Some(self.base.id));
         world.with_view(vid, |v, w| v.set_data_object(w, data));
-        self.insets.insert(data, vid);
+        self.insets.push((data, vid));
     }
 
     // --- Geometry queries ----------------------------------------------------
@@ -323,7 +332,13 @@ impl TextView {
             .position(|l| pos >= l.start && pos < l.end.max(l.start + 1))
         {
             Some(i) => i,
-            None => self.lines.len().saturating_sub(1),
+            // Positions between lines (a caret sitting on the newline
+            // character itself: line ranges are [start, end) and the
+            // following line starts at end+1) belong to the last line
+            // starting at or before them — NOT to the document's last
+            // line, which would place the caret columns before the
+            // line start.
+            None => self.lines.iter().rposition(|l| l.start <= pos).unwrap_or(0),
         }
     }
 
@@ -348,7 +363,7 @@ impl TextView {
 
     fn char_width_at(&self, world: &World, text: &TextData, i: usize) -> i32 {
         if let Some((data, _)) = text.anchor_at(i) {
-            if let Some(&vid) = self.insets.get(&data) {
+            if let Some(vid) = self.inset_view(data) {
                 return world.view_bounds(vid).width + 2;
             }
             return 14;
@@ -436,16 +451,38 @@ impl TextView {
         world.post_damage_full(self.base.id);
     }
 
+    /// Changes the scroll offset, posting the damage the move implies.
+    ///
+    /// Scrolling shifts every visible pixel; the line-strip diff in
+    /// `post_incremental_damage` works in content coordinates and cannot
+    /// see it (found by the session fuzzer: type into a caret parked
+    /// below the viewport after a resize). The enclosing scroller — if
+    /// any — is told through the deferred command channel so its
+    /// elevator can repaint; views that don't care ignore the command.
+    fn set_scroll_y(&mut self, world: &mut World, y: i32) {
+        if y == self.scroll_y {
+            return;
+        }
+        self.scroll_y = y;
+        world.post_damage_full(self.base.id);
+        if let Some(parent) = world.view_parent(self.base.id) {
+            world.post_command(parent, "scroll-sync");
+        }
+    }
+
     fn scroll_caret_into_view(&mut self, world: &mut World) {
         self.ensure_layout(world);
         let h = world.view_bounds(self.base.id).height;
         let li = self.line_of_caret();
         if let Some(line) = self.lines.get(li) {
-            if line.y < self.scroll_y {
-                self.scroll_y = line.y;
+            let target = if line.y < self.scroll_y {
+                line.y
             } else if line.y + line.height > self.scroll_y + h {
-                self.scroll_y = line.y + line.height - h;
-            }
+                line.y + line.height - h
+            } else {
+                self.scroll_y
+            };
+            self.set_scroll_y(world, target);
         }
     }
 
@@ -484,9 +521,18 @@ impl TextView {
                 // are damaged. A plain character insert damages one line
                 // strip; an insert that re-wraps or shifts lines damages
                 // exactly the shifted strip (y is part of the key).
+                let old_height = self.content_height();
                 let old_lines = std::mem::take(&mut self.lines);
                 self.layout_valid = false;
                 self.ensure_layout(world);
+                if self.content_height() != old_height {
+                    // The scroll extent changed, so a parent scroller's
+                    // elevator geometry is stale even though scroll_y is
+                    // unchanged (e.g. backspace joining two lines).
+                    if let Some(parent) = world.view_parent(self.base.id) {
+                        world.post_command(parent, "scroll-sync");
+                    }
+                }
                 match diff_strip(&old_lines, &self.lines, *pos, *inserted, *deleted) {
                     Some((top, bottom)) => {
                         let rect = Rect::new(0, top - self.scroll_y, bounds.width, bottom - top)
@@ -612,7 +658,7 @@ impl View for TextView {
         self.data
     }
     fn children(&self) -> Vec<ViewId> {
-        self.insets.values().copied().collect()
+        self.insets.iter().map(|(_, v)| *v).collect()
     }
 
     fn set_data_object(&mut self, world: &mut World, data: DataId) -> bool {
@@ -687,7 +733,7 @@ impl View for TextView {
                 let mut i = line.start;
                 while i < line.end {
                     if let Some((data, _)) = text.anchor_at(i) {
-                        if let Some(&vid) = self.insets.get(&data) {
+                        if let Some(vid) = self.inset_view(data) {
                             let r = Rect::new(
                                 x + 1,
                                 ly + 1,
@@ -773,7 +819,9 @@ impl View for TextView {
     fn mouse(&mut self, world: &mut World, action: MouseAction, pt: Point) -> bool {
         self.ensure_layout(world);
         // Editable in place: a press inside an inset goes to the inset.
-        for &vid in self.insets.values() {
+        // Reverse anchor order: when insets overlap, the topmost (last
+        // painted) one gets the event first.
+        for &(_, vid) in self.insets.iter().rev() {
             let b = world.view_bounds(vid);
             if b.contains(pt) && world.mouse_to_child(vid, action, pt) {
                 return true;
@@ -874,7 +922,7 @@ impl View for TextView {
             }
             "beginning-of-text" => {
                 self.caret = 0;
-                self.scroll_y = 0;
+                self.set_scroll_y(world, 0);
                 world.post_damage_full(self.base.id);
             }
             "end-of-text" => {
@@ -924,7 +972,8 @@ impl View for TextView {
                 let h = world.view_bounds(self.base.id).height;
                 let delta = if command == "next-page" { h } else { -h };
                 let max = (self.content_height() - h).max(0);
-                self.scroll_y = (self.scroll_y + delta).clamp(0, max);
+                let target = (self.scroll_y + delta).clamp(0, max);
+                self.set_scroll_y(world, target);
                 world.post_damage_full(self.base.id);
             }
             "set-bold" => self.style_selection(world, |s| s.bolded()),
@@ -985,7 +1034,7 @@ impl View for TextView {
     }
 
     fn cursor_at(&self, world: &World, pt: Point) -> Option<CursorShape> {
-        for &vid in self.insets.values() {
+        for &(_, vid) in self.insets.iter().rev() {
             let b = world.view_bounds(vid);
             if b.contains(pt) {
                 return world
@@ -1032,7 +1081,7 @@ impl View for TextView {
     fn scroll_to(&mut self, world: &mut World, offset: i32) {
         let h = world.view_bounds(self.base.id).height;
         let max = (self.content_height() - h).max(0);
-        self.scroll_y = offset.clamp(0, max);
+        self.set_scroll_y(world, offset.clamp(0, max));
         world.post_damage_full(self.base.id);
     }
 

@@ -11,6 +11,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> runcheck smoke (fixed seed, all oracles)"
+cargo run --release -q -p atk-check --bin runcheck -- \
+    --seed 42 --steps 500 --scene fig1,fig3,fig5 --oracle all
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

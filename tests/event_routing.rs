@@ -207,6 +207,24 @@ fn scrollbar_scrolls_the_text_without_knowing_its_type() {
     );
 }
 
+/// Regression for a bug `atk-check` found (seed 7): backspace joining two
+/// lines shrinks the document's scroll extent, which changes the parent
+/// scrollbar's thumb geometry even though `scroll_y` never moved. The
+/// incremental repaint must repaint the elevator, not leave it stale.
+#[test]
+fn edit_that_shrinks_extent_repaints_the_elevator() {
+    let mut f = fig1();
+    let script = EventScript::parse("resize 585 143\nmouse down 19 125\nkey BS\n").unwrap();
+    script.run(&mut f.scene.im, &mut f.scene.world);
+    let incremental = f.scene.im.snapshot().unwrap();
+    f.scene.im.redraw_full(&mut f.scene.world);
+    let from_scratch = f.scene.im.snapshot().unwrap();
+    assert_eq!(
+        incremental, from_scratch,
+        "incremental repaint diverges from full redraw"
+    );
+}
+
 #[test]
 fn scripted_session_runs_end_to_end() {
     let mut f = fig1();

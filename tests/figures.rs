@@ -48,12 +48,16 @@ fn figures_are_pixel_identical_across_window_systems() {
 
 #[test]
 fn figure_snapshots_write_to_disk() {
-    let dir = std::env::temp_dir().join(format!("atk_figs_{}", std::process::id()));
+    // Unique per test run: all #[test]s in one binary share a process id,
+    // so a pid-only name lets parallel tests stomp each other's dirs.
+    let dir = scenes::unique_temp_dir("atk_figs");
     let mut ws = atk_wm::x11sim::X11Sim::new();
     let scene = scenes::fig5_ez_compound(&mut ws).unwrap();
     let path = scene.snapshot_to(&dir).unwrap();
     let meta = std::fs::metadata(&path).unwrap();
     assert!(meta.len() > 10_000, "ppm should be substantial");
+    // Clean up on success; a failing run leaves the dir for inspection.
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

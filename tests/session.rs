@@ -13,7 +13,9 @@ use atk_text::{TextData, TextView};
 /// text edit and the spreadsheet survived.
 #[test]
 fn ez_compound_document_multi_session_round_trip() {
-    let dir = std::env::temp_dir().join(format!("atk_session_{}", std::process::id()));
+    // Unique per test run: all #[test]s in one binary share a process id,
+    // so a pid-only name lets parallel tests stomp each other's dirs.
+    let dir = scenes::unique_temp_dir("atk_session");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("pascal.d");
 
@@ -70,6 +72,9 @@ fn ez_compound_document_multi_session_round_trip() {
         let sheet = world.data::<atk_table::TableData>(sheet_id).unwrap();
         assert_eq!(sheet.value(4, 4), 70.0);
     }
+
+    // Clean up on success; a failing run leaves the dir for inspection.
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Typescript drives the built-in shell, then the transcript (an
