@@ -6,6 +6,7 @@
 //! runapp --list
 //! runapp --loader-stats <app>     # also print the dynamic loader's accounting
 //! runapp --trace <file> <app>     # record a Chrome trace of the update pipeline
+//! runapp <app> --script -         # read the event script from stdin
 //! ```
 //!
 //! The window system is chosen by `ATK_WINDOW_SYSTEM` (x11sim | awmsim),

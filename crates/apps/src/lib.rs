@@ -129,10 +129,20 @@ impl AppArgs {
         out
     }
 
-    /// Loads the script from either source.
+    /// Loads the script from either source. A script path of `-` reads
+    /// the script text from stdin, so recorded or minimized sessions
+    /// pipe straight into replay (`loadgen … | runapp ez --script -`).
     pub fn load_script(&self) -> Result<Option<atk_core::EventScript>, String> {
         let text = match (&self.script_text, &self.script) {
             (Some(t), _) => Some(t.clone()),
+            (None, Some(path)) if path == "-" => {
+                use std::io::Read;
+                let mut text = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut text)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                Some(text)
+            }
             (None, Some(path)) => Some(std::fs::read_to_string(path).map_err(|e| e.to_string())?),
             (None, None) => None,
         };

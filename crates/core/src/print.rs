@@ -26,6 +26,9 @@ pub const PAGE_HEIGHT: i32 = 792;
 /// is placed at the page's top-left with a small margin.
 pub fn print_view(world: &mut World, view: ViewId) -> String {
     let mut ps = PostScriptGraphic::new(PAGE_WIDTH, PAGE_HEIGHT);
+    // The page header timestamp is the session's virtual clock, so the
+    // same world state always prints the same bytes.
+    ps.set_clock_ms(world.now_ms());
     let bounds = world.view_bounds(view);
     ps.gsave();
     ps.translate(36, 36);

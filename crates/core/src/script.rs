@@ -59,7 +59,12 @@ impl ScriptStep {
                     format!("mouse {verb} {} {}", pos.x, pos.y)
                 }
                 WindowEvent::Key(key) => format!("key {}", format_key(*key)?),
-                WindowEvent::MenuRequest { .. } => "menu request".to_string(),
+                WindowEvent::MenuRequest { pos } if *pos == Point::ORIGIN => {
+                    "menu request".to_string()
+                }
+                WindowEvent::MenuRequest { pos } => {
+                    format!("menu request {} {}", pos.x, pos.y)
+                }
                 WindowEvent::Tick(ms) => format!("tick {ms}"),
                 WindowEvent::Resize(size) => format!("resize {} {}", size.width, size.height),
                 WindowEvent::Close => "close".to_string(),
@@ -136,9 +141,20 @@ impl EventScript {
                 }
                 "menu" => match words.next() {
                     Some("request") => {
-                        steps.push(ScriptStep::Event(WindowEvent::MenuRequest {
-                            pos: Point::ORIGIN,
-                        }));
+                        // Optional request position (defaults to the
+                        // origin; older scripts omit it).
+                        let pos = match words.next() {
+                            None => Point::ORIGIN,
+                            Some(xs) => {
+                                let x: i32 = xs.parse().map_err(|_| err("bad x"))?;
+                                let y: i32 = words
+                                    .next()
+                                    .and_then(|w| w.parse().ok())
+                                    .ok_or_else(|| err("bad y"))?;
+                                Point::new(x, y)
+                            }
+                        };
+                        steps.push(ScriptStep::Event(WindowEvent::MenuRequest { pos }));
                     }
                     Some("select") => {
                         let label = line

@@ -372,6 +372,40 @@ impl Framebuffer {
     pub fn pixels(&self) -> &[u32] {
         &self.pixels
     }
+
+    /// The region where `self` and `other` differ, as row spans merged
+    /// through the band algebra (vertically adjacent equal spans
+    /// coalesce into one band rect). Returns `None` when the buffers
+    /// have different dimensions — there is no meaningful diff across a
+    /// resize, callers should fall back to shipping the whole frame.
+    pub fn diff_region(&self, other: &Framebuffer) -> Option<Region> {
+        if self.width != other.width || self.height != other.height {
+            return None;
+        }
+        let w = self.width as usize;
+        let mut spans = Vec::new();
+        for y in 0..self.height {
+            let row = y as usize * w;
+            let a = &self.pixels[row..row + w];
+            let b = &other.pixels[row..row + w];
+            if a == b {
+                continue;
+            }
+            let mut x = 0usize;
+            while x < w {
+                if a[x] == b[x] {
+                    x += 1;
+                    continue;
+                }
+                let start = x;
+                while x < w && a[x] != b[x] {
+                    x += 1;
+                }
+                spans.push(Rect::new(start as i32, y, (x - start) as i32, 1));
+            }
+        }
+        Some(Region::from_rects(spans))
+    }
 }
 
 #[cfg(test)]
@@ -531,5 +565,44 @@ mod tests {
         let mut fb = Framebuffer::new(3, 2, Color::WHITE);
         fb.set(1, 0, Color::BLACK);
         assert_eq!(fb.ascii_art(), ".#.\n...\n");
+    }
+
+    #[test]
+    fn diff_region_of_identical_buffers_is_empty() {
+        let a = Framebuffer::new(8, 8, Color::WHITE);
+        let b = a.clone();
+        assert!(a.diff_region(&b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_region_merges_adjacent_rows_into_bands() {
+        let a = Framebuffer::new(16, 16, Color::WHITE);
+        let mut b = a.clone();
+        b.fill_rect(Rect::new(3, 2, 5, 4), Color::BLACK);
+        let diff = a.diff_region(&b).unwrap();
+        assert_eq!(diff.rects(), &[Rect::new(3, 2, 5, 4)]);
+        assert_eq!(diff.area(), 20);
+    }
+
+    #[test]
+    fn diff_region_finds_scattered_spans() {
+        let a = Framebuffer::new(10, 3, Color::WHITE);
+        let mut b = a.clone();
+        b.set(0, 0, Color::BLACK);
+        b.set(1, 0, Color::BLACK);
+        b.set(9, 0, Color::BLACK);
+        b.set(4, 2, Color::BLACK);
+        let diff = a.diff_region(&b).unwrap();
+        assert_eq!(diff.area(), 4);
+        assert!(diff.contains(Point::new(9, 0)));
+        assert!(diff.contains(Point::new(4, 2)));
+        assert!(!diff.contains(Point::new(5, 0)));
+    }
+
+    #[test]
+    fn diff_region_rejects_size_mismatch() {
+        let a = Framebuffer::new(4, 4, Color::WHITE);
+        let b = Framebuffer::new(5, 4, Color::WHITE);
+        assert!(a.diff_region(&b).is_none());
     }
 }

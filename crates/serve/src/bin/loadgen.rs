@@ -1,0 +1,146 @@
+//! `loadgen` — N concurrent scripted clients against a toolkit server.
+//!
+//! ```text
+//! loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N]
+//!         [--profile mixed|typing] [--window N] [--connect HOST:PORT]
+//!         [--mem] [--max-sessions N] [--queue-cap N] [--keyframe-only]
+//!         [--max-drops N]
+//! ```
+//!
+//! Self-hosts a server over localhost TCP unless `--connect` points at
+//! a running `served` (or `--mem` keeps everything in-process over the
+//! memory transport). Exits 1 on any client error or when backpressure
+//! drops exceed `--max-drops`.
+
+use atk_serve::loadgen::format_report;
+use atk_serve::{run_loadgen, run_loadgen_mem, LoadConfig, Profile};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N] \
+         [--profile mixed|typing] [--window N] [--connect HOST:PORT] [--mem] \
+         [--max-sessions N] [--queue-cap N] [--keyframe-only] [--max-drops N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("loadgen: {flag} needs a numeric argument");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LoadConfig::default();
+    let mut mem = false;
+    let mut max_drops = u64::MAX;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sessions" => {
+                cfg.sessions = parse_num("--sessions", argv.get(i + 1));
+                i += 2;
+            }
+            "--steps" => {
+                cfg.steps = parse_num("--steps", argv.get(i + 1));
+                i += 2;
+            }
+            "--scene" => {
+                cfg.scene = match argv.get(i + 1) {
+                    Some(s) => s.clone(),
+                    None => usage(),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = parse_num("--seed", argv.get(i + 1));
+                i += 2;
+            }
+            "--profile" => {
+                cfg.profile = match argv.get(i + 1).map(|s| Profile::parse(s)) {
+                    Some(Ok(p)) => p,
+                    Some(Err(e)) => {
+                        eprintln!("loadgen: {e}");
+                        usage();
+                    }
+                    None => usage(),
+                };
+                i += 2;
+            }
+            "--window" => {
+                cfg.window = parse_num("--window", argv.get(i + 1));
+                i += 2;
+            }
+            "--connect" => {
+                cfg.connect = match argv.get(i + 1) {
+                    Some(a) => Some(a.clone()),
+                    None => usage(),
+                };
+                i += 2;
+            }
+            "--mem" => {
+                mem = true;
+                i += 1;
+            }
+            "--max-sessions" => {
+                cfg.server.max_sessions = parse_num("--max-sessions", argv.get(i + 1));
+                i += 2;
+            }
+            "--queue-cap" => {
+                cfg.server.session.queue_cap = parse_num("--queue-cap", argv.get(i + 1));
+                i += 2;
+            }
+            "--keyframe-only" => {
+                cfg.server.session.keyframe_only = true;
+                i += 1;
+            }
+            "--max-drops" => {
+                max_drops = parse_num("--max-drops", argv.get(i + 1));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if cfg.window == 0 {
+        eprintln!("loadgen: --window must be at least 1");
+        usage();
+    }
+    if mem && cfg.connect.is_some() {
+        eprintln!("loadgen: --mem and --connect are mutually exclusive");
+        usage();
+    }
+
+    let result = if mem {
+        run_loadgen_mem(&cfg)
+    } else {
+        run_loadgen(&cfg)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", format_report(&cfg, &report));
+
+    let mut failed = false;
+    if !report.errors.is_empty() {
+        eprintln!("loadgen: {} client error(s)", report.errors.len());
+        failed = true;
+    }
+    if let Some(drops) = report.backpressure_drops {
+        if drops > max_drops {
+            eprintln!("loadgen: {drops} backpressure drops exceed --max-drops {max_drops}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

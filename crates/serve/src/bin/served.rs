@@ -1,0 +1,93 @@
+//! `served` — the multi-session toolkit server.
+//!
+//! ```text
+//! served [--port N] [--max-sessions N] [--queue-cap N] [--budget BYTES]
+//!        [--keyframe-every N] [--idle-ms N] [--keyframe-only]
+//! ```
+//!
+//! Listens on `127.0.0.1:<port>` (an OS-assigned port when 0, printed
+//! on stdout) and hosts one scene session per connection until killed.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use atk_serve::{serve_listener, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: served [--port N] [--max-sessions N] [--queue-cap N] \
+         [--budget BYTES] [--keyframe-every N] [--idle-ms N] [--keyframe-only]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("served: {flag} needs a numeric argument");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut port: u16 = 0;
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--port" => {
+                port = parse_num("--port", argv.get(i + 1));
+                i += 2;
+            }
+            "--max-sessions" => {
+                cfg.max_sessions = parse_num("--max-sessions", argv.get(i + 1));
+                i += 2;
+            }
+            "--queue-cap" => {
+                cfg.session.queue_cap = parse_num("--queue-cap", argv.get(i + 1));
+                i += 2;
+            }
+            "--budget" => {
+                cfg.session.dirty_budget_bytes = parse_num("--budget", argv.get(i + 1));
+                i += 2;
+            }
+            "--keyframe-every" => {
+                cfg.session.keyframe_every = parse_num("--keyframe-every", argv.get(i + 1));
+                i += 2;
+            }
+            "--idle-ms" => {
+                cfg.session.idle_ms = Some(parse_num("--idle-ms", argv.get(i + 1)));
+                i += 2;
+            }
+            "--keyframe-only" => {
+                cfg.session.keyframe_only = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    let collector = Arc::new(atk_trace::Collector::new());
+    collector.enable();
+    let server = Server::new(cfg, collector);
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("served: bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("served: listening on {addr}"),
+        Err(e) => eprintln!("served: local_addr: {e}"),
+    }
+
+    if let Err(e) = serve_listener(server, listener) {
+        eprintln!("served: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

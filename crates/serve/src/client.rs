@@ -1,0 +1,303 @@
+//! The client half: sends steps, applies shipped frames to a local
+//! framebuffer reconstruction, and keeps the accounting the loadgen
+//! report and the differential oracle are built on.
+
+use std::io;
+use std::time::Instant;
+
+use atk_core::ScriptStep;
+use atk_graphics::{Color, Framebuffer};
+
+use crate::transport::FrameTransport;
+use crate::wire::{ClientFrame, PatchRect, ServerFrame, WireError};
+
+/// Anything that can go wrong on the client side of a session.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Frame failed to decode, or violated the protocol state machine.
+    Protocol(String),
+    /// The server turned the connection away (admission control).
+    Busy,
+    /// The server reported an error.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// Byte and latency accounting for one client session.
+#[derive(Debug, Default, Clone)]
+pub struct ClientStats {
+    /// Frames received (updates + keyframes).
+    pub frames: u64,
+    /// Region-diffed updates among them.
+    pub diff_frames: u64,
+    /// Full keyframes among them.
+    pub key_frames: u64,
+    /// Wire bytes of diff updates.
+    pub diff_bytes: u64,
+    /// Wire bytes of keyframes.
+    pub full_bytes: u64,
+    /// What the same frames would have cost shipped as keyframes —
+    /// the numerator of the diff-compression ratio.
+    pub keyframe_equiv_bytes: u64,
+    /// Per-step latency samples in microseconds (send → frame covering
+    /// that step).
+    pub latencies_us: Vec<u64>,
+}
+
+impl ClientStats {
+    /// keyframe-equivalent bytes ÷ actual bytes (≥ 1.0 means diffing
+    /// paid off). 0.0 when nothing was received.
+    pub fn compression_ratio(&self) -> f64 {
+        let actual = self.diff_bytes + self.full_bytes;
+        if actual == 0 {
+            0.0
+        } else {
+            self.keyframe_equiv_bytes as f64 / actual as f64
+        }
+    }
+
+    fn percentile(&self, sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// (p50, p99) of the latency samples, microseconds.
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        (
+            self.percentile(&sorted, 0.50),
+            self.percentile(&sorted, 0.99),
+        )
+    }
+}
+
+/// A connected session viewed from the client side.
+pub struct ServeClient<T: FrameTransport> {
+    t: T,
+    fb: Framebuffer,
+    session_id: u64,
+    sent: u64,
+    acked: u64,
+    in_flight: Vec<(u64, Instant)>,
+    stats: ClientStats,
+    ended: bool,
+}
+
+impl<T: FrameTransport> ServeClient<T> {
+    /// Performs the hello handshake and applies the initial keyframe.
+    pub fn connect(mut t: T, scene: &str) -> Result<ServeClient<T>, ClientError> {
+        t.send(
+            &ClientFrame::Hello {
+                scene: scene.to_string(),
+            }
+            .encode()?,
+        )?;
+        let (session_id, width, height) = match ServerFrame::decode(&t.recv()?)? {
+            ServerFrame::Welcome {
+                session_id,
+                width,
+                height,
+            } => (session_id, width, height),
+            ServerFrame::Busy => return Err(ClientError::Busy),
+            ServerFrame::Error { message } => return Err(ClientError::Server(message)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected welcome, got {other:?}"
+                )))
+            }
+        };
+        let mut client = ServeClient {
+            t,
+            fb: Framebuffer::new(width as i32, height as i32, Color::WHITE),
+            session_id,
+            sent: 0,
+            acked: 0,
+            in_flight: Vec::new(),
+            stats: ClientStats::default(),
+            ended: false,
+        };
+        // The initial keyframe follows the welcome unconditionally.
+        let frame = ServerFrame::decode(&client.t.recv()?)?;
+        client.apply_frame(frame)?;
+        Ok(client)
+    }
+
+    /// Server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The reconstructed framebuffer.
+    pub fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Sends a step without waiting for its frame (pipelined mode).
+    pub fn send_step(&mut self, step: &ScriptStep) -> Result<(), ClientError> {
+        self.t.send(&ClientFrame::Step(step.clone()).encode()?)?;
+        self.sent += 1;
+        self.in_flight.push((self.sent, Instant::now()));
+        Ok(())
+    }
+
+    /// Sends a step and blocks until a frame covering it arrives
+    /// (synchronous mode — what the differential oracle runs, so the
+    /// server settles exactly once per step like `im.feed` does).
+    pub fn step_sync(&mut self, step: &ScriptStep) -> Result<(), ClientError> {
+        self.send_step(step)?;
+        self.sync()
+    }
+
+    /// Blocks until every step sent so far is covered by a frame.
+    pub fn sync(&mut self) -> Result<(), ClientError> {
+        while self.acked < self.sent && !self.ended {
+            let frame = ServerFrame::decode(&self.t.recv()?)?;
+            self.apply_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Pipelining window: how many sent steps no frame has covered yet.
+    pub fn unacked(&self) -> u64 {
+        self.sent - self.acked
+    }
+
+    /// True once the server said goodbye (orderly end or eviction).
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Says goodbye, drains the final frames, and returns the stats.
+    pub fn finish(mut self) -> Result<ClientStats, ClientError> {
+        if !self.ended {
+            self.t.send(&ClientFrame::Bye.encode()?)?;
+            while !self.ended {
+                let frame = ServerFrame::decode(&self.t.recv()?)?;
+                self.apply_frame(frame)?;
+            }
+        }
+        Ok(self.stats)
+    }
+
+    fn note_frame(&mut self, seq: u64, wire_len: usize, key: bool) {
+        let now = Instant::now();
+        self.acked = self.acked.max(seq);
+        let mut done = Vec::new();
+        self.in_flight.retain(|(idx, sent_at)| {
+            if *idx <= seq {
+                done.push(now.duration_since(*sent_at).as_micros() as u64);
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.latencies_us.extend(done);
+        self.stats.frames += 1;
+        if key {
+            self.stats.key_frames += 1;
+            self.stats.full_bytes += wire_len as u64;
+        } else {
+            self.stats.diff_frames += 1;
+            self.stats.diff_bytes += wire_len as u64;
+        }
+        self.stats.keyframe_equiv_bytes += (self.fb.pixels().len() * 4 + 1 + 8 + 4 + 4) as u64;
+    }
+
+    fn apply_frame(&mut self, frame: ServerFrame) -> Result<(), ClientError> {
+        let wire_len = frame.wire_len();
+        match frame {
+            ServerFrame::Update { seq, rects } => {
+                for patch in &rects {
+                    self.apply_patch(patch)?;
+                }
+                self.note_frame(seq, wire_len, false);
+            }
+            ServerFrame::Keyframe {
+                seq,
+                width,
+                height,
+                pixels,
+            } => {
+                let expect = (width as usize) * (height as usize);
+                if pixels.len() != expect {
+                    return Err(ClientError::Protocol("keyframe pixel count".into()));
+                }
+                let mut fb = Framebuffer::new(width as i32, height as i32, Color::WHITE);
+                for (i, px) in pixels.iter().enumerate() {
+                    let (x, y) = ((i % width as usize) as i32, (i / width as usize) as i32);
+                    fb.set(x, y, Color(*px));
+                }
+                self.fb = fb;
+                self.note_frame(seq, wire_len, true);
+            }
+            ServerFrame::Bye { .. } => {
+                self.ended = true;
+                self.acked = self.sent;
+            }
+            ServerFrame::Error { message } => return Err(ClientError::Server(message)),
+            ServerFrame::Welcome { .. } | ServerFrame::Busy => {
+                return Err(ClientError::Protocol("handshake frame mid-session".into()))
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_patch(&mut self, patch: &PatchRect) -> Result<(), ClientError> {
+        let r = patch.rect;
+        if r.x < 0
+            || r.y < 0
+            || r.right() > self.fb.width()
+            || r.bottom() > self.fb.height()
+            || patch.pixels.len() != (r.width as usize) * (r.height as usize)
+        {
+            return Err(ClientError::Protocol(format!(
+                "patch rect {r:?} outside {}x{} frame",
+                self.fb.width(),
+                self.fb.height()
+            )));
+        }
+        let mut i = 0;
+        for y in r.y..r.bottom() {
+            for x in r.x..r.right() {
+                self.fb.set(x, y, Color(patch.pixels[i]));
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,53 @@
+//! # atk-serve — a multi-session toolkit server
+//!
+//! The paper's toolkit reached ~3000 campus users because §8's porting
+//! layer kept views off the display: a view draws into a `Graphic`, and
+//! what sits behind the `Graphic` — an X connection, a `wm` window, a
+//! printer — is someone else's business. This crate puts a *wire*
+//! behind it: a headless server hosts many concurrent
+//! `World`+`InteractionManager` sessions, one per connection, and ships
+//! their framebuffers to thin clients as region-diffed updates over a
+//! length-prefixed binary protocol. The views never find out.
+//!
+//! The pieces:
+//!
+//! * [`wire`] — frame encode/decode (panic-free on arbitrary bytes)
+//! * [`transport`] — TCP framing plus an in-memory pair for tests
+//! * [`session`] — one hosted session: batch coalescing, region
+//!   diffing against the last shipped frame, keyframe cadence/budget,
+//!   idle eviction on the virtual clock
+//! * [`server`] — admission control and the thread-per-connection
+//!   accept loop (the `World` is `!Send`; sessions are born and die on
+//!   their connection's thread)
+//! * [`client`] — the client half: framebuffer reconstruction plus
+//!   latency/byte accounting
+//! * [`oracle`] — served-vs-in-process differential: same script ⇒
+//!   byte-identical final framebuffers
+//! * [`loadgen`] — N concurrent scripted clients and the report behind
+//!   EXPERIMENTS.md E11
+//!
+//! Two binaries: `served` (the server) and `loadgen` (the fleet).
+//!
+//! Trace counters: `serve.sessions`, `serve.active_sessions` (gauge),
+//! `serve.frames`, `serve.diff_bytes`, `serve.full_bytes`,
+//! `serve.coalesced`, `serve.backpressure_drops`, `serve.busy_rejects`,
+//! `serve.idle_evictions`, and the `serve.frame_us` latency histogram.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod oracle;
+pub mod server;
+pub mod session;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientError, ClientStats, ServeClient};
+pub use loadgen::{run_loadgen, run_loadgen_mem, LoadConfig, LoadReport, Profile};
+pub use oracle::serve_differential;
+pub use server::{serve_listener, ConnectionOutcome, Server, ServerConfig};
+pub use session::{HostedSession, SessionConfig, SessionEnd};
+pub use transport::{FrameTransport, MemTransport, TcpTransport};
+pub use wire::{ClientFrame, PatchRect, ServerFrame, WireError};

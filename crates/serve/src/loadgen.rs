@@ -1,0 +1,417 @@
+//! The load generator: N concurrent scripted clients against a server,
+//! with the throughput/latency/compression report the `loadgen` bin
+//! prints and the `e11_serve` bench samples.
+//!
+//! Each client thread replays a seed-stable step stream (the fuzzer's
+//! weighted generator, or a deterministic typing-heavy profile for the
+//! diff-compression measurements) with a bounded pipelining window, so
+//! bursts actually reach the server-side batch coalescer without
+//! unbounded frames piling up in flight.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use atk_check::gen::StepGen;
+use atk_check::Session;
+use atk_core::ScriptStep;
+use atk_trace::Collector;
+use atk_wm::{Key, WindowEvent};
+
+use crate::client::{ClientStats, ServeClient};
+use crate::server::{serve_listener, Server, ServerConfig};
+use crate::transport::{FrameTransport, MemTransport, TcpTransport};
+
+/// What steps the clients replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The fuzzer's weighted mix (typing, mouse, menus, ticks, resizes).
+    Mixed,
+    /// Typing only — the workload the ≥5× diff-compression claim is
+    /// about.
+    Typing,
+}
+
+impl Profile {
+    /// Parses `mixed` / `typing`.
+    pub fn parse(s: &str) -> Result<Profile, String> {
+        match s {
+            "mixed" => Ok(Profile::Mixed),
+            "typing" => Ok(Profile::Typing),
+            other => Err(format!("unknown profile `{other}` (mixed|typing)")),
+        }
+    }
+}
+
+/// Loadgen tuning.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Steps per session.
+    pub steps: usize,
+    /// Scene every session opens.
+    pub scene: String,
+    /// Base seed; client `i` uses `seed + i`.
+    pub seed: u64,
+    /// Step profile.
+    pub profile: Profile,
+    /// Pipelining window (1 = fully synchronous).
+    pub window: u64,
+    /// Run against this already-listening address instead of an
+    /// in-process server.
+    pub connect: Option<String>,
+    /// Server-side config when self-hosting.
+    pub server: ServerConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            sessions: 8,
+            steps: 50,
+            scene: "fig5".into(),
+            seed: 42,
+            profile: Profile::Mixed,
+            window: 8,
+            connect: None,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// The aggregated result of one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions that completed their script and said goodbye.
+    pub completed: usize,
+    /// Sessions rejected with `Busy`.
+    pub rejected: usize,
+    /// Client-side protocol/transport errors (must be 0 for a clean run).
+    pub errors: Vec<String>,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Completed sessions per second.
+    pub sessions_per_s: f64,
+    /// Frames received per second, summed over clients.
+    pub frames_per_s: f64,
+    /// Total frames received.
+    pub frames: u64,
+    /// Total wire bytes received (diff + keyframe payloads).
+    pub bytes_on_wire: u64,
+    /// keyframe-equivalent bytes ÷ actual bytes.
+    pub compression_ratio: f64,
+    /// p50 of per-step frame latency, microseconds.
+    pub p50_us: u64,
+    /// p99 of per-step frame latency, microseconds.
+    pub p99_us: u64,
+    /// `serve.backpressure_drops` from the in-process server
+    /// (`None` when running against a remote one).
+    pub backpressure_drops: Option<u64>,
+    /// (p50, p99) of the server-side `serve.frame_us` histogram —
+    /// batch processing time without the wire (`None` for remote
+    /// servers, approximate to log2-bucket resolution).
+    pub server_frame_us: Option<(u64, u64)>,
+}
+
+/// Builds one client's step stream. Deterministic per (profile, seed).
+pub fn client_script(
+    profile: Profile,
+    scene: &str,
+    seed: u64,
+    steps: usize,
+) -> Result<Vec<ScriptStep>, String> {
+    match profile {
+        Profile::Mixed => {
+            // Generation reads live session state (window size, offered
+            // menus), so record against a throwaway local session.
+            let mut session = Session::build(scene, "x11sim")?;
+            let mut gen = StepGen::new(seed);
+            let mut out = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                let step = gen.next_step(&mut session.world, &mut session.im);
+                session.apply(&step);
+                out.push(step);
+            }
+            Ok(out)
+        }
+        Profile::Typing => {
+            // A seed-rotated sentence with line breaks: the classic
+            // "user typing into ez" workload. Keys only land once a
+            // text view has focus, so the script opens with a click in
+            // the upper-left text area (w/8, h/8 focuses a text view
+            // in every shipped scene).
+            const TEXT: &[u8] = b"the quick brown fox jumps over the lazy dog ";
+            let mut session = Session::build(scene, "x11sim")?;
+            let size = session.im.window_mut().size();
+            let mut out = Vec::with_capacity(steps);
+            if steps >= 2 {
+                out.push(ScriptStep::Event(WindowEvent::left_down(
+                    size.width / 8,
+                    size.height / 8,
+                )));
+                out.push(ScriptStep::Event(WindowEvent::left_up(
+                    size.width / 8,
+                    size.height / 8,
+                )));
+            }
+            for i in out.len()..steps {
+                let step = if i % 24 == 23 {
+                    ScriptStep::Event(WindowEvent::Key(Key::Return))
+                } else {
+                    let c = TEXT[(seed as usize + i) % TEXT.len()] as char;
+                    ScriptStep::Event(WindowEvent::Key(Key::Char(c)))
+                };
+                out.push(step);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Replays one script over a transport with a bounded pipelining window.
+fn drive<T: FrameTransport>(
+    transport: T,
+    scene: &str,
+    script: &[ScriptStep],
+    window: u64,
+) -> Result<ClientStats, String> {
+    let mut client = ServeClient::connect(transport, scene).map_err(|e| e.to_string())?;
+    for step in script {
+        client.send_step(step).map_err(|e| e.to_string())?;
+        if client.unacked() >= window.max(1) {
+            client.sync().map_err(|e| e.to_string())?;
+        }
+        if client.ended() {
+            return Err("server ended session mid-script".into());
+        }
+    }
+    client.sync().map_err(|e| e.to_string())?;
+    client.finish().map_err(|e| e.to_string())
+}
+
+/// Spawned client handles → aggregated report (drops filled by caller).
+fn aggregate(
+    started: Instant,
+    handles: Vec<thread::JoinHandle<Result<ClientStats, String>>>,
+) -> Result<LoadReport, String> {
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
+    let mut errors = Vec::new();
+    let mut frames = 0u64;
+    let mut bytes = 0u64;
+    let mut equiv = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        match h.join().map_err(|_| "client thread panicked")? {
+            Ok(stats) => {
+                completed += 1;
+                frames += stats.frames;
+                bytes += stats.diff_bytes + stats.full_bytes;
+                equiv += stats.keyframe_equiv_bytes;
+                latencies.extend(stats.latencies_us);
+            }
+            Err(e) if e.contains("server busy") => rejected += 1,
+            Err(e) => errors.push(e),
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let idx = ((q * latencies.len() as f64).ceil() as usize).max(1) - 1;
+            latencies[idx.min(latencies.len() - 1)]
+        }
+    };
+    Ok(LoadReport {
+        completed,
+        rejected,
+        errors,
+        wall_s,
+        sessions_per_s: completed as f64 / wall_s,
+        frames_per_s: frames as f64 / wall_s,
+        frames,
+        bytes_on_wire: bytes,
+        compression_ratio: if bytes == 0 {
+            0.0
+        } else {
+            equiv as f64 / bytes as f64
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        backpressure_drops: None,
+        server_frame_us: None,
+    })
+}
+
+fn record_scripts(cfg: &LoadConfig) -> Result<Vec<Vec<ScriptStep>>, String> {
+    (0..cfg.sessions)
+        .map(|i| client_script(cfg.profile, &cfg.scene, cfg.seed + i as u64, cfg.steps))
+        .collect()
+}
+
+/// Runs the whole fleet over TCP and aggregates the report. When
+/// `cfg.connect` is `None`, a server is started in-process on
+/// `127.0.0.1:0` and its accept thread dies with the process.
+pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    let server = Server::new(cfg.server.clone(), collector.clone());
+
+    let addr = match &cfg.connect {
+        Some(addr) => addr.clone(),
+        None => {
+            let listener =
+                std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| e.to_string())?
+                .to_string();
+            let srv = server.clone();
+            thread::spawn(move || {
+                let _ = serve_listener(srv, listener);
+            });
+            addr
+        }
+    };
+    let self_hosted = cfg.connect.is_none();
+
+    // Pre-record every script before the clock starts — scene building
+    // for the mixed profile is toolkit work, not serving work.
+    let scripts = record_scripts(cfg)?;
+
+    let started = Instant::now();
+    let handles = scripts
+        .into_iter()
+        .map(|script| {
+            let scene = cfg.scene.clone();
+            let addr = addr.clone();
+            let window = cfg.window;
+            thread::spawn(move || {
+                let stream =
+                    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                drive(TcpTransport::new(stream), &scene, &script, window)
+            })
+        })
+        .collect();
+    let report = aggregate(started, handles)?;
+    // Snapshot server counters only after every client finished.
+    Ok(LoadReport {
+        backpressure_drops: self_hosted.then(|| collector_drops(&collector)),
+        server_frame_us: self_hosted.then(|| server_frame_us(&collector)).flatten(),
+        ..report
+    })
+}
+
+/// Runs the fleet over in-memory transports instead of TCP — the bench
+/// harness uses this to measure serving cost without socket noise. One
+/// server-connection thread and one client thread per session.
+pub fn run_loadgen_mem(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    let server = Server::new(cfg.server.clone(), collector.clone());
+    let scripts = record_scripts(cfg)?;
+
+    let started = Instant::now();
+    let handles = scripts
+        .into_iter()
+        .map(|script| {
+            let scene = cfg.scene.clone();
+            let window = cfg.window;
+            let (client_half, server_half) = MemTransport::pair();
+            let srv = server.clone();
+            thread::spawn(move || srv.serve_connection(server_half));
+            thread::spawn(move || drive(client_half, &scene, &script, window))
+        })
+        .collect();
+    let report = aggregate(started, handles)?;
+    Ok(LoadReport {
+        backpressure_drops: Some(collector_drops(&collector)),
+        server_frame_us: server_frame_us(&collector),
+        ..report
+    })
+}
+
+fn collector_drops(collector: &Arc<Collector>) -> u64 {
+    collector.snapshot().counter("serve.backpressure_drops")
+}
+
+fn server_frame_us(collector: &Arc<Collector>) -> Option<(u64, u64)> {
+    let snap = collector.snapshot();
+    let h = snap.histogram("serve.frame_us")?;
+    Some((h.approx_percentile(0.50), h.approx_percentile(0.99)))
+}
+
+/// Renders the report the way the bin prints it (and CI greps it).
+pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "loadgen: {} sessions x {} steps on {} ({:?} profile, window {})\n",
+        cfg.sessions, cfg.steps, cfg.scene, cfg.profile, cfg.window
+    ));
+    out.push_str(&format!(
+        "  completed: {} ({} rejected busy, {} errors) in {:.2}s\n",
+        r.completed,
+        r.rejected,
+        r.errors.len(),
+        r.wall_s
+    ));
+    out.push_str(&format!(
+        "  throughput: {:.1} sessions/s, {:.0} frames/s\n",
+        r.sessions_per_s, r.frames_per_s
+    ));
+    out.push_str(&format!(
+        "  latency: p50 {:.2} ms, p99 {:.2} ms\n",
+        r.p50_us as f64 / 1000.0,
+        r.p99_us as f64 / 1000.0
+    ));
+    if let Some((p50, p99)) = r.server_frame_us {
+        out.push_str(&format!(
+            "  server frame time: ~p50 {:.2} ms, ~p99 {:.2} ms\n",
+            p50 as f64 / 1000.0,
+            p99 as f64 / 1000.0
+        ));
+    }
+    out.push_str(&format!(
+        "  wire: {} frames, {} bytes, diff ratio {:.1}x vs always-keyframe\n",
+        r.frames, r.bytes_on_wire, r.compression_ratio
+    ));
+    match r.backpressure_drops {
+        Some(n) => out.push_str(&format!("  backpressure drops: {n}\n")),
+        None => out.push_str("  backpressure drops: n/a (remote server)\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_script_is_deterministic_and_serializable() {
+        let a = client_script(Profile::Typing, "fig5", 7, 60).unwrap();
+        let b = client_script(Profile::Typing, "fig5", 7, 60).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| s.to_line().is_some()));
+        assert_ne!(a, client_script(Profile::Typing, "fig5", 8, 60).unwrap());
+    }
+
+    #[test]
+    fn small_mem_fleet_completes_cleanly() {
+        let cfg = LoadConfig {
+            sessions: 3,
+            steps: 12,
+            scene: "fig1".into(),
+            profile: Profile::Typing,
+            ..LoadConfig::default()
+        };
+        let report = run_loadgen_mem(&cfg).unwrap();
+        assert_eq!(report.completed, 3, "errors: {:?}", report.errors);
+        assert!(report.errors.is_empty());
+        assert_eq!(report.backpressure_drops, Some(0));
+        assert!(report.frames >= 3, "at least the initial keyframes");
+    }
+}

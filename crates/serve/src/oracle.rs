@@ -1,0 +1,124 @@
+//! The served-vs-in-process differential oracle.
+//!
+//! A served session replaying a script must end with a framebuffer
+//! byte-identical to the same script run in-process through
+//! `atk_check::Session` — the wire, the batching, the diff shipping and
+//! the client-side reconstruction must all be invisible. The client
+//! runs synchronously (one step, one frame), which makes the server's
+//! per-batch settle structurally identical to the in-process `im.feed`
+//! per step; pipelined batching is exercised separately by the server
+//! unit tests, where byte identity of *intermediate* frames is not a
+//! promise.
+
+use std::sync::Arc;
+use std::thread;
+
+use atk_check::gen::StepGen;
+use atk_check::Session;
+use atk_core::ScriptStep;
+use atk_trace::Collector;
+
+use crate::client::ServeClient;
+use crate::server::{Server, ServerConfig};
+use crate::transport::MemTransport;
+
+/// The outcome of one oracle run.
+#[derive(Debug)]
+pub struct OracleReport {
+    /// Steps replayed.
+    pub steps: usize,
+    /// Diff frames the served side shipped.
+    pub diff_frames: u64,
+    /// Keyframes the served side shipped.
+    pub key_frames: u64,
+}
+
+/// Records `steps` fuzzer steps against `scene`, replays them through a
+/// served session *and* in-process, and demands byte-identical final
+/// framebuffers.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence (differing
+/// pixel count and first differing coordinate) or of any transport,
+/// protocol, or scene failure.
+pub fn serve_differential(scene: &str, seed: u64, steps: usize) -> Result<OracleReport, String> {
+    // Record a concrete step stream against a throwaway session
+    // (generation reads live state: window size, offered menus).
+    let mut throwaway = Session::build(scene, "x11sim")?;
+    let mut gen = StepGen::new(seed);
+    let mut recorded: Vec<ScriptStep> = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let step = gen.next_step(&mut throwaway.world, &mut throwaway.im);
+        throwaway.apply(&step);
+        recorded.push(step);
+    }
+
+    // In-process reference run.
+    let mut reference = Session::build(scene, "x11sim")?;
+    for step in &recorded {
+        reference.apply(step);
+    }
+    let want = reference
+        .im
+        .snapshot()
+        .ok_or("reference backend has no pixels")?;
+
+    // Served run over the in-memory transport, synchronous stepping.
+    let collector = Arc::new(Collector::new());
+    let server = Server::new(ServerConfig::default(), collector);
+    let (client_half, server_half) = MemTransport::pair();
+    let srv = server.clone();
+    let server_thread = thread::spawn(move || srv.serve_connection(server_half));
+
+    let scene_name = scene.to_string();
+    let run = (|| -> Result<_, String> {
+        let mut client =
+            ServeClient::connect(client_half, &scene_name).map_err(|e| e.to_string())?;
+        for step in &recorded {
+            client.step_sync(step).map_err(|e| e.to_string())?;
+            if client.ended() {
+                return Err("server ended session mid-script".into());
+            }
+        }
+        let got = client.framebuffer().clone();
+        let stats = client.finish().map_err(|e| e.to_string())?;
+        Ok((got, stats))
+    })();
+    let outcome = server_thread.join().map_err(|_| "server thread panicked")?;
+    let (got, stats) = run?;
+    if let crate::server::ConnectionOutcome::Failed(e) = outcome {
+        return Err(format!("server connection failed: {e}"));
+    }
+
+    // Compare dimensions and pixels (not the whole struct — a leftover
+    // clip region on the server snapshot would be a false alarm).
+    let same = got.width() == want.width()
+        && got.height() == want.height()
+        && got.pixels() == want.pixels();
+    if !same {
+        let mut differing = 0usize;
+        let mut first = None;
+        for y in 0..want.height().min(got.height()) {
+            for x in 0..want.width().min(got.width()) {
+                if want.get(x, y) != got.get(x, y) {
+                    differing += 1;
+                    first.get_or_insert((x, y));
+                }
+            }
+        }
+        return Err(format!(
+            "{scene} seed {seed}: served framebuffer diverges from in-process \
+             ({}x{} vs {}x{}, {differing} differing pixels, first at {first:?})",
+            got.width(),
+            got.height(),
+            want.width(),
+            want.height(),
+        ));
+    }
+    Ok(OracleReport {
+        steps,
+        diff_frames: stats.diff_frames,
+        key_frames: stats.key_frames,
+    })
+}

@@ -1,0 +1,451 @@
+//! The multi-session server: admission control plus a thread-per-
+//! connection accept loop.
+//!
+//! Each connection thread owns its whole session — scene build, event
+//! batching, diff shipping — because the `World` is deliberately
+//! `!Send` (views hold `Rc` handles to the window framebuffer). Only
+//! the transport halves and the shared counters cross threads, which
+//! is the same discipline the paper's window-system connection imposed:
+//! the display protocol travels, the application state does not.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use atk_core::ScriptStep;
+use atk_trace::Collector;
+
+use crate::session::{HostedSession, SessionConfig, SessionEnd};
+use crate::transport::{FrameTransport, TcpTransport};
+use crate::wire::{ClientFrame, ServerFrame, WireError};
+
+/// Server-wide tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent session cap; connections past it get a graceful
+    /// `Busy` frame instead of a session.
+    pub max_sessions: usize,
+    /// Per-session tuning, cloned for every connection.
+    pub session: SessionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 128,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// What a finished connection amounted to, for logs and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectionOutcome {
+    /// Rejected by admission control.
+    Rejected,
+    /// Session ran and ended in an orderly way.
+    Served {
+        /// Steps consumed over the session's life.
+        steps: u64,
+    },
+    /// Transport or protocol failure ended the session.
+    Failed(String),
+}
+
+/// The shared server state: counters plus config. Cheap to clone into
+/// accept threads via `Arc`.
+pub struct Server {
+    cfg: ServerConfig,
+    collector: Arc<Collector>,
+    active: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// A server reporting into `collector`.
+    pub fn new(cfg: ServerConfig, collector: Arc<Collector>) -> Arc<Server> {
+        Arc::new(Server {
+            cfg,
+            collector,
+            active: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// The trace collector sessions report into.
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Sessions currently live.
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Runs one connection to completion on the calling thread.
+    pub fn serve_connection<T: FrameTransport>(&self, mut t: T) -> ConnectionOutcome {
+        match self.run_connection(&mut t) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Best-effort goodbye; the transport may already be gone.
+                let _ = t.send(
+                    &ServerFrame::Error {
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                );
+                ConnectionOutcome::Failed(e.to_string())
+            }
+        }
+    }
+
+    fn run_connection<T: FrameTransport>(
+        &self,
+        t: &mut T,
+    ) -> Result<ConnectionOutcome, Box<dyn std::error::Error>> {
+        let hello = ClientFrame::decode(&t.recv()?)?;
+        let ClientFrame::Hello { scene } = hello else {
+            return Err(Box::new(WireError::BadTag(0)));
+        };
+
+        // Admission: claim a slot or turn the client away politely.
+        let claimed = self
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.cfg.max_sessions).then_some(n + 1)
+            })
+            .is_ok();
+        if !claimed {
+            self.collector.count("serve.busy_rejects", 1);
+            t.send(&ServerFrame::Busy.encode())?;
+            return Ok(ConnectionOutcome::Rejected);
+        }
+        let guard = SlotGuard(self);
+        self.collector.count("serve.sessions", 1);
+        self.collector
+            .gauge("serve.active_sessions", self.active_sessions() as i64);
+
+        let session_id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let mut session =
+            match HostedSession::open(&scene, self.cfg.session.clone(), self.collector.clone()) {
+                Ok(s) => s,
+                Err(e) => {
+                    t.send(&ServerFrame::Error { message: e }.encode())?;
+                    return Ok(ConnectionOutcome::Served { steps: 0 });
+                }
+            };
+        let (width, height) = session.size();
+        t.send(
+            &ServerFrame::Welcome {
+                session_id,
+                width,
+                height,
+            }
+            .encode(),
+        )?;
+        t.send(&session.initial_keyframe().encode())?;
+
+        let outcome = self.session_loop(t, &mut session);
+        drop(guard);
+        self.collector
+            .gauge("serve.active_sessions", self.active_sessions() as i64);
+        outcome
+    }
+
+    fn session_loop<T: FrameTransport>(
+        &self,
+        t: &mut T,
+        session: &mut HostedSession,
+    ) -> Result<ConnectionOutcome, Box<dyn std::error::Error>> {
+        loop {
+            // Block for the first step, then drain whatever burst is
+            // already buffered into the same batch.
+            let mut batch: Vec<ScriptStep> = Vec::new();
+            let mut saw_bye = false;
+            match ClientFrame::decode(&t.recv()?)? {
+                ClientFrame::Step(step) => batch.push(step),
+                ClientFrame::Bye => saw_bye = true,
+                ClientFrame::Hello { .. } => {
+                    return Err(Box::new(WireError::BadTag(0x01)));
+                }
+            }
+            while !saw_bye {
+                match t.try_recv()? {
+                    Some(body) => match ClientFrame::decode(&body)? {
+                        ClientFrame::Step(step) => batch.push(step),
+                        ClientFrame::Bye => saw_bye = true,
+                        ClientFrame::Hello { .. } => {
+                            return Err(Box::new(WireError::BadTag(0x01)));
+                        }
+                    },
+                    None => break,
+                }
+            }
+
+            // Backpressure: a burst beyond the queue cap drops its
+            // oldest steps; the drops still advance `seq`.
+            let dropped = batch.len().saturating_sub(self.cfg.session.queue_cap);
+            if dropped > 0 {
+                batch.drain(..dropped);
+                self.collector
+                    .count("serve.backpressure_drops", dropped as u64);
+            }
+
+            if !batch.is_empty() {
+                let (frame, end) = session.apply_batch(&batch, dropped as u64);
+                t.send(&frame.encode())?;
+                if let Some(end) = end {
+                    let reason = match end {
+                        SessionEnd::Idle => "idle",
+                        SessionEnd::Closed => "closed",
+                    };
+                    if end == SessionEnd::Idle {
+                        self.collector.count("serve.idle_evictions", 1);
+                    }
+                    t.send(
+                        &ServerFrame::Bye {
+                            reason: reason.into(),
+                        }
+                        .encode(),
+                    )?;
+                    return Ok(ConnectionOutcome::Served {
+                        steps: session.seq(),
+                    });
+                }
+            }
+            if saw_bye {
+                t.send(
+                    &ServerFrame::Bye {
+                        reason: "bye".into(),
+                    }
+                    .encode(),
+                )?;
+                return Ok(ConnectionOutcome::Served {
+                    steps: session.seq(),
+                });
+            }
+        }
+    }
+}
+
+/// Releases the admission slot even on error paths.
+struct SlotGuard<'a>(&'a Server);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Accepts connections forever, one thread per connection. Returns only
+/// on listener failure.
+pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        let server = server.clone();
+        thread::spawn(move || {
+            let outcome = server.serve_connection(TcpTransport::new(stream));
+            if let ConnectionOutcome::Failed(e) = outcome {
+                eprintln!("served: session failed: {e}");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemTransport;
+    use atk_wm::WindowEvent;
+
+    fn enabled_collector() -> Arc<Collector> {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c
+    }
+
+    /// Drives a minimal handshake + a few steps over the in-memory
+    /// transport against a server thread.
+    #[test]
+    fn handshake_steps_and_bye() {
+        let server = Server::new(ServerConfig::default(), enabled_collector());
+        let (mut client, server_half) = MemTransport::pair();
+        let srv = server.clone();
+        let t = thread::spawn(move || srv.serve_connection(server_half));
+
+        client
+            .send(
+                &ClientFrame::Hello {
+                    scene: "fig1".into(),
+                }
+                .encode()
+                .unwrap(),
+            )
+            .unwrap();
+        let welcome = ServerFrame::decode(&client.recv().unwrap()).unwrap();
+        assert!(matches!(welcome, ServerFrame::Welcome { .. }));
+        let key = ServerFrame::decode(&client.recv().unwrap()).unwrap();
+        assert!(matches!(key, ServerFrame::Keyframe { seq: 0, .. }));
+
+        client
+            .send(
+                &ClientFrame::Step(ScriptStep::Event(WindowEvent::ch('z')))
+                    .encode()
+                    .unwrap(),
+            )
+            .unwrap();
+        let frame = ServerFrame::decode(&client.recv().unwrap()).unwrap();
+        match frame {
+            ServerFrame::Update { seq, .. } | ServerFrame::Keyframe { seq, .. } => {
+                assert_eq!(seq, 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        client.send(&ClientFrame::Bye.encode().unwrap()).unwrap();
+        let bye = ServerFrame::decode(&client.recv().unwrap()).unwrap();
+        assert_eq!(
+            bye,
+            ServerFrame::Bye {
+                reason: "bye".into()
+            }
+        );
+        assert_eq!(t.join().unwrap(), ConnectionOutcome::Served { steps: 1 });
+        assert_eq!(server.active_sessions(), 0);
+    }
+
+    #[test]
+    fn admission_control_rejects_with_busy() {
+        let cfg = ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::new(cfg, enabled_collector());
+
+        // First session occupies the only slot.
+        let (mut c1, s1) = MemTransport::pair();
+        let srv = server.clone();
+        let t1 = thread::spawn(move || srv.serve_connection(s1));
+        c1.send(
+            &ClientFrame::Hello {
+                scene: "fig1".into(),
+            }
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
+        let _welcome = c1.recv().unwrap();
+        let _key = c1.recv().unwrap();
+
+        // Second connection is turned away politely.
+        let (mut c2, s2) = MemTransport::pair();
+        let srv = server.clone();
+        let t2 = thread::spawn(move || srv.serve_connection(s2));
+        c2.send(
+            &ClientFrame::Hello {
+                scene: "fig1".into(),
+            }
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            ServerFrame::decode(&c2.recv().unwrap()).unwrap(),
+            ServerFrame::Busy
+        );
+        assert_eq!(t2.join().unwrap(), ConnectionOutcome::Rejected);
+
+        // After the first leaves, the slot frees up.
+        c1.send(&ClientFrame::Bye.encode().unwrap()).unwrap();
+        let _bye = c1.recv().unwrap();
+        t1.join().unwrap();
+        assert_eq!(server.active_sessions(), 0);
+        assert_eq!(
+            server.collector().snapshot().counter("serve.busy_rejects"),
+            1
+        );
+    }
+
+    #[test]
+    fn burst_past_queue_cap_drops_oldest_and_counts() {
+        let cfg = ServerConfig {
+            session: SessionConfig {
+                queue_cap: 4,
+                ..SessionConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let server = Server::new(cfg, enabled_collector());
+        let (mut client, server_half) = MemTransport::pair();
+
+        // Preload the whole conversation before the server thread ever
+        // runs: hello + a 10-step burst + bye. The server's first drain
+        // sees all 10 steps at once and must shed 6.
+        client
+            .send(
+                &ClientFrame::Hello {
+                    scene: "fig1".into(),
+                }
+                .encode()
+                .unwrap(),
+            )
+            .unwrap();
+        for i in 0..10 {
+            client
+                .send(
+                    &ClientFrame::Step(ScriptStep::Event(WindowEvent::Tick(1 + i)))
+                        .encode()
+                        .unwrap(),
+                )
+                .unwrap();
+        }
+        client.send(&ClientFrame::Bye.encode().unwrap()).unwrap();
+
+        let srv = server.clone();
+        let outcome = srv.serve_connection(server_half);
+        // All 10 steps are accounted for (4 applied + 6 dropped).
+        assert_eq!(outcome, ConnectionOutcome::Served { steps: 10 });
+        assert_eq!(
+            server
+                .collector()
+                .snapshot()
+                .counter("serve.backpressure_drops"),
+            6
+        );
+    }
+
+    #[test]
+    fn unknown_scene_reports_error_and_releases_slot() {
+        let server = Server::new(ServerConfig::default(), enabled_collector());
+        let (mut client, server_half) = MemTransport::pair();
+        let srv = server.clone();
+        let t = thread::spawn(move || srv.serve_connection(server_half));
+        client
+            .send(
+                &ClientFrame::Hello {
+                    scene: "no-such-scene".into(),
+                }
+                .encode()
+                .unwrap(),
+            )
+            .unwrap();
+        let reply = ServerFrame::decode(&client.recv().unwrap()).unwrap();
+        assert!(matches!(reply, ServerFrame::Error { .. }), "{reply:?}");
+        t.join().unwrap();
+        assert_eq!(server.active_sessions(), 0);
+    }
+
+    #[test]
+    fn garbage_frame_fails_the_connection_without_panicking() {
+        let server = Server::new(ServerConfig::default(), enabled_collector());
+        let (mut client, server_half) = MemTransport::pair();
+        let srv = server.clone();
+        let t = thread::spawn(move || srv.serve_connection(server_half));
+        client.send(&[0xFF, 0x00, 0x37]).unwrap();
+        let reply = ServerFrame::decode(&client.recv().unwrap()).unwrap();
+        assert!(matches!(reply, ServerFrame::Error { .. }));
+        assert!(matches!(t.join().unwrap(), ConnectionOutcome::Failed(_)));
+    }
+}

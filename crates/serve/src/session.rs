@@ -1,0 +1,429 @@
+//! One hosted session: a `World` + `InteractionManager` pair living in
+//! its connection's thread, fed batches of script steps and producing
+//! one shipped frame per batch.
+//!
+//! The batch path is the serving analogue of the toolkit's own update
+//! discipline: events are *posted* first and the tree `settle`s once per
+//! batch (the IM's `pump` already dequeues everything before its single
+//! settle), so a burst of mouse movement costs one relayout and one
+//! damage pass, not one per event. On top of that the coalescer drops
+//! all but the last of a run of consecutive pointer movements — the
+//! cursor only ends up in one place. Clock ticks are **never** merged:
+//! a timer that fires at +10 and reschedules itself +10 fires twice
+//! under `tick 10, tick 10` but once under `tick 20`, and the
+//! served-vs-in-process oracle insists on byte identity.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use atk_apps::scenes::build_scene;
+use atk_core::{InteractionManager, ScriptStep, World};
+use atk_graphics::Framebuffer;
+use atk_trace::Collector;
+use atk_wm::{MouseAction, WindowEvent};
+
+use crate::wire::{PatchRect, ServerFrame};
+
+/// Per-session tuning; the server clones one of these per connection.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Most steps consumed per batch; a drained burst beyond this drops
+    /// the oldest steps (`serve.backpressure_drops`).
+    pub queue_cap: usize,
+    /// Diff payloads above this many bytes degrade to a keyframe.
+    pub dirty_budget_bytes: usize,
+    /// A full keyframe is forced every this many shipped frames.
+    pub keyframe_every: u32,
+    /// Evict the session once the *virtual* clock has advanced this far
+    /// beyond the last non-tick input. `None` disables eviction.
+    pub idle_ms: Option<u64>,
+    /// Ablation: ship every frame as a keyframe (no diffing).
+    pub keyframe_only: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            queue_cap: 256,
+            dirty_budget_bytes: 256 * 1024,
+            keyframe_every: 64,
+            idle_ms: None,
+            keyframe_only: false,
+        }
+    }
+}
+
+/// Why the session stopped accepting input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Virtual clock ran past the idle horizon with no real input.
+    Idle,
+    /// The application closed its window (`close` step).
+    Closed,
+}
+
+/// A live session hosted by the server.
+pub struct HostedSession {
+    world: World,
+    im: InteractionManager,
+    cfg: SessionConfig,
+    collector: Arc<Collector>,
+    /// Last framebuffer shipped to the client, diff baseline.
+    shipped: Option<Framebuffer>,
+    seq: u64,
+    frames_since_key: u32,
+    last_input_ms: u64,
+}
+
+impl HostedSession {
+    /// Builds the named scene on the pixel-backed simulated backend.
+    /// Runs on the connection's own thread — the world never crosses it.
+    pub fn open(
+        scene: &str,
+        cfg: SessionConfig,
+        collector: Arc<Collector>,
+    ) -> Result<HostedSession, String> {
+        let scene = build_scene(scene, "x11sim")?;
+        let mut world = scene.world;
+        world.set_collector(collector.clone());
+        let last_input_ms = world.now_ms();
+        Ok(HostedSession {
+            world,
+            im: scene.im,
+            cfg,
+            collector,
+            shipped: None,
+            seq: 0,
+            frames_since_key: 0,
+            last_input_ms,
+        })
+    }
+
+    /// Window size right now (the `Welcome` dimensions).
+    pub fn size(&mut self) -> (u32, u32) {
+        let s = self.im.window_mut().size();
+        (s.width.max(0) as u32, s.height.max(0) as u32)
+    }
+
+    /// Steps consumed so far (shipped `seq` numbers count these).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Applies one batch of steps (single settle for event runs) and
+    /// returns the frame to ship plus whether the session must end.
+    /// `dropped` is how many older steps backpressure discarded before
+    /// this batch; they still advance `seq` so the client's accounting
+    /// stays truthful.
+    pub fn apply_batch(
+        &mut self,
+        batch: &[ScriptStep],
+        dropped: u64,
+    ) -> (ServerFrame, Option<SessionEnd>) {
+        let started = Instant::now();
+        let coalesced = coalesce(batch);
+        self.collector
+            .count("serve.coalesced", (batch.len() - coalesced.len()) as u64);
+
+        // Post runs of plain events and pump once per run; menu
+        // selections need the request/select/pump sequence in order.
+        let mut pending = false;
+        let mut saw_real_input = false;
+        for step in &coalesced {
+            if !matches!(step, ScriptStep::Event(WindowEvent::Tick(_))) {
+                saw_real_input = true;
+            }
+            match step {
+                ScriptStep::Event(ev) => {
+                    self.im.window_mut().post_event(ev.clone());
+                    pending = true;
+                }
+                ScriptStep::MenuSelect(label) => {
+                    if pending {
+                        self.im.pump(&mut self.world);
+                        pending = false;
+                    }
+                    self.im.feed(
+                        &mut self.world,
+                        WindowEvent::MenuRequest {
+                            pos: atk_graphics::Point::ORIGIN,
+                        },
+                    );
+                    self.im.select_menu(&mut self.world, label);
+                    self.im.pump(&mut self.world);
+                }
+            }
+        }
+        if pending {
+            self.im.pump(&mut self.world);
+        }
+
+        self.seq += batch.len() as u64 + dropped;
+        if saw_real_input {
+            self.last_input_ms = self.world.now_ms();
+        }
+
+        let frame = self.ship_frame();
+        self.collector
+            .observe("serve.frame_us", started.elapsed().as_micros() as u64);
+
+        let end = if !self.im.is_running() {
+            Some(SessionEnd::Closed)
+        } else if let Some(idle) = self.cfg.idle_ms {
+            (self.world.now_ms().saturating_sub(self.last_input_ms) >= idle)
+                .then_some(SessionEnd::Idle)
+        } else {
+            None
+        };
+        (frame, end)
+    }
+
+    /// The initial keyframe sent right after `Welcome`.
+    pub fn initial_keyframe(&mut self) -> ServerFrame {
+        self.keyframe()
+    }
+
+    fn current_fb(&self) -> Framebuffer {
+        self.im
+            .snapshot()
+            .expect("x11sim backend always has pixels")
+    }
+
+    fn keyframe(&mut self) -> ServerFrame {
+        let fb = self.current_fb();
+        let frame = ServerFrame::Keyframe {
+            seq: self.seq,
+            width: fb.width().max(0) as u32,
+            height: fb.height().max(0) as u32,
+            pixels: fb.pixels().to_vec(),
+        };
+        self.shipped = Some(fb);
+        self.frames_since_key = 0;
+        self.collector.count("serve.frames", 1);
+        self.collector
+            .count("serve.full_bytes", frame.wire_len() as u64);
+        frame
+    }
+
+    /// Diffs the current framebuffer against the last shipped one and
+    /// picks the cheaper shipping shape: changed bands, or a keyframe
+    /// when the diff blows the dirty-byte budget, the keyframe cadence
+    /// is due, the window resized, or diffing is ablated away.
+    fn ship_frame(&mut self) -> ServerFrame {
+        if self.cfg.keyframe_only || self.frames_since_key >= self.cfg.keyframe_every {
+            return self.keyframe();
+        }
+        let cur = self.current_fb();
+        let diff = match self
+            .shipped
+            .as_ref()
+            .and_then(|prev| prev.diff_region(&cur))
+        {
+            Some(region) => region,
+            // Size changed (resize) — no diff across that.
+            None => return self.keyframe(),
+        };
+        let payload = diff.area() as usize * 4 + diff.rects().len() * 16;
+        let key_payload = cur.pixels().len() * 4;
+        if payload > self.cfg.dirty_budget_bytes.min(key_payload) {
+            return self.keyframe();
+        }
+        let rects = diff
+            .rects()
+            .iter()
+            .map(|&r| {
+                let mut pixels = Vec::with_capacity((r.width * r.height) as usize);
+                for y in r.y..r.bottom() {
+                    let row = y as usize * cur.width() as usize;
+                    pixels.extend_from_slice(
+                        &cur.pixels()[row + r.x as usize..row + r.right() as usize],
+                    );
+                }
+                PatchRect { rect: r, pixels }
+            })
+            .collect();
+        let frame = ServerFrame::Update {
+            seq: self.seq,
+            rects,
+        };
+        self.shipped = Some(cur);
+        self.frames_since_key += 1;
+        self.collector.count("serve.frames", 1);
+        self.collector
+            .count("serve.diff_bytes", frame.wire_len() as u64);
+        frame
+    }
+}
+
+/// Collapses runs of consecutive pointer movements down to the last
+/// one. Everything else — clicks, keys, ticks, resizes — passes through
+/// untouched and in order.
+fn coalesce(batch: &[ScriptStep]) -> Vec<&ScriptStep> {
+    let mut out: Vec<&ScriptStep> = Vec::with_capacity(batch.len());
+    for step in batch {
+        let is_move = matches!(
+            step,
+            ScriptStep::Event(WindowEvent::Mouse {
+                action: MouseAction::Movement,
+                ..
+            })
+        );
+        if is_move {
+            if let Some(last) = out.last() {
+                if matches!(
+                    last,
+                    ScriptStep::Event(WindowEvent::Mouse {
+                        action: MouseAction::Movement,
+                        ..
+                    })
+                ) {
+                    *out.last_mut().unwrap() = step;
+                    continue;
+                }
+            }
+        }
+        out.push(step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atk_graphics::Point;
+    use atk_wm::WindowEvent;
+
+    fn mv(x: i32, y: i32) -> ScriptStep {
+        ScriptStep::Event(WindowEvent::Mouse {
+            action: MouseAction::Movement,
+            pos: Point::new(x, y),
+        })
+    }
+
+    #[test]
+    fn coalescer_keeps_last_of_a_movement_run() {
+        let batch = vec![
+            mv(1, 1),
+            mv(2, 2),
+            mv(3, 3),
+            ScriptStep::Event(WindowEvent::ch('a')),
+            mv(4, 4),
+            ScriptStep::Event(WindowEvent::Tick(5)),
+            ScriptStep::Event(WindowEvent::Tick(5)),
+            mv(5, 5),
+            mv(6, 6),
+        ];
+        let kept = coalesce(&batch);
+        assert_eq!(kept.len(), 6);
+        assert_eq!(kept[0], &mv(3, 3));
+        assert_eq!(kept[2], &mv(4, 4));
+        // Ticks are never merged (timer reschedule semantics).
+        assert_eq!(kept[3], &ScriptStep::Event(WindowEvent::Tick(5)));
+        assert_eq!(kept[4], &ScriptStep::Event(WindowEvent::Tick(5)));
+        assert_eq!(kept[5], &mv(6, 6));
+    }
+
+    #[test]
+    fn typing_ships_diffs_and_budget_degrades_to_keyframe() {
+        let collector = Arc::new(Collector::new());
+        collector.enable();
+        let mut s =
+            HostedSession::open("fig5", SessionConfig::default(), collector.clone()).unwrap();
+        let _ = s.initial_keyframe();
+        // Focus a text view first — keys land nowhere without it.
+        let _ = s.apply_batch(
+            &[
+                ScriptStep::Event(WindowEvent::left_down(70, 70)),
+                ScriptStep::Event(WindowEvent::left_up(70, 70)),
+            ],
+            0,
+        );
+        let (frame, end) = s.apply_batch(&[ScriptStep::Event(WindowEvent::ch('x'))], 0);
+        match &frame {
+            ServerFrame::Update { rects, .. } => assert!(!rects.is_empty()),
+            other => panic!("typing shipped {other:?}"),
+        }
+        assert_eq!(end, None);
+        // A scripted resize relayouts the view tree but the backend
+        // framebuffer keeps its size (matching the in-process
+        // reference); the session still ships a frame and counts it.
+        let (frame, _) = s.apply_batch(
+            &[ScriptStep::Event(WindowEvent::Resize(
+                atk_graphics::Size::new(400, 300),
+            ))],
+            0,
+        );
+        assert!(matches!(
+            frame,
+            ServerFrame::Update { seq: 4, .. } | ServerFrame::Keyframe { seq: 4, .. }
+        ));
+        assert_eq!(s.seq(), 4);
+
+        // A one-byte dirty budget degrades every nonempty diff to a
+        // keyframe.
+        let cfg = SessionConfig {
+            dirty_budget_bytes: 1,
+            ..SessionConfig::default()
+        };
+        let collector = Arc::new(Collector::new());
+        let mut s = HostedSession::open("fig5", cfg, collector).unwrap();
+        let _ = s.initial_keyframe();
+        let _ = s.apply_batch(
+            &[
+                ScriptStep::Event(WindowEvent::left_down(70, 70)),
+                ScriptStep::Event(WindowEvent::left_up(70, 70)),
+            ],
+            0,
+        );
+        let (frame, _) = s.apply_batch(&[ScriptStep::Event(WindowEvent::ch('x'))], 0);
+        assert!(matches!(frame, ServerFrame::Keyframe { .. }), "{frame:?}");
+    }
+
+    #[test]
+    fn keyframe_cadence_and_ablation_force_full_frames() {
+        let collector = Arc::new(Collector::new());
+        let cfg = SessionConfig {
+            keyframe_every: 2,
+            ..SessionConfig::default()
+        };
+        let mut s = HostedSession::open("fig1", cfg, collector.clone()).unwrap();
+        let _ = s.initial_keyframe();
+        let mut kinds = Vec::new();
+        for i in 0..4 {
+            let step = ScriptStep::Event(WindowEvent::Tick(1 + i));
+            let (frame, _) = s.apply_batch(&[step], 0);
+            kinds.push(matches!(frame, ServerFrame::Keyframe { .. }));
+        }
+        // Two diffs (or empty updates), then the cadence keyframe.
+        assert!(kinds[2], "third frame should be the cadence keyframe");
+
+        let cfg = SessionConfig {
+            keyframe_only: true,
+            ..SessionConfig::default()
+        };
+        let mut s = HostedSession::open("fig1", cfg, collector).unwrap();
+        let _ = s.initial_keyframe();
+        let (frame, _) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(1))], 0);
+        assert!(matches!(frame, ServerFrame::Keyframe { .. }));
+    }
+
+    #[test]
+    fn idle_eviction_runs_on_the_virtual_clock() {
+        let collector = Arc::new(Collector::new());
+        let cfg = SessionConfig {
+            idle_ms: Some(1000),
+            ..SessionConfig::default()
+        };
+        let mut s = HostedSession::open("fig1", cfg, collector).unwrap();
+        let _ = s.initial_keyframe();
+        let (_, end) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(400))], 0);
+        assert_eq!(end, None);
+        // Real input resets the horizon.
+        let (_, end) = s.apply_batch(&[ScriptStep::Event(WindowEvent::ch('a'))], 0);
+        assert_eq!(end, None);
+        let (_, end) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(999))], 0);
+        assert_eq!(end, None);
+        let (_, end) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(1))], 0);
+        assert_eq!(end, Some(SessionEnd::Idle));
+    }
+}

@@ -1,0 +1,525 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! A frame on the wire is `[u32 LE body length][u8 tag][payload]`; the
+//! transport layer (see [`crate::transport`]) owns the length prefix,
+//! this module encodes and decodes the body (tag + payload). All
+//! integers are little-endian. Client→server bodies carry
+//! [`ScriptStep`]-equivalent events — encoded as their script *line*
+//! text, so the wire reuses the exact parser and printer that
+//! `runapp --script` and the fuzzer already trust — and server→client
+//! bodies ship region-diffed framebuffer updates or full keyframes.
+//!
+//! Every decode path is bounds-checked and capped; malformed, truncated,
+//! or hostile input returns [`WireError`], never panics (the proptests
+//! in `tests/wire_props.rs` fire random and corrupted buffers at both
+//! decoders to hold that line).
+
+use atk_core::{EventScript, ScriptStep};
+use atk_graphics::Rect;
+
+/// Hard cap on one frame body, enforced by both transports and the
+/// decoders (a 4096×4096 keyframe is ~64 MiB; nothing legitimate is
+/// bigger).
+pub const MAX_FRAME_BYTES: usize = 1 << 26;
+/// Cap on strings carried in frames (scene names, reasons, script lines).
+pub const MAX_STRING_BYTES: usize = 4096;
+/// Cap on rect count in one update frame.
+pub const MAX_RECTS: usize = 1 << 16;
+/// Cap on either framebuffer dimension.
+pub const MAX_DIM: u32 = 16384;
+
+/// A decoding failure. The variants matter less than the guarantee:
+/// decoding arbitrary bytes returns one of these instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// A string field was not UTF-8 or exceeded [`MAX_STRING_BYTES`].
+    BadString,
+    /// A step line failed to parse, or encoded to nothing.
+    BadStep(String),
+    /// A count or dimension exceeded its cap.
+    TooLarge,
+    /// The frame decoded but left unread payload bytes.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::BadString => write!(f, "bad string field"),
+            WireError::BadStep(e) => write!(f, "bad step: {e}"),
+            WireError::TooLarge => write!(f, "field exceeds protocol cap"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One damaged band of pixels in an update frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchRect {
+    /// Where the band lands in the client framebuffer.
+    pub rect: Rect,
+    /// Row-major pixels, `rect.width * rect.height` of them.
+    pub pixels: Vec<u32>,
+}
+
+/// Client→server frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Open a session on the named scene.
+    Hello {
+        /// Scene name (`fig1`…`fig5`, any `atk_apps::scenes` name).
+        scene: String,
+    },
+    /// One script step, encoded as its script line.
+    Step(ScriptStep),
+    /// Orderly goodbye; the server replies with its own `Bye`.
+    Bye,
+}
+
+/// Server→client frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// Session accepted; the initial keyframe follows immediately.
+    Welcome {
+        /// Server-assigned session id.
+        session_id: u64,
+        /// Window width in pixels.
+        width: u32,
+        /// Window height in pixels.
+        height: u32,
+    },
+    /// Admission control rejected the connection; try again later.
+    Busy,
+    /// Region-diffed update: only the changed bands, in band order.
+    Update {
+        /// Cumulative count of client steps consumed so far.
+        seq: u64,
+        /// Changed bands with their pixels (may be empty — a pure ack).
+        rects: Vec<PatchRect>,
+    },
+    /// Full frame replacing the client framebuffer (also carries
+    /// resizes: the dimensions are authoritative).
+    Keyframe {
+        /// Cumulative count of client steps consumed so far.
+        seq: u64,
+        /// New framebuffer width.
+        width: u32,
+        /// New framebuffer height.
+        height: u32,
+        /// Row-major pixels, `width * height` of them.
+        pixels: Vec<u32>,
+    },
+    /// Server is closing the session (client `Bye`, idle eviction, app
+    /// close).
+    Bye {
+        /// Why ("bye", "idle", "closed").
+        reason: String,
+    },
+    /// Protocol or session failure; the connection is done.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_STEP: u8 = 0x02;
+const TAG_C_BYE: u8 = 0x03;
+const TAG_WELCOME: u8 = 0x81;
+const TAG_BUSY: u8 = 0x82;
+const TAG_UPDATE: u8 = 0x83;
+const TAG_KEYFRAME: u8 = 0x84;
+const TAG_S_BYE: u8 = 0x85;
+const TAG_ERROR: u8 = 0x86;
+
+// ---- primitive writers -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_pixels(out: &mut Vec<u8>, pixels: &[u32]) {
+    out.reserve(pixels.len() * 4);
+    for p in pixels {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+}
+
+// ---- primitive reader --------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::TooLarge)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STRING_BYTES {
+            return Err(WireError::BadString);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    fn pixels(&mut self, count: usize) -> Result<Vec<u32>, WireError> {
+        let bytes = self.take(count.checked_mul(4).ok_or(WireError::TooLarge)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn dims(&mut self) -> Result<(u32, u32), WireError> {
+        let w = self.u32()?;
+        let h = self.u32()?;
+        if w > MAX_DIM || h > MAX_DIM {
+            return Err(WireError::TooLarge);
+        }
+        Ok((w, h))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+impl ClientFrame {
+    /// Encodes the frame body (tag + payload, no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadStep`] for the few [`ScriptStep`]s the script
+    /// line format cannot carry (`Expose`, raw `MenuSelect` events) —
+    /// clients never need to send those.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        match self {
+            ClientFrame::Hello { scene } => {
+                out.push(TAG_HELLO);
+                put_str(&mut out, scene);
+            }
+            ClientFrame::Step(step) => {
+                let line = step
+                    .to_line()
+                    .ok_or_else(|| WireError::BadStep(format!("unencodable step {step:?}")))?;
+                out.push(TAG_STEP);
+                put_str(&mut out, &line);
+            }
+            ClientFrame::Bye => out.push(TAG_C_BYE),
+        }
+        Ok(out)
+    }
+
+    /// Decodes a frame body. Never panics on arbitrary input.
+    pub fn decode(buf: &[u8]) -> Result<ClientFrame, WireError> {
+        let mut r = Reader::new(buf);
+        let frame = match r.u8()? {
+            TAG_HELLO => ClientFrame::Hello { scene: r.string()? },
+            TAG_STEP => {
+                let line = r.string()?;
+                let script =
+                    EventScript::parse(&line).map_err(|(_, msg)| WireError::BadStep(msg))?;
+                // One frame carries exactly one step ("type …" lines,
+                // which expand to many, are not wire format).
+                match <[ScriptStep; 1]>::try_from(script.steps) {
+                    Ok([step]) => ClientFrame::Step(step),
+                    Err(_) => return Err(WireError::BadStep(format!("not one step: {line}"))),
+                }
+            }
+            TAG_C_BYE => ClientFrame::Bye,
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+impl ServerFrame {
+    /// Encodes the frame body (tag + payload, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ServerFrame::Welcome {
+                session_id,
+                width,
+                height,
+            } => {
+                out.push(TAG_WELCOME);
+                put_u64(&mut out, *session_id);
+                put_u32(&mut out, *width);
+                put_u32(&mut out, *height);
+            }
+            ServerFrame::Busy => out.push(TAG_BUSY),
+            ServerFrame::Update { seq, rects } => {
+                out.push(TAG_UPDATE);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, rects.len() as u32);
+                for patch in rects {
+                    put_u32(&mut out, patch.rect.x as u32);
+                    put_u32(&mut out, patch.rect.y as u32);
+                    put_u32(&mut out, patch.rect.width as u32);
+                    put_u32(&mut out, patch.rect.height as u32);
+                    put_pixels(&mut out, &patch.pixels);
+                }
+            }
+            ServerFrame::Keyframe {
+                seq,
+                width,
+                height,
+                pixels,
+            } => {
+                out.push(TAG_KEYFRAME);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *width);
+                put_u32(&mut out, *height);
+                put_pixels(&mut out, pixels);
+            }
+            ServerFrame::Bye { reason } => {
+                out.push(TAG_S_BYE);
+                put_str(&mut out, reason);
+            }
+            ServerFrame::Error { message } => {
+                out.push(TAG_ERROR);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body. Never panics on arbitrary input: every
+    /// count and dimension is capped before any allocation it sizes.
+    pub fn decode(buf: &[u8]) -> Result<ServerFrame, WireError> {
+        let mut r = Reader::new(buf);
+        let frame = match r.u8()? {
+            TAG_WELCOME => {
+                let session_id = r.u64()?;
+                let (width, height) = r.dims()?;
+                ServerFrame::Welcome {
+                    session_id,
+                    width,
+                    height,
+                }
+            }
+            TAG_BUSY => ServerFrame::Busy,
+            TAG_UPDATE => {
+                let seq = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > MAX_RECTS {
+                    return Err(WireError::TooLarge);
+                }
+                let mut rects = Vec::with_capacity(n.min(1024));
+                let mut total_px = 0usize;
+                for _ in 0..n {
+                    let x = r.i32()?;
+                    let y = r.i32()?;
+                    let (w, h) = r.dims()?;
+                    if x < 0 || y < 0 || w == 0 || h == 0 {
+                        return Err(WireError::TooLarge);
+                    }
+                    let count = (w as usize) * (h as usize);
+                    total_px = total_px.checked_add(count).ok_or(WireError::TooLarge)?;
+                    if total_px * 4 > MAX_FRAME_BYTES {
+                        return Err(WireError::TooLarge);
+                    }
+                    let pixels = r.pixels(count)?;
+                    rects.push(PatchRect {
+                        rect: Rect::new(x, y, w as i32, h as i32),
+                        pixels,
+                    });
+                }
+                ServerFrame::Update { seq, rects }
+            }
+            TAG_KEYFRAME => {
+                let seq = r.u64()?;
+                let (width, height) = r.dims()?;
+                let count = (width as usize) * (height as usize);
+                if count * 4 > MAX_FRAME_BYTES {
+                    return Err(WireError::TooLarge);
+                }
+                let pixels = r.pixels(count)?;
+                ServerFrame::Keyframe {
+                    seq,
+                    width,
+                    height,
+                    pixels,
+                }
+            }
+            TAG_S_BYE => ServerFrame::Bye {
+                reason: r.string()?,
+            },
+            TAG_ERROR => ServerFrame::Error {
+                message: r.string()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Encoded body size in bytes (what the wire will carry, minus the
+    /// 4-byte length prefix) — the accounting unit for
+    /// `serve.diff_bytes` / `serve.full_bytes`.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            ServerFrame::Welcome { .. } => 1 + 8 + 4 + 4,
+            ServerFrame::Busy => 1,
+            ServerFrame::Update { rects, .. } => {
+                1 + 8 + 4 + rects.iter().map(|p| 16 + p.pixels.len() * 4).sum::<usize>()
+            }
+            ServerFrame::Keyframe { pixels, .. } => 1 + 8 + 4 + 4 + pixels.len() * 4,
+            ServerFrame::Bye { reason } => 1 + 4 + reason.len(),
+            ServerFrame::Error { message } => 1 + 4 + message.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atk_wm::WindowEvent;
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = [
+            ClientFrame::Hello {
+                scene: "fig5".into(),
+            },
+            ClientFrame::Step(ScriptStep::Event(WindowEvent::ch('a'))),
+            ClientFrame::Step(ScriptStep::MenuSelect("File/Save".into())),
+            ClientFrame::Bye,
+        ];
+        for f in frames {
+            let bytes = f.encode().unwrap();
+            assert_eq!(ClientFrame::decode(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = [
+            ServerFrame::Welcome {
+                session_id: 7,
+                width: 800,
+                height: 600,
+            },
+            ServerFrame::Busy,
+            ServerFrame::Update {
+                seq: 3,
+                rects: vec![PatchRect {
+                    rect: Rect::new(2, 5, 3, 2),
+                    pixels: vec![1, 2, 3, 4, 5, 6],
+                }],
+            },
+            ServerFrame::Keyframe {
+                seq: 9,
+                width: 2,
+                height: 2,
+                pixels: vec![0xAABBCC, 0, 1, 2],
+            },
+            ServerFrame::Bye {
+                reason: "idle".into(),
+            },
+            ServerFrame::Error {
+                message: "no such scene".into(),
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(bytes.len(), f.wire_len(), "wire_len of {f:?}");
+            assert_eq!(ServerFrame::decode(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn unencodable_step_is_an_error_not_a_panic() {
+        use atk_graphics::Rect;
+        let f = ClientFrame::Step(ScriptStep::Event(WindowEvent::Expose(Rect::new(
+            0, 0, 1, 1,
+        ))));
+        assert!(matches!(f.encode(), Err(WireError::BadStep(_))));
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let full = ServerFrame::Keyframe {
+            seq: 1,
+            width: 4,
+            height: 4,
+            pixels: vec![0; 16],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                ServerFrame::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_capped_before_allocation() {
+        // Keyframe claiming a 16384×16384 buffer with no pixels behind it.
+        let mut buf = vec![0x84u8];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&16384u32.to_le_bytes());
+        buf.extend_from_slice(&16384u32.to_le_bytes());
+        assert_eq!(ServerFrame::decode(&buf), Err(WireError::TooLarge));
+        // Update claiming u32::MAX rects.
+        let mut buf = vec![0x83u8];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(ServerFrame::decode(&buf), Err(WireError::TooLarge));
+    }
+}

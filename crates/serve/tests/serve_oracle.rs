@@ -1,0 +1,34 @@
+//! The serving acceptance oracle: a served session replaying a fuzzer
+//! script ends byte-identical to the same script run in-process.
+//! Three scenes × four seeds, 40 steps each.
+
+use atk_serve::serve_differential;
+
+const SEEDS: [u64; 4] = [1, 2, 7, 42];
+const STEPS: usize = 40;
+
+fn run_scene(scene: &str) {
+    for seed in SEEDS {
+        let report = serve_differential(scene, seed, STEPS).unwrap();
+        assert_eq!(report.steps, STEPS);
+        assert!(
+            report.diff_frames + report.key_frames > 0,
+            "{scene} seed {seed}: no frames shipped"
+        );
+    }
+}
+
+#[test]
+fn served_matches_in_process_fig1() {
+    run_scene("fig1");
+}
+
+#[test]
+fn served_matches_in_process_fig3() {
+    run_scene("fig3");
+}
+
+#[test]
+fn served_matches_in_process_fig5() {
+    run_scene("fig5");
+}

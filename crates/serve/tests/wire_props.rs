@@ -1,0 +1,127 @@
+//! Property tests over the wire protocol: every well-formed frame
+//! round-trips byte-exactly, and no byte sequence — truncated,
+//! corrupted, or pure noise — makes the decoder panic.
+
+use atk_core::ScriptStep;
+use atk_graphics::{Point, Rect, Size};
+use atk_serve::wire::{ClientFrame, PatchRect, ServerFrame};
+use atk_wm::{Button, Key, MouseAction, WindowEvent};
+use proptest::prelude::*;
+
+fn arb_step() -> impl Strategy<Value = ScriptStep> {
+    prop_oneof![
+        (0i32..1000, 0i32..1000).prop_map(|(x, y)| ScriptStep::Event(WindowEvent::left_down(x, y))),
+        (0i32..1000, 0i32..1000).prop_map(|(x, y)| ScriptStep::Event(WindowEvent::left_up(x, y))),
+        (0i32..1000, 0i32..1000).prop_map(|(x, y)| ScriptStep::Event(WindowEvent::left_drag(x, y))),
+        (0i32..1000, 0i32..1000).prop_map(|(x, y)| {
+            ScriptStep::Event(WindowEvent::Mouse {
+                action: MouseAction::Movement,
+                pos: Point::new(x, y),
+            })
+        }),
+        "[a-z0-9]{1}".prop_map(|s| ScriptStep::Event(WindowEvent::ch(s.chars().next().unwrap()))),
+        Just(ScriptStep::Event(WindowEvent::Key(Key::Return))),
+        Just(ScriptStep::Event(WindowEvent::Key(Key::Backspace))),
+        (1u64..5000).prop_map(|ms| ScriptStep::Event(WindowEvent::Tick(ms))),
+        (1i32..2000, 1i32..2000)
+            .prop_map(|(w, h)| ScriptStep::Event(WindowEvent::Resize(Size::new(w, h)))),
+        Just(ScriptStep::Event(WindowEvent::MenuRequest {
+            pos: Point::ORIGIN
+        })),
+        Just(ScriptStep::Event(WindowEvent::Close)),
+        "[A-Za-z/]{1,16}".prop_map(ScriptStep::MenuSelect),
+    ]
+}
+
+fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
+    prop_oneof![
+        "[a-z0-9_]{0,32}".prop_map(|scene| ClientFrame::Hello { scene }),
+        arb_step().prop_map(ClientFrame::Step),
+        Just(ClientFrame::Bye),
+    ]
+}
+
+fn arb_patch() -> impl Strategy<Value = PatchRect> {
+    (0i32..500, 0i32..500, 1i32..32, 1i32..32, any::<u32>()).prop_map(|(x, y, w, h, fill)| {
+        PatchRect {
+            rect: Rect::new(x, y, w, h),
+            pixels: (0..(w * h) as usize)
+                .map(|i| fill.wrapping_add(i as u32))
+                .collect(),
+        }
+    })
+}
+
+fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
+    prop_oneof![
+        (any::<u64>(), 1u32..2000, 1u32..2000).prop_map(|(session_id, width, height)| {
+            ServerFrame::Welcome {
+                session_id,
+                width,
+                height,
+            }
+        }),
+        Just(ServerFrame::Busy),
+        (any::<u64>(), proptest::collection::vec(arb_patch(), 0..6))
+            .prop_map(|(seq, rects)| ServerFrame::Update { seq, rects }),
+        (any::<u64>(), 1u32..48, 1u32..48, any::<u32>()).prop_map(|(seq, width, height, fill)| {
+            ServerFrame::Keyframe {
+                seq,
+                width,
+                height,
+                pixels: (0..(width * height) as usize)
+                    .map(|i| fill.wrapping_add(i as u32))
+                    .collect(),
+            }
+        }),
+        "\\PC{0,40}".prop_map(|reason| ServerFrame::Bye { reason }),
+        "\\PC{0,40}".prop_map(|message| ServerFrame::Error { message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    #[test]
+    fn client_frames_round_trip(frame in arb_client_frame()) {
+        let bytes = frame.encode().unwrap();
+        prop_assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn server_frames_round_trip(frame in arb_server_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.wire_len(), "wire_len disagrees with encode");
+        prop_assert_eq!(ServerFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn truncated_frames_error_never_panic(frame in arb_server_frame(), cut in 0.0f64..1.0) {
+        let bytes = frame.encode();
+        let keep = (bytes.len() as f64 * cut) as usize; // strictly short
+        prop_assert!(ServerFrame::decode(&bytes[..keep.min(bytes.len() - 1)]).is_err());
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        client in arb_client_frame(),
+        server in arb_server_frame(),
+        at in 0.0f64..1.0,
+        flip in 1u8..255,
+    ) {
+        let mut bytes = server.encode();
+        let i = ((bytes.len() as f64 * at) as usize).min(bytes.len() - 1);
+        bytes[i] ^= flip;
+        let _ = ServerFrame::decode(&bytes); // Ok or Err, never a panic.
+        let mut bytes = client.encode().unwrap();
+        let i = ((bytes.len() as f64 * at) as usize).min(bytes.len() - 1);
+        bytes[i] ^= flip;
+        let _ = ClientFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn byte_noise_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let _ = ClientFrame::decode(&bytes);
+        let _ = ServerFrame::decode(&bytes);
+    }
+}

@@ -77,6 +77,26 @@ impl Histogram {
         }
     }
 
+    /// Approximate `q`-quantile (`q` in `0.0..=1.0`): the lower bound of
+    /// the bucket holding the ceil(q·count)-th smallest value, clamped
+    /// into `[min, max]`. Resolution is the log2 bucket width — good
+    /// enough for "is p99 frame latency microseconds or milliseconds",
+    /// which is what the serve-layer histograms ask.
+    pub fn approx_percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Index of the highest non-empty bucket, if any value was recorded.
     pub fn top_bucket(&self) -> Option<usize> {
         self.buckets
@@ -128,5 +148,28 @@ mod tests {
         assert_eq!(h.count, 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.top_bucket(), None);
+        assert_eq!(h.approx_percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentiles_land_in_the_right_bucket() {
+        let mut h = Histogram::default();
+        // 99 values near 100 (bucket [64,127]), one outlier at 10_000.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000);
+        let p50 = h.approx_percentile(0.50);
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        let p99 = h.approx_percentile(0.99);
+        assert!((64..=127).contains(&p99), "p99 = {p99}");
+        // p100 must reach the outlier's bucket (lower bound 8192),
+        // clamped no higher than the recorded max.
+        let p100 = h.approx_percentile(1.0);
+        assert!((8192..=10_000).contains(&p100), "p100 = {p100}");
+        // min/max clamping: a single value reports itself everywhere.
+        let mut one = Histogram::default();
+        one.record(37);
+        assert_eq!(one.approx_percentile(0.5), 37);
     }
 }

@@ -15,12 +15,21 @@ use atk_graphics::{Color, FontDesc, FontMetrics, Framebuffer, Point, RasterOp, R
 
 use crate::traits::{Graphic, GraphicState};
 
+/// Renders a virtual-clock offset as `HH:MM:SS.mmm` for the page header.
+fn format_clock(ms: u64) -> String {
+    let (s, milli) = (ms / 1000, ms % 1000);
+    let (m, sec) = (s / 60, s % 60);
+    let (h, min) = (m / 60, m % 60);
+    format!("{h:02}:{min:02}:{sec:02}.{milli:03}")
+}
+
 /// A drawable that renders to PostScript source.
 pub struct PostScriptGraphic {
     st: GraphicState,
     page: Rect,
     body: String,
     ops: u64,
+    clock_ms: u64,
 }
 
 impl PostScriptGraphic {
@@ -31,15 +40,30 @@ impl PostScriptGraphic {
             page: Rect::new(0, 0, width, height),
             body: String::new(),
             ops: 0,
+            clock_ms: 0,
         }
+    }
+
+    /// Sets the creation timestamp stamped into the page header, in
+    /// milliseconds of the toolkit's *virtual* clock. Printing must stay
+    /// deterministic (the golden print tests diff the whole document),
+    /// so the header never reads the wall clock — whoever repoints a
+    /// view at this drawable passes `World::now_ms()` instead.
+    pub fn set_clock_ms(&mut self, ms: u64) {
+        self.clock_ms = ms;
     }
 
     /// The complete PostScript program for what has been drawn.
     pub fn document(&self) -> String {
         format!(
             "%!PS-Adobe-2.0\n%%Creator: atk-wm printer drawable\n\
-             %%BoundingBox: 0 0 {} {}\n/y {{ {} exch sub }} def\n{}showpage\n",
-            self.page.width, self.page.height, self.page.height, self.body
+             %%CreationDate: (T+{} toolkit clock)\n%%Pages: 1\n\
+             %%BoundingBox: 0 0 {} {}\n%%Page: 1 1\n/y {{ {} exch sub }} def\n{}showpage\n",
+            format_clock(self.clock_ms),
+            self.page.width,
+            self.page.height,
+            self.page.height,
+            self.body
         )
     }
 
@@ -315,7 +339,25 @@ mod tests {
         let doc = g.document();
         assert!(doc.starts_with("%!PS-Adobe-2.0"));
         assert!(doc.contains("%%BoundingBox: 0 0 612 792"));
+        assert!(doc.contains("%%Page: 1 1"));
         assert!(doc.trim_end().ends_with("showpage"));
+    }
+
+    #[test]
+    fn creation_date_comes_from_the_virtual_clock() {
+        let mut g = PostScriptGraphic::new(612, 792);
+        // Unset clock stamps the epoch, not the wall clock.
+        assert!(g
+            .document()
+            .contains("%%CreationDate: (T+00:00:00.000 toolkit clock)"));
+        g.set_clock_ms(((2 * 60 + 3) * 60 + 4) * 1000 + 56);
+        let doc = g.document();
+        assert!(
+            doc.contains("%%CreationDate: (T+02:03:04.056 toolkit clock)"),
+            "header was:\n{doc}"
+        );
+        // Same clock twice → byte-identical documents.
+        assert_eq!(doc, g.document());
     }
 
     #[test]

@@ -15,6 +15,10 @@ echo "==> runcheck smoke (fixed seed, all oracles)"
 cargo run --release -q -p atk-check --bin runcheck -- \
     --seed 42 --steps 500 --scene fig1,fig3,fig5 --oracle all
 
+echo "==> loadgen smoke (8 served sessions, zero drops tolerated)"
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --sessions 8 --steps 50 --max-drops 0
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

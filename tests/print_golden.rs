@@ -1,0 +1,52 @@
+//! Golden-file test for §4 printing: the fig5 ez compound document
+//! (text ⊃ table ⊃ {text, equation, animation, spreadsheet}) printed
+//! through the PostScript drawable must produce byte-identical output
+//! run after run — the page header timestamp comes from the session's
+//! virtual clock, not the wall clock.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p atk-integration
+//! --test print_golden` after an intentional rendering change.
+
+use atk_apps::scenes;
+use atk_wm::WindowEvent;
+
+fn fig5_postscript() -> String {
+    let mut ws = atk_wm::x11sim::X11Sim::new();
+    let mut scene = scenes::fig5_ez_compound(&mut ws).unwrap();
+    // Park the virtual clock at a recognizable instant; the header
+    // must show it rather than the wall clock.
+    scene.im.feed(&mut scene.world, WindowEvent::Tick(1234));
+    let root = scene.im.root();
+    atk_core::print_view(&mut scene.world, root)
+}
+
+#[test]
+fn fig5_print_matches_golden() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/fig5_print.ps"
+    );
+    let got = fig5_postscript();
+    assert!(
+        got.contains("%%CreationDate: (T+00:00:01.234 toolkit clock)"),
+        "header must carry the virtual-clock timestamp:\n{}",
+        &got[..200.min(got.len())]
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(golden_path).parent().unwrap()).unwrap();
+        std::fs::write(golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "fig5 PostScript drifted from tests/golden/fig5_print.ps \
+         (UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+#[test]
+fn fig5_print_is_deterministic_across_runs() {
+    assert_eq!(fig5_postscript(), fig5_postscript());
+}
