@@ -1,0 +1,106 @@
+//! E12 — incremental text layout (edit-local relayout).
+//!
+//! Series:
+//! * `e12/insert_char` — full keystroke path (edit → change record →
+//!   edit-local re-wrap → damage strip) on plain documents of 1k, 10k,
+//!   and 100k characters. Expected shape: flat — the re-wrap visits a
+//!   couple of lines regardless of document size;
+//! * `ablation/incremental_layout` — the same keystroke with
+//!   [`TextView::set_incremental_layout`] off, forcing the pre-E12
+//!   from-scratch re-wrap on every change record. Expected shape:
+//!   linear in document size. The toggle keeps the old path reachable
+//!   as the differential oracle's reference (like `legacy_region`);
+//! * `ablation/measure_cache` — the keystroke with the shared font
+//!   measurement cache on vs. off (off re-derives a width table per
+//!   style run per wrap instead of indexing the shared one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atk_apps::{corpus, standard_world};
+use atk_core::{ViewId, World};
+use atk_graphics::Rect;
+use atk_text::TextView;
+use atk_wm::Key;
+
+/// A standard world with one laid-out text view over a `chars`-character
+/// plain document, caret mid-document, damage drained.
+fn typing_world(chars: usize) -> (World, ViewId) {
+    let mut world = standard_world();
+    let doc = corpus::plain_text_doc(&mut world, 12, chars);
+    let view = world.new_view("textview").unwrap();
+    world.with_view(view, |v, w| v.set_data_object(w, doc));
+    world.set_view_bounds(view, Rect::new(0, 0, 400, 300));
+    world.with_view(view, |v, w| {
+        let tv = v.as_any_mut().downcast_mut::<TextView>().unwrap();
+        tv.ensure_layout(w);
+        tv.set_caret(w, chars / 2);
+    });
+    let _ = world.take_damage_region();
+    (world, view)
+}
+
+/// Type a character and delete it again, flushing notifications and
+/// draining damage, so the document stays at its nominal size.
+fn keystroke(world: &mut World, view: ViewId) {
+    world.with_view(view, |v, w| {
+        v.key(w, black_box(Key::Char('x')));
+        v.key(w, Key::Backspace);
+    });
+    world.flush_notifications();
+    let _ = world.take_damage_region();
+}
+
+fn set_incremental(world: &mut World, view: ViewId, on: bool) {
+    world.with_view(view, |v, _| {
+        v.as_any_mut()
+            .downcast_mut::<TextView>()
+            .unwrap()
+            .set_incremental_layout(on)
+    });
+}
+
+fn bench_insert_char(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12/insert_char");
+    for chars in [1_000usize, 10_000, 100_000] {
+        let (mut world, view) = typing_world(chars);
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("incremental", chars), &chars, |b, _| {
+            b.iter(|| keystroke(&mut world, view))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/incremental_layout");
+    for chars in [1_000usize, 10_000, 100_000] {
+        let (mut world, view) = typing_world(chars);
+        set_incremental(&mut world, view, false);
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("full_relayout", chars), &chars, |b, _| {
+            b.iter(|| keystroke(&mut world, view))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_measure_cache(c: &mut Criterion) {
+    // Criterion runs targets sequentially on one thread, so flipping the
+    // process-global cache around a series is safe here (and nowhere
+    // else: tests run in parallel).
+    let mut g = c.benchmark_group("ablation/measure_cache");
+    let (mut world, view) = typing_world(10_000);
+    g.bench_function("cache_on", |b| b.iter(|| keystroke(&mut world, view)));
+    atk_graphics::font::set_measure_cache_enabled(false);
+    g.bench_function("cache_off", |b| b.iter(|| keystroke(&mut world, view)));
+    atk_graphics::font::set_measure_cache_enabled(true);
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_insert_char, bench_ablation_incremental, bench_ablation_measure_cache
+}
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! and its embedded components daily (§9). This crate is the mechanical
 //! stand-in: a seed-driven fuzzer that generates weighted random
 //! [`ScriptStep`] streams against the real scenes in
-//! [`atk_apps::scenes`], and checks four oracles after configurable step
+//! [`atk_apps::scenes`], and checks five oracles after configurable step
 //! windows:
 //!
 //! * **repaint** — the incremental damage path must converge to the
@@ -17,7 +17,10 @@
 //!   reachable from the root (§3's view tree);
 //! * **backend** — the same script on `X11Sim` and `AwmSim` yields
 //!   identical framebuffers and damage accounting (§8's window-system
-//!   independence).
+//!   independence);
+//! * **layout** — every text view's incrementally maintained line table
+//!   is byte-identical to a from-scratch relayout (the differential
+//!   anchor for edit-local relayout).
 //!
 //! On failure the event stream is delta-debugged ([`shrink`]) to a
 //! 1-minimal script in the line-oriented format `runapp --script`
@@ -52,32 +55,42 @@ pub struct OracleSet {
     pub tree: bool,
     /// X11Sim / AwmSim differential.
     pub backend: bool,
+    /// Incremental text relayout ≡ from-scratch relayout.
+    pub layout: bool,
 }
 
 impl OracleSet {
-    /// All four oracles.
+    /// All five oracles.
     pub fn all() -> OracleSet {
         OracleSet {
             repaint: true,
             roundtrip: true,
             tree: true,
             backend: true,
+            layout: true,
+        }
+    }
+
+    /// No oracles; the building block for `only` and `parse`.
+    fn none() -> OracleSet {
+        OracleSet {
+            repaint: false,
+            roundtrip: false,
+            tree: false,
+            backend: false,
+            layout: false,
         }
     }
 
     /// Only the named oracle.
     pub fn only(oracle: Oracle) -> OracleSet {
-        let mut set = OracleSet {
-            repaint: false,
-            roundtrip: false,
-            tree: false,
-            backend: false,
-        };
+        let mut set = OracleSet::none();
         match oracle {
             Oracle::Repaint => set.repaint = true,
             Oracle::Roundtrip => set.roundtrip = true,
             Oracle::Tree => set.tree = true,
             Oracle::Backend => set.backend = true,
+            Oracle::Layout => set.layout = true,
         }
         set
     }
@@ -87,21 +100,17 @@ impl OracleSet {
         if spec == "all" {
             return Ok(OracleSet::all());
         }
-        let mut set = OracleSet {
-            repaint: false,
-            roundtrip: false,
-            tree: false,
-            backend: false,
-        };
+        let mut set = OracleSet::none();
         for name in spec.split(',').filter(|s| !s.is_empty()) {
             match name {
                 "repaint" => set.repaint = true,
                 "roundtrip" => set.roundtrip = true,
                 "tree" => set.tree = true,
                 "backend" => set.backend = true,
+                "layout" => set.layout = true,
                 other => {
                     return Err(format!(
-                        "unknown oracle `{other}` (repaint, roundtrip, tree, backend, all)"
+                        "unknown oracle `{other}` (repaint, roundtrip, tree, backend, layout, all)"
                     ))
                 }
             }
@@ -274,6 +283,18 @@ fn run_oracles(
                     detail,
                 });
             }
+        }
+    }
+    // Layout before repaint: a wrong incremental line table usually
+    // shows up as a pixel diff too, and the layout oracle names the
+    // diverging line rather than a pixel count.
+    if oracles.layout {
+        collector.count("check.oracle_runs", 1);
+        if let Some(detail) = oracles::check_layout(primary) {
+            return Some(Violation {
+                oracle: Oracle::Layout,
+                detail,
+            });
         }
     }
     if oracles.repaint {

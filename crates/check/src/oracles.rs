@@ -1,11 +1,13 @@
-//! The four session oracles.
+//! The five session oracles.
 //!
 //! Each check returns `None` when the invariant holds, or a human
 //! readable description of the violation. They exploit the two protocol
 //! guarantees the paper's architecture rests on: delayed update means an
 //! incremental damage pass must converge to the same pixels as a
-//! from-scratch redraw (§2), and the datastream writer/reader pair must
-//! be a bijection on documents it produced itself (§5).
+//! from-scratch redraw (§2) — and, one layer down, an incremental
+//! *relayout* must converge to the same line table as a from-scratch
+//! re-wrap — and the datastream writer/reader pair must be a bijection
+//! on documents it produced itself (§5).
 
 use atk_core::{document_to_string, read_document, ViewId, World};
 use atk_graphics::Rect;
@@ -23,6 +25,8 @@ pub enum Oracle {
     Tree,
     /// X11Sim and AwmSim agree pixel-for-pixel and count-for-count.
     Backend,
+    /// Incremental text relayout ≡ from-scratch relayout.
+    Layout,
 }
 
 impl std::fmt::Display for Oracle {
@@ -32,6 +36,7 @@ impl std::fmt::Display for Oracle {
             Oracle::Roundtrip => "roundtrip",
             Oracle::Tree => "tree",
             Oracle::Backend => "backend",
+            Oracle::Layout => "layout",
         };
         write!(f, "{name}")
     }
@@ -212,6 +217,25 @@ pub fn check_tree(s: &Session) -> Option<String> {
         }
         if path.last() != Some(&f) {
             return Some(format!("focus path {path:?} does not end at focus {f:?}"));
+        }
+    }
+    None
+}
+
+/// Layout differential: every text view's incrementally maintained line
+/// table must be byte-identical to what a from-scratch relayout of the
+/// same document at the same width produces. This is the oracle for the
+/// edit-local relayout path — the one place a wrong convergence bound or
+/// a stale memoized width would show up before any pixel does.
+pub fn check_layout(s: &mut Session) -> Option<String> {
+    for id in s.world.view_ids() {
+        let result = s.world.with_view(id, |view, world| {
+            view.as_any_mut()
+                .downcast_mut::<atk_text::TextView>()
+                .map(|tv| tv.verify_layout_against_full(world))
+        });
+        if let Some(Some(Err(detail))) = result {
+            return Some(format!("textview {id:?}: {detail}"));
         }
     }
     None

@@ -14,7 +14,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::color::Color;
 use crate::fb::Framebuffer;
@@ -122,6 +123,15 @@ impl FontDesc {
 
     /// Advance width of a single character.
     pub fn char_width(&self, ch: char) -> i32 {
+        if measure_cache_enabled() {
+            return self.width_table().advance(ch);
+        }
+        self.char_width_uncached(ch)
+    }
+
+    /// The advance computed from the glyph table, bypassing the
+    /// measurement cache (also the cache's fill path).
+    fn char_width_uncached(&self, ch: char) -> i32 {
         let s = self.scale();
         let bold_extra = if self.style.bold { s } else { 0 };
         if self.is_fixed() {
@@ -137,8 +147,93 @@ impl FontDesc {
 
     /// Advance width of a string.
     pub fn string_width(&self, s: &str) -> i32 {
-        s.chars().map(|c| self.char_width(c)).sum()
+        if measure_cache_enabled() {
+            let t = self.width_table();
+            return s.chars().map(|c| t.advance(c)).sum();
+        }
+        s.chars().map(|c| self.char_width_uncached(c)).sum()
     }
+
+    /// The memoized advance table for this descriptor. Layout engines
+    /// resolve this once per style run instead of re-measuring every
+    /// character through the glyph table; the shared cache makes repeat
+    /// lookups (`font.measure_cache_hit`) an array index.
+    ///
+    /// Always returns a table, even when the cache is disabled via
+    /// [`set_measure_cache_enabled`] — disabling only stops *sharing*
+    /// (each call rebuilds, counted as `font.measure_cache_miss`), which
+    /// is what the E12 cache ablation measures.
+    pub fn width_table(&self) -> Arc<WidthTable> {
+        if measure_cache_enabled() {
+            if let Some(t) = width_cache().read().expect("width cache").get(self) {
+                atk_trace::global().count("font.measure_cache_hit", 1);
+                return Arc::clone(t);
+            }
+        }
+        atk_trace::global().count("font.measure_cache_miss", 1);
+        let t = Arc::new(WidthTable::build(self));
+        if measure_cache_enabled() {
+            width_cache()
+                .write()
+                .expect("width cache")
+                .entry(self.clone())
+                .or_insert_with(|| Arc::clone(&t));
+        }
+        t
+    }
+}
+
+/// Memoized per-character advances for one [`FontDesc`]: ASCII is an
+/// array index, everything else (all unmapped, rendered as the hollow
+/// box) shares one fallback advance.
+#[derive(Debug, Clone)]
+pub struct WidthTable {
+    ascii: [i32; 128],
+    fallback: i32,
+}
+
+impl WidthTable {
+    fn build(desc: &FontDesc) -> WidthTable {
+        let mut ascii = [0i32; 128];
+        for (code, slot) in ascii.iter_mut().enumerate() {
+            *slot = desc.char_width_uncached(code as u8 as char);
+        }
+        WidthTable {
+            ascii,
+            // Any char outside the glyph table measures as the full
+            // cell; '\u{FFFC}' (the anchor char) lands here too.
+            fallback: desc.char_width_uncached('\u{FFFC}'),
+        }
+    }
+
+    /// The advance of `ch` in this font.
+    #[inline]
+    pub fn advance(&self, ch: char) -> i32 {
+        let c = ch as u32;
+        if c < 128 {
+            self.ascii[c as usize]
+        } else {
+            self.fallback
+        }
+    }
+}
+
+static MEASURE_CACHE_ON: AtomicBool = AtomicBool::new(true);
+
+fn measure_cache_enabled() -> bool {
+    MEASURE_CACHE_ON.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the shared measurement cache (the E12 ablation;
+/// it defaults to on). Disabling does not clear entries — re-enabling
+/// picks the warm cache back up.
+pub fn set_measure_cache_enabled(on: bool) {
+    MEASURE_CACHE_ON.store(on, Ordering::Relaxed);
+}
+
+fn width_cache() -> &'static RwLock<HashMap<FontDesc, Arc<WidthTable>>> {
+    static CACHE: OnceLock<RwLock<HashMap<FontDesc, Arc<WidthTable>>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 impl fmt::Display for FontDesc {
@@ -1112,6 +1207,40 @@ mod tests {
             andy.string_width("iM"),
             andy.char_width('i') + andy.char_width('M')
         );
+    }
+
+    #[test]
+    fn width_table_matches_uncached_measurement() {
+        for desc in [
+            FontDesc::default_body(),
+            FontDesc::fixed(),
+            FontDesc::new("andy", FontStyle::BOLD, 20),
+            FontDesc::new("andy", FontStyle::ITALIC, 34),
+        ] {
+            let table = desc.width_table();
+            for code in 0u32..128 {
+                let ch = char::from_u32(code).unwrap();
+                assert_eq!(
+                    table.advance(ch),
+                    desc.char_width_uncached(ch),
+                    "{desc} {ch:?}"
+                );
+            }
+            // Non-ASCII falls back to the hollow-box cell width.
+            assert_eq!(
+                table.advance('\u{FFFC}'),
+                desc.char_width_uncached('\u{FFFC}')
+            );
+            assert_eq!(table.advance('é'), desc.char_width_uncached('é'));
+        }
+    }
+
+    #[test]
+    fn width_table_is_shared_across_lookups() {
+        let desc = FontDesc::new("andy", FontStyle::UNDERLINE, 26);
+        let a = desc.width_table();
+        let b = desc.width_table();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod region;
 
 pub use color::Color;
 pub use fb::{Framebuffer, RasterOp};
-pub use font::{BitmapFont, FontDesc, FontMetrics, FontStyle};
+pub use font::{BitmapFont, FontDesc, FontMetrics, FontStyle, WidthTable};
 pub use geom::{Point, Rect, Size};
 pub use region::Region;

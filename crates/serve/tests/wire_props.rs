@@ -5,7 +5,7 @@
 use atk_core::ScriptStep;
 use atk_graphics::{Point, Rect, Size};
 use atk_serve::wire::{ClientFrame, PatchRect, ServerFrame};
-use atk_wm::{Button, Key, MouseAction, WindowEvent};
+use atk_wm::{Key, MouseAction, WindowEvent};
 use proptest::prelude::*;
 
 fn arb_step() -> impl Strategy<Value = ScriptStep> {

@@ -20,8 +20,9 @@
 //! in place by a component the text view knows nothing about.
 
 use std::any::Any;
+use std::sync::Arc;
 
-use atk_graphics::{Color, Point, Rect, Size};
+use atk_graphics::{Color, Point, Rect, Size, WidthTable};
 use atk_wm::{Button, CursorShape, Graphic, Key, MouseAction};
 
 use atk_core::{
@@ -30,13 +31,13 @@ use atk_core::{
 };
 
 use crate::data::TextData;
-use crate::style::Style;
+use crate::style::{Style, StyleId};
 
 /// Left/right margin inside the view.
 const MARGIN: i32 = 4;
 
 /// One laid-out line.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Line {
     /// First buffer position on the line.
     start: usize,
@@ -48,6 +49,140 @@ struct Line {
     height: i32,
     /// Baseline offset from the line top.
     baseline: i32,
+    /// Pixel width of the line's content including its indent (the x
+    /// the wrap scan reached at `end`), memoized so hit-testing past
+    /// the line edge can skip the per-char re-measure.
+    width: i32,
+    /// Highest buffer position the wrap scan *examined* while laying
+    /// this line (inclusive). Usually within the next line: the scan
+    /// runs to the first overflowing character before rewinding to the
+    /// last space, and the line's height keeps the overflow chars'
+    /// fonts. Incremental relayout must re-lay any line whose scan
+    /// reached the edit, not just the line containing it.
+    scan_end: usize,
+}
+
+/// How a [`TextView::wrap_lines`] pass finished.
+struct WrapEnd {
+    /// Content-coordinate y just below the last line appended.
+    next_y: i32,
+    /// Index into the *old* line table where layout re-converged, when
+    /// an incremental pass stopped early.
+    converged: Option<usize>,
+}
+
+/// Convergence target for an incremental wrap pass.
+struct Converge<'a> {
+    /// The pre-edit line table.
+    old: &'a [Line],
+    /// Net byte delta of the edit (inserted − deleted).
+    delta: i64,
+    /// Last pre-edit position the edit touched. Old line starts must be
+    /// strictly past it before they can be trusted to have shifted
+    /// uniformly by `delta`: marks sitting exactly on the boundary move
+    /// by gravity, not uniformly.
+    edit_end_old: usize,
+}
+
+/// Chunked read-through view of a text's characters and style runs.
+///
+/// Layout interleaves measuring (shared `World` borrow) with inset
+/// `desired_size` calls (`&mut World`), so it cannot hold a text borrow
+/// across the scan. Snapshotting the whole document per relayout — what
+/// full relayout used to do — costs O(document) even when one line is
+/// re-wrapped; this cursor fetches a small window on demand instead,
+/// keeping a pass proportional to the characters it actually examines.
+#[derive(Default)]
+struct CharCursor {
+    base: usize,
+    chars: Vec<char>,
+    /// Style runs covering the chunk, `(start, len, id)` in absolute
+    /// buffer positions.
+    runs: Vec<(usize, usize, StyleId)>,
+}
+
+/// Characters fetched per cursor refill.
+const CURSOR_CHUNK: usize = 256;
+
+impl CharCursor {
+    fn refill(&mut self, world: &World, data_id: DataId, i: usize) {
+        self.base = i;
+        self.chars.clear();
+        self.runs.clear();
+        let Some(text) = world.data::<TextData>(data_id) else {
+            return;
+        };
+        let end = (i + CURSOR_CHUNK).min(text.len());
+        self.chars
+            .extend((i..end).map(|p| text.char_at(p).unwrap_or(' ')));
+        self.runs = text.runs_in(i, end.max(i + 1));
+    }
+
+    fn ensure(&mut self, world: &World, data_id: DataId, i: usize) {
+        if i < self.base || i >= self.base + self.chars.len() {
+            self.refill(world, data_id, i);
+        }
+    }
+
+    fn char_at(&mut self, world: &World, data_id: DataId, i: usize) -> char {
+        self.ensure(world, data_id, i);
+        self.chars
+            .get(i.wrapping_sub(self.base))
+            .copied()
+            .unwrap_or(' ')
+    }
+
+    fn style_at(&mut self, world: &World, data_id: DataId, i: usize) -> StyleId {
+        self.ensure(world, data_id, i);
+        for &(s, l, id) in &self.runs {
+            if i >= s && i < s + l {
+                return id;
+            }
+        }
+        0
+    }
+}
+
+/// Per-style measurement data resolved once per wrap pass: indent,
+/// vertical metrics, and the shared width table of the style's font.
+struct StyleMetrics {
+    indent: i32,
+    line_height: i32,
+    ascent: i32,
+    widths: Arc<WidthTable>,
+}
+
+/// Lazily built `StyleId` → [`StyleMetrics`] map. Ids are small dense
+/// indices into the document's interned style table, so a `Vec` slot
+/// per id beats hashing the `FontDesc` for every character.
+#[derive(Default)]
+struct StyleMetricsCache {
+    by_id: Vec<Option<StyleMetrics>>,
+}
+
+impl StyleMetricsCache {
+    fn get(&mut self, world: &World, data_id: DataId, id: StyleId) -> &StyleMetrics {
+        if id >= self.by_id.len() {
+            self.by_id.resize_with(id + 1, || None);
+        }
+        if self.by_id[id].is_none() {
+            let (indent, font) = match world.data::<TextData>(data_id) {
+                Some(t) => {
+                    let s = t.styles.get(id);
+                    (s.indent, s.font())
+                }
+                None => (0, Style::body().font()),
+            };
+            let m = font.metrics();
+            self.by_id[id] = Some(StyleMetrics {
+                indent,
+                line_height: m.line_height,
+                ascent: m.ascent,
+                widths: font.width_table(),
+            });
+        }
+        self.by_id[id].as_ref().expect("just filled")
+    }
 }
 
 /// Redraw accounting (experiment E8 reads these).
@@ -79,6 +214,11 @@ pub struct TextView {
     insets: Vec<(DataId, ViewId)>,
     kill_buffer: String,
     focused: bool,
+    /// When true (the default), `ChangeRec::Text` relayouts re-wrap only
+    /// from the first affected line until line starts re-converge with
+    /// the old table. When false the whole document re-wraps per edit —
+    /// kept reachable (like `legacy_region`) as the bench/test oracle.
+    incremental: bool,
     /// Notifications pending from this view's own edits: the caret was
     /// already moved by the editing code, so `observed_changed` must not
     /// adjust it again when the delayed notification arrives.
@@ -104,6 +244,7 @@ impl TextView {
             insets: Vec::new(),
             kill_buffer: String::new(),
             focused: false,
+            incremental: true,
             self_changes: 0,
             stats: RedrawStats::default(),
         }
@@ -169,55 +310,101 @@ impl TextView {
             self.layout_valid = true;
             return true;
         };
+        if world.data::<TextData>(data_id).is_some() {
+            self.wrap_lines(world, data_id, 0, 0, None);
+        }
+        self.layout_valid = true;
+        true
+    }
 
-        // Snapshot what layout needs so we can instantiate insets (which
-        // requires &mut World) while measuring.
-        let (len, chars, anchors): (usize, Vec<char>, Vec<(usize, DataId, String)>) = {
+    /// Toggles edit-local relayout (on by default). The full-relayout
+    /// path stays reachable so benches and tests can use it as the
+    /// oracle for the incremental one.
+    pub fn set_incremental_layout(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// Appends wrapped lines to `self.lines` starting at buffer position
+    /// `start_pos` / content coordinate `start_y`, until end of text or —
+    /// when `converge` is given — until a laid line start lands exactly
+    /// on a shifted old line start strictly past the edited span, at
+    /// which point the old tail is byte-reusable and wrapping stops.
+    ///
+    /// The wrap loop is the one full relayout has always used (greedy,
+    /// break at the last space, overflow chars' fonts kept in the line
+    /// height); incremental and from-scratch passes share it so the
+    /// differential oracle can demand byte-identical line tables.
+    fn wrap_lines(
+        &mut self,
+        world: &mut World,
+        data_id: DataId,
+        start_pos: usize,
+        start_y: i32,
+        converge: Option<Converge<'_>>,
+    ) -> WrapEnd {
+        let (len, anchors): (usize, Vec<(usize, DataId, String)>) = {
             let Some(text) = world.data::<TextData>(data_id) else {
-                self.layout_valid = true;
-                return true;
+                return WrapEnd {
+                    next_y: start_y,
+                    converged: None,
+                };
             };
-            (
-                text.len(),
-                (0..text.len()).filter_map(|i| text.char_at(i)).collect(),
-                text.anchors(),
-            )
+            (text.len(), text.anchors())
         };
-        let anchor_at = |pos: usize| -> Option<&(usize, DataId, String)> {
-            anchors.iter().find(|(p, ..)| *p == pos)
-        };
-
-        // Make sure inset views exist before measuring.
+        // Make sure inset views exist before measuring. `anchors` is
+        // sorted by position, so anchor lookup is a binary search.
         for (_, data, view_class) in &anchors {
             self.ensure_inset(world, *data, view_class);
         }
+        let anchor_at = |pos: usize| -> Option<DataId> {
+            let i = anchors.partition_point(|(p, ..)| *p < pos);
+            (i < anchors.len() && anchors[i].0 == pos).then(|| anchors[i].1)
+        };
 
-        let budget = width.max(20);
-        let mut y = 0;
-        let mut pos = 0;
+        let budget = self.layout_width.max(20);
+        let mut cursor = CharCursor::default();
+        let mut styles = StyleMetricsCache::default();
+        let mut y = start_y;
+        let mut pos = start_pos;
+        let mut relaid: u64 = 0;
         let mut inset_places: Vec<(ViewId, i32, i32, Size)> = Vec::new();
+        let mut converged = None;
         loop {
+            if let Some(c) = &converge {
+                // Reuse the old tail once line starts re-align. Strictly
+                // past the edited span only: marks (anchor positions) at
+                // the boundary itself shift by gravity, not uniformly.
+                let q = pos as i64 - c.delta;
+                if q > c.edit_end_old as i64 {
+                    let qi = c.old.partition_point(|l| (l.start as i64) < q);
+                    if qi < c.old.len() && c.old[qi].start as i64 == q {
+                        converged = Some(qi);
+                        break;
+                    }
+                }
+            }
             // Lay out one line starting at `pos`.
-            let indent = {
-                let text = world.data::<TextData>(data_id).expect("checked above");
-                text.style_value_at(pos.min(len.saturating_sub(1))).indent
-            };
+            let line_style = cursor.style_at(world, data_id, pos.min(len.saturating_sub(1)));
+            let indent = styles.get(world, data_id, line_style).indent;
             let mut x = indent;
             let mut i = pos;
             let mut last_break: Option<usize> = None;
+            let mut break_x = 0;
             let mut line_height = 0;
             let mut ascent = 0;
             let mut ended_by_newline = false;
+            let mut scan_hi: Option<usize> = None;
 
             while i < len {
-                let ch = chars[i];
+                let ch = cursor.char_at(world, data_id, i);
                 if ch == '\n' {
                     ended_by_newline = true;
+                    scan_hi = Some(i);
                     break;
                 }
                 let mut pending_inset: Option<(ViewId, Size)> = None;
-                let (cw, chh, casc) = if let Some((_, d, _)) = anchor_at(i) {
-                    let inset = self.inset_view(*d);
+                let (cw, chh, casc) = if let Some(d) = anchor_at(i) {
+                    let inset = self.inset_view(d);
                     let s = inset
                         .and_then(|v| {
                             world.with_view(v, |view, w| view.desired_size(w, budget - x))
@@ -228,15 +415,18 @@ impl TextView {
                     }
                     (s.width + 2, s.height + 2, s.height + 1)
                 } else {
-                    let text = world.data::<TextData>(data_id).expect("checked above");
-                    let font = text.style_value_at(i).font();
-                    let m = font.metrics();
-                    (font.char_width(ch), m.line_height, m.ascent)
+                    let sid = cursor.style_at(world, data_id, i);
+                    let m = styles.get(world, data_id, sid);
+                    (m.widths.advance(ch), m.line_height, m.ascent)
                 };
                 if x + cw > budget && i > pos {
-                    // Wrap: prefer the last space.
+                    // Wrap: prefer the last space. The overflow char was
+                    // examined (its width decided the break), so the scan
+                    // high-water mark is recorded before the rewind.
+                    scan_hi = Some(i);
                     if let Some(b) = last_break {
                         i = b + 1;
+                        x = break_x;
                     }
                     break;
                 }
@@ -245,19 +435,19 @@ impl TextView {
                 }
                 if ch == ' ' {
                     last_break = Some(i);
+                    break_x = x + cw;
                 }
                 x += cw;
                 line_height = line_height.max(chh);
                 ascent = ascent.max(casc);
                 i += 1;
             }
+            // At EOF exit `i == len`: the line depends on the text
+            // ending there, so an append at `len` must re-lay it.
+            let scan_end = scan_hi.unwrap_or(i);
             if line_height == 0 {
                 // Empty line: use the style's font height.
-                let text = world.data::<TextData>(data_id).expect("checked above");
-                let m = text
-                    .style_value_at(pos.min(len.saturating_sub(1)))
-                    .font()
-                    .metrics();
+                let m = styles.get(world, data_id, line_style);
                 line_height = m.line_height;
                 ascent = m.ascent;
             }
@@ -267,22 +457,29 @@ impl TextView {
                 y,
                 height: line_height,
                 baseline: ascent,
+                width: x,
+                scan_end,
             });
+            relaid += 1;
             y += line_height;
             let prev_pos = pos;
             pos = if ended_by_newline { i + 1 } else { i };
             if pos >= len {
-                if ended_by_newline || self.lines.is_empty() {
+                if ended_by_newline {
                     // Trailing empty line after a final newline.
-                    let text = world.data::<TextData>(data_id).expect("checked above");
-                    let m = text.style_value_at(len.saturating_sub(1)).font().metrics();
+                    let sid = cursor.style_at(world, data_id, len.saturating_sub(1));
+                    let m = styles.get(world, data_id, sid);
                     self.lines.push(Line {
                         start: len,
                         end: len,
                         y,
                         height: m.line_height,
                         baseline: m.ascent,
+                        width: 0,
+                        scan_end: len,
                     });
+                    relaid += 1;
+                    y += m.line_height;
                 }
                 break;
             }
@@ -291,7 +488,7 @@ impl TextView {
                 pos += 1;
             }
         }
-        self.layout_valid = true;
+        world.collector().count("text.relayout_lines", relaid);
         // Position inset child bounds from the placements recorded while
         // measuring (x is in layout space; drawing adds MARGIN; y is the
         // line top in content space — the draw pass subtracts scroll).
@@ -301,7 +498,135 @@ impl TextView {
                 Rect::new(MARGIN + x + 1, ly - self.scroll_y + 1, s.width, s.height),
             );
         }
-        true
+        WrapEnd {
+            next_y: y,
+            converged,
+        }
+    }
+
+    /// Edit-local relayout for a `ChangeRec::Text`: keeps the prefix of
+    /// lines whose wrap scan never reached the edit, re-wraps until line
+    /// starts re-converge with the old table, then splices the old tail
+    /// shifted by the byte and height deltas. Returns the vertical strip
+    /// (content coordinates) whose pixels may have changed, or `None`
+    /// when the bound data is gone.
+    fn relayout_edit(
+        &mut self,
+        world: &mut World,
+        pos: usize,
+        inserted: usize,
+        deleted: usize,
+    ) -> Option<(i32, i32)> {
+        let data_id = self.data?;
+        world.data::<TextData>(data_id)?;
+        let old_lines = std::mem::take(&mut self.lines);
+        // First affected line: the first whose wrap scan reached the
+        // edit. Walk back from the binary-search candidate — a line's
+        // scan can reach past its own end (see `Line::scan_end`), so a
+        // *previous* line's geometry may depend on the edited chars.
+        let mut first = old_lines.partition_point(|l| l.start < pos);
+        while first > 0 && old_lines[first - 1].scan_end >= pos {
+            first -= 1;
+        }
+        let first = first.min(old_lines.len().saturating_sub(1));
+        self.lines.reserve(old_lines.len() + 2);
+        self.lines.extend_from_slice(&old_lines[..first]);
+        let start_pos = old_lines[first].start;
+        let start_y = old_lines[first].y;
+        let delta = inserted as i64 - deleted as i64;
+        let end = self.wrap_lines(
+            world,
+            data_id,
+            start_pos,
+            start_y,
+            Some(Converge {
+                old: &old_lines,
+                delta,
+                edit_end_old: pos + deleted,
+            }),
+        );
+        let old_total = old_lines.last().map(|l| l.y + l.height).unwrap_or(0);
+        match end.converged {
+            Some(qi) => {
+                let dy = end.next_y - old_lines[qi].y;
+                world.collector().count("text.layout_reuse_tail", 1);
+                if delta == 0 && dy == 0 {
+                    self.lines.extend_from_slice(&old_lines[qi..]);
+                } else {
+                    self.lines.extend(old_lines[qi..].iter().map(|l| Line {
+                        start: (l.start as i64 + delta) as usize,
+                        end: (l.end as i64 + delta) as usize,
+                        scan_end: (l.scan_end as i64 + delta) as usize,
+                        y: l.y + dy,
+                        ..*l
+                    }));
+                    if dy != 0 {
+                        let tail_start = (old_lines[qi].start as i64 + delta) as usize;
+                        self.shift_tail_insets(world, data_id, tail_start, dy);
+                    }
+                }
+                if dy == 0 {
+                    // The re-laid strip slotted back in exactly; only it
+                    // can have changed.
+                    Some((start_y, end.next_y))
+                } else {
+                    Some((start_y, old_total.max(self.content_height())))
+                }
+            }
+            None => Some((start_y, old_total.max(self.content_height()))),
+        }
+    }
+
+    /// After a tail splice moved lines vertically, shift the inset views
+    /// anchored on those lines: the re-laid strip repositioned its own
+    /// insets, but tail insets kept their old bounds.
+    fn shift_tail_insets(&self, world: &mut World, data_id: DataId, tail_start: usize, dy: i32) {
+        let anchors = match world.data::<TextData>(data_id) {
+            Some(t) => t.anchors(),
+            None => return,
+        };
+        for (p, data, _) in anchors {
+            if p >= tail_start {
+                if let Some(vid) = self.inset_view(data) {
+                    let b = world.view_bounds(vid);
+                    world.set_view_bounds(vid, Rect::new(b.x, b.y + dy, b.width, b.height));
+                }
+            }
+        }
+    }
+
+    /// Differential oracle hook: checks that the incrementally
+    /// maintained line table is byte-identical to a from-scratch
+    /// relayout at the same width, describing the first divergence on
+    /// failure. The from-scratch table is left in place (identical to
+    /// what it replaced whenever the check passes).
+    pub fn verify_layout_against_full(&mut self, world: &mut World) -> Result<(), String> {
+        let width = world.view_bounds(self.base.id).width - 2 * MARGIN;
+        if !self.layout_valid || self.layout_width != width {
+            // Stale by design (e.g. a resize not yet drawn); the next
+            // ensure_layout starts from scratch anyway.
+            return Ok(());
+        }
+        let incremental = std::mem::take(&mut self.lines);
+        self.layout_valid = false;
+        self.ensure_layout(world);
+        if incremental == self.lines {
+            return Ok(());
+        }
+        let i = incremental
+            .iter()
+            .zip(&self.lines)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| incremental.len().min(self.lines.len()));
+        Err(format!(
+            "incremental layout diverged from full relayout: \
+             {} vs {} lines, first difference at line {} ({:?} vs {:?})",
+            incremental.len(),
+            self.lines.len(),
+            i,
+            incremental.get(i),
+            self.lines.get(i),
+        ))
     }
 
     fn inset_view(&self, data: DataId) -> Option<ViewId> {
@@ -320,26 +645,28 @@ impl TextView {
         };
         world.set_view_parent(vid, Some(self.base.id));
         world.with_view(vid, |v, w| v.set_data_object(w, data));
+        // The wrap around an inset depends on its desired size, which
+        // depends on the embedded data — so the text view observes it
+        // too, and invalidates its layout when the embedded object
+        // changes (e.g. a table growing a column must re-wrap the line
+        // holding it).
+        world.add_observer(data, atk_core::ObserverRef::View(self.base.id));
         self.insets.push((data, vid));
     }
 
     // --- Geometry queries ----------------------------------------------------
 
     fn line_index_of(&self, pos: usize) -> usize {
-        match self
-            .lines
-            .iter()
-            .position(|l| pos >= l.start && pos < l.end.max(l.start + 1))
-        {
-            Some(i) => i,
-            // Positions between lines (a caret sitting on the newline
-            // character itself: line ranges are [start, end) and the
-            // following line starts at end+1) belong to the last line
-            // starting at or before them — NOT to the document's last
-            // line, which would place the caret columns before the
-            // line start.
-            None => self.lines.iter().rposition(|l| l.start <= pos).unwrap_or(0),
-        }
+        // `lines` is sorted by strictly increasing `start`, so the line
+        // holding `pos` is the last one starting at or before it — a
+        // binary search, not a scan. Positions between lines (a caret
+        // sitting on the newline character itself: line ranges are
+        // [start, end) and the following line starts at end+1) belong
+        // to that same line, which is what a caret there should render
+        // against.
+        self.lines
+            .partition_point(|l| l.start <= pos)
+            .saturating_sub(1)
     }
 
     /// The rectangle of the character at `pos`, in view coordinates
@@ -380,11 +707,19 @@ impl TextView {
         let Some(text) = world.data::<TextData>(data_id) else {
             return 0;
         };
-        let line = match self.lines.iter().find(|l| y >= l.y && y < l.y + l.height) {
-            Some(l) => l,
-            None if y < 0 => return 0,
-            None => return text.len(),
+        // Lines are sorted by `y` and vertically contiguous: binary
+        // search for the line containing `y`.
+        let li = self.lines.partition_point(|l| l.y <= y);
+        let line = match self.lines.get(li.wrapping_sub(1)) {
+            Some(l) if y < l.y + l.height => l,
+            _ if y < 0 => return 0,
+            _ => return text.len(),
         };
+        // Clicks past the line's memoized extent can't hit a character;
+        // skip the per-char re-measure.
+        if pt.x >= MARGIN + line.width {
+            return line.end;
+        }
         let mut x = MARGIN + text.style_value_at(line.start).indent;
         for i in line.start..line.end {
             let w = self.char_width_at(world, text, i);
@@ -516,15 +851,21 @@ impl TextView {
                 inserted,
                 deleted,
             } if self.layout_valid && !self.lines.is_empty() => {
-                // Relayout eagerly and diff the old and new line tables:
-                // only lines whose content, position, or geometry changed
-                // are damaged. A plain character insert damages one line
-                // strip; an insert that re-wraps or shifts lines damages
-                // exactly the shifted strip (y is part of the key).
                 let old_height = self.content_height();
-                let old_lines = std::mem::take(&mut self.lines);
-                self.layout_valid = false;
-                self.ensure_layout(world);
+                let width = bounds.width - 2 * MARGIN;
+                // Edit-local path: re-wrap only the affected lines and
+                // damage the strip relayout itself reports. Ablation
+                // path (`incremental` off, or the cached layout is for a
+                // stale width): full relayout, then diff the old and new
+                // line tables to find the changed strip.
+                let strip = if self.incremental && self.layout_width == width {
+                    self.relayout_edit(world, *pos, *inserted, *deleted)
+                } else {
+                    let old_lines = std::mem::take(&mut self.lines);
+                    self.layout_valid = false;
+                    self.ensure_layout(world);
+                    diff_strip(&old_lines, &self.lines, *pos, *inserted, *deleted)
+                };
                 if self.content_height() != old_height {
                     // The scroll extent changed, so a parent scroller's
                     // elevator geometry is stale even though scroll_y is
@@ -533,7 +874,7 @@ impl TextView {
                         world.post_command(parent, "scroll-sync");
                     }
                 }
-                match diff_strip(&old_lines, &self.lines, *pos, *inserted, *deleted) {
+                match strip {
                     Some((top, bottom)) => {
                         let rect = Rect::new(0, top - self.scroll_y, bounds.width, bottom - top)
                             .intersect(Rect::new(0, 0, bounds.width, bounds.height));
@@ -579,6 +920,49 @@ fn line_key(
     Some((adjust(line.start), adjust(line.end), line.y, line.height))
 }
 
+/// Early-out for the common case: the edit stayed inside one line and
+/// every other line is byte-identical modulo the uniform byte shift, so
+/// the damage is exactly that line's strip — no key tables, no
+/// allocation. Returns `None` when the precondition doesn't hold and
+/// the general diff must run.
+fn diff_single_line(
+    old: &[Line],
+    new: &[Line],
+    pos: usize,
+    inserted: usize,
+    deleted: usize,
+) -> Option<(i32, i32)> {
+    if old.len() != new.len() || old.is_empty() {
+        return None;
+    }
+    let li = old.partition_point(|l| l.start <= pos).saturating_sub(1);
+    let (o, n) = (&old[li], &new[li]);
+    if old[..li] != new[..li] || o.start != n.start || o.y != n.y || o.height != n.height {
+        return None;
+    }
+    // The edit must end before the next line, *strictly*: a mark sitting
+    // exactly on the boundary moves by gravity, not uniformly, so it
+    // cannot be assumed unchanged.
+    if let Some(next) = old.get(li + 1) {
+        if next.start <= pos + deleted {
+            return None;
+        }
+    }
+    let delta = inserted as i64 - deleted as i64;
+    for (ol, nl) in old[li + 1..].iter().zip(&new[li + 1..]) {
+        if nl.start as i64 != ol.start as i64 + delta
+            || nl.end as i64 != ol.end as i64 + delta
+            || nl.y != ol.y
+            || nl.height != ol.height
+            || nl.baseline != ol.baseline
+            || nl.width != ol.width
+        {
+            return None;
+        }
+    }
+    Some((o.y, o.y + o.height))
+}
+
 /// The vertical strip (content coordinates) that visually changed between
 /// two line layouts, or `None` when nothing did.
 fn diff_strip(
@@ -588,6 +972,9 @@ fn diff_strip(
     inserted: usize,
     deleted: usize,
 ) -> Option<(i32, i32)> {
+    if let Some(strip) = diff_single_line(old, new, pos, inserted, deleted) {
+        return Some(strip);
+    }
     // Old lines touching [pos, pos+deleted] changed; survivors after it
     // shift by the net delta. New lines touching [pos, pos+inserted]
     // changed; the rest are already in final coordinates.
@@ -1046,7 +1433,20 @@ impl View for TextView {
         Some(CursorShape::IBeam)
     }
 
-    fn observed_changed(&mut self, world: &mut World, _source: DataId, change: &ChangeRec) {
+    fn observed_changed(&mut self, world: &mut World, source: DataId, change: &ChangeRec) {
+        // A change in an *embedded* data object (the view observes those
+        // too — see `ensure_inset`): its inset's desired size may have
+        // changed, so the wrap around it is stale. The record's
+        // positions are in the child's coordinate space, not ours, so
+        // the edit-local path cannot apply; re-wrap from scratch.
+        if Some(source) != self.data {
+            let bounds = world.view_bounds(self.base.id);
+            self.stats.full += 1;
+            self.stats.damage_area += Rect::new(0, 0, bounds.width, bounds.height).area();
+            world.post_damage_full(self.base.id);
+            self.layout_valid = false;
+            return;
+        }
         // Keep the caret sane across *remote* edits (another view of the
         // same data object may have mutated it). Our own edits already
         // moved the caret, so skip the adjustment for those.

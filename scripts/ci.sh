@@ -19,6 +19,12 @@ echo "==> loadgen smoke (8 served sessions, zero drops tolerated)"
 cargo run --release -q -p atk-serve --bin loadgen -- \
     --sessions 8 --steps 50 --max-drops 0
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run -q
+
+echo "==> e12 quick smoke (incremental layout, capped sample time)"
+CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e12_incremental_layout
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
