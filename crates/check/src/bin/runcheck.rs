@@ -8,9 +8,12 @@
 //!
 //! Exit status is non-zero when any oracle trips; the minimized
 //! reproducing script is written next to the temp dir and printed, so
-//! `runapp <app> --script <file>` can replay it.
+//! `runapp <app> --script <file>` can replay it. On exit a per-oracle
+//! summary (runs, violations, total/p50/p99 wall time) is printed from
+//! the scene reports' merged trace snapshots.
 
-use atk_check::{run_check, CheckConfig, OracleSet};
+use atk_check::{run_check, CheckConfig, Oracle, OracleSet};
+use atk_trace::Snapshot;
 
 fn usage() -> ! {
     eprintln!(
@@ -86,6 +89,7 @@ fn main() {
     };
 
     let mut failed = false;
+    let mut merged = Snapshot::default();
     for scene in &scenes {
         let report = match run_check(scene, &config) {
             Ok(r) => r,
@@ -129,6 +133,28 @@ fn main() {
                 println!("    | {line}");
             }
         }
+        merged.merge(&report.stats);
+    }
+
+    // Per-oracle cost/violation summary across every scene, from the
+    // same snapshot-merge plumbing the serve stats plane uses.
+    println!("oracle summary ({} scenes):", scenes.len());
+    for oracle in Oracle::ALL {
+        let Some(h) = merged.histogram(oracle.us_key()) else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<9} {:>6} runs, {} violation(s), {:>8} us total, ~p50 {} us, ~p99 {} us",
+            oracle.name(),
+            h.count,
+            merged.counter(oracle.violations_key()),
+            h.sum,
+            h.approx_percentile(0.50),
+            h.approx_percentile(0.99),
+        );
     }
     if failed {
         std::process::exit(1);

@@ -24,8 +24,11 @@
 //!
 //! On failure the event stream is delta-debugged ([`shrink`]) to a
 //! 1-minimal script in the line-oriented format `runapp --script`
-//! replays. The run exports `check.steps`, `check.oracle_runs`, and
-//! `check.shrink_rounds` through `atk-trace`.
+//! replays. The run exports `check.steps`, `check.oracle_runs`,
+//! `check.shrink_rounds`, a `check.oracle_us.<name>` wall-time
+//! histogram and a `check.violations.<name>` counter per oracle
+//! through `atk-trace`; [`CheckReport::stats`] carries the whole
+//! snapshot so multi-scene drivers can merge them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,7 +42,7 @@ use std::time::Instant;
 
 use atk_core::{EventScript, InteractionManager, ScriptStep, World};
 use atk_graphics::{Color, Point, Rect};
-use atk_trace::Collector;
+use atk_trace::{Collector, Snapshot};
 use atk_wm::WindowEvent;
 
 pub use oracles::{Oracle, Violation};
@@ -255,6 +258,11 @@ pub struct CheckReport {
     pub steps_per_sec: f64,
     /// The failure, if any oracle tripped.
     pub failure: Option<FailureReport>,
+    /// The run's full trace snapshot: `check.*` counters plus one
+    /// `check.oracle_us.<name>` wall-time histogram and one
+    /// `check.violations.<name>` counter per oracle. Reports from
+    /// several scenes merge with [`atk_trace::Snapshot::merge`].
+    pub stats: Snapshot,
 }
 
 /// What one pass over a (generated or replayed) stream produced.
@@ -267,6 +275,25 @@ enum StreamOutcome {
     },
 }
 
+/// Runs one oracle invocation with the shared accounting: bumps
+/// `check.oracle_runs`, records wall time into the oracle's
+/// `check.oracle_us.*` histogram, and on a trip counts it under
+/// `check.violations.*`.
+fn timed_oracle(
+    collector: &Arc<Collector>,
+    oracle: Oracle,
+    check: impl FnOnce() -> Option<String>,
+) -> Option<Violation> {
+    collector.count("check.oracle_runs", 1);
+    let start = Instant::now();
+    let detail = check();
+    collector.observe(oracle.us_key(), start.elapsed().as_micros() as u64);
+    detail.map(|detail| {
+        collector.count(oracle.violations_key(), 1);
+        Violation { oracle, detail }
+    })
+}
+
 fn run_oracles(
     primary: &mut Session,
     mirror: Option<&mut Session>,
@@ -276,12 +303,10 @@ fn run_oracles(
     // Backend first: it wants both incremental framebuffers untouched.
     if oracles.backend {
         if let Some(m) = &mirror {
-            collector.count("check.oracle_runs", 1);
-            if let Some(detail) = oracles::check_backend(primary, m) {
-                return Some(Violation {
-                    oracle: Oracle::Backend,
-                    detail,
-                });
+            if let Some(v) = timed_oracle(collector, Oracle::Backend, || {
+                oracles::check_backend(primary, m)
+            }) {
+                return Some(v);
             }
         }
     }
@@ -289,48 +314,35 @@ fn run_oracles(
     // shows up as a pixel diff too, and the layout oracle names the
     // diverging line rather than a pixel count.
     if oracles.layout {
-        collector.count("check.oracle_runs", 1);
-        if let Some(detail) = oracles::check_layout(primary) {
-            return Some(Violation {
-                oracle: Oracle::Layout,
-                detail,
-            });
+        if let Some(v) = timed_oracle(collector, Oracle::Layout, || oracles::check_layout(primary))
+        {
+            return Some(v);
         }
     }
     if oracles.repaint {
-        collector.count("check.oracle_runs", 1);
-        if let Some(detail) = oracles::check_repaint(primary) {
-            return Some(Violation {
-                oracle: Oracle::Repaint,
-                detail,
-            });
+        if let Some(v) = timed_oracle(collector, Oracle::Repaint, || {
+            oracles::check_repaint(primary)
+        }) {
+            return Some(v);
         }
         if let Some(m) = mirror {
-            collector.count("check.oracle_runs", 1);
-            if let Some(detail) = oracles::check_repaint(m) {
-                return Some(Violation {
-                    oracle: Oracle::Repaint,
-                    detail: format!("(mirror backend) {detail}"),
-                });
+            if let Some(v) = timed_oracle(collector, Oracle::Repaint, || {
+                oracles::check_repaint(m).map(|d| format!("(mirror backend) {d}"))
+            }) {
+                return Some(v);
             }
         }
     }
     if oracles.roundtrip {
-        collector.count("check.oracle_runs", 1);
-        if let Some(detail) = oracles::check_roundtrip(primary) {
-            return Some(Violation {
-                oracle: Oracle::Roundtrip,
-                detail,
-            });
+        if let Some(v) = timed_oracle(collector, Oracle::Roundtrip, || {
+            oracles::check_roundtrip(primary)
+        }) {
+            return Some(v);
         }
     }
     if oracles.tree {
-        collector.count("check.oracle_runs", 1);
-        if let Some(detail) = oracles::check_tree(primary) {
-            return Some(Violation {
-                oracle: Oracle::Tree,
-                detail,
-            });
+        if let Some(v) = timed_oracle(collector, Oracle::Tree, || oracles::check_tree(primary)) {
+            return Some(v);
         }
     }
     None
@@ -465,5 +477,6 @@ pub fn run_check(scene: &str, config: &CheckConfig) -> Result<CheckReport, Strin
         shrink_rounds: snap.counter("check.shrink_rounds"),
         steps_per_sec: steps_run as f64 / elapsed,
         failure,
+        stats: snap,
     })
 }

@@ -29,16 +29,53 @@ pub enum Oracle {
     Layout,
 }
 
-impl std::fmt::Display for Oracle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
+impl Oracle {
+    /// Every oracle, in the order `run_oracles` checks them.
+    pub const ALL: [Oracle; 5] = [
+        Oracle::Backend,
+        Oracle::Layout,
+        Oracle::Repaint,
+        Oracle::Roundtrip,
+        Oracle::Tree,
+    ];
+
+    /// The oracle's short name (`repaint`, `tree`, …).
+    pub fn name(self) -> &'static str {
+        match self {
             Oracle::Repaint => "repaint",
             Oracle::Roundtrip => "roundtrip",
             Oracle::Tree => "tree",
             Oracle::Backend => "backend",
             Oracle::Layout => "layout",
-        };
-        write!(f, "{name}")
+        }
+    }
+
+    /// Histogram key for this oracle's per-invocation wall time.
+    pub fn us_key(self) -> &'static str {
+        match self {
+            Oracle::Repaint => "check.oracle_us.repaint",
+            Oracle::Roundtrip => "check.oracle_us.roundtrip",
+            Oracle::Tree => "check.oracle_us.tree",
+            Oracle::Backend => "check.oracle_us.backend",
+            Oracle::Layout => "check.oracle_us.layout",
+        }
+    }
+
+    /// Counter key for this oracle's violation count.
+    pub fn violations_key(self) -> &'static str {
+        match self {
+            Oracle::Repaint => "check.violations.repaint",
+            Oracle::Roundtrip => "check.violations.roundtrip",
+            Oracle::Tree => "check.violations.tree",
+            Oracle::Backend => "check.violations.backend",
+            Oracle::Layout => "check.violations.layout",
+        }
+    }
+}
+
+impl std::fmt::Display for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 

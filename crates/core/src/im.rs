@@ -287,6 +287,16 @@ impl InteractionManager {
     /// single update pass.
     pub fn settle(&mut self, world: &mut World) {
         let _span = world.collector().span("im.settle");
+        self.flush_quiescent(world);
+        self.repaint_damage(world);
+    }
+
+    /// The flush half of [`InteractionManager::settle`]: drains
+    /// deferred commands and notifications to quiescence and grants
+    /// any pending focus request, without painting. Exposed separately
+    /// so embedders (the serve layer's frame-stage attribution) can
+    /// time the settle and paint phases apart.
+    pub fn flush_quiescent(&mut self, world: &mut World) {
         // Deferred commands first (child -> ancestor messages), then
         // notifications; both may post damage. Loop until quiescent.
         for _ in 0..8 {
@@ -298,12 +308,20 @@ impl InteractionManager {
             }
         }
         self.apply_focus_request(world);
+    }
+
+    /// The paint half of [`InteractionManager::settle`]: converts
+    /// accumulated damage into one clipped update pass. Returns true
+    /// if anything was painted.
+    pub fn repaint_damage(&mut self, world: &mut World) -> bool {
         if world.has_damage() {
             let region = world.take_damage_region_for(self.root);
             if !region.is_empty() {
                 self.draw_region(world, &region);
+                return true;
             }
         }
+        false
     }
 
     /// An update pass clipped to a damage region (window coordinates).

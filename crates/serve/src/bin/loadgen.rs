@@ -4,22 +4,32 @@
 //! loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N]
 //!         [--profile mixed|typing] [--window N] [--connect HOST:PORT]
 //!         [--mem] [--max-sessions N] [--queue-cap N] [--keyframe-only]
-//!         [--max-drops N]
+//!         [--max-drops N] [--slo-us N] [--no-frame-trace] [--stats]
+//!         [--trace FILE]
 //! ```
 //!
 //! Self-hosts a server over localhost TCP unless `--connect` points at
 //! a running `served` (or `--mem` keeps everything in-process over the
 //! memory transport). Exits 1 on any client error or when backpressure
 //! drops exceed `--max-drops`.
+//!
+//! Observability: `--slo-us` arms the server's frame-budget watchdog
+//! and prints retained slow-frame dumps after the run; `--stats` sends
+//! a `Stats` wire request once the fleet finishes, validates the JSON
+//! reply, and requires the stage histograms to be non-empty (unless
+//! `--no-frame-trace` disabled attribution); `--trace FILE` writes a
+//! Chrome trace with one track per session.
 
 use atk_serve::loadgen::format_report;
 use atk_serve::{run_loadgen, run_loadgen_mem, LoadConfig, Profile};
+use atk_trace::{chrome_trace_json_multi, validate_json};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N] \
          [--profile mixed|typing] [--window N] [--connect HOST:PORT] [--mem] \
-         [--max-sessions N] [--queue-cap N] [--keyframe-only] [--max-drops N]"
+         [--max-sessions N] [--queue-cap N] [--keyframe-only] [--max-drops N] \
+         [--slo-us N] [--no-frame-trace] [--stats] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -39,6 +49,7 @@ fn main() {
     let mut cfg = LoadConfig::default();
     let mut mem = false;
     let mut max_drops = u64::MAX;
+    let mut trace_file: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -103,6 +114,26 @@ fn main() {
                 max_drops = parse_num("--max-drops", argv.get(i + 1));
                 i += 2;
             }
+            "--slo-us" => {
+                cfg.server.session.slo_us = Some(parse_num("--slo-us", argv.get(i + 1)));
+                i += 2;
+            }
+            "--no-frame-trace" => {
+                cfg.server.session.frame_trace = false;
+                i += 1;
+            }
+            "--stats" => {
+                cfg.stats_probe = true;
+                i += 1;
+            }
+            "--trace" => {
+                trace_file = match argv.get(i + 1) {
+                    Some(f) => Some(f.clone()),
+                    None => usage(),
+                };
+                cfg.server.retain_session_traces = true;
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -138,6 +169,48 @@ fn main() {
         if drops > max_drops {
             eprintln!("loadgen: {drops} backpressure drops exceed --max-drops {max_drops}");
             failed = true;
+        }
+    }
+    if cfg.server.session.slo_us.is_some() && !report.slow_frames.is_empty() {
+        println!("slow frames ({}):", report.slow_frames.len());
+        for line in &report.slow_frames {
+            println!("  {line}");
+        }
+    }
+    if let Some((text, json)) = &report.stats_reply {
+        print!("{text}");
+        match validate_json(json) {
+            Ok(()) => println!("stats: json snapshot ok ({} bytes)", json.len()),
+            Err(e) => {
+                eprintln!("loadgen: stats JSON invalid: {e}");
+                failed = true;
+            }
+        }
+        if cfg.server.session.frame_trace
+            && cfg.connect.is_none()
+            && !json.contains("serve.stage_us.")
+        {
+            eprintln!("loadgen: stats snapshot has no stage histograms");
+            failed = true;
+        }
+    }
+    if let Some(path) = &trace_file {
+        let parts: Vec<(&str, atk_trace::Snapshot)> = report
+            .trace_parts
+            .iter()
+            .map(|(label, snap)| (label.as_str(), snap.clone()))
+            .collect();
+        let trace = chrome_trace_json_multi(&parts);
+        match std::fs::write(path, &trace) {
+            Ok(()) => println!(
+                "trace: wrote {} bytes ({} tracks) to {path}",
+                trace.len(),
+                parts.len()
+            ),
+            Err(e) => {
+                eprintln!("loadgen: write {path}: {e}");
+                failed = true;
+            }
         }
     }
     if failed {

@@ -3,20 +3,30 @@
 //! ```text
 //! served [--port N] [--max-sessions N] [--queue-cap N] [--budget BYTES]
 //!        [--keyframe-every N] [--idle-ms N] [--keyframe-only]
+//!        [--slo-us N] [--no-frame-trace] [--stats-every SECS]
 //! ```
 //!
 //! Listens on `127.0.0.1:<port>` (an OS-assigned port when 0, printed
 //! on stdout) and hosts one scene session per connection until killed.
+//!
+//! Observability: `--slo-us` arms the per-frame budget watchdog (each
+//! violation dumps its stage breakdown to stderr and the slow-frame
+//! log), `--stats-every` prints a merged server-wide counter delta
+//! every N seconds, and any client can ask for the full snapshot over
+//! the wire with a `Stats` request.
 
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 use atk_serve::{serve_listener, Server, ServerConfig};
+use atk_trace::{Snapshot, Stage};
 
 fn usage() -> ! {
     eprintln!(
         "usage: served [--port N] [--max-sessions N] [--queue-cap N] \
-         [--budget BYTES] [--keyframe-every N] [--idle-ms N] [--keyframe-only]"
+         [--budget BYTES] [--keyframe-every N] [--idle-ms N] [--keyframe-only] \
+         [--slo-us N] [--no-frame-trace] [--stats-every SECS]"
     );
     std::process::exit(2);
 }
@@ -31,10 +41,56 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
     }
 }
 
+/// One `--stats-every` line: counter deltas since the previous tick
+/// plus the current cumulative stage p50/p99s.
+fn format_stats_delta(prev: &Snapshot, cur: &Snapshot) -> String {
+    const KEYS: &[&str] = &[
+        "serve.sessions",
+        "serve.frames",
+        "serve.backpressure_drops",
+        "serve.busy_rejects",
+        "serve.idle_evictions",
+        "serve.stats_requests",
+        "serve.slo_violations",
+    ];
+    let mut out = String::from("served: stats");
+    let mut any = false;
+    for key in KEYS {
+        let d = cur.counter(key).saturating_sub(prev.counter(key));
+        if d > 0 {
+            let short = key.strip_prefix("serve.").unwrap_or(key);
+            out.push_str(&format!(" +{d} {short}"));
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str(" idle");
+    }
+    let mut stages = String::new();
+    for s in Stage::ALL {
+        if let Some(h) = cur.histogram(s.key()) {
+            if h.count > 0 {
+                stages.push_str(&format!(
+                    " {} {}/{}",
+                    s.name(),
+                    h.approx_percentile(0.50),
+                    h.approx_percentile(0.99)
+                ));
+            }
+        }
+    }
+    if !stages.is_empty() {
+        out.push_str(" | stage p50/p99 us:");
+        out.push_str(&stages);
+    }
+    out
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut port: u16 = 0;
     let mut cfg = ServerConfig::default();
+    let mut stats_every: Option<u64> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -66,6 +122,18 @@ fn main() {
                 cfg.session.keyframe_only = true;
                 i += 1;
             }
+            "--slo-us" => {
+                cfg.session.slo_us = Some(parse_num("--slo-us", argv.get(i + 1)));
+                i += 2;
+            }
+            "--no-frame-trace" => {
+                cfg.session.frame_trace = false;
+                i += 1;
+            }
+            "--stats-every" => {
+                stats_every = Some(parse_num("--stats-every", argv.get(i + 1)));
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -73,6 +141,22 @@ fn main() {
     let collector = Arc::new(atk_trace::Collector::new());
     collector.enable();
     let server = Server::new(cfg, collector);
+    // SLO violations echo to stderr the moment they happen.
+    server.slow_log().set_echo(true);
+
+    if let Some(secs) = stats_every {
+        let secs = secs.max(1);
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            let mut prev = srv.merged_snapshot();
+            loop {
+                std::thread::sleep(Duration::from_secs(secs));
+                let cur = srv.merged_snapshot();
+                println!("{}", format_stats_delta(&prev, &cur));
+                prev = cur;
+            }
+        });
+    }
 
     let listener = match TcpListener::bind(("127.0.0.1", port)) {
         Ok(l) => l,

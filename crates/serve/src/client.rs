@@ -202,6 +202,25 @@ impl<T: FrameTransport> ServeClient<T> {
         self.ended
     }
 
+    /// Requests the server-wide stats snapshot and blocks until the
+    /// reply arrives, applying any update frames (for steps already in
+    /// flight) along the way. Returns `(text, json)`.
+    pub fn request_stats(&mut self) -> Result<(String, String), ClientError> {
+        self.t.send(&ClientFrame::StatsReq.encode()?)?;
+        loop {
+            let frame = ServerFrame::decode(&self.t.recv()?)?;
+            if let ServerFrame::Stats { text, json } = frame {
+                return Ok((text, json));
+            }
+            self.apply_frame(frame)?;
+            if self.ended {
+                return Err(ClientError::Protocol(
+                    "session ended before stats reply".into(),
+                ));
+            }
+        }
+    }
+
     /// Says goodbye, drains the final frames, and returns the stats.
     pub fn finish(mut self) -> Result<ClientStats, ClientError> {
         if !self.ended {
@@ -272,6 +291,11 @@ impl<T: FrameTransport> ServeClient<T> {
             ServerFrame::Error { message } => return Err(ClientError::Server(message)),
             ServerFrame::Welcome { .. } | ServerFrame::Busy => {
                 return Err(ClientError::Protocol("handshake frame mid-session".into()))
+            }
+            ServerFrame::Stats { .. } => {
+                // Only request_stats expects one; anything else is a
+                // protocol violation.
+                return Err(ClientError::Protocol("unsolicited stats frame".into()));
             }
         }
         Ok(())

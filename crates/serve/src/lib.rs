@@ -31,7 +31,20 @@
 //! Trace counters: `serve.sessions`, `serve.active_sessions` (gauge),
 //! `serve.frames`, `serve.diff_bytes`, `serve.full_bytes`,
 //! `serve.coalesced`, `serve.backpressure_drops`, `serve.busy_rejects`,
-//! `serve.idle_evictions`, and the `serve.frame_us` latency histogram.
+//! `serve.idle_evictions`, `serve.stats_requests`,
+//! `serve.slo_violations`, the `serve.frame_us` latency histogram, and
+//! the per-stage `serve.stage_us.{decode,apply,settle,paint,diff,ship}`
+//! (+ `.total`) attribution histograms.
+//!
+//! The stats plane: each connection reports into its own collector;
+//! admission and lifecycle counters stay on the server-plane one. A
+//! `Stats` wire request (or [`Server::merged_snapshot`]) folds the
+//! server plane, retired sessions, and live sessions into one
+//! server-wide snapshot. An optional SLO watchdog
+//! ([`SessionConfig::slo_us`]) dumps any over-budget frame's stage
+//! breakdown to the shared slow-frame log — deterministically, when
+//! the sessions run on a manual clock
+//! ([`ServerConfig::manual_clock`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

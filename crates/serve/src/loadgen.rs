@@ -16,7 +16,7 @@ use std::time::Instant;
 use atk_check::gen::StepGen;
 use atk_check::Session;
 use atk_core::ScriptStep;
-use atk_trace::Collector;
+use atk_trace::{Collector, Snapshot, Stage};
 use atk_wm::{Key, WindowEvent};
 
 use crate::client::{ClientStats, ServeClient};
@@ -62,6 +62,9 @@ pub struct LoadConfig {
     /// Run against this already-listening address instead of an
     /// in-process server.
     pub connect: Option<String>,
+    /// After the fleet finishes, open one extra session whose only job
+    /// is a `Stats` wire request; the reply lands in the report.
+    pub stats_probe: bool,
     /// Server-side config when self-hosting.
     pub server: ServerConfig,
 }
@@ -76,6 +79,7 @@ impl Default for LoadConfig {
             profile: Profile::Mixed,
             window: 8,
             connect: None,
+            stats_probe: false,
             server: ServerConfig::default(),
         }
     }
@@ -113,6 +117,22 @@ pub struct LoadReport {
     /// batch processing time without the wire (`None` for remote
     /// servers, approximate to log2-bucket resolution).
     pub server_frame_us: Option<(u64, u64)>,
+    /// Per-stage latency attribution from the server-wide merged
+    /// snapshot: `(stage name, ~p50 us, ~p99 us)` for every stage that
+    /// recorded at least one frame. Empty against remote servers or
+    /// with `--no-frame-trace`.
+    pub stage_us: Vec<(&'static str, u64, u64)>,
+    /// `serve.slo_violations` server-wide (`None` for remote servers).
+    pub slo_violations: Option<u64>,
+    /// Slow-frame dump lines from the in-process server's SLO log.
+    pub slow_frames: Vec<String>,
+    /// `(text, json)` reply of the post-run `Stats` probe, when
+    /// [`LoadConfig::stats_probe`] was set.
+    pub stats_reply: Option<(String, String)>,
+    /// Labeled snapshots for `chrome_trace_json_multi` (server plane +
+    /// one per session). Non-empty only when self-hosting with
+    /// `ServerConfig::retain_session_traces`.
+    pub trace_parts: Vec<(String, Snapshot)>,
 }
 
 /// Builds one client's step stream. Deterministic per (profile, seed).
@@ -244,7 +264,38 @@ fn aggregate(
         p99_us: pct(0.99),
         backpressure_drops: None,
         server_frame_us: None,
+        stage_us: Vec::new(),
+        slo_violations: None,
+        slow_frames: Vec::new(),
+        stats_reply: None,
+        trace_parts: Vec::new(),
     })
+}
+
+/// Fills the server-side fields of a report from the in-process
+/// server's merged (server ⊕ retired ⊕ live) snapshot.
+fn attach_server_view(report: &mut LoadReport, server: &Server) {
+    let merged = server.merged_snapshot();
+    report.backpressure_drops = Some(merged.counter("serve.backpressure_drops"));
+    report.server_frame_us = merged
+        .histogram("serve.frame_us")
+        .map(|h| (h.approx_percentile(0.50), h.approx_percentile(0.99)));
+    report.stage_us = Stage::ALL
+        .iter()
+        .filter_map(|s| {
+            let h = merged.histogram(s.key())?;
+            (h.count > 0).then(|| {
+                (
+                    s.name(),
+                    h.approx_percentile(0.50),
+                    h.approx_percentile(0.99),
+                )
+            })
+        })
+        .collect();
+    report.slo_violations = Some(merged.counter("serve.slo_violations"));
+    report.slow_frames = server.slow_log().entries();
+    report.trace_parts = server.trace_parts();
 }
 
 fn record_scripts(cfg: &LoadConfig) -> Result<Vec<Vec<ScriptStep>>, String> {
@@ -297,13 +348,17 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
             })
         })
         .collect();
-    let report = aggregate(started, handles)?;
-    // Snapshot server counters only after every client finished.
-    Ok(LoadReport {
-        backpressure_drops: self_hosted.then(|| collector_drops(&collector)),
-        server_frame_us: self_hosted.then(|| server_frame_us(&collector)).flatten(),
-        ..report
-    })
+    let mut report = aggregate(started, handles)?;
+    if cfg.stats_probe {
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("stats probe: {e}"))?;
+        report.stats_reply = Some(probe_stats(TcpTransport::new(stream), &cfg.scene)?);
+    }
+    // Snapshot server counters only after every client (and the stats
+    // probe session) finished.
+    if self_hosted {
+        attach_server_view(&mut report, &server);
+    }
+    Ok(report)
 }
 
 /// Runs the fleet over in-memory transports instead of TCP — the bench
@@ -327,22 +382,25 @@ pub fn run_loadgen_mem(cfg: &LoadConfig) -> Result<LoadReport, String> {
             thread::spawn(move || drive(client_half, &scene, &script, window))
         })
         .collect();
-    let report = aggregate(started, handles)?;
-    Ok(LoadReport {
-        backpressure_drops: Some(collector_drops(&collector)),
-        server_frame_us: server_frame_us(&collector),
-        ..report
-    })
+    let mut report = aggregate(started, handles)?;
+    if cfg.stats_probe {
+        let (client_half, server_half) = MemTransport::pair();
+        let srv = server.clone();
+        let t = thread::spawn(move || srv.serve_connection(server_half));
+        report.stats_reply = Some(probe_stats(client_half, &cfg.scene)?);
+        let _ = t.join();
+    }
+    attach_server_view(&mut report, &server);
+    Ok(report)
 }
 
-fn collector_drops(collector: &Arc<Collector>) -> u64 {
-    collector.snapshot().counter("serve.backpressure_drops")
-}
-
-fn server_frame_us(collector: &Arc<Collector>) -> Option<(u64, u64)> {
-    let snap = collector.snapshot();
-    let h = snap.histogram("serve.frame_us")?;
-    Some((h.approx_percentile(0.50), h.approx_percentile(0.99)))
+/// Opens one session, issues a `Stats` request, and returns the
+/// `(text, json)` reply.
+fn probe_stats<T: FrameTransport>(transport: T, scene: &str) -> Result<(String, String), String> {
+    let mut client = ServeClient::connect(transport, scene).map_err(|e| e.to_string())?;
+    let reply = client.request_stats().map_err(|e| e.to_string())?;
+    client.finish().map_err(|e| e.to_string())?;
+    Ok(reply)
 }
 
 /// Renders the report the way the bin prints it (and CI greps it).
@@ -374,6 +432,21 @@ pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
             p50 as f64 / 1000.0,
             p99 as f64 / 1000.0
         ));
+    }
+    if !r.stage_us.is_empty() {
+        out.push_str("  stage breakdown (~p50/p99 us):");
+        for (name, p50, p99) in &r.stage_us {
+            out.push_str(&format!(" {name} {p50}/{p99}"));
+        }
+        out.push('\n');
+    }
+    if let Some(n) = r.slo_violations {
+        if let Some(budget) = cfg.server.session.slo_us {
+            out.push_str(&format!(
+                "  slo: {n} violation(s) over {budget} us budget, {} dump(s) retained\n",
+                r.slow_frames.len()
+            ));
+        }
     }
     out.push_str(&format!(
         "  wire: {} frames, {} bytes, diff ratio {:.1}x vs always-keyframe\n",

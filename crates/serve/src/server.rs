@@ -11,15 +11,26 @@
 use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
 use atk_core::ScriptStep;
-use atk_trace::Collector;
+use atk_trace::{snapshot_json, text_summary, Collector, SlowFrameLog, Snapshot};
 
 use crate::session::{HostedSession, SessionConfig, SessionEnd};
 use crate::transport::{FrameTransport, TcpTransport};
 use crate::wire::{ClientFrame, ServerFrame, WireError};
+
+/// Span-ring capacity of each per-session collector (smaller than the
+/// default: N sessions each hold one of these).
+pub const SESSION_SPAN_CAPACITY: usize = 1024;
+
+/// Slow-frame dump entries the server retains.
+pub const SLOW_LOG_CAPACITY: usize = 256;
+
+/// Retired per-session snapshots (spans included) retained for Chrome
+/// trace export when [`ServerConfig::retain_session_traces`] is set.
+pub const TRACE_RETAIN_CAP: usize = 128;
 
 /// Server-wide tuning.
 #[derive(Debug, Clone)]
@@ -29,6 +40,14 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Per-session tuning, cloned for every connection.
     pub session: SessionConfig,
+    /// When set, every per-session collector runs on a deterministic
+    /// manual clock `(start_us, step_us)` instead of wall time — stage
+    /// attribution becomes reproducible end to end (golden tests).
+    pub manual_clock: Option<(u64, u64)>,
+    /// Keep each retired session's full snapshot (spans and all, up to
+    /// [`TRACE_RETAIN_CAP`]) so [`Server::trace_parts`] can export one
+    /// Chrome-trace track per session even after the connection closed.
+    pub retain_session_traces: bool,
 }
 
 impl Default for ServerConfig {
@@ -36,6 +55,8 @@ impl Default for ServerConfig {
         ServerConfig {
             max_sessions: 128,
             session: SessionConfig::default(),
+            manual_clock: None,
+            retain_session_traces: false,
         }
     }
 }
@@ -58,9 +79,22 @@ pub enum ConnectionOutcome {
 /// accept threads via `Arc`.
 pub struct Server {
     cfg: ServerConfig,
+    /// Server-plane collector: admission, session lifecycle, stats
+    /// requests. Each session reports into its own collector (see
+    /// [`Server::session_snapshots`]); the stats plane merges them.
     collector: Arc<Collector>,
     active: AtomicUsize,
     next_id: AtomicU64,
+    /// Live per-session collectors, keyed by session id.
+    sessions: Mutex<Vec<(u64, Arc<Collector>)>>,
+    /// Accumulated (span-stripped) snapshots of sessions that ended,
+    /// so server-wide totals survive session churn.
+    retired: Mutex<Snapshot>,
+    /// Full retired snapshots kept for trace export (empty unless
+    /// [`ServerConfig::retain_session_traces`] is set).
+    trace_snaps: Mutex<Vec<(u64, Snapshot)>>,
+    /// Shared sink for SLO-violation dumps from every session.
+    slow_log: Arc<SlowFrameLog>,
 }
 
 impl Server {
@@ -71,17 +105,93 @@ impl Server {
             collector,
             active: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
+            sessions: Mutex::new(Vec::new()),
+            retired: Mutex::new(Snapshot::default()),
+            trace_snaps: Mutex::new(Vec::new()),
+            slow_log: Arc::new(SlowFrameLog::new(SLOW_LOG_CAPACITY)),
         })
     }
 
-    /// The trace collector sessions report into.
+    /// The server-plane trace collector.
     pub fn collector(&self) -> &Arc<Collector> {
         &self.collector
+    }
+
+    /// The shared slow-frame (SLO violation) log.
+    pub fn slow_log(&self) -> &Arc<SlowFrameLog> {
+        &self.slow_log
     }
 
     /// Sessions currently live.
     pub fn active_sessions(&self) -> usize {
         self.active.load(Ordering::SeqCst)
+    }
+
+    fn lock_sessions(&self) -> MutexGuard<'_, Vec<(u64, Arc<Collector>)>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_retired(&self) -> MutexGuard<'_, Snapshot> {
+        self.retired.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshots of every *live* session's collector, keyed by session
+    /// id (one pid/track each in the Chrome multi-export).
+    pub fn session_snapshots(&self) -> Vec<(u64, Snapshot)> {
+        let live: Vec<(u64, Arc<Collector>)> = self.lock_sessions().clone();
+        live.into_iter().map(|(id, c)| (id, c.snapshot())).collect()
+    }
+
+    /// The server-wide view: the server-plane collector merged with
+    /// every retired session's accumulated totals and every live
+    /// session's current snapshot. This is what a `Stats` request and
+    /// `--stats-every` report.
+    pub fn merged_snapshot(&self) -> Snapshot {
+        let mut out = self.collector.snapshot();
+        out.merge(&self.lock_retired());
+        for (_, snap) in self.session_snapshots() {
+            out.merge(&snap);
+        }
+        out
+    }
+
+    /// Labeled snapshot parts for `chrome_trace_json_multi`: the
+    /// server plane, then retained retired sessions, then live ones —
+    /// one pid/track per part.
+    pub fn trace_parts(&self) -> Vec<(String, Snapshot)> {
+        let mut parts = vec![("server".to_string(), self.collector.snapshot())];
+        for (id, snap) in self
+            .trace_snaps
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            parts.push((format!("session-{id}"), snap.clone()));
+        }
+        for (id, snap) in self.session_snapshots() {
+            parts.push((format!("session-{id}"), snap));
+        }
+        parts
+    }
+
+    /// The `Stats` wire reply for the current merged snapshot.
+    pub fn stats_reply(&self) -> ServerFrame {
+        let merged = self.merged_snapshot();
+        ServerFrame::Stats {
+            text: text_summary(&merged),
+            json: snapshot_json(&merged),
+        }
+    }
+
+    /// Creates, configures, and registers one session's collector.
+    fn open_session_collector(&self, session_id: u64) -> Arc<Collector> {
+        let c = Arc::new(Collector::with_capacity(SESSION_SPAN_CAPACITY));
+        c.set_enabled(self.collector.is_enabled());
+        if let Some((start_us, step_us)) = self.cfg.manual_clock {
+            c.set_manual_clock(start_us, step_us);
+        }
+        self.lock_sessions().push((session_id, c.clone()));
+        c
     }
 
     /// Runs one connection to completion on the calling thread.
@@ -128,14 +238,24 @@ impl Server {
             .gauge("serve.active_sessions", self.active_sessions() as i64);
 
         let session_id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let session_collector = self.open_session_collector(session_id);
+        // Unregisters the collector and folds its totals into the
+        // retired accumulator on every exit path, error or orderly.
+        let _retire = RetireGuard {
+            server: self,
+            session_id,
+            collector: session_collector.clone(),
+        };
         let mut session =
-            match HostedSession::open(&scene, self.cfg.session.clone(), self.collector.clone()) {
+            match HostedSession::open(&scene, self.cfg.session.clone(), session_collector) {
                 Ok(s) => s,
                 Err(e) => {
                     t.send(&ServerFrame::Error { message: e }.encode())?;
                     return Ok(ConnectionOutcome::Served { steps: 0 });
                 }
             };
+        session.set_session_id(session_id);
+        session.set_slow_log(self.slow_log.clone());
         let (width, height) = session.size();
         t.send(
             &ServerFrame::Welcome {
@@ -159,27 +279,43 @@ impl Server {
         t: &mut T,
         session: &mut HostedSession,
     ) -> Result<ConnectionOutcome, Box<dyn std::error::Error>> {
+        use atk_trace::Stage;
         loop {
             // Block for the first step, then drain whatever burst is
-            // already buffered into the same batch.
+            // already buffered into the same batch. The frame trace
+            // starts *after* the blocking recv so queue idle time is
+            // not attributed to any stage; each decode is stamped.
+            let first_body = t.recv()?;
+            let mut ft = session.begin_frame();
             let mut batch: Vec<ScriptStep> = Vec::new();
             let mut saw_bye = false;
-            match ClientFrame::decode(&t.recv()?)? {
+            let mut stats_req = false;
+            ft.enter(Stage::Decode);
+            let first = ClientFrame::decode(&first_body);
+            ft.exit();
+            match first? {
                 ClientFrame::Step(step) => batch.push(step),
                 ClientFrame::Bye => saw_bye = true,
+                ClientFrame::StatsReq => stats_req = true,
                 ClientFrame::Hello { .. } => {
                     return Err(Box::new(WireError::BadTag(0x01)));
                 }
             }
             while !saw_bye {
                 match t.try_recv()? {
-                    Some(body) => match ClientFrame::decode(&body)? {
-                        ClientFrame::Step(step) => batch.push(step),
-                        ClientFrame::Bye => saw_bye = true,
-                        ClientFrame::Hello { .. } => {
-                            return Err(Box::new(WireError::BadTag(0x01)));
+                    Some(body) => {
+                        ft.enter(Stage::Decode);
+                        let decoded = ClientFrame::decode(&body);
+                        ft.exit();
+                        match decoded? {
+                            ClientFrame::Step(step) => batch.push(step),
+                            ClientFrame::Bye => saw_bye = true,
+                            ClientFrame::StatsReq => stats_req = true,
+                            ClientFrame::Hello { .. } => {
+                                return Err(Box::new(WireError::BadTag(0x01)));
+                            }
                         }
-                    },
+                    }
                     None => break,
                 }
             }
@@ -189,31 +325,46 @@ impl Server {
             let dropped = batch.len().saturating_sub(self.cfg.session.queue_cap);
             if dropped > 0 {
                 batch.drain(..dropped);
-                self.collector
+                session
+                    .collector()
                     .count("serve.backpressure_drops", dropped as u64);
             }
 
+            let mut end_after = None;
             if !batch.is_empty() {
-                let (frame, end) = session.apply_batch(&batch, dropped as u64);
-                t.send(&frame.encode())?;
-                if let Some(end) = end {
-                    let reason = match end {
-                        SessionEnd::Idle => "idle",
-                        SessionEnd::Closed => "closed",
-                    };
-                    if end == SessionEnd::Idle {
-                        self.collector.count("serve.idle_evictions", 1);
-                    }
-                    t.send(
-                        &ServerFrame::Bye {
-                            reason: reason.into(),
-                        }
-                        .encode(),
-                    )?;
-                    return Ok(ConnectionOutcome::Served {
-                        steps: session.seq(),
-                    });
+                let (frame, end) = session.apply_batch_traced(&batch, dropped as u64, &mut ft);
+                ft.enter(Stage::Ship);
+                let encoded = frame.encode();
+                t.send(&encoded)?;
+                ft.exit();
+                session.finish_frame(ft);
+                end_after = end;
+            }
+            // A batchless wakeup (lone StatsReq) drops its inert-ish
+            // trace: no frame shipped, nothing to attribute.
+
+            if stats_req {
+                self.collector.count("serve.stats_requests", 1);
+                t.send(&self.stats_reply().encode())?;
+            }
+
+            if let Some(end) = end_after {
+                let reason = match end {
+                    SessionEnd::Idle => "idle",
+                    SessionEnd::Closed => "closed",
+                };
+                if end == SessionEnd::Idle {
+                    self.collector.count("serve.idle_evictions", 1);
                 }
+                t.send(
+                    &ServerFrame::Bye {
+                        reason: reason.into(),
+                    }
+                    .encode(),
+                )?;
+                return Ok(ConnectionOutcome::Served {
+                    steps: session.seq(),
+                });
             }
             if saw_bye {
                 t.send(
@@ -225,6 +376,35 @@ impl Server {
                 return Ok(ConnectionOutcome::Served {
                     steps: session.seq(),
                 });
+            }
+        }
+    }
+}
+
+/// Unregisters a session's collector on connection exit and folds its
+/// final (span-stripped) snapshot into the server's retired
+/// accumulator, so `merged_snapshot` totals survive session churn.
+struct RetireGuard<'a> {
+    server: &'a Server,
+    session_id: u64,
+    collector: Arc<Collector>,
+}
+
+impl Drop for RetireGuard<'_> {
+    fn drop(&mut self) {
+        let full = self.collector.snapshot();
+        let mut sessions = self.server.lock_sessions();
+        sessions.retain(|(id, _)| *id != self.session_id);
+        drop(sessions);
+        self.server.lock_retired().merge(&full.without_spans());
+        if self.server.cfg.retain_session_traces {
+            let mut snaps = self
+                .server
+                .trace_snaps
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if snaps.len() < TRACE_RETAIN_CAP {
+                snaps.push((self.session_id, full));
             }
         }
     }
@@ -407,12 +587,19 @@ mod tests {
         let outcome = srv.serve_connection(server_half);
         // All 10 steps are accounted for (4 applied + 6 dropped).
         assert_eq!(outcome, ConnectionOutcome::Served { steps: 10 });
+        // The drop counter lives on the (now retired) session's
+        // collector; the merged server-wide view still carries it.
+        assert_eq!(
+            server.merged_snapshot().counter("serve.backpressure_drops"),
+            6
+        );
         assert_eq!(
             server
                 .collector()
                 .snapshot()
                 .counter("serve.backpressure_drops"),
-            6
+            0,
+            "server-plane collector does not own session counters"
         );
     }
 

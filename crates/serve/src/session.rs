@@ -19,10 +19,13 @@ use std::time::Instant;
 use atk_apps::scenes::build_scene;
 use atk_core::{InteractionManager, ScriptStep, World};
 use atk_graphics::Framebuffer;
-use atk_trace::Collector;
+use atk_trace::{Collector, FrameLog, FrameTrace, SlowFrameLog, Stage};
 use atk_wm::{MouseAction, WindowEvent};
 
 use crate::wire::{PatchRect, ServerFrame};
+
+/// Frames of attribution history each session retains (ring).
+pub const FRAME_LOG_CAPACITY: usize = 128;
 
 /// Per-session tuning; the server clones one of these per connection.
 #[derive(Debug, Clone)]
@@ -39,6 +42,14 @@ pub struct SessionConfig {
     pub idle_ms: Option<u64>,
     /// Ablation: ship every frame as a keyframe (no diffing).
     pub keyframe_only: bool,
+    /// Per-frame stage attribution (decode/apply/settle/paint/diff/
+    /// ship stamps into `serve.stage_us.*`). On by default; the
+    /// `--no-frame-trace` ablation turns it off.
+    pub frame_trace: bool,
+    /// SLO watchdog: any frame whose attributed total exceeds this
+    /// budget dumps its stage breakdown and triggering step to the
+    /// slow-frame log. `None` disables the watchdog.
+    pub slo_us: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -49,6 +60,8 @@ impl Default for SessionConfig {
             keyframe_every: 64,
             idle_ms: None,
             keyframe_only: false,
+            frame_trace: true,
+            slo_us: None,
         }
     }
 }
@@ -73,6 +86,15 @@ pub struct HostedSession {
     seq: u64,
     frames_since_key: u32,
     last_input_ms: u64,
+    /// Server-assigned id, stamped into slow-frame dumps.
+    session_id: u64,
+    /// Ring of recent per-frame stage attributions.
+    frame_log: FrameLog,
+    /// Shared sink for SLO-violation dumps, if the server set one.
+    slow_log: Option<Arc<SlowFrameLog>>,
+    /// Script line of the last step in the current batch (captured
+    /// only while the SLO watchdog is armed).
+    last_trigger: Option<String>,
 }
 
 impl HostedSession {
@@ -96,7 +118,31 @@ impl HostedSession {
             seq: 0,
             frames_since_key: 0,
             last_input_ms,
+            session_id: 0,
+            frame_log: FrameLog::new(FRAME_LOG_CAPACITY),
+            slow_log: None,
+            last_trigger: None,
         })
+    }
+
+    /// Stamps the server-assigned id into slow-frame dumps.
+    pub fn set_session_id(&mut self, id: u64) {
+        self.session_id = id;
+    }
+
+    /// Points SLO-violation dumps at a shared sink.
+    pub fn set_slow_log(&mut self, log: Arc<SlowFrameLog>) {
+        self.slow_log = Some(log);
+    }
+
+    /// The session's collector (per-session under the server).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Ring of recent per-frame stage attributions.
+    pub fn frame_log(&self) -> &FrameLog {
+        &self.frame_log
     }
 
     /// Window size right now (the `Welcome` dimensions).
@@ -110,23 +156,92 @@ impl HostedSession {
         self.seq
     }
 
+    /// Starts stage attribution for the next frame: a live
+    /// [`FrameTrace`] when the config and collector allow it, an inert
+    /// one otherwise. The server begins the trace before decoding so
+    /// the decode stage is attributed too.
+    pub fn begin_frame(&self) -> FrameTrace {
+        if self.cfg.frame_trace {
+            FrameTrace::begin(&self.collector)
+        } else {
+            FrameTrace::disabled()
+        }
+    }
+
+    /// Finishes a frame's attribution: folds the stage stamps into the
+    /// `serve.stage_us.*` histograms, appends the record to the
+    /// session's frame ring, and — when the SLO watchdog is armed and
+    /// the frame blew its budget — dumps the full breakdown plus the
+    /// triggering step line to the slow-frame log.
+    pub fn finish_frame(&mut self, ft: FrameTrace) {
+        let Some(rec) = ft.finish(self.seq) else {
+            return;
+        };
+        if let Some(slo) = self.cfg.slo_us {
+            if rec.total_us > slo {
+                self.collector.count("serve.slo_violations", 1);
+                let trigger = self.last_trigger.as_deref().unwrap_or("none");
+                let entry = format!(
+                    "SLO session={} seq={} total={}us budget={}us trigger={} :: {}",
+                    self.session_id,
+                    rec.seq,
+                    rec.total_us,
+                    slo,
+                    trigger,
+                    rec.breakdown()
+                );
+                if let Some(log) = &self.slow_log {
+                    log.push(entry);
+                }
+            }
+        }
+        self.frame_log.push(rec);
+    }
+
     /// Applies one batch of steps (single settle for event runs) and
     /// returns the frame to ship plus whether the session must end.
     /// `dropped` is how many older steps backpressure discarded before
     /// this batch; they still advance `seq` so the client's accounting
-    /// stays truthful.
+    /// stays truthful. Convenience wrapper that owns the whole
+    /// attribution lifecycle (the server threads its own trace through
+    /// [`HostedSession::apply_batch_traced`] so decode and ship are
+    /// attributed too).
     pub fn apply_batch(
         &mut self,
         batch: &[ScriptStep],
         dropped: u64,
     ) -> (ServerFrame, Option<SessionEnd>) {
+        let mut ft = self.begin_frame();
+        let out = self.apply_batch_traced(batch, dropped, &mut ft);
+        self.finish_frame(ft);
+        out
+    }
+
+    /// [`HostedSession::apply_batch`] with caller-owned stage
+    /// attribution: apply/settle/paint/diff land on `ft`; the caller
+    /// stamps decode before and ship after.
+    pub fn apply_batch_traced(
+        &mut self,
+        batch: &[ScriptStep],
+        dropped: u64,
+        ft: &mut FrameTrace,
+    ) -> (ServerFrame, Option<SessionEnd>) {
         let started = Instant::now();
+        if self.cfg.slo_us.is_some() && ft.is_enabled() {
+            self.last_trigger = batch
+                .last()
+                .map(|s| s.to_line().unwrap_or_else(|| format!("{s:?}")));
+        }
         let coalesced = coalesce(batch);
         self.collector
             .count("serve.coalesced", (batch.len() - coalesced.len()) as u64);
 
         // Post runs of plain events and pump once per run; menu
         // selections need the request/select/pump sequence in order.
+        // The final pump is spelled out as dispatch / flush / repaint
+        // so the trace can attribute apply, settle, and paint apart —
+        // the sequence is exactly what `pump` runs.
+        ft.enter(Stage::Apply);
         let mut pending = false;
         let mut saw_real_input = false;
         for step in &coalesced {
@@ -155,15 +270,24 @@ impl HostedSession {
             }
         }
         if pending {
-            self.im.pump(&mut self.world);
+            while let Some(ev) = self.im.window_mut().next_event() {
+                self.im.dispatch(&mut self.world, ev);
+            }
         }
+        ft.exit();
+        ft.measure(Stage::Settle, || {
+            self.im.flush_quiescent(&mut self.world);
+        });
+        ft.measure(Stage::Paint, || {
+            self.im.repaint_damage(&mut self.world);
+        });
 
         self.seq += batch.len() as u64 + dropped;
         if saw_real_input {
             self.last_input_ms = self.world.now_ms();
         }
 
-        let frame = self.ship_frame();
+        let frame = self.ship_frame(ft);
         self.collector
             .observe("serve.frame_us", started.elapsed().as_micros() as u64);
 
@@ -205,11 +329,21 @@ impl HostedSession {
         frame
     }
 
+    /// Frame assembly under the `diff` stage stamp: everything between
+    /// paint and encode (band diffing, patch extraction, or the
+    /// keyframe pixel copy) is attributed to `serve.stage_us.diff`.
+    fn ship_frame(&mut self, ft: &mut FrameTrace) -> ServerFrame {
+        ft.enter(Stage::Diff);
+        let frame = self.assemble_frame();
+        ft.exit();
+        frame
+    }
+
     /// Diffs the current framebuffer against the last shipped one and
     /// picks the cheaper shipping shape: changed bands, or a keyframe
     /// when the diff blows the dirty-byte budget, the keyframe cadence
     /// is due, the window resized, or diffing is ablated away.
-    fn ship_frame(&mut self) -> ServerFrame {
+    fn assemble_frame(&mut self) -> ServerFrame {
         if self.cfg.keyframe_only || self.frames_since_key >= self.cfg.keyframe_every {
             return self.keyframe();
         }

@@ -23,6 +23,10 @@ use atk_graphics::Rect;
 pub const MAX_FRAME_BYTES: usize = 1 << 26;
 /// Cap on strings carried in frames (scene names, reasons, script lines).
 pub const MAX_STRING_BYTES: usize = 4096;
+/// Cap on the stats-snapshot strings in a [`ServerFrame::Stats`] reply
+/// (a merged many-session snapshot is far bigger than a script line,
+/// but nothing legitimate approaches 4 MiB).
+pub const MAX_STATS_BYTES: usize = 1 << 22;
 /// Cap on rect count in one update frame.
 pub const MAX_RECTS: usize = 1 << 16;
 /// Cap on either framebuffer dimension.
@@ -80,6 +84,10 @@ pub enum ClientFrame {
     },
     /// One script step, encoded as its script line.
     Step(ScriptStep),
+    /// Ask for the server-wide stats snapshot; the server replies with
+    /// [`ServerFrame::Stats`] (after any updates for steps already in
+    /// flight on this connection).
+    StatsReq,
     /// Orderly goodbye; the server replies with its own `Bye`.
     Bye,
 }
@@ -128,17 +136,27 @@ pub enum ServerFrame {
         /// Human-readable description.
         message: String,
     },
+    /// Server-wide stats snapshot: all per-session collectors merged
+    /// with the server's own (reply to [`ClientFrame::StatsReq`]).
+    Stats {
+        /// Human-readable summary (`atk_trace::text_summary`).
+        text: String,
+        /// Machine-readable snapshot (`atk_trace::snapshot_json`).
+        json: String,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
 const TAG_STEP: u8 = 0x02;
 const TAG_C_BYE: u8 = 0x03;
+const TAG_STATS_REQ: u8 = 0x04;
 const TAG_WELCOME: u8 = 0x81;
 const TAG_BUSY: u8 = 0x82;
 const TAG_UPDATE: u8 = 0x83;
 const TAG_KEYFRAME: u8 = 0x84;
 const TAG_S_BYE: u8 = 0x85;
 const TAG_ERROR: u8 = 0x86;
+const TAG_STATS: u8 = 0x87;
 
 // ---- primitive writers -------------------------------------------------
 
@@ -201,8 +219,13 @@ impl<'a> Reader<'a> {
     }
 
     fn string(&mut self) -> Result<String, WireError> {
+        self.string_capped(MAX_STRING_BYTES)
+    }
+
+    /// A string field with a non-default cap (stats snapshots).
+    fn string_capped(&mut self, cap: usize) -> Result<String, WireError> {
         let len = self.u32()? as usize;
-        if len > MAX_STRING_BYTES {
+        if len > cap {
             return Err(WireError::BadString);
         }
         let bytes = self.take(len)?;
@@ -257,6 +280,7 @@ impl ClientFrame {
                 out.push(TAG_STEP);
                 put_str(&mut out, &line);
             }
+            ClientFrame::StatsReq => out.push(TAG_STATS_REQ),
             ClientFrame::Bye => out.push(TAG_C_BYE),
         }
         Ok(out)
@@ -278,6 +302,7 @@ impl ClientFrame {
                     Err(_) => return Err(WireError::BadStep(format!("not one step: {line}"))),
                 }
             }
+            TAG_STATS_REQ => ClientFrame::StatsReq,
             TAG_C_BYE => ClientFrame::Bye,
             t => return Err(WireError::BadTag(t)),
         };
@@ -333,6 +358,11 @@ impl ServerFrame {
             ServerFrame::Error { message } => {
                 out.push(TAG_ERROR);
                 put_str(&mut out, message);
+            }
+            ServerFrame::Stats { text, json } => {
+                out.push(TAG_STATS);
+                put_str(&mut out, text);
+                put_str(&mut out, json);
             }
         }
         out
@@ -402,6 +432,11 @@ impl ServerFrame {
             TAG_ERROR => ServerFrame::Error {
                 message: r.string()?,
             },
+            TAG_STATS => {
+                let text = r.string_capped(MAX_STATS_BYTES)?;
+                let json = r.string_capped(MAX_STATS_BYTES)?;
+                ServerFrame::Stats { text, json }
+            }
             t => return Err(WireError::BadTag(t)),
         };
         r.finish()?;
@@ -421,6 +456,7 @@ impl ServerFrame {
             ServerFrame::Keyframe { pixels, .. } => 1 + 8 + 4 + 4 + pixels.len() * 4,
             ServerFrame::Bye { reason } => 1 + 4 + reason.len(),
             ServerFrame::Error { message } => 1 + 4 + message.len(),
+            ServerFrame::Stats { text, json } => 1 + 4 + text.len() + 4 + json.len(),
         }
     }
 }
@@ -438,6 +474,7 @@ mod tests {
             },
             ClientFrame::Step(ScriptStep::Event(WindowEvent::ch('a'))),
             ClientFrame::Step(ScriptStep::MenuSelect("File/Save".into())),
+            ClientFrame::StatsReq,
             ClientFrame::Bye,
         ];
         for f in frames {
@@ -473,6 +510,12 @@ mod tests {
             },
             ServerFrame::Error {
                 message: "no such scene".into(),
+            },
+            ServerFrame::Stats {
+                // Longer than MAX_STRING_BYTES: stats snapshots ride
+                // the bigger MAX_STATS_BYTES cap.
+                text: "x".repeat(MAX_STRING_BYTES + 100),
+                json: "{\"counters\":{}}".into(),
             },
         ];
         for f in frames {
@@ -521,5 +564,9 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(ServerFrame::decode(&buf), Err(WireError::TooLarge));
+        // Stats claiming a text blob past MAX_STATS_BYTES.
+        let mut buf = vec![0x87u8];
+        buf.extend_from_slice(&((MAX_STATS_BYTES as u32) + 1).to_le_bytes());
+        assert_eq!(ServerFrame::decode(&buf), Err(WireError::BadString));
     }
 }

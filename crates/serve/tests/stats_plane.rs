@@ -1,0 +1,191 @@
+//! The server stats plane, end to end: the `Stats` wire reply must be
+//! exactly the sum of the per-session collector snapshots (differential
+//! against an independent merge), and the SLO watchdog's slow-frame
+//! dumps must be byte-deterministic under the manual clock.
+
+use atk_core::ScriptStep;
+use atk_serve::{
+    ClientFrame, MemTransport, ServeClient, Server, ServerConfig, ServerFrame, SessionConfig,
+};
+use atk_trace::{snapshot_json, text_summary, validate_json, Collector, Snapshot, Stage};
+use atk_wm::WindowEvent;
+use std::sync::Arc;
+
+fn enabled_collector() -> Arc<Collector> {
+    let c = Arc::new(Collector::new());
+    c.enable();
+    c
+}
+
+/// Preloads one whole conversation (hello + `text` keys + bye) into a
+/// mem transport and serves it to completion on this thread.
+fn run_canned_session(server: &Arc<Server>, text: &str) {
+    let (mut client, server_half) = MemTransport::pair();
+    use atk_serve::FrameTransport;
+    client
+        .send(
+            &ClientFrame::Hello {
+                scene: "fig1".into(),
+            }
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
+    for ch in text.chars() {
+        client
+            .send(
+                &ClientFrame::Step(ScriptStep::Event(WindowEvent::ch(ch)))
+                    .encode()
+                    .unwrap(),
+            )
+            .unwrap();
+    }
+    client.send(&ClientFrame::Bye.encode().unwrap()).unwrap();
+    server.serve_connection(server_half);
+}
+
+/// The differential: the `Stats` reply the wire would carry must equal
+/// an independent merge of the server-plane snapshot with every
+/// (span-stripped) per-session snapshot — the same totals reached by a
+/// different code path than the incremental retire-time accumulator.
+#[test]
+fn stats_reply_is_the_sum_of_session_snapshots() {
+    let cfg = ServerConfig {
+        manual_clock: Some((1_000, 1)),
+        retain_session_traces: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(cfg, enabled_collector());
+    for text in ["abc", "hello", "x"] {
+        run_canned_session(&server, text);
+    }
+
+    // trace_parts: [("server", plane), ("session-1", full), ...].
+    let parts = server.trace_parts();
+    assert_eq!(parts.len(), 4, "server plane + three retired sessions");
+    let stripped: Vec<Snapshot> = parts
+        .iter()
+        .map(|(label, snap)| {
+            if label == "server" {
+                snap.clone()
+            } else {
+                snap.without_spans()
+            }
+        })
+        .collect();
+    let expected = Snapshot::merge_all(stripped.iter());
+
+    let ServerFrame::Stats { text, json } = server.stats_reply() else {
+        panic!("stats_reply is not a Stats frame");
+    };
+    assert_eq!(text, text_summary(&expected));
+    assert_eq!(json, snapshot_json(&expected));
+    validate_json(&json).expect("stats JSON must parse");
+
+    // Sanity on the content: every stage histogram made it through the
+    // merge with one sample per session frame.
+    for stage in Stage::ALL {
+        let h = expected
+            .histogram(stage.key())
+            .unwrap_or_else(|| panic!("missing {}", stage.key()));
+        assert_eq!(h.count, 3, "{}: one frame per canned session", stage.key());
+        assert!(json.contains(stage.key()), "json lists {}", stage.key());
+    }
+    assert_eq!(expected.counter("serve.sessions"), 3);
+}
+
+/// A live probe session can fetch the same snapshot over the wire.
+#[test]
+fn stats_request_round_trips_over_the_wire() {
+    let server = Server::new(ServerConfig::default(), enabled_collector());
+    run_canned_session(&server, "hi");
+
+    let (client_half, server_half) = MemTransport::pair();
+    let srv = server.clone();
+    let t = std::thread::spawn(move || srv.serve_connection(server_half));
+    let mut client = ServeClient::connect(client_half, "fig1").unwrap();
+    let (text, json) = client.request_stats().unwrap();
+    client.finish().unwrap();
+    t.join().unwrap();
+
+    validate_json(&json).expect("stats JSON must parse");
+    assert!(text.contains("serve.sessions"), "text summary: {text}");
+    assert!(json.contains("serve.stage_us.apply"), "stage histograms");
+    assert_eq!(
+        server
+            .collector()
+            .snapshot()
+            .counter("serve.stats_requests"),
+        1
+    );
+}
+
+/// Collects the slow-frame dump lines from one fully deterministic
+/// run: manual clock, zero-budget SLO, one canned session.
+fn slow_frames_for_canned_run() -> Vec<String> {
+    let cfg = ServerConfig {
+        manual_clock: Some((5_000, 1)),
+        session: SessionConfig {
+            slo_us: Some(0),
+            ..SessionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::new(cfg, enabled_collector());
+    run_canned_session(&server, "ab");
+    server.slow_log().entries()
+}
+
+/// Golden: under the manual clock the SLO watchdog's dump is exactly
+/// reproducible — same trigger line, same per-stage microseconds,
+/// byte for byte across independent servers.
+#[test]
+fn slow_frame_dump_is_deterministic_under_manual_clock() {
+    let first = slow_frames_for_canned_run();
+    let second = slow_frames_for_canned_run();
+    assert_eq!(first, second, "dump must not depend on wall time");
+
+    // One coalesced batch → one frame → one violation of the zero
+    // budget, attributed to the batch's last step. Every microsecond
+    // below is a deterministic count of clock reads, so the whole dump
+    // line is golden.
+    assert_eq!(first.len(), 1);
+    let line = &first[0];
+    assert_eq!(
+        line,
+        "SLO session=1 seq=2 total=14us budget=0us trigger=key b :: \
+         decode 3us | apply 5us | settle 3us | paint 1us | diff 1us | ship 1us"
+    );
+    for stage in Stage::ALL {
+        assert!(
+            line.contains(&format!("{} ", stage.name())),
+            "dump must attribute every stage: {line}"
+        );
+    }
+    // The stage sum is the frame total (the trace is a partition of the
+    // frame, not a sample of it).
+    let total: u64 = parse_field(line, "total=");
+    let stage_sum: u64 = Stage::ALL
+        .iter()
+        .map(|s| parse_stage_us(line, s.name()))
+        .sum();
+    assert!(
+        total >= stage_sum && total - stage_sum <= 16,
+        "stages ({stage_sum}us) must account for ~all of the frame ({total}us): {line}"
+    );
+}
+
+/// Extracts the number following `prefix` in a dump line.
+fn parse_field(line: &str, prefix: &str) -> u64 {
+    let rest = &line[line.find(prefix).unwrap() + prefix.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Extracts `<name> Nus` from the breakdown tail of a dump line.
+fn parse_stage_us(line: &str, name: &str) -> u64 {
+    parse_field(line, &format!("{name} "))
+}

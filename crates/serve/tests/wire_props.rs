@@ -37,6 +37,7 @@ fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
     prop_oneof![
         "[a-z0-9_]{0,32}".prop_map(|scene| ClientFrame::Hello { scene }),
         arb_step().prop_map(ClientFrame::Step),
+        Just(ClientFrame::StatsReq),
         Just(ClientFrame::Bye),
     ]
 }
@@ -76,6 +77,7 @@ fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
         }),
         "\\PC{0,40}".prop_map(|reason| ServerFrame::Bye { reason }),
         "\\PC{0,40}".prop_map(|message| ServerFrame::Error { message }),
+        ("\\PC{0,200}", "\\PC{0,200}").prop_map(|(text, json)| ServerFrame::Stats { text, json }),
     ]
 }
 

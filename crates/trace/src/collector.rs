@@ -149,6 +149,58 @@ impl Snapshot {
             .filter(|s| s.name == name)
             .collect()
     }
+
+    /// Returns a copy with the span ring emptied (dropped/open counts
+    /// kept). Used when folding retired per-session collectors into a
+    /// long-lived accumulator, where keeping every span would grow
+    /// without bound.
+    pub fn without_spans(&self) -> Snapshot {
+        let mut out = self.clone();
+        out.spans.clear();
+        out
+    }
+
+    /// Folds `other` into `self`: counters and gauges with the same key
+    /// add (a gauge is treated as a per-part level, so the merged value
+    /// is the total across parts — e.g. active sessions server-wide),
+    /// histograms [`Histogram::merge`], spans concatenate and re-sort
+    /// by start timestamp, and dropped/open span counts add.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            match self.counters.binary_search_by_key(k, |(sk, _)| *sk) {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (*k, *v)),
+            }
+        }
+        for (k, v) in &other.gauges {
+            match self.gauges.binary_search_by_key(k, |(sk, _)| *sk) {
+                Ok(i) => self.gauges[i].1 += v,
+                Err(i) => self.gauges.insert(i, (*k, *v)),
+            }
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.binary_search_by_key(k, |(sk, _)| *sk) {
+                Ok(i) => self.histograms[i].1.merge(h),
+                Err(i) => self.histograms.insert(i, (*k, *h)),
+            }
+        }
+        self.spans.extend_from_slice(&other.spans);
+        self.spans.sort_by_key(|s| s.start_us);
+        self.dropped_spans += other.dropped_spans;
+        self.open_spans += other.open_spans;
+    }
+
+    /// Merges every snapshot in `parts` into one, left to right.
+    pub fn merge_all<'a, I>(parts: I) -> Snapshot
+    where
+        I: IntoIterator<Item = &'a Snapshot>,
+    {
+        let mut out = Snapshot::default();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
 }
 
 /// Collects counters, gauges, histograms, and spans. See module docs.
@@ -224,6 +276,18 @@ impl Collector {
             return;
         }
         self.lock().clock.advance_us(delta_us);
+    }
+
+    /// Reads the collector's clock (microseconds). Manual clocks
+    /// auto-step on every read, so back-to-back readings differ by at
+    /// least `step_us` — this is what makes frame-stage attribution
+    /// deterministic in tests. Returns 0 when the collector is
+    /// disabled.
+    pub fn now_us(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.lock().clock.now_us()
     }
 
     /// Adds `n` to the counter `key`.
@@ -410,6 +474,48 @@ mod tests {
         assert!(outer.dur_us > inner.dur_us);
         // Durations are also mirrored into per-name histograms.
         assert_eq!(snap.histogram("outer").unwrap().count, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_and_interleaves() {
+        let a = manual();
+        a.count("shared", 2);
+        a.count("only_a", 1);
+        a.gauge("g", 3);
+        a.observe("h", 10);
+        drop(a.span("sa"));
+        let b = manual();
+        b.count("shared", 5);
+        b.gauge("g", 4);
+        b.observe("h", 20);
+        drop(b.span("sb"));
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        let m = Snapshot::merge_all([&sa, &sb]);
+        assert_eq!(m.counter("shared"), 7);
+        assert_eq!(m.counter("only_a"), 1);
+        assert_eq!(m.gauge("g"), Some(7));
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 30);
+        assert_eq!(m.spans.len(), 2);
+        assert!(m.spans.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+        // Merged counters stay sorted so later merges keep working.
+        assert!(m.counters.windows(2).all(|w| w[0].0 <= w[1].0));
+        // without_spans strips the ring but keeps the tallies.
+        let stripped = sa.without_spans();
+        assert!(stripped.spans.is_empty());
+        assert_eq!(stripped.counter("shared"), 2);
+    }
+
+    #[test]
+    fn now_us_reads_the_manual_clock() {
+        let c = manual();
+        let t0 = c.now_us();
+        let t1 = c.now_us();
+        assert!(t1 > t0);
+        let off = Arc::new(Collector::new());
+        assert_eq!(off.now_us(), 0);
     }
 
     #[test]

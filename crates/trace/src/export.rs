@@ -1,12 +1,23 @@
-//! Exporters: Chrome `trace_event` JSON and a plain-text summary.
+//! Exporters: Chrome `trace_event` JSON, a machine-readable snapshot
+//! JSON, and a plain-text summary.
 //!
 //! The Chrome exporter emits the "JSON object format" understood by
 //! `chrome://tracing` and Perfetto: an object with a `traceEvents`
 //! array of complete (`"ph":"X"`) events sorted by start timestamp,
 //! followed by one counter (`"ph":"C"`) sample per counter so the
-//! metric totals travel with the trace. The text exporter is for
-//! terminals: counters, gauges, histogram stats, and per-span-name
-//! duration aggregates.
+//! metric totals travel with the trace. The multi-collector variant
+//! ([`chrome_trace_json_multi`]) gives each labelled snapshot its own
+//! `pid` plus a `process_name` metadata event, so a whole loadgen run
+//! (N sessions + the server) opens as one timeline with one track per
+//! session. The text exporter is for terminals: counters, gauges,
+//! histogram stats, and per-span-name duration aggregates.
+//! [`snapshot_json`] is the stats-plane wire format: counters, gauges,
+//! histogram summaries (with p50/p90/p99), and span ring totals.
+//!
+//! All exporters JSON-escape every name they emit; a metric or span
+//! name containing quotes, backslashes, or control characters must
+//! still produce valid JSON. [`validate_json`] is a dependency-free
+//! syntax checker used by tests and the CI stats probe to assert that.
 
 use std::fmt::Write as _;
 
@@ -29,10 +40,7 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-/// Renders `snap` as Chrome `trace_event` JSON. Events are sorted by
-/// `ts` (ties broken by open order), so `ts` is monotonically
-/// non-decreasing through the array.
-pub fn chrome_trace_json(snap: &Snapshot) -> String {
+fn append_chrome_events(out: &mut String, snap: &Snapshot, pid: u32, first: &mut bool) {
     let mut spans = snap.spans.clone();
     spans.sort_by_key(|s| (s.start_us, s.seq));
     let last_ts = spans
@@ -40,35 +48,129 @@ pub fn chrome_trace_json(snap: &Snapshot) -> String {
         .map(|s| s.start_us.saturating_add(s.dur_us))
         .max()
         .unwrap_or(0);
-    let mut out = String::with_capacity(spans.len() * 96 + 256);
+    for s in &spans {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n{\"name\":\"");
+        escape_json(s.name, out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":1,\"args\":{{\"depth\":{},\"seq\":{}}}}}",
+            s.start_us, s.dur_us, s.depth, s.seq
+        );
+    }
+    for (k, v) in &snap.counters {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n{\"name\":\"");
+        escape_json(k, out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"atk\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":{pid},\"args\":{{\"value\":{v}}}}}"
+        );
+    }
+}
+
+/// Renders `snap` as Chrome `trace_event` JSON. Events are sorted by
+/// `ts` (ties broken by open order), so `ts` is monotonically
+/// non-decreasing through the array.
+pub fn chrome_trace_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(snap.spans.len() * 96 + 256);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
-    for s in &spans {
+    append_chrome_events(&mut out, snap, 1, &mut first);
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders several labelled snapshots as one Chrome trace: part `i`
+/// gets `pid` `i + 1` and a `process_name` metadata event carrying its
+/// label, so each session shows up as its own named track in
+/// `chrome://tracing` while sharing the timeline.
+pub fn chrome_trace_json_multi(parts: &[(&str, Snapshot)]) -> String {
+    let total_spans: usize = parts.iter().map(|(_, s)| s.spans.len()).sum();
+    let mut out = String::with_capacity(total_spans * 96 + parts.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, (label, snap)) in parts.iter().enumerate() {
+        let pid = i as u32 + 1;
         if !first {
             out.push(',');
         }
         first = false;
-        out.push_str("\n{\"name\":\"");
-        escape_json(s.name, &mut out);
         let _ = write!(
             out,
-            "\",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{\"depth\":{},\"seq\":{}}}}}",
-            s.start_us, s.dur_us, s.depth, s.seq
+            "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\""
         );
+        escape_json(label, &mut out);
+        out.push_str("\"}}");
+        append_chrome_events(&mut out, snap, pid, &mut first);
     }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders `snap` as a machine-readable JSON object — the stats-plane
+/// wire format. Histograms are summarized (count, sum, min, max, mean,
+/// p50/p90/p99); the span ring is reported as totals only.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut out =
+        String::with_capacity(snap.counters.len() * 32 + snap.histograms.len() * 96 + 128);
+    out.push_str("{\"counters\":{");
+    let mut first = true;
     for (k, v) in &snap.counters {
         if !first {
             out.push(',');
         }
         first = false;
-        out.push_str("\n{\"name\":\"");
+        out.push('"');
+        escape_json(k, &mut out);
+        let _ = write!(out, "\":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    first = true;
+    for (k, v) in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        escape_json(k, &mut out);
+        let _ = write!(out, "\":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (k, h) in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
         escape_json(k, &mut out);
         let _ = write!(
             out,
-            "\",\"cat\":\"atk\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\"args\":{{\"value\":{v}}}}}"
+            "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.mean(),
+            h.approx_percentile(0.50),
+            h.approx_percentile(0.90),
+            h.approx_percentile(0.99)
         );
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    let _ = write!(
+        out,
+        "}},\"spans\":{{\"recorded\":{},\"dropped\":{},\"open\":{}}}}}",
+        snap.spans.len(),
+        snap.dropped_spans,
+        snap.open_spans
+    );
     out
 }
 
@@ -111,6 +213,200 @@ pub fn text_summary(snap: &Snapshot) -> String {
     out
 }
 
+/// Checks that `s` is one syntactically valid JSON value (RFC 8259
+/// grammar, no extensions). Returns the byte offset and a short
+/// message on the first error. Dependency-free on purpose: the CI
+/// stats probe and the exporter tests use it to assert "this snapshot
+/// parses" without pulling in a JSON crate.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonChecker {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+const MAX_JSON_DEPTH: usize = 64;
+
+struct JsonChecker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonChecker<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a fraction digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected an exponent digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +427,116 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("world.notify"));
         assert!(json.ends_with("}\n"));
+        validate_json(&json).unwrap();
+    }
+
+    // Regression: a name packing every escape class (quote, backslash,
+    // newline, tab, raw control char) must survive every exporter as
+    // valid JSON.
+    const HOSTILE: &str = "ev\"il\\name\nwith\tctl\u{1}";
+
+    #[test]
+    fn hostile_names_stay_valid_json_in_every_exporter() {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c.set_manual_clock(0, 1);
+        drop(c.span(HOSTILE));
+        c.count(HOSTILE, 3);
+        c.observe(HOSTILE, 7);
+        c.gauge(HOSTILE, -2);
+        let snap = c.snapshot();
+
+        let chrome = chrome_trace_json(&snap);
+        validate_json(&chrome).unwrap();
+        assert!(chrome.contains("ev\\\"il\\\\name\\nwith\\tctl\\u0001"));
+
+        let multi = chrome_trace_json_multi(&[("hostile \"label\"\\", snap.clone())]);
+        validate_json(&multi).unwrap();
+        assert!(multi.contains("hostile \\\"label\\\"\\\\"));
+
+        let stats = snapshot_json(&snap);
+        validate_json(&stats).unwrap();
+        assert!(stats.contains("ev\\\"il\\\\name"));
+    }
+
+    #[test]
+    fn multi_export_assigns_one_pid_per_part() {
+        let mk = |name: &'static str, n: u64| {
+            let c = Arc::new(Collector::new());
+            c.enable();
+            c.set_manual_clock(0, 1);
+            drop(c.span(name));
+            c.count("frames", n);
+            c.snapshot()
+        };
+        let json =
+            chrome_trace_json_multi(&[("session-1", mk("s1", 1)), ("session-2", mk("s2", 2))]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"));
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2"));
+        assert!(json.contains("\"name\":\"s1\""));
+        assert!(json.contains("\"name\":\"s2\""));
+        // Span and counter events carry their part's pid.
+        assert!(json.contains("\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":2"));
+        // Empty input is still a valid (empty) trace.
+        validate_json(&chrome_trace_json_multi(&[])).unwrap();
+    }
+
+    #[test]
+    fn snapshot_json_summarizes_histograms() {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c.set_manual_clock(0, 1);
+        c.count("serve.frames", 12);
+        c.gauge("serve.active", 3);
+        for v in [10u64, 20, 4000] {
+            c.observe("serve.stage_us.paint", v);
+        }
+        let json = snapshot_json(&c.snapshot());
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"serve.frames\":12"));
+        assert!(json.contains("\"serve.active\":3"));
+        assert!(json.contains("\"serve.stage_us.paint\":{\"count\":3,\"sum\":4030"));
+        assert!(json.contains("\"p99\":4000"));
+        assert!(json.contains("\"spans\":{\"recorded\":0,\"dropped\":0,\"open\":0}"));
+        // An empty snapshot is still valid JSON with all sections.
+        let empty = snapshot_json(&Snapshot::default());
+        validate_json(&empty).unwrap();
+        assert!(empty.contains("\"counters\":{}"));
+    }
+
+    #[test]
+    fn validate_json_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e+3",
+            "\"a\\u00ff\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"d\"}",
+            "  [1, 2, 3]  ",
+        ] {
+            assert!(validate_json(good).is_ok(), "should accept {good:?}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"raw\u{1}ctl\"",
+            "01",
+            "1.",
+            "1e",
+            "nulll",
+            "{} {}",
+            "{'a':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "should reject {bad:?}");
+        }
     }
 
     #[test]

@@ -82,11 +82,28 @@ impl Histogram {
     /// into `[min, max]`. Resolution is the log2 bucket width — good
     /// enough for "is p99 frame latency microseconds or milliseconds",
     /// which is what the serve-layer histograms ask.
+    ///
+    /// Documented edge cases:
+    /// - empty histogram → `0` for every `q` (and `NaN` reads as 0.0);
+    /// - all samples equal (single sample included) → that value;
+    /// - rank 1 (`q` at or below `1/count`) → exactly `min`;
+    /// - top rank (`q` high enough that ceil(q·count) == count) →
+    ///   exactly `max`, even when every sample shares the top bucket.
     pub fn approx_percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if self.min == self.max {
+            return self.min;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -95,6 +112,26 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Folds `other` into `self`: counts, sums, and per-bucket tallies
+    /// add; `min`/`max` take the extremes. Merging an empty histogram
+    /// is the identity in either direction.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
     }
 
     /// Index of the highest non-empty bucket, if any value was recorded.
@@ -171,5 +208,84 @@ mod tests {
         let mut one = Histogram::default();
         one.record(37);
         assert_eq!(one.approx_percentile(0.5), 37);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_documented_values() {
+        // Empty histogram: 0 at every quantile, including NaN.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert_eq!(empty.approx_percentile(q), 0);
+        }
+        // Single sample: the sample itself at every quantile.
+        let mut one = Histogram::default();
+        one.record(4096);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(one.approx_percentile(q), 4096);
+        }
+        // All samples equal (multi-sample constant histogram).
+        let mut flat = Histogram::default();
+        for _ in 0..100 {
+            flat.record(300);
+        }
+        assert_eq!(flat.approx_percentile(0.99), 300);
+        // All samples in the top bucket (64), with distinct values:
+        // low quantiles pin to min, the top rank pins to max, neither
+        // escapes the recorded range despite the huge bucket width.
+        let mut top = Histogram::default();
+        top.record(u64::MAX - 9);
+        top.record(u64::MAX - 5);
+        top.record(u64::MAX);
+        assert_eq!(top.approx_percentile(0.0), u64::MAX - 9);
+        assert_eq!(top.approx_percentile(1.0), u64::MAX);
+        let mid = top.approx_percentile(0.5);
+        assert!((u64::MAX - 9..=u64::MAX).contains(&mid));
+        // q out of range clamps instead of panicking.
+        assert_eq!(top.approx_percentile(-3.0), u64::MAX - 9);
+        assert_eq!(top.approx_percentile(7.0), u64::MAX);
+        // NaN reads as q = 0.0.
+        assert_eq!(top.approx_percentile(f64::NAN), u64::MAX - 9);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_takes_extremes() {
+        let mut a = Histogram::default();
+        for v in [1u64, 100, 7] {
+            a.record(v);
+        }
+        let mut b = Histogram::default();
+        for v in [0u64, 5000] {
+            b.record(v);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.sum, a.sum + b.sum);
+        assert_eq!(merged.min, 0);
+        assert_eq!(merged.max, 5000);
+        for i in 0..BUCKET_COUNT {
+            assert_eq!(merged.buckets[i], a.buckets[i] + b.buckets[i]);
+        }
+        // Empty is the identity on both sides.
+        let empty = Histogram::default();
+        let mut left = a;
+        left.merge(&empty);
+        assert_eq!(left.count, a.count);
+        assert_eq!((left.min, left.max, left.sum), (a.min, a.max, a.sum));
+        let mut right = empty;
+        right.merge(&a);
+        assert_eq!(right.count, a.count);
+        assert_eq!((right.min, right.max, right.sum), (a.min, a.max, a.sum));
+    }
+
+    #[test]
+    fn merge_saturates_sum_instead_of_overflowing() {
+        let mut a = Histogram::default();
+        a.record(u64::MAX);
+        let mut b = Histogram::default();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.count, 2);
     }
 }

@@ -28,11 +28,17 @@
 mod clock;
 mod collector;
 mod export;
+mod frame;
 mod histogram;
 
 pub use clock::Clock;
 pub use collector::{Collector, Snapshot, SpanGuard, SpanRecord, DEFAULT_SPAN_CAPACITY};
-pub use export::{chrome_trace_json, text_summary};
+pub use export::{
+    chrome_trace_json, chrome_trace_json_multi, snapshot_json, text_summary, validate_json,
+};
+pub use frame::{
+    FrameLog, FrameRecord, FrameTrace, SlowFrameLog, Stage, STAGE_COUNT, STAGE_TOTAL_KEY,
+};
 pub use histogram::{bucket_index, bucket_lower_bound, Histogram, BUCKET_COUNT};
 
 use std::sync::{Arc, OnceLock};

@@ -1,0 +1,90 @@
+//! Property tests for snapshot merging: merged counter totals equal
+//! the sum of the parts, histogram bucket tallies are elementwise
+//! additive, and merging is associative enough for the server's
+//! "retired ⊕ live sessions" accumulation order not to matter.
+
+use std::sync::Arc;
+
+use atk_trace::{Collector, Snapshot, BUCKET_COUNT};
+use proptest::prelude::*;
+
+/// Fixed key pool: collector keys are `&'static str` by design.
+const KEYS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One collector's worth of activity: (key index, value) pairs fed to
+/// both `count` and `observe` under the same key.
+fn arb_part() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..KEYS.len(), 0u64..1_000_000), 0..24)
+}
+
+fn build(part: &[(usize, u64)]) -> Snapshot {
+    let c = Arc::new(Collector::new());
+    c.enable();
+    c.set_manual_clock(0, 1);
+    for &(k, v) in part {
+        c.count(KEYS[k], v);
+        c.observe(KEYS[k], v);
+    }
+    c.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn merged_counters_equal_sums(a in arb_part(), b in arb_part()) {
+        let sa = build(&a);
+        let sb = build(&b);
+        let m = Snapshot::merge_all([&sa, &sb]);
+        for key in KEYS {
+            prop_assert_eq!(m.counter(key), sa.counter(key) + sb.counter(key));
+        }
+    }
+
+    #[test]
+    fn merged_histogram_buckets_are_additive(a in arb_part(), b in arb_part()) {
+        let sa = build(&a);
+        let sb = build(&b);
+        let m = Snapshot::merge_all([&sa, &sb]);
+        for key in KEYS {
+            let empty = atk_trace::Histogram::default();
+            let ha = sa.histogram(key).copied().unwrap_or(empty);
+            let hb = sb.histogram(key).copied().unwrap_or(empty);
+            match m.histogram(key) {
+                None => prop_assert_eq!(ha.count + hb.count, 0),
+                Some(hm) => {
+                    prop_assert_eq!(hm.count, ha.count + hb.count);
+                    prop_assert_eq!(hm.sum, ha.sum + hb.sum);
+                    for i in 0..BUCKET_COUNT {
+                        prop_assert_eq!(hm.buckets[i], ha.buckets[i] + hb.buckets[i]);
+                    }
+                    if ha.count > 0 && hb.count > 0 {
+                        prop_assert_eq!(hm.min, ha.min.min(hb.min));
+                        prop_assert_eq!(hm.max, ha.max.max(hb.max));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_change_totals(
+        a in arb_part(),
+        b in arb_part(),
+        c in arb_part(),
+    ) {
+        let (sa, sb, sc) = (build(&a), build(&b), build(&c));
+        let left = Snapshot::merge_all([&sa, &sb, &sc]);
+        let mut right = Snapshot::default();
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        right.merge(&bc);
+        right.merge(&sa);
+        for key in KEYS {
+            prop_assert_eq!(left.counter(key), right.counter(key));
+            let lh = left.histogram(key).map(|h| (h.count, h.sum, h.min, h.max));
+            let rh = right.histogram(key).map(|h| (h.count, h.sum, h.min, h.max));
+            prop_assert_eq!(lh, rh);
+        }
+    }
+}

@@ -19,11 +19,21 @@ echo "==> loadgen smoke (8 served sessions, zero drops tolerated)"
 cargo run --release -q -p atk-serve --bin loadgen -- \
     --sessions 8 --steps 50 --max-drops 0
 
+echo "==> stats-plane smoke (mem loadgen, SLO watchdog armed, Stats probe)"
+# --stats makes loadgen fetch the server-wide snapshot over the wire,
+# validate the JSON, and fail unless the stage histograms are non-empty.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --sessions 4 --steps 30 --profile typing \
+    --slo-us 10000000 --stats --max-drops 0
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 
 echo "==> e12 quick smoke (incremental layout, capped sample time)"
 CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e12_incremental_layout
+
+echo "==> e13 quick smoke (latency attribution, capped sample time)"
+CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e13_latency
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
