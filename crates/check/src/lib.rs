@@ -172,6 +172,10 @@ pub struct Session {
     /// overlay since the last full redraw (see
     /// [`oracles::check_repaint`]).
     pub overlay_possible: bool,
+    /// Position of the most recent `MenuRequest` step; `MenuSelect`
+    /// replays pop the menu there, matching [`EventScript::run`] and
+    /// the serve layer's replay.
+    last_menu_pos: Point,
 }
 
 impl Session {
@@ -193,17 +197,27 @@ impl Session {
             world,
             im,
             overlay_possible: false,
+            last_menu_pos: Point::ORIGIN,
         }
     }
 
-    /// Applies one step with the same semantics as [`EventScript::run`].
+    /// Applies one step with the same semantics as [`EventScript::run`]:
+    /// a `MenuSelect` re-requests the menu at the most recently seen
+    /// `MenuRequest` position (origin before any request).
     pub fn apply(&mut self, step: &ScriptStep) {
         match step {
-            ScriptStep::Event(ev) => self.im.feed(&mut self.world, ev.clone()),
+            ScriptStep::Event(ev) => {
+                if let WindowEvent::MenuRequest { pos } = ev {
+                    self.last_menu_pos = *pos;
+                }
+                self.im.feed(&mut self.world, ev.clone());
+            }
             ScriptStep::MenuSelect(label) => {
                 self.im.feed(
                     &mut self.world,
-                    WindowEvent::MenuRequest { pos: Point::ORIGIN },
+                    WindowEvent::MenuRequest {
+                        pos: self.last_menu_pos,
+                    },
                 );
                 self.im.select_menu(&mut self.world, label);
                 self.im.pump(&mut self.world);

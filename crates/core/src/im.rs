@@ -331,36 +331,56 @@ impl InteractionManager {
         world
             .collector()
             .observe("im.damage_rects", region.rects().len() as u64);
-        let _span = world.collector().span("im.update_pass");
-        let g = self.window.graphic();
-        g.gsave();
-        g.clip_region(region);
-        for r in region.rects() {
-            g.clear_rect(*r);
+        {
+            let _span = world.collector().span("im.update_pass");
+            let g = self.window.graphic();
+            g.gsave();
+            g.clip_region(region);
+            for r in region.rects() {
+                g.clear_rect(*r);
+            }
+            let update = Update::Partial(region.bounding_box());
+            world.with_view(self.root, |v, w| v.draw(w, g, update));
+            g.grestore();
+            g.flush();
         }
-        let update = Update::Partial(region.bounding_box());
-        world.with_view(self.root, |v, w| v.draw(w, g, update));
-        g.grestore();
-        g.flush();
+        self.collect_paint_stats(world);
     }
 
     /// One update pass down the tree.
     pub fn draw(&mut self, world: &mut World, update: Update) {
         self.stats.full_redraws += 1;
         world.collector().count("im.full_redraws", 1);
-        let _span = world.collector().span("im.update_pass");
-        let g = self.window.graphic();
-        let bounds = world.view_bounds(self.root);
-        g.gsave();
-        if let Update::Partial(r) = update {
-            g.clip_rect(r);
-            g.clear_rect(r);
-        } else {
-            g.clear_rect(bounds);
+        {
+            let _span = world.collector().span("im.update_pass");
+            let g = self.window.graphic();
+            let bounds = world.view_bounds(self.root);
+            g.gsave();
+            if let Update::Partial(r) = update {
+                g.clip_rect(r);
+                g.clear_rect(r);
+            } else {
+                g.clear_rect(bounds);
+            }
+            world.with_view(self.root, |v, w| v.draw(w, g, update));
+            g.grestore();
+            g.flush();
         }
-        world.with_view(self.root, |v, w| v.draw(w, g, update));
-        g.grestore();
-        g.flush();
+        self.collect_paint_stats(world);
+    }
+
+    /// Folds the window's banded-paint counters (if any accrued) into
+    /// the trace collector as `paint.*` stats.
+    fn collect_paint_stats(&mut self, world: &mut World) {
+        let ps = self.window.take_paint_stats();
+        if ps == atk_wm::PaintStats::default() {
+            return;
+        }
+        let c = world.collector();
+        c.count("paint.flushes", ps.flushes);
+        c.count("paint.bands", ps.bands);
+        c.count("paint.par_us", ps.par_us);
+        c.count("paint.serial_fallback", ps.serial_fallbacks);
     }
 
     /// Requests and performs a full repaint.

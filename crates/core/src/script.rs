@@ -204,13 +204,22 @@ impl EventScript {
         out
     }
 
-    /// Runs every step through the interaction manager.
+    /// Runs every step through the interaction manager. A `menu select`
+    /// re-requests the menu at the position the preceding `menu
+    /// request` line recorded (origin when the script never recorded
+    /// one), so replays pop the menu where the user did.
     pub fn run(&self, im: &mut InteractionManager, world: &mut World) {
+        let mut last_menu_pos = Point::ORIGIN;
         for step in &self.steps {
             match step {
-                ScriptStep::Event(ev) => im.feed(world, ev.clone()),
+                ScriptStep::Event(ev) => {
+                    if let WindowEvent::MenuRequest { pos } = ev {
+                        last_menu_pos = *pos;
+                    }
+                    im.feed(world, ev.clone());
+                }
                 ScriptStep::MenuSelect(label) => {
-                    im.feed(world, WindowEvent::MenuRequest { pos: Point::ORIGIN });
+                    im.feed(world, WindowEvent::MenuRequest { pos: last_menu_pos });
                     im.select_menu(world, label);
                     im.pump(world);
                 }

@@ -6,6 +6,16 @@
 //! Bresenham lines with thickness, midpoint ovals, scanline polygon
 //! fills, and rectangle blits with the classic raster ops (copy, XOR,
 //! or, and-not). All drawing is clipped against an optional [`Region`].
+//!
+//! The drawing code itself lives in the [`Raster`] trait so that a
+//! whole [`Framebuffer`] and a borrowed horizontal band of one
+//! ([`FbBand`], handed out by [`Framebuffer::bands_mut`] via
+//! `split_at_mut`) rasterize through *the same* provided methods. That
+//! is what makes parallel band painting byte-identical to serial
+//! painting by construction: a band is just a raster whose writable row
+//! range is narrower, every other code path is shared.
+
+use std::sync::Arc;
 
 use crate::color::Color;
 use crate::geom::{Point, Rect};
@@ -24,6 +34,272 @@ pub enum RasterOp {
     AndNot,
 }
 
+/// A drawing surface: either a whole [`Framebuffer`] or a borrowed
+/// horizontal [`FbBand`] of one.
+///
+/// Implementors supply the five storage accessors; every drawing
+/// primitive is a provided method on top of them, so all surfaces
+/// rasterize identically. Coordinates are always in the *logical*
+/// surface space ([`Raster::raster_size`]); a band simply refuses
+/// writes outside its [`Raster::row_limits`].
+pub trait Raster {
+    /// Logical surface dimensions `(width, height)` in pixels.
+    fn raster_size(&self) -> (i32, i32);
+
+    /// The half-open row range `[y0, y1)` this surface may read and
+    /// write. A whole framebuffer answers `(0, height)`.
+    fn row_limits(&self) -> (i32, i32);
+
+    /// The current clip region, if any (`None` clips only to bounds).
+    fn clip_ref(&self) -> Option<&Region>;
+
+    /// Row `y` of pixels (full logical width). `y` must be inside
+    /// [`Raster::row_limits`].
+    fn row(&self, y: i32) -> &[u32];
+
+    /// Mutable row `y` of pixels. `y` must be inside
+    /// [`Raster::row_limits`].
+    fn row_mut(&mut self, y: i32) -> &mut [u32];
+
+    // --- Provided drawing methods (shared by all surfaces) ------------
+
+    /// The full logical bounds rectangle.
+    fn raster_bounds(&self) -> Rect {
+        let (w, h) = self.raster_size();
+        Rect::new(0, 0, w, h)
+    }
+
+    /// True when `(x, y)` is inside bounds, inside this surface's row
+    /// limits, and inside the clip.
+    #[inline]
+    fn writable(&self, x: i32, y: i32) -> bool {
+        let (w, _) = self.raster_size();
+        let (y0, y1) = self.row_limits();
+        if x < 0 || x >= w || y < y0 || y >= y1 {
+            return false;
+        }
+        match self.clip_ref() {
+            Some(region) => region.contains(Point::new(x, y)),
+            None => true,
+        }
+    }
+
+    /// Writes a pixel, honoring bounds, row limits, and clip.
+    #[inline]
+    fn set(&mut self, x: i32, y: i32, color: Color) {
+        if self.writable(x, y) {
+            self.row_mut(y)[x as usize] = color.0;
+        }
+    }
+
+    /// Writes a pixel combining with the existing value via `op`.
+    fn set_op(&mut self, x: i32, y: i32, color: Color, op: RasterOp) {
+        if !self.writable(x, y) {
+            return;
+        }
+        let dst = self.row(y)[x as usize];
+        self.row_mut(y)[x as usize] = match op {
+            RasterOp::Copy => color.0,
+            RasterOp::Xor => dst ^ color.0,
+            RasterOp::Or => dst | color.0,
+            RasterOp::AndNot => dst & !color.0,
+        };
+    }
+
+    /// Fills a rectangle.
+    fn fill_rect(&mut self, r: Rect, color: Color) {
+        self.fill_rect_op(r, color, RasterOp::Copy);
+    }
+
+    /// Fills a rectangle with a raster op.
+    fn fill_rect_op(&mut self, r: Rect, color: Color, op: RasterOp) {
+        let r = r.intersect(self.raster_bounds());
+        if r.is_empty() {
+            return;
+        }
+        let (ly0, ly1) = self.row_limits();
+        let y_lo = r.y.max(ly0);
+        let y_hi = r.bottom().min(ly1);
+        // Fast path: no clip region, plain copy.
+        if self.clip_ref().is_none() && op == RasterOp::Copy {
+            for y in y_lo..y_hi {
+                self.row_mut(y)[r.x as usize..r.right() as usize].fill(color.0);
+            }
+            return;
+        }
+        for y in y_lo..y_hi {
+            for x in r.x..r.right() {
+                self.set_op(x, y, color, op);
+            }
+        }
+    }
+
+    /// Outlines a rectangle with 1-pixel lines just inside its bounds.
+    fn draw_rect(&mut self, r: Rect, color: Color) {
+        if r.is_empty() {
+            return;
+        }
+        self.fill_rect(Rect::new(r.x, r.y, r.width, 1), color);
+        self.fill_rect(Rect::new(r.x, r.bottom() - 1, r.width, 1), color);
+        self.fill_rect(Rect::new(r.x, r.y, 1, r.height), color);
+        self.fill_rect(Rect::new(r.right() - 1, r.y, 1, r.height), color);
+    }
+
+    /// Draws a line of the given thickness (Bresenham; thickness expands
+    /// each plotted position into a small square).
+    fn draw_line(&mut self, a: Point, b: Point, thickness: i32, color: Color) {
+        let thickness = thickness.max(1);
+        let (mut x0, mut y0) = (a.x, a.y);
+        let (x1, y1) = (b.x, b.y);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            if thickness == 1 {
+                self.set(x0, y0, color);
+            } else {
+                let half = thickness / 2;
+                self.fill_rect(Rect::new(x0 - half, y0 - half, thickness, thickness), color);
+            }
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Outlines an axis-aligned ellipse inscribed in `r` (scanline
+    /// algorithm).
+    fn draw_oval(&mut self, r: Rect, color: Color) {
+        self.oval(r, color, false);
+    }
+
+    /// Fills an axis-aligned ellipse inscribed in `r`.
+    fn fill_oval(&mut self, r: Rect, color: Color) {
+        self.oval(r, color, true);
+    }
+
+    /// Shared scanline ellipse path behind [`Raster::draw_oval`] /
+    /// [`Raster::fill_oval`].
+    #[doc(hidden)]
+    fn oval(&mut self, r: Rect, color: Color, fill: bool) {
+        if r.is_empty() {
+            return;
+        }
+        // Scanline ellipse: for each pixel row solve x^2/rx^2 + y^2/ry^2 = 1
+        // about the (possibly half-integral) center. Robust over every
+        // aspect ratio, unlike a naive midpoint walk.
+        let cx = r.x as f64 + (r.width - 1) as f64 / 2.0;
+        let cy = r.y as f64 + (r.height - 1) as f64 / 2.0;
+        let rx = ((r.width - 1) as f64 / 2.0).max(0.5);
+        let ry = ((r.height - 1) as f64 / 2.0).max(0.5);
+        let mut left: Vec<Point> = Vec::new();
+        let mut right: Vec<Point> = Vec::new();
+        for y in r.y..r.bottom() {
+            let fy = y as f64 - cy;
+            let t = 1.0 - (fy / ry) * (fy / ry);
+            if t < 0.0 {
+                continue;
+            }
+            let half = rx * t.sqrt();
+            let x0 = (cx - half).round() as i32;
+            let x1 = (cx + half).round() as i32;
+            if fill {
+                self.fill_rect(Rect::new(x0, y, x1 - x0 + 1, 1), color);
+            } else {
+                left.push(Point::new(x0, y));
+                right.push(Point::new(x1, y));
+            }
+        }
+        if !fill {
+            // Connect successive outline samples so steep sides are solid.
+            for seq in [left, right] {
+                for w in seq.windows(2) {
+                    self.draw_line(w[0], w[1], 1, color);
+                }
+            }
+        }
+    }
+
+    /// Fills an arbitrary polygon (even-odd rule, scanline algorithm).
+    fn fill_polygon(&mut self, pts: &[Point], color: Color) {
+        if pts.len() < 3 {
+            return;
+        }
+        let min_y = pts.iter().map(|p| p.y).min().unwrap();
+        let max_y = pts.iter().map(|p| p.y).max().unwrap();
+        for y in min_y..=max_y {
+            // Gather x-intersections of edges with the scanline center.
+            let yc = y as f64 + 0.5;
+            let mut xs: Vec<f64> = Vec::new();
+            for i in 0..pts.len() {
+                let p0 = pts[i];
+                let p1 = pts[(i + 1) % pts.len()];
+                let (y0, y1) = (p0.y as f64, p1.y as f64);
+                if (y0 <= yc && y1 > yc) || (y1 <= yc && y0 > yc) {
+                    let t = (yc - y0) / (y1 - y0);
+                    xs.push(p0.x as f64 + t * (p1.x - p0.x) as f64);
+                }
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for pair in xs.chunks(2) {
+                if pair.len() == 2 {
+                    let x0 = pair[0].ceil() as i32;
+                    let x1 = pair[1].floor() as i32;
+                    if x1 >= x0 {
+                        self.fill_rect(Rect::new(x0, y, x1 - x0 + 1, 1), color);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills a pie-slice wedge of the ellipse inscribed in `r`, between
+    /// `start_deg` and `end_deg` (clockwise from 12 o'clock). Used by the
+    /// pie-chart view.
+    fn fill_wedge(&mut self, r: Rect, start_deg: f64, end_deg: f64, color: Color) {
+        if r.is_empty() || end_deg <= start_deg {
+            return;
+        }
+        let c = r.center();
+        let rx = r.width as f64 / 2.0;
+        let ry = r.height as f64 / 2.0;
+        let mut pts = vec![c];
+        let steps = (((end_deg - start_deg).abs() / 3.0).ceil() as usize).max(2);
+        for i in 0..=steps {
+            let ang =
+                (start_deg + (end_deg - start_deg) * i as f64 / steps as f64 - 90.0).to_radians();
+            pts.push(Point::new(
+                c.x + (rx * ang.cos()).round() as i32,
+                c.y + (ry * ang.sin()).round() as i32,
+            ));
+        }
+        self.fill_polygon(&pts, color);
+    }
+
+    /// Copies rectangle `src_rect` of `src` to `dst_origin` here, using
+    /// `op`.
+    fn blit(&mut self, src: &Framebuffer, src_rect: Rect, dst_origin: Point, op: RasterOp) {
+        let src_rect = src_rect.intersect(src.bounds());
+        for dy in 0..src_rect.height {
+            for dx in 0..src_rect.width {
+                let c = src.get(src_rect.x + dx, src_rect.y + dy);
+                self.set_op(dst_origin.x + dx, dst_origin.y + dy, c, op);
+            }
+        }
+    }
+}
+
 /// A rectangular array of packed RGB pixels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Framebuffer {
@@ -31,6 +307,34 @@ pub struct Framebuffer {
     height: i32,
     pixels: Vec<u32>,
     clip: Option<Region>,
+}
+
+impl Raster for Framebuffer {
+    fn raster_size(&self) -> (i32, i32) {
+        (self.width, self.height)
+    }
+
+    fn row_limits(&self) -> (i32, i32) {
+        (0, self.height)
+    }
+
+    fn clip_ref(&self) -> Option<&Region> {
+        self.clip.as_ref()
+    }
+
+    #[inline]
+    fn row(&self, y: i32) -> &[u32] {
+        let w = self.width as usize;
+        let off = y as usize * w;
+        &self.pixels[off..off + w]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, y: i32) -> &mut [u32] {
+        let w = self.width as usize;
+        let off = y as usize * w;
+        &mut self.pixels[off..off + w]
+    }
 }
 
 impl Framebuffer {
@@ -74,17 +378,6 @@ impl Framebuffer {
         self.clip.as_ref()
     }
 
-    #[inline]
-    fn writable(&self, x: i32, y: i32) -> bool {
-        if x < 0 || y < 0 || x >= self.width || y >= self.height {
-            return false;
-        }
-        match &self.clip {
-            Some(region) => region.contains(Point::new(x, y)),
-            None => true,
-        }
-    }
-
     /// Reads a pixel; out-of-bounds reads return white.
     pub fn get(&self, x: i32, y: i32) -> Color {
         if x < 0 || y < 0 || x >= self.width || y >= self.height {
@@ -96,24 +389,12 @@ impl Framebuffer {
     /// Writes a pixel, honoring bounds and clip.
     #[inline]
     pub fn set(&mut self, x: i32, y: i32, color: Color) {
-        if self.writable(x, y) {
-            self.pixels[(y as usize) * (self.width as usize) + x as usize] = color.0;
-        }
+        Raster::set(self, x, y, color);
     }
 
     /// Writes a pixel combining with the existing value via `op`.
     pub fn set_op(&mut self, x: i32, y: i32, color: Color, op: RasterOp) {
-        if !self.writable(x, y) {
-            return;
-        }
-        let idx = (y as usize) * (self.width as usize) + x as usize;
-        let dst = self.pixels[idx];
-        self.pixels[idx] = match op {
-            RasterOp::Copy => color.0,
-            RasterOp::Xor => dst ^ color.0,
-            RasterOp::Or => dst | color.0,
-            RasterOp::AndNot => dst & !color.0,
-        };
+        Raster::set_op(self, x, y, color, op);
     }
 
     /// Fills the whole buffer (ignoring clip).
@@ -123,193 +404,51 @@ impl Framebuffer {
 
     /// Fills a rectangle.
     pub fn fill_rect(&mut self, r: Rect, color: Color) {
-        self.fill_rect_op(r, color, RasterOp::Copy);
+        Raster::fill_rect(self, r, color);
     }
 
     /// Fills a rectangle with a raster op.
     pub fn fill_rect_op(&mut self, r: Rect, color: Color, op: RasterOp) {
-        let r = r.intersect(self.bounds());
-        if r.is_empty() {
-            return;
-        }
-        // Fast path: no clip region, plain copy.
-        if self.clip.is_none() && op == RasterOp::Copy {
-            for y in r.y..r.bottom() {
-                let row = (y as usize) * (self.width as usize);
-                self.pixels[row + r.x as usize..row + r.right() as usize].fill(color.0);
-            }
-            return;
-        }
-        for y in r.y..r.bottom() {
-            for x in r.x..r.right() {
-                self.set_op(x, y, color, op);
-            }
-        }
+        Raster::fill_rect_op(self, r, color, op);
     }
 
     /// Outlines a rectangle with 1-pixel lines just inside its bounds.
     pub fn draw_rect(&mut self, r: Rect, color: Color) {
-        if r.is_empty() {
-            return;
-        }
-        self.fill_rect(Rect::new(r.x, r.y, r.width, 1), color);
-        self.fill_rect(Rect::new(r.x, r.bottom() - 1, r.width, 1), color);
-        self.fill_rect(Rect::new(r.x, r.y, 1, r.height), color);
-        self.fill_rect(Rect::new(r.right() - 1, r.y, 1, r.height), color);
+        Raster::draw_rect(self, r, color);
     }
 
     /// Draws a line of the given thickness (Bresenham; thickness expands
     /// each plotted position into a small square).
     pub fn draw_line(&mut self, a: Point, b: Point, thickness: i32, color: Color) {
-        let thickness = thickness.max(1);
-        let plot = |fb: &mut Framebuffer, x: i32, y: i32| {
-            if thickness == 1 {
-                fb.set(x, y, color);
-            } else {
-                let half = thickness / 2;
-                fb.fill_rect(Rect::new(x - half, y - half, thickness, thickness), color);
-            }
-        };
-        let (mut x0, mut y0) = (a.x, a.y);
-        let (x1, y1) = (b.x, b.y);
-        let dx = (x1 - x0).abs();
-        let dy = -(y1 - y0).abs();
-        let sx = if x0 < x1 { 1 } else { -1 };
-        let sy = if y0 < y1 { 1 } else { -1 };
-        let mut err = dx + dy;
-        loop {
-            plot(self, x0, y0);
-            if x0 == x1 && y0 == y1 {
-                break;
-            }
-            let e2 = 2 * err;
-            if e2 >= dy {
-                err += dy;
-                x0 += sx;
-            }
-            if e2 <= dx {
-                err += dx;
-                y0 += sy;
-            }
-        }
+        Raster::draw_line(self, a, b, thickness, color);
     }
 
-    /// Outlines an axis-aligned ellipse inscribed in `r` (midpoint
-    /// algorithm).
+    /// Outlines an axis-aligned ellipse inscribed in `r`.
     pub fn draw_oval(&mut self, r: Rect, color: Color) {
-        self.oval(r, color, false);
+        Raster::draw_oval(self, r, color);
     }
 
     /// Fills an axis-aligned ellipse inscribed in `r`.
     pub fn fill_oval(&mut self, r: Rect, color: Color) {
-        self.oval(r, color, true);
-    }
-
-    fn oval(&mut self, r: Rect, color: Color, fill: bool) {
-        if r.is_empty() {
-            return;
-        }
-        // Scanline ellipse: for each pixel row solve x^2/rx^2 + y^2/ry^2 = 1
-        // about the (possibly half-integral) center. Robust over every
-        // aspect ratio, unlike a naive midpoint walk.
-        let cx = r.x as f64 + (r.width - 1) as f64 / 2.0;
-        let cy = r.y as f64 + (r.height - 1) as f64 / 2.0;
-        let rx = ((r.width - 1) as f64 / 2.0).max(0.5);
-        let ry = ((r.height - 1) as f64 / 2.0).max(0.5);
-        let mut left: Vec<Point> = Vec::new();
-        let mut right: Vec<Point> = Vec::new();
-        for y in r.y..r.bottom() {
-            let fy = y as f64 - cy;
-            let t = 1.0 - (fy / ry) * (fy / ry);
-            if t < 0.0 {
-                continue;
-            }
-            let half = rx * t.sqrt();
-            let x0 = (cx - half).round() as i32;
-            let x1 = (cx + half).round() as i32;
-            if fill {
-                self.fill_rect(Rect::new(x0, y, x1 - x0 + 1, 1), color);
-            } else {
-                left.push(Point::new(x0, y));
-                right.push(Point::new(x1, y));
-            }
-        }
-        if !fill {
-            // Connect successive outline samples so steep sides are solid.
-            for seq in [left, right] {
-                for w in seq.windows(2) {
-                    self.draw_line(w[0], w[1], 1, color);
-                }
-            }
-        }
+        Raster::fill_oval(self, r, color);
     }
 
     /// Fills an arbitrary polygon (even-odd rule, scanline algorithm).
     pub fn fill_polygon(&mut self, pts: &[Point], color: Color) {
-        if pts.len() < 3 {
-            return;
-        }
-        let min_y = pts.iter().map(|p| p.y).min().unwrap();
-        let max_y = pts.iter().map(|p| p.y).max().unwrap();
-        for y in min_y..=max_y {
-            // Gather x-intersections of edges with the scanline center.
-            let yc = y as f64 + 0.5;
-            let mut xs: Vec<f64> = Vec::new();
-            for i in 0..pts.len() {
-                let p0 = pts[i];
-                let p1 = pts[(i + 1) % pts.len()];
-                let (y0, y1) = (p0.y as f64, p1.y as f64);
-                if (y0 <= yc && y1 > yc) || (y1 <= yc && y0 > yc) {
-                    let t = (yc - y0) / (y1 - y0);
-                    xs.push(p0.x as f64 + t * (p1.x - p0.x) as f64);
-                }
-            }
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            for pair in xs.chunks(2) {
-                if pair.len() == 2 {
-                    let x0 = pair[0].ceil() as i32;
-                    let x1 = pair[1].floor() as i32;
-                    if x1 >= x0 {
-                        self.fill_rect(Rect::new(x0, y, x1 - x0 + 1, 1), color);
-                    }
-                }
-            }
-        }
+        Raster::fill_polygon(self, pts, color);
     }
 
     /// Fills a pie-slice wedge of the ellipse inscribed in `r`, between
     /// `start_deg` and `end_deg` (clockwise from 12 o'clock). Used by the
     /// pie-chart view.
     pub fn fill_wedge(&mut self, r: Rect, start_deg: f64, end_deg: f64, color: Color) {
-        if r.is_empty() || end_deg <= start_deg {
-            return;
-        }
-        let c = r.center();
-        let rx = r.width as f64 / 2.0;
-        let ry = r.height as f64 / 2.0;
-        let mut pts = vec![c];
-        let steps = (((end_deg - start_deg).abs() / 3.0).ceil() as usize).max(2);
-        for i in 0..=steps {
-            let ang =
-                (start_deg + (end_deg - start_deg) * i as f64 / steps as f64 - 90.0).to_radians();
-            pts.push(Point::new(
-                c.x + (rx * ang.cos()).round() as i32,
-                c.y + (ry * ang.sin()).round() as i32,
-            ));
-        }
-        self.fill_polygon(&pts, color);
+        Raster::fill_wedge(self, r, start_deg, end_deg, color);
     }
 
     /// Copies rectangle `src_rect` of `src` to `dst_origin` here, using
     /// `op`.
     pub fn blit(&mut self, src: &Framebuffer, src_rect: Rect, dst_origin: Point, op: RasterOp) {
-        let src_rect = src_rect.intersect(src.bounds());
-        for dy in 0..src_rect.height {
-            for dx in 0..src_rect.width {
-                let c = src.get(src_rect.x + dx, src_rect.y + dy);
-                self.set_op(dst_origin.x + dx, dst_origin.y + dy, c, op);
-            }
-        }
+        Raster::blit(self, src, src_rect, dst_origin, op);
     }
 
     /// Copies a rectangle within this framebuffer (handles overlap),
@@ -335,6 +474,45 @@ impl Framebuffer {
                 );
             }
         }
+    }
+
+    /// Splits the rows `[y0, y1)` into at most `n` disjoint horizontal
+    /// [`FbBand`]s of near-equal height, each borrowing its own slice of
+    /// the pixel store via `split_at_mut` — the borrow checker proves
+    /// the bands never alias, so they can be painted from scoped
+    /// threads. Rows are clamped to the buffer; empty ranges yield no
+    /// bands. The bands carry no clip; workers set one per replayed
+    /// command.
+    pub fn bands_mut(&mut self, y0: i32, y1: i32, n: usize) -> Vec<FbBand<'_>> {
+        let y0 = y0.clamp(0, self.height);
+        let y1 = y1.clamp(y0, self.height);
+        let total = (y1 - y0) as usize;
+        let w = self.width as usize;
+        let n = n.max(1);
+        let mut out = Vec::with_capacity(n.min(total));
+        if total == 0 || w == 0 {
+            return out;
+        }
+        let mut rest = &mut self.pixels[y0 as usize * w..y1 as usize * w];
+        let mut row_start = y0;
+        for i in 0..n {
+            let band_rows = (total * (i + 1) / n) - (total * i / n);
+            if band_rows == 0 {
+                continue;
+            }
+            let (head, tail) = rest.split_at_mut(band_rows * w);
+            rest = tail;
+            out.push(FbBand {
+                width: self.width,
+                height: self.height,
+                y0: row_start,
+                y1: row_start + band_rows as i32,
+                rows: head,
+                clip: None,
+            });
+            row_start += band_rows as i32;
+        }
+        out
     }
 
     /// Counts pixels equal to `color` within `r` (test helper, also used
@@ -405,6 +583,64 @@ impl Framebuffer {
             }
         }
         Some(Region::from_rects(spans))
+    }
+}
+
+/// A borrowed horizontal band of a [`Framebuffer`]: rows `[y0, y1)`
+/// backed by a disjoint `&mut` slice of the parent's pixel store (see
+/// [`Framebuffer::bands_mut`]). Implements [`Raster`] with the parent's
+/// logical coordinate space, so drawing commands replayed against a
+/// band land exactly where they would on the whole buffer — writes
+/// outside the band's rows are simply suppressed.
+#[derive(Debug)]
+pub struct FbBand<'a> {
+    width: i32,
+    height: i32,
+    y0: i32,
+    y1: i32,
+    rows: &'a mut [u32],
+    clip: Option<Arc<Region>>,
+}
+
+impl FbBand<'_> {
+    /// The half-open row range `[y0, y1)` this band owns.
+    pub fn y_range(&self) -> (i32, i32) {
+        (self.y0, self.y1)
+    }
+
+    /// Sets the clip region for subsequent drawing (shared, so a
+    /// replayed command list can hand the same interned region to every
+    /// band without cloning the rect vector per band).
+    pub fn set_clip_shared(&mut self, clip: Option<Arc<Region>>) {
+        self.clip = clip;
+    }
+}
+
+impl Raster for FbBand<'_> {
+    fn raster_size(&self) -> (i32, i32) {
+        (self.width, self.height)
+    }
+
+    fn row_limits(&self) -> (i32, i32) {
+        (self.y0, self.y1)
+    }
+
+    fn clip_ref(&self) -> Option<&Region> {
+        self.clip.as_deref()
+    }
+
+    #[inline]
+    fn row(&self, y: i32) -> &[u32] {
+        let w = self.width as usize;
+        let off = (y - self.y0) as usize * w;
+        &self.rows[off..off + w]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, y: i32) -> &mut [u32] {
+        let w = self.width as usize;
+        let off = (y - self.y0) as usize * w;
+        &mut self.rows[off..off + w]
     }
 }
 
@@ -604,5 +840,71 @@ mod tests {
         let a = Framebuffer::new(4, 4, Color::WHITE);
         let b = Framebuffer::new(5, 4, Color::WHITE);
         assert!(a.diff_region(&b).is_none());
+    }
+
+    #[test]
+    fn bands_cover_range_disjointly() {
+        let mut fb = Framebuffer::new(8, 10, Color::WHITE);
+        let bands = fb.bands_mut(0, 10, 4);
+        assert_eq!(bands.len(), 4);
+        let mut next = 0;
+        for b in &bands {
+            let (y0, y1) = b.y_range();
+            assert_eq!(y0, next, "bands must tile contiguously");
+            assert!(y1 > y0);
+            next = y1;
+        }
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn bands_clamp_and_skip_empty() {
+        let mut fb = Framebuffer::new(8, 4, Color::WHITE);
+        // Request more bands than rows: every band non-empty, ≤ rows bands.
+        let bands = fb.bands_mut(-3, 99, 16);
+        assert_eq!(bands.len(), 4);
+        // Empty range yields nothing.
+        assert!(fb.bands_mut(2, 2, 4).is_empty());
+    }
+
+    #[test]
+    fn band_drawing_matches_whole_buffer_drawing() {
+        // Paint the same scene into one whole buffer and into three
+        // bands; the results must be byte-identical.
+        let mut whole = Framebuffer::new(40, 30, Color::WHITE);
+        fn scene<R: Raster>(t: &mut R) {
+            t.fill_rect(Rect::new(2, 2, 30, 26), Color::rgb(200, 10, 10));
+            t.draw_line(Point::new(0, 0), Point::new(39, 29), 3, Color::BLACK);
+            t.fill_oval(Rect::new(5, 5, 20, 18), Color::rgb(0, 0, 255));
+            t.draw_rect(Rect::new(1, 1, 38, 28), Color::BLACK);
+            t.fill_polygon(
+                &[Point::new(30, 2), Point::new(38, 20), Point::new(22, 25)],
+                Color::rgb(0, 128, 0),
+            );
+            t.fill_rect_op(Rect::new(10, 10, 20, 12), Color::WHITE, RasterOp::Xor);
+        }
+        scene(&mut whole);
+        let mut banded = Framebuffer::new(40, 30, Color::WHITE);
+        for mut band in banded.bands_mut(0, 30, 3) {
+            scene(&mut band);
+        }
+        assert_eq!(whole, banded);
+    }
+
+    #[test]
+    fn band_clip_matches_whole_buffer_clip() {
+        let clip = Region::from_rects(vec![Rect::new(3, 3, 10, 8), Rect::new(20, 12, 9, 9)]);
+        let mut whole = Framebuffer::new(32, 24, Color::WHITE);
+        whole.set_clip(Some(clip.clone()));
+        whole.fill_rect(Rect::new(0, 0, 32, 24), Color::BLACK);
+        whole.set_clip(None);
+
+        let mut banded = Framebuffer::new(32, 24, Color::WHITE);
+        let shared = Arc::new(clip);
+        for mut band in banded.bands_mut(0, 24, 5) {
+            band.set_clip_shared(Some(shared.clone()));
+            band.fill_rect(Rect::new(0, 0, 32, 24), Color::BLACK);
+        }
+        assert_eq!(whole, banded);
     }
 }

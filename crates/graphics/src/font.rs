@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::color::Color;
-use crate::fb::Framebuffer;
+use crate::fb::Raster;
 use crate::geom::{Point, Rect};
 
 /// Style flags, combinable via [`FontStyle::union`].
@@ -293,9 +293,11 @@ pub struct BitmapFont;
 
 impl BitmapFont {
     /// Draws `text` with its *top-left* corner at `origin`; returns the
-    /// advance in x. Unknown characters render as a hollow box.
-    pub fn draw(
-        fb: &mut Framebuffer,
+    /// advance in x. Unknown characters render as a hollow box. Generic
+    /// over [`Raster`] so a whole framebuffer and a parallel paint band
+    /// rasterize glyphs through identical code.
+    pub fn draw<R: Raster>(
+        fb: &mut R,
         origin: Point,
         text: &str,
         desc: &FontDesc,
@@ -328,8 +330,8 @@ impl BitmapFont {
     }
 
     /// Draws `text` with the *baseline* at `baseline_origin.y`.
-    pub fn draw_baseline(
-        fb: &mut Framebuffer,
+    pub fn draw_baseline<R: Raster>(
+        fb: &mut R,
         baseline_origin: Point,
         text: &str,
         desc: &FontDesc,
@@ -339,8 +341,8 @@ impl BitmapFont {
         Self::draw(fb, top, text, desc, color)
     }
 
-    fn draw_glyph(
-        fb: &mut Framebuffer,
+    fn draw_glyph<R: Raster>(
+        fb: &mut R,
         origin: Point,
         glyph: &Glyph,
         desc: &FontDesc,
@@ -1172,6 +1174,7 @@ glyph ~
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fb::Framebuffer;
 
     #[test]
     fn all_printable_ascii_has_glyphs() {

@@ -5,7 +5,7 @@
 //!         [--profile mixed|typing] [--window N] [--connect HOST:PORT]
 //!         [--mem] [--max-sessions N] [--queue-cap N] [--keyframe-only]
 //!         [--max-drops N] [--slo-us N] [--no-frame-trace] [--stats]
-//!         [--trace FILE]
+//!         [--trace FILE] [--paint-threads N] [--no-encode]
 //! ```
 //!
 //! Self-hosts a server over localhost TCP unless `--connect` points at
@@ -29,7 +29,8 @@ fn usage() -> ! {
         "usage: loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N] \
          [--profile mixed|typing] [--window N] [--connect HOST:PORT] [--mem] \
          [--max-sessions N] [--queue-cap N] [--keyframe-only] [--max-drops N] \
-         [--slo-us N] [--no-frame-trace] [--stats] [--trace FILE]"
+         [--slo-us N] [--no-frame-trace] [--stats] [--trace FILE] \
+         [--paint-threads N] [--no-encode]"
     );
     std::process::exit(2);
 }
@@ -120,6 +121,14 @@ fn main() {
             }
             "--no-frame-trace" => {
                 cfg.server.session.frame_trace = false;
+                i += 1;
+            }
+            "--paint-threads" => {
+                cfg.server.session.paint_threads = parse_num("--paint-threads", argv.get(i + 1));
+                i += 2;
+            }
+            "--no-encode" => {
+                cfg.server.session.encode = false;
                 i += 1;
             }
             "--stats" => {

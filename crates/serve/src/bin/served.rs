@@ -4,6 +4,7 @@
 //! served [--port N] [--max-sessions N] [--queue-cap N] [--budget BYTES]
 //!        [--keyframe-every N] [--idle-ms N] [--keyframe-only]
 //!        [--slo-us N] [--no-frame-trace] [--stats-every SECS]
+//!        [--paint-threads N] [--no-encode]
 //! ```
 //!
 //! Listens on `127.0.0.1:<port>` (an OS-assigned port when 0, printed
@@ -26,7 +27,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: served [--port N] [--max-sessions N] [--queue-cap N] \
          [--budget BYTES] [--keyframe-every N] [--idle-ms N] [--keyframe-only] \
-         [--slo-us N] [--no-frame-trace] [--stats-every SECS]"
+         [--slo-us N] [--no-frame-trace] [--stats-every SECS] \
+         [--paint-threads N] [--no-encode]"
     );
     std::process::exit(2);
 }
@@ -128,6 +130,14 @@ fn main() {
             }
             "--no-frame-trace" => {
                 cfg.session.frame_trace = false;
+                i += 1;
+            }
+            "--paint-threads" => {
+                cfg.session.paint_threads = parse_num("--paint-threads", argv.get(i + 1));
+                i += 2;
+            }
+            "--no-encode" => {
+                cfg.session.encode = false;
                 i += 1;
             }
             "--stats-every" => {

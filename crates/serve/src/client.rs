@@ -65,6 +65,10 @@ pub struct ClientStats {
     /// What the same frames would have cost shipped as keyframes —
     /// the numerator of the diff-compression ratio.
     pub keyframe_equiv_bytes: u64,
+    /// Bytes that actually crossed the wire for pixel frames — smaller
+    /// than `diff_bytes + full_bytes` when the server's RLE encoder
+    /// won any frames.
+    pub encoded_bytes: u64,
     /// Per-step latency samples in microseconds (send → frame covering
     /// that step).
     pub latencies_us: Vec<u64>,
@@ -79,6 +83,16 @@ impl ClientStats {
             0.0
         } else {
             self.keyframe_equiv_bytes as f64 / actual as f64
+        }
+    }
+
+    /// Raw frame bytes ÷ bytes actually shipped (≥ 1.0 means the wire
+    /// encoder paid off). 0.0 when nothing was received.
+    pub fn encode_ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            0.0
+        } else {
+            (self.diff_bytes + self.full_bytes) as f64 / self.encoded_bytes as f64
         }
     }
 
@@ -147,8 +161,9 @@ impl<T: FrameTransport> ServeClient<T> {
             ended: false,
         };
         // The initial keyframe follows the welcome unconditionally.
-        let frame = ServerFrame::decode(&client.t.recv()?)?;
-        client.apply_frame(frame)?;
+        let body = client.t.recv()?;
+        let frame = ServerFrame::decode(&body)?;
+        client.apply_frame(frame, body.len())?;
         Ok(client)
     }
 
@@ -186,8 +201,9 @@ impl<T: FrameTransport> ServeClient<T> {
     /// Blocks until every step sent so far is covered by a frame.
     pub fn sync(&mut self) -> Result<(), ClientError> {
         while self.acked < self.sent && !self.ended {
-            let frame = ServerFrame::decode(&self.t.recv()?)?;
-            self.apply_frame(frame)?;
+            let body = self.t.recv()?;
+            let frame = ServerFrame::decode(&body)?;
+            self.apply_frame(frame, body.len())?;
         }
         Ok(())
     }
@@ -208,11 +224,12 @@ impl<T: FrameTransport> ServeClient<T> {
     pub fn request_stats(&mut self) -> Result<(String, String), ClientError> {
         self.t.send(&ClientFrame::StatsReq.encode()?)?;
         loop {
-            let frame = ServerFrame::decode(&self.t.recv()?)?;
+            let body = self.t.recv()?;
+            let frame = ServerFrame::decode(&body)?;
             if let ServerFrame::Stats { text, json } = frame {
                 return Ok((text, json));
             }
-            self.apply_frame(frame)?;
+            self.apply_frame(frame, body.len())?;
             if self.ended {
                 return Err(ClientError::Protocol(
                     "session ended before stats reply".into(),
@@ -226,14 +243,15 @@ impl<T: FrameTransport> ServeClient<T> {
         if !self.ended {
             self.t.send(&ClientFrame::Bye.encode()?)?;
             while !self.ended {
-                let frame = ServerFrame::decode(&self.t.recv()?)?;
-                self.apply_frame(frame)?;
+                let body = self.t.recv()?;
+                let frame = ServerFrame::decode(&body)?;
+                self.apply_frame(frame, body.len())?;
             }
         }
         Ok(self.stats)
     }
 
-    fn note_frame(&mut self, seq: u64, wire_len: usize, key: bool) {
+    fn note_frame(&mut self, seq: u64, wire_len: usize, encoded_len: usize, key: bool) {
         let now = Instant::now();
         self.acked = self.acked.max(seq);
         let mut done = Vec::new();
@@ -255,16 +273,20 @@ impl<T: FrameTransport> ServeClient<T> {
             self.stats.diff_bytes += wire_len as u64;
         }
         self.stats.keyframe_equiv_bytes += (self.fb.pixels().len() * 4 + 1 + 8 + 4 + 4) as u64;
+        self.stats.encoded_bytes += encoded_len as u64;
     }
 
-    fn apply_frame(&mut self, frame: ServerFrame) -> Result<(), ClientError> {
+    /// Applies one decoded frame. `encoded_len` is the length of the
+    /// wire body it arrived in (RLE bodies are shorter than
+    /// [`ServerFrame::wire_len`], and the stats track both).
+    fn apply_frame(&mut self, frame: ServerFrame, encoded_len: usize) -> Result<(), ClientError> {
         let wire_len = frame.wire_len();
         match frame {
             ServerFrame::Update { seq, rects } => {
                 for patch in &rects {
                     self.apply_patch(patch)?;
                 }
-                self.note_frame(seq, wire_len, false);
+                self.note_frame(seq, wire_len, encoded_len, false);
             }
             ServerFrame::Keyframe {
                 seq,
@@ -282,7 +304,7 @@ impl<T: FrameTransport> ServeClient<T> {
                     fb.set(x, y, Color(*px));
                 }
                 self.fb = fb;
-                self.note_frame(seq, wire_len, true);
+                self.note_frame(seq, wire_len, encoded_len, true);
             }
             ServerFrame::Bye { .. } => {
                 self.ended = true;

@@ -29,8 +29,10 @@
 //! Two binaries: `served` (the server) and `loadgen` (the fleet).
 //!
 //! Trace counters: `serve.sessions`, `serve.active_sessions` (gauge),
-//! `serve.frames`, `serve.diff_bytes`, `serve.full_bytes`,
-//! `serve.coalesced`, `serve.backpressure_drops`, `serve.busy_rejects`,
+//! `serve.frames`, `serve.frames_unchanged`, `serve.diff_bytes`,
+//! `serve.full_bytes`, `serve.encode.raw`, `serve.encode.rle`,
+//! `serve.encoded_bytes`, `serve.coalesced`,
+//! `serve.backpressure_drops`, `serve.busy_rejects`,
 //! `serve.idle_evictions`, `serve.stats_requests`,
 //! `serve.slo_violations`, the `serve.frame_us` latency histogram, and
 //! the per-stage `serve.stage_us.{decode,apply,settle,paint,diff,ship}`
@@ -59,8 +61,10 @@ pub mod wire;
 
 pub use client::{ClientError, ClientStats, ServeClient};
 pub use loadgen::{run_loadgen, run_loadgen_mem, LoadConfig, LoadReport, Profile};
-pub use oracle::serve_differential;
+pub use oracle::{
+    encode_differential, serve_differential, serve_differential_with, serve_script_differential,
+};
 pub use server::{serve_listener, ConnectionOutcome, Server, ServerConfig};
 pub use session::{HostedSession, SessionConfig, SessionEnd};
 pub use transport::{FrameTransport, MemTransport, TcpTransport};
-pub use wire::{ClientFrame, PatchRect, ServerFrame, WireError};
+pub use wire::{ClientFrame, Encoding, PatchRect, ServerFrame, WireError};

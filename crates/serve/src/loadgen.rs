@@ -102,10 +102,16 @@ pub struct LoadReport {
     pub frames_per_s: f64,
     /// Total frames received.
     pub frames: u64,
-    /// Total wire bytes received (diff + keyframe payloads).
+    /// Total raw frame bytes received (diff + keyframe payloads,
+    /// counted at their raw wire length).
     pub bytes_on_wire: u64,
-    /// keyframe-equivalent bytes ÷ actual bytes.
+    /// Bytes that actually crossed the wire after the per-frame
+    /// raw-vs-RLE choice.
+    pub encoded_bytes: u64,
+    /// keyframe-equivalent bytes ÷ raw frame bytes.
     pub compression_ratio: f64,
+    /// Raw frame bytes ÷ encoded bytes (≥ 1.0 when RLE won frames).
+    pub encode_ratio: f64,
     /// p50 of per-step frame latency, microseconds.
     pub p50_us: u64,
     /// p99 of per-step frame latency, microseconds.
@@ -221,6 +227,7 @@ fn aggregate(
     let mut errors = Vec::new();
     let mut frames = 0u64;
     let mut bytes = 0u64;
+    let mut encoded = 0u64;
     let mut equiv = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     for h in handles {
@@ -229,6 +236,7 @@ fn aggregate(
                 completed += 1;
                 frames += stats.frames;
                 bytes += stats.diff_bytes + stats.full_bytes;
+                encoded += stats.encoded_bytes;
                 equiv += stats.keyframe_equiv_bytes;
                 latencies.extend(stats.latencies_us);
             }
@@ -255,10 +263,16 @@ fn aggregate(
         frames_per_s: frames as f64 / wall_s,
         frames,
         bytes_on_wire: bytes,
+        encoded_bytes: encoded,
         compression_ratio: if bytes == 0 {
             0.0
         } else {
             equiv as f64 / bytes as f64
+        },
+        encode_ratio: if encoded == 0 {
+            0.0
+        } else {
+            bytes as f64 / encoded as f64
         },
         p50_us: pct(0.50),
         p99_us: pct(0.99),
@@ -451,6 +465,10 @@ pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
     out.push_str(&format!(
         "  wire: {} frames, {} bytes, diff ratio {:.1}x vs always-keyframe\n",
         r.frames, r.bytes_on_wire, r.compression_ratio
+    ));
+    out.push_str(&format!(
+        "  encode: {} bytes shipped, {:.1}x vs raw frames\n",
+        r.encoded_bytes, r.encode_ratio
     ));
     match r.backpressure_drops {
         Some(n) => out.push_str(&format!("  backpressure drops: {n}\n")),

@@ -20,6 +20,7 @@ use atk_trace::Collector;
 
 use crate::client::ServeClient;
 use crate::server::{Server, ServerConfig};
+use crate::session::SessionConfig;
 use crate::transport::MemTransport;
 
 /// The outcome of one oracle run.
@@ -31,6 +32,32 @@ pub struct OracleReport {
     pub diff_frames: u64,
     /// Keyframes the served side shipped.
     pub key_frames: u64,
+    /// Raw wire length of every pixel frame received.
+    pub raw_bytes: u64,
+    /// Bytes that actually crossed the wire for those frames (smaller
+    /// when the RLE encoder won).
+    pub encoded_bytes: u64,
+}
+
+/// Records `steps` fuzzer steps against `scene` and replays them
+/// through [`serve_script_differential`] with the given session config.
+pub fn serve_differential_with(
+    scene: &str,
+    seed: u64,
+    steps: usize,
+    session: SessionConfig,
+) -> Result<OracleReport, String> {
+    // Record a concrete step stream against a throwaway session
+    // (generation reads live state: window size, offered menus).
+    let mut throwaway = Session::build(scene, "x11sim")?;
+    let mut gen = StepGen::new(seed);
+    let mut recorded: Vec<ScriptStep> = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let step = gen.next_step(&mut throwaway.world, &mut throwaway.im);
+        throwaway.apply(&step);
+        recorded.push(step);
+    }
+    serve_script_differential(scene, &recorded, session).map_err(|e| format!("seed {seed}: {e}"))
 }
 
 /// Records `steps` fuzzer steps against `scene`, replays them through a
@@ -43,20 +70,38 @@ pub struct OracleReport {
 /// pixel count and first differing coordinate) or of any transport,
 /// protocol, or scene failure.
 pub fn serve_differential(scene: &str, seed: u64, steps: usize) -> Result<OracleReport, String> {
-    // Record a concrete step stream against a throwaway session
-    // (generation reads live state: window size, offered menus).
-    let mut throwaway = Session::build(scene, "x11sim")?;
-    let mut gen = StepGen::new(seed);
-    let mut recorded: Vec<ScriptStep> = Vec::with_capacity(steps);
-    for _ in 0..steps {
-        let step = gen.next_step(&mut throwaway.world, &mut throwaway.im);
-        throwaway.apply(&step);
-        recorded.push(step);
-    }
+    serve_differential_with(scene, seed, steps, SessionConfig::default())
+}
 
+/// The `encode` differential: the same fuzzer stream served with the
+/// RLE wire encoder *and* four-way parallel band paint enabled must
+/// reconstruct, on the client, the exact framebuffer the serial
+/// in-process reference produces. One byte-identity check covers both
+/// the encoder round-trip and the parallel-vs-serial paint promise
+/// end to end.
+pub fn encode_differential(scene: &str, seed: u64, steps: usize) -> Result<OracleReport, String> {
+    let session = SessionConfig {
+        encode: true,
+        paint_threads: 4,
+        ..SessionConfig::default()
+    };
+    serve_differential_with(scene, seed, steps, session)
+}
+
+/// Replays an already-recorded script through a served session and
+/// in-process, demanding byte-identical final framebuffers.
+///
+/// # Errors
+///
+/// See [`serve_differential`].
+pub fn serve_script_differential(
+    scene: &str,
+    recorded: &[ScriptStep],
+    session_cfg: SessionConfig,
+) -> Result<OracleReport, String> {
     // In-process reference run.
     let mut reference = Session::build(scene, "x11sim")?;
-    for step in &recorded {
+    for step in recorded {
         reference.apply(step);
     }
     let want = reference
@@ -66,7 +111,11 @@ pub fn serve_differential(scene: &str, seed: u64, steps: usize) -> Result<Oracle
 
     // Served run over the in-memory transport, synchronous stepping.
     let collector = Arc::new(Collector::new());
-    let server = Server::new(ServerConfig::default(), collector);
+    let server_cfg = ServerConfig {
+        session: session_cfg,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(server_cfg, collector);
     let (client_half, server_half) = MemTransport::pair();
     let srv = server.clone();
     let server_thread = thread::spawn(move || srv.serve_connection(server_half));
@@ -75,7 +124,7 @@ pub fn serve_differential(scene: &str, seed: u64, steps: usize) -> Result<Oracle
     let run = (|| -> Result<_, String> {
         let mut client =
             ServeClient::connect(client_half, &scene_name).map_err(|e| e.to_string())?;
-        for step in &recorded {
+        for step in recorded {
             client.step_sync(step).map_err(|e| e.to_string())?;
             if client.ended() {
                 return Err("server ended session mid-script".into());
@@ -108,7 +157,7 @@ pub fn serve_differential(scene: &str, seed: u64, steps: usize) -> Result<Oracle
             }
         }
         return Err(format!(
-            "{scene} seed {seed}: served framebuffer diverges from in-process \
+            "{scene}: served framebuffer diverges from in-process \
              ({}x{} vs {}x{}, {differing} differing pixels, first at {first:?})",
             got.width(),
             got.height(),
@@ -117,8 +166,10 @@ pub fn serve_differential(scene: &str, seed: u64, steps: usize) -> Result<Oracle
         ));
     }
     Ok(OracleReport {
-        steps,
+        steps: recorded.len(),
         diff_frames: stats.diff_frames,
         key_frames: stats.key_frames,
+        raw_bytes: stats.diff_bytes + stats.full_bytes,
+        encoded_bytes: stats.encoded_bytes,
     })
 }

@@ -265,7 +265,8 @@ impl Server {
             }
             .encode(),
         )?;
-        t.send(&session.initial_keyframe().encode())?;
+        let initial = session.initial_keyframe();
+        t.send(&session.encode_frame(&initial))?;
 
         let outcome = self.session_loop(t, &mut session);
         drop(guard);
@@ -334,7 +335,7 @@ impl Server {
             if !batch.is_empty() {
                 let (frame, end) = session.apply_batch_traced(&batch, dropped as u64, &mut ft);
                 ft.enter(Stage::Ship);
-                let encoded = frame.encode();
+                let encoded = session.encode_frame(&frame);
                 t.send(&encoded)?;
                 ft.exit();
                 session.finish_frame(ft);

@@ -22,7 +22,7 @@ use atk_graphics::Framebuffer;
 use atk_trace::{Collector, FrameLog, FrameTrace, SlowFrameLog, Stage};
 use atk_wm::{MouseAction, WindowEvent};
 
-use crate::wire::{PatchRect, ServerFrame};
+use crate::wire::{Encoding, PatchRect, ServerFrame};
 
 /// Frames of attribution history each session retains (ring).
 pub const FRAME_LOG_CAPACITY: usize = 128;
@@ -50,6 +50,12 @@ pub struct SessionConfig {
     /// budget dumps its stage breakdown and triggering step to the
     /// slow-frame log. `None` disables the watchdog.
     pub slo_us: Option<u64>,
+    /// Bands the backend rasterizes in parallel per paint flush
+    /// (1 = the serial reference path).
+    pub paint_threads: usize,
+    /// Pick the smaller of raw and RLE wire bodies per frame. The
+    /// `--no-encode` ablation pins raw.
+    pub encode: bool,
 }
 
 impl Default for SessionConfig {
@@ -62,6 +68,8 @@ impl Default for SessionConfig {
             keyframe_only: false,
             frame_trace: true,
             slo_us: None,
+            paint_threads: 1,
+            encode: true,
         }
     }
 }
@@ -95,6 +103,10 @@ pub struct HostedSession {
     /// Script line of the last step in the current batch (captured
     /// only while the SLO watchdog is armed).
     last_trigger: Option<String>,
+    /// Position of the most recent `MenuRequest` event; replayed
+    /// `MenuSelect` steps pop their menu there, matching the recorded
+    /// interaction instead of hardcoding the origin.
+    last_menu_pos: atk_graphics::Point,
 }
 
 impl HostedSession {
@@ -109,9 +121,11 @@ impl HostedSession {
         let mut world = scene.world;
         world.set_collector(collector.clone());
         let last_input_ms = world.now_ms();
+        let mut im = scene.im;
+        im.window_mut().set_paint_threads(cfg.paint_threads.max(1));
         Ok(HostedSession {
             world,
-            im: scene.im,
+            im,
             cfg,
             collector,
             shipped: None,
@@ -122,6 +136,7 @@ impl HostedSession {
             frame_log: FrameLog::new(FRAME_LOG_CAPACITY),
             slow_log: None,
             last_trigger: None,
+            last_menu_pos: atk_graphics::Point::ORIGIN,
         })
     }
 
@@ -250,6 +265,9 @@ impl HostedSession {
             }
             match step {
                 ScriptStep::Event(ev) => {
+                    if let WindowEvent::MenuRequest { pos } = ev {
+                        self.last_menu_pos = *pos;
+                    }
                     self.im.window_mut().post_event(ev.clone());
                     pending = true;
                 }
@@ -261,7 +279,7 @@ impl HostedSession {
                     self.im.feed(
                         &mut self.world,
                         WindowEvent::MenuRequest {
-                            pos: atk_graphics::Point::ORIGIN,
+                            pos: self.last_menu_pos,
                         },
                     );
                     self.im.select_menu(&mut self.world, label);
@@ -340,53 +358,132 @@ impl HostedSession {
     }
 
     /// Diffs the current framebuffer against the last shipped one and
-    /// picks the cheaper shipping shape: changed bands, or a keyframe
-    /// when the diff blows the dirty-byte budget, the keyframe cadence
-    /// is due, the window resized, or diffing is ablated away.
+    /// picks the cheaper shipping shape: an empty-rect acknowledgement
+    /// when nothing changed (no snapshot clone, no pixel payload),
+    /// changed bands, or a keyframe when the diff blows the dirty-byte
+    /// budget, the keyframe cadence is due, the window resized, or
+    /// diffing is ablated away.
     fn assemble_frame(&mut self) -> ServerFrame {
         if self.cfg.keyframe_only || self.frames_since_key >= self.cfg.keyframe_every {
             return self.keyframe();
         }
-        let cur = self.current_fb();
-        let diff = match self
-            .shipped
-            .as_ref()
-            .and_then(|prev| prev.diff_region(&cur))
-        {
-            Some(region) => region,
-            // Size changed (resize) — no diff across that.
-            None => return self.keyframe(),
+        // Diff against a *borrow* of the backend framebuffer when the
+        // window offers one — a no-change batch then costs one compare
+        // and zero clones. Backends without `with_frame` fall back to
+        // the snapshot clone.
+        let shipped = &self.shipped;
+        let budget = self.cfg.dirty_budget_bytes;
+        let mut plan = None;
+        let borrowed = self.im.window_mut().with_frame(&mut |cur| {
+            plan = Some(plan_update(shipped.as_ref(), cur, budget));
+        });
+        let plan = if borrowed {
+            plan.expect("with_frame ran the closure")
+        } else {
+            let cur = self.current_fb();
+            plan_update(self.shipped.as_ref(), &cur, budget)
         };
-        let payload = diff.area() as usize * 4 + diff.rects().len() * 16;
-        let key_payload = cur.pixels().len() * 4;
-        if payload > self.cfg.dirty_budget_bytes.min(key_payload) {
-            return self.keyframe();
-        }
-        let rects = diff
-            .rects()
-            .iter()
-            .map(|&r| {
-                let mut pixels = Vec::with_capacity((r.width * r.height) as usize);
-                for y in r.y..r.bottom() {
-                    let row = y as usize * cur.width() as usize;
-                    pixels.extend_from_slice(
-                        &cur.pixels()[row + r.x as usize..row + r.right() as usize],
-                    );
+        match plan {
+            Plan::Keyframe => self.keyframe(),
+            Plan::Unchanged => {
+                // Nothing changed on screen: ship a 13-byte empty
+                // update so pipelined clients still see one frame per
+                // batch, but leave the diff baseline and keyframe
+                // cadence alone.
+                self.collector.count("serve.frames", 1);
+                self.collector.count("serve.frames_unchanged", 1);
+                ServerFrame::Update {
+                    seq: self.seq,
+                    rects: Vec::new(),
                 }
-                PatchRect { rect: r, pixels }
-            })
-            .collect();
-        let frame = ServerFrame::Update {
-            seq: self.seq,
-            rects,
-        };
-        self.shipped = Some(cur);
-        self.frames_since_key += 1;
-        self.collector.count("serve.frames", 1);
-        self.collector
-            .count("serve.diff_bytes", frame.wire_len() as u64);
-        frame
+            }
+            Plan::Update(cur, rects) => {
+                let frame = ServerFrame::Update {
+                    seq: self.seq,
+                    rects,
+                };
+                self.shipped = Some(cur);
+                self.frames_since_key += 1;
+                self.collector.count("serve.frames", 1);
+                self.collector
+                    .count("serve.diff_bytes", frame.wire_len() as u64);
+                frame
+            }
+        }
     }
+
+    /// Encodes a frame for the wire, letting pixel frames pick the
+    /// smaller of their raw and RLE bodies (unless the `--no-encode`
+    /// ablation pinned raw), and counts the choice plus the bytes that
+    /// actually ship.
+    pub fn encode_frame(&self, frame: &ServerFrame) -> Vec<u8> {
+        let (bytes, encoding) = if self.cfg.encode {
+            frame.encode_packed()
+        } else {
+            (frame.encode(), Encoding::Raw)
+        };
+        if matches!(
+            frame,
+            ServerFrame::Update { .. } | ServerFrame::Keyframe { .. }
+        ) {
+            self.collector.count(
+                match encoding {
+                    Encoding::Raw => "serve.encode.raw",
+                    Encoding::Rle => "serve.encode.rle",
+                },
+                1,
+            );
+            self.collector
+                .count("serve.encoded_bytes", bytes.len() as u64);
+        }
+        bytes
+    }
+}
+
+/// What [`HostedSession::assemble_frame`] decided while holding the
+/// backend framebuffer borrow.
+enum Plan {
+    /// Byte-identical to the shipped baseline — nothing to send.
+    Unchanged,
+    /// Resize or blown budget — send everything.
+    Keyframe,
+    /// Changed bands: the new baseline clone plus its patch rects.
+    Update(Framebuffer, Vec<PatchRect>),
+}
+
+/// Diff-or-degrade decision against the shipped baseline. `budget` is
+/// the dirty-byte ceiling; the estimate below is exactly the update
+/// frame's wire length (13-byte header, 16 bytes per rect header,
+/// 4 bytes per pixel), so the stats plane and the budget agree.
+fn plan_update(shipped: Option<&Framebuffer>, cur: &Framebuffer, budget: usize) -> Plan {
+    let diff = match shipped.and_then(|prev| prev.diff_region(cur)) {
+        Some(region) => region,
+        // Size changed (resize) — no diff across that. Same when no
+        // baseline exists yet.
+        None => return Plan::Keyframe,
+    };
+    if diff.is_empty() {
+        return Plan::Unchanged;
+    }
+    let payload = 13 + diff.area() as usize * 4 + diff.rects().len() * 16;
+    let key_payload = 17 + cur.pixels().len() * 4;
+    if payload > budget.min(key_payload) {
+        return Plan::Keyframe;
+    }
+    let rects = diff
+        .rects()
+        .iter()
+        .map(|&r| {
+            let mut pixels = Vec::with_capacity((r.width * r.height) as usize);
+            for y in r.y..r.bottom() {
+                let row = y as usize * cur.width() as usize;
+                pixels
+                    .extend_from_slice(&cur.pixels()[row + r.x as usize..row + r.right() as usize]);
+            }
+            PatchRect { rect: r, pixels }
+        })
+        .collect();
+    Plan::Update(cur.clone(), rects)
 }
 
 /// Collapses runs of consecutive pointer movements down to the last
@@ -520,16 +617,28 @@ mod tests {
             keyframe_every: 2,
             ..SessionConfig::default()
         };
-        let mut s = HostedSession::open("fig1", cfg, collector.clone()).unwrap();
+        let mut s = HostedSession::open("fig5", cfg, collector.clone()).unwrap();
         let _ = s.initial_keyframe();
+        // Focus a text view so every typed character really changes
+        // pixels — only *shipped pixel* frames advance the cadence.
+        let _ = s.apply_batch(
+            &[
+                ScriptStep::Event(WindowEvent::left_down(70, 70)),
+                ScriptStep::Event(WindowEvent::left_up(70, 70)),
+            ],
+            0,
+        );
         let mut kinds = Vec::new();
-        for i in 0..4 {
-            let step = ScriptStep::Event(WindowEvent::Tick(1 + i));
-            let (frame, _) = s.apply_batch(&[step], 0);
+        for c in ['a', 'b', 'c', 'd', 'e'] {
+            let (frame, _) = s.apply_batch(&[ScriptStep::Event(WindowEvent::ch(c))], 0);
             kinds.push(matches!(frame, ServerFrame::Keyframe { .. }));
         }
-        // Two diffs (or empty updates), then the cadence keyframe.
-        assert!(kinds[2], "third frame should be the cadence keyframe");
+        // The click shipped one update, so the second typed character
+        // hits `keyframe_every: 2`; the cadence then restarts.
+        assert!(
+            kinds.iter().any(|&k| k),
+            "cadence keyframe never fired: {kinds:?}"
+        );
 
         let cfg = SessionConfig {
             keyframe_only: true,
@@ -539,6 +648,84 @@ mod tests {
         let _ = s.initial_keyframe();
         let (frame, _) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(1))], 0);
         assert!(matches!(frame, ServerFrame::Keyframe { .. }));
+    }
+
+    #[test]
+    fn tick_only_batch_ships_no_pixel_payload() {
+        let collector = Arc::new(Collector::new());
+        collector.enable();
+        let mut s =
+            HostedSession::open("fig1", SessionConfig::default(), collector.clone()).unwrap();
+        let _ = s.initial_keyframe();
+        // fig1 has no animation: a pure clock tick leaves the screen
+        // byte-identical, so the session must ship an *empty* update
+        // (13-byte ack), not re-clone and re-ship anything.
+        let (frame, end) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(5))], 0);
+        match &frame {
+            ServerFrame::Update { rects, .. } => assert!(rects.is_empty(), "{rects:?}"),
+            other => panic!("no-change batch shipped {other:?}"),
+        }
+        assert_eq!(frame.wire_len(), 13);
+        assert_eq!(end, None);
+        let snap = collector.snapshot();
+        assert_eq!(snap.counter("serve.frames_unchanged"), 1);
+        // The ack never becomes the diff baseline, so real input later
+        // still diffs against the last *pixel* frame.
+        let (frame, _) = s.apply_batch(&[ScriptStep::Event(WindowEvent::Tick(5))], 0);
+        assert!(matches!(frame, ServerFrame::Update { ref rects, .. } if rects.is_empty()));
+    }
+
+    #[test]
+    fn dirty_budget_estimate_matches_wire_len() {
+        let collector = Arc::new(Collector::new());
+        let mut s = HostedSession::open("fig5", SessionConfig::default(), collector).unwrap();
+        let _ = s.initial_keyframe();
+        let _ = s.apply_batch(
+            &[
+                ScriptStep::Event(WindowEvent::left_down(70, 70)),
+                ScriptStep::Event(WindowEvent::left_up(70, 70)),
+            ],
+            0,
+        );
+        let (frame, _) = s.apply_batch(&[ScriptStep::Event(WindowEvent::ch('x'))], 0);
+        let ServerFrame::Update { rects, .. } = &frame else {
+            panic!("typing shipped {frame:?}");
+        };
+        assert!(!rects.is_empty());
+        // The budget estimate must be the actual wire length: 13-byte
+        // header + 16 bytes per rect header + 4 bytes per pixel.
+        let estimate: usize = 13 + rects.iter().map(|p| p.pixels.len() * 4 + 16).sum::<usize>();
+        assert_eq!(estimate, frame.wire_len());
+    }
+
+    #[test]
+    fn menu_select_replays_at_recorded_position() {
+        // Two sessions replay the same recorded menu selection, but the
+        // preceding `menu request` carried different positions. The
+        // select replay re-pops the menu, and it must land where the
+        // request was recorded — before the fix both popped at the
+        // origin and the replays were pixel-identical.
+        let run = |pos: atk_graphics::Point| -> Vec<u32> {
+            let collector = Arc::new(Collector::new());
+            let mut s =
+                HostedSession::open("fig3_messages_reading", SessionConfig::default(), collector)
+                    .unwrap();
+            let _ = s.initial_keyframe();
+            let _ = s.apply_batch(&[ScriptStep::Event(WindowEvent::MenuRequest { pos })], 0);
+            let label =
+                s.im.offered_menus()
+                    .first()
+                    .map(|m| format!("{}/{}", m.card, m.label))
+                    .expect("fig3 offers menus");
+            let _ = s.apply_batch(&[ScriptStep::MenuSelect(label)], 0);
+            s.current_fb().pixels().to_vec()
+        };
+        let origin = run(atk_graphics::Point::ORIGIN);
+        let offset = run(atk_graphics::Point::new(300, 220));
+        assert_ne!(
+            origin, offset,
+            "menu select replay ignored the recorded request position"
+        );
     }
 
     #[test]

@@ -157,6 +157,18 @@ const TAG_KEYFRAME: u8 = 0x84;
 const TAG_S_BYE: u8 = 0x85;
 const TAG_ERROR: u8 = 0x86;
 const TAG_STATS: u8 = 0x87;
+const TAG_UPDATE_RLE: u8 = 0x88;
+const TAG_KEYFRAME_RLE: u8 = 0x89;
+
+/// Which body encoding [`ServerFrame::encode_packed`] chose for a
+/// frame. The choice is per-frame, by comparing actual encoded sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Raw little-endian pixels (tags `0x83`/`0x84`).
+    Raw,
+    /// Row-delta + run-length encoded pixels (tags `0x88`/`0x89`).
+    Rle,
+}
 
 // ---- primitive writers -------------------------------------------------
 
@@ -178,6 +190,41 @@ fn put_pixels(out: &mut Vec<u8>, pixels: &[u32]) {
     for p in pixels {
         out.extend_from_slice(&p.to_le_bytes());
     }
+}
+
+/// Row-delta + RLE pixel block: each row (of `width` pixels) is XORed
+/// with the row above (first row raw), then the delta stream is
+/// run-length encoded as `[u32 npairs][npairs × (u32 count, u32 value)]`.
+/// Screen content is mostly vertical runs of unchanged background, so
+/// the delta stream collapses to a handful of runs on typing workloads.
+fn put_rle_pixels(out: &mut Vec<u8>, pixels: &[u32], width: usize) {
+    let npairs_pos = out.len();
+    put_u32(out, 0); // Patched once the pair count is known.
+    let mut npairs = 0u32;
+    let mut run: Option<(u32, u32)> = None; // (delta value, count)
+    for (i, &p) in pixels.iter().enumerate() {
+        let delta = if width > 0 && i >= width {
+            p ^ pixels[i - width]
+        } else {
+            p
+        };
+        run = match run {
+            Some((v, c)) if v == delta => Some((v, c + 1)),
+            Some((v, c)) => {
+                put_u32(out, c);
+                put_u32(out, v);
+                npairs += 1;
+                Some((delta, 1))
+            }
+            None => Some((delta, 1)),
+        };
+    }
+    if let Some((v, c)) = run {
+        put_u32(out, c);
+        put_u32(out, v);
+        npairs += 1;
+    }
+    out[npairs_pos..npairs_pos + 4].copy_from_slice(&npairs.to_le_bytes());
 }
 
 // ---- primitive reader --------------------------------------------------
@@ -238,6 +285,36 @@ impl<'a> Reader<'a> {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect())
+    }
+
+    /// Decodes a [`put_rle_pixels`] block into exactly `count` pixels.
+    /// Every pair count is validated against the remaining budget
+    /// before any writes, so hostile input cannot over-allocate.
+    fn rle_pixels(&mut self, count: usize, width: usize) -> Result<Vec<u32>, WireError> {
+        let npairs = self.u32()? as usize;
+        // Each pair covers at least one pixel.
+        if npairs > count {
+            return Err(WireError::TooLarge);
+        }
+        let mut px: Vec<u32> = Vec::with_capacity(count);
+        for _ in 0..npairs {
+            let c = self.u32()? as usize;
+            let v = self.u32()?;
+            if c == 0 || px.len() + c > count {
+                return Err(WireError::TooLarge);
+            }
+            px.resize(px.len() + c, v);
+        }
+        if px.len() != count {
+            return Err(WireError::Truncated);
+        }
+        // Undo the row delta top-down: each decoded row feeds the next.
+        if width > 0 {
+            for i in width..count {
+                px[i] ^= px[i - width];
+            }
+        }
+        Ok(px)
     }
 
     fn dims(&mut self) -> Result<(u32, u32), WireError> {
@@ -383,7 +460,7 @@ impl ServerFrame {
                 }
             }
             TAG_BUSY => ServerFrame::Busy,
-            TAG_UPDATE => {
+            tag @ (TAG_UPDATE | TAG_UPDATE_RLE) => {
                 let seq = r.u64()?;
                 let n = r.u32()? as usize;
                 if n > MAX_RECTS {
@@ -403,7 +480,11 @@ impl ServerFrame {
                     if total_px * 4 > MAX_FRAME_BYTES {
                         return Err(WireError::TooLarge);
                     }
-                    let pixels = r.pixels(count)?;
+                    let pixels = if tag == TAG_UPDATE_RLE {
+                        r.rle_pixels(count, w as usize)?
+                    } else {
+                        r.pixels(count)?
+                    };
                     rects.push(PatchRect {
                         rect: Rect::new(x, y, w as i32, h as i32),
                         pixels,
@@ -411,14 +492,18 @@ impl ServerFrame {
                 }
                 ServerFrame::Update { seq, rects }
             }
-            TAG_KEYFRAME => {
+            tag @ (TAG_KEYFRAME | TAG_KEYFRAME_RLE) => {
                 let seq = r.u64()?;
                 let (width, height) = r.dims()?;
                 let count = (width as usize) * (height as usize);
                 if count * 4 > MAX_FRAME_BYTES {
                     return Err(WireError::TooLarge);
                 }
-                let pixels = r.pixels(count)?;
+                let pixels = if tag == TAG_KEYFRAME_RLE {
+                    r.rle_pixels(count, width as usize)?
+                } else {
+                    r.pixels(count)?
+                };
                 ServerFrame::Keyframe {
                     seq,
                     width,
@@ -441,6 +526,53 @@ impl ServerFrame {
         };
         r.finish()?;
         Ok(frame)
+    }
+
+    /// Encodes the frame body, choosing per frame between the raw
+    /// layout and the row-delta + RLE layout by comparing the actual
+    /// encoded sizes. Only pixel-bearing frames (`Update`, `Keyframe`)
+    /// ever choose [`Encoding::Rle`]; the compressed body decodes back
+    /// to the identical frame via [`ServerFrame::decode`], and old
+    /// clients that only know the raw tags are never sent compressed
+    /// frames unless they negotiated for them (the caller's choice).
+    pub fn encode_packed(&self) -> (Vec<u8>, Encoding) {
+        let rle = match self {
+            ServerFrame::Update { seq, rects } => {
+                let mut out = Vec::new();
+                out.push(TAG_UPDATE_RLE);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, rects.len() as u32);
+                for patch in rects {
+                    put_u32(&mut out, patch.rect.x as u32);
+                    put_u32(&mut out, patch.rect.y as u32);
+                    put_u32(&mut out, patch.rect.width as u32);
+                    put_u32(&mut out, patch.rect.height as u32);
+                    put_rle_pixels(&mut out, &patch.pixels, patch.rect.width as usize);
+                }
+                out
+            }
+            ServerFrame::Keyframe {
+                seq,
+                width,
+                height,
+                pixels,
+            } => {
+                let mut out = Vec::new();
+                out.push(TAG_KEYFRAME_RLE);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *width);
+                put_u32(&mut out, *height);
+                put_rle_pixels(&mut out, pixels, *width as usize);
+                out
+            }
+            other => return (other.encode(), Encoding::Raw),
+        };
+        let raw = self.encode();
+        if rle.len() < raw.len() {
+            (rle, Encoding::Rle)
+        } else {
+            (raw, Encoding::Raw)
+        }
     }
 
     /// Encoded body size in bytes (what the wire will carry, minus the
@@ -523,6 +655,94 @@ mod tests {
             assert_eq!(bytes.len(), f.wire_len(), "wire_len of {f:?}");
             assert_eq!(ServerFrame::decode(&bytes).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn packed_frames_round_trip_and_compress_flat_content() {
+        // A typing-workload-shaped patch: constant background with one
+        // small glyph strip — long vertical runs, RLE must win big.
+        let mut pixels = vec![0xFFFFFFu32; 40 * 30];
+        for x in 5..12 {
+            pixels[7 * 40 + x] = 0;
+        }
+        let update = ServerFrame::Update {
+            seq: 11,
+            rects: vec![PatchRect {
+                rect: Rect::new(8, 16, 40, 30),
+                pixels,
+            }],
+        };
+        let (bytes, enc) = update.encode_packed();
+        assert_eq!(enc, Encoding::Rle);
+        assert!(
+            bytes.len() * 2 < update.wire_len(),
+            "rle {} vs raw {}",
+            bytes.len(),
+            update.wire_len()
+        );
+        assert_eq!(ServerFrame::decode(&bytes).unwrap(), update);
+
+        let key = ServerFrame::Keyframe {
+            seq: 3,
+            width: 64,
+            height: 48,
+            pixels: vec![0xABCDEFu32; 64 * 48],
+        };
+        let (bytes, enc) = key.encode_packed();
+        assert_eq!(enc, Encoding::Rle);
+        assert_eq!(ServerFrame::decode(&bytes).unwrap(), key);
+    }
+
+    #[test]
+    fn packed_falls_back_to_raw_on_noise() {
+        // Incompressible content: every pixel distinct in both row and
+        // column direction, so every delta is a 1-run.
+        let pixels: Vec<u32> = (0..16u32 * 16)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
+        let update = ServerFrame::Update {
+            seq: 1,
+            rects: vec![PatchRect {
+                rect: Rect::new(0, 0, 16, 16),
+                pixels,
+            }],
+        };
+        let (bytes, enc) = update.encode_packed();
+        assert_eq!(enc, Encoding::Raw);
+        assert_eq!(bytes.len(), update.wire_len());
+        assert_eq!(ServerFrame::decode(&bytes).unwrap(), update);
+        // Non-pixel frames are always raw.
+        let (_, enc) = ServerFrame::Busy.encode_packed();
+        assert_eq!(enc, Encoding::Raw);
+    }
+
+    #[test]
+    fn hostile_rle_counts_error_not_panic() {
+        // A valid compressed frame, then corrupt its run counts.
+        let key = ServerFrame::Keyframe {
+            seq: 0,
+            width: 8,
+            height: 8,
+            pixels: vec![7u32; 64],
+        };
+        let (bytes, enc) = key.encode_packed();
+        assert_eq!(enc, Encoding::Rle);
+        // Truncations at every length.
+        for cut in 0..bytes.len() {
+            assert!(ServerFrame::decode(&bytes[..cut]).is_err());
+        }
+        // Run count of 0.
+        let mut zero = bytes.clone();
+        zero[21..25].copy_from_slice(&0u32.to_le_bytes());
+        assert!(ServerFrame::decode(&zero).is_err());
+        // Run count past the pixel budget.
+        let mut huge = bytes.clone();
+        huge[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ServerFrame::decode(&huge).is_err());
+        // Pair count past the pixel budget.
+        let mut pairs = bytes;
+        pairs[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ServerFrame::decode(&pairs).is_err());
     }
 
     #[test]

@@ -1,8 +1,16 @@
-//! The serving acceptance oracle: a served session replaying a fuzzer
-//! script ends byte-identical to the same script run in-process.
-//! Three scenes × four seeds, 40 steps each.
+//! The serving acceptance oracles.
+//!
+//! * served-vs-in-process: a served session replaying a fuzzer script
+//!   ends byte-identical to the same script run in-process (three
+//!   scenes × four seeds, 40 steps each);
+//! * `encode`: the same differential with the RLE wire encoder *and*
+//!   four-way parallel band paint enabled — every scene × the same
+//!   seeds — so the encoder round-trip and the parallel-vs-serial
+//!   paint promise are proven end to end in one byte-identity check;
+//! * menu position: a recorded `menu request x y` + `menu select`
+//!   script replays served and in-process to the same pixels.
 
-use atk_serve::serve_differential;
+use atk_serve::{encode_differential, serve_differential, serve_script_differential};
 
 const SEEDS: [u64; 4] = [1, 2, 7, 42];
 const STEPS: usize = 40;
@@ -14,6 +22,24 @@ fn run_scene(scene: &str) {
         assert!(
             report.diff_frames + report.key_frames > 0,
             "{scene} seed {seed}: no frames shipped"
+        );
+    }
+}
+
+fn run_scene_encoded(scene: &str) {
+    for seed in SEEDS {
+        let report = encode_differential(scene, seed, STEPS).unwrap();
+        assert_eq!(report.steps, STEPS);
+        assert!(
+            report.diff_frames + report.key_frames > 0,
+            "{scene} seed {seed}: no frames shipped"
+        );
+        assert!(
+            report.encoded_bytes <= report.raw_bytes,
+            "{scene} seed {seed}: encoder inflated the wire \
+             ({} encoded vs {} raw)",
+            report.encoded_bytes,
+            report.raw_bytes
         );
     }
 }
@@ -31,4 +57,61 @@ fn served_matches_in_process_fig3() {
 #[test]
 fn served_matches_in_process_fig5() {
     run_scene("fig5");
+}
+
+#[test]
+fn encode_oracle_fig1() {
+    run_scene_encoded("fig1");
+}
+
+#[test]
+fn encode_oracle_fig2() {
+    run_scene_encoded("fig2");
+}
+
+#[test]
+fn encode_oracle_fig3() {
+    run_scene_encoded("fig3");
+}
+
+#[test]
+fn encode_oracle_fig4() {
+    run_scene_encoded("fig4");
+}
+
+#[test]
+fn encode_oracle_fig5() {
+    run_scene_encoded("fig5");
+}
+
+#[test]
+fn menu_position_survives_the_wire() {
+    use atk_core::ScriptStep;
+    use atk_graphics::Point;
+    use atk_wm::WindowEvent;
+
+    // fig3 builds with a focused mail view that offers menus; record a
+    // request away from the origin followed by a selection, and demand
+    // the served replay land on the in-process replay's exact pixels.
+    let mut probe = atk_check::Session::build("fig3", "x11sim").unwrap();
+    probe.apply(&ScriptStep::Event(WindowEvent::MenuRequest {
+        pos: Point::new(300, 220),
+    }));
+    let label = probe
+        .im
+        .offered_menus()
+        .first()
+        .map(|m| format!("{}/{}", m.card, m.label))
+        .expect("fig3 offers menus");
+
+    let script = vec![
+        ScriptStep::Event(WindowEvent::MenuRequest {
+            pos: Point::new(300, 220),
+        }),
+        ScriptStep::MenuSelect(label),
+        ScriptStep::Event(WindowEvent::Tick(5)),
+    ];
+    let report =
+        serve_script_differential("fig3", &script, atk_serve::SessionConfig::default()).unwrap();
+    assert_eq!(report.steps, 3);
 }

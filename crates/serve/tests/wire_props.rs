@@ -126,4 +126,53 @@ proptest! {
         let _ = ClientFrame::decode(&bytes);
         let _ = ServerFrame::decode(&bytes);
     }
+
+    // The packed encoder: whatever body it picks (raw or RLE) must
+    // decode back to the exact frame, and the choice must never be
+    // larger than the raw wire length.
+    #[test]
+    fn packed_frames_round_trip(frame in arb_server_frame()) {
+        let (bytes, _encoding) = frame.encode_packed();
+        prop_assert!(bytes.len() <= frame.wire_len(), "packed body larger than raw");
+        prop_assert_eq!(ServerFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    // Runs of repeated pixels are exactly what the row-delta + RLE
+    // scheme targets: flat keyframes must compress.
+    #[test]
+    fn flat_keyframes_compress(
+        seq in any::<u64>(),
+        width in 8u32..64,
+        height in 8u32..64,
+        fill in any::<u32>(),
+    ) {
+        let frame = ServerFrame::Keyframe {
+            seq,
+            width,
+            height,
+            pixels: vec![fill; (width * height) as usize],
+        };
+        let (bytes, encoding) = frame.encode_packed();
+        prop_assert_eq!(encoding, atk_serve::Encoding::Rle);
+        prop_assert!(bytes.len() * 2 < frame.wire_len(), "flat frame barely compressed");
+        prop_assert_eq!(ServerFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    // Truncating or corrupting an RLE body must produce `WireError`s,
+    // never a panic or an allocation blow-up.
+    #[test]
+    fn mangled_rle_bodies_never_panic(
+        frame in arb_server_frame(),
+        at in 0.0f64..1.0,
+        flip in 1u8..255,
+        cut in 0.0f64..1.0,
+    ) {
+        let (bytes, _) = frame.encode_packed();
+        let keep = ((bytes.len() as f64 * cut) as usize).min(bytes.len() - 1);
+        prop_assert!(ServerFrame::decode(&bytes[..keep]).is_err());
+        let mut mangled = bytes;
+        let i = ((mangled.len() as f64 * at) as usize).min(mangled.len() - 1);
+        mangled[i] ^= flip;
+        let _ = ServerFrame::decode(&mangled); // Ok or Err, never a panic.
+    }
 }

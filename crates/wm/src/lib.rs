@@ -39,12 +39,14 @@
 
 pub mod awmsim;
 pub mod event;
+pub mod paint;
 pub mod printer;
 pub mod surface;
 pub mod traits;
 pub mod x11sim;
 
 pub use event::{Button, Key, MouseAction, WindowEvent};
+pub use paint::{parallel_paint_enabled, set_parallel_paint, PaintStats};
 pub use traits::{
     CursorHandle, CursorShape, FontDriver, Graphic, GraphicState, OffscreenWindow, Window,
     WindowSystem,

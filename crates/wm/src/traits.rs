@@ -11,6 +11,7 @@ use atk_graphics::{
 };
 
 use crate::event::WindowEvent;
+use crate::paint::PaintStats;
 
 /// Stock cursor shapes (paper §8: "this class provides an interface to
 /// defining cursors on the underlying window system").
@@ -116,6 +117,30 @@ pub trait Window {
     /// Number of drawing operations performed (instrumentation for the
     /// window-system-independence benchmarks).
     fn op_count(&self) -> u64;
+
+    // --- Parallel paint hooks (default: serial immediate mode) ----------
+
+    /// Requests that update passes rasterize on up to `threads` banded
+    /// worker threads. Backends without a banded path ignore this.
+    fn set_paint_threads(&mut self, _threads: usize) {}
+
+    /// Configured rasterizer thread count (1 = serial immediate mode).
+    fn paint_threads(&self) -> usize {
+        1
+    }
+
+    /// Drains the paint counters accumulated since the last call.
+    fn take_paint_stats(&mut self) -> PaintStats {
+        PaintStats::default()
+    }
+
+    /// Runs `f` over a borrow of the current frame pixels without
+    /// cloning, flushing any buffered drawing first. Returns false when
+    /// the backend cannot expose its frame by reference (callers fall
+    /// back to [`Window::snapshot`]).
+    fn with_frame(&self, _f: &mut dyn FnMut(&Framebuffer)) -> bool {
+        false
+    }
 }
 
 /// Class 6 of 6 — an off-screen drawable whose contents "can be later

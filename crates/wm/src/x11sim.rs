@@ -9,12 +9,15 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
 
 use atk_graphics::{
     BitmapFont, Color, FontDesc, FontMetrics, Framebuffer, Point, RasterOp, Rect, Region, Size,
 };
 
 use crate::event::WindowEvent;
+use crate::paint::{parallel_paint_enabled, replay_parallel, DrawOp, PaintCmd, PaintStats};
 use crate::traits::{
     BuiltinFontDriver, CursorHandle, CursorShape, FontDriver, Graphic, GraphicState,
     OffscreenWindow, Window, WindowSystem,
@@ -145,11 +148,30 @@ impl Window for X11Window {
     }
 
     fn snapshot(&self) -> Option<Framebuffer> {
+        self.graphic.flush_pending();
         Some(self.fb.borrow().clone())
     }
 
     fn op_count(&self) -> u64 {
         self.graphic.ops.get()
+    }
+
+    fn set_paint_threads(&mut self, threads: usize) {
+        self.graphic.set_threads(threads);
+    }
+
+    fn paint_threads(&self) -> usize {
+        self.graphic.threads()
+    }
+
+    fn take_paint_stats(&mut self) -> PaintStats {
+        self.graphic.take_stats()
+    }
+
+    fn with_frame(&self, f: &mut dyn FnMut(&Framebuffer)) -> bool {
+        self.graphic.flush_pending();
+        f(&self.fb.borrow());
+        true
     }
 }
 
@@ -182,8 +204,22 @@ impl OffscreenWindow for X11Offscreen {
     }
 
     fn bits(&self) -> Framebuffer {
+        self.graphic.flush_pending();
         self.fb.borrow().clone()
     }
+}
+
+/// Buffered state for the opt-in parallel-paint mode: recorded
+/// commands awaiting a banded flush, plus an interned copy of the clip
+/// so successive commands under one clip share a single `Arc`.
+#[derive(Default)]
+struct RecState {
+    /// Configured band threads; 0 or 1 means immediate serial mode.
+    threads: usize,
+    cmds: Vec<PaintCmd>,
+    cur_clip: Option<Arc<Region>>,
+    clip_dirty: bool,
+    stats: PaintStats,
 }
 
 /// The rasterizing drawable.
@@ -191,6 +227,7 @@ pub struct X11Graphic {
     fb: Rc<RefCell<Framebuffer>>,
     st: GraphicState,
     ops: Rc<Cell<u64>>,
+    rec: RefCell<RecState>,
 }
 
 impl X11Graphic {
@@ -199,6 +236,7 @@ impl X11Graphic {
             fb,
             st: GraphicState::new(),
             ops: Rc::new(Cell::new(0)),
+            rec: RefCell::new(RecState::default()),
         }
     }
 
@@ -215,6 +253,60 @@ impl X11Graphic {
         let r = f(&mut fb);
         fb.set_clip(None);
         r
+    }
+
+    /// True when drawing should be recorded for a banded flush rather
+    /// than rasterized immediately.
+    #[inline]
+    fn deferring(&self) -> bool {
+        self.rec.borrow().threads > 1 && parallel_paint_enabled()
+    }
+
+    /// Records a command under the current clip (interned on change).
+    fn record(&self, op: DrawOp) {
+        let mut rec = self.rec.borrow_mut();
+        if rec.clip_dirty {
+            rec.cur_clip = self.st.clip.clone().map(Arc::new);
+            rec.clip_dirty = false;
+        }
+        let clip = rec.cur_clip.clone();
+        rec.cmds.push(PaintCmd::new(clip, op));
+    }
+
+    fn mark_clip_dirty(&self) {
+        self.rec.borrow_mut().clip_dirty = true;
+    }
+
+    /// Replays any recorded commands into the framebuffer on banded
+    /// worker threads. Callable from `&self` paths (snapshots).
+    fn flush_pending(&self) {
+        let mut rec = self.rec.borrow_mut();
+        if rec.cmds.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut rec.cmds);
+        let threads = rec.threads.max(1);
+        let mut fb = self.fb.borrow_mut();
+        let t0 = Instant::now();
+        let bands = replay_parallel(&mut fb, &cmds, threads);
+        rec.stats.par_us += t0.elapsed().as_micros() as u64;
+        rec.stats.flushes += 1;
+        rec.stats.bands += bands as u64;
+    }
+
+    fn set_threads(&self, threads: usize) {
+        self.flush_pending();
+        let mut rec = self.rec.borrow_mut();
+        rec.threads = threads;
+        rec.clip_dirty = true;
+    }
+
+    fn threads(&self) -> usize {
+        self.rec.borrow().threads.max(1)
+    }
+
+    fn take_stats(&self) -> PaintStats {
+        std::mem::take(&mut self.rec.borrow_mut().stats)
     }
 }
 
@@ -255,15 +347,18 @@ impl Graphic for X11Graphic {
     }
     fn grestore(&mut self) {
         self.st.restore();
+        self.mark_clip_dirty();
     }
     fn translate(&mut self, dx: i32, dy: i32) {
         self.st.translate(dx, dy);
     }
     fn clip_rect(&mut self, r: Rect) {
         self.st.clip_rect(r);
+        self.mark_clip_dirty();
     }
     fn clip_region(&mut self, region: &Region) {
         self.st.clip_region(region);
+        self.mark_clip_dirty();
     }
     fn clip_bounds(&self) -> Rect {
         let whole = self.fb.borrow().bounds();
@@ -286,92 +381,190 @@ impl Graphic for X11Graphic {
         self.tick();
         let (da, db) = (self.st.to_device(a), self.st.to_device(b));
         let (w, fg) = (self.st.line_width, self.st.fg);
-        self.with_fb(|fb| fb.draw_line(da, db, w, fg));
+        if self.deferring() {
+            self.record(DrawOp::Line {
+                a: da,
+                b: db,
+                width: w,
+                color: fg,
+            });
+        } else {
+            self.with_fb(|fb| fb.draw_line(da, db, w, fg));
+        }
     }
 
     fn draw_rect(&mut self, r: Rect) {
         self.tick();
         let dr = self.st.rect_to_device(r);
         let fg = self.st.fg;
-        self.with_fb(|fb| fb.draw_rect(dr, fg));
+        if self.deferring() {
+            self.record(DrawOp::RectOutline { r: dr, color: fg });
+        } else {
+            self.with_fb(|fb| fb.draw_rect(dr, fg));
+        }
     }
 
     fn fill_rect(&mut self, r: Rect) {
         self.tick();
         let dr = self.st.rect_to_device(r);
         let (fg, rop) = (self.st.fg, self.st.rop);
-        self.with_fb(|fb| fb.fill_rect_op(dr, fg, rop));
+        if self.deferring() {
+            self.record(DrawOp::FillRect {
+                r: dr,
+                color: fg,
+                rop,
+            });
+        } else {
+            self.with_fb(|fb| fb.fill_rect_op(dr, fg, rop));
+        }
     }
 
     fn clear_rect(&mut self, r: Rect) {
         self.tick();
         let dr = self.st.rect_to_device(r);
         let bg = self.st.bg;
-        self.with_fb(|fb| fb.fill_rect(dr, bg));
+        if self.deferring() {
+            self.record(DrawOp::FillRect {
+                r: dr,
+                color: bg,
+                rop: RasterOp::Copy,
+            });
+        } else {
+            self.with_fb(|fb| fb.fill_rect(dr, bg));
+        }
     }
 
     fn draw_oval(&mut self, r: Rect) {
         self.tick();
         let dr = self.st.rect_to_device(r);
         let fg = self.st.fg;
-        self.with_fb(|fb| fb.draw_oval(dr, fg));
+        if self.deferring() {
+            self.record(DrawOp::Oval {
+                r: dr,
+                color: fg,
+                fill: false,
+            });
+        } else {
+            self.with_fb(|fb| fb.draw_oval(dr, fg));
+        }
     }
 
     fn fill_oval(&mut self, r: Rect) {
         self.tick();
         let dr = self.st.rect_to_device(r);
         let fg = self.st.fg;
-        self.with_fb(|fb| fb.fill_oval(dr, fg));
+        if self.deferring() {
+            self.record(DrawOp::Oval {
+                r: dr,
+                color: fg,
+                fill: true,
+            });
+        } else {
+            self.with_fb(|fb| fb.fill_oval(dr, fg));
+        }
     }
 
     fn fill_polygon(&mut self, pts: &[Point]) {
         self.tick();
         let dev: Vec<Point> = pts.iter().map(|p| self.st.to_device(*p)).collect();
         let fg = self.st.fg;
-        self.with_fb(|fb| fb.fill_polygon(&dev, fg));
+        if self.deferring() {
+            self.record(DrawOp::Polygon {
+                pts: dev,
+                color: fg,
+            });
+        } else {
+            self.with_fb(|fb| fb.fill_polygon(&dev, fg));
+        }
     }
 
     fn fill_wedge(&mut self, r: Rect, start_deg: f64, end_deg: f64) {
         self.tick();
         let dr = self.st.rect_to_device(r);
         let fg = self.st.fg;
-        self.with_fb(|fb| fb.fill_wedge(dr, start_deg, end_deg, fg));
+        if self.deferring() {
+            self.record(DrawOp::Wedge {
+                r: dr,
+                start_deg,
+                end_deg,
+                color: fg,
+            });
+        } else {
+            self.with_fb(|fb| fb.fill_wedge(dr, start_deg, end_deg, fg));
+        }
     }
 
     fn draw_string(&mut self, p: Point, s: &str) {
         self.tick();
         let dp = self.st.to_device(p);
         let (font, fg) = (self.st.font.clone(), self.st.fg);
-        self.with_fb(|fb| {
-            BitmapFont::draw(fb, dp, s, &font, fg);
-        });
+        if self.deferring() {
+            self.record(DrawOp::Text {
+                origin: dp,
+                text: s.to_string(),
+                font,
+                color: fg,
+            });
+        } else {
+            self.with_fb(|fb| {
+                BitmapFont::draw(fb, dp, s, &font, fg);
+            });
+        }
     }
 
     fn draw_string_baseline(&mut self, p: Point, s: &str) {
         self.tick();
         let dp = self.st.to_device(p);
         let (font, fg) = (self.st.font.clone(), self.st.fg);
-        self.with_fb(|fb| {
-            BitmapFont::draw_baseline(fb, dp, s, &font, fg);
-        });
+        if self.deferring() {
+            // Resolve the baseline to a top-left origin at record time;
+            // BitmapFont::draw_baseline does exactly this conversion.
+            let top = Point::new(dp.x, dp.y - font.metrics().ascent);
+            self.record(DrawOp::Text {
+                origin: top,
+                text: s.to_string(),
+                font,
+                color: fg,
+            });
+        } else {
+            self.with_fb(|fb| {
+                BitmapFont::draw_baseline(fb, dp, s, &font, fg);
+            });
+        }
     }
 
     fn bitblt(&mut self, bits: &Framebuffer, src: Rect, dst: Point) {
         self.tick();
         let ddst = self.st.to_device(dst);
         let rop = self.st.rop;
-        self.with_fb(|fb| fb.blit(bits, src, ddst, rop));
+        if self.deferring() {
+            self.record(DrawOp::Blit {
+                bits: Arc::new(bits.clone()),
+                src,
+                dst: ddst,
+                rop,
+            });
+        } else {
+            self.with_fb(|fb| fb.blit(bits, src, ddst, rop));
+        }
     }
 
     fn copy_area(&mut self, src: Rect, dst: Point) {
         self.tick();
         let dsrc = self.st.rect_to_device(src);
         let ddst = self.st.to_device(dst);
+        // A self-copy reads rows other bands may be mid-write, so it
+        // cannot be banded: drain anything recorded, then run it
+        // serially in order.
+        if self.deferring() {
+            self.flush_pending();
+            self.rec.borrow_mut().stats.serial_fallbacks += 1;
+        }
         self.with_fb(|fb| fb.copy_within(dsrc, ddst));
     }
 
     fn flush(&mut self) {
-        // Immediate mode: nothing buffered.
+        self.flush_pending();
     }
 
     fn string_width(&self, s: &str) -> i32 {
@@ -521,6 +714,113 @@ mod tests {
         assert_ne!(w.snapshot().unwrap(), before);
         w.graphic().invert_rect(Rect::new(5, 5, 10, 10));
         assert_eq!(w.snapshot().unwrap(), before);
+    }
+
+    /// Tests that read or toggle the global parallel-paint switch hold
+    /// this lock so the ablation test cannot flip it mid-scene.
+    static PAINT_SWITCH: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A scene exercising every primitive, clips, translations, a
+    /// baseline string, a bitblt, and a mid-stream scroll.
+    fn busy_scene(w: &mut dyn Window, bits: &Framebuffer) {
+        let g = w.graphic();
+        g.fill_rect(Rect::new(0, 0, 200, 160));
+        g.set_foreground(Color::WHITE);
+        g.gsave();
+        g.translate(10, 10);
+        g.clip_rect(Rect::new(0, 0, 120, 100));
+        g.fill_oval(Rect::new(5, 5, 80, 60));
+        g.set_foreground(Color::RED);
+        g.draw_oval(Rect::new(20, 15, 60, 40));
+        g.fill_wedge(Rect::new(40, 30, 50, 50), 10.0, 200.0);
+        g.grestore();
+        g.set_foreground(Color::BLUE);
+        g.set_line_width(3);
+        g.draw_line(Point::new(2, 150), Point::new(195, 8));
+        g.fill_polygon(&[
+            Point::new(150, 20),
+            Point::new(190, 60),
+            Point::new(140, 70),
+        ]);
+        g.set_foreground(Color::BLACK);
+        g.draw_string(Point::new(8, 120), "band paint");
+        g.draw_string_baseline(Point::new(90, 140), "baseline");
+        g.draw_bezel(Rect::new(60, 90, 40, 20), true);
+        g.invert_rect(Rect::new(30, 100, 50, 30));
+        g.bitblt(bits, Rect::new(0, 0, 10, 10), Point::new(170, 120));
+        g.copy_area(Rect::new(0, 0, 60, 30), Point::new(120, 100));
+        g.draw_rect(Rect::new(1, 1, 198, 158));
+        g.flush();
+    }
+
+    #[test]
+    fn parallel_paint_is_byte_identical_to_serial() {
+        let _guard = PAINT_SWITCH.lock().unwrap();
+        let mut ws = X11Sim::new();
+        let mut off = ws.open_offscreen(Size::new(10, 10));
+        off.graphic().fill_rect(Rect::new(0, 0, 10, 10));
+        let bits = off.bits();
+
+        let mut serial = ws.open_window("serial", Size::new(200, 160));
+        busy_scene(serial.as_mut(), &bits);
+        let want = serial.snapshot().unwrap();
+
+        for threads in [2, 4, 8] {
+            let mut par = ws.open_window("par", Size::new(200, 160));
+            par.set_paint_threads(threads);
+            assert_eq!(par.paint_threads(), threads);
+            busy_scene(par.as_mut(), &bits);
+            let got = par.snapshot().unwrap();
+            assert_eq!(got, want, "threads={threads}");
+            let stats = par.take_paint_stats();
+            assert!(stats.flushes >= 1, "expected at least one banded flush");
+            assert!(stats.bands >= stats.flushes);
+            // The copy_area mid-scene must have forced a serial drain.
+            assert_eq!(stats.serial_fallbacks, 1);
+            // Drained means drained.
+            assert_eq!(par.take_paint_stats(), PaintStats::default());
+        }
+    }
+
+    #[test]
+    fn parallel_paint_ablation_forces_immediate_mode() {
+        let _guard = PAINT_SWITCH.lock().unwrap();
+        crate::paint::set_parallel_paint(false);
+        let mut ws = X11Sim::new();
+        let mut w = ws.open_window("ablate", Size::new(100, 80));
+        w.set_paint_threads(4);
+        w.graphic().fill_rect(Rect::new(10, 10, 5, 5));
+        // Immediate mode: pixels land without a flush, no stats accrue.
+        let snap = w.snapshot().unwrap();
+        assert_eq!(snap.count_pixels(Rect::new(10, 10, 5, 5), Color::BLACK), 25);
+        assert_eq!(w.take_paint_stats(), PaintStats::default());
+        crate::paint::set_parallel_paint(true);
+    }
+
+    #[test]
+    fn snapshot_flushes_pending_banded_commands() {
+        let _guard = PAINT_SWITCH.lock().unwrap();
+        let mut ws = X11Sim::new();
+        let mut w = ws.open_window("t", Size::new(100, 80));
+        w.set_paint_threads(4);
+        w.graphic().fill_rect(Rect::new(10, 10, 5, 5));
+        // No explicit flush: the snapshot itself must drain the queue.
+        let snap = w.snapshot().unwrap();
+        assert_eq!(snap.count_pixels(Rect::new(10, 10, 5, 5), Color::BLACK), 25);
+        assert_eq!(w.take_paint_stats().flushes, 1);
+    }
+
+    #[test]
+    fn with_frame_borrows_without_cloning() {
+        let mut ws = X11Sim::new();
+        let mut w = ws.open_window("t", Size::new(100, 80));
+        w.graphic().fill_rect(Rect::new(0, 0, 3, 3));
+        let mut seen = 0usize;
+        let ok = w.with_frame(&mut |fb| {
+            seen = fb.count_pixels(Rect::new(0, 0, 3, 3), Color::BLACK);
+        });
+        assert!(ok);
+        assert_eq!(seen, 9);
     }
 
     #[test]

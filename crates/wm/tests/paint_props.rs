@@ -1,0 +1,101 @@
+//! Property tests for the band-parallel paint path: any recorded
+//! command list — random primitives under random clip regions — must
+//! rasterize byte-identically whether replayed serially or split
+//! across any number of bands.
+
+use std::sync::Arc;
+
+use atk_graphics::{Color, FontDesc, Framebuffer, Point, RasterOp, Rect, Region};
+use atk_wm::paint::{replay_parallel, replay_serial, DrawOp, PaintCmd};
+use proptest::prelude::*;
+
+fn arb_color() -> impl Strategy<Value = Color> {
+    any::<u32>().prop_map(Color)
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-20i32..180, -20i32..140, 1i32..90, 1i32..70).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn arb_op() -> impl Strategy<Value = DrawOp> {
+    prop_oneof![
+        (
+            arb_rect(),
+            arb_color(),
+            prop_oneof![Just(RasterOp::Copy), Just(RasterOp::Xor)]
+        )
+            .prop_map(|(r, color, rop)| DrawOp::FillRect { r, color, rop }),
+        (arb_rect(), arb_color()).prop_map(|(r, color)| DrawOp::RectOutline { r, color }),
+        (arb_rect(), arb_color(), any::<bool>()).prop_map(|(r, color, fill)| DrawOp::Oval {
+            r,
+            color,
+            fill
+        }),
+        (
+            (-20i32..180, -20i32..140),
+            (-20i32..180, -20i32..140),
+            1i32..4,
+            arb_color(),
+        )
+            .prop_map(|((ax, ay), (bx, by), width, color)| DrawOp::Line {
+                a: Point::new(ax, ay),
+                b: Point::new(bx, by),
+                width,
+                color,
+            }),
+        (arb_rect(), 0i32..360, 1i32..360, arb_color()).prop_map(|(r, start, sweep, color)| {
+            DrawOp::Wedge {
+                r,
+                start_deg: start as f64,
+                end_deg: (start + sweep) as f64,
+                color,
+            }
+        }),
+        (
+            proptest::collection::vec((-20i32..180, -20i32..140), 3..7),
+            arb_color()
+        )
+            .prop_map(|(pts, color)| DrawOp::Polygon {
+                pts: pts.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+                color,
+            }),
+        ((-10i32..150, -10i32..120), "[a-z ]{1,12}", arb_color()).prop_map(
+            |((x, y), text, color)| DrawOp::Text {
+                origin: Point::new(x, y),
+                text,
+                font: FontDesc::default_body(),
+                color,
+            }
+        ),
+    ]
+}
+
+fn arb_clip() -> impl Strategy<Value = Option<Arc<Region>>> {
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(arb_rect(), 1..4)
+            .prop_map(|rects| Some(Arc::new(Region::from_rects(rects)))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parallel_replay_is_byte_identical_to_serial(
+        cmds in proptest::collection::vec((arb_clip(), arb_op()), 1..24),
+        threads in 2usize..9,
+    ) {
+        let cmds: Vec<PaintCmd> = cmds
+            .into_iter()
+            .map(|(clip, op)| PaintCmd::new(clip, op))
+            .collect();
+        let mut serial = Framebuffer::new(160, 120, Color::WHITE);
+        replay_serial(&mut serial, &cmds);
+        let mut parallel = Framebuffer::new(160, 120, Color::WHITE);
+        // Zero bands is legal: every command may clip away entirely.
+        let bands = replay_parallel(&mut parallel, &cmds, threads);
+        prop_assert!(bands <= threads);
+        prop_assert_eq!(serial.pixels(), parallel.pixels());
+    }
+}

@@ -26,6 +26,13 @@ cargo run --release -q -p atk-serve --bin loadgen -- \
     --mem --sessions 4 --steps 30 --profile typing \
     --slo-us 10000000 --stats --max-drops 0
 
+echo "==> parallel-paint + encoder smoke (4 bands, RLE wire, zero drops)"
+# The encoder is on by default; --paint-threads 4 puts the banded
+# rasterizer under the same zero-drop, byte-accounted load.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --sessions 4 --steps 40 --profile typing \
+    --paint-threads 4 --max-drops 0
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 
@@ -34,6 +41,9 @@ CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e12_incremental_layou
 
 echo "==> e13 quick smoke (latency attribution, capped sample time)"
 CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e13_latency
+
+echo "==> e14 quick smoke (parallel paint + wire encoder, capped sample time)"
+CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e14_parallel_paint
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
