@@ -3,15 +3,28 @@
 //! ```text
 //! loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N]
 //!         [--profile mixed|typing] [--window N] [--connect HOST:PORT]
-//!         [--mem] [--max-sessions N] [--queue-cap N] [--keyframe-only]
-//!         [--max-drops N] [--slo-us N] [--no-frame-trace] [--stats]
-//!         [--trace FILE] [--paint-threads N] [--no-encode]
+//!         [--mem] [--shards N] [--thread-per-conn] [--arrival RATE]
+//!         [--rendezvous] [--min-concurrent N] [--faults SEED]
+//!         [--disconnect-every N] [--max-sessions N] [--queue-cap N]
+//!         [--keyframe-only] [--max-drops N] [--slo-us N]
+//!         [--no-frame-trace] [--stats] [--trace FILE]
+//!         [--paint-threads N] [--no-encode]
 //! ```
 //!
 //! Self-hosts a server over localhost TCP unless `--connect` points at
 //! a running `served` (or `--mem` keeps everything in-process over the
-//! memory transport). Exits 1 on any client error or when backpressure
-//! drops exceed `--max-drops`.
+//! memory transport). Exits 1 on any client error, when backpressure
+//! drops exceed `--max-drops`, or when the server's observed peak
+//! concurrency falls short of `--min-concurrent`.
+//!
+//! Scale and chaos: `--shards N` hosts the fleet on the event-driven
+//! shard engine (`--thread-per-conn` is the ablation baseline),
+//! `--arrival R` paces an open-loop ramp of R connects/s,
+//! `--rendezvous` holds every client at a barrier until the whole
+//! fleet is connected, `--faults SEED` wraps each `--mem` transport in
+//! a seeded fault injector (short reads/writes, `WouldBlock` storms),
+//! and `--disconnect-every N` makes every Nth client vanish
+//! mid-script. Injected disconnects are never counted as errors.
 //!
 //! Observability: `--slo-us` arms the server's frame-budget watchdog
 //! and prints retained slow-frame dumps after the run; `--stats` sends
@@ -28,6 +41,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N] \
          [--profile mixed|typing] [--window N] [--connect HOST:PORT] [--mem] \
+         [--shards N] [--thread-per-conn] [--arrival RATE] [--rendezvous] \
+         [--min-concurrent N] [--faults SEED] [--disconnect-every N] \
          [--max-sessions N] [--queue-cap N] [--keyframe-only] [--max-drops N] \
          [--slo-us N] [--no-frame-trace] [--stats] [--trace FILE] \
          [--paint-threads N] [--no-encode]"
@@ -50,6 +65,7 @@ fn main() {
     let mut cfg = LoadConfig::default();
     let mut mem = false;
     let mut max_drops = u64::MAX;
+    let mut min_concurrent: u64 = 0;
     let mut trace_file: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
@@ -98,6 +114,34 @@ fn main() {
             "--mem" => {
                 mem = true;
                 i += 1;
+            }
+            "--shards" => {
+                cfg.shards = parse_num("--shards", argv.get(i + 1));
+                i += 2;
+            }
+            "--thread-per-conn" => {
+                cfg.shards = 0;
+                i += 1;
+            }
+            "--arrival" => {
+                cfg.arrival_per_s = parse_num("--arrival", argv.get(i + 1));
+                i += 2;
+            }
+            "--rendezvous" => {
+                cfg.rendezvous = true;
+                i += 1;
+            }
+            "--min-concurrent" => {
+                min_concurrent = parse_num("--min-concurrent", argv.get(i + 1));
+                i += 2;
+            }
+            "--faults" => {
+                cfg.fault_seed = Some(parse_num("--faults", argv.get(i + 1)));
+                i += 2;
+            }
+            "--disconnect-every" => {
+                cfg.disconnect_every = parse_num("--disconnect-every", argv.get(i + 1));
+                i += 2;
             }
             "--max-sessions" => {
                 cfg.server.max_sessions = parse_num("--max-sessions", argv.get(i + 1));
@@ -178,6 +222,21 @@ fn main() {
         if drops > max_drops {
             eprintln!("loadgen: {drops} backpressure drops exceed --max-drops {max_drops}");
             failed = true;
+        }
+    }
+    if min_concurrent > 0 {
+        match report.peak_sessions {
+            Some(peak) if peak >= min_concurrent => {}
+            Some(peak) => {
+                eprintln!(
+                    "loadgen: peak concurrency {peak} below --min-concurrent {min_concurrent}"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("loadgen: --min-concurrent needs a self-hosted server (no --connect)");
+                failed = true;
+            }
         }
     }
     if cfg.server.session.slo_us.is_some() && !report.slow_frames.is_empty() {

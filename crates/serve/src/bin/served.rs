@@ -1,14 +1,18 @@
 //! `served` — the multi-session toolkit server.
 //!
 //! ```text
-//! served [--port N] [--max-sessions N] [--queue-cap N] [--budget BYTES]
+//! served [--port N] [--shards N] [--thread-per-conn] [--shuffle-seed N]
+//!        [--max-sessions N] [--queue-cap N] [--budget BYTES]
 //!        [--keyframe-every N] [--idle-ms N] [--keyframe-only]
 //!        [--slo-us N] [--no-frame-trace] [--stats-every SECS]
 //!        [--paint-threads N] [--no-encode]
 //! ```
 //!
 //! Listens on `127.0.0.1:<port>` (an OS-assigned port when 0, printed
-//! on stdout) and hosts one scene session per connection until killed.
+//! on stdout) and hosts scene sessions until killed — on `--shards N`
+//! event-driven worker shards by default, or one thread per connection
+//! with `--thread-per-conn` (the E15 ablation baseline). `--shuffle-seed`
+//! arms the readiness-reorder fault for chaos runs.
 //!
 //! Observability: `--slo-us` arms the per-frame budget watchdog (each
 //! violation dumps its stage breakdown to stderr and the slow-frame
@@ -20,12 +24,13 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
-use atk_serve::{serve_listener, Server, ServerConfig};
+use atk_serve::{serve_listener, serve_listener_sharded, Server, ServerConfig};
 use atk_trace::{Snapshot, Stage};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: served [--port N] [--max-sessions N] [--queue-cap N] \
+        "usage: served [--port N] [--shards N] [--thread-per-conn] \
+         [--shuffle-seed N] [--max-sessions N] [--queue-cap N] \
          [--budget BYTES] [--keyframe-every N] [--idle-ms N] [--keyframe-only] \
          [--slo-us N] [--no-frame-trace] [--stats-every SECS] \
          [--paint-threads N] [--no-encode]"
@@ -93,11 +98,24 @@ fn main() {
     let mut port: u16 = 0;
     let mut cfg = ServerConfig::default();
     let mut stats_every: Option<u64> = None;
+    let mut shards: usize = 4;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--port" => {
                 port = parse_num("--port", argv.get(i + 1));
+                i += 2;
+            }
+            "--shards" => {
+                shards = parse_num("--shards", argv.get(i + 1));
+                i += 2;
+            }
+            "--thread-per-conn" => {
+                shards = 0;
+                i += 1;
+            }
+            "--shuffle-seed" => {
+                cfg.readiness_shuffle_seed = Some(parse_num("--shuffle-seed", argv.get(i + 1)));
                 i += 2;
             }
             "--max-sessions" => {
@@ -176,11 +194,19 @@ fn main() {
         }
     };
     match listener.local_addr() {
-        Ok(addr) => println!("served: listening on {addr}"),
+        Ok(addr) => match shards {
+            0 => println!("served: listening on {addr} (thread-per-conn)"),
+            n => println!("served: listening on {addr} ({n} shard(s))"),
+        },
         Err(e) => eprintln!("served: local_addr: {e}"),
     }
 
-    if let Err(e) = serve_listener(server, listener) {
+    let served = if shards > 0 {
+        serve_listener_sharded(server, listener, shards)
+    } else {
+        serve_listener(server, listener)
+    };
+    if let Err(e) = served {
         eprintln!("served: accept loop failed: {e}");
         std::process::exit(1);
     }

@@ -13,18 +13,24 @@
 //!
 //! * [`wire`] — frame encode/decode (panic-free on arbitrary bytes)
 //! * [`transport`] — TCP framing plus an in-memory pair for tests
+//! * [`fault`] — seeded transport fault injection (short reads/writes,
+//!   `WouldBlock` storms, mid-frame disconnects) for the chaos tests
 //! * [`session`] — one hosted session: batch coalescing, region
 //!   diffing against the last shipped frame, keyframe cadence/budget,
-//!   idle eviction on the virtual clock
-//! * [`server`] — admission control and the thread-per-connection
-//!   accept loop (the `World` is `!Send`; sessions are born and die on
-//!   their connection's thread)
+//!   idle eviction on the session's own virtual clock
+//! * [`server`] — admission control plus both dispatch paths: the
+//!   event-driven shard engine and the legacy thread-per-connection
+//!   loop (the `World` is `!Send`; sessions are born and die on one
+//!   thread either way)
+//! * [`shard`] — the worker-shard readiness loop: one thread hosting
+//!   many sessions, fed by an mpsc admission queue
 //! * [`client`] — the client half: framebuffer reconstruction plus
 //!   latency/byte accounting
-//! * [`oracle`] — served-vs-in-process differential: same script ⇒
-//!   byte-identical final framebuffers
-//! * [`loadgen`] — N concurrent scripted clients and the report behind
-//!   EXPERIMENTS.md E11
+//! * [`oracle`] — served-vs-in-process and sharded-vs-single
+//!   differentials: same script ⇒ byte-identical frames
+//! * [`loadgen`] — N concurrent scripted clients (open-loop arrival,
+//!   rendezvous, chaos faults) and the report behind EXPERIMENTS.md
+//!   E11/E15
 //!
 //! Two binaries: `served` (the server) and `loadgen` (the fleet).
 //!
@@ -52,19 +58,23 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod oracle;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod transport;
 pub mod wire;
 
 pub use client::{ClientError, ClientStats, ServeClient};
+pub use fault::{FaultPlan, FaultTransport};
 pub use loadgen::{run_loadgen, run_loadgen_mem, LoadConfig, LoadReport, Profile};
 pub use oracle::{
-    encode_differential, serve_differential, serve_differential_with, serve_script_differential,
+    encode_differential, run_sharded, serve_differential, serve_differential_with,
+    serve_script_differential, ShardedRun,
 };
-pub use server::{serve_listener, ConnectionOutcome, Server, ServerConfig};
+pub use server::{serve_listener, serve_listener_sharded, ConnectionOutcome, Server, ServerConfig};
 pub use session::{HostedSession, SessionConfig, SessionEnd};
 pub use transport::{FrameTransport, MemTransport, TcpTransport};
 pub use wire::{ClientFrame, Encoding, PatchRect, ServerFrame, WireError};

@@ -1,17 +1,29 @@
 //! The load generator: N concurrent scripted clients against a server,
 //! with the throughput/latency/compression report the `loadgen` bin
-//! prints and the `e11_serve` bench samples.
+//! prints and the `e11_serve`/`e15_shards` benches sample.
 //!
 //! Each client thread replays a seed-stable step stream (the fuzzer's
 //! weighted generator, or a deterministic typing-heavy profile for the
 //! diff-compression measurements) with a bounded pipelining window, so
 //! bursts actually reach the server-side batch coalescer without
 //! unbounded frames piling up in flight.
+//!
+//! Scale knobs: [`LoadConfig::shards`] hosts the fleet on the
+//! event-driven shard engine (0 falls back to thread-per-connection,
+//! the E15 ablation baseline); [`LoadConfig::arrival_per_s`] paces an
+//! open-loop arrival ramp instead of connecting everyone at t=0;
+//! [`LoadConfig::rendezvous`] parks every connected client at a
+//! barrier until the whole fleet is live, making "N concurrent
+//! sessions" literal — the server's `serve.peak_sessions` gauge is the
+//! proof. Chaos knobs ([`LoadConfig::fault_seed`],
+//! [`LoadConfig::disconnect_every`]) wrap the in-memory transports in
+//! seeded [`FaultTransport`]s and cut a fraction of clients mid-script;
+//! those cuts are classified as *injected* disconnects, never errors.
 
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use atk_check::gen::StepGen;
 use atk_check::Session;
@@ -20,7 +32,8 @@ use atk_trace::{Collector, Snapshot, Stage};
 use atk_wm::{Key, WindowEvent};
 
 use crate::client::{ClientStats, ServeClient};
-use crate::server::{serve_listener, Server, ServerConfig};
+use crate::fault::{FaultPlan, FaultTransport};
+use crate::server::{serve_listener, serve_listener_sharded, Server, ServerConfig};
 use crate::transport::{FrameTransport, MemTransport, TcpTransport};
 
 /// What steps the clients replay.
@@ -67,6 +80,25 @@ pub struct LoadConfig {
     pub stats_probe: bool,
     /// Server-side config when self-hosting.
     pub server: ServerConfig,
+    /// Worker shards hosting the fleet (0 = the legacy thread-per-
+    /// connection path, kept as the E15 ablation baseline).
+    pub shards: usize,
+    /// Open-loop arrival rate: client `i` connects at `i / rate`
+    /// seconds instead of everyone at t=0. `0.0` disables pacing.
+    pub arrival_per_s: f64,
+    /// Park every connected client at a barrier until the whole fleet
+    /// is connected, so "N concurrent sessions" is literal (proven by
+    /// `serve.peak_sessions`). Clients whose connect failed still
+    /// reach the barrier — a lone `Busy` must not hang the fleet.
+    pub rendezvous: bool,
+    /// Chaos: wrap every in-memory transport pair in seeded
+    /// [`FaultTransport`]s (client `i` uses `seed ^ i`). `--mem` only —
+    /// a TCP server can't fault-wrap its half of the stream.
+    pub fault_seed: Option<u64>,
+    /// Chaos: every `n`th client drops its connection mid-script, no
+    /// goodbye. These are counted as injected disconnects, not errors.
+    /// `0` disables.
+    pub disconnect_every: usize,
 }
 
 impl Default for LoadConfig {
@@ -81,6 +113,11 @@ impl Default for LoadConfig {
             connect: None,
             stats_probe: false,
             server: ServerConfig::default(),
+            shards: 4,
+            arrival_per_s: 0.0,
+            rendezvous: false,
+            fault_seed: None,
+            disconnect_every: 0,
         }
     }
 }
@@ -132,6 +169,14 @@ pub struct LoadReport {
     pub slo_violations: Option<u64>,
     /// Slow-frame dump lines from the in-process server's SLO log.
     pub slow_frames: Vec<String>,
+    /// Clients that vanished mid-script *on purpose* (the
+    /// [`LoadConfig::disconnect_every`] chaos knob). Not errors: the CI
+    /// chaos stage asserts `errors` stays empty while this is nonzero.
+    pub injected_disconnects: usize,
+    /// Highest concurrent-session count the server observed
+    /// (`serve.peak_sessions`) — the proof behind `--min-concurrent`.
+    /// `None` against remote servers.
+    pub peak_sessions: Option<u64>,
     /// `(text, json)` reply of the post-run `Stats` probe, when
     /// [`LoadConfig::stats_probe`] was set.
     pub stats_reply: Option<(String, String)>,
@@ -163,48 +208,76 @@ pub fn client_script(
             Ok(out)
         }
         Profile::Typing => {
-            // A seed-rotated sentence with line breaks: the classic
-            // "user typing into ez" workload. Keys only land once a
-            // text view has focus, so the script opens with a click in
-            // the upper-left text area (w/8, h/8 focuses a text view
-            // in every shipped scene).
-            const TEXT: &[u8] = b"the quick brown fox jumps over the lazy dog ";
             let mut session = Session::build(scene, "x11sim")?;
             let size = session.im.window_mut().size();
-            let mut out = Vec::with_capacity(steps);
-            if steps >= 2 {
-                out.push(ScriptStep::Event(WindowEvent::left_down(
-                    size.width / 8,
-                    size.height / 8,
-                )));
-                out.push(ScriptStep::Event(WindowEvent::left_up(
-                    size.width / 8,
-                    size.height / 8,
-                )));
-            }
-            for i in out.len()..steps {
-                let step = if i % 24 == 23 {
-                    ScriptStep::Event(WindowEvent::Key(Key::Return))
-                } else {
-                    let c = TEXT[(seed as usize + i) % TEXT.len()] as char;
-                    ScriptStep::Event(WindowEvent::Key(Key::Char(c)))
-                };
-                out.push(step);
-            }
-            Ok(out)
+            Ok(typing_script(size.width, size.height, seed, steps))
         }
     }
 }
 
-/// Replays one script over a transport with a bounded pipelining window.
+/// A seed-rotated sentence with line breaks: the classic "user typing
+/// into ez" workload. Keys only land once a text view has focus, so
+/// the script opens with a click in the upper-left text area (w/8, h/8
+/// focuses a text view in every shipped scene).
+fn typing_script(width: i32, height: i32, seed: u64, steps: usize) -> Vec<ScriptStep> {
+    const TEXT: &[u8] = b"the quick brown fox jumps over the lazy dog ";
+    let mut out = Vec::with_capacity(steps);
+    if steps >= 2 {
+        out.push(ScriptStep::Event(WindowEvent::left_down(
+            width / 8,
+            height / 8,
+        )));
+        out.push(ScriptStep::Event(WindowEvent::left_up(
+            width / 8,
+            height / 8,
+        )));
+    }
+    for i in out.len()..steps {
+        let step = if i % 24 == 23 {
+            ScriptStep::Event(WindowEvent::Key(Key::Return))
+        } else {
+            let c = TEXT[(seed as usize + i) % TEXT.len()] as char;
+            ScriptStep::Event(WindowEvent::Key(Key::Char(c)))
+        };
+        out.push(step);
+    }
+    out
+}
+
+/// How one client's run ended. Chaos-injected cuts are a first-class
+/// outcome, not an error: the report counts them separately so a chaos
+/// run can still assert zero *real* failures.
+enum DriveOutcome {
+    /// Script fully replayed, goodbye acked.
+    Completed(ClientStats),
+    /// The client dropped its transport mid-script on purpose.
+    InjectedDisconnect,
+}
+
+/// Replays one script over a transport with a bounded pipelining
+/// window. With a rendezvous barrier the client parks right after its
+/// handshake — *every* client reaches the barrier, connect failure or
+/// not, so one `Busy` can't deadlock the fleet. `cut_after` is the
+/// chaos knob: vanish before sending step `i`, no goodbye.
 fn drive<T: FrameTransport>(
     transport: T,
     scene: &str,
     script: &[ScriptStep],
     window: u64,
-) -> Result<ClientStats, String> {
-    let mut client = ServeClient::connect(transport, scene).map_err(|e| e.to_string())?;
-    for step in script {
+    rendezvous: Option<Arc<Barrier>>,
+    cut_after: Option<usize>,
+) -> Result<DriveOutcome, String> {
+    let connected = ServeClient::connect(transport, scene).map_err(|e| e.to_string());
+    if let Some(b) = rendezvous {
+        b.wait();
+    }
+    let mut client = connected?;
+    for (i, step) in script.iter().enumerate() {
+        if cut_after == Some(i) {
+            // The server must cope with a mid-script EOF; the client
+            // side records it as injected, never as an error.
+            return Ok(DriveOutcome::InjectedDisconnect);
+        }
         client.send_step(step).map_err(|e| e.to_string())?;
         if client.unacked() >= window.max(1) {
             client.sync().map_err(|e| e.to_string())?;
@@ -214,16 +287,32 @@ fn drive<T: FrameTransport>(
         }
     }
     client.sync().map_err(|e| e.to_string())?;
-    client.finish().map_err(|e| e.to_string())
+    client
+        .finish()
+        .map(DriveOutcome::Completed)
+        .map_err(|e| e.to_string())
+}
+
+/// Client `i`'s connect delay under the open-loop arrival profile.
+fn arrival_delay(cfg: &LoadConfig, i: usize) -> Option<Duration> {
+    (cfg.arrival_per_s > 0.0).then(|| Duration::from_secs_f64(i as f64 / cfg.arrival_per_s))
+}
+
+/// Script index at which client `i` vanishes (halfway through), per
+/// [`LoadConfig::disconnect_every`].
+fn cut_point(cfg: &LoadConfig, i: usize) -> Option<usize> {
+    (cfg.disconnect_every > 0 && (i + 1).is_multiple_of(cfg.disconnect_every))
+        .then(|| (cfg.steps / 2).max(1))
 }
 
 /// Spawned client handles → aggregated report (drops filled by caller).
 fn aggregate(
     started: Instant,
-    handles: Vec<thread::JoinHandle<Result<ClientStats, String>>>,
+    handles: Vec<thread::JoinHandle<Result<DriveOutcome, String>>>,
 ) -> Result<LoadReport, String> {
     let mut completed = 0usize;
     let mut rejected = 0usize;
+    let mut injected = 0usize;
     let mut errors = Vec::new();
     let mut frames = 0u64;
     let mut bytes = 0u64;
@@ -232,7 +321,7 @@ fn aggregate(
     let mut latencies: Vec<u64> = Vec::new();
     for h in handles {
         match h.join().map_err(|_| "client thread panicked")? {
-            Ok(stats) => {
+            Ok(DriveOutcome::Completed(stats)) => {
                 completed += 1;
                 frames += stats.frames;
                 bytes += stats.diff_bytes + stats.full_bytes;
@@ -240,6 +329,7 @@ fn aggregate(
                 equiv += stats.keyframe_equiv_bytes;
                 latencies.extend(stats.latencies_us);
             }
+            Ok(DriveOutcome::InjectedDisconnect) => injected += 1,
             Err(e) if e.contains("server busy") => rejected += 1,
             Err(e) => errors.push(e),
         }
@@ -281,6 +371,8 @@ fn aggregate(
         stage_us: Vec::new(),
         slo_violations: None,
         slow_frames: Vec::new(),
+        injected_disconnects: injected,
+        peak_sessions: None,
         stats_reply: None,
         trace_parts: Vec::new(),
     })
@@ -309,19 +401,38 @@ fn attach_server_view(report: &mut LoadReport, server: &Server) {
         .collect();
     report.slo_violations = Some(merged.counter("serve.slo_violations"));
     report.slow_frames = server.slow_log().entries();
+    report.peak_sessions = Some(server.peak_sessions() as u64);
     report.trace_parts = server.trace_parts();
 }
 
 fn record_scripts(cfg: &LoadConfig) -> Result<Vec<Vec<ScriptStep>>, String> {
-    (0..cfg.sessions)
-        .map(|i| client_script(cfg.profile, &cfg.scene, cfg.seed + i as u64, cfg.steps))
-        .collect()
+    match cfg.profile {
+        Profile::Mixed => (0..cfg.sessions)
+            .map(|i| client_script(cfg.profile, &cfg.scene, cfg.seed + i as u64, cfg.steps))
+            .collect(),
+        // Typing scripts only need the window size, so one throwaway
+        // session serves the whole fleet — building hundreds of scenes
+        // to read the same size would dominate setup at the 512-session
+        // concurrency floor.
+        Profile::Typing => {
+            let mut session = Session::build(&cfg.scene, "x11sim")?;
+            let size = session.im.window_mut().size();
+            Ok((0..cfg.sessions)
+                .map(|i| typing_script(size.width, size.height, cfg.seed + i as u64, cfg.steps))
+                .collect())
+        }
+    }
 }
 
 /// Runs the whole fleet over TCP and aggregates the report. When
 /// `cfg.connect` is `None`, a server is started in-process on
 /// `127.0.0.1:0` and its accept thread dies with the process.
 pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.fault_seed.is_some() {
+        // A fault wrapper must sit on BOTH halves of a stream to keep
+        // the re-framing symmetric; a TCP server owns its half.
+        return Err("fault injection requires the in-memory harness (--mem)".into());
+    }
     let collector = Arc::new(Collector::new());
     collector.enable();
     let server = Server::new(cfg.server.clone(), collector.clone());
@@ -336,8 +447,13 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
                 .map_err(|e| e.to_string())?
                 .to_string();
             let srv = server.clone();
+            let shards = cfg.shards;
             thread::spawn(move || {
-                let _ = serve_listener(srv, listener);
+                let _ = if shards > 0 {
+                    serve_listener_sharded(srv, listener, shards)
+                } else {
+                    serve_listener(srv, listener)
+                };
             });
             addr
         }
@@ -348,17 +464,41 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
     // for the mixed profile is toolkit work, not serving work.
     let scripts = record_scripts(cfg)?;
 
+    let barrier = cfg.rendezvous.then(|| Arc::new(Barrier::new(cfg.sessions)));
     let started = Instant::now();
     let handles = scripts
         .into_iter()
-        .map(|script| {
+        .enumerate()
+        .map(|(i, script)| {
             let scene = cfg.scene.clone();
             let addr = addr.clone();
             let window = cfg.window;
+            let barrier = barrier.clone();
+            let delay = arrival_delay(cfg, i);
+            let cut = cut_point(cfg, i);
             thread::spawn(move || {
-                let stream =
-                    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
-                drive(TcpTransport::new(stream), &scene, &script, window)
+                if let Some(d) = delay {
+                    thread::sleep(d);
+                }
+                let stream = match TcpStream::connect(&addr) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        // Failed or not, every client shows up at the
+                        // rendezvous — see `drive`.
+                        if let Some(b) = &barrier {
+                            b.wait();
+                        }
+                        return Err(format!("connect {addr}: {e}"));
+                    }
+                };
+                drive(
+                    TcpTransport::new(stream),
+                    &scene,
+                    &script,
+                    window,
+                    barrier,
+                    cut,
+                )
             })
         })
         .collect();
@@ -376,34 +516,93 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
 }
 
 /// Runs the fleet over in-memory transports instead of TCP — the bench
-/// harness uses this to measure serving cost without socket noise. One
-/// server-connection thread and one client thread per session.
+/// harness uses this to measure serving cost without socket noise, and
+/// the chaos stage uses it because only here can both transport halves
+/// carry a [`FaultTransport`]. Sessions land on the shard engine
+/// (`cfg.shards > 0`, via [`Server::admit`]) or on one server thread
+/// each (the ablation path); one client thread per session either way.
 pub fn run_loadgen_mem(cfg: &LoadConfig) -> Result<LoadReport, String> {
     let collector = Arc::new(Collector::new());
     collector.enable();
     let server = Server::new(cfg.server.clone(), collector.clone());
+    if cfg.shards > 0 {
+        server.start_shards(cfg.shards);
+    }
     let scripts = record_scripts(cfg)?;
 
+    let barrier = cfg.rendezvous.then(|| Arc::new(Barrier::new(cfg.sessions)));
     let started = Instant::now();
     let handles = scripts
         .into_iter()
-        .map(|script| {
+        .enumerate()
+        .map(|(i, script)| {
             let scene = cfg.scene.clone();
             let window = cfg.window;
-            let (client_half, server_half) = MemTransport::pair();
             let srv = server.clone();
-            thread::spawn(move || srv.serve_connection(server_half));
-            thread::spawn(move || drive(client_half, &scene, &script, window))
+            let barrier = barrier.clone();
+            let delay = arrival_delay(cfg, i);
+            let cut = cut_point(cfg, i);
+            let fault = cfg.fault_seed.map(|s| s ^ i as u64);
+            let sharded = cfg.shards > 0;
+            thread::spawn(move || {
+                if let Some(d) = delay {
+                    thread::sleep(d);
+                }
+                let (client_half, server_half) = MemTransport::pair();
+                // Server half: queued on a shard, or given its own
+                // thread on the ablation path. Faulted runs wrap BOTH
+                // halves (the server's is passthrough) so the
+                // byte-stream re-framing stays symmetric.
+                if sharded {
+                    let t: Box<dyn FrameTransport> = if fault.is_some() {
+                        Box::new(FaultTransport::new(server_half, FaultPlan::passthrough()))
+                    } else {
+                        Box::new(server_half)
+                    };
+                    if srv.admit(t).is_err() {
+                        if let Some(b) = &barrier {
+                            b.wait();
+                        }
+                        return Err("server busy: no shard accepting".into());
+                    }
+                } else if fault.is_some() {
+                    let t = FaultTransport::new(server_half, FaultPlan::passthrough());
+                    thread::spawn(move || srv.serve_connection(t));
+                } else {
+                    thread::spawn(move || srv.serve_connection(server_half));
+                }
+                match fault {
+                    Some(seed) => drive(
+                        FaultTransport::new(client_half, FaultPlan::lossless(seed)),
+                        &scene,
+                        &script,
+                        window,
+                        barrier,
+                        cut,
+                    ),
+                    None => drive(client_half, &scene, &script, window, barrier, cut),
+                }
+            })
         })
         .collect();
     let mut report = aggregate(started, handles)?;
     if cfg.stats_probe {
         let (client_half, server_half) = MemTransport::pair();
-        let srv = server.clone();
-        let t = thread::spawn(move || srv.serve_connection(server_half));
-        report.stats_reply = Some(probe_stats(client_half, &cfg.scene)?);
-        let _ = t.join();
+        if cfg.shards > 0 {
+            server
+                .admit(Box::new(server_half))
+                .map_err(|_| "stats probe: no shard accepting".to_string())?;
+            report.stats_reply = Some(probe_stats(client_half, &cfg.scene)?);
+        } else {
+            let srv = server.clone();
+            let t = thread::spawn(move || srv.serve_connection(server_half));
+            report.stats_reply = Some(probe_stats(client_half, &cfg.scene)?);
+            let _ = t.join();
+        }
     }
+    // Quiesce before reading counters: joining the shard threads
+    // guarantees every in-flight close has landed in its collector.
+    server.shutdown_shards();
     attach_server_view(&mut report, &server);
     Ok(report)
 }
@@ -420,17 +619,25 @@ fn probe_stats<T: FrameTransport>(transport: T, scene: &str) -> Result<(String, 
 /// Renders the report the way the bin prints it (and CI greps it).
 pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
     let mut out = String::new();
+    let dispatch = match cfg.shards {
+        0 => "thread-per-conn".to_string(),
+        n => format!("{n} shard(s)"),
+    };
     out.push_str(&format!(
-        "loadgen: {} sessions x {} steps on {} ({:?} profile, window {})\n",
+        "loadgen: {} sessions x {} steps on {} ({:?} profile, window {}, {dispatch})\n",
         cfg.sessions, cfg.steps, cfg.scene, cfg.profile, cfg.window
     ));
     out.push_str(&format!(
-        "  completed: {} ({} rejected busy, {} errors) in {:.2}s\n",
+        "  completed: {} ({} rejected busy, {} injected disconnects, {} errors) in {:.2}s\n",
         r.completed,
         r.rejected,
+        r.injected_disconnects,
         r.errors.len(),
         r.wall_s
     ));
+    if let Some(peak) = r.peak_sessions {
+        out.push_str(&format!("  peak concurrent sessions: {peak}\n"));
+    }
     out.push_str(&format!(
         "  throughput: {:.1} sessions/s, {:.0} frames/s\n",
         r.sessions_per_s, r.frames_per_s

@@ -9,6 +9,12 @@
 //! per step; pipelined batching is exercised separately by the server
 //! unit tests, where byte identity of *intermediate* frames is not a
 //! promise.
+//!
+//! [`run_sharded`] extends the same idea one level up: an N-shard
+//! server must be observably identical to a 1-shard server — same
+//! per-session framebuffers, same server-wide counters — except for
+//! the shard-local `serve.shard.*` scheduling plane, which is the only
+//! place shard count is allowed to leave a mark.
 
 use std::sync::Arc;
 use std::thread;
@@ -16,12 +22,14 @@ use std::thread;
 use atk_check::gen::StepGen;
 use atk_check::Session;
 use atk_core::ScriptStep;
+use atk_graphics::Framebuffer;
 use atk_trace::Collector;
 
 use crate::client::ServeClient;
+use crate::fault::{FaultPlan, FaultTransport};
 use crate::server::{Server, ServerConfig};
 use crate::session::SessionConfig;
-use crate::transport::MemTransport;
+use crate::transport::{FrameTransport, MemTransport};
 
 /// The outcome of one oracle run.
 #[derive(Debug)]
@@ -86,6 +94,93 @@ pub fn encode_differential(scene: &str, seed: u64, steps: usize) -> Result<Oracl
         ..SessionConfig::default()
     };
     serve_differential_with(scene, seed, steps, session)
+}
+
+/// What one [`run_sharded`] pass observed — everything shard count is
+/// *not* allowed to change.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// Final client-side framebuffers, one per script, in script order.
+    pub framebuffers: Vec<Framebuffer>,
+    /// Merged server-wide counters with the shard-local scheduling
+    /// plane (`serve.shard.*`) stripped.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Replays `scripts` (one session each, sequentially, synchronous
+/// stepping) against a server running `shards` worker shards over
+/// in-memory transports, and returns every final framebuffer plus the
+/// merged non-shard counters. With `fault_seed` set, every transport
+/// pair carries a seeded lossless [`FaultTransport`] (short writes,
+/// `WouldBlock` storms) on the client half — the differential then
+/// also proves fault schedules are invisible.
+///
+/// Sessions run sequentially on purpose: it pins every counter the
+/// comparison reads (batch sizes, peak concurrency, keyframe cadence)
+/// to one deterministic interleaving on both sides of the diff.
+pub fn run_sharded(
+    scene: &str,
+    scripts: &[Vec<ScriptStep>],
+    shards: usize,
+    session_cfg: SessionConfig,
+    fault_seed: Option<u64>,
+) -> Result<ShardedRun, String> {
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    let server_cfg = ServerConfig {
+        session: session_cfg,
+        // Exercise the readiness-reorder fault path whenever faults are
+        // on at all; with one connection at a time it must be inert.
+        readiness_shuffle_seed: fault_seed,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(server_cfg, collector);
+    server.start_shards(shards.max(1));
+
+    let mut framebuffers = Vec::with_capacity(scripts.len());
+    for (i, script) in scripts.iter().enumerate() {
+        let (client_half, server_half) = MemTransport::pair();
+        let server_t: Box<dyn FrameTransport> = match fault_seed {
+            Some(_) => Box::new(FaultTransport::new(server_half, FaultPlan::passthrough())),
+            None => Box::new(server_half),
+        };
+        server
+            .admit(server_t)
+            .map_err(|_| format!("session {i}: no shard accepting"))?;
+        let client_t: Box<dyn FrameTransport> = match fault_seed {
+            Some(seed) => Box::new(FaultTransport::new(
+                client_half,
+                FaultPlan::lossless(seed ^ i as u64),
+            )),
+            None => Box::new(client_half),
+        };
+        let mut client = ServeClient::connect(client_t, scene)
+            .map_err(|e| format!("session {i}: connect: {e}"))?;
+        for step in script {
+            client
+                .step_sync(step)
+                .map_err(|e| format!("session {i}: {e}"))?;
+            if client.ended() {
+                return Err(format!("session {i}: server ended session mid-script"));
+            }
+        }
+        framebuffers.push(client.framebuffer().clone());
+        client.finish().map_err(|e| format!("session {i}: {e}"))?;
+    }
+
+    // Join the shard threads before reading counters, so every close
+    // has landed; then strip the one plane allowed to differ.
+    server.shutdown_shards();
+    let counters = server
+        .merged_snapshot()
+        .counters
+        .into_iter()
+        .filter(|(key, _)| !key.starts_with("serve.shard."))
+        .collect();
+    Ok(ShardedRun {
+        framebuffers,
+        counters,
+    })
 }
 
 /// Replays an already-recorded script through a served session and

@@ -1,12 +1,22 @@
-//! The multi-session server: admission control plus a thread-per-
-//! connection accept loop.
+//! The multi-session server: admission control plus two dispatch
+//! paths — the event-driven shard engine (the default at scale) and
+//! the original thread-per-connection loop (kept as the E15 ablation
+//! baseline).
 //!
-//! Each connection thread owns its whole session — scene build, event
-//! batching, diff shipping — because the `World` is deliberately
-//! `!Send` (views hold `Rc` handles to the window framebuffer). Only
-//! the transport halves and the shared counters cross threads, which
-//! is the same discipline the paper's window-system connection imposed:
-//! the display protocol travels, the application state does not.
+//! Either way a session's `World` is born, lives, and dies on one
+//! thread, because it is deliberately `!Send` (views hold `Rc` handles
+//! to the window framebuffer). Under shards that thread hosts *many*
+//! sessions behind a poll-style readiness loop (see [`crate::shard`]);
+//! under the blocking path it hosts exactly one. Only the transport
+//! halves and the shared counters cross threads, which is the same
+//! discipline the paper's window-system connection imposed: the
+//! display protocol travels, the application state does not.
+//!
+//! Both paths funnel every batch through [`Server::finish_batch`], so
+//! backpressure, shipping, stats replies, and goodbye semantics cannot
+//! diverge between them — the sharded-vs-single differential oracle
+//! (`tests/shard_differential.rs`) then proves the remaining dispatch
+//! machinery equivalent byte-for-byte.
 
 use std::io;
 use std::net::TcpListener;
@@ -15,11 +25,14 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
 use atk_core::ScriptStep;
-use atk_trace::{snapshot_json, text_summary, Collector, SlowFrameLog, Snapshot};
+use atk_trace::{
+    snapshot_json, text_summary, Collector, FrameTrace, SlowFrameLog, Snapshot, Stage,
+};
 
 use crate::session::{HostedSession, SessionConfig, SessionEnd};
+use crate::shard::ShardHandle;
 use crate::transport::{FrameTransport, TcpTransport};
-use crate::wire::{ClientFrame, ServerFrame, WireError};
+use crate::wire::{ClientFrame, ServerFrame, WireError, BYE_BYE, BYE_CLOSED, BYE_IDLE};
 
 /// Span-ring capacity of each per-session collector (smaller than the
 /// default: N sessions each hold one of these).
@@ -48,6 +61,11 @@ pub struct ServerConfig {
     /// [`TRACE_RETAIN_CAP`]) so [`Server::trace_parts`] can export one
     /// Chrome-trace track per session even after the connection closed.
     pub retain_session_traces: bool,
+    /// Fault-injection knob for the shard readiness loop: when set,
+    /// each shard iteration polls its connections in a seeded-shuffled
+    /// order instead of admission order, so tests can prove the
+    /// dispatch result does not depend on readiness ordering.
+    pub readiness_shuffle_seed: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +75,7 @@ impl Default for ServerConfig {
             session: SessionConfig::default(),
             manual_clock: None,
             retain_session_traces: false,
+            readiness_shuffle_seed: None,
         }
     }
 }
@@ -95,6 +114,11 @@ pub struct Server {
     trace_snaps: Mutex<Vec<(u64, Snapshot)>>,
     /// Shared sink for SLO-violation dumps from every session.
     slow_log: Arc<SlowFrameLog>,
+    /// Highest concurrent-session count ever observed
+    /// (`serve.peak_sessions`).
+    peak: AtomicUsize,
+    /// Worker shards, once [`Server::start_shards`] ran.
+    shards: Mutex<Vec<ShardHandle>>,
 }
 
 impl Server {
@@ -109,7 +133,13 @@ impl Server {
             retired: Mutex::new(Snapshot::default()),
             trace_snaps: Mutex::new(Vec::new()),
             slow_log: Arc::new(SlowFrameLog::new(SLOW_LOG_CAPACITY)),
+            peak: AtomicUsize::new(0),
+            shards: Mutex::new(Vec::new()),
         })
+    }
+
+    pub(crate) fn cfg(&self) -> &ServerConfig {
+        &self.cfg
     }
 
     /// The server-plane trace collector.
@@ -127,6 +157,49 @@ impl Server {
         self.active.load(Ordering::SeqCst)
     }
 
+    /// Highest concurrent-session count observed so far (also the
+    /// `serve.peak_sessions` gauge — loadgen's proof that "N concurrent
+    /// sessions" really were concurrent on the server).
+    pub fn peak_sessions(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+
+    /// Claims one admission slot and updates the lifecycle counters.
+    /// `false` means the server is full: count the reject and send
+    /// `Busy`. Both dispatch paths admit through here.
+    pub(crate) fn try_claim_slot(&self) -> bool {
+        let claimed = self
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.cfg.max_sessions).then_some(n + 1)
+            })
+            .is_ok();
+        if claimed {
+            self.collector.count("serve.sessions", 1);
+            let now = self.active_sessions();
+            let peak = self.peak.fetch_max(now, Ordering::SeqCst).max(now);
+            self.collector.gauge("serve.active_sessions", now as i64);
+            // Server-plane only: the gauge-summing snapshot merge stays
+            // truthful because no session collector ever carries it.
+            self.collector.gauge("serve.peak_sessions", peak as i64);
+        } else {
+            self.collector.count("serve.busy_rejects", 1);
+        }
+        claimed
+    }
+
+    /// Returns an admission slot on any exit path.
+    pub(crate) fn release_slot(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.collector
+            .gauge("serve.active_sessions", self.active_sessions() as i64);
+    }
+
+    /// Allocates the next session id.
+    pub(crate) fn next_session_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
     fn lock_sessions(&self) -> MutexGuard<'_, Vec<(u64, Arc<Collector>)>> {
         self.sessions.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -142,12 +215,25 @@ impl Server {
         live.into_iter().map(|(id, c)| (id, c.snapshot())).collect()
     }
 
+    /// Snapshots of every shard-plane collector (`serve.shard.*`
+    /// scheduling counters), in shard order. Empty until
+    /// [`Server::start_shards`] ran.
+    pub fn shard_snapshots(&self) -> Vec<Snapshot> {
+        self.lock_shards()
+            .iter()
+            .map(|s| s.collector().snapshot())
+            .collect()
+    }
+
     /// The server-wide view: the server-plane collector merged with
-    /// every retired session's accumulated totals and every live
-    /// session's current snapshot. This is what a `Stats` request and
-    /// `--stats-every` report.
+    /// every shard plane, every retired session's accumulated totals,
+    /// and every live session's current snapshot. This is what a
+    /// `Stats` request and `--stats-every` report.
     pub fn merged_snapshot(&self) -> Snapshot {
         let mut out = self.collector.snapshot();
+        for snap in self.shard_snapshots() {
+            out.merge(&snap);
+        }
         out.merge(&self.lock_retired());
         for (_, snap) in self.session_snapshots() {
             out.merge(&snap);
@@ -156,10 +242,13 @@ impl Server {
     }
 
     /// Labeled snapshot parts for `chrome_trace_json_multi`: the
-    /// server plane, then retained retired sessions, then live ones —
-    /// one pid/track per part.
+    /// server plane, the shard planes, then retained retired sessions,
+    /// then live ones — one pid/track per part.
     pub fn trace_parts(&self) -> Vec<(String, Snapshot)> {
         let mut parts = vec![("server".to_string(), self.collector.snapshot())];
+        for (i, snap) in self.shard_snapshots().into_iter().enumerate() {
+            parts.push((format!("shard-{i}"), snap));
+        }
         for (id, snap) in self
             .trace_snaps
             .lock()
@@ -184,7 +273,7 @@ impl Server {
     }
 
     /// Creates, configures, and registers one session's collector.
-    fn open_session_collector(&self, session_id: u64) -> Arc<Collector> {
+    pub(crate) fn open_session_collector(&self, session_id: u64) -> Arc<Collector> {
         let c = Arc::new(Collector::with_capacity(SESSION_SPAN_CAPACITY));
         c.set_enabled(self.collector.is_enabled());
         if let Some((start_us, step_us)) = self.cfg.manual_clock {
@@ -192,6 +281,24 @@ impl Server {
         }
         self.lock_sessions().push((session_id, c.clone()));
         c
+    }
+
+    /// Unregisters a session's collector and folds its final
+    /// (span-stripped) snapshot into the retired accumulator, so
+    /// `merged_snapshot` totals survive session churn. Every close
+    /// path — orderly, error, drain — lands here exactly once.
+    pub(crate) fn retire_session(&self, session_id: u64, collector: &Arc<Collector>) {
+        let full = collector.snapshot();
+        let mut sessions = self.lock_sessions();
+        sessions.retain(|(id, _)| *id != session_id);
+        drop(sessions);
+        self.lock_retired().merge(&full.without_spans());
+        if self.cfg.retain_session_traces {
+            let mut snaps = self.trace_snaps.lock().unwrap_or_else(|e| e.into_inner());
+            if snaps.len() < TRACE_RETAIN_CAP {
+                snaps.push((session_id, full));
+            }
+        }
     }
 
     /// Runs one connection to completion on the calling thread.
@@ -221,23 +328,13 @@ impl Server {
         };
 
         // Admission: claim a slot or turn the client away politely.
-        let claimed = self
-            .active
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < self.cfg.max_sessions).then_some(n + 1)
-            })
-            .is_ok();
-        if !claimed {
-            self.collector.count("serve.busy_rejects", 1);
+        if !self.try_claim_slot() {
             t.send(&ServerFrame::Busy.encode())?;
             return Ok(ConnectionOutcome::Rejected);
         }
         let guard = SlotGuard(self);
-        self.collector.count("serve.sessions", 1);
-        self.collector
-            .gauge("serve.active_sessions", self.active_sessions() as i64);
 
-        let session_id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let session_id = self.next_session_id();
         let session_collector = self.open_session_collector(session_id);
         // Unregisters the collector and folds its totals into the
         // retired accumulator on every exit path, error or orderly.
@@ -270,8 +367,6 @@ impl Server {
 
         let outcome = self.session_loop(t, &mut session);
         drop(guard);
-        self.collector
-            .gauge("serve.active_sessions", self.active_sessions() as i64);
         outcome
     }
 
@@ -280,7 +375,6 @@ impl Server {
         t: &mut T,
         session: &mut HostedSession,
     ) -> Result<ConnectionOutcome, Box<dyn std::error::Error>> {
-        use atk_trace::Stage;
         loop {
             // Block for the first step, then drain whatever burst is
             // already buffered into the same batch. The frame trace
@@ -291,95 +385,206 @@ impl Server {
             let mut batch: Vec<ScriptStep> = Vec::new();
             let mut saw_bye = false;
             let mut stats_req = false;
-            ft.enter(Stage::Decode);
-            let first = ClientFrame::decode(&first_body);
-            ft.exit();
-            match first? {
-                ClientFrame::Step(step) => batch.push(step),
-                ClientFrame::Bye => saw_bye = true,
-                ClientFrame::StatsReq => stats_req = true,
-                ClientFrame::Hello { .. } => {
-                    return Err(Box::new(WireError::BadTag(0x01)));
-                }
-            }
+            decode_into(
+                &first_body,
+                &mut ft,
+                &mut batch,
+                &mut saw_bye,
+                &mut stats_req,
+            )?;
             while !saw_bye {
                 match t.try_recv()? {
                     Some(body) => {
-                        ft.enter(Stage::Decode);
-                        let decoded = ClientFrame::decode(&body);
-                        ft.exit();
-                        match decoded? {
-                            ClientFrame::Step(step) => batch.push(step),
-                            ClientFrame::Bye => saw_bye = true,
-                            ClientFrame::StatsReq => stats_req = true,
-                            ClientFrame::Hello { .. } => {
-                                return Err(Box::new(WireError::BadTag(0x01)));
-                            }
-                        }
+                        decode_into(&body, &mut ft, &mut batch, &mut saw_bye, &mut stats_req)?
                     }
                     None => break,
                 }
             }
 
-            // Backpressure: a burst beyond the queue cap drops its
-            // oldest steps; the drops still advance `seq`.
-            let dropped = batch.len().saturating_sub(self.cfg.session.queue_cap);
-            if dropped > 0 {
-                batch.drain(..dropped);
-                session
-                    .collector()
-                    .count("serve.backpressure_drops", dropped as u64);
-            }
-
-            let mut end_after = None;
-            if !batch.is_empty() {
-                let (frame, end) = session.apply_batch_traced(&batch, dropped as u64, &mut ft);
-                ft.enter(Stage::Ship);
-                let encoded = session.encode_frame(&frame);
-                t.send(&encoded)?;
-                ft.exit();
-                session.finish_frame(ft);
-                end_after = end;
-            }
-            // A batchless wakeup (lone StatsReq) drops its inert-ish
-            // trace: no frame shipped, nothing to attribute.
-
-            if stats_req {
-                self.collector.count("serve.stats_requests", 1);
-                t.send(&self.stats_reply().encode())?;
-            }
-
-            if let Some(end) = end_after {
-                let reason = match end {
-                    SessionEnd::Idle => "idle",
-                    SessionEnd::Closed => "closed",
-                };
-                if end == SessionEnd::Idle {
-                    self.collector.count("serve.idle_evictions", 1);
-                }
-                t.send(
-                    &ServerFrame::Bye {
-                        reason: reason.into(),
-                    }
-                    .encode(),
-                )?;
-                return Ok(ConnectionOutcome::Served {
-                    steps: session.seq(),
-                });
-            }
-            if saw_bye {
-                t.send(
-                    &ServerFrame::Bye {
-                        reason: "bye".into(),
-                    }
-                    .encode(),
-                )?;
-                return Ok(ConnectionOutcome::Served {
-                    steps: session.seq(),
-                });
+            if let Some(outcome) = self.finish_batch(t, session, ft, batch, saw_bye, stats_req)? {
+                return Ok(outcome);
             }
         }
     }
+
+    /// Runs one collected batch to completion: backpressure trim,
+    /// apply + ship under the frame trace, stats reply, and the goodbye
+    /// when the batch (or the client) ended the session. Returns
+    /// `Some(outcome)` once the session is over. Both dispatch paths —
+    /// the blocking per-connection loop and the shard readiness pump —
+    /// call this and nothing else, so their observable behavior per
+    /// batch is shared code, not parallel implementations.
+    pub(crate) fn finish_batch(
+        &self,
+        t: &mut dyn FrameTransport,
+        session: &mut HostedSession,
+        mut ft: FrameTrace,
+        mut batch: Vec<ScriptStep>,
+        saw_bye: bool,
+        stats_req: bool,
+    ) -> Result<Option<ConnectionOutcome>, Box<dyn std::error::Error>> {
+        // Backpressure: a burst beyond the queue cap drops its oldest
+        // steps; the drops still advance `seq`.
+        let dropped = batch.len().saturating_sub(self.cfg.session.queue_cap);
+        if dropped > 0 {
+            batch.drain(..dropped);
+            session
+                .collector()
+                .count("serve.backpressure_drops", dropped as u64);
+        }
+
+        let mut end_after = None;
+        if !batch.is_empty() {
+            let (frame, end) = session.apply_batch_traced(&batch, dropped as u64, &mut ft);
+            ft.enter(Stage::Ship);
+            let encoded = session.encode_frame(&frame);
+            t.send(&encoded)?;
+            ft.exit();
+            session.finish_frame(ft);
+            end_after = end;
+        }
+        // A batchless wakeup (lone StatsReq) drops its inert-ish
+        // trace: no frame shipped, nothing to attribute.
+
+        if stats_req {
+            self.collector.count("serve.stats_requests", 1);
+            t.send(&self.stats_reply().encode())?;
+        }
+
+        if let Some(end) = end_after {
+            let reason = match end {
+                SessionEnd::Idle => BYE_IDLE,
+                SessionEnd::Closed => BYE_CLOSED,
+            };
+            if end == SessionEnd::Idle {
+                self.collector.count("serve.idle_evictions", 1);
+            }
+            t.send(
+                &ServerFrame::Bye {
+                    reason: reason.into(),
+                }
+                .encode(),
+            )?;
+            return Ok(Some(ConnectionOutcome::Served {
+                steps: session.seq(),
+            }));
+        }
+        if saw_bye {
+            t.send(
+                &ServerFrame::Bye {
+                    reason: BYE_BYE.into(),
+                }
+                .encode(),
+            )?;
+            return Ok(Some(ConnectionOutcome::Served {
+                steps: session.seq(),
+            }));
+        }
+        Ok(None)
+    }
+
+    fn lock_shards(&self) -> MutexGuard<'_, Vec<ShardHandle>> {
+        self.shards.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Starts `n` worker shards (idempotent: a no-op when shards are
+    /// already running). Shard threads hold only a `Weak` reference
+    /// back to the server, so dropping the last external `Arc` (or
+    /// calling [`Server::shutdown_shards`]) winds them down.
+    pub fn start_shards(self: &Arc<Server>, n: usize) {
+        let mut shards = self.lock_shards();
+        if !shards.is_empty() {
+            return;
+        }
+        for index in 0..n.max(1) {
+            shards.push(ShardHandle::spawn(Arc::downgrade(self), index));
+        }
+    }
+
+    /// Running worker shards (0 until [`Server::start_shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.lock_shards().len()
+    }
+
+    /// Per-shard connection counts (queued + live), in shard order.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.lock_shards().iter().map(|s| s.load()).collect()
+    }
+
+    /// Routes a new connection to the least-loaded shard that is not
+    /// draining. `Ok` carries the chosen shard's index; `Err` returns
+    /// the transport when no shard can take it (none started, or all
+    /// draining/gone) so the caller can send `Busy` itself.
+    pub fn admit(&self, t: Box<dyn FrameTransport>) -> Result<usize, Box<dyn FrameTransport>> {
+        let shards = self.lock_shards();
+        let best = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_draining())
+            .min_by_key(|(_, s)| s.load())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => shards[i].send_conn(t).map(|()| i),
+            None => Err(t),
+        }
+    }
+
+    /// Asks shard `index` to drain: it stops taking new connections,
+    /// closes pending handshakes with `Busy`, and says `Bye {drain}` to
+    /// its live sessions (every acked frame has already shipped, so
+    /// nothing is lost; clients reconnect and land on another shard).
+    /// Returns `false` for an unknown index. The shard thread stays up
+    /// serving nothing, so shard indices remain stable.
+    pub fn drain_shard(&self, index: usize) -> bool {
+        match self.lock_shards().get(index) {
+            Some(s) => {
+                s.drain();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops every shard thread: drains each (same goodbye semantics
+    /// as [`Server::drain_shard`]) and joins them. Tests and loadgen
+    /// call this so shard threads never outlive the measurement.
+    pub fn shutdown_shards(&self) {
+        let shards = std::mem::take(&mut *self.lock_shards());
+        for s in &shards {
+            s.shutdown();
+        }
+        for s in &shards {
+            s.join();
+        }
+        // Fold the scheduling counters into the retired accumulator so
+        // `merged_snapshot` keeps them after the threads are gone.
+        let mut retired = self.lock_retired();
+        for s in &shards {
+            retired.merge(&s.collector().snapshot().without_spans());
+        }
+    }
+}
+
+/// Decodes one client body into the current batch, stamping the decode
+/// stage. A second `Hello` mid-session is the protocol violation it
+/// always was.
+pub(crate) fn decode_into(
+    body: &[u8],
+    ft: &mut FrameTrace,
+    batch: &mut Vec<ScriptStep>,
+    saw_bye: &mut bool,
+    stats_req: &mut bool,
+) -> Result<(), WireError> {
+    ft.enter(Stage::Decode);
+    let decoded = ClientFrame::decode(body);
+    ft.exit();
+    match decoded? {
+        ClientFrame::Step(step) => batch.push(step),
+        ClientFrame::Bye => *saw_bye = true,
+        ClientFrame::StatsReq => *stats_req = true,
+        ClientFrame::Hello { .. } => return Err(WireError::BadTag(0x01)),
+    }
+    Ok(())
 }
 
 /// Unregisters a session's collector on connection exit and folds its
@@ -393,21 +598,7 @@ struct RetireGuard<'a> {
 
 impl Drop for RetireGuard<'_> {
     fn drop(&mut self) {
-        let full = self.collector.snapshot();
-        let mut sessions = self.server.lock_sessions();
-        sessions.retain(|(id, _)| *id != self.session_id);
-        drop(sessions);
-        self.server.lock_retired().merge(&full.without_spans());
-        if self.server.cfg.retain_session_traces {
-            let mut snaps = self
-                .server
-                .trace_snaps
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            if snaps.len() < TRACE_RETAIN_CAP {
-                snaps.push((self.session_id, full));
-            }
-        }
+        self.server.retire_session(self.session_id, &self.collector);
     }
 }
 
@@ -416,12 +607,13 @@ struct SlotGuard<'a>(&'a Server);
 
 impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
-        self.0.active.fetch_sub(1, Ordering::SeqCst);
+        self.0.release_slot();
     }
 }
 
-/// Accepts connections forever, one thread per connection. Returns only
-/// on listener failure.
+/// Accepts connections forever, one thread per connection — the E15
+/// ablation baseline the shard engine replaced. Returns only on
+/// listener failure.
 pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
     loop {
         let (stream, _) = listener.accept()?;
@@ -432,6 +624,26 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
                 eprintln!("served: session failed: {e}");
             }
         });
+    }
+}
+
+/// Accepts connections forever onto `shards` worker shards (started if
+/// not already running): the acceptor thread only hands the socket to
+/// the least-loaded shard's admission queue; the shard does the
+/// handshake and hosts the session. When every shard is draining the
+/// acceptor answers `Busy` itself. Returns only on listener failure.
+pub fn serve_listener_sharded(
+    server: Arc<Server>,
+    listener: TcpListener,
+    shards: usize,
+) -> io::Result<()> {
+    server.start_shards(shards);
+    loop {
+        let (stream, _) = listener.accept()?;
+        if let Err(mut t) = server.admit(Box::new(TcpTransport::new(stream))) {
+            server.collector().count("serve.busy_rejects", 1);
+            let _ = t.send(&ServerFrame::Busy.encode());
+        }
     }
 }
 

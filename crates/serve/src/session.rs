@@ -145,6 +145,11 @@ impl HostedSession {
         self.session_id = id;
     }
 
+    /// The server-assigned id (0 until [`HostedSession::set_session_id`]).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
     /// Points SLO-violation dumps at a shared sink.
     pub fn set_slow_log(&mut self, log: Arc<SlowFrameLog>) {
         self.slow_log = Some(log);
@@ -309,15 +314,21 @@ impl HostedSession {
         self.collector
             .observe("serve.frame_us", started.elapsed().as_micros() as u64);
 
-        let end = if !self.im.is_running() {
-            Some(SessionEnd::Closed)
-        } else if let Some(idle) = self.cfg.idle_ms {
-            (self.world.now_ms().saturating_sub(self.last_input_ms) >= idle)
-                .then_some(SessionEnd::Idle)
-        } else {
-            None
-        };
-        (frame, end)
+        (frame, self.session_end())
+    }
+
+    /// Whether the session must end right now, judged only on *this*
+    /// session's state: its run flag, and its own virtual clock against
+    /// its own last-input stamp. A shard hosting many sessions calls
+    /// this per session — each world carries its own clock, so one
+    /// session ticking far into its future never ages its neighbors
+    /// (the cross-session clock-bleed regression pins this).
+    pub fn session_end(&self) -> Option<SessionEnd> {
+        if !self.im.is_running() {
+            return Some(SessionEnd::Closed);
+        }
+        let idle = self.cfg.idle_ms?;
+        (self.world.now_ms().saturating_sub(self.last_input_ms) >= idle).then_some(SessionEnd::Idle)
     }
 
     /// The initial keyframe sent right after `Welcome`.

@@ -1,0 +1,436 @@
+//! The event-driven shard engine: N worker threads, each single-
+//! threadedly hosting *many* sessions behind a poll-style readiness
+//! loop.
+//!
+//! The shape follows the band0 decomposition of many small framed-
+//! protocol daemons, each owning one resource outright: a shard owns
+//! its sessions — `World`s are `!Send`, so a session is born, lives,
+//! and dies on its shard's thread — and everything else reaches the
+//! shard through two narrow channels. New connections arrive on an
+//! mpsc admission queue fed by the acceptor (least-loaded shard wins,
+//! see `Server::admit`); counters leave through the shard's own
+//! `atk-trace` collector, which `Server::merged_snapshot` folds in.
+//!
+//! Each loop iteration: drain the admission queue, then poll every
+//! connection's transport once with the non-blocking `try_recv` —
+//! pending `Hello`s complete their handshake, live sessions drain
+//! whatever burst is buffered into one batch and run it through the
+//! shared `Server::finish_batch`. No readiness event in a whole sweep
+//! means the shard naps briefly instead of spinning. There is no epoll
+//! here by design: the repo is std-only, and a short nap bounds the
+//! idle poll cost while keeping the loop portable.
+//!
+//! Draining (`Server::drain_shard`) is graceful but final for the
+//! shard's current tenants: sessions cannot migrate (their `World`s
+//! are pinned to this thread), so live sessions get `Bye {drain}` —
+//! every acked frame has already shipped, nothing is lost — and
+//! pending handshakes get `Busy`. The acceptor skips draining shards,
+//! so new connections keep landing elsewhere immediately.
+//!
+//! Shard-local scheduling counters live under `serve.shard.*`
+//! (admitted/batches/drained_sessions/busy_on_drain/failures); the
+//! sharded-vs-single differential oracle excludes exactly that prefix,
+//! because it is the only place where shard count may leave a mark.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use atk_core::ScriptStep;
+use atk_trace::Collector;
+
+use crate::fault::FaultRng;
+use crate::server::{decode_into, ConnectionOutcome, Server};
+use crate::session::HostedSession;
+use crate::transport::FrameTransport;
+use crate::wire::{ClientFrame, ServerFrame, WireError, BYE_DRAIN};
+
+/// How long a shard naps when a full sweep found no readiness.
+const IDLE_NAP: Duration = Duration::from_micros(200);
+
+/// What the acceptor (or the server winding down) tells a shard.
+pub(crate) enum ShardMsg {
+    /// Host this connection.
+    Conn(Box<dyn FrameTransport>),
+    /// Stop taking connections and close the current ones gracefully.
+    Drain,
+    /// Drain, then exit the thread.
+    Shutdown,
+}
+
+/// The server-side handle to one shard thread.
+pub(crate) struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    /// Queued + live connections on the shard (least-loaded admission
+    /// reads this without talking to the thread).
+    load: Arc<AtomicUsize>,
+    draining: Arc<AtomicBool>,
+    collector: Arc<Collector>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ShardHandle {
+    /// Spawns the shard thread. It holds only a `Weak` back-reference:
+    /// the server owning the handle never cycles, and a dropped server
+    /// winds its shards down.
+    pub(crate) fn spawn(server: Weak<Server>, index: usize) -> ShardHandle {
+        let (tx, rx) = mpsc::channel();
+        let load = Arc::new(AtomicUsize::new(0));
+        let draining = Arc::new(AtomicBool::new(false));
+        let collector = Arc::new(Collector::new());
+        let join = {
+            let (load, draining, collector) = (load.clone(), draining.clone(), collector.clone());
+            thread::Builder::new()
+                .name(format!("atk-shard-{index}"))
+                .spawn(move || run_shard(server, index, rx, load, draining, collector))
+                .expect("spawn shard thread")
+        };
+        ShardHandle {
+            tx,
+            load,
+            draining,
+            collector,
+            join: Mutex::new(Some(join)),
+        }
+    }
+
+    /// The shard-plane collector (`serve.shard.*`).
+    pub(crate) fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    pub(crate) fn load(&self) -> usize {
+        self.load.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Queues a connection; on a dead shard the transport comes back.
+    pub(crate) fn send_conn(
+        &self,
+        t: Box<dyn FrameTransport>,
+    ) -> Result<(), Box<dyn FrameTransport>> {
+        // Count the connection before it is enqueued so two racing
+        // admits don't both see the old load and pile onto one shard.
+        self.load.fetch_add(1, Ordering::SeqCst);
+        match self.tx.send(ShardMsg::Conn(t)) {
+            Ok(()) => Ok(()),
+            Err(mpsc::SendError(msg)) => {
+                self.load.fetch_sub(1, Ordering::SeqCst);
+                match msg {
+                    ShardMsg::Conn(t) => Err(t),
+                    _ => unreachable!("send_conn only sends Conn"),
+                }
+            }
+        }
+    }
+
+    /// Flags the shard as draining *now* (the acceptor stops picking it
+    /// before the thread even wakes) and tells the thread to close out.
+    pub(crate) fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(ShardMsg::Drain);
+    }
+
+    pub(crate) fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(ShardMsg::Shutdown);
+    }
+
+    pub(crate) fn join(&self) {
+        let handle = self.join.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One connection the shard owns.
+struct Conn {
+    t: Box<dyn FrameTransport>,
+    state: ConnState,
+    /// Error to report to the peer when the connection closes failed.
+    failed: Option<String>,
+}
+
+enum ConnState {
+    /// Waiting for the client's `Hello`.
+    Handshake,
+    /// Hosting a live session (boxed: a `HostedSession` is large and
+    /// `Conn`s move when the vector compacts).
+    Running(Box<HostedSession>),
+}
+
+/// What one poll of one connection amounted to.
+enum Pump {
+    /// Nothing buffered; the connection stays as it was.
+    Idle,
+    /// Processed something; the connection lives on.
+    Progress,
+    /// The connection finished in an orderly way.
+    Done(ConnectionOutcome),
+}
+
+/// The shard thread body.
+fn run_shard(
+    server: Weak<Server>,
+    index: usize,
+    rx: Receiver<ShardMsg>,
+    load: Arc<AtomicUsize>,
+    draining: Arc<AtomicBool>,
+    collector: Arc<Collector>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut rng: Option<FaultRng> = None;
+    let mut first_iteration = true;
+    loop {
+        // Hold the server only for the duration of one iteration; when
+        // the last external Arc drops, the upgrade fails and the shard
+        // winds down.
+        let Some(server) = server.upgrade() else {
+            break;
+        };
+        if first_iteration {
+            collector.set_enabled(server.collector().is_enabled());
+            rng = server
+                .cfg()
+                .readiness_shuffle_seed
+                .map(|seed| FaultRng::new(seed ^ (index as u64).wrapping_mul(0x9E37)));
+            first_iteration = false;
+        }
+        let mut progress = false;
+        let mut shutdown = false;
+
+        // 1. Admission queue: accept new connections (or bounce them
+        // when draining) and note control messages.
+        loop {
+            match rx.try_recv() {
+                Ok(ShardMsg::Conn(t)) => {
+                    progress = true;
+                    if draining.load(Ordering::SeqCst) {
+                        let mut t = t;
+                        let _ = t.send(&ServerFrame::Busy.encode());
+                        collector.count("serve.shard.busy_on_drain", 1);
+                        load.fetch_sub(1, Ordering::SeqCst);
+                    } else {
+                        collector.count("serve.shard.admitted", 1);
+                        conns.push(Conn {
+                            t,
+                            state: ConnState::Handshake,
+                            failed: None,
+                        });
+                    }
+                }
+                Ok(ShardMsg::Drain) => {
+                    progress = true;
+                    draining.store(true, Ordering::SeqCst);
+                }
+                Ok(ShardMsg::Shutdown) => {
+                    draining.store(true, Ordering::SeqCst);
+                    shutdown = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    draining.store(true, Ordering::SeqCst);
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+
+        // 2. Drain: close every current tenant gracefully. Sessions
+        // cannot migrate (their worlds are pinned to this thread), so
+        // live ones get `Bye {drain}` and pending handshakes `Busy`.
+        if draining.load(Ordering::SeqCst) && !conns.is_empty() {
+            progress = true;
+            for conn in conns.drain(..) {
+                drain_close(&server, &collector, &load, conn);
+            }
+        }
+        if shutdown {
+            break;
+        }
+
+        // 3. Readiness sweep: poll every connection once, in admission
+        // order — or in a seeded-shuffled order when the reordering
+        // fault is armed (the differential oracle proves the order
+        // doesn't matter).
+        let mut order: Vec<usize> = (0..conns.len()).collect();
+        if let Some(rng) = &mut rng {
+            shuffle(&mut order, rng);
+        }
+        let mut closed: Vec<usize> = Vec::new();
+        for i in order {
+            let result = match &conns[i].state {
+                ConnState::Handshake => pump_handshake(&server, &mut conns[i]),
+                ConnState::Running(_) => pump_running(&server, &collector, &mut conns[i]),
+            };
+            match result {
+                Ok(Pump::Idle) => {}
+                Ok(Pump::Progress) => progress = true,
+                Ok(Pump::Done(_outcome)) => {
+                    progress = true;
+                    closed.push(i);
+                }
+                Err(e) => {
+                    progress = true;
+                    collector.count("serve.shard.failures", 1);
+                    conns[i].failed = Some(e.to_string());
+                    closed.push(i);
+                }
+            }
+        }
+        // Compact from the back so earlier indices stay valid.
+        closed.sort_unstable();
+        for i in closed.into_iter().rev() {
+            let conn = conns.swap_remove(i);
+            finish_close(&server, &load, conn);
+        }
+
+        drop(server);
+        if !progress {
+            thread::sleep(IDLE_NAP);
+        }
+    }
+}
+
+/// Completes a pending handshake if the `Hello` has arrived: admission
+/// slot, session build, `Welcome` + initial keyframe — the same
+/// sequence as the blocking path, minus the blocking.
+fn pump_handshake(server: &Server, conn: &mut Conn) -> Result<Pump, Box<dyn std::error::Error>> {
+    let Some(body) = conn.t.try_recv()? else {
+        return Ok(Pump::Idle);
+    };
+    let ClientFrame::Hello { scene } = ClientFrame::decode(&body)? else {
+        return Err(Box::new(WireError::BadTag(0)));
+    };
+    if !server.try_claim_slot() {
+        conn.t.send(&ServerFrame::Busy.encode())?;
+        return Ok(Pump::Done(ConnectionOutcome::Rejected));
+    }
+    // From here the claimed slot must be released on every path. The
+    // happy path hands that duty to `finish_close` by entering
+    // `Running`; the failure paths release explicitly.
+    let session_id = server.next_session_id();
+    let session_collector = server.open_session_collector(session_id);
+    let mut session = match HostedSession::open(
+        &scene,
+        server.cfg().session.clone(),
+        session_collector.clone(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            server.retire_session(session_id, &session_collector);
+            server.release_slot();
+            conn.t.send(&ServerFrame::Error { message: e }.encode())?;
+            return Ok(Pump::Done(ConnectionOutcome::Served { steps: 0 }));
+        }
+    };
+    session.set_session_id(session_id);
+    session.set_slow_log(server.slow_log().clone());
+    let (width, height) = session.size();
+    let welcome = (|| -> Result<(), std::io::Error> {
+        conn.t.send(
+            &ServerFrame::Welcome {
+                session_id,
+                width,
+                height,
+            }
+            .encode(),
+        )?;
+        let initial = session.initial_keyframe();
+        conn.t.send(&session.encode_frame(&initial))
+    })();
+    if let Err(e) = welcome {
+        server.retire_session(session_id, session.collector());
+        server.release_slot();
+        return Err(Box::new(e));
+    }
+    conn.state = ConnState::Running(Box::new(session));
+    Ok(Pump::Progress)
+}
+
+/// Polls a live session once: drains whatever burst is buffered into
+/// one batch (same batch semantics as the blocking loop's
+/// recv-then-drain) and runs it through the shared
+/// `Server::finish_batch`.
+fn pump_running(
+    server: &Server,
+    collector: &Collector,
+    conn: &mut Conn,
+) -> Result<Pump, Box<dyn std::error::Error>> {
+    let ConnState::Running(session) = &mut conn.state else {
+        return Ok(Pump::Idle);
+    };
+    let Some(first_body) = conn.t.try_recv()? else {
+        return Ok(Pump::Idle);
+    };
+    let mut ft = session.begin_frame();
+    let mut batch: Vec<ScriptStep> = Vec::new();
+    let mut saw_bye = false;
+    let mut stats_req = false;
+    decode_into(
+        &first_body,
+        &mut ft,
+        &mut batch,
+        &mut saw_bye,
+        &mut stats_req,
+    )?;
+    while !saw_bye {
+        match conn.t.try_recv()? {
+            Some(body) => decode_into(&body, &mut ft, &mut batch, &mut saw_bye, &mut stats_req)?,
+            None => break,
+        }
+    }
+    collector.count("serve.shard.batches", 1);
+    match server.finish_batch(&mut conn.t, session, ft, batch, saw_bye, stats_req)? {
+        Some(outcome) => Ok(Pump::Done(outcome)),
+        None => Ok(Pump::Progress),
+    }
+}
+
+/// Graceful goodbye for a drained connection.
+fn drain_close(server: &Server, collector: &Collector, load: &AtomicUsize, mut conn: Conn) {
+    match &conn.state {
+        ConnState::Handshake => {
+            let _ = conn.t.send(&ServerFrame::Busy.encode());
+            collector.count("serve.shard.busy_on_drain", 1);
+        }
+        ConnState::Running(_) => {
+            let _ = conn.t.send(
+                &ServerFrame::Bye {
+                    reason: BYE_DRAIN.into(),
+                }
+                .encode(),
+            );
+            collector.count("serve.shard.drained_sessions", 1);
+        }
+    }
+    finish_close(server, load, conn);
+}
+
+/// The one funnel every connection leaves through: report a failure to
+/// the peer (best-effort), retire the session's collector, release the
+/// admission slot, and drop the shard's load count.
+fn finish_close(server: &Server, load: &AtomicUsize, mut conn: Conn) {
+    if let Some(message) = conn.failed.take() {
+        let _ = conn.t.send(&ServerFrame::Error { message }.encode());
+    }
+    if let ConnState::Running(session) = &conn.state {
+        server.retire_session(session.session_id(), session.collector());
+        server.release_slot();
+    }
+    load.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Seeded Fisher–Yates, for the readiness-reorder fault.
+fn shuffle(order: &mut [usize], rng: &mut FaultRng) {
+    for i in (1..order.len()).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        order.swap(i, j);
+    }
+}

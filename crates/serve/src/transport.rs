@@ -23,8 +23,48 @@ pub trait FrameTransport: Send {
     fn recv(&mut self) -> io::Result<Vec<u8>>;
     /// Receives a frame body only if one is already available, without
     /// blocking. `Ok(None)` means "nothing buffered right now" — this
-    /// is what lets the server drain a burst into one batch.
+    /// is what lets the server drain a burst into one batch, and what
+    /// the shard readiness loop polls instead of blocking.
     fn try_recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+// Shards own a mixed bag of transports (TCP, in-memory, fault-wrapped),
+// so they hold them boxed; the box forwards the trait.
+impl FrameTransport for Box<dyn FrameTransport> {
+    fn send(&mut self, body: &[u8]) -> io::Result<()> {
+        (**self).send(body)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        (**self).recv()
+    }
+
+    fn try_recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        (**self).try_recv()
+    }
+}
+
+/// Pops one complete `[u32 LE length][body]` frame from the front of a
+/// byte-stream reassembly buffer, if one is fully buffered. Shared by
+/// [`TcpTransport`] and [`crate::fault::FaultTransport`], which both
+/// re-frame a raw byte stream that may arrive in arbitrary fragments.
+pub(crate) fn extract_frame(buf: &mut Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let body = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(body))
 }
 
 // ---- TCP ---------------------------------------------------------------
@@ -51,22 +91,7 @@ impl TcpTransport {
 
     /// Pops one complete frame from the reassembly buffer, if present.
     fn extract(&mut self) -> io::Result<Option<Vec<u8>>> {
-        if self.buf.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
-        if len > MAX_FRAME_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame length {len} exceeds cap"),
-            ));
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let body = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        Ok(Some(body))
+        extract_frame(&mut self.buf)
     }
 }
 

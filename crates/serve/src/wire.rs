@@ -32,6 +32,17 @@ pub const MAX_RECTS: usize = 1 << 16;
 /// Cap on either framebuffer dimension.
 pub const MAX_DIM: u32 = 16384;
 
+/// [`ServerFrame::Bye`] reason for an orderly client goodbye.
+pub const BYE_BYE: &str = "bye";
+/// [`ServerFrame::Bye`] reason for idle eviction on the virtual clock.
+pub const BYE_IDLE: &str = "idle";
+/// [`ServerFrame::Bye`] reason when the application closed its window.
+pub const BYE_CLOSED: &str = "closed";
+/// [`ServerFrame::Bye`] reason when the session's shard drained: the
+/// session closed cleanly (every acked frame already shipped) and the
+/// client is welcome to reconnect — another shard will take it.
+pub const BYE_DRAIN: &str = "drain";
+
 /// A decoding failure. The variants matter less than the guarantee:
 /// decoding arbitrary bytes returns one of these instead of panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]

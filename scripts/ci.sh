@@ -33,6 +33,24 @@ cargo run --release -q -p atk-serve --bin loadgen -- \
     --mem --sessions 4 --steps 40 --profile typing \
     --paint-threads 4 --max-drops 0
 
+echo "==> chaos loadgen (seeded transport faults + injected disconnects)"
+# Every client's pipe runs under a seeded fault schedule (short
+# reads/writes, WouldBlock storms) and every 5th client is cut
+# mid-script. Injected disconnects are accounted separately; the gate
+# still tolerates zero NON-injected drops, and the Stats probe's JSON
+# must parse with non-empty stage histograms.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --sessions 16 --steps 40 --faults 42 --disconnect-every 5 \
+    --stats --max-drops 0
+
+echo "==> shard-scale loadgen (512 concurrent sessions, rendezvous)"
+# All 512 clients hold a rendezvous barrier until every session is
+# admitted, so the shards provably host 512 live sessions at once
+# (--min-concurrent fails the run otherwise), then release together.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --sessions 512 --max-sessions 512 --steps 12 --profile typing \
+    --rendezvous --min-concurrent 512 --max-drops 0
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 
@@ -44,6 +62,9 @@ CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e13_latency
 
 echo "==> e14 quick smoke (parallel paint + wire encoder, capped sample time)"
 CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e14_parallel_paint
+
+echo "==> e15 quick smoke (shard dispatch vs thread-per-conn, capped sample time)"
+CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e15_shards
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
