@@ -164,6 +164,43 @@ impl StepGen {
     }
 }
 
+/// Records a seeded interleaving of `writers` independent edit streams
+/// against **one shared session** — the generator-side model of a
+/// collaborative document. Each writer gets its own [`StepGen`] (so a
+/// writer's gesture state stays coherent: its drags release before its
+/// next press), and a separate interleave RNG picks which writer moves
+/// next, so the merged order is itself seed-stable. Steps are applied
+/// to the shared session as they are drawn, because menu selection and
+/// mouse coordinates depend on the state every *previous* writer left
+/// behind — exactly the situation replicas of a shared document are in.
+///
+/// The recorded `(writer, step)` pairs replay without the generator:
+/// submit each step in order from the numbered writer and any replica
+/// set must converge on the same document.
+pub fn interleaved_script(
+    scene: &str,
+    seed: u64,
+    writers: usize,
+    steps: usize,
+) -> Result<Vec<(usize, ScriptStep)>, String> {
+    if writers == 0 {
+        return Err("interleaved_script needs at least one writer".to_string());
+    }
+    let mut session = crate::Session::build(scene, "x11sim")?;
+    let mut gens: Vec<StepGen> = (0..writers)
+        .map(|w| StepGen::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1))))
+        .collect();
+    let mut pick = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let mut recorded = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let w = pick.gen_range(0..writers);
+        let step = gens[w].next_step(&mut session.world, &mut session.im);
+        session.apply(&step);
+        recorded.push((w, step));
+    }
+    Ok(recorded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +259,23 @@ mod tests {
         // can be written out and replayed; no generated step may fall
         // outside the line format.
         for step in record_stream(123, 500) {
+            assert!(step.to_line().is_some(), "unserializable step {step:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_scripts_are_seed_stable() {
+        let a = interleaved_script("fig2", 7, 3, 120).expect("script");
+        let b = interleaved_script("fig2", 7, 3, 120).expect("script");
+        assert_eq!(a, b);
+        let c = interleaved_script("fig2", 8, 3, 120).expect("script");
+        assert_ne!(a, c);
+        // Every writer actually gets a turn.
+        for w in 0..3 {
+            assert!(a.iter().any(|(who, _)| *who == w), "writer {w} never moved");
+        }
+        // Collab ops travel as script lines; every step must serialize.
+        for (_, step) in &a {
             assert!(step.to_line().is_some(), "unserializable step {step:?}");
         }
     }

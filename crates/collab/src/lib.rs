@@ -1,0 +1,36 @@
+//! # atk-collab — replicated data objects
+//!
+//! The paper's §2 keeps many simultaneous views of one data object
+//! consistent *inside* a process: views observe the object, the object
+//! broadcasts change records, each view repairs itself. This crate
+//! extends that contract *across* processes. The shared object is a
+//! per-document, total-order, append-only **operation log**; an op is
+//! one [`ScriptStep`] in the existing script-line wire format, stamped
+//! with a monotone sequence number and its author. Replicas do not
+//! exchange pixels or trees — they exchange the log, and each replica's
+//! own observer pipeline (dispatch → change record → damage → repaint)
+//! turns the identical op stream into identical frames.
+//!
+//! The pieces:
+//!
+//! * [`oplog`] — [`Op`], [`OpLog`], and a panic-free binary
+//!   encode/decode ([`WireError`]) for persisting or shipping a log
+//! * [`registry`] — [`DocRegistry`]: get-or-create named documents,
+//!   atomic attach (log snapshot + subscription, no op lost between
+//!   the two), and per-op fanout to every subscriber channel
+//!
+//! Determinism is the whole point: two replicas that apply the same
+//! log prefix are byte-identical, which is what the serve layer's
+//! collab differential oracle checks. Nothing in this crate reads a
+//! clock or an RNG.
+//!
+//! [`ScriptStep`]: atk_core::ScriptStep
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oplog;
+pub mod registry;
+
+pub use oplog::{Op, OpLog, WireError, MAX_LINE_BYTES, MAX_LOG_OPS};
+pub use registry::{AttachError, Attachment, Doc, DocRegistry, Submit};

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N]
-//!         [--profile mixed|typing] [--window N] [--connect HOST:PORT]
-//!         [--mem] [--shards N] [--thread-per-conn] [--arrival RATE]
+//!         [--profile mixed|typing|collab] [--window N]
+//!         [--connect HOST:PORT] [--mem] [--shards N] [--thread-per-conn]
+//!         [--docs N] [--writers N] [--watchers N] [--arrival RATE]
 //!         [--rendezvous] [--min-concurrent N] [--faults SEED]
 //!         [--disconnect-every N] [--max-sessions N] [--queue-cap N]
 //!         [--keyframe-only] [--max-drops N] [--slo-us N]
@@ -26,6 +27,13 @@
 //! and `--disconnect-every N` makes every Nth client vanish
 //! mid-script. Injected disconnects are never counted as errors.
 //!
+//! Replication: `--profile collab` runs `--docs` shared documents,
+//! each with `--writers` writers submitting one seeded interleaved
+//! edit stream of `--steps` merged ops through the document's op log
+//! and `--watchers` silent replicas. The run exits 1 on *any*
+//! cross-replica divergence, and the report adds ops/s, fanout p99,
+//! and replay-lag percentiles.
+//!
 //! Observability: `--slo-us` arms the server's frame-budget watchdog
 //! and prints retained slow-frame dumps after the run; `--stats` sends
 //! a `Stats` wire request once the fleet finishes, validates the JSON
@@ -40,12 +48,13 @@ use atk_trace::{chrome_trace_json_multi, validate_json};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--sessions N] [--steps N] [--scene NAME] [--seed N] \
-         [--profile mixed|typing] [--window N] [--connect HOST:PORT] [--mem] \
-         [--shards N] [--thread-per-conn] [--arrival RATE] [--rendezvous] \
-         [--min-concurrent N] [--faults SEED] [--disconnect-every N] \
-         [--max-sessions N] [--queue-cap N] [--keyframe-only] [--max-drops N] \
-         [--slo-us N] [--no-frame-trace] [--stats] [--trace FILE] \
-         [--paint-threads N] [--no-encode]"
+         [--profile mixed|typing|collab] [--window N] [--connect HOST:PORT] \
+         [--mem] [--shards N] [--thread-per-conn] [--docs N] [--writers N] \
+         [--watchers N] [--arrival RATE] [--rendezvous] [--min-concurrent N] \
+         [--faults SEED] [--disconnect-every N] [--max-sessions N] \
+         [--queue-cap N] [--keyframe-only] [--max-drops N] [--slo-us N] \
+         [--no-frame-trace] [--stats] [--trace FILE] [--paint-threads N] \
+         [--no-encode]"
     );
     std::process::exit(2);
 }
@@ -122,6 +131,18 @@ fn main() {
             "--thread-per-conn" => {
                 cfg.shards = 0;
                 i += 1;
+            }
+            "--docs" => {
+                cfg.docs = parse_num("--docs", argv.get(i + 1));
+                i += 2;
+            }
+            "--writers" => {
+                cfg.writers = parse_num("--writers", argv.get(i + 1));
+                i += 2;
+            }
+            "--watchers" => {
+                cfg.watchers = parse_num("--watchers", argv.get(i + 1));
+                i += 2;
             }
             "--arrival" => {
                 cfg.arrival_per_s = parse_num("--arrival", argv.get(i + 1));
@@ -221,6 +242,12 @@ fn main() {
     if let Some(drops) = report.backpressure_drops {
         if drops > max_drops {
             eprintln!("loadgen: {drops} backpressure drops exceed --max-drops {max_drops}");
+            failed = true;
+        }
+    }
+    if let Some(div) = report.divergences {
+        if div > 0 {
+            eprintln!("loadgen: {div} replica(s) diverged from their document");
             failed = true;
         }
     }

@@ -136,6 +136,29 @@ impl<T: FrameTransport> ServeClient<T> {
             }
             .encode()?,
         )?;
+        ServeClient::handshake(t)
+    }
+
+    /// Attaches to a shared document instead of opening a private
+    /// scene: the initial keyframe already shows the document's whole
+    /// edit history. `scene` must name a scene for the first attacher
+    /// (it creates the document) and may be `None` for joiners.
+    pub fn attach(
+        mut t: T,
+        doc_id: &str,
+        scene: Option<&str>,
+    ) -> Result<ServeClient<T>, ClientError> {
+        t.send(
+            &ClientFrame::Attach {
+                doc_id: doc_id.to_string(),
+                scene: scene.map(str::to_string),
+            }
+            .encode()?,
+        )?;
+        ServeClient::handshake(t)
+    }
+
+    fn handshake(mut t: T) -> Result<ServeClient<T>, ClientError> {
         let (session_id, width, height) = match ServerFrame::decode(&t.recv()?)? {
             ServerFrame::Welcome {
                 session_id,
@@ -213,6 +236,26 @@ impl<T: FrameTransport> ServeClient<T> {
         self.sent - self.acked
     }
 
+    /// Applies every frame already buffered on the transport without
+    /// blocking, returning how many were applied. This is the watcher
+    /// side of a shared document: a replica that never types still
+    /// receives a diff for every remote edit, and draining keeps its
+    /// reconstruction current between blocking syncs.
+    pub fn drain_frames(&mut self) -> Result<usize, ClientError> {
+        let mut applied = 0;
+        while !self.ended {
+            match self.t.try_recv()? {
+                Some(body) => {
+                    let frame = ServerFrame::decode(&body)?;
+                    self.apply_frame(frame, body.len())?;
+                    applied += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(applied)
+    }
+
     /// True once the server said goodbye (orderly end or eviction).
     pub fn ended(&self) -> bool {
         self.ended
@@ -239,7 +282,16 @@ impl<T: FrameTransport> ServeClient<T> {
     }
 
     /// Says goodbye, drains the final frames, and returns the stats.
-    pub fn finish(mut self) -> Result<ClientStats, ClientError> {
+    pub fn finish(self) -> Result<ClientStats, ClientError> {
+        self.finish_with_frame().map(|(stats, _)| stats)
+    }
+
+    /// [`ServeClient::finish`], but also returns the final
+    /// reconstructed framebuffer — after every catch-up frame the
+    /// server shipped before its `Bye` was applied. For attached
+    /// sessions this is the converged document state, which the
+    /// divergence checks compare across replicas.
+    pub fn finish_with_frame(mut self) -> Result<(ClientStats, Framebuffer), ClientError> {
         if !self.ended {
             self.t.send(&ClientFrame::Bye.encode()?)?;
             while !self.ended {
@@ -248,7 +300,7 @@ impl<T: FrameTransport> ServeClient<T> {
                 self.apply_frame(frame, body.len())?;
             }
         }
-        Ok(self.stats)
+        Ok((self.stats, self.fb))
     }
 
     fn note_frame(&mut self, seq: u64, wire_len: usize, encoded_len: usize, key: bool) {

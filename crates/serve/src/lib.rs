@@ -9,6 +9,12 @@
 //! their framebuffers to thin clients as region-diffed updates over a
 //! length-prefixed binary protocol. The views never find out.
 //!
+//! Sessions come in two flavors: `Hello` opens a private session, and
+//! `Attach {doc_id, scene?}` joins a *shared document* (atk-collab's
+//! per-document total-order op log) — every attached replica applies
+//! the same op sequence, the author included, so all replicas stay
+//! byte-identical.
+//!
 //! The pieces:
 //!
 //! * [`wire`] — frame encode/decode (panic-free on arbitrary bytes)
@@ -26,11 +32,12 @@
 //!   many sessions, fed by an mpsc admission queue
 //! * [`client`] — the client half: framebuffer reconstruction plus
 //!   latency/byte accounting
-//! * [`oracle`] — served-vs-in-process and sharded-vs-single
-//!   differentials: same script ⇒ byte-identical frames
+//! * [`oracle`] — served-vs-in-process, sharded-vs-single, and
+//!   replicated-vs-replayed differentials: same script ⇒
+//!   byte-identical frames
 //! * [`loadgen`] — N concurrent scripted clients (open-loop arrival,
-//!   rendezvous, chaos faults) and the report behind EXPERIMENTS.md
-//!   E11/E15
+//!   rendezvous, chaos faults, replicated-document fleets) and the
+//!   report behind EXPERIMENTS.md E11/E15/E16
 //!
 //! Two binaries: `served` (the server) and `loadgen` (the fleet).
 //!
@@ -39,7 +46,9 @@
 //! `serve.full_bytes`, `serve.encode.raw`, `serve.encode.rle`,
 //! `serve.encoded_bytes`, `serve.coalesced`,
 //! `serve.backpressure_drops`, `serve.busy_rejects`,
-//! `serve.idle_evictions`, `serve.stats_requests`,
+//! `serve.idle_evictions`, `serve.stats_requests`, `serve.collab.docs`,
+//! `serve.collab.ops` (plus the `serve.collab.fanout_us` and
+//! `serve.collab.replay_lag` histograms),
 //! `serve.slo_violations`, the `serve.frame_us` latency histogram, and
 //! the per-stage `serve.stage_us.{decode,apply,settle,paint,diff,ship}`
 //! (+ `.total`) attribution histograms.
@@ -71,8 +80,8 @@ pub use client::{ClientError, ClientStats, ServeClient};
 pub use fault::{FaultPlan, FaultTransport};
 pub use loadgen::{run_loadgen, run_loadgen_mem, LoadConfig, LoadReport, Profile};
 pub use oracle::{
-    encode_differential, run_sharded, serve_differential, serve_differential_with,
-    serve_script_differential, ShardedRun,
+    collab_differential, encode_differential, run_sharded, serve_differential,
+    serve_differential_with, serve_script_differential, CollabRun, ShardedRun,
 };
 pub use server::{serve_listener, serve_listener_sharded, ConnectionOutcome, Server, ServerConfig};
 pub use session::{HostedSession, SessionConfig, SessionEnd};

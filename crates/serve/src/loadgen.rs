@@ -21,13 +21,15 @@
 //! those cuts are classified as *injected* disconnects, never errors.
 
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use atk_check::gen::StepGen;
+use atk_check::gen::{interleaved_script, StepGen};
 use atk_check::Session;
 use atk_core::ScriptStep;
+use atk_graphics::Framebuffer;
 use atk_trace::{Collector, Snapshot, Stage};
 use atk_wm::{Key, WindowEvent};
 
@@ -44,15 +46,24 @@ pub enum Profile {
     /// Typing only — the workload the ≥5× diff-compression claim is
     /// about.
     Typing,
+    /// Replicated documents: [`LoadConfig::docs`] shared documents,
+    /// each carrying [`LoadConfig::writers`] writers submitting a
+    /// seeded interleaved edit stream through the document's op log
+    /// plus [`LoadConfig::watchers`] silent replicas. The report adds
+    /// ops/s, fanout p99, replay-lag percentiles, and a per-document
+    /// divergence count (replicas whose final framebuffer disagrees —
+    /// must be 0).
+    Collab,
 }
 
 impl Profile {
-    /// Parses `mixed` / `typing`.
+    /// Parses `mixed` / `typing` / `collab`.
     pub fn parse(s: &str) -> Result<Profile, String> {
         match s {
             "mixed" => Ok(Profile::Mixed),
             "typing" => Ok(Profile::Typing),
-            other => Err(format!("unknown profile `{other}` (mixed|typing)")),
+            "collab" => Ok(Profile::Collab),
+            other => Err(format!("unknown profile `{other}` (mixed|typing|collab)")),
         }
     }
 }
@@ -97,8 +108,18 @@ pub struct LoadConfig {
     pub fault_seed: Option<u64>,
     /// Chaos: every `n`th client drops its connection mid-script, no
     /// goodbye. These are counted as injected disconnects, not errors.
-    /// `0` disables.
+    /// `0` disables. Under the collab profile only *watchers* are cut
+    /// — cutting a writer would strand the fleet waiting for edits
+    /// that will never come.
     pub disconnect_every: usize,
+    /// Collab profile: shared documents in the fleet.
+    pub docs: usize,
+    /// Collab profile: writers per document. [`LoadConfig::steps`] is
+    /// the *merged* edit count per document, interleaved across its
+    /// writers.
+    pub writers: usize,
+    /// Collab profile: silent watcher replicas per document.
+    pub watchers: usize,
 }
 
 impl Default for LoadConfig {
@@ -118,6 +139,9 @@ impl Default for LoadConfig {
             rendezvous: false,
             fault_seed: None,
             disconnect_every: 0,
+            docs: 2,
+            writers: 2,
+            watchers: 2,
         }
     }
 }
@@ -177,6 +201,19 @@ pub struct LoadReport {
     /// (`serve.peak_sessions`) — the proof behind `--min-concurrent`.
     /// `None` against remote servers.
     pub peak_sessions: Option<u64>,
+    /// Collab: submitted ops per second across all documents.
+    pub ops_per_s: f64,
+    /// Collab: ~p99 of `serve.collab.fanout_us` — how long one op took
+    /// to reach every replica's channel (`None` for remote servers or
+    /// non-collab runs).
+    pub fanout_p99_us: Option<u64>,
+    /// Collab: `(~p50, ~p99)` of `serve.collab.replay_lag` — ops a
+    /// replica was behind the log head when it shipped a frame.
+    pub replay_lag_p50_p99: Option<(u64, u64)>,
+    /// Collab: replicas whose final framebuffer disagreed with their
+    /// document's first replica (`Some(0)` on a clean run; `None` for
+    /// non-collab profiles). Any nonzero count fails the bin.
+    pub divergences: Option<usize>,
     /// `(text, json)` reply of the post-run `Stats` probe, when
     /// [`LoadConfig::stats_probe`] was set.
     pub stats_reply: Option<(String, String)>,
@@ -212,6 +249,9 @@ pub fn client_script(
             let size = session.im.window_mut().size();
             Ok(typing_script(size.width, size.height, seed, steps))
         }
+        // Collab scripts are per-document interleavings, not
+        // per-client streams; the collab entry point builds them.
+        Profile::Collab => Err("collab has no single-client script".into()),
     }
 }
 
@@ -373,6 +413,232 @@ fn aggregate(
         slow_frames: Vec::new(),
         injected_disconnects: injected,
         peak_sessions: None,
+        ops_per_s: 0.0,
+        fanout_p99_us: None,
+        replay_lag_p50_p99: None,
+        divergences: None,
+        stats_reply: None,
+        trace_parts: Vec::new(),
+    })
+}
+
+/// A shared transport factory: replica index → fresh connection
+/// (TCP or in-memory, faulted or not).
+type Connector = Arc<dyn Fn(usize) -> Result<Box<dyn FrameTransport>, String> + Send + Sync>;
+
+/// How one collab replica's run ended.
+enum CollabOutcome {
+    /// Converged and said goodbye; carries the final reconstruction
+    /// for the cross-replica divergence check.
+    Completed {
+        stats: ClientStats,
+        fb: Framebuffer,
+        ops: u64,
+    },
+    /// A chaos-cut watcher that vanished mid-run on purpose.
+    InjectedDisconnect,
+}
+
+/// Drives one replica of a shared document. Writers replay their slice
+/// of the document's interleaved script with the usual pipelining
+/// window; watchers just drain frames. Nobody says goodbye until every
+/// writer on the document has had its last edit acked — from that
+/// point the whole log is fanned out, so `Bye` catch-up converges each
+/// replica and the final framebuffers are comparable.
+fn drive_replica(
+    t: Box<dyn FrameTransport>,
+    doc_id: &str,
+    scene: &str,
+    script: &[ScriptStep],
+    window: u64,
+    writers_left: Arc<AtomicUsize>,
+    cut_after_drains: Option<usize>,
+) -> Result<CollabOutcome, String> {
+    let mut client = ServeClient::attach(t, doc_id, Some(scene)).map_err(|e| e.to_string())?;
+    if script.is_empty() {
+        let mut drains = 0usize;
+        while writers_left.load(Ordering::SeqCst) > 0 {
+            client.drain_frames().map_err(|e| e.to_string())?;
+            drains += 1;
+            if cut_after_drains == Some(drains) {
+                // Vanish without a goodbye; the server must detach the
+                // replica cleanly and the document must not care.
+                return Ok(CollabOutcome::InjectedDisconnect);
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    } else {
+        for step in script {
+            client.send_step(step).map_err(|e| e.to_string())?;
+            if client.unacked() >= window.max(1) {
+                client.sync().map_err(|e| e.to_string())?;
+            }
+            if client.ended() {
+                return Err("server ended replica mid-script".into());
+            }
+        }
+        client.sync().map_err(|e| e.to_string())?;
+        writers_left.fetch_sub(1, Ordering::SeqCst);
+        while writers_left.load(Ordering::SeqCst) > 0 {
+            client.drain_frames().map_err(|e| e.to_string())?;
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    client
+        .finish_with_frame()
+        .map(|(stats, fb)| CollabOutcome::Completed {
+            stats,
+            fb,
+            ops: script.len() as u64,
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// The collab fleet: K documents × (writers + watchers) replicas over
+/// whatever transport `connect` hands out (TCP or in-memory, faulted
+/// or not). Every replica offers the scene on attach, so thread order
+/// never matters for document creation. Returns the usual report plus
+/// ops/s and the divergence count; server-side fanout/lag percentiles
+/// are filled in by [`attach_server_view`] when self-hosting.
+fn run_collab(cfg: &LoadConfig, connect: Connector) -> Result<LoadReport, String> {
+    let writers = cfg.writers.max(1);
+    let per_doc = writers + cfg.watchers;
+    let docs = cfg.docs.max(1);
+
+    // One seeded interleaving per document, sliced per writer. The
+    // slice order is the writer's own coherent stream; the log
+    // re-merges them under whatever real interleaving the threads
+    // produce.
+    let mut scripts: Vec<Vec<Vec<ScriptStep>>> = Vec::with_capacity(docs);
+    for d in 0..docs {
+        let merged = interleaved_script(&cfg.scene, cfg.seed + d as u64, writers, cfg.steps)?;
+        let mut per = vec![Vec::new(); writers];
+        for (w, step) in merged {
+            per[w].push(step);
+        }
+        scripts.push(per);
+    }
+
+    let writers_left: Vec<Arc<AtomicUsize>> = (0..docs)
+        .map(|_| Arc::new(AtomicUsize::new(writers)))
+        .collect();
+    let started = Instant::now();
+    let mut handles: Vec<(usize, thread::JoinHandle<Result<CollabOutcome, String>>)> = Vec::new();
+    for d in 0..docs {
+        // Writers take their slice of the interleaving; watchers get an
+        // empty script and just apply what fans out.
+        let mut doc_scripts = std::mem::take(&mut scripts[d]);
+        doc_scripts.resize(per_doc, Vec::new());
+        for (r, script) in doc_scripts.into_iter().enumerate() {
+            let i = d * per_doc + r;
+            let connect = Arc::clone(&connect);
+            let left = Arc::clone(&writers_left[d]);
+            let scene = cfg.scene.clone();
+            let window = cfg.window;
+            let doc_id = format!("doc-{d}");
+            let delay = arrival_delay(cfg, i);
+            let cut = (r >= writers).then(|| cut_point(cfg, i)).flatten();
+            handles.push((
+                d,
+                thread::spawn(move || {
+                    if let Some(dl) = delay {
+                        thread::sleep(dl);
+                    }
+                    let t = connect(i)?;
+                    drive_replica(t, &doc_id, &scene, &script, window, left, cut)
+                }),
+            ));
+        }
+    }
+
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
+    let mut injected = 0usize;
+    let mut errors = Vec::new();
+    let mut frames = 0u64;
+    let mut bytes = 0u64;
+    let mut encoded = 0u64;
+    let mut equiv = 0u64;
+    let mut ops = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut finals: Vec<Vec<Framebuffer>> = vec![Vec::new(); docs];
+    for (d, h) in handles {
+        match h.join().map_err(|_| "replica thread panicked")? {
+            Ok(CollabOutcome::Completed {
+                stats,
+                fb,
+                ops: own,
+            }) => {
+                completed += 1;
+                frames += stats.frames;
+                bytes += stats.diff_bytes + stats.full_bytes;
+                encoded += stats.encoded_bytes;
+                equiv += stats.keyframe_equiv_bytes;
+                latencies.extend(stats.latencies_us);
+                ops += own;
+                finals[d].push(fb);
+            }
+            Ok(CollabOutcome::InjectedDisconnect) => injected += 1,
+            Err(e) if e.contains("server busy") => rejected += 1,
+            Err(e) => errors.push(e),
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+
+    // The honesty gate: within a document, every surviving replica's
+    // final reconstruction must be byte-identical to the first one's.
+    let mut divergences = 0usize;
+    for doc in &finals {
+        if let Some(first) = doc.first() {
+            divergences += doc[1..]
+                .iter()
+                .filter(|fb| fb.pixels() != first.pixels())
+                .count();
+        }
+    }
+
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let idx = ((q * latencies.len() as f64).ceil() as usize).max(1) - 1;
+            latencies[idx.min(latencies.len() - 1)]
+        }
+    };
+    Ok(LoadReport {
+        completed,
+        rejected,
+        errors,
+        wall_s,
+        sessions_per_s: completed as f64 / wall_s,
+        frames_per_s: frames as f64 / wall_s,
+        frames,
+        bytes_on_wire: bytes,
+        encoded_bytes: encoded,
+        compression_ratio: if bytes == 0 {
+            0.0
+        } else {
+            equiv as f64 / bytes as f64
+        },
+        encode_ratio: if encoded == 0 {
+            0.0
+        } else {
+            bytes as f64 / encoded as f64
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        backpressure_drops: None,
+        server_frame_us: None,
+        stage_us: Vec::new(),
+        slo_violations: None,
+        slow_frames: Vec::new(),
+        injected_disconnects: injected,
+        peak_sessions: None,
+        ops_per_s: ops as f64 / wall_s,
+        fanout_p99_us: None,
+        replay_lag_p50_p99: None,
+        divergences: Some(divergences),
         stats_reply: None,
         trace_parts: Vec::new(),
     })
@@ -402,6 +668,12 @@ fn attach_server_view(report: &mut LoadReport, server: &Server) {
     report.slo_violations = Some(merged.counter("serve.slo_violations"));
     report.slow_frames = server.slow_log().entries();
     report.peak_sessions = Some(server.peak_sessions() as u64);
+    report.fanout_p99_us = merged
+        .histogram("serve.collab.fanout_us")
+        .map(|h| h.approx_percentile(0.99));
+    report.replay_lag_p50_p99 = merged
+        .histogram("serve.collab.replay_lag")
+        .map(|h| (h.approx_percentile(0.50), h.approx_percentile(0.99)));
     report.trace_parts = server.trace_parts();
 }
 
@@ -421,6 +693,9 @@ fn record_scripts(cfg: &LoadConfig) -> Result<Vec<Vec<ScriptStep>>, String> {
                 .map(|i| typing_script(size.width, size.height, cfg.seed + i as u64, cfg.steps))
                 .collect())
         }
+        // Unreachable: the collab profile branches off before scripts
+        // are recorded (its scripts are per-document, not per-client).
+        Profile::Collab => Err("collab has no per-client scripts".into()),
     }
 }
 
@@ -459,6 +734,24 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         }
     };
     let self_hosted = cfg.connect.is_none();
+
+    if cfg.profile == Profile::Collab {
+        let target = addr.clone();
+        let connect = Arc::new(move |_i: usize| {
+            TcpStream::connect(&target)
+                .map(|s| Box::new(TcpTransport::new(s)) as Box<dyn FrameTransport>)
+                .map_err(|e| format!("connect {target}: {e}"))
+        });
+        let mut report = run_collab(cfg, connect)?;
+        if cfg.stats_probe {
+            let stream = TcpStream::connect(&addr).map_err(|e| format!("stats probe: {e}"))?;
+            report.stats_reply = Some(probe_stats(TcpTransport::new(stream), &cfg.scene)?);
+        }
+        if self_hosted {
+            attach_server_view(&mut report, &server);
+        }
+        return Ok(report);
+    }
 
     // Pre-record every script before the clock starts — scene building
     // for the mixed profile is toolkit work, not serving work.
@@ -528,6 +821,44 @@ pub fn run_loadgen_mem(cfg: &LoadConfig) -> Result<LoadReport, String> {
     if cfg.shards > 0 {
         server.start_shards(cfg.shards);
     }
+
+    if cfg.profile == Profile::Collab {
+        let srv = server.clone();
+        let fault_seed = cfg.fault_seed;
+        let sharded = cfg.shards > 0;
+        let connect = Arc::new(move |i: usize| -> Result<Box<dyn FrameTransport>, String> {
+            let (client_half, server_half) = MemTransport::pair();
+            if sharded {
+                let t: Box<dyn FrameTransport> = if fault_seed.is_some() {
+                    Box::new(FaultTransport::new(server_half, FaultPlan::passthrough()))
+                } else {
+                    Box::new(server_half)
+                };
+                if srv.admit(t).is_err() {
+                    return Err("server busy: no shard accepting".into());
+                }
+            } else if fault_seed.is_some() {
+                let t = FaultTransport::new(server_half, FaultPlan::passthrough());
+                let srv = srv.clone();
+                thread::spawn(move || srv.serve_connection(t));
+            } else {
+                let srv = srv.clone();
+                thread::spawn(move || srv.serve_connection(server_half));
+            }
+            Ok(match fault_seed {
+                Some(seed) => Box::new(FaultTransport::new(
+                    client_half,
+                    FaultPlan::lossless(seed ^ i as u64),
+                )),
+                None => Box::new(client_half),
+            })
+        });
+        let mut report = run_collab(cfg, connect)?;
+        server.shutdown_shards();
+        attach_server_view(&mut report, &server);
+        return Ok(report);
+    }
+
     let scripts = record_scripts(cfg)?;
 
     let barrier = cfg.rendezvous.then(|| Arc::new(Barrier::new(cfg.sessions)));
@@ -623,10 +954,18 @@ pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
         0 => "thread-per-conn".to_string(),
         n => format!("{n} shard(s)"),
     };
-    out.push_str(&format!(
-        "loadgen: {} sessions x {} steps on {} ({:?} profile, window {}, {dispatch})\n",
-        cfg.sessions, cfg.steps, cfg.scene, cfg.profile, cfg.window
-    ));
+    if cfg.profile == Profile::Collab {
+        out.push_str(&format!(
+            "loadgen: {} doc(s) x ({} writers + {} watchers) x {} merged steps on {} \
+             (Collab profile, window {}, {dispatch})\n",
+            cfg.docs, cfg.writers, cfg.watchers, cfg.steps, cfg.scene, cfg.window
+        ));
+    } else {
+        out.push_str(&format!(
+            "loadgen: {} sessions x {} steps on {} ({:?} profile, window {}, {dispatch})\n",
+            cfg.sessions, cfg.steps, cfg.scene, cfg.profile, cfg.window
+        ));
+    }
     out.push_str(&format!(
         "  completed: {} ({} rejected busy, {} injected disconnects, {} errors) in {:.2}s\n",
         r.completed,
@@ -642,6 +981,23 @@ pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
         "  throughput: {:.1} sessions/s, {:.0} frames/s\n",
         r.sessions_per_s, r.frames_per_s
     ));
+    if let Some(div) = r.divergences {
+        out.push_str(&format!(
+            "  collab: {:.0} ops/s, {div} divergence(s)\n",
+            r.ops_per_s
+        ));
+        if let Some(p99) = r.fanout_p99_us {
+            out.push_str(&format!(
+                "  fanout: ~p99 {:.3} ms to all replicas\n",
+                p99 as f64 / 1000.0
+            ));
+        }
+        if let Some((p50, p99)) = r.replay_lag_p50_p99 {
+            out.push_str(&format!(
+                "  replay lag: ~p50 {p50} op(s), ~p99 {p99} op(s) behind the log head\n"
+            ));
+        }
+    }
     out.push_str(&format!(
         "  latency: p50 {:.2} ms, p99 {:.2} ms\n",
         r.p50_us as f64 / 1000.0,
@@ -695,6 +1051,53 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|s| s.to_line().is_some()));
         assert_ne!(a, client_script(Profile::Typing, "fig5", 8, 60).unwrap());
+    }
+
+    #[test]
+    fn small_collab_fleet_converges() {
+        let cfg = LoadConfig {
+            docs: 2,
+            writers: 2,
+            watchers: 1,
+            steps: 24,
+            scene: "fig2".into(),
+            profile: Profile::Collab,
+            shards: 2,
+            ..LoadConfig::default()
+        };
+        let report = run_loadgen_mem(&cfg).unwrap();
+        assert_eq!(report.completed, 6, "errors: {:?}", report.errors);
+        assert!(report.errors.is_empty());
+        assert_eq!(report.divergences, Some(0));
+        assert!(report.ops_per_s > 0.0);
+        assert!(report.fanout_p99_us.is_some(), "fanout histogram missing");
+        assert!(report.replay_lag_p50_p99.is_some(), "lag histogram missing");
+        assert_eq!(report.backpressure_drops, Some(0));
+    }
+
+    #[test]
+    fn collab_fleet_survives_chaos_and_watcher_cuts() {
+        let cfg = LoadConfig {
+            docs: 1,
+            writers: 2,
+            watchers: 2,
+            steps: 20,
+            scene: "fig1".into(),
+            profile: Profile::Collab,
+            shards: 2,
+            fault_seed: Some(7),
+            disconnect_every: 3,
+            ..LoadConfig::default()
+        };
+        let report = run_loadgen_mem(&cfg).unwrap();
+        assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+        assert_eq!(report.divergences, Some(0));
+        assert!(
+            report.completed + report.injected_disconnects == 4,
+            "completed {} + injected {} != 4",
+            report.completed,
+            report.injected_disconnects
+        );
     }
 
     #[test]

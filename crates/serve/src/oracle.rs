@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use atk_check::gen::StepGen;
+use atk_check::gen::{interleaved_script, StepGen};
 use atk_check::Session;
 use atk_core::ScriptStep;
 use atk_graphics::Framebuffer;
@@ -28,7 +28,7 @@ use atk_trace::Collector;
 use crate::client::ServeClient;
 use crate::fault::{FaultPlan, FaultTransport};
 use crate::server::{Server, ServerConfig};
-use crate::session::SessionConfig;
+use crate::session::{HostedSession, SessionConfig};
 use crate::transport::{FrameTransport, MemTransport};
 
 /// The outcome of one oracle run.
@@ -181,6 +181,190 @@ pub fn run_sharded(
         framebuffers,
         counters,
     })
+}
+
+/// What one [`collab_differential`] pass proved.
+#[derive(Debug)]
+pub struct CollabRun {
+    /// Steps in the merged interleaving (== ops on the log).
+    pub steps: usize,
+    /// Replicas whose final framebuffer matched the reference.
+    pub replicas: usize,
+    /// Per-replica counter planes compared against the reference.
+    pub counter_planes: usize,
+}
+
+/// The replicated-document differential: `writers + watchers` replicas
+/// attach to one shared document on an N-shard server, the writers
+/// submit a seeded interleaving of edit streams through the document's
+/// op log, and **every** replica's final client-reconstructed
+/// framebuffer — plus every replica's non-`serve.*` counter plane —
+/// must be byte-identical to one in-process session replaying the same
+/// merged order. The wire, the log, the cross-shard fanout, and the
+/// drain chunking must all be invisible.
+///
+/// Replicas are admitted least-loaded-first onto an idle server, so
+/// with `shards > 1` and at least `shards` replicas they are pinned to
+/// *different* shards and every fanout crosses a shard boundary. With
+/// `fault_seed` set, each client half runs behind a seeded lossless
+/// [`FaultTransport`] and the server halves take the short-write path,
+/// proving chaos schedules are invisible too.
+///
+/// Watchers never send a step; they drain frames opportunistically
+/// mid-run (the non-blocking path) and converge on `Bye` catch-up.
+///
+/// # Errors
+///
+/// A description of the first divergence — a replica whose pixels or
+/// counters differ from the reference — or of any transport, protocol,
+/// or scene failure.
+pub fn collab_differential(
+    scene: &str,
+    seed: u64,
+    writers: usize,
+    watchers: usize,
+    steps: usize,
+    shards: usize,
+    fault_seed: Option<u64>,
+) -> Result<CollabRun, String> {
+    let script = interleaved_script(scene, seed, writers, steps)?;
+
+    // In-process reference: one session applying the merged order with
+    // replica semantics (per-op settle + paint, no wire).
+    let ref_collector = Arc::new(Collector::new());
+    ref_collector.enable();
+    let mut reference =
+        HostedSession::open(scene, SessionConfig::default(), ref_collector.clone())?;
+    let merged: Vec<ScriptStep> = script.iter().map(|(_, s)| s.clone()).collect();
+    reference.replay_steps(&merged);
+    let want_fb = reference.framebuffer();
+    let want_counters = strip_serve_plane(ref_collector.snapshot().counters);
+
+    // Replicated run: one doc, every replica attached before the first
+    // edit, writers serialized through the log in script order.
+    let collector = Arc::new(Collector::new());
+    collector.enable();
+    let server_cfg = ServerConfig {
+        session: SessionConfig::default(),
+        retain_session_traces: true,
+        readiness_shuffle_seed: fault_seed,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(server_cfg, collector);
+    server.start_shards(shards.max(1));
+    let doc_id = format!("oracle-{seed}");
+
+    let replicas = writers + watchers;
+    let mut clients: Vec<ServeClient<Box<dyn FrameTransport>>> = Vec::with_capacity(replicas);
+    for i in 0..replicas {
+        let (client_half, server_half) = MemTransport::pair();
+        let server_t: Box<dyn FrameTransport> = match fault_seed {
+            Some(_) => Box::new(FaultTransport::new(server_half, FaultPlan::passthrough())),
+            None => Box::new(server_half),
+        };
+        server
+            .admit(server_t)
+            .map_err(|_| format!("replica {i}: no shard accepting"))?;
+        let client_t: Box<dyn FrameTransport> = match fault_seed {
+            Some(fs) => Box::new(FaultTransport::new(
+                client_half,
+                FaultPlan::lossless(fs ^ (i as u64).wrapping_mul(0x9e37)),
+            )),
+            None => Box::new(client_half),
+        };
+        // Only the first attacher names the scene; joiners inherit it.
+        let offered = (i == 0).then_some(scene);
+        let client = ServeClient::attach(client_t, &doc_id, offered)
+            .map_err(|e| format!("replica {i}: attach: {e}"))?;
+        clients.push(client);
+    }
+
+    for (n, (w, step)) in script.iter().enumerate() {
+        clients[*w]
+            .step_sync(step)
+            .map_err(|e| format!("writer {w} step {n}: {e}"))?;
+        if clients[*w].ended() {
+            return Err(format!("writer {w}: server ended session mid-script"));
+        }
+        // Watchers keep up without blocking, like a real viewer would.
+        if n % 16 == 15 {
+            for (i, c) in clients.iter_mut().enumerate().skip(writers) {
+                c.drain_frames()
+                    .map_err(|e| format!("watcher {i}: drain: {e}"))?;
+            }
+        }
+    }
+
+    // Every op is already on every replica's channel (submit fans out
+    // synchronously), so `Bye` catch-up converges each replica before
+    // its final frame.
+    let mut finals = Vec::with_capacity(replicas);
+    for (i, client) in clients.into_iter().enumerate() {
+        let (_, fb) = client
+            .finish_with_frame()
+            .map_err(|e| format!("replica {i}: finish: {e}"))?;
+        finals.push(fb);
+    }
+    server.shutdown_shards();
+
+    for (i, fb) in finals.iter().enumerate() {
+        if fb.width() != want_fb.width()
+            || fb.height() != want_fb.height()
+            || fb.pixels() != want_fb.pixels()
+        {
+            let differing = want_fb
+                .pixels()
+                .iter()
+                .zip(fb.pixels())
+                .filter(|(a, b)| a != b)
+                .count();
+            return Err(format!(
+                "{scene} seed {seed}: replica {i} diverges from the in-process \
+                 reference ({differing} differing pixels of {})",
+                want_fb.pixels().len()
+            ));
+        }
+    }
+
+    // Every replica's own counter plane (its session collector, minus
+    // the serve-side shipping/scheduling keys) must equal the
+    // reference's: the world each replica computed is the same world.
+    let mut counter_planes = 0;
+    for (name, snap) in server.trace_parts() {
+        if !name.starts_with("session-") {
+            continue;
+        }
+        let got = strip_serve_plane(snap.counters);
+        if got != want_counters {
+            return Err(format!(
+                "{scene} seed {seed}: {name} counter plane diverges from the \
+                 in-process reference:\n  want {want_counters:?}\n  got  {got:?}"
+            ));
+        }
+        counter_planes += 1;
+    }
+    if counter_planes != replicas {
+        return Err(format!(
+            "{scene} seed {seed}: expected {replicas} retained replica counter \
+             planes, found {counter_planes}"
+        ));
+    }
+
+    Ok(CollabRun {
+        steps: script.len(),
+        replicas,
+        counter_planes,
+    })
+}
+
+/// Drops the `serve.*` keys — the shipping/scheduling plane is allowed
+/// to differ between a wired replica and the in-process reference; the
+/// world beneath it is not.
+fn strip_serve_plane(counters: Vec<(&'static str, u64)>) -> Vec<(&'static str, u64)> {
+    counters
+        .into_iter()
+        .filter(|(key, _)| !key.starts_with("serve."))
+        .collect()
 }
 
 /// Replays an already-recorded script through a served session and

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
+use atk_collab::DocRegistry;
 use atk_core::ScriptStep;
 use atk_trace::{
     snapshot_json, text_summary, Collector, FrameTrace, SlowFrameLog, Snapshot, Stage,
@@ -119,6 +120,9 @@ pub struct Server {
     peak: AtomicUsize,
     /// Worker shards, once [`Server::start_shards`] ran.
     shards: Mutex<Vec<ShardHandle>>,
+    /// Shared documents (`Attach` sessions), server-wide: replicas on
+    /// different shards subscribe to the same registry entry.
+    registry: DocRegistry,
 }
 
 impl Server {
@@ -135,7 +139,13 @@ impl Server {
             slow_log: Arc::new(SlowFrameLog::new(SLOW_LOG_CAPACITY)),
             peak: AtomicUsize::new(0),
             shards: Mutex::new(Vec::new()),
+            registry: DocRegistry::new(),
         })
+    }
+
+    /// The shared-document registry.
+    pub fn registry(&self) -> &DocRegistry {
+        &self.registry
     }
 
     pub(crate) fn cfg(&self) -> &ServerConfig {
@@ -322,10 +332,13 @@ impl Server {
         &self,
         t: &mut T,
     ) -> Result<ConnectionOutcome, Box<dyn std::error::Error>> {
-        let hello = ClientFrame::decode(&t.recv()?)?;
-        let ClientFrame::Hello { scene } = hello else {
+        let first = ClientFrame::decode(&t.recv()?)?;
+        if !matches!(
+            first,
+            ClientFrame::Hello { .. } | ClientFrame::Attach { .. }
+        ) {
             return Err(Box::new(WireError::BadTag(0)));
-        };
+        }
 
         // Admission: claim a slot or turn the client away politely.
         if !self.try_claim_slot() {
@@ -343,14 +356,13 @@ impl Server {
             session_id,
             collector: session_collector.clone(),
         };
-        let mut session =
-            match HostedSession::open(&scene, self.cfg.session.clone(), session_collector) {
-                Ok(s) => s,
-                Err(e) => {
-                    t.send(&ServerFrame::Error { message: e }.encode())?;
-                    return Ok(ConnectionOutcome::Served { steps: 0 });
-                }
-            };
+        let mut session = match self.open_hosted(&first, session_collector) {
+            Ok(s) => s,
+            Err(e) => {
+                t.send(&ServerFrame::Error { message: e }.encode())?;
+                return Ok(ConnectionOutcome::Served { steps: 0 });
+            }
+        };
         session.set_session_id(session_id);
         session.set_slow_log(self.slow_log.clone());
         let (width, height) = session.size();
@@ -365,9 +377,41 @@ impl Server {
         let initial = session.initial_keyframe();
         t.send(&session.encode_frame(&initial))?;
 
-        let outcome = self.session_loop(t, &mut session);
+        let outcome = if session.is_attached() {
+            self.attached_loop(t, &mut session)
+        } else {
+            self.session_loop(t, &mut session)
+        };
         drop(guard);
         outcome
+    }
+
+    /// Builds the session a first frame asks for: a private scene for
+    /// `Hello`, a shared-document replica for `Attach` (creating the
+    /// document when a scene is offered; creations count into the
+    /// server-plane `serve.collab.docs`). Both handshake paths have
+    /// already rejected any other first frame.
+    pub(crate) fn open_hosted(
+        &self,
+        first: &ClientFrame,
+        collector: Arc<Collector>,
+    ) -> Result<HostedSession, String> {
+        match first {
+            ClientFrame::Hello { scene } => {
+                HostedSession::open(scene, self.cfg.session.clone(), collector)
+            }
+            ClientFrame::Attach { doc_id, scene } => {
+                let attachment = self
+                    .registry
+                    .attach(doc_id, scene.as_deref())
+                    .map_err(|e| e.to_string())?;
+                if attachment.created() {
+                    self.collector.count("serve.collab.docs", 1);
+                }
+                HostedSession::open_replica(attachment, self.cfg.session.clone(), collector)
+            }
+            _ => Err("first frame must be hello or attach".to_string()),
+        }
     }
 
     fn session_loop<T: FrameTransport>(
@@ -407,6 +451,107 @@ impl Server {
         }
     }
 
+    /// The blocking-path loop for attached sessions. A replica cannot
+    /// block on its transport: a silent watcher's frames come from
+    /// *other* replicas' edits, which arrive on the document channel,
+    /// not the socket. So this polls both — transport bursts drain
+    /// through the normal batch funnel, document ops pump through
+    /// [`Server::pump_doc_ops`], and a nap keeps the idle spin polite
+    /// (the shard path gets the same behavior from its readiness
+    /// loop's nap).
+    fn attached_loop<T: FrameTransport>(
+        &self,
+        t: &mut T,
+        session: &mut HostedSession,
+    ) -> Result<ConnectionOutcome, Box<dyn std::error::Error>> {
+        loop {
+            match t.try_recv()? {
+                Some(first_body) => {
+                    let mut ft = session.begin_frame();
+                    let mut batch: Vec<ScriptStep> = Vec::new();
+                    let mut saw_bye = false;
+                    let mut stats_req = false;
+                    decode_into(
+                        &first_body,
+                        &mut ft,
+                        &mut batch,
+                        &mut saw_bye,
+                        &mut stats_req,
+                    )?;
+                    while !saw_bye {
+                        match t.try_recv()? {
+                            Some(body) => decode_into(
+                                &body,
+                                &mut ft,
+                                &mut batch,
+                                &mut saw_bye,
+                                &mut stats_req,
+                            )?,
+                            None => break,
+                        }
+                    }
+                    if let Some(outcome) =
+                        self.finish_batch(t, session, ft, batch, saw_bye, stats_req)?
+                    {
+                        return Ok(outcome);
+                    }
+                }
+                None => match self.pump_doc_ops(t, session)? {
+                    CollabPump::Done(outcome) => return Ok(outcome),
+                    CollabPump::Progress => {}
+                    CollabPump::Idle => thread::sleep(ATTACHED_NAP),
+                },
+            }
+        }
+    }
+
+    /// Drains and applies whatever shared-document ops are buffered on
+    /// an attached session's subscription, shipping the resulting diff.
+    /// This is how a replica makes progress with *no* transport
+    /// traffic of its own; the shard readiness loop and the blocking
+    /// attached loop both pump through here.
+    pub(crate) fn pump_doc_ops(
+        &self,
+        t: &mut dyn FrameTransport,
+        session: &mut HostedSession,
+    ) -> Result<CollabPump, Box<dyn std::error::Error>> {
+        let ops = session.drain_ops();
+        if ops.is_empty() {
+            return Ok(CollabPump::Idle);
+        }
+        let mut ft = session.begin_frame();
+        let (frame, end) = session.apply_ops_traced(&ops, &mut ft);
+        ft.enter(Stage::Ship);
+        t.send(&session.encode_frame(&frame))?;
+        ft.exit();
+        session.finish_frame(ft);
+        if let Some(end) = end {
+            self.goodbye(t, end)?;
+            return Ok(CollabPump::Done(ConnectionOutcome::Served {
+                steps: session.seq(),
+            }));
+        }
+        Ok(CollabPump::Progress)
+    }
+
+    /// Sends the server-side `Bye` for a session-initiated end and
+    /// counts idle evictions.
+    fn goodbye(&self, t: &mut dyn FrameTransport, end: SessionEnd) -> io::Result<()> {
+        let reason = match end {
+            SessionEnd::Idle => BYE_IDLE,
+            SessionEnd::Closed => BYE_CLOSED,
+        };
+        if end == SessionEnd::Idle {
+            self.collector.count("serve.idle_evictions", 1);
+        }
+        t.send(
+            &ServerFrame::Bye {
+                reason: reason.into(),
+            }
+            .encode(),
+        )
+    }
+
     /// Runs one collected batch to completion: backpressure trim,
     /// apply + ship under the frame trace, stats reply, and the goodbye
     /// when the batch (or the client) ended the session. Returns
@@ -434,7 +579,26 @@ impl Server {
         }
 
         let mut end_after = None;
-        if !batch.is_empty() {
+        if session.is_attached() {
+            // Replicated path: the batch is *submitted* to the shared
+            // log, not applied — every edit comes back through the
+            // subscription in log order (the author's own included).
+            // The drain below therefore already covers catch-up on
+            // `Bye`: everything submitted anywhere is on the channel
+            // the moment `submit` returns, so the final frame shipped
+            // here leaves the client at the converged document state.
+            session.submit_batch(&batch, dropped as u64);
+            let ops = session.drain_ops();
+            if !ops.is_empty() {
+                let (frame, end) = session.apply_ops_traced(&ops, &mut ft);
+                ft.enter(Stage::Ship);
+                let encoded = session.encode_frame(&frame);
+                t.send(&encoded)?;
+                ft.exit();
+                session.finish_frame(ft);
+                end_after = end;
+            }
+        } else if !batch.is_empty() {
             let (frame, end) = session.apply_batch_traced(&batch, dropped as u64, &mut ft);
             ft.enter(Stage::Ship);
             let encoded = session.encode_frame(&frame);
@@ -452,19 +616,7 @@ impl Server {
         }
 
         if let Some(end) = end_after {
-            let reason = match end {
-                SessionEnd::Idle => BYE_IDLE,
-                SessionEnd::Closed => BYE_CLOSED,
-            };
-            if end == SessionEnd::Idle {
-                self.collector.count("serve.idle_evictions", 1);
-            }
-            t.send(
-                &ServerFrame::Bye {
-                    reason: reason.into(),
-                }
-                .encode(),
-            )?;
+            self.goodbye(t, end)?;
             return Ok(Some(ConnectionOutcome::Served {
                 steps: session.seq(),
             }));
@@ -565,9 +717,23 @@ impl Server {
     }
 }
 
+/// How [`Server::pump_doc_ops`] left an attached session.
+pub(crate) enum CollabPump {
+    /// No ops buffered; nothing happened.
+    Idle,
+    /// Ops applied and a frame shipped.
+    Progress,
+    /// The session ended (idle eviction or app close); `Bye` sent.
+    Done(ConnectionOutcome),
+}
+
+/// Nap between polls of the blocking attached loop (the shard path
+/// naps in its own readiness loop instead).
+const ATTACHED_NAP: std::time::Duration = std::time::Duration::from_micros(200);
+
 /// Decodes one client body into the current batch, stamping the decode
-/// stage. A second `Hello` mid-session is the protocol violation it
-/// always was.
+/// stage. A second `Hello` (or `Attach`) mid-session is the protocol
+/// violation it always was.
 pub(crate) fn decode_into(
     body: &[u8],
     ft: &mut FrameTrace,
@@ -583,6 +749,7 @@ pub(crate) fn decode_into(
         ClientFrame::Bye => *saw_bye = true,
         ClientFrame::StatsReq => *stats_req = true,
         ClientFrame::Hello { .. } => return Err(WireError::BadTag(0x01)),
+        ClientFrame::Attach { .. } => return Err(WireError::BadTag(0x05)),
     }
     Ok(())
 }

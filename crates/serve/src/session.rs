@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use atk_apps::scenes::build_scene;
+use atk_collab::{Attachment, Doc, Op};
 use atk_core::{InteractionManager, ScriptStep, World};
 use atk_graphics::Framebuffer;
 use atk_trace::{Collector, FrameLog, FrameTrace, SlowFrameLog, Stage};
@@ -107,6 +108,18 @@ pub struct HostedSession {
     /// `MenuSelect` steps pop their menu there, matching the recorded
     /// interaction instead of hardcoding the origin.
     last_menu_pos: atk_graphics::Point,
+    /// The replica side of a shared-document attachment, when this
+    /// session opened via `Attach` instead of `Hello`.
+    collab: Option<Replica>,
+}
+
+/// Replica bookkeeping for an attached session: the live subscription
+/// (dropping it unsubscribes, on every exit path) plus how far into
+/// the log this replica has applied.
+struct Replica {
+    attachment: Attachment,
+    /// Seq of the newest op applied to this replica's world.
+    applied: u64,
 }
 
 impl HostedSession {
@@ -137,7 +150,196 @@ impl HostedSession {
             slow_log: None,
             last_trigger: None,
             last_menu_pos: atk_graphics::Point::ORIGIN,
+            collab: None,
         })
+    }
+
+    /// Builds a *replica* of a shared document: opens the document's
+    /// scene, then replays the attach-time backlog so the replica
+    /// stands at the log head it subscribed from. The backlog size is
+    /// observed into `serve.collab.replay_lag` — a fresh replica of a
+    /// long-lived document starts that far behind.
+    pub fn open_replica(
+        mut attachment: Attachment,
+        cfg: SessionConfig,
+        collector: Arc<Collector>,
+    ) -> Result<HostedSession, String> {
+        let scene = attachment.doc().scene().to_string();
+        let mut session = HostedSession::open(&scene, cfg, collector)?;
+        let backlog = attachment.take_backlog();
+        session
+            .collector
+            .observe("serve.collab.replay_lag", backlog.len() as u64);
+        session.collab = Some(Replica {
+            attachment,
+            applied: 0,
+        });
+        for op in &backlog {
+            session.apply_one_op(&op.step);
+        }
+        if let Some(r) = session.collab.as_mut() {
+            r.applied = backlog.last().map_or(0, |op| op.seq);
+        }
+        // A replayed backlog may tick the clock well past the idle
+        // horizon; a replica is not idle at birth.
+        session.last_input_ms = session.world.now_ms();
+        Ok(session)
+    }
+
+    /// True when this session is a replica of a shared document.
+    pub fn is_attached(&self) -> bool {
+        self.collab.is_some()
+    }
+
+    /// The attached document, for replicas.
+    pub fn doc(&self) -> Option<&Arc<Doc>> {
+        self.collab.as_ref().map(|r| r.attachment.doc())
+    }
+
+    /// Serializes a batch of this replica's own edits through the
+    /// document's log. Nothing is applied here — every edit comes back
+    /// through the subscription in log order, so all replicas (the
+    /// author included) apply the one total order. `dropped` steps
+    /// never reached the log, but they still advance `seq` so the
+    /// client's accounting stays truthful. Counts `serve.collab.ops`
+    /// and observes per-op fanout latency into
+    /// `serve.collab.fanout_us`.
+    pub fn submit_batch(&mut self, batch: &[ScriptStep], dropped: u64) {
+        self.seq += dropped;
+        let Some(r) = self.collab.as_ref() else {
+            return;
+        };
+        let doc = Arc::clone(r.attachment.doc());
+        for step in batch {
+            let started = Instant::now();
+            doc.submit(self.session_id, step.clone());
+            self.collector.observe(
+                "serve.collab.fanout_us",
+                started.elapsed().as_micros() as u64,
+            );
+        }
+        self.collector.count("serve.collab.ops", batch.len() as u64);
+    }
+
+    /// Drains every op currently buffered on the replica's channel.
+    pub fn drain_ops(&mut self) -> Vec<Op> {
+        self.collab
+            .as_mut()
+            .map_or_else(Vec::new, |r| r.attachment.drain())
+    }
+
+    /// [`HostedSession::apply_ops_traced`] owning its own attribution.
+    pub fn apply_ops(&mut self, ops: &[Op]) -> (ServerFrame, Option<SessionEnd>) {
+        let mut ft = self.begin_frame();
+        let out = self.apply_ops_traced(ops, &mut ft);
+        self.finish_frame(ft);
+        out
+    }
+
+    /// Applies a drained run of shared-document ops and returns the
+    /// frame to ship. Ops apply **one at a time** with the recorded
+    /// per-step semantics — each op settles and repaints before the
+    /// next applies — so a replica's world, counters, and pixels are a
+    /// pure function of the log prefix, independent of how transport
+    /// drains or shard scheduling chunked the ops. (Per-op settle and
+    /// paint are attributed to the `apply` stage; the one shipped
+    /// frame still diffs the cumulative change as usual.)
+    ///
+    /// `seq` advances only by ops *authored by this session*: the
+    /// shipped sequence number keeps counting the client's own steps,
+    /// so pipelined-ack accounting is untouched by remote edits.
+    ///
+    /// Any non-tick op — whoever wrote it — refreshes the idle
+    /// horizon: idleness is keyed on doc-level activity, so a silent
+    /// watcher is not evicted while its peer is typing into the
+    /// shared document.
+    pub fn apply_ops_traced(
+        &mut self,
+        ops: &[Op],
+        ft: &mut FrameTrace,
+    ) -> (ServerFrame, Option<SessionEnd>) {
+        let started = Instant::now();
+        if self.cfg.slo_us.is_some() && ft.is_enabled() {
+            self.last_trigger = ops.last().map(|op| {
+                op.step
+                    .to_line()
+                    .unwrap_or_else(|| format!("{:?}", op.step))
+            });
+        }
+        ft.enter(Stage::Apply);
+        let mut saw_real_input = false;
+        let mut own = 0u64;
+        for op in ops {
+            if !matches!(op.step, ScriptStep::Event(WindowEvent::Tick(_))) {
+                saw_real_input = true;
+            }
+            if op.author == self.session_id {
+                own += 1;
+            }
+            self.apply_one_op(&op.step);
+            if let Some(r) = self.collab.as_mut() {
+                r.applied = op.seq;
+            }
+        }
+        ft.exit();
+
+        self.seq += own;
+        if saw_real_input {
+            self.last_input_ms = self.world.now_ms();
+        }
+        if let Some(r) = self.collab.as_ref() {
+            let lag = r.attachment.doc().head().saturating_sub(r.applied);
+            self.collector.observe("serve.collab.replay_lag", lag);
+        }
+
+        let frame = self.ship_frame(ft);
+        self.collector
+            .observe("serve.frame_us", started.elapsed().as_micros() as u64);
+
+        (frame, self.session_end())
+    }
+
+    /// One op, with the exact semantics the in-process reference uses
+    /// for one script step (`atk_check::Session::apply`), followed by
+    /// a settle and a damage repaint so the next op sees a fully
+    /// repaired world.
+    fn apply_one_op(&mut self, step: &ScriptStep) {
+        match step {
+            ScriptStep::Event(ev) => {
+                if let WindowEvent::MenuRequest { pos } = ev {
+                    self.last_menu_pos = *pos;
+                }
+                self.im.feed(&mut self.world, ev.clone());
+            }
+            ScriptStep::MenuSelect(label) => {
+                self.im.feed(
+                    &mut self.world,
+                    WindowEvent::MenuRequest {
+                        pos: self.last_menu_pos,
+                    },
+                );
+                self.im.select_menu(&mut self.world, label);
+                self.im.pump(&mut self.world);
+            }
+        }
+        self.im.flush_quiescent(&mut self.world);
+        self.im.repaint_damage(&mut self.world);
+    }
+
+    /// Applies plain steps with replica semantics (one settle + paint
+    /// per step, no frame assembly). This is how the collab oracle's
+    /// in-process reference replays the merged interleaving: the same
+    /// per-op funnel the replicas run, minus the wire.
+    pub fn replay_steps(&mut self, steps: &[ScriptStep]) {
+        for step in steps {
+            self.apply_one_op(step);
+        }
+    }
+
+    /// A snapshot of the current backend framebuffer (the oracle's
+    /// ground truth for comparisons).
+    pub fn framebuffer(&self) -> Framebuffer {
+        self.current_fb()
     }
 
     /// Stamps the server-assigned id into slow-frame dumps.

@@ -42,7 +42,7 @@ use atk_core::ScriptStep;
 use atk_trace::Collector;
 
 use crate::fault::FaultRng;
-use crate::server::{decode_into, ConnectionOutcome, Server};
+use crate::server::{decode_into, CollabPump, ConnectionOutcome, Server};
 use crate::session::HostedSession;
 use crate::transport::FrameTransport;
 use crate::wire::{ClientFrame, ServerFrame, WireError, BYE_DRAIN};
@@ -298,16 +298,21 @@ fn run_shard(
     }
 }
 
-/// Completes a pending handshake if the `Hello` has arrived: admission
-/// slot, session build, `Welcome` + initial keyframe — the same
-/// sequence as the blocking path, minus the blocking.
+/// Completes a pending handshake if the first frame (`Hello` or
+/// `Attach`) has arrived: admission slot, session build, `Welcome` +
+/// initial keyframe — the same sequence as the blocking path, minus
+/// the blocking.
 fn pump_handshake(server: &Server, conn: &mut Conn) -> Result<Pump, Box<dyn std::error::Error>> {
     let Some(body) = conn.t.try_recv()? else {
         return Ok(Pump::Idle);
     };
-    let ClientFrame::Hello { scene } = ClientFrame::decode(&body)? else {
+    let first = ClientFrame::decode(&body)?;
+    if !matches!(
+        first,
+        ClientFrame::Hello { .. } | ClientFrame::Attach { .. }
+    ) {
         return Err(Box::new(WireError::BadTag(0)));
-    };
+    }
     if !server.try_claim_slot() {
         conn.t.send(&ServerFrame::Busy.encode())?;
         return Ok(Pump::Done(ConnectionOutcome::Rejected));
@@ -317,11 +322,7 @@ fn pump_handshake(server: &Server, conn: &mut Conn) -> Result<Pump, Box<dyn std:
     // `Running`; the failure paths release explicitly.
     let session_id = server.next_session_id();
     let session_collector = server.open_session_collector(session_id);
-    let mut session = match HostedSession::open(
-        &scene,
-        server.cfg().session.clone(),
-        session_collector.clone(),
-    ) {
+    let mut session = match server.open_hosted(&first, session_collector.clone()) {
         Ok(s) => s,
         Err(e) => {
             server.retire_session(session_id, &session_collector);
@@ -367,6 +368,17 @@ fn pump_running(
         return Ok(Pump::Idle);
     };
     let Some(first_body) = conn.t.try_recv()? else {
+        // No transport traffic — but an attached session's frames come
+        // from *other* replicas' edits, delivered on the document
+        // channel. Pump that here so a silent watcher makes progress
+        // every readiness sweep.
+        if session.is_attached() {
+            return Ok(match server.pump_doc_ops(&mut conn.t, session)? {
+                CollabPump::Idle => Pump::Idle,
+                CollabPump::Progress => Pump::Progress,
+                CollabPump::Done(outcome) => Pump::Done(outcome),
+            });
+        }
         return Ok(Pump::Idle);
     };
     let mut ft = session.begin_frame();

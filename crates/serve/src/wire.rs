@@ -93,6 +93,19 @@ pub enum ClientFrame {
         /// Scene name (`fig1`…`fig5`, any `atk_apps::scenes` name).
         scene: String,
     },
+    /// Open a *replicated* session on a named shared document instead
+    /// of a private scene (sent in place of `Hello`). The first
+    /// attacher must offer a scene, which creates the document; later
+    /// attachers may omit it (or must match). Steps sent afterwards
+    /// are serialized through the document's op log and fan out to
+    /// every attached replica.
+    Attach {
+        /// Registry key of the shared document.
+        doc_id: String,
+        /// Scene to build the document over; `None` joins an existing
+        /// document (encoded as the empty string on the wire).
+        scene: Option<String>,
+    },
     /// One script step, encoded as its script line.
     Step(ScriptStep),
     /// Ask for the server-wide stats snapshot; the server replies with
@@ -161,6 +174,7 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_STEP: u8 = 0x02;
 const TAG_C_BYE: u8 = 0x03;
 const TAG_STATS_REQ: u8 = 0x04;
+const TAG_ATTACH: u8 = 0x05;
 const TAG_WELCOME: u8 = 0x81;
 const TAG_BUSY: u8 = 0x82;
 const TAG_UPDATE: u8 = 0x83;
@@ -361,6 +375,11 @@ impl ClientFrame {
                 out.push(TAG_HELLO);
                 put_str(&mut out, scene);
             }
+            ClientFrame::Attach { doc_id, scene } => {
+                out.push(TAG_ATTACH);
+                put_str(&mut out, doc_id);
+                put_str(&mut out, scene.as_deref().unwrap_or(""));
+            }
             ClientFrame::Step(step) => {
                 let line = step
                     .to_line()
@@ -379,6 +398,14 @@ impl ClientFrame {
         let mut r = Reader::new(buf);
         let frame = match r.u8()? {
             TAG_HELLO => ClientFrame::Hello { scene: r.string()? },
+            TAG_ATTACH => {
+                let doc_id = r.string()?;
+                let scene = r.string()?;
+                ClientFrame::Attach {
+                    doc_id,
+                    scene: (!scene.is_empty()).then_some(scene),
+                }
+            }
             TAG_STEP => {
                 let line = r.string()?;
                 let script =
@@ -614,6 +641,14 @@ mod tests {
         let frames = [
             ClientFrame::Hello {
                 scene: "fig5".into(),
+            },
+            ClientFrame::Attach {
+                doc_id: "doc-0".into(),
+                scene: Some("fig5".into()),
+            },
+            ClientFrame::Attach {
+                doc_id: "doc-0".into(),
+                scene: None,
             },
             ClientFrame::Step(ScriptStep::Event(WindowEvent::ch('a'))),
             ClientFrame::Step(ScriptStep::MenuSelect("File/Save".into())),

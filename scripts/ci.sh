@@ -43,6 +43,21 @@ cargo run --release -q -p atk-serve --bin loadgen -- \
     --mem --sessions 16 --steps 40 --faults 42 --disconnect-every 5 \
     --stats --max-drops 0
 
+echo "==> collab loadgen smoke (2 docs x 3 replicas, zero divergences)"
+# Two shared documents, each with 2 writers interleaving one seeded
+# edit stream plus a silent watcher. The run exits 1 if any replica's
+# final framebuffer disagrees with its document, or on any drop.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --profile collab --docs 2 --writers 2 --watchers 1 \
+    --steps 40 --max-drops 0
+
+echo "==> collab chaos smoke (seeded faults on every replica's pipe)"
+# Same fleet under a seeded fault schedule: short reads/writes and
+# WouldBlock storms must not reorder, drop, or fork the op log.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --profile collab --docs 2 --writers 2 --watchers 1 \
+    --steps 40 --faults 42 --max-drops 0
+
 echo "==> shard-scale loadgen (512 concurrent sessions, rendezvous)"
 # All 512 clients hold a rendezvous barrier until every session is
 # admitted, so the shards provably host 512 live sessions at once
@@ -65,6 +80,9 @@ CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e14_parallel_paint
 
 echo "==> e15 quick smoke (shard dispatch vs thread-per-conn, capped sample time)"
 CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e15_shards
+
+echo "==> e16 quick smoke (replicated-document fanout, capped sample time)"
+CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e16_collab
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
