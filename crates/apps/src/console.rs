@@ -260,6 +260,22 @@ impl View for ConsoleView {
         }
     }
 
+    fn fork(&self) -> Option<Box<dyn View>> {
+        // `Box<dyn StatSource>` is not `Clone`; both sources are
+        // stateless, so the fork rebuilds its own by name.
+        let source: Box<dyn StatSource> = match self.source.name() {
+            "proc" => Box::new(ProcStatSource::default()),
+            _ => Box::new(SyntheticStatSource),
+        };
+        Some(Box::new(ConsoleView {
+            base: self.base,
+            source,
+            latest: self.latest.clone(),
+            samples: self.samples,
+            show_pipeline: self.show_pipeline,
+        }))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

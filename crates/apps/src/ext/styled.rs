@@ -28,6 +28,7 @@ const ROWS: &[(&str, &str)] = &[
 const ROW_H: i32 = 16;
 
 /// The style editor panel.
+#[derive(Clone)]
 pub struct StyleEditorView {
     base: ViewBase,
     target: Option<ViewId>,
@@ -118,6 +119,10 @@ impl View for StyleEditorView {
             return true;
         }
         false
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -55,6 +55,7 @@ pub fn builtin_topics() -> BTreeMap<String, String> {
 }
 
 /// Coordinator view: body text left, topics index right (figure 2).
+#[derive(Clone)]
 pub struct HelpView {
     base: ViewBase,
     topics: Vec<(String, String)>,
@@ -218,6 +219,10 @@ impl View for HelpView {
 
     fn observed_changed(&mut self, world: &mut World, _s: DataId, _c: &ChangeRec) {
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -34,6 +34,7 @@ pub mod help;
 pub mod messages;
 pub mod preview;
 pub mod scenes;
+pub mod template;
 pub mod typescript;
 
 pub use console::{ConsoleApp, ProcStatSource, StatSource, Stats, SyntheticStatSource};
@@ -41,6 +42,7 @@ pub use ez::EzApp;
 pub use help::HelpApp;
 pub use messages::{MessageStore, MessagesApp};
 pub use preview::PreviewApp;
+pub use template::TemplateRegistry;
 pub use typescript::TypescriptApp;
 
 use atk_class::ModuleSpec;

@@ -49,6 +49,7 @@ impl Caption {
 }
 
 /// The on-disk message store.
+#[derive(Clone)]
 pub struct MessageStore {
     root: PathBuf,
 }
@@ -233,6 +234,7 @@ impl MessageStore {
 }
 
 /// Timer-free coordinator view: three panes wired through `perform`.
+#[derive(Clone)]
 pub struct MailView {
     base: ViewBase,
     store: Option<MessageStore>,
@@ -454,6 +456,10 @@ impl View for MailView {
 
     fn observed_changed(&mut self, world: &mut World, _s: DataId, _c: &ChangeRec) {
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

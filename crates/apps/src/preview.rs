@@ -282,6 +282,7 @@ pub fn generate_ditroff(markup: &str, page_width: i32) -> String {
 }
 
 /// The preview view: renders one parsed [`Page`].
+#[derive(Clone)]
 pub struct PreviewView {
     base: ViewBase,
     pages: Vec<Page>,
@@ -389,6 +390,10 @@ impl View for PreviewView {
             MenuItem::new("Page", "Next", "preview-next"),
             MenuItem::new("Page", "Previous", "preview-prev"),
         ]
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -35,6 +35,25 @@ pub struct Scene {
 }
 
 impl Scene {
+    /// Deep-forks this scene onto a fresh window of `backend`.
+    ///
+    /// The world forks through both arenas ([`World::fork`]), and the
+    /// interaction manager re-opens an identically sized window whose
+    /// framebuffer starts as a blit of this scene's pixels
+    /// ([`InteractionManager::fork_onto`]) — so the fork is observably
+    /// the same session: same ids, same focus, same pixels, same
+    /// pending queues and timers.
+    pub fn fork(&self, backend: &str) -> Result<Scene, String> {
+        let world = self.world.fork()?;
+        let mut ws = atk_wm::open_window_system(Some(backend))?;
+        let im = self.im.fork_onto(ws.as_mut())?;
+        Ok(Scene {
+            world,
+            im,
+            name: self.name,
+        })
+    }
+
     /// Saves the scene as `dir/<name>.ppm`. Returns the path.
     pub fn snapshot_to(&self, dir: &std::path::Path) -> Result<std::path::PathBuf, String> {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -333,19 +352,31 @@ pub fn scene_names() -> Vec<&'static str> {
     scene_registry().iter().map(|(n, _)| *n).collect()
 }
 
-/// Builds the named scene (full snapshot name, or a short prefix like
-/// `fig3`) on a fresh instance of `backend`.
-pub fn build_scene(name: &str, backend: &str) -> Result<Scene, String> {
-    for (full, builder) in scene_registry() {
+/// Resolves a scene name (full snapshot name, or a short prefix like
+/// `fig3`) to its canonical registry name.
+pub fn resolve_scene_name(name: &str) -> Result<&'static str, String> {
+    for (full, _) in scene_registry() {
         if full == name || full.starts_with(&format!("{name}_")) {
-            let mut ws = atk_wm::open_window_system(Some(backend))?;
-            return builder(ws.as_mut());
+            return Ok(full);
         }
     }
     Err(format!(
         "unknown scene `{name}` (known: {})",
         scene_names().join(", ")
     ))
+}
+
+/// Builds the named scene (full snapshot name, or a short prefix like
+/// `fig3`) on a fresh instance of `backend`.
+pub fn build_scene(name: &str, backend: &str) -> Result<Scene, String> {
+    let full = resolve_scene_name(name)?;
+    for (candidate, builder) in scene_registry() {
+        if candidate == full {
+            let mut ws = atk_wm::open_window_system(Some(backend))?;
+            return builder(ws.as_mut());
+        }
+    }
+    unreachable!("resolve_scene_name returned a registry name")
 }
 
 /// Builds every figure scene on a fresh backend instance each.

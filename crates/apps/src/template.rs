@@ -1,0 +1,158 @@
+//! Pre-warmed template worlds: build each scene once, fork sessions.
+//!
+//! The paper's `runapp` starts every application from scratch — load the
+//! modules, build the object tree, lay it out, paint. A server admitting
+//! hundreds of sessions of the *same* scene pays that cost per session
+//! for an identical result. [`TemplateRegistry`] pays it once per
+//! `(scene, backend)`: the first request builds the scene, settles it to
+//! a fixed point, and freezes it as a template; every request after that
+//! deep-forks the template ([`Scene::fork`]) — copy-on-write for the
+//! heavy immutable payloads — and hands out a session that is
+//! byte-identical to one built cold.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use atk_trace::Collector;
+
+use crate::scenes::{build_scene, resolve_scene_name, Scene};
+
+/// A cache of settled, frozen scene templates, keyed by resolved scene
+/// name and backend.
+pub struct TemplateRegistry {
+    collector: Arc<Collector>,
+    templates: HashMap<(&'static str, String), Scene>,
+}
+
+impl TemplateRegistry {
+    /// An empty registry. Template builds and forks count on
+    /// `collector` (`world.template_builds`, `world.forks`,
+    /// `world.fork_us`, `world.fork_shared_bytes`) — deliberately *not*
+    /// on the per-session collectors, so a forked session's own
+    /// counters stay identical to a cold session's.
+    pub fn new(collector: Arc<Collector>) -> TemplateRegistry {
+        TemplateRegistry {
+            collector,
+            templates: HashMap::new(),
+        }
+    }
+
+    /// The registry's collector.
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// How many templates have been built so far.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The frozen template for `(scene, backend)`, building it on first
+    /// use. Scene-name prefixes resolve before the cache is consulted,
+    /// so `fig5` and `fig5_ez_compound` share one template.
+    fn template(&mut self, scene: &str, backend: &str) -> Result<&Scene, String> {
+        let full = resolve_scene_name(scene)?;
+        let key = (full, backend.to_string());
+        if !self.templates.contains_key(&key) {
+            let started = Instant::now();
+            let mut t = build_scene(full, backend)?;
+            t.world.set_collector(self.collector.clone());
+            // Freeze at a fixed point: scene builders end quiescent, but
+            // the template contract is explicit, not inherited.
+            t.im.flush_quiescent(&mut t.world);
+            t.im.repaint_damage(&mut t.world);
+            self.collector.count("world.template_builds", 1);
+            self.collector.observe(
+                "world.template_build_us",
+                started.elapsed().as_micros() as u64,
+            );
+            self.templates.insert(key.clone(), t);
+        }
+        Ok(self.templates.get(&key).expect("just inserted"))
+    }
+
+    /// A fresh session forked from the `(scene, backend)` template,
+    /// building the template first if this is its first use.
+    pub fn fork_session(&mut self, scene: &str, backend: &str) -> Result<Scene, String> {
+        self.template(scene, backend)?.fork(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atk_wm::WindowEvent;
+
+    fn fresh_registry() -> TemplateRegistry {
+        let c = Arc::new(Collector::new());
+        c.enable();
+        TemplateRegistry::new(c)
+    }
+
+    #[test]
+    fn fork_is_pixel_identical_to_cold_build() {
+        let mut reg = fresh_registry();
+        for scene in ["fig1", "fig2", "fig3", "fig4", "fig5"] {
+            let forked = reg.fork_session(scene, "x11sim").unwrap();
+            let cold = build_scene(scene, "x11sim").unwrap();
+            assert_eq!(
+                forked.im.snapshot().unwrap(),
+                cold.im.snapshot().unwrap(),
+                "{scene}: forked pixels differ from cold build"
+            );
+            assert_eq!(forked.name, cold.name);
+        }
+    }
+
+    #[test]
+    fn template_builds_once_per_scene_and_backend() {
+        let mut reg = fresh_registry();
+        for _ in 0..3 {
+            reg.fork_session("fig1", "x11sim").unwrap();
+        }
+        reg.fork_session("fig1_view_tree", "x11sim").unwrap();
+        reg.fork_session("fig1", "awmsim").unwrap();
+        let snap = reg.collector().snapshot();
+        assert_eq!(snap.counter("world.template_builds"), 2);
+        assert_eq!(snap.counter("world.forks"), 5);
+        assert_eq!(reg.template_count(), 2);
+    }
+
+    #[test]
+    fn forks_are_isolated_from_each_other_and_the_template() {
+        let mut reg = fresh_registry();
+        let mut a = reg.fork_session("fig1", "x11sim").unwrap();
+        let b = reg.fork_session("fig1", "x11sim").unwrap();
+        let pristine = b.im.snapshot().unwrap();
+
+        // Type into A: focus the text, insert characters.
+        for ev in [
+            WindowEvent::left_down(70, 70),
+            WindowEvent::left_up(70, 70),
+            WindowEvent::ch('Z'),
+            WindowEvent::ch('Z'),
+            WindowEvent::ch('Z'),
+        ] {
+            a.im.feed(&mut a.world, ev);
+        }
+        a.im.settle(&mut a.world);
+        assert_ne!(
+            a.im.snapshot().unwrap(),
+            pristine,
+            "typing must change A's pixels"
+        );
+
+        // B and the template are untouched; a third fork is pristine.
+        assert_eq!(b.im.snapshot().unwrap(), pristine);
+        let c = reg.fork_session("fig1", "x11sim").unwrap();
+        assert_eq!(c.im.snapshot().unwrap(), pristine);
+    }
+
+    #[test]
+    fn unknown_scene_fails_without_caching() {
+        let mut reg = fresh_registry();
+        assert!(reg.fork_session("nope", "x11sim").is_err());
+        assert_eq!(reg.template_count(), 0);
+    }
+}

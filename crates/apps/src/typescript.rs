@@ -28,7 +28,7 @@ use crate::AppArgs;
 pub const PROMPT: &str = "% ";
 
 /// The built-in command interpreter standing in for csh.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Shell {
     cwd: Option<std::path::PathBuf>,
     history: Vec<String>,
@@ -138,6 +138,7 @@ impl Shell {
 }
 
 /// The typescript view: text view child plus shell interception.
+#[derive(Clone)]
 pub struct TypescriptView {
     base: ViewBase,
     shell: Shell,
@@ -324,6 +325,10 @@ impl View for TypescriptView {
             }
             _ => Some(key),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

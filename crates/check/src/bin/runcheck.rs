@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! runcheck [--seed N] [--steps N] [--scene NAME|all] \
-//!          [--oracle repaint,roundtrip,tree,backend,layout|all] \
+//!          [--oracle repaint,roundtrip,tree,backend,layout,fork|all] \
 //!          [--window N] [--no-shrink]
 //! ```
 //!

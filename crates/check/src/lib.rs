@@ -4,7 +4,7 @@
 //! and its embedded components daily (§9). This crate is the mechanical
 //! stand-in: a seed-driven fuzzer that generates weighted random
 //! [`ScriptStep`] streams against the real scenes in
-//! [`atk_apps::scenes`], and checks five oracles after configurable step
+//! [`atk_apps::scenes`], and checks six oracles after configurable step
 //! windows:
 //!
 //! * **repaint** — the incremental damage path must converge to the
@@ -20,7 +20,12 @@
 //!   independence);
 //! * **layout** — every text view's incrementally maintained line table
 //!   is byte-identical to a from-scratch relayout (the differential
-//!   anchor for edit-local relayout).
+//!   anchor for edit-local relayout);
+//! * **fork** — a session forked from a pre-warmed template world
+//!   ([`atk_apps::TemplateRegistry`]), after a throwaway tenant has
+//!   already forked and taken traffic, behaves identically under the
+//!   same script to the cold-built session (the differential anchor for
+//!   copy-on-write session forking).
 //!
 //! On failure the event stream is delta-debugged ([`shrink`]) to a
 //! 1-minimal script in the line-oriented format `runapp --script`
@@ -60,10 +65,13 @@ pub struct OracleSet {
     pub backend: bool,
     /// Incremental text relayout ≡ from-scratch relayout.
     pub layout: bool,
+    /// Template-forked session ≡ cold-built session under the same
+    /// traffic.
+    pub fork: bool,
 }
 
 impl OracleSet {
-    /// All five oracles.
+    /// All six oracles.
     pub fn all() -> OracleSet {
         OracleSet {
             repaint: true,
@@ -71,6 +79,7 @@ impl OracleSet {
             tree: true,
             backend: true,
             layout: true,
+            fork: true,
         }
     }
 
@@ -82,6 +91,7 @@ impl OracleSet {
             tree: false,
             backend: false,
             layout: false,
+            fork: false,
         }
     }
 
@@ -94,6 +104,7 @@ impl OracleSet {
             Oracle::Tree => set.tree = true,
             Oracle::Backend => set.backend = true,
             Oracle::Layout => set.layout = true,
+            Oracle::Fork => set.fork = true,
         }
         set
     }
@@ -111,9 +122,11 @@ impl OracleSet {
                 "tree" => set.tree = true,
                 "backend" => set.backend = true,
                 "layout" => set.layout = true,
+                "fork" => set.fork = true,
                 other => {
                     return Err(format!(
-                        "unknown oracle `{other}` (repaint, roundtrip, tree, backend, layout, all)"
+                        "unknown oracle `{other}` (repaint, roundtrip, tree, backend, \
+                         layout, fork, all)"
                     ))
                 }
             }
@@ -308,18 +321,59 @@ fn timed_oracle(
     })
 }
 
+/// Builds the fork oracle's twin: a session forked from a pre-warmed
+/// [`atk_apps::TemplateRegistry`] template. The registry first serves a
+/// throwaway tenant that takes a little traffic and is dropped, so the
+/// twin is a *post-traffic* fork — the adversarial case for
+/// copy-on-write isolation: anything that tenant leaked into the
+/// template reappears in the twin and trips the oracle. The registry
+/// counts its `world.template_builds` / `world.forks` on the run
+/// collector; the twin's world gets a fresh collector *after* the fork,
+/// exactly as [`Session::build`] does after a cold build, so the two
+/// sessions' `im.*` counters are comparable from zero.
+fn build_fork_twin(
+    scene: &str,
+    config: &CheckConfig,
+    collector: &Arc<Collector>,
+) -> Result<Session, String> {
+    let mut registry = atk_apps::TemplateRegistry::new(collector.clone());
+    let throwaway = registry.fork_session(scene, &config.backend)?;
+    let mut tenant = Session::from_scene(throwaway.world, throwaway.im);
+    for tick in 1..=4 {
+        tenant.apply(&ScriptStep::Event(WindowEvent::Tick(tick)));
+    }
+    drop(tenant);
+    let forked = registry.fork_session(scene, &config.backend)?;
+    let mut twin = Session::from_scene(forked.world, forked.im);
+    let twin_collector = Arc::new(Collector::new());
+    twin_collector.enable();
+    twin.world.set_collector(twin_collector);
+    Ok(twin)
+}
+
 fn run_oracles(
     primary: &mut Session,
     mirror: Option<&mut Session>,
+    fork_twin: Option<&mut Session>,
     oracles: OracleSet,
     collector: &Arc<Collector>,
 ) -> Option<Violation> {
-    // Backend first: it wants both incremental framebuffers untouched.
+    // The differentials first: backend and fork both want every
+    // incremental framebuffer untouched.
     if oracles.backend {
         if let Some(m) = &mirror {
             if let Some(v) = timed_oracle(collector, Oracle::Backend, || {
                 oracles::check_backend(primary, m)
             }) {
+                return Some(v);
+            }
+        }
+    }
+    if oracles.fork {
+        if let Some(t) = &fork_twin {
+            if let Some(v) =
+                timed_oracle(collector, Oracle::Fork, || oracles::check_fork(primary, t))
+            {
                 return Some(v);
             }
         }
@@ -342,6 +396,18 @@ fn run_oracles(
         if let Some(m) = mirror {
             if let Some(v) = timed_oracle(collector, Oracle::Repaint, || {
                 oracles::check_repaint(m).map(|d| format!("(mirror backend) {d}"))
+            }) {
+                return Some(v);
+            }
+        }
+        // The fork twin must take the same full-redraw resync as the
+        // primary, both because repaint convergence on a forked world is
+        // a fork-path invariant in its own right and because skipping it
+        // would skew the twin's `im.full_redraws` counter and fail the
+        // next fork differential for the wrong reason.
+        if let Some(t) = fork_twin {
+            if let Some(v) = timed_oracle(collector, Oracle::Fork, || {
+                oracles::check_repaint(t).map(|d| format!("(fork twin) {d}"))
             }) {
                 return Some(v);
             }
@@ -375,6 +441,11 @@ fn run_stream(
     } else {
         None
     };
+    let mut fork_twin = if config.oracles.fork {
+        Some(build_fork_twin(scene, config, collector)?)
+    } else {
+        None
+    };
     let mut gen = gen::StepGen::new(config.seed);
     let mut recorded: Vec<ScriptStep> = Vec::with_capacity(config.steps);
     let window = config.oracle_every.max(1);
@@ -387,13 +458,20 @@ fn run_stream(
         if let Some(m) = &mut mirror {
             m.apply(&step);
         }
+        if let Some(t) = &mut fork_twin {
+            t.apply(&step);
+        }
         recorded.push(step);
         collector.count("check.steps", 1);
         let at_window = (i + 1) % window == 0 || i + 1 == config.steps;
         if at_window {
-            if let Some(violation) =
-                run_oracles(&mut primary, mirror.as_mut(), config.oracles, collector)
-            {
+            if let Some(violation) = run_oracles(
+                &mut primary,
+                mirror.as_mut(),
+                fork_twin.as_mut(),
+                config.oracles,
+                collector,
+            ) {
                 return Ok(StreamOutcome::Failed {
                     prefix: recorded,
                     violation,
@@ -420,6 +498,11 @@ fn replay_detect(
     } else {
         None
     };
+    let mut fork_twin = if config.oracles.fork {
+        Some(build_fork_twin(scene, config, collector)?)
+    } else {
+        None
+    };
     for step in steps {
         primary.apply(step);
         if config.sabotage_on_tick && matches!(step, ScriptStep::Event(WindowEvent::Tick(_))) {
@@ -428,7 +511,16 @@ fn replay_detect(
         if let Some(m) = &mut mirror {
             m.apply(step);
         }
-        if let Some(v) = run_oracles(&mut primary, mirror.as_mut(), config.oracles, collector) {
+        if let Some(t) = &mut fork_twin {
+            t.apply(step);
+        }
+        if let Some(v) = run_oracles(
+            &mut primary,
+            mirror.as_mut(),
+            fork_twin.as_mut(),
+            config.oracles,
+            collector,
+        ) {
             return Ok(Some(v));
         }
     }
@@ -438,6 +530,7 @@ fn replay_detect(
         return Ok(run_oracles(
             &mut primary,
             mirror.as_mut(),
+            fork_twin.as_mut(),
             config.oracles,
             collector,
         ));

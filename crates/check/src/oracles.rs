@@ -1,4 +1,4 @@
-//! The five session oracles.
+//! The six session oracles.
 //!
 //! Each check returns `None` when the invariant holds, or a human
 //! readable description of the violation. They exploit the two protocol
@@ -7,7 +7,10 @@
 //! from-scratch redraw (§2) — and, one layer down, an incremental
 //! *relayout* must converge to the same line table as a from-scratch
 //! re-wrap — and the datastream writer/reader pair must be a bijection
-//! on documents it produced itself (§5).
+//! on documents it produced itself (§5). The `fork` oracle extends the
+//! differential family to the template-fork fast path: a session forked
+//! from a pre-warmed template world must be indistinguishable, under any
+//! traffic, from one built cold.
 
 use atk_core::{document_to_string, read_document, ViewId, World};
 use atk_graphics::Rect;
@@ -27,12 +30,16 @@ pub enum Oracle {
     Backend,
     /// Incremental text relayout ≡ from-scratch relayout.
     Layout,
+    /// Template-forked session ≡ cold-built session under the same
+    /// traffic.
+    Fork,
 }
 
 impl Oracle {
     /// Every oracle, in the order `run_oracles` checks them.
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::Backend,
+        Oracle::Fork,
         Oracle::Layout,
         Oracle::Repaint,
         Oracle::Roundtrip,
@@ -47,6 +54,7 @@ impl Oracle {
             Oracle::Tree => "tree",
             Oracle::Backend => "backend",
             Oracle::Layout => "layout",
+            Oracle::Fork => "fork",
         }
     }
 
@@ -58,6 +66,7 @@ impl Oracle {
             Oracle::Tree => "check.oracle_us.tree",
             Oracle::Backend => "check.oracle_us.backend",
             Oracle::Layout => "check.oracle_us.layout",
+            Oracle::Fork => "check.oracle_us.fork",
         }
     }
 
@@ -69,6 +78,7 @@ impl Oracle {
             Oracle::Tree => "check.violations.tree",
             Oracle::Backend => "check.violations.backend",
             Oracle::Layout => "check.violations.layout",
+            Oracle::Fork => "check.violations.fork",
         }
     }
 }
@@ -278,35 +288,50 @@ pub fn check_layout(s: &mut Session) -> Option<String> {
     None
 }
 
-/// Backend differential: after the same script, the X11Sim and AwmSim
-/// sessions must agree on pixels, update-pass counts, and damage-rect
-/// counts.
-pub fn check_backend(a: &Session, b: &Session) -> Option<String> {
+/// The comparison both differential oracles share: after the same
+/// script, two sessions must agree on pixels, update-pass counts, and
+/// damage-rect counts. `what` names the pairing in the violation text
+/// (`between backends`, `between cold build and fork`).
+fn compare_sessions(a: &Session, b: &Session, what: &str) -> Option<String> {
     match (a.im.snapshot(), b.im.snapshot()) {
         (Some(fa), Some(fb)) => {
             if fa != fb {
                 let diffs = count_pixel_diffs(&fa, &fb);
-                return Some(format!(
-                    "framebuffers diverge between backends ({diffs} pixels)"
-                ));
+                return Some(format!("framebuffers diverge {what} ({diffs} pixels)"));
             }
         }
-        _ => return Some("a backend cannot snapshot".to_string()),
+        _ => return Some(format!("a session cannot snapshot ({what})")),
     }
     let sa = a.world.collector().snapshot();
     let sb = b.world.collector().snapshot();
     for key in ["im.updates", "im.full_redraws", "im.events"] {
         let (ca, cb) = (sa.counter(key), sb.counter(key));
         if ca != cb {
-            return Some(format!("counter {key} diverges: {ca} vs {cb}"));
+            return Some(format!("counter {key} diverges {what}: {ca} vs {cb}"));
         }
     }
     let ha = sa.histogram("im.damage_rects").map(|h| (h.count, h.sum));
     let hb = sb.histogram("im.damage_rects").map(|h| (h.count, h.sum));
     if ha != hb {
         return Some(format!(
-            "damage-rect histograms diverge: {ha:?} vs {hb:?} (count, sum)"
+            "damage-rect histograms diverge {what}: {ha:?} vs {hb:?} (count, sum)"
         ));
     }
     None
+}
+
+/// Backend differential: after the same script, the X11Sim and AwmSim
+/// sessions must agree on pixels, update-pass counts, and damage-rect
+/// counts.
+pub fn check_backend(a: &Session, b: &Session) -> Option<String> {
+    compare_sessions(a, b, "between backends")
+}
+
+/// Fork differential: a session forked from a pre-warmed template world
+/// (and fed the same script as the cold-built session under test) must
+/// agree on pixels, update-pass counts, and damage-rect counts. Any
+/// state the fork secretly shares with its template — or inherits from
+/// an earlier fork's traffic — surfaces here.
+pub fn check_fork(cold: &Session, forked: &Session) -> Option<String> {
+    compare_sessions(cold, forked, "between cold build and fork")
 }

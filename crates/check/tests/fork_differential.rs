@@ -1,0 +1,103 @@
+//! The fork differential acceptance matrix.
+//!
+//! Sessions forked from pre-warmed template worlds must be
+//! indistinguishable — pixels, update passes, damage accounting — from
+//! cold-built sessions under fuzz traffic. Every run here exercises the
+//! *post-traffic* case: the fork oracle's twin is forked only after a
+//! throwaway tenant has already forked from the same template and taken
+//! traffic, so copy-on-write leaks from the first tenant into the
+//! template would reappear in the twin and trip the oracle.
+
+use atk_check::{run_check, CheckConfig, Oracle, OracleSet};
+use proptest::prelude::*;
+
+fn fork_config(seed: u64, steps: usize) -> CheckConfig {
+    CheckConfig {
+        seed,
+        steps,
+        oracle_every: 20,
+        oracles: OracleSet::only(Oracle::Fork),
+        ..CheckConfig::default()
+    }
+}
+
+// The acceptance grid: three scenes of increasing complexity, the four
+// canonical seeds. Each run also proves the post-traffic shape through
+// the registry's accounting on the run collector: one template build,
+// two forks of it (throwaway tenant + twin).
+#[test]
+fn fork_matches_cold_across_scenes_and_seeds() {
+    for scene in ["fig1", "fig3", "fig5"] {
+        for seed in [1u64, 2, 7, 42] {
+            let report = run_check(scene, &fork_config(seed, 120)).expect("scene builds");
+            assert!(
+                report.failure.is_none(),
+                "{scene} seed {seed}: {:?}",
+                report.failure
+            );
+            assert_eq!(
+                report.stats.counter("world.template_builds"),
+                1,
+                "{scene} seed {seed}: twin must reuse the throwaway tenant's template"
+            );
+            assert_eq!(
+                report.stats.counter("world.forks"),
+                2,
+                "{scene} seed {seed}: expected throwaway + twin forks"
+            );
+        }
+    }
+}
+
+// Repaint + fork together: the twin takes the same full-redraw resync
+// as the primary, so `im.full_redraws` stays comparable and a forked
+// world's incremental damage path must still converge to a from-scratch
+// redraw.
+#[test]
+fn fork_survives_full_redraw_resync() {
+    let mut oracles = OracleSet::only(Oracle::Fork);
+    oracles.repaint = true;
+    let config = CheckConfig {
+        oracles,
+        ..fork_config(7, 150)
+    };
+    let report = run_check("fig2", &config).expect("scene builds");
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+// The display-list backend forks too: AwmSim templates replay their
+// recorded ops into a fresh framebuffer per snapshot, so a stale shared
+// op log would diverge here.
+#[test]
+fn fork_differential_holds_on_awmsim_backend() {
+    let config = CheckConfig {
+        backend: "awmsim".to_string(),
+        ..fork_config(2, 100)
+    };
+    let report = run_check("fig4", &config).expect("scene builds");
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Fork-vs-fresh under arbitrary seeds: whatever stream the
+    // generator produces, the forked session tracks the cold build
+    // step for step.
+    #[test]
+    fn forked_sessions_match_cold_builds_under_random_traffic(
+        seed in 0u64..1_000_000,
+        scene_idx in 0usize..5,
+        steps in 40usize..120,
+    ) {
+        let scene = ["fig1", "fig2", "fig3", "fig4", "fig5"][scene_idx];
+        let report = run_check(scene, &fork_config(seed, steps)).expect("scene builds");
+        prop_assert!(
+            report.failure.is_none(),
+            "{} seed {}: {:?}",
+            scene,
+            seed,
+            report.failure
+        );
+    }
+}

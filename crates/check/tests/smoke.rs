@@ -1,7 +1,8 @@
 //! Fixed-seed fuzzing smoke tests — the tier-1 face of `atk-check`.
 //!
-//! Short deterministic runs over every shipped scene with all four
-//! oracles, plus the planted-bug drill: a deliberately injected repaint
+//! Short deterministic runs over every shipped scene with all six
+//! oracles (the fork differential twin included), plus the planted-bug
+//! drill: a deliberately injected repaint
 //! bug (a pixel scribbled behind the damage system's back) must be
 //! caught by the repaint oracle and delta-debugged to a minimal script.
 

@@ -196,7 +196,7 @@ enum ModState {
 /// loader.require("text", "messages").unwrap();
 /// assert_eq!(loader.stats().events.len(), 2);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Loader {
     policy: LinkPolicy,
     cost: CostModel,

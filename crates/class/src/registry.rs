@@ -114,7 +114,7 @@ impl std::error::Error for ClassError {}
 /// assert!(!reg.is_a(dataobj, text));
 /// assert_eq!(reg.ancestry(text).count(), 2);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ClassRegistry {
     classes: Vec<ClassInfo>,
     by_name: HashMap<String, ClassId>,

@@ -30,12 +30,14 @@ pub enum Extent {
     Weight(f32),
 }
 
+#[derive(Clone)]
 struct Entry {
     view: ViewId,
     extent: Extent,
 }
 
 /// A vertical or horizontal stack of child views.
+#[derive(Clone)]
 pub struct BoxView {
     base: ViewBase,
     orientation: Orientation,
@@ -223,6 +225,10 @@ impl View for BoxView {
             }
         }
         None
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -13,6 +13,7 @@ use atk_wm::{Button, Graphic, MouseAction};
 use atk_core::{Update, View, ViewBase, ViewId, World};
 
 /// A labelled push button dispatching a command on click.
+#[derive(Clone)]
 pub struct ButtonView {
     base: ViewBase,
     label: String,
@@ -107,6 +108,10 @@ impl View for ButtonView {
             MouseAction::Drag(Button::Left) => true,
             _ => false,
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

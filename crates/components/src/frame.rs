@@ -38,6 +38,7 @@ pub const MESSAGE_LINE_HEIGHT: i32 = 14;
 pub const GRAB_BAND: i32 = 3;
 
 /// A pending dialog: question, and where the answer goes.
+#[derive(Clone)]
 struct Dialog {
     question: String,
     answer: String,
@@ -46,6 +47,7 @@ struct Dialog {
 }
 
 /// The frame view. See the module docs.
+#[derive(Clone)]
 pub struct FrameView {
     base: ViewBase,
     upper: Option<ViewId>,
@@ -354,6 +356,10 @@ impl View for FrameView {
             }
         }
         None
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

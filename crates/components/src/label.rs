@@ -8,6 +8,7 @@ use atk_wm::Graphic;
 use atk_core::{Update, View, ViewBase, ViewId, World};
 
 /// A one-line, non-interactive text view.
+#[derive(Clone)]
 pub struct LabelView {
     base: ViewBase,
     text: String,
@@ -81,6 +82,10 @@ impl View for LabelView {
             let y = (bounds.height - m.ascent - m.descent) / 2 + m.ascent;
             g.draw_string_baseline(Point::new(2, y), &self.text);
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

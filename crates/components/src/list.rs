@@ -15,6 +15,7 @@ use atk_wm::{Button, Graphic, Key, MouseAction};
 use atk_core::{ScrollInfo, Update, View, ViewBase, ViewId, World};
 
 /// A scrollable, selectable list of strings.
+#[derive(Clone)]
 pub struct ListView {
     base: ViewBase,
     items: Vec<String>,
@@ -163,6 +164,10 @@ impl View for ListView {
         let h = world.view_bounds(self.base.id).height;
         self.offset = offset.clamp(0, (total - h).max(0));
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -20,6 +20,7 @@ use atk_core::{Update, View, ViewBase, ViewId, World};
 pub const BAR_WIDTH: i32 = 14;
 
 /// A view pairing a left-edge scrollbar with a scrollable body view.
+#[derive(Clone)]
 pub struct ScrollView {
     base: ViewBase,
     body: Option<ViewId>,
@@ -225,6 +226,10 @@ impl View for ScrollView {
         } else {
             None
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -29,7 +29,7 @@ const PERIOD_MS: u64 = 500;
 
 /// Data object holding the rendered collector summary, one line per
 /// entry. Views observe it like any other data object.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StatsData {
     lines: Vec<String>,
     refreshes: u64,
@@ -101,6 +101,10 @@ impl DataObject for StatsData {
         }
     }
 
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -111,6 +115,7 @@ impl DataObject for StatsData {
 
 /// A view over a [`StatsData`], refreshed from the world's collector on
 /// a virtual timer. Embed it anywhere a view fits.
+#[derive(Clone)]
 pub struct StatsView {
     base: ViewBase,
     data: Option<DataId>,
@@ -228,6 +233,10 @@ impl View for StatsView {
             return true;
         }
         false
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

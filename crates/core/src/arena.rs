@@ -193,6 +193,33 @@ impl<T, M> Arena<T, M> {
     pub fn ids(&self) -> Vec<Id<M>> {
         self.iter().map(|(id, _)| id).collect()
     }
+
+    /// Deep-forks the arena by mapping every live value through `f`.
+    ///
+    /// The slot vector, per-slot generations, and the free list are
+    /// preserved exactly, so every id minted against the source arena
+    /// resolves to the corresponding value in the fork — the property
+    /// the template-fork path depends on (ids are baked into view
+    /// trees, observer lists, and anchors).
+    pub fn fork_with<E>(&self, mut f: impl FnMut(&T) -> Result<T, E>) -> Result<Arena<T, M>, E> {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for s in &self.slots {
+            let value = match &s.value {
+                Some(v) => Some(f(v)?),
+                None => None,
+            };
+            slots.push(Slot {
+                generation: s.generation,
+                value,
+            });
+        }
+        Ok(Arena {
+            slots,
+            free: self.free.clone(),
+            len: self.len,
+            _marker: PhantomData,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +278,30 @@ mod tests {
         a.remove(i1);
         let all: Vec<_> = a.iter().map(|(_, v)| v.clone()).collect();
         assert_eq!(all, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn fork_preserves_slots_generations_and_free_list() {
+        let mut a = TestArena::new();
+        let i1 = a.insert("one".into());
+        let i2 = a.insert("two".into());
+        a.remove(i1); // Leaves a freed slot with a bumped generation.
+        let f = a.fork_with(|v| Ok::<_, ()>(v.clone())).unwrap();
+        assert_eq!(f.len(), 1);
+        assert!(f.get(i1).is_none(), "stale id must stay stale in the fork");
+        assert_eq!(f.get(i2).unwrap(), "two");
+        // The next insert in source and fork must mint the SAME id.
+        let mut a2 = a;
+        let mut f2 = f;
+        assert_eq!(a2.insert("three".into()), f2.insert("three".into()));
+    }
+
+    #[test]
+    fn fork_propagates_mapper_errors() {
+        let mut a = TestArena::new();
+        a.insert("bad".into());
+        let r = a.fork_with(|v| if v == "bad" { Err("no") } else { Ok(v.clone()) });
+        assert_eq!(r.err(), Some("no"));
     }
 
     #[test]

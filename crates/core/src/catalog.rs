@@ -45,6 +45,13 @@ impl fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {}
 
 /// The registry of instantiable component classes.
+///
+/// `Clone` is what lets [`crate::world::World::fork`] carry the catalog
+/// into a forked session: factories are plain `fn` pointers, so the
+/// clone is a handful of map copies, and the fork keeps the template's
+/// loader state (modules already resident stay resident — precisely the
+/// warm-start the template path is for).
+#[derive(Clone)]
 pub struct Catalog {
     /// The simulated dynamic loader (paper §6).
     pub loader: Loader,

@@ -104,6 +104,21 @@ pub trait DataObject: Any {
         let _ = (world, me, source, change);
     }
 
+    /// Deep-copies this data object for a template fork
+    /// ([`crate::world::World::fork`]). Same contract as
+    /// [`crate::view::View::fork`]: the copy must be observably
+    /// identical, and `None` (the default) fails the fork naming the
+    /// class.
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        None
+    }
+
+    /// Bytes of immutable payload shared with forks via `Arc` instead of
+    /// copied (summed into `world.fork_shared_bytes`).
+    fn shared_payload_bytes(&self) -> u64 {
+        0
+    }
+
     /// Upcast for concrete access.
     fn as_any(&self) -> &dyn Any;
     /// Upcast for concrete mutation.
@@ -115,12 +130,14 @@ pub trait DataObject: Any {
 /// survives a load/save round trip unharmed — possible only because the
 /// format lets an object's extent be found *without parsing its
 /// contents* (paper §5).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct UnknownObject {
     /// The class name the stream claimed.
     pub original_class: String,
-    /// Raw body lines, verbatim (including nested markers).
-    pub raw_lines: Vec<String>,
+    /// Raw body lines, verbatim (including nested markers). Behind an
+    /// `Arc`: the preserved stream bytes are immutable after the read,
+    /// so template forks share them instead of re-allocating.
+    pub raw_lines: std::sync::Arc<Vec<String>>,
 }
 
 impl UnknownObject {
@@ -128,7 +145,7 @@ impl UnknownObject {
     pub fn new(class: &str) -> UnknownObject {
         UnknownObject {
             original_class: class.to_string(),
-            raw_lines: Vec::new(),
+            raw_lines: Default::default(),
         }
     }
 }
@@ -139,7 +156,7 @@ impl DataObject for UnknownObject {
     }
 
     fn write_body(&self, w: &mut DatastreamWriter, _world: &World) -> io::Result<()> {
-        for line in &self.raw_lines {
+        for line in self.raw_lines.iter() {
             w.write_raw_line(line)?;
         }
         Ok(())
@@ -152,8 +169,16 @@ impl DataObject for UnknownObject {
     ) -> Result<(), DsError> {
         // Skip-scan: capture everything up to our matching enddata
         // without interpreting it.
-        self.raw_lines = r.skip_to_matching_end()?;
+        self.raw_lines = std::sync::Arc::new(r.skip_to_matching_end()?);
         Ok(())
+    }
+
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn shared_payload_bytes(&self) -> u64 {
+        self.raw_lines.iter().map(|l| l.len() as u64).sum()
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -23,7 +23,7 @@
 //!    over children in the right order.
 
 use atk_graphics::{Framebuffer, Point, Rect, Region};
-use atk_wm::{CursorShape, Key, MouseAction, Window, WindowEvent};
+use atk_wm::{CursorShape, Key, MouseAction, Window, WindowEvent, WindowSystem};
 
 use crate::ids::ViewId;
 use crate::menus::{merge_menus, MenuItem};
@@ -112,6 +112,45 @@ impl InteractionManager {
     /// A snapshot of the window contents.
     pub fn snapshot(&self) -> Option<Framebuffer> {
         self.window.snapshot()
+    }
+
+    /// Forks this interaction manager onto a fresh window of `ws`,
+    /// pairing with [`World::fork`] to duplicate a whole session.
+    ///
+    /// The new window is opened at the same size/title, its birth events
+    /// are drained undelivered (the template already dispatched its
+    /// own), and the template's rendered frame is adopted wholesale
+    /// ([`Window::adopt_frame`] — one buffer hand-off on pixel-store
+    /// backends, one blit op elsewhere) so the fork starts from the
+    /// exact same frame a cold build would have produced.
+    /// Focus, offered menus, stats, and the running flag carry over;
+    /// the root id stays valid because the forked world preserves ids.
+    pub fn fork_onto(&self, ws: &mut dyn WindowSystem) -> Result<InteractionManager, String> {
+        let size = self.window.size();
+        let mut window = ws.open_window(self.window.title(), size);
+        while window.next_event().is_some() {}
+        // Borrow the template's frame in place when the backend allows
+        // it; only snapshot (a full clone) when it does not.
+        let target = window.as_mut();
+        let adopted = self
+            .window
+            .with_frame(&mut |frame| target.adopt_frame(frame));
+        if !adopted {
+            let snap = self
+                .window
+                .snapshot()
+                .ok_or("backend cannot snapshot for forking")?;
+            window.adopt_frame(&snap);
+        }
+        window.set_cursor(self.window.cursor());
+        Ok(InteractionManager {
+            window,
+            root: self.root,
+            focus: self.focus,
+            offered_menus: self.offered_menus.clone(),
+            stats: self.stats,
+            running: self.running,
+        })
     }
 
     /// Processes every queued window event, then settles notifications
@@ -759,6 +798,19 @@ mod tests {
         assert_eq!(world.view_as::<Probe>(child).unwrap().timers, vec![3]);
         im.feed(&mut world, WindowEvent::Tick(60));
         assert_eq!(world.view_as::<Probe>(child).unwrap().timers, vec![3, 7]);
+    }
+
+    #[test]
+    fn fork_onto_copies_window_and_state() {
+        let (mut world, mut im, _root, child) = setup();
+        im.feed(&mut world, WindowEvent::left_down(50, 50)); // Focus the child.
+        let mut ws2 = atk_wm::x11sim::X11Sim::new();
+        let fork = im.fork_onto(&mut ws2).unwrap();
+        assert_eq!(fork.focus(), Some(child));
+        assert_eq!(fork.stats(), im.stats());
+        assert_eq!(fork.root(), im.root());
+        assert!(fork.is_running());
+        assert_eq!(fork.snapshot().unwrap(), im.snapshot().unwrap());
     }
 
     #[test]

@@ -196,6 +196,24 @@ pub trait View: Any {
         let _ = (world, offset);
     }
 
+    /// Deep-copies this view for a template fork ([`World::fork`]).
+    ///
+    /// The copy must be observably identical: same ids recorded, same
+    /// layout/caret/scroll state, so a forked session behaves
+    /// byte-for-byte like the session it was forked from. Classes that
+    /// cannot be forked return `None` (the default), which makes the
+    /// whole world fork fail naming the class — test probes simply
+    /// never appear in forkable scenes.
+    fn fork(&self) -> Option<Box<dyn View>> {
+        None
+    }
+
+    /// Bytes of immutable payload this view shares with its forks via
+    /// `Arc` instead of copying (summed into `world.fork_shared_bytes`).
+    fn shared_payload_bytes(&self) -> u64 {
+        0
+    }
+
     /// Upcast for concrete access.
     fn as_any(&self) -> &dyn Any;
     /// Upcast for concrete mutation.

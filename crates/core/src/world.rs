@@ -47,6 +47,7 @@ struct ViewSlot {
     bounds: Rect,
 }
 
+#[derive(Clone)]
 struct Timer {
     due_ms: u64,
     view: ViewId,
@@ -126,6 +127,94 @@ impl World {
     /// runs stay isolated and deterministic).
     pub fn set_collector(&mut self, collector: Arc<Collector>) {
         self.collector = collector;
+    }
+
+    // --- Forking ------------------------------------------------------------
+
+    /// Deep-forks the whole world: both arenas (slot-for-slot, so every
+    /// `DataId`/`ViewId` stays valid), observer lists, the pending
+    /// notification queue, the damage list, deferred commands, the focus
+    /// request, the virtual clock and timers, and the catalog.
+    ///
+    /// The xform cache and its epoch are *carried*, not reset: the
+    /// fork's geometry is identical, so carrying the cache keeps a
+    /// forked session's hit/miss counters byte-identical to a session
+    /// built from scratch (the fork-vs-fresh differential oracle checks
+    /// exactly that).
+    ///
+    /// Fails with the first class that does not implement
+    /// [`View::fork`]/[`DataObject::fork`]. Counters (`world.forks`,
+    /// `world.fork_us`, `world.fork_shared_bytes`) land on the *source*
+    /// world's collector — the template's — so per-session collectors
+    /// stay indistinguishable from cold-built ones.
+    pub fn fork(&self) -> Result<World, String> {
+        let start = std::time::Instant::now();
+        let mut shared_bytes = 0u64;
+        let data = self.data.fork_with(|slot| {
+            let obj = match &slot.obj {
+                Some(o) => match o.fork() {
+                    Some(f) => {
+                        shared_bytes += o.shared_payload_bytes();
+                        f
+                    }
+                    None => {
+                        return Err(format!(
+                            "data class `{}` does not support forking",
+                            o.class_name()
+                        ))
+                    }
+                },
+                None => return Err("data object taken out during fork".to_string()),
+            };
+            Ok(DataSlot {
+                obj: Some(obj),
+                observers: slot.observers.clone(),
+                version: slot.version,
+            })
+        })?;
+        let views = self.views.fork_with(|slot| {
+            let view = match &slot.view {
+                Some(v) => match v.fork() {
+                    Some(f) => {
+                        shared_bytes += v.shared_payload_bytes();
+                        f
+                    }
+                    None => {
+                        return Err(format!(
+                            "view class `{}` does not support forking",
+                            v.class_name()
+                        ))
+                    }
+                },
+                None => return Err("view taken out during fork".to_string()),
+            };
+            Ok(ViewSlot {
+                view: Some(view),
+                parent: slot.parent,
+                bounds: slot.bounds,
+            })
+        })?;
+        let fork = World {
+            data,
+            views,
+            pending: self.pending.clone(),
+            damage: self.damage.clone(),
+            catalog: self.catalog.clone(),
+            focus_request: self.focus_request,
+            pending_commands: self.pending_commands.clone(),
+            clock_ms: self.clock_ms,
+            timers: self.timers.clone(),
+            notifications_delivered: self.notifications_delivered,
+            xform_cache: self.xform_cache.clone(),
+            xform_epoch: self.xform_epoch,
+            collector: self.collector.clone(),
+        };
+        self.collector.count("world.forks", 1);
+        self.collector
+            .observe("world.fork_us", start.elapsed().as_micros() as u64);
+        self.collector
+            .count("world.fork_shared_bytes", shared_bytes);
+        Ok(fork)
     }
 
     // --- Data objects -----------------------------------------------------
@@ -1005,6 +1094,103 @@ mod tests {
         assert!(!w.view_exists(a));
         assert!(!w.view_exists(b));
         assert_eq!(w.view_count(), 0);
+    }
+
+    // A forkable probe: clones itself, reporting a payload size.
+    #[derive(Clone)]
+    struct ForkProbe {
+        base: ViewBase,
+        ticks: Vec<u32>,
+    }
+
+    impl View for ForkProbe {
+        fn class_name(&self) -> &'static str {
+            "forkprobe"
+        }
+        fn id(&self) -> ViewId {
+            self.base.id
+        }
+        fn set_id(&mut self, id: ViewId) {
+            self.base.id = id;
+        }
+        fn desired_size(&mut self, _w: &mut World, _b: i32) -> Size {
+            Size::new(10, 10)
+        }
+        fn draw(&mut self, _w: &mut World, _g: &mut dyn Graphic, _u: Update) {}
+        fn timer(&mut self, _w: &mut World, token: u32) {
+            self.ticks.push(token);
+        }
+        fn fork(&self) -> Option<Box<dyn View>> {
+            Some(Box::new(self.clone()))
+        }
+        fn shared_payload_bytes(&self) -> u64 {
+            16
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn fork_fails_naming_the_unforkable_class() {
+        let mut w = World::new();
+        w.insert_view(Box::new(ProbeView::new()));
+        let err = w.fork().map(|_| ()).unwrap_err();
+        assert!(err.contains("`probe`"), "{err}");
+    }
+
+    #[test]
+    fn fork_carries_state_and_isolates_mutations() {
+        let mut w = World::new();
+        let d = w.insert_data(Box::new(UnknownObject::new("x")));
+        let v = w.insert_view(Box::new(ForkProbe {
+            base: ViewBase::new(),
+            ticks: Vec::new(),
+        }));
+        w.set_view_bounds(v, Rect::new(5, 5, 50, 50));
+        w.add_observer(d, ObserverRef::View(v));
+        w.notify(d, ChangeRec::Full);
+        w.schedule_timer(v, 100, 9);
+        w.advance_clock(40);
+
+        let mut f = w.fork().unwrap();
+        // Ids, geometry, queues, and the clock carried over.
+        assert_eq!(f.view_bounds(v), Rect::new(5, 5, 50, 50));
+        assert_eq!(f.observers_of(d), vec![ObserverRef::View(v)]);
+        assert!(f.has_pending_notifications());
+        assert_eq!(f.now_ms(), 40);
+        // The timer fires at the same virtual instant in the fork.
+        assert_eq!(f.advance_clock(60), vec![(v, 9)]);
+        // Mutating the fork leaves the source untouched (and vice versa).
+        f.view_as_mut::<ForkProbe>(v).unwrap().ticks.push(1);
+        assert!(w.view_as::<ForkProbe>(v).unwrap().ticks.is_empty());
+        let d2 = f.insert_data(Box::new(UnknownObject::new("y")));
+        assert!(w.data_dyn(d2).is_none());
+        // Fresh inserts mint identical ids on both sides (same free list).
+        let a = w.insert_data(Box::new(UnknownObject::new("z")));
+        let b = f.insert_data(Box::new(UnknownObject::new("z")));
+        assert_ne!(a, b, "fork already used the next slot");
+    }
+
+    #[test]
+    fn fork_counts_on_the_source_collector() {
+        let collector = Arc::new(Collector::new());
+        collector.enable();
+        let mut w = World::new();
+        w.set_collector(collector.clone());
+        w.insert_view(Box::new(ForkProbe {
+            base: ViewBase::new(),
+            ticks: Vec::new(),
+        }));
+        let f = w.fork().unwrap();
+        let snap = collector.snapshot();
+        assert_eq!(snap.counter("world.forks"), 1);
+        assert_eq!(snap.counter("world.fork_shared_bytes"), 16);
+        // The fork inherits the collector until the caller replaces it.
+        assert!(Arc::ptr_eq(f.collector(), &collector));
     }
 
     #[test]

@@ -291,6 +291,29 @@ pub trait Raster {
     /// `op`.
     fn blit(&mut self, src: &Framebuffer, src_rect: Rect, dst_origin: Point, op: RasterOp) {
         let src_rect = src_rect.intersect(src.bounds());
+        // Fast path: plain copy, no clip — row-wise memcpy of the
+        // in-bounds overlap (the analogue of fill_rect_op's fast
+        // path). This is what makes whole-frame hand-offs like
+        // session forking cost a memcpy instead of a per-pixel walk.
+        if op == RasterOp::Copy && self.clip_ref().is_none() {
+            let (w, _) = self.raster_size();
+            let (ly0, ly1) = self.row_limits();
+            let dst_x0 = dst_origin.x.max(0);
+            let dst_x1 = (dst_origin.x + src_rect.width).min(w);
+            let dst_y0 = dst_origin.y.max(ly0);
+            let dst_y1 = (dst_origin.y + src_rect.height).min(ly1);
+            if dst_x0 >= dst_x1 {
+                return;
+            }
+            let sx0 = (src_rect.x + (dst_x0 - dst_origin.x)) as usize;
+            let len = (dst_x1 - dst_x0) as usize;
+            for y in dst_y0..dst_y1 {
+                let sy = src_rect.y + (y - dst_origin.y);
+                let (dst_x0, sx0) = (dst_x0 as usize, sx0);
+                self.row_mut(y)[dst_x0..dst_x0 + len].copy_from_slice(&src.row(sy)[sx0..sx0 + len]);
+            }
+            return;
+        }
         for dy in 0..src_rect.height {
             for dx in 0..src_rect.width {
                 let c = src.get(src_rect.x + dx, src_rect.y + dy);

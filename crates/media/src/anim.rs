@@ -23,8 +23,12 @@ use crate::drawing::Shape;
 pub type Frame = Vec<Shape>;
 
 /// The animation data object.
+///
+/// The frame list is behind an `Arc`: template forks share the display
+/// lists copy-on-write and only pay for them if they append frames.
+#[derive(Clone)]
 pub struct AnimData {
-    frames: Vec<Frame>,
+    frames: std::sync::Arc<Vec<Frame>>,
     /// Milliseconds between frames.
     pub interval_ms: u64,
     /// Natural display size.
@@ -35,7 +39,7 @@ impl AnimData {
     /// An empty animation.
     pub fn new(width: i32, height: i32, interval_ms: u64) -> AnimData {
         AnimData {
-            frames: Vec::new(),
+            frames: std::sync::Arc::new(Vec::new()),
             interval_ms,
             canvas: Size::new(width, height),
         }
@@ -82,7 +86,7 @@ impl AnimData {
 
     /// Appends a frame.
     pub fn push_frame(&mut self, frame: Frame) -> ChangeRec {
-        self.frames.push(frame);
+        std::sync::Arc::make_mut(&mut self.frames).push(frame);
         ChangeRec::Structure
     }
 }
@@ -97,7 +101,7 @@ impl DataObject for AnimData {
             "anim {} {} {}",
             self.canvas.width, self.canvas.height, self.interval_ms
         ))?;
-        for frame in &self.frames {
+        for frame in self.frames.iter() {
             w.write_line(&format!("frame {}", frame.len()))?;
             for s in frame {
                 match s {
@@ -132,7 +136,8 @@ impl DataObject for AnimData {
         _world: &mut World,
     ) -> Result<(), DsError> {
         let bad = |l: &str| DsError::Malformed(format!("animation body: {l}"));
-        self.frames.clear();
+        let frames = std::sync::Arc::make_mut(&mut self.frames);
+        frames.clear();
         loop {
             let tok = r.next_token()?.ok_or(DsError::UnexpectedEof)?;
             match tok {
@@ -158,10 +163,10 @@ impl DataObject for AnimData {
                             self.canvas = Size::new(v[0], v[1]);
                             self.interval_ms = v[2].max(1) as u64;
                         }
-                        "frame" => self.frames.push(Vec::new()),
+                        "frame" => frames.push(Vec::new()),
                         "line" => {
                             let v = nums(5)?;
-                            self.frames
+                            frames
                                 .last_mut()
                                 .ok_or_else(|| bad(&line))?
                                 .push(Shape::Line {
@@ -174,18 +179,19 @@ impl DataObject for AnimData {
                             let v = nums(5)?;
                             let rect = Rect::new(v[0], v[1], v[2], v[3]);
                             let filled = v[4] != 0;
-                            self.frames.last_mut().ok_or_else(|| bad(&line))?.push(
-                                if kw == "rect" {
+                            frames
+                                .last_mut()
+                                .ok_or_else(|| bad(&line))?
+                                .push(if kw == "rect" {
                                     Shape::Rect { rect, filled }
                                 } else {
                                     Shape::Oval { rect, filled }
-                                },
-                            );
+                                });
                         }
                         "label" => {
                             let v = nums(3)?;
                             let text = words.collect::<Vec<_>>().join(" ");
-                            self.frames
+                            frames
                                 .last_mut()
                                 .ok_or_else(|| bad(&line))?
                                 .push(Shape::Label {
@@ -206,6 +212,17 @@ impl DataObject for AnimData {
             }
         }
         Ok(())
+    }
+
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn shared_payload_bytes(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| (f.len() * std::mem::size_of::<Shape>()) as u64)
+            .sum()
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -231,6 +248,7 @@ fn shape_name(s: &Shape) -> &'static str {
 const TICK_TOKEN: u32 = 1;
 
 /// The animation view: frame display plus virtual-clock playback.
+#[derive(Clone)]
 pub struct AnimView {
     base: ViewBase,
     data: Option<DataId>,
@@ -413,6 +431,10 @@ impl View for AnimView {
 
     fn observed_changed(&mut self, world: &mut World, _s: DataId, _c: &ChangeRec) {
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

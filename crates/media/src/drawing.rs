@@ -174,6 +174,7 @@ fn seg_dist2(p: Point, a: Point, b: Point) -> i64 {
 }
 
 /// The drawing data object.
+#[derive(Clone)]
 pub struct DrawingData {
     shapes: Vec<Shape>,
     /// Natural canvas size.
@@ -376,6 +377,10 @@ impl DataObject for DrawingData {
             .collect()
     }
 
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -385,6 +390,7 @@ impl DataObject for DrawingData {
 }
 
 /// The drawing view: rendering, semantic hit testing, selection, drag.
+#[derive(Clone)]
 pub struct DrawingView {
     base: ViewBase,
     data: Option<DataId>,
@@ -690,6 +696,10 @@ impl View for DrawingView {
             }
             _ => world.post_damage_full(self.base.id),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -463,6 +463,7 @@ fn render_at_baseline(node: &EqNode, g: &mut dyn Graphic, pen: Point, size: u32)
 }
 
 /// The equation data object.
+#[derive(Clone)]
 pub struct EqData {
     src: String,
     ast: Result<EqNode, EqError>,
@@ -559,6 +560,10 @@ impl DataObject for EqData {
         Ok(())
     }
 
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -568,6 +573,7 @@ impl DataObject for EqData {
 }
 
 /// The equation view: renders the layout; simple in-place source editing.
+#[derive(Clone)]
 pub struct EqView {
     base: ViewBase,
     data: Option<DataId>,
@@ -657,6 +663,10 @@ impl View for EqView {
 
     fn observed_changed(&mut self, world: &mut World, _s: DataId, _c: &ChangeRec) {
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

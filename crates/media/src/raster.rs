@@ -18,12 +18,17 @@ use atk_core::{
 };
 
 /// A 1-bit bitmap.
+///
+/// The pixel payload lives behind an `Arc` so template forks share it
+/// copy-on-write: a forked session pays for the bits only when it first
+/// paints into them.
+#[derive(Clone)]
 pub struct RasterData {
     width: i32,
     height: i32,
     /// Row-major bits, one byte per 8 pixels, MSB first, rows padded to a
     /// byte boundary.
-    bits: Vec<u8>,
+    bits: std::sync::Arc<Vec<u8>>,
 }
 
 impl RasterData {
@@ -35,7 +40,7 @@ impl RasterData {
         RasterData {
             width,
             height,
-            bits: vec![0; rowbytes * height as usize],
+            bits: std::sync::Arc::new(vec![0; rowbytes * height as usize]),
         }
     }
 
@@ -83,10 +88,11 @@ impl RasterData {
         }
         let rb = self.rowbytes();
         let idx = y as usize * rb + (x / 8) as usize;
+        let bits = std::sync::Arc::make_mut(&mut self.bits);
         if on {
-            self.bits[idx] |= 0x80 >> (x % 8);
+            bits[idx] |= 0x80 >> (x % 8);
         } else {
-            self.bits[idx] &= !(0x80 >> (x % 8));
+            bits[idx] &= !(0x80 >> (x % 8));
         }
     }
 
@@ -101,16 +107,18 @@ impl RasterData {
 
     /// Inverts every pixel.
     pub fn invert(&mut self) -> ChangeRec {
-        for b in &mut self.bits {
+        let rb = self.rowbytes();
+        let pad = (rb * 8) as i32 - self.width;
+        let height = self.height as usize;
+        let bits = std::sync::Arc::make_mut(&mut self.bits);
+        for b in bits.iter_mut() {
             *b = !*b;
         }
         // Mask padding bits in the last byte of each row back to zero.
-        let pad = (self.rowbytes() * 8) as i32 - self.width;
         if pad > 0 {
-            let rb = self.rowbytes();
             let mask = !(((1u16 << pad) - 1) as u8);
-            for y in 0..self.height as usize {
-                self.bits[y * rb + rb - 1] &= mask;
+            for y in 0..height {
+                bits[y * rb + rb - 1] &= mask;
             }
         }
         ChangeRec::Full
@@ -188,10 +196,11 @@ impl DataObject for RasterData {
                         if line.len() != rb * 2 {
                             return Err(bad(&line));
                         }
+                        let bits = std::sync::Arc::make_mut(&mut self.bits);
                         for i in 0..rb {
                             let byte = u8::from_str_radix(&line[i * 2..i * 2 + 2], 16)
                                 .map_err(|_| bad(&line))?;
-                            self.bits[rows_read * rb + i] = byte;
+                            bits[rows_read * rb + i] = byte;
                         }
                         rows_read += 1;
                     }
@@ -200,6 +209,14 @@ impl DataObject for RasterData {
             }
         }
         Ok(())
+    }
+
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn shared_payload_bytes(&self) -> u64 {
+        self.bits.len() as u64
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -211,6 +228,7 @@ impl DataObject for RasterData {
 }
 
 /// The raster view: scaled display and pixel painting.
+#[derive(Clone)]
 pub struct RasterView {
     base: ViewBase,
     data: Option<DataId>,
@@ -367,6 +385,10 @@ impl View for RasterView {
             }
             _ => world.post_damage_full(self.base.id),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -9,7 +9,8 @@
 //!         [--disconnect-every N] [--max-sessions N] [--queue-cap N]
 //!         [--keyframe-only] [--max-drops N] [--slo-us N]
 //!         [--no-frame-trace] [--stats] [--trace FILE]
-//!         [--paint-threads N] [--no-encode]
+//!         [--paint-threads N] [--no-encode] [--ramp] [--no-fork]
+//!         [--backend NAME] [--min-forks N]
 //! ```
 //!
 //! Self-hosts a server over localhost TCP unless `--connect` points at
@@ -26,6 +27,14 @@
 //! a seeded fault injector (short reads/writes, `WouldBlock` storms),
 //! and `--disconnect-every N` makes every Nth client vanish
 //! mid-script. Injected disconnects are never counted as errors.
+//! `--ramp` turns the run into a pure admission storm: every client
+//! connects, waits for its initial keyframe, and says goodbye without
+//! sending a step, so the report's TTFF percentiles isolate session
+//! boot cost. `--no-fork` disables the server's template-fork fast
+//! path (the cold-boot ablation), `--backend` sets the backend
+//! clients request in their `Hello`, and `--min-forks N` fails the
+//! run unless the server reports at least N template-forked sessions
+//! (the CI gate that forking really served the fleet).
 //!
 //! Replication: `--profile collab` runs `--docs` shared documents,
 //! each with `--writers` writers submitting one seeded interleaved
@@ -54,7 +63,7 @@ fn usage() -> ! {
          [--faults SEED] [--disconnect-every N] [--max-sessions N] \
          [--queue-cap N] [--keyframe-only] [--max-drops N] [--slo-us N] \
          [--no-frame-trace] [--stats] [--trace FILE] [--paint-threads N] \
-         [--no-encode]"
+         [--no-encode] [--ramp] [--no-fork] [--backend NAME] [--min-forks N]"
     );
     std::process::exit(2);
 }
@@ -75,6 +84,7 @@ fn main() {
     let mut mem = false;
     let mut max_drops = u64::MAX;
     let mut min_concurrent: u64 = 0;
+    let mut min_forks: u64 = 0;
     let mut trace_file: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
@@ -196,6 +206,25 @@ fn main() {
                 cfg.server.session.encode = false;
                 i += 1;
             }
+            "--ramp" => {
+                cfg.ramp = true;
+                i += 1;
+            }
+            "--no-fork" => {
+                cfg.server.fork = false;
+                i += 1;
+            }
+            "--backend" => {
+                cfg.backend = match argv.get(i + 1) {
+                    Some(b) => Some(b.clone()),
+                    None => usage(),
+                };
+                i += 2;
+            }
+            "--min-forks" => {
+                min_forks = parse_num("--min-forks", argv.get(i + 1));
+                i += 2;
+            }
             "--stats" => {
                 cfg.stats_probe = true;
                 i += 1;
@@ -249,6 +278,19 @@ fn main() {
         if div > 0 {
             eprintln!("loadgen: {div} replica(s) diverged from their document");
             failed = true;
+        }
+    }
+    if min_forks > 0 {
+        match report.forks {
+            Some(forks) if forks >= min_forks => {}
+            Some(forks) => {
+                eprintln!("loadgen: {forks} template fork(s) below --min-forks {min_forks}");
+                failed = true;
+            }
+            None => {
+                eprintln!("loadgen: --min-forks needs a self-hosted server (no --connect)");
+                failed = true;
+            }
         }
     }
     if min_concurrent > 0 {

@@ -5,14 +5,17 @@
 //!        [--max-sessions N] [--queue-cap N] [--budget BYTES]
 //!        [--keyframe-every N] [--idle-ms N] [--keyframe-only]
 //!        [--slo-us N] [--no-frame-trace] [--stats-every SECS]
-//!        [--paint-threads N] [--no-encode]
+//!        [--paint-threads N] [--no-encode] [--no-fork] [--backend NAME]
 //! ```
 //!
 //! Listens on `127.0.0.1:<port>` (an OS-assigned port when 0, printed
 //! on stdout) and hosts scene sessions until killed — on `--shards N`
 //! event-driven worker shards by default, or one thread per connection
 //! with `--thread-per-conn` (the E15 ablation baseline). `--shuffle-seed`
-//! arms the readiness-reorder fault for chaos runs.
+//! arms the readiness-reorder fault for chaos runs. Sharded sessions
+//! fork from pre-warmed per-shard scene templates; `--no-fork` is the
+//! cold-boot ablation and `--backend` sets the default window-system
+//! backend sessions are built on.
 //!
 //! Observability: `--slo-us` arms the per-frame budget watchdog (each
 //! violation dumps its stage breakdown to stderr and the slow-frame
@@ -33,7 +36,7 @@ fn usage() -> ! {
          [--shuffle-seed N] [--max-sessions N] [--queue-cap N] \
          [--budget BYTES] [--keyframe-every N] [--idle-ms N] [--keyframe-only] \
          [--slo-us N] [--no-frame-trace] [--stats-every SECS] \
-         [--paint-threads N] [--no-encode]"
+         [--paint-threads N] [--no-encode] [--no-fork] [--backend NAME]"
     );
     std::process::exit(2);
 }
@@ -157,6 +160,20 @@ fn main() {
             "--no-encode" => {
                 cfg.session.encode = false;
                 i += 1;
+            }
+            "--no-fork" => {
+                cfg.fork = false;
+                i += 1;
+            }
+            "--backend" => {
+                cfg.session.backend = match argv.get(i + 1) {
+                    Some(b) => b.clone(),
+                    None => {
+                        eprintln!("served: --backend needs a name");
+                        usage();
+                    }
+                };
+                i += 2;
             }
             "--stats-every" => {
                 stats_every = Some(parse_num("--stats-every", argv.get(i + 1)));

@@ -72,6 +72,10 @@ pub struct ClientStats {
     /// Per-step latency samples in microseconds (send → frame covering
     /// that step).
     pub latencies_us: Vec<u64>,
+    /// Time-to-first-frame: hello sent → initial keyframe applied,
+    /// microseconds. The number the template-fork fast path exists to
+    /// shrink.
+    pub ttff_us: u64,
 }
 
 impl ClientStats {
@@ -129,10 +133,21 @@ pub struct ServeClient<T: FrameTransport> {
 
 impl<T: FrameTransport> ServeClient<T> {
     /// Performs the hello handshake and applies the initial keyframe.
-    pub fn connect(mut t: T, scene: &str) -> Result<ServeClient<T>, ClientError> {
+    pub fn connect(t: T, scene: &str) -> Result<ServeClient<T>, ClientError> {
+        ServeClient::connect_backend(t, scene, None)
+    }
+
+    /// [`ServeClient::connect`] with an explicit backend request; `None`
+    /// takes the server default.
+    pub fn connect_backend(
+        mut t: T,
+        scene: &str,
+        backend: Option<&str>,
+    ) -> Result<ServeClient<T>, ClientError> {
         t.send(
             &ClientFrame::Hello {
                 scene: scene.to_string(),
+                backend: backend.map(str::to_string),
             }
             .encode()?,
         )?;
@@ -159,6 +174,7 @@ impl<T: FrameTransport> ServeClient<T> {
     }
 
     fn handshake(mut t: T) -> Result<ServeClient<T>, ClientError> {
+        let connect_started = Instant::now();
         let (session_id, width, height) = match ServerFrame::decode(&t.recv()?)? {
             ServerFrame::Welcome {
                 session_id,
@@ -187,6 +203,7 @@ impl<T: FrameTransport> ServeClient<T> {
         let body = client.t.recv()?;
         let frame = ServerFrame::decode(&body)?;
         client.apply_frame(frame, body.len())?;
+        client.stats.ttff_us = connect_started.elapsed().as_micros() as u64;
         Ok(client)
     }
 

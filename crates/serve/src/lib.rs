@@ -15,6 +15,16 @@
 //! the same op sequence, the author included, so all replicas stay
 //! byte-identical.
 //!
+//! Private sessions boot by *forking*: each shard keeps a pre-warmed
+//! template world per `(scene, backend)` (`atk_apps::TemplateRegistry`)
+//! and deep-forks it on admission — 12–21× cheaper than building the
+//! scene cold and byte-identical to doing so (EXPERIMENTS.md E17).
+//! Template builds and fork costs count on the server plane
+//! (`world.template_builds`, `world.forks`, `world.fork_us`,
+//! `world.fork_shared_bytes`), never on the forked session's own
+//! collector. `--no-fork` is the cold-boot ablation; only the shard
+//! engine forks — the thread-per-connection path always builds cold.
+//!
 //! The pieces:
 //!
 //! * [`wire`] — frame encode/decode (panic-free on arbitrary bytes)
@@ -36,8 +46,8 @@
 //!   replicated-vs-replayed differentials: same script ⇒
 //!   byte-identical frames
 //! * [`loadgen`] — N concurrent scripted clients (open-loop arrival,
-//!   rendezvous, chaos faults, replicated-document fleets) and the
-//!   report behind EXPERIMENTS.md E11/E15/E16
+//!   rendezvous, chaos faults, replicated-document fleets, admission
+//!   storms) and the report behind EXPERIMENTS.md E11/E15/E16/E17
 //!
 //! Two binaries: `served` (the server) and `loadgen` (the fleet).
 //!

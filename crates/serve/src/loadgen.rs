@@ -120,6 +120,15 @@ pub struct LoadConfig {
     pub writers: usize,
     /// Collab profile: silent watcher replicas per document.
     pub watchers: usize,
+    /// Ramp mode: every client connects, waits for its initial
+    /// keyframe, and says goodbye without sending a step — a pure
+    /// session-admission storm. The report's TTFF percentiles then
+    /// measure exactly what the template-fork fast path is for:
+    /// hello → first frame.
+    pub ramp: bool,
+    /// Backend each client asks for in its `Hello`; `None` takes the
+    /// server default.
+    pub backend: Option<String>,
 }
 
 impl Default for LoadConfig {
@@ -142,6 +151,8 @@ impl Default for LoadConfig {
             docs: 2,
             writers: 2,
             watchers: 2,
+            ramp: false,
+            backend: None,
         }
     }
 }
@@ -177,6 +188,17 @@ pub struct LoadReport {
     pub p50_us: u64,
     /// p99 of per-step frame latency, microseconds.
     pub p99_us: u64,
+    /// p50 of time-to-first-frame (hello → initial keyframe applied),
+    /// microseconds, over completed sessions.
+    pub ttff_p50_us: u64,
+    /// p99 of time-to-first-frame, microseconds.
+    pub ttff_p99_us: u64,
+    /// `world.forks` from the in-process server's merged snapshot —
+    /// sessions born by template fork (`None` against remote servers).
+    pub forks: Option<u64>,
+    /// `world.template_builds` merged across shards — cold scene
+    /// builds paid to warm the per-shard template caches.
+    pub template_builds: Option<u64>,
     /// `serve.backpressure_drops` from the in-process server
     /// (`None` when running against a remote one).
     pub backpressure_drops: Option<u64>,
@@ -302,12 +324,14 @@ enum DriveOutcome {
 fn drive<T: FrameTransport>(
     transport: T,
     scene: &str,
+    backend: Option<&str>,
     script: &[ScriptStep],
     window: u64,
     rendezvous: Option<Arc<Barrier>>,
     cut_after: Option<usize>,
 ) -> Result<DriveOutcome, String> {
-    let connected = ServeClient::connect(transport, scene).map_err(|e| e.to_string());
+    let connected =
+        ServeClient::connect_backend(transport, scene, backend).map_err(|e| e.to_string());
     if let Some(b) = rendezvous {
         b.wait();
     }
@@ -359,6 +383,7 @@ fn aggregate(
     let mut encoded = 0u64;
     let mut equiv = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
+    let mut ttffs: Vec<u64> = Vec::new();
     for h in handles {
         match h.join().map_err(|_| "client thread panicked")? {
             Ok(DriveOutcome::Completed(stats)) => {
@@ -368,6 +393,7 @@ fn aggregate(
                 encoded += stats.encoded_bytes;
                 equiv += stats.keyframe_equiv_bytes;
                 latencies.extend(stats.latencies_us);
+                ttffs.push(stats.ttff_us);
             }
             Ok(DriveOutcome::InjectedDisconnect) => injected += 1,
             Err(e) if e.contains("server busy") => rejected += 1,
@@ -376,14 +402,16 @@ fn aggregate(
     }
     let wall_s = started.elapsed().as_secs_f64().max(1e-9);
     latencies.sort_unstable();
-    let pct = |q: f64| -> u64 {
-        if latencies.is_empty() {
+    ttffs.sort_unstable();
+    let pct_of = |sorted: &[u64], q: f64| -> u64 {
+        if sorted.is_empty() {
             0
         } else {
-            let idx = ((q * latencies.len() as f64).ceil() as usize).max(1) - 1;
-            latencies[idx.min(latencies.len() - 1)]
+            let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
         }
     };
+    let pct = |q: f64| pct_of(&latencies, q);
     Ok(LoadReport {
         completed,
         rejected,
@@ -406,6 +434,10 @@ fn aggregate(
         },
         p50_us: pct(0.50),
         p99_us: pct(0.99),
+        ttff_p50_us: pct_of(&ttffs, 0.50),
+        ttff_p99_us: pct_of(&ttffs, 0.99),
+        forks: None,
+        template_builds: None,
         backpressure_drops: None,
         server_frame_us: None,
         stage_us: Vec::new(),
@@ -628,6 +660,10 @@ fn run_collab(cfg: &LoadConfig, connect: Connector) -> Result<LoadReport, String
         },
         p50_us: pct(0.50),
         p99_us: pct(0.99),
+        ttff_p50_us: 0,
+        ttff_p99_us: 0,
+        forks: None,
+        template_builds: None,
         backpressure_drops: None,
         server_frame_us: None,
         stage_us: Vec::new(),
@@ -668,6 +704,8 @@ fn attach_server_view(report: &mut LoadReport, server: &Server) {
     report.slo_violations = Some(merged.counter("serve.slo_violations"));
     report.slow_frames = server.slow_log().entries();
     report.peak_sessions = Some(server.peak_sessions() as u64);
+    report.forks = Some(merged.counter("world.forks"));
+    report.template_builds = Some(merged.counter("world.template_builds"));
     report.fanout_p99_us = merged
         .histogram("serve.collab.fanout_us")
         .map(|h| h.approx_percentile(0.99));
@@ -678,6 +716,10 @@ fn attach_server_view(report: &mut LoadReport, server: &Server) {
 }
 
 fn record_scripts(cfg: &LoadConfig) -> Result<Vec<Vec<ScriptStep>>, String> {
+    if cfg.ramp {
+        // Ramp sessions send no steps: connect, first keyframe, bye.
+        return Ok(vec![Vec::new(); cfg.sessions]);
+    }
     match cfg.profile {
         Profile::Mixed => (0..cfg.sessions)
             .map(|i| client_script(cfg.profile, &cfg.scene, cfg.seed + i as u64, cfg.steps))
@@ -764,6 +806,7 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         .enumerate()
         .map(|(i, script)| {
             let scene = cfg.scene.clone();
+            let backend = cfg.backend.clone();
             let addr = addr.clone();
             let window = cfg.window;
             let barrier = barrier.clone();
@@ -787,6 +830,7 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
                 drive(
                     TcpTransport::new(stream),
                     &scene,
+                    backend.as_deref(),
                     &script,
                     window,
                     barrier,
@@ -868,6 +912,7 @@ pub fn run_loadgen_mem(cfg: &LoadConfig) -> Result<LoadReport, String> {
         .enumerate()
         .map(|(i, script)| {
             let scene = cfg.scene.clone();
+            let backend = cfg.backend.clone();
             let window = cfg.window;
             let srv = server.clone();
             let barrier = barrier.clone();
@@ -906,12 +951,21 @@ pub fn run_loadgen_mem(cfg: &LoadConfig) -> Result<LoadReport, String> {
                     Some(seed) => drive(
                         FaultTransport::new(client_half, FaultPlan::lossless(seed)),
                         &scene,
+                        backend.as_deref(),
                         &script,
                         window,
                         barrier,
                         cut,
                     ),
-                    None => drive(client_half, &scene, &script, window, barrier, cut),
+                    None => drive(
+                        client_half,
+                        &scene,
+                        backend.as_deref(),
+                        &script,
+                        window,
+                        barrier,
+                        cut,
+                    ),
                 }
             })
         })
@@ -960,6 +1014,11 @@ pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
              (Collab profile, window {}, {dispatch})\n",
             cfg.docs, cfg.writers, cfg.watchers, cfg.steps, cfg.scene, cfg.window
         ));
+    } else if cfg.ramp {
+        out.push_str(&format!(
+            "loadgen: {} sessions ramp (connect + first frame only) on {} ({dispatch})\n",
+            cfg.sessions, cfg.scene
+        ));
     } else {
         out.push_str(&format!(
             "loadgen: {} sessions x {} steps on {} ({:?} profile, window {}, {dispatch})\n",
@@ -1003,6 +1062,16 @@ pub fn format_report(cfg: &LoadConfig, r: &LoadReport) -> String {
         r.p50_us as f64 / 1000.0,
         r.p99_us as f64 / 1000.0
     ));
+    out.push_str(&format!(
+        "  ttff: p50 {:.2} ms, p99 {:.2} ms\n",
+        r.ttff_p50_us as f64 / 1000.0,
+        r.ttff_p99_us as f64 / 1000.0
+    ));
+    if let (Some(forks), Some(builds)) = (r.forks, r.template_builds) {
+        out.push_str(&format!(
+            "  fork: {forks} session(s) forked from {builds} template build(s)\n"
+        ));
+    }
     if let Some((p50, p99)) = r.server_frame_us {
         out.push_str(&format!(
             "  server frame time: ~p50 {:.2} ms, ~p99 {:.2} ms\n",

@@ -169,13 +169,18 @@ pub fn run_sharded(
     }
 
     // Join the shard threads before reading counters, so every close
-    // has landed; then strip the one plane allowed to differ.
+    // has landed; then strip what is allowed to differ: the shard
+    // scheduling plane, and the template-build count — registries are
+    // per-shard caches, so how many shards built a template depends on
+    // where sessions landed. `world.forks` and `world.fork_shared_bytes`
+    // stay in the comparison: one fork per session, whatever the shard
+    // count.
     server.shutdown_shards();
     let counters = server
         .merged_snapshot()
         .counters
         .into_iter()
-        .filter(|(key, _)| !key.starts_with("serve.shard."))
+        .filter(|(key, _)| !key.starts_with("serve.shard.") && *key != "world.template_builds")
         .collect();
     Ok(ShardedRun {
         framebuffers,

@@ -67,6 +67,12 @@ pub struct ServerConfig {
     /// order instead of admission order, so tests can prove the
     /// dispatch result does not depend on readiness ordering.
     pub readiness_shuffle_seed: Option<u64>,
+    /// Fork sessions from pre-warmed per-shard template worlds instead
+    /// of building every scene from scratch. On by default; the
+    /// `--no-fork` ablation turns it off. Only the sharded dispatcher
+    /// forks — the blocking thread-per-connection path always builds
+    /// cold (it has no shard to pin a template registry to).
+    pub fork: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +83,7 @@ impl Default for ServerConfig {
             manual_clock: None,
             retain_session_traces: false,
             readiness_shuffle_seed: None,
+            fork: true,
         }
     }
 }
@@ -356,7 +363,10 @@ impl Server {
             session_id,
             collector: session_collector.clone(),
         };
-        let mut session = match self.open_hosted(&first, session_collector) {
+        // The blocking path builds cold: sessions live on ephemeral
+        // connection threads, so there is no long-lived thread to pin a
+        // template registry (and its `!Send` worlds) to.
+        let mut session = match self.open_hosted(&first, session_collector, None) {
             Ok(s) => s,
             Err(e) => {
                 t.send(&ServerFrame::Error { message: e }.encode())?;
@@ -395,10 +405,15 @@ impl Server {
         &self,
         first: &ClientFrame,
         collector: Arc<Collector>,
+        templates: Option<&mut atk_apps::TemplateRegistry>,
     ) -> Result<HostedSession, String> {
         match first {
-            ClientFrame::Hello { scene } => {
-                HostedSession::open(scene, self.cfg.session.clone(), collector)
+            ClientFrame::Hello { scene, backend } => {
+                let mut cfg = self.cfg.session.clone();
+                if let Some(b) = backend {
+                    cfg.backend = b.clone();
+                }
+                HostedSession::open_with(scene, cfg, collector, templates)
             }
             ClientFrame::Attach { doc_id, scene } => {
                 let attachment = self
@@ -408,7 +423,12 @@ impl Server {
                 if attachment.created() {
                     self.collector.count("serve.collab.docs", 1);
                 }
-                HostedSession::open_replica(attachment, self.cfg.session.clone(), collector)
+                HostedSession::open_replica(
+                    attachment,
+                    self.cfg.session.clone(),
+                    collector,
+                    templates,
+                )
             }
             _ => Err("first frame must be hello or attach".to_string()),
         }
@@ -839,6 +859,7 @@ mod tests {
             .send(
                 &ClientFrame::Hello {
                     scene: "fig1".into(),
+                    backend: None,
                 }
                 .encode()
                 .unwrap(),
@@ -891,6 +912,7 @@ mod tests {
         c1.send(
             &ClientFrame::Hello {
                 scene: "fig1".into(),
+                backend: None,
             }
             .encode()
             .unwrap(),
@@ -906,6 +928,7 @@ mod tests {
         c2.send(
             &ClientFrame::Hello {
                 scene: "fig1".into(),
+                backend: None,
             }
             .encode()
             .unwrap(),
@@ -947,6 +970,7 @@ mod tests {
             .send(
                 &ClientFrame::Hello {
                     scene: "fig1".into(),
+                    backend: None,
                 }
                 .encode()
                 .unwrap(),
@@ -993,6 +1017,7 @@ mod tests {
             .send(
                 &ClientFrame::Hello {
                     scene: "no-such-scene".into(),
+                    backend: None,
                 }
                 .encode()
                 .unwrap(),

@@ -57,6 +57,10 @@ pub struct SessionConfig {
     /// Pick the smaller of raw and RLE wire bodies per frame. The
     /// `--no-encode` ablation pins raw.
     pub encode: bool,
+    /// Window-system backend the session's scene is built on:
+    /// `x11sim` (pixel framebuffer) or `awmsim` (display list, replayed
+    /// to pixels per snapshot).
+    pub backend: String,
 }
 
 impl Default for SessionConfig {
@@ -71,6 +75,7 @@ impl Default for SessionConfig {
             slo_us: None,
             paint_threads: 1,
             encode: true,
+            backend: "x11sim".to_string(),
         }
     }
 }
@@ -123,14 +128,35 @@ struct Replica {
 }
 
 impl HostedSession {
-    /// Builds the named scene on the pixel-backed simulated backend.
-    /// Runs on the connection's own thread — the world never crosses it.
+    /// Builds the named scene cold on the configured backend. Runs on
+    /// the connection's own thread — the world never crosses it.
     pub fn open(
         scene: &str,
         cfg: SessionConfig,
         collector: Arc<Collector>,
     ) -> Result<HostedSession, String> {
-        let scene = build_scene(scene, "x11sim")?;
+        HostedSession::open_with(scene, cfg, collector, None)
+    }
+
+    /// Opens a session, forking it from a pre-warmed template when a
+    /// [`TemplateRegistry`] is supplied (the fast path), building the
+    /// scene from scratch otherwise (the cold path, and the `--no-fork`
+    /// ablation). Either way the session gets its *own* collector after
+    /// the scene exists, so a forked session's counters are identical
+    /// to a cold session's — template builds and fork costs count on
+    /// the registry's collector instead.
+    ///
+    /// [`TemplateRegistry`]: atk_apps::TemplateRegistry
+    pub fn open_with(
+        scene: &str,
+        cfg: SessionConfig,
+        collector: Arc<Collector>,
+        templates: Option<&mut atk_apps::TemplateRegistry>,
+    ) -> Result<HostedSession, String> {
+        let scene = match templates {
+            Some(reg) => reg.fork_session(scene, &cfg.backend)?,
+            None => build_scene(scene, &cfg.backend)?,
+        };
         let mut world = scene.world;
         world.set_collector(collector.clone());
         let last_input_ms = world.now_ms();
@@ -163,9 +189,10 @@ impl HostedSession {
         mut attachment: Attachment,
         cfg: SessionConfig,
         collector: Arc<Collector>,
+        templates: Option<&mut atk_apps::TemplateRegistry>,
     ) -> Result<HostedSession, String> {
         let scene = attachment.doc().scene().to_string();
-        let mut session = HostedSession::open(&scene, cfg, collector)?;
+        let mut session = HostedSession::open_with(&scene, cfg, collector, templates)?;
         let backlog = attachment.take_backlog();
         session
             .collector
@@ -541,7 +568,7 @@ impl HostedSession {
     fn current_fb(&self) -> Framebuffer {
         self.im
             .snapshot()
-            .expect("x11sim backend always has pixels")
+            .expect("serving needs a pixel-backed backend")
     }
 
     fn keyframe(&mut self) -> ServerFrame {

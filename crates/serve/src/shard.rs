@@ -186,6 +186,11 @@ fn run_shard(
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut rng: Option<FaultRng> = None;
+    // Pre-warmed scene templates, one registry per shard: a template's
+    // `World` is `!Send` like any session's, so it lives and dies on
+    // this thread. Fork costs and template builds count on the shard
+    // collector and reach the merged stats plane from there.
+    let mut templates: Option<atk_apps::TemplateRegistry> = None;
     let mut first_iteration = true;
     loop {
         // Hold the server only for the duration of one iteration; when
@@ -200,6 +205,9 @@ fn run_shard(
                 .cfg()
                 .readiness_shuffle_seed
                 .map(|seed| FaultRng::new(seed ^ (index as u64).wrapping_mul(0x9E37)));
+            if server.cfg().fork {
+                templates = Some(atk_apps::TemplateRegistry::new(collector.clone()));
+            }
             first_iteration = false;
         }
         let mut progress = false;
@@ -266,7 +274,7 @@ fn run_shard(
         let mut closed: Vec<usize> = Vec::new();
         for i in order {
             let result = match &conns[i].state {
-                ConnState::Handshake => pump_handshake(&server, &mut conns[i]),
+                ConnState::Handshake => pump_handshake(&server, &mut conns[i], templates.as_mut()),
                 ConnState::Running(_) => pump_running(&server, &collector, &mut conns[i]),
             };
             match result {
@@ -302,7 +310,11 @@ fn run_shard(
 /// `Attach`) has arrived: admission slot, session build, `Welcome` +
 /// initial keyframe — the same sequence as the blocking path, minus
 /// the blocking.
-fn pump_handshake(server: &Server, conn: &mut Conn) -> Result<Pump, Box<dyn std::error::Error>> {
+fn pump_handshake(
+    server: &Server,
+    conn: &mut Conn,
+    templates: Option<&mut atk_apps::TemplateRegistry>,
+) -> Result<Pump, Box<dyn std::error::Error>> {
     let Some(body) = conn.t.try_recv()? else {
         return Ok(Pump::Idle);
     };
@@ -322,7 +334,7 @@ fn pump_handshake(server: &Server, conn: &mut Conn) -> Result<Pump, Box<dyn std:
     // `Running`; the failure paths release explicitly.
     let session_id = server.next_session_id();
     let session_collector = server.open_session_collector(session_id);
-    let mut session = match server.open_hosted(&first, session_collector.clone()) {
+    let mut session = match server.open_hosted(&first, session_collector.clone(), templates) {
         Ok(s) => s,
         Err(e) => {
             server.retire_session(session_id, &session_collector);

@@ -92,6 +92,10 @@ pub enum ClientFrame {
     Hello {
         /// Scene name (`fig1`…`fig5`, any `atk_apps::scenes` name).
         scene: String,
+        /// Window-system backend to host the session on; `None` takes
+        /// the server default. Encoded only when present, so old
+        /// clients and servers interoperate unchanged.
+        backend: Option<String>,
     },
     /// Open a *replicated* session on a named shared document instead
     /// of a private scene (sent in place of `Hello`). The first
@@ -351,6 +355,10 @@ impl<'a> Reader<'a> {
         Ok((w, h))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -371,9 +379,14 @@ impl ClientFrame {
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::new();
         match self {
-            ClientFrame::Hello { scene } => {
+            ClientFrame::Hello { scene, backend } => {
                 out.push(TAG_HELLO);
                 put_str(&mut out, scene);
+                // Optional trailing field: absent bytes mean "server
+                // default", which is exactly what old encoders send.
+                if let Some(b) = backend {
+                    put_str(&mut out, b);
+                }
             }
             ClientFrame::Attach { doc_id, scene } => {
                 out.push(TAG_ATTACH);
@@ -397,7 +410,17 @@ impl ClientFrame {
     pub fn decode(buf: &[u8]) -> Result<ClientFrame, WireError> {
         let mut r = Reader::new(buf);
         let frame = match r.u8()? {
-            TAG_HELLO => ClientFrame::Hello { scene: r.string()? },
+            TAG_HELLO => {
+                let scene = r.string()?;
+                // The backend field is optional on the wire: old
+                // clients stop after the scene name.
+                let backend = if r.remaining() > 0 {
+                    Some(r.string()?)
+                } else {
+                    None
+                };
+                ClientFrame::Hello { scene, backend }
+            }
             TAG_ATTACH => {
                 let doc_id = r.string()?;
                 let scene = r.string()?;
@@ -641,6 +664,11 @@ mod tests {
         let frames = [
             ClientFrame::Hello {
                 scene: "fig5".into(),
+                backend: None,
+            },
+            ClientFrame::Hello {
+                scene: "fig1".into(),
+                backend: Some("awmsim".into()),
             },
             ClientFrame::Attach {
                 doc_id: "doc-0".into(),
@@ -659,6 +687,26 @@ mod tests {
             let bytes = f.encode().unwrap();
             assert_eq!(ClientFrame::decode(&bytes).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn hello_without_backend_is_the_pre_backend_encoding() {
+        // Hand-built old-format Hello: tag + scene string, nothing else.
+        let mut old = vec![TAG_HELLO];
+        put_str(&mut old, "fig3");
+        assert_eq!(
+            ClientFrame::decode(&old).unwrap(),
+            ClientFrame::Hello {
+                scene: "fig3".into(),
+                backend: None,
+            }
+        );
+        // And a backend-less encode emits exactly those bytes.
+        let new = ClientFrame::Hello {
+            scene: "fig3".into(),
+            backend: None,
+        };
+        assert_eq!(new.encode().unwrap(), old);
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn open_session(server: &Arc<Server>, scene: &str) -> (MemTransport, u64) {
         .send(
             &ClientFrame::Hello {
                 scene: scene.into(),
+                backend: None,
             }
             .encode()
             .unwrap(),

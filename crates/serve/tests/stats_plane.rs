@@ -26,6 +26,7 @@ fn run_canned_session(server: &Arc<Server>, text: &str) {
         .send(
             &ClientFrame::Hello {
                 scene: "fig1".into(),
+                backend: None,
             }
             .encode()
             .unwrap(),

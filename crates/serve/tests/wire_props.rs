@@ -35,7 +35,11 @@ fn arb_step() -> impl Strategy<Value = ScriptStep> {
 
 fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
     prop_oneof![
-        "[a-z0-9_]{0,32}".prop_map(|scene| ClientFrame::Hello { scene }),
+        (
+            "[a-z0-9_]{0,32}",
+            prop_oneof![Just(None), "[a-z0-9_]{1,16}".prop_map(Some)]
+        )
+            .prop_map(|(scene, backend)| ClientFrame::Hello { scene, backend }),
         (
             "[a-z0-9-]{1,24}",
             prop_oneof![Just(None), "[a-z0-9_]{1,16}".prop_map(Some)]

@@ -32,6 +32,7 @@ use atk_core::{
 use crate::data::TableData;
 
 /// The auxiliary chart data object.
+#[derive(Clone)]
 pub struct ChartData {
     /// The observed table.
     pub table: Option<DataId>,
@@ -175,6 +176,10 @@ impl DataObject for ChartData {
         world.notify(me, ChangeRec::Meta);
     }
 
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -193,6 +198,7 @@ pub fn rebind_after_read(world: &mut World, chart_id: DataId) {
 }
 
 /// Common plumbing for the two chart views.
+#[derive(Clone)]
 struct ChartBase {
     base: ViewBase,
     data: Option<DataId>,
@@ -225,6 +231,7 @@ impl ChartBase {
 
 /// A pie chart over a [`ChartData`] — "one table data object and two
 /// views, a normal table view and a pie chart view" (§2).
+#[derive(Clone)]
 pub struct PieChartView {
     inner: ChartBase,
 }
@@ -299,6 +306,10 @@ impl View for PieChartView {
         vec![MenuItem::new("Chart", "Recompute", "chart-recompute")]
     }
 
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -309,6 +320,7 @@ impl View for PieChartView {
 
 /// A bar chart over the same [`ChartData`] — the "two different types of
 /// views displaying information contained in the one data object" case.
+#[derive(Clone)]
 pub struct BarChartView {
     inner: ChartBase,
 }
@@ -379,6 +391,10 @@ impl View for BarChartView {
 
     fn observed_changed(&mut self, world: &mut World, _source: DataId, _change: &ChangeRec) {
         world.post_damage_full(self.inner.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

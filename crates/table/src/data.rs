@@ -100,6 +100,7 @@ pub enum CellInput {
 }
 
 /// The table/spreadsheet data object.
+#[derive(Clone)]
 pub struct TableData {
     rows: usize,
     cols: usize,
@@ -535,6 +536,10 @@ impl DataObject for TableData {
                 _ => None,
             })
             .collect()
+    }
+
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

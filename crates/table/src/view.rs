@@ -19,6 +19,7 @@ const ROW_HEADER_W: i32 = 28;
 const COL_HEADER_H: i32 = 14;
 
 /// The table/spreadsheet view.
+#[derive(Clone)]
 pub struct TableView {
     base: ViewBase,
     data: Option<DataId>,
@@ -476,6 +477,10 @@ impl View for TableView {
         let h = world.view_bounds(self.base.id).height;
         self.scroll_y = offset.clamp(0, (total - h).max(0));
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

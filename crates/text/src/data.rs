@@ -31,6 +31,7 @@ pub struct Anchor {
 }
 
 /// The multi-font, multi-media text data object.
+#[derive(Clone)]
 pub struct TextData {
     buffer: GapBuffer,
     runs: StyleRuns,
@@ -393,6 +394,10 @@ impl DataObject for TextData {
         self.anchors.iter().map(|a| a.data).collect()
     }
 
+    fn fork(&self) -> Option<Box<dyn DataObject>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -549,7 +554,7 @@ mod tests {
         assert_eq!(anchors.len(), 1);
         let u = world.data::<UnknownObject>(anchors[0].1).unwrap();
         assert_eq!(u.original_class, "music");
-        assert_eq!(u.raw_lines, vec!["notes c d e", "score 42"]);
+        assert_eq!(*u.raw_lines, vec!["notes c d e", "score 42"]);
         // Writing back preserves the music object.
         let out = atk_core::document_to_string(&world, id);
         assert!(out.contains("\\begindata{music,"));

@@ -47,6 +47,7 @@ struct PageLine {
 }
 
 /// The paper-based (WYSIWYG) text view.
+#[derive(Clone)]
 pub struct PageView {
     base: ViewBase,
     data: Option<DataId>,
@@ -318,6 +319,10 @@ impl View for PageView {
         let h = world.view_bounds(self.base.id).height;
         self.scroll_y = offset.clamp(0, (self.content_height() - h).max(0));
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

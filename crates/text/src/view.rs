@@ -197,6 +197,7 @@ pub struct RedrawStats {
 }
 
 /// The text view. See the module docs.
+#[derive(Clone)]
 pub struct TextView {
     base: ViewBase,
     data: Option<DataId>,
@@ -1483,6 +1484,10 @@ impl View for TextView {
         let max = (self.content_height() - h).max(0);
         self.set_scroll_y(world, offset.clamp(0, max));
         world.post_damage_full(self.base.id);
+    }
+
+    fn fork(&self) -> Option<Box<dyn View>> {
+        Some(Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

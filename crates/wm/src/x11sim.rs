@@ -173,6 +173,22 @@ impl Window for X11Window {
         f(&self.fb.borrow());
         true
     }
+
+    fn adopt_frame(&mut self, frame: &Framebuffer) {
+        // Flush first so no buffered command lands on top of the
+        // adopted pixels, then row-copy into the buffer open_window
+        // already allocated (and just warmed with its white fill) —
+        // no per-pixel walk, no second allocation per fork.
+        self.graphic.flush_pending();
+        let mut fb = self.fb.borrow_mut();
+        fb.set_clip(None);
+        if fb.width() == frame.width() && fb.height() == frame.height() {
+            fb.blit(frame, frame.bounds(), Point::ORIGIN, RasterOp::Copy);
+        } else {
+            *fb = frame.clone();
+            fb.set_clip(None);
+        }
+    }
 }
 
 /// An off-screen pixel plane.

@@ -58,6 +58,22 @@ cargo run --release -q -p atk-serve --bin loadgen -- \
     --mem --profile collab --docs 2 --writers 2 --watchers 1 \
     --steps 40 --faults 42 --max-drops 0
 
+echo "==> fork-mode ramp smoke (64-session burst, every session forked)"
+# A pure admission storm against the template-fork fast path: zero
+# drops tolerated and the server must report at least 64 forked
+# sessions, proving the fleet was served from templates, not cold
+# builds.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --sessions 64 --max-sessions 64 --ramp \
+    --max-drops 0 --min-forks 64
+
+echo "==> no-fork ablation smoke (same burst, cold builds only)"
+# The --no-fork ablation must still serve everyone; it just pays the
+# cold build per session.
+cargo run --release -q -p atk-serve --bin loadgen -- \
+    --mem --sessions 16 --max-sessions 16 --ramp --no-fork \
+    --max-drops 0
+
 echo "==> shard-scale loadgen (512 concurrent sessions, rendezvous)"
 # All 512 clients hold a rendezvous barrier until every session is
 # admitted, so the shards provably host 512 live sessions at once
@@ -83,6 +99,12 @@ CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e15_shards
 
 echo "==> e16 quick smoke (replicated-document fanout, capped sample time)"
 CRITERION_SAMPLE_MS=50 cargo bench -q -p atk-bench --bench e16_collab
+
+echo "==> e17 quick smoke + bench report (session forking, capped sample time)"
+# bench_report.sh runs the e17 bench, captures its BENCH_E17_JSON
+# headline into BENCH_e17.json, and fails unless the report parses
+# with per-scene cold/fork timings and ramp TTFF percentiles.
+CRITERION_SAMPLE_MS=50 scripts/bench_report.sh
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
